@@ -1,0 +1,82 @@
+//! E4–E5 — buffer verification benches: One-Slot and Bounded Buffer,
+//! each on all three language substrates (Monitor, CSP, ADA).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gem_problems::{bounded, one_slot};
+use gem_verify::{verify_system, VerifyOptions};
+
+const ITEMS: &[i64] = &[10, 20, 30];
+const BITEMS: &[i64] = &[1, 2, 3, 4];
+const CAP: usize = 2;
+
+fn bench_buffers(c: &mut Criterion) {
+    // E4: One-Slot Buffer.
+    {
+        let problem = one_slot::one_slot_spec();
+        let sys = one_slot::monitor_solution(ITEMS);
+        let corr = one_slot::monitor_correspondence(&sys, &problem);
+        c.bench_function("buffer_verify/one_slot_monitor", |b| {
+            b.iter(|| {
+                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
+                    .map(|o| { assert!(o.ok()); o.runs })
+                    .unwrap()
+            });
+        });
+        let sys = one_slot::csp_solution(ITEMS);
+        let corr = one_slot::csp_correspondence(&sys, &problem);
+        c.bench_function("buffer_verify/one_slot_csp", |b| {
+            b.iter(|| {
+                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
+                    .map(|o| { assert!(o.ok()); o.runs })
+                    .unwrap()
+            });
+        });
+        let sys = one_slot::ada_solution(ITEMS);
+        let corr = one_slot::ada_correspondence(&sys, &problem);
+        c.bench_function("buffer_verify/one_slot_ada", |b| {
+            b.iter(|| {
+                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
+                    .map(|o| { assert!(o.ok()); o.runs })
+                    .unwrap()
+            });
+        });
+    }
+    // E5: Bounded Buffer, capacity 2.
+    {
+        let problem = bounded::bounded_spec(BITEMS.len(), CAP);
+        let sys = bounded::monitor_solution(BITEMS, CAP);
+        let corr = bounded::monitor_correspondence(&sys, &problem, CAP);
+        c.bench_function("buffer_verify/bounded_monitor", |b| {
+            b.iter(|| {
+                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
+                    .map(|o| { assert!(o.ok()); o.runs })
+                    .unwrap()
+            });
+        });
+        let sys = bounded::csp_solution(BITEMS, CAP);
+        let corr = bounded::csp_correspondence(&sys, &problem, CAP);
+        c.bench_function("buffer_verify/bounded_csp", |b| {
+            b.iter(|| {
+                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
+                    .map(|o| { assert!(o.ok()); o.runs })
+                    .unwrap()
+            });
+        });
+        let sys = bounded::ada_solution(BITEMS, CAP);
+        let corr = bounded::ada_correspondence(&sys, &problem, CAP);
+        c.bench_function("buffer_verify/bounded_ada", |b| {
+            b.iter(|| {
+                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
+                    .map(|o| { assert!(o.ok()); o.runs })
+                    .unwrap()
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_buffers
+}
+criterion_main!(benches);

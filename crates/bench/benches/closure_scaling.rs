@@ -1,0 +1,55 @@
+//! F1 — temporal-order closure construction vs number of events, with the
+//! on-demand DFS reachability ablation (DESIGN.md §4).
+//!
+//! Series reported:
+//! * `build/<n>` — materialising the full reachability matrix.
+//! * `query_closure/<n>` — 1000 `precedes` queries against the matrix.
+//! * `query_dfs/<n>` — the same 1000 queries answered by on-demand DFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_bench::layered_edges;
+use gem_core::{Closure, DfsReachability, EventId};
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_scaling");
+    for &(layers, width) in &[(10usize, 10usize), (40, 25), (100, 50)] {
+        let (n, edges) = layered_edges(layers, width, 2);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| Closure::from_edges(n, &edges).expect("acyclic"));
+        });
+        let closure = Closure::from_edges(n, &edges).expect("acyclic");
+        let dfs = DfsReachability::from_edges(n, &edges);
+        let queries: Vec<(EventId, EventId)> = (0..1000u32)
+            .map(|i| {
+                (
+                    EventId::from_raw(i.wrapping_mul(2654435761) % n as u32),
+                    EventId::from_raw(i.wrapping_mul(40503) % n as u32),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("query_closure", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|&&(x, y)| closure.precedes(x, y))
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("query_dfs", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|&&(x, y)| dfs.precedes(x, y))
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_closure
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! F4 — verification cost: schedules explored vs number of transactions,
+//! with the state-pruning ablation (sound for deadlock search only).
+//!
+//! Series reported, on the §9 Readers/Writers monitor (control-only
+//! scripts):
+//! * `all_runs/<R>r<W>w` — full DFS over all schedules (the basis of
+//!   `PROG sat P` verification).
+//! * `pruned/<R>r<W>w` — control-state-pruned DFS (deadlock search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_lang::monitor::readers_writers_monitor;
+use gem_lang::Explorer;
+use gem_problems::readers_writers::rw_program;
+use std::ops::ControlFlow;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_scaling");
+    for &(readers, writers) in &[(1usize, 1usize), (2, 1), (1, 2), (2, 2)] {
+        let sys = rw_program(readers_writers_monitor(), readers, writers, false);
+        let label = format!("{readers}r{writers}w");
+        // 2r2w exceeds 10⁶ schedules; the figure reports exploration cost
+        // at a fixed 50k-run budget so the series stays comparable.
+        let explorer = Explorer::with_max_runs(50_000);
+        group.bench_with_input(BenchmarkId::new("all_runs", &label), &label, |b, _| {
+            b.iter(|| {
+                explorer
+                    .for_each_run(&sys, |_, _| ControlFlow::Continue(()))
+                    .runs
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", &label), &label, |b, _| {
+            let explorer = Explorer {
+                prune: true,
+                ..Explorer::default()
+            };
+            b.iter(|| {
+                explorer
+                    .for_each_run(&sys, |_, _| ControlFlow::Continue(()))
+                    .steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_explore
+}
+criterion_main!(benches);

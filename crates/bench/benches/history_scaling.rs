@@ -1,0 +1,62 @@
+//! F3 — history enumeration, linearization enumeration, and vhs checking
+//! vs computation size/width.
+//!
+//! Series reported:
+//! * `histories/<w>x<l>` — enumerate all order ideals.
+//! * `linearizations/<w>x<l>` — enumerate all interleavings.
+//! * `vhs_check/<w>x<l>` — validate a greedy-step history sequence.
+//! * `check_safety/<w>x<l>` — model-check a ◻-safety formula over all
+//!   linearizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_bench::layered_computation;
+use gem_core::{history_count, linearization_count, HistorySequence};
+use gem_logic::{check, Formula, Strategy};
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_scaling");
+    for &(width, layers) in &[(2usize, 4usize), (3, 4), (2, 6), (3, 5)] {
+        let comp = layered_computation(layers, width, 1);
+        let label = format!("{width}x{layers}");
+        group.bench_with_input(BenchmarkId::new("histories", &label), &label, |b, _| {
+            b.iter(|| history_count(&comp, usize::MAX));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("linearizations", &label),
+            &label,
+            |b, _| {
+                b.iter(|| linearization_count(&comp, usize::MAX));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("vhs_check", &label), &label, |b, _| {
+            let seq = HistorySequence::greedy_steps(&comp);
+            b.iter(|| {
+                HistorySequence::new(&comp, seq.histories().to_vec()).expect("valid")
+            });
+        });
+        // Safety: the first event of element P0 always precedes the last
+        // event of the same element.
+        let p0 = comp.structure().element("P0").expect("P0");
+        let first = comp.events_at(p0)[0];
+        let last = *comp.events_at(p0).last().expect("nonempty");
+        let f = Formula::occurred(last)
+            .implies(Formula::occurred(first))
+            .henceforth();
+        group.bench_with_input(BenchmarkId::new("check_safety", &label), &label, |b, _| {
+            b.iter(|| {
+                let r = check(&f, &comp, Strategy::Linearizations { limit: 1_000_000 })
+                    .expect("evaluable");
+                assert!(r.holds);
+                r.sequences_checked
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_history
+}
+criterion_main!(benches);

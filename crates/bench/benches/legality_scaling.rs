@@ -1,0 +1,67 @@
+//! F2 — GEM legality checking vs number of events and group nesting.
+//!
+//! Series reported:
+//! * `flat/<n>` — events/edges only, no group structure.
+//! * `grouped/<n>` — the same computation with elements split across
+//!   nested process groups (access checks per enable edge).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_core::{check_legality, ComputationBuilder, NodeRef, Structure};
+
+fn build(n_chains: usize, chain_len: usize, grouped: bool) -> gem_core::Computation {
+    let mut s = Structure::new();
+    let act = s.add_class("Act", &[]).expect("class");
+    let els: Vec<_> = (0..n_chains)
+        .map(|i| s.add_element(format!("P{i}"), &[act]).expect("element"))
+        .collect();
+    if grouped {
+        // Pairs of elements share a group; groups nest into one system
+        // group, so every intra-pair edge passes the access check.
+        let mut groups = Vec::new();
+        for (i, pair) in els.chunks(2).enumerate() {
+            let members: Vec<NodeRef> = pair.iter().map(|&e| e.into()).collect();
+            groups.push(s.add_group(format!("G{i}"), &members).expect("group"));
+        }
+        let members: Vec<NodeRef> = groups.into_iter().map(NodeRef::Group).collect();
+        s.add_group("System", &members).expect("system group");
+    }
+    let mut b = ComputationBuilder::new(s);
+    let mut last_pair: Vec<Option<gem_core::EventId>> = vec![None; n_chains];
+    for _ in 0..chain_len {
+        for (i, &el) in els.iter().enumerate() {
+            let e = b.add_event(el, act, vec![]).expect("event");
+            // Cross-enable within the pair partner (legal under grouping).
+            let partner = i ^ 1;
+            if partner < n_chains {
+                if let Some(p) = last_pair[partner] {
+                    b.enable(p, e).expect("edge");
+                }
+            }
+            last_pair[i] = Some(e);
+        }
+    }
+    b.seal().expect("acyclic")
+}
+
+fn bench_legality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legality_scaling");
+    for &(chains, len) in &[(4usize, 25usize), (8, 125), (16, 250), (32, 312)] {
+        let n = chains * len;
+        for grouped in [false, true] {
+            let comp = build(chains, len, grouped);
+            assert!(check_legality(&comp).is_empty());
+            let label = if grouped { "grouped" } else { "flat" };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| check_legality(&comp).len());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_legality
+}
+criterion_main!(benches);

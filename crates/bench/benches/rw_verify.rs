@@ -1,0 +1,96 @@
+//! E1–E3, E6 — Readers/Writers verification benches: the cost of the
+//! machine-checked counterparts of the paper's §9 claims.
+//!
+//! Series reported (§9 monitor unless noted):
+//! * `mutex_with_data_1r1w` — E2: mutual exclusion with shared data.
+//! * `readers_priority_1r2w` — E3: the §9 readers-priority proof.
+//! * `writers_priority_monitor_2r1w` — E6: the writers-priority monitor
+//!   against its own spec.
+//! * `entries_sequential_2r1w` — E1: total ordering of monitor events.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gem_lang::monitor::{entries_sequential, readers_writers_monitor};
+use gem_lang::Explorer;
+use gem_problems::readers_writers::{
+    rw_correspondence, rw_program, rw_spec, writers_priority_monitor, RwVariant,
+};
+use gem_verify::{verify_system, VerifyOptions};
+use std::ops::ControlFlow;
+
+fn verify_bench(
+    c: &mut Criterion,
+    name: &str,
+    monitor: gem_lang::monitor::MonitorDef,
+    readers: usize,
+    writers: usize,
+    with_data: bool,
+    variant: RwVariant,
+) {
+    let sys = rw_program(monitor, readers, writers, with_data);
+    let problem = rw_spec(readers + writers, with_data, variant);
+    let corr = rw_correspondence(&sys, &problem, with_data);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let outcome = verify_system(
+                &sys,
+                &problem,
+                &corr,
+                |s| sys.computation(s).expect("acyclic"),
+                &VerifyOptions::default(),
+            )
+            .expect("consistent");
+            assert!(outcome.ok(), "{outcome}");
+            outcome.runs
+        });
+    });
+}
+
+fn bench_rw(c: &mut Criterion) {
+    verify_bench(
+        c,
+        "rw_verify/mutex_with_data_1r1w",
+        readers_writers_monitor(),
+        1,
+        1,
+        true,
+        RwVariant::MutexOnly,
+    );
+    verify_bench(
+        c,
+        "rw_verify/readers_priority_1r2w",
+        readers_writers_monitor(),
+        1,
+        2,
+        false,
+        RwVariant::ReadersPriority,
+    );
+    verify_bench(
+        c,
+        "rw_verify/writers_priority_monitor_2r1w",
+        writers_priority_monitor(),
+        2,
+        1,
+        false,
+        RwVariant::WritersPriority,
+    );
+    // E1: sequential execution of monitor entries, over all schedules.
+    let sys = rw_program(readers_writers_monitor(), 2, 1, false);
+    c.bench_function("rw_verify/entries_sequential_2r1w", |b| {
+        b.iter(|| {
+            let mut ok = true;
+            Explorer::default().for_each_run(&sys, |state, _| {
+                let comp = sys.computation(state).expect("acyclic");
+                ok &= entries_sequential(&sys, &comp);
+                ControlFlow::Continue(())
+            });
+            assert!(ok);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_rw
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! # gem-bench — benchmark support library
+//!
+//! Shared generators for the criterion benches (see `benches/`): synthetic
+//! DAG computations for the scaling figures F1–F3 and ready-made
+//! verification instances for the experiment benches E1–E8. The bench
+//! targets are the executable index of EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gem_core::{Computation, ComputationBuilder, EventId, Structure};
+
+/// Builds a layered synthetic computation: `layers × width` events, each
+/// event enabled by `fan_in` events of the previous layer, every chain of
+/// a layer on its own element. Deterministic in its arguments.
+pub fn layered_computation(layers: usize, width: usize, fan_in: usize) -> Computation {
+    let mut s = Structure::new();
+    let act = s.add_class("Act", &[]).expect("fresh class");
+    let els: Vec<_> = (0..width)
+        .map(|w| s.add_element(format!("P{w}"), &[act]).expect("element"))
+        .collect();
+    let mut b = ComputationBuilder::new(s);
+    let mut prev: Vec<EventId> = Vec::new();
+    for _ in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for (w, &el) in els.iter().enumerate() {
+            let e = b.add_event(el, act, vec![]).expect("event");
+            for k in 0..fan_in.min(prev.len()) {
+                let src = prev[(w + k) % prev.len()];
+                b.enable(src, e).expect("edge");
+            }
+            cur.push(e);
+        }
+        prev = cur;
+    }
+    b.seal().expect("acyclic")
+}
+
+/// The edge list of a layered DAG, for benching closure construction
+/// without the computation wrapper.
+pub fn layered_edges(layers: usize, width: usize, fan_in: usize) -> (usize, Vec<(EventId, EventId)>) {
+    let c = layered_computation(layers, width, fan_in);
+    (c.event_count(), c.enable_edges().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_shape() {
+        let c = layered_computation(4, 3, 2);
+        assert_eq!(c.event_count(), 12);
+        assert!(gem_core::is_legal(&c));
+        // First-layer events unordered across elements; within an element
+        // the layers chain.
+        let e0 = EventId::from_raw(0);
+        let e1 = EventId::from_raw(1);
+        assert!(c.concurrent(e0, e1));
+    }
+
+    #[test]
+    fn edges_nonempty() {
+        let (n, edges) = layered_edges(3, 2, 1);
+        assert_eq!(n, 6);
+        assert!(!edges.is_empty());
+    }
+}

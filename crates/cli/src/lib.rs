@@ -1,0 +1,559 @@
+//! # gem-cli — command-line interface to the GEM reproduction
+//!
+//! ```text
+//! gem render <problem>           print the specification in paper notation
+//! gem verify <problem>           run PROG sat P over all schedules
+//! gem explore <problem>          count schedules / deadlocks
+//! gem dot <problem>              emit one schedule's computation as Graphviz
+//! gem list                       list the available problems
+//! ```
+//!
+//! Problems (with optional `key=value` parameters after the name):
+//!
+//! | name | parameters (defaults) |
+//! |------|------------------------|
+//! | `one-slot` | `items=3` |
+//! | `bounded` | `items=4 cap=2 substrate=monitor\|csp\|ada` |
+//! | `rw` | `readers=1 writers=2 variant=mutex\|readers\|writers\|fcfs\|progress monitor=readers\|writers\|mesa-safe semantics=hoare\|mesa data=false` |
+//! | `db-update` | `clients=3 sites=2` |
+//! | `life` | `grid=block\|blinker gens=2` |
+//! | `philosophers` | `n=3 meals=1 order=naive\|asymmetric` |
+//!
+//! The command dispatch lives in this library so it can be tested; the
+//! `gem` binary is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::ControlFlow;
+
+use gem_lang::monitor::readers_writers_monitor;
+use gem_lang::{Explorer, System};
+use gem_lang::monitor::SignalSemantics;
+use gem_problems::readers_writers::{
+    mesa_safe_readers_writers_monitor, rw_correspondence, rw_program_with_semantics, rw_spec,
+    writers_priority_monitor, RwVariant,
+};
+use gem_problems::{bounded, db_update, life, one_slot};
+use gem_spec::{render_specification, Specification};
+use gem_verify::{verify_system, Correspondence, VerifyOptions, VerifyOutcome};
+
+/// A CLI usage or execution error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `key=value` parameters.
+#[derive(Clone, Debug, Default)]
+pub struct Params(BTreeMap<String, String>);
+
+impl Params {
+    /// Parses trailing `key=value` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for arguments without `=`.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut map = BTreeMap::new();
+        for a in args {
+            let (k, v) = a
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected key=value, got {a:?}")))?;
+            map.insert(k.to_owned(), v.to_owned());
+        }
+        Ok(Self(map))
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("{key} must be a number, got {v:?}"))),
+        }
+    }
+
+    fn str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.0.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    fn bool(&self, key: &str, default: bool) -> Result<bool, CliError> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("{key} must be true/false, got {v:?}"))),
+        }
+    }
+}
+
+/// A problem instance resolvable to a spec + system + correspondence.
+#[allow(clippy::large_enum_variant)] // one short-lived instance per invocation
+enum Instance {
+    Monitor {
+        sys: gem_lang::monitor::MonitorSystem,
+        spec: Specification,
+        corr: Correspondence,
+    },
+    Csp {
+        sys: gem_lang::csp::CspSystem,
+        spec: Specification,
+        corr: Correspondence,
+        max_runs: usize,
+    },
+    Ada {
+        sys: gem_lang::ada::AdaSystem,
+        spec: Specification,
+        corr: Correspondence,
+        max_runs: usize,
+    },
+}
+
+fn parse_rw_variant(s: &str) -> Result<RwVariant, CliError> {
+    Ok(match s {
+        "mutex" => RwVariant::MutexOnly,
+        "readers" => RwVariant::ReadersPriority,
+        "writers" => RwVariant::WritersPriority,
+        "fcfs" => RwVariant::Fcfs,
+        "progress" => RwVariant::Progress,
+        other => return Err(err(format!("unknown variant {other:?}"))),
+    })
+}
+
+fn instance(problem: &str, p: &Params) -> Result<Instance, CliError> {
+    match problem {
+        "one-slot" => {
+            let n = p.usize("items", 3)?;
+            let items: Vec<i64> = (1..=n as i64).map(|i| i * 10).collect();
+            let spec = one_slot::one_slot_spec();
+            match p.str("substrate", "monitor") {
+                "monitor" => {
+                    let sys = one_slot::monitor_solution(&items);
+                    let corr = one_slot::monitor_correspondence(&sys, &spec);
+                    Ok(Instance::Monitor { sys, spec, corr })
+                }
+                "csp" => {
+                    let sys = one_slot::csp_solution(&items);
+                    let corr = one_slot::csp_correspondence(&sys, &spec);
+                    Ok(Instance::Csp {
+                        sys,
+                        spec,
+                        corr,
+                        max_runs: 1_000_000,
+                    })
+                }
+                "ada" => {
+                    let sys = one_slot::ada_solution(&items);
+                    let corr = one_slot::ada_correspondence(&sys, &spec);
+                    Ok(Instance::Ada {
+                        sys,
+                        spec,
+                        corr,
+                        max_runs: 1_000_000,
+                    })
+                }
+                other => Err(err(format!("unknown substrate {other:?}"))),
+            }
+        }
+        "bounded" => {
+            let n = p.usize("items", 4)?;
+            let cap = p.usize("cap", 2)?;
+            let items: Vec<i64> = (1..=n as i64).collect();
+            let spec = bounded::bounded_spec(items.len(), cap);
+            match p.str("substrate", "monitor") {
+                "monitor" => {
+                    let sys = bounded::monitor_solution(&items, cap);
+                    let corr = bounded::monitor_correspondence(&sys, &spec, cap);
+                    Ok(Instance::Monitor { sys, spec, corr })
+                }
+                "csp" => {
+                    let sys = bounded::csp_solution(&items, cap);
+                    let corr = bounded::csp_correspondence(&sys, &spec, cap);
+                    Ok(Instance::Csp {
+                        sys,
+                        spec,
+                        corr,
+                        max_runs: 1_000_000,
+                    })
+                }
+                "ada" => {
+                    let sys = bounded::ada_solution(&items, cap);
+                    let corr = bounded::ada_correspondence(&sys, &spec, cap);
+                    Ok(Instance::Ada {
+                        sys,
+                        spec,
+                        corr,
+                        max_runs: 1_000_000,
+                    })
+                }
+                other => Err(err(format!("unknown substrate {other:?}"))),
+            }
+        }
+        "rw" => {
+            let readers = p.usize("readers", 1)?;
+            let writers = p.usize("writers", 2)?;
+            let with_data = p.bool("data", false)?;
+            let variant = parse_rw_variant(p.str("variant", "readers"))?;
+            let monitor = match p.str("monitor", "readers") {
+                "readers" => readers_writers_monitor(),
+                "writers" => writers_priority_monitor(),
+                "mesa-safe" => mesa_safe_readers_writers_monitor(),
+                other => return Err(err(format!("unknown monitor {other:?}"))),
+            };
+            let semantics = match p.str("semantics", "hoare") {
+                "hoare" => SignalSemantics::Hoare,
+                "mesa" => SignalSemantics::Mesa,
+                other => return Err(err(format!("unknown semantics {other:?}"))),
+            };
+            let sys = rw_program_with_semantics(monitor, readers, writers, with_data, semantics);
+            let spec = rw_spec(readers + writers, with_data, variant);
+            let corr = rw_correspondence(&sys, &spec, with_data);
+            Ok(Instance::Monitor { sys, spec, corr })
+        }
+        "db-update" => {
+            let clients = p.usize("clients", 3)?;
+            let sites = p.usize("sites", 2)?;
+            let sys = db_update::db_update_program(clients, sites);
+            let spec = db_update::db_update_spec(sites, clients);
+            let corr = db_update::db_update_correspondence(&sys, &spec, sites);
+            Ok(Instance::Csp {
+                sys,
+                spec,
+                corr,
+                max_runs: 1_000_000,
+            })
+        }
+        "philosophers" => {
+            let n = p.usize("n", 3)?;
+            let meals = p.usize("meals", 1)?;
+            let order = match p.str("order", "asymmetric") {
+                "naive" => gem_problems::philosophers::ForkOrder::Naive,
+                "asymmetric" => gem_problems::philosophers::ForkOrder::Asymmetric,
+                other => return Err(err(format!("unknown order {other:?}"))),
+            };
+            let sys = gem_problems::philosophers::philosophers_program(n, meals, order);
+            let spec = gem_problems::philosophers::philosophers_spec(n);
+            let corr =
+                gem_problems::philosophers::philosophers_correspondence(&sys, &spec, n);
+            Ok(Instance::Ada {
+                sys,
+                spec,
+                corr,
+                max_runs: 20_000,
+            })
+        }
+        "life" => {
+            let gens = p.usize("gens", 2)?;
+            let grid = match p.str("grid", "block") {
+                "block" => life::block(),
+                "blinker" => life::blinker(),
+                other => return Err(err(format!("unknown grid {other:?}"))),
+            };
+            let sys = life::life_program(&grid, gens);
+            let spec = life::life_spec(&grid, gens);
+            let corr = life::life_correspondence(&sys, &spec, &grid);
+            Ok(Instance::Csp {
+                sys,
+                spec,
+                corr,
+                max_runs: 50, // life's schedule space is astronomical
+            })
+        }
+        other => Err(err(format!(
+            "unknown problem {other:?}; try `gem list`"
+        ))),
+    }
+}
+
+/// The problems `gem list` reports.
+pub const PROBLEMS: [&str; 6] =
+    ["one-slot", "bounded", "rw", "db-update", "life", "philosophers"];
+
+fn format_outcome(outcome: &VerifyOutcome) -> String {
+    let verdict = if outcome.ok() { "HOLDS" } else { "FAILS" };
+    format!(
+        "{outcome}\nverdict: PROG sat P {verdict}{}",
+        if outcome.exhaustive() {
+            " (all schedules)"
+        } else {
+            " (bounded exploration)"
+        }
+    )
+}
+
+/// Executes a command line (without the leading program name), returning
+/// the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands/problems or bad parameters.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| err(usage()))?;
+    match cmd.as_str() {
+        "list" => Ok(PROBLEMS.join("\n")),
+        "render" | "verify" | "explore" | "dot" | "deadlock" => {
+            let (problem, params) = rest
+                .split_first()
+                .ok_or_else(|| err(format!("{cmd} needs a problem name; try `gem list`")))?;
+            let params = Params::parse(params)?;
+            let inst = instance(problem, &params)?;
+            match cmd.as_str() {
+                "render" => {
+                    let spec = match &inst {
+                        Instance::Monitor { spec, .. }
+                        | Instance::Csp { spec, .. }
+                        | Instance::Ada { spec, .. } => spec,
+                    };
+                    Ok(render_specification(spec))
+                }
+                "verify" => {
+                    let outcome = match &inst {
+                        Instance::Monitor { sys, spec, corr } => verify_system(
+                            sys,
+                            spec,
+                            corr,
+                            |s| sys.computation(s).expect("acyclic"),
+                            &VerifyOptions::default(),
+                        ),
+                        Instance::Csp {
+                            sys,
+                            spec,
+                            corr,
+                            max_runs,
+                        } => verify_system(
+                            sys,
+                            spec,
+                            corr,
+                            |s| sys.computation(s).expect("acyclic"),
+                            &VerifyOptions {
+                                explorer: Explorer::with_max_runs(*max_runs),
+                                ..VerifyOptions::default()
+                            },
+                        ),
+                        Instance::Ada {
+                            sys,
+                            spec,
+                            corr,
+                            max_runs,
+                        } => verify_system(
+                            sys,
+                            spec,
+                            corr,
+                            |s| sys.computation(s).expect("acyclic"),
+                            &VerifyOptions {
+                                explorer: Explorer::with_max_runs(*max_runs),
+                                ..VerifyOptions::default()
+                            },
+                        ),
+                    }
+                    .map_err(|e| err(format!("projection failed: {e}")))?;
+                    Ok(format_outcome(&outcome))
+                }
+                "explore" => {
+                    fn explore<S: System>(sys: &S, max_runs: usize) -> String {
+                        let mut deadlocks = 0usize;
+                        let stats = Explorer::with_max_runs(max_runs).for_each_run(
+                            sys,
+                            |state, _| {
+                                if !sys.is_complete(state) {
+                                    deadlocks += 1;
+                                }
+                                ControlFlow::Continue(())
+                            },
+                        );
+                        format!(
+                            "schedules: {}{}  steps: {}  deadlocks: {deadlocks}",
+                            stats.runs,
+                            if stats.truncated { "+ (truncated)" } else { "" },
+                            stats.steps,
+                        )
+                    }
+                    Ok(match &inst {
+                        Instance::Monitor { sys, .. } => explore(sys, 1_000_000),
+                        Instance::Csp { sys, max_runs, .. } => explore(sys, *max_runs),
+                        Instance::Ada { sys, max_runs, .. } => explore(sys, *max_runs),
+                    })
+                }
+                "deadlock" => {
+                    // Deadlock is a state property, so control-state
+                    // pruning is sound — and necessary, since DFS order
+                    // visits near-sequential schedules first.
+                    fn hunt<S: System>(sys: &S) -> String {
+                        let explorer = Explorer {
+                            prune: true,
+                            ..Explorer::default()
+                        };
+                        match gem_lang::find_deadlock(sys, &explorer) {
+                            Some(path) => format!(
+                                "DEADLOCK after {} action(s):\n{path:#?}",
+                                path.len()
+                            ),
+                            None => "no deadlock (pruned state search)".to_owned(),
+                        }
+                    }
+                    Ok(match &inst {
+                        Instance::Monitor { sys, .. } => hunt(sys),
+                        Instance::Csp { sys, .. } => hunt(sys),
+                        Instance::Ada { sys, .. } => hunt(sys),
+                    })
+                }
+                "dot" => {
+                    fn first_dot<S: System>(
+                        sys: &S,
+                        extract: impl Fn(&S::State) -> gem_core::Computation,
+                    ) -> String {
+                        let mut out = String::new();
+                        Explorer::with_max_runs(1).for_each_run(sys, |state, _| {
+                            out = gem_core::to_dot(&extract(state));
+                            ControlFlow::Break(())
+                        });
+                        out
+                    }
+                    Ok(match &inst {
+                        Instance::Monitor { sys, .. } => {
+                            first_dot(sys, |s| sys.computation(s).expect("acyclic"))
+                        }
+                        Instance::Csp { sys, .. } => {
+                            first_dot(sys, |s| sys.computation(s).expect("acyclic"))
+                        }
+                        Instance::Ada { sys, .. } => {
+                            first_dot(sys, |s| sys.computation(s).expect("acyclic"))
+                        }
+                    })
+                }
+                _ => unreachable!(),
+            }
+        }
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(err(format!("unknown command {other:?}\n{}", usage()))),
+    }
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "usage: gem <command> [problem] [key=value ...]\n\
+     commands:\n\
+     \x20 list                       list available problems\n\
+     \x20 render <problem> [params]  print the GEM specification\n\
+     \x20 verify <problem> [params]  check PROG sat P over all schedules\n\
+     \x20 explore <problem> [params] count schedules and deadlocks\n\
+     \x20 deadlock <problem> [params] hunt for a deadlock (pruned search)\n\
+     \x20 dot <problem> [params]     emit one computation as Graphviz dot\n\
+     problems: one-slot, bounded, rw, db-update, life, philosophers\n\
+     examples:\n\
+     \x20 gem verify rw readers=1 writers=2 variant=readers\n\
+     \x20 gem verify bounded items=4 cap=2 substrate=csp\n\
+     \x20 gem render rw data=true"
+        .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runv(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn list_and_help() {
+        let out = runv(&["list"]).unwrap();
+        for p in PROBLEMS {
+            assert!(out.contains(p));
+        }
+        assert!(runv(&["help"]).unwrap().contains("usage"));
+        assert!(runv(&[]).is_err());
+        assert!(runv(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn render_rw() {
+        let out = runv(&["render", "rw", "data=true"]).unwrap();
+        assert!(out.contains("SPECIFICATION RWProblem-ReadersPriority"));
+        assert!(out.contains("db.control = ELEMENT"));
+    }
+
+    #[test]
+    fn verify_one_slot_monitor_holds() {
+        let out = runv(&["verify", "one-slot", "items=2"]).unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+    }
+
+    #[test]
+    fn verify_rw_writers_priority_fails_on_readers_monitor() {
+        let out = runv(&[
+            "verify", "rw", "readers=1", "writers=2", "variant=writers",
+        ])
+        .unwrap();
+        assert!(out.contains("FAILS"), "{out}");
+    }
+
+    #[test]
+    fn explore_counts_schedules() {
+        let out = runv(&["explore", "rw", "readers=1", "writers=1"]).unwrap();
+        assert!(out.contains("schedules:"), "{out}");
+        assert!(out.contains("deadlocks: 0"), "{out}");
+    }
+
+    #[test]
+    fn dot_emits_graph() {
+        let out = runv(&["dot", "one-slot", "items=1"]).unwrap();
+        assert!(out.starts_with("digraph gem"));
+    }
+
+    #[test]
+    fn mesa_ablation_via_cli() {
+        let out = runv(&[
+            "verify", "rw", "variant=mutex", "semantics=mesa",
+        ])
+        .unwrap();
+        assert!(out.contains("FAILS"), "IF-based monitor under Mesa: {out}");
+        let out = runv(&[
+            "verify", "rw", "variant=mutex", "semantics=mesa", "monitor=mesa-safe",
+        ])
+        .unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+    }
+
+    #[test]
+    fn bad_params_reported() {
+        assert!(runv(&["verify", "rw", "readers=abc"]).is_err());
+        assert!(runv(&["verify", "rw", "variant=nope"]).is_err());
+        assert!(runv(&["verify", "one-slot", "substrate=nope"]).is_err());
+        assert!(runv(&["verify", "nope"]).is_err());
+        assert!(runv(&["verify", "rw", "noequals"]).is_err());
+        assert!(runv(&["verify"]).is_err());
+    }
+
+    #[test]
+    fn philosophers_deadlock_command() {
+        let out = runv(&["deadlock", "philosophers", "n=3", "order=naive"]).unwrap();
+        assert!(out.contains("DEADLOCK"), "{out}");
+        let out = runv(&["deadlock", "philosophers", "n=3", "order=asymmetric"]).unwrap();
+        assert!(out.contains("no deadlock"), "{out}");
+    }
+
+    #[test]
+    fn csp_substrate_selectable() {
+        let out = runv(&["verify", "bounded", "items=2", "cap=1", "substrate=csp"]).unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        let out = runv(&["verify", "one-slot", "items=2", "substrate=ada"]).unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+    }
+}

@@ -1,0 +1,699 @@
+//! Computations: complete concurrent executions (§3).
+//!
+//! A [`Computation`] is an immutable record of a set of events, the enable
+//! relation between them, the element order (induced by per-element
+//! occurrence numbers), and the materialised temporal order. Computations
+//! are constructed through [`ComputationBuilder`] and *sealed*, at which
+//! point the temporal order is built and checked for irreflexivity
+//! (acyclicity). Scope-rule legality is checked separately by
+//! [`check_legality`](crate::check_legality), so that deliberately illegal
+//! computations can be constructed and diagnosed.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::order::{Closure, CycleError};
+use crate::{ClassId, ElementId, Event, EventId, Structure, ThreadTag, Value};
+
+/// Errors arising while building a computation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// The element id is not from this structure.
+    UnknownElement(ElementId),
+    /// The class id is not from this structure.
+    UnknownClass(ClassId),
+    /// The event id has not been added to this builder.
+    UnknownEvent(EventId),
+    /// The enable or element-order union is cyclic (reported at seal).
+    Cyclic(CycleError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownElement(e) => write!(f, "unknown element {e}"),
+            BuildError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            BuildError::UnknownEvent(e) => write!(f, "unknown event {e}"),
+            BuildError::Cyclic(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<CycleError> for BuildError {
+    fn from(c: CycleError) -> Self {
+        BuildError::Cyclic(c)
+    }
+}
+
+/// Incremental constructor for [`Computation`].
+///
+/// # Examples
+///
+/// Modelling the paper's §7 diamond computation
+/// (`e1 ⊳ e2`, `e1 ⊳ e3`, `e2 ⊳ e4`, `e3 ⊳ e4`):
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gem_core::{ComputationBuilder, Structure};
+/// let mut s = Structure::new();
+/// let act = s.add_class("Act", &[])?;
+/// let els: Vec<_> = (0..4)
+///     .map(|i| s.add_element(format!("P{i}"), &[act]))
+///     .collect::<Result<_, _>>()?;
+/// let mut b = ComputationBuilder::new(s);
+/// let e: Vec<_> = els
+///     .iter()
+///     .map(|&el| b.add_event(el, act, vec![]))
+///     .collect::<Result<_, _>>()?;
+/// b.enable(e[0], e[1])?;
+/// b.enable(e[0], e[2])?;
+/// b.enable(e[1], e[3])?;
+/// b.enable(e[2], e[3])?;
+/// let c = b.seal()?;
+/// assert!(c.temporally_precedes(e[0], e[3]));
+/// assert!(c.concurrent(e[1], e[2]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ComputationBuilder {
+    structure: Arc<Structure>,
+    events: Vec<Event>,
+    element_counts: Vec<u32>,
+    enables: Vec<(EventId, EventId)>,
+    precedences: Vec<(EventId, EventId)>,
+    memberships: Vec<Membership>,
+}
+
+/// A dynamic group-structure change (§5): the event `event` adds `member`
+/// to `group`. Group structure grows monotonically; the membership is in
+/// force for exactly the events that temporally follow (or are) the
+/// membership event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Membership {
+    /// The event representing the structure change.
+    pub event: EventId,
+    /// The group gaining a member.
+    pub group: crate::GroupId,
+    /// The new member.
+    pub member: crate::NodeRef,
+}
+
+impl ComputationBuilder {
+    /// Creates a builder over `structure`.
+    pub fn new(structure: impl Into<Arc<Structure>>) -> Self {
+        let structure = structure.into();
+        let element_counts = vec![0; structure.element_count()];
+        Self {
+            structure,
+            events: Vec::new(),
+            element_counts,
+            enables: Vec::new(),
+            precedences: Vec::new(),
+            memberships: Vec::new(),
+        }
+    }
+
+    /// The structure this builder constructs computations over.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Adds an event of `class` at `element` carrying `params`.
+    ///
+    /// The event receives the next occurrence number at its element; the
+    /// element order between events at the same element follows insertion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownElement`] / [`BuildError::UnknownClass`]
+    /// for foreign ids. Whether `class` is *allowed* at `element` is a
+    /// legality question left to [`check_legality`](crate::check_legality).
+    pub fn add_event(
+        &mut self,
+        element: ElementId,
+        class: ClassId,
+        params: Vec<Value>,
+    ) -> Result<EventId, BuildError> {
+        if element.index() >= self.structure.element_count() {
+            return Err(BuildError::UnknownElement(element));
+        }
+        if class.index() >= self.structure.class_count() {
+            return Err(BuildError::UnknownClass(class));
+        }
+        let id = EventId::from_raw(self.events.len() as u32);
+        let seq = self.element_counts[element.index()];
+        self.element_counts[element.index()] += 1;
+        self.events.push(Event {
+            id,
+            element,
+            class,
+            seq,
+            params,
+            threads: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Records the enable edge `from ⊳ to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownEvent`] if either endpoint has not been
+    /// added. Cycles are reported at [`ComputationBuilder::seal`].
+    pub fn enable(&mut self, from: EventId, to: EventId) -> Result<(), BuildError> {
+        if from.index() >= self.events.len() {
+            return Err(BuildError::UnknownEvent(from));
+        }
+        if to.index() >= self.events.len() {
+            return Err(BuildError::UnknownEvent(to));
+        }
+        self.enables.push((from, to));
+        Ok(())
+    }
+
+    /// Records a pure temporal-precedence constraint `before ⇒ after`
+    /// without an enable edge or element order between the events.
+    ///
+    /// GEM derives the temporal order from the enable relation and the
+    /// element order; a *projection* of a computation onto significant
+    /// objects (§9), however, must preserve the temporal order the
+    /// significant events had in the full computation even where the
+    /// mediating (insignificant) events are gone. This method is the
+    /// device for that: the pair contributes to the temporal order only —
+    /// it does not appear in [`Computation::enables`] or the element
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownEvent`] if either endpoint has not
+    /// been added. Cycles are reported at [`ComputationBuilder::seal`].
+    pub fn add_precedence(&mut self, before: EventId, after: EventId) -> Result<(), BuildError> {
+        if before.index() >= self.events.len() {
+            return Err(BuildError::UnknownEvent(before));
+        }
+        if after.index() >= self.events.len() {
+            return Err(BuildError::UnknownEvent(after));
+        }
+        self.precedences.push((before, after));
+        Ok(())
+    }
+
+    /// Declares that an already-added event represents a dynamic group
+    /// change (§5): from `event` onwards, `member` belongs to `group`.
+    ///
+    /// Group structure grows monotonically; the new membership affects the
+    /// access rules for enable edges whose *source* temporally follows (or
+    /// is) the membership event — see
+    /// [`check_legality`](crate::check_legality).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownEvent`] if the event has not been
+    /// added; unknown group/member ids surface as panics at legality
+    /// checking, matching [`Structure::add_member`]'s validation there.
+    pub fn add_membership_event(
+        &mut self,
+        event: EventId,
+        group: crate::GroupId,
+        member: crate::NodeRef,
+    ) -> Result<(), BuildError> {
+        if event.index() >= self.events.len() {
+            return Err(BuildError::UnknownEvent(event));
+        }
+        self.memberships.push(Membership {
+            event,
+            group,
+            member,
+        });
+        Ok(())
+    }
+
+    /// Attaches a thread tag to an event (§8.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownEvent`] if the event has not been added.
+    pub fn tag_thread(&mut self, event: EventId, tag: ThreadTag) -> Result<(), BuildError> {
+        let ev = self
+            .events
+            .get_mut(event.index())
+            .ok_or(BuildError::UnknownEvent(event))?;
+        if !ev.threads.contains(&tag) {
+            ev.threads.push(tag);
+        }
+        Ok(())
+    }
+
+    /// Number of events added so far.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Seals the builder: computes the temporal order and checks that it is
+    /// a strict partial order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Cyclic`] if the union of the enable relation
+    /// and the element order is cyclic.
+    pub fn seal(self) -> Result<Computation, BuildError> {
+        let n = self.events.len();
+        // Element order contributes consecutive-occurrence edges; its
+        // transitive closure is recovered by the overall closure.
+        let mut element_events: Vec<Vec<EventId>> =
+            vec![Vec::new(); self.structure.element_count()];
+        for ev in &self.events {
+            element_events[ev.element.index()].push(ev.id);
+        }
+        let mut edges = self.enables.clone();
+        edges.extend(self.precedences.iter().copied());
+        for evs in &element_events {
+            for pair in evs.windows(2) {
+                edges.push((pair[0], pair[1]));
+            }
+        }
+        let closure = Closure::from_edges(n, &edges)?;
+        let mut enables_out: Vec<Vec<EventId>> = vec![Vec::new(); n];
+        let mut enables_in: Vec<Vec<EventId>> = vec![Vec::new(); n];
+        for &(a, b) in &self.enables {
+            if !enables_out[a.index()].contains(&b) {
+                enables_out[a.index()].push(b);
+                enables_in[b.index()].push(a);
+            }
+        }
+        Ok(Computation {
+            structure: self.structure,
+            events: self.events,
+            enables_out,
+            enables_in,
+            element_events,
+            closure,
+            memberships: self.memberships,
+        })
+    }
+}
+
+/// A complete, sealed GEM computation.
+///
+/// Exposes the three relations of the model: the enable relation
+/// ([`Computation::enables`]), the element order
+/// ([`Computation::element_precedes`]), and the temporal order
+/// ([`Computation::temporally_precedes`]), which is by construction the
+/// transitive closure of the former two minus identity.
+#[derive(Clone, Debug)]
+pub struct Computation {
+    structure: Arc<Structure>,
+    events: Vec<Event>,
+    enables_out: Vec<Vec<EventId>>,
+    enables_in: Vec<Vec<EventId>>,
+    element_events: Vec<Vec<EventId>>,
+    closure: Closure,
+    memberships: Vec<Membership>,
+}
+
+impl Computation {
+    /// An empty computation over `structure`.
+    pub fn empty(structure: impl Into<Arc<Structure>>) -> Self {
+        ComputationBuilder::new(structure)
+            .seal()
+            .expect("empty computation cannot be cyclic")
+    }
+
+    /// The static structure this computation is over.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Shared handle to the structure (cheap to clone).
+    pub fn structure_arc(&self) -> Arc<Structure> {
+        Arc::clone(&self.structure)
+    }
+
+    /// Number of events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the computation has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this computation.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// All events, in id order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates over the ids of all events.
+    pub fn event_ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.events.len()).map(|i| EventId::from_raw(i as u32))
+    }
+
+    /// Ids of events of class `class`, in id order.
+    pub fn events_of_class(&self, class: ClassId) -> impl Iterator<Item = EventId> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.class == class)
+            .map(|e| e.id)
+    }
+
+    /// Events at `element`, in element order.
+    pub fn events_at(&self, element: ElementId) -> &[EventId] {
+        &self.element_events[element.index()]
+    }
+
+    /// The `i`-th event at `element` (the paper's `EL^i`), if it occurred.
+    pub fn nth_at(&self, element: ElementId, i: usize) -> Option<EventId> {
+        self.element_events[element.index()].get(i).copied()
+    }
+
+    /// True if `from ⊳ to` is a (direct) enable edge.
+    pub fn enables(&self, from: EventId, to: EventId) -> bool {
+        self.enables_out[from.index()].contains(&to)
+    }
+
+    /// Events directly enabled by `e`.
+    pub fn enabled_from(&self, e: EventId) -> &[EventId] {
+        &self.enables_out[e.index()]
+    }
+
+    /// Events that directly enable `e`.
+    pub fn enablers_of(&self, e: EventId) -> &[EventId] {
+        &self.enables_in[e.index()]
+    }
+
+    /// Iterates over all enable edges.
+    pub fn enable_edges(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.enables_out
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |&b| (EventId::from_raw(i as u32), b)))
+    }
+
+    /// True if `a ⇒ₑ b`: same element and `a` occurs earlier (§5 — partial,
+    /// irreflexive, transitive; total within an element).
+    pub fn element_precedes(&self, a: EventId, b: EventId) -> bool {
+        let (ea, eb) = (&self.events[a.index()], &self.events[b.index()]);
+        ea.element == eb.element && ea.seq < eb.seq
+    }
+
+    /// True if `a ⇒ b` in the temporal order.
+    pub fn temporally_precedes(&self, a: EventId, b: EventId) -> bool {
+        self.closure.precedes(a, b)
+    }
+
+    /// True if `a` and `b` are potentially concurrent (distinct, unordered).
+    pub fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        self.closure.concurrent(a, b)
+    }
+
+    /// The materialised temporal order.
+    pub fn closure(&self) -> &Closure {
+        &self.closure
+    }
+
+    /// `new(e)` (§8.2): no event observably follows `e` in this
+    /// computation.
+    pub fn is_new(&self, e: EventId) -> bool {
+        self.closure.successors(e).is_empty()
+    }
+
+    /// `e1 at E2` (§8.2): `e1` occurred and has not enabled an event of
+    /// class `class`.
+    pub fn at_control_point(&self, e: EventId, class: ClassId) -> bool {
+        !self.enables_out[e.index()]
+            .iter()
+            .any(|&s| self.events[s.index()].class == class)
+    }
+
+    /// The dynamic group-structure changes of this computation (§5), in
+    /// declaration order.
+    pub fn memberships(&self) -> &[Membership] {
+        &self.memberships
+    }
+
+    /// The structure as seen by `event`: the static structure plus every
+    /// dynamic membership whose event temporally precedes (or is)
+    /// `event`. Groups grow monotonically along the temporal order.
+    ///
+    /// Returns the shared static structure unchanged when no dynamic
+    /// membership applies, so the common case allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a membership references ids foreign to the structure or
+    /// would create a group cycle.
+    pub fn structure_at(&self, event: EventId) -> Arc<Structure> {
+        let applicable: Vec<&Membership> = self
+            .memberships
+            .iter()
+            .filter(|m| m.event == event || self.closure.precedes(m.event, event))
+            .collect();
+        if applicable.is_empty() {
+            return Arc::clone(&self.structure);
+        }
+        let mut s = (*self.structure).clone();
+        for m in applicable {
+            s.add_member(m.group, m.member)
+                .expect("membership event ids are valid and acyclic");
+        }
+        Arc::new(s)
+    }
+
+    /// Returns a copy of this computation with every event's thread tags
+    /// replaced by `tags(event_id)`.
+    ///
+    /// Thread assignment (§8.3) is often inferred *after* a computation is
+    /// built (e.g. by matching path expressions); this rebuilds the event
+    /// records without recomputing the temporal order, which is unaffected
+    /// by tags.
+    pub fn retagged(&self, mut tags: impl FnMut(EventId) -> Vec<ThreadTag>) -> Computation {
+        let mut copy = self.clone();
+        for ev in &mut copy.events {
+            ev.threads = tags(ev.id);
+        }
+        copy
+    }
+
+    /// Events with no temporal predecessor (the minimal events).
+    pub fn minimal_events(&self) -> Vec<EventId> {
+        self.event_ids()
+            .filter(|&e| self.closure.predecessors(e).is_empty())
+            .collect()
+    }
+
+    /// Events with no temporal successor (the maximal events).
+    pub fn maximal_events(&self) -> Vec<EventId> {
+        self.event_ids().filter(|&e| self.is_new(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var_structure() -> (Structure, ElementId, ClassId, ClassId) {
+        let mut s = Structure::new();
+        let assign = s.add_class("Assign", &["newval"]).unwrap();
+        let getval = s.add_class("Getval", &["oldval"]).unwrap();
+        let var = s.add_element("Var", &[assign, getval]).unwrap();
+        (s, var, assign, getval)
+    }
+
+    #[test]
+    fn element_order_is_total_at_element() {
+        let (s, var, assign, getval) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![Value::Int(1)]).unwrap();
+        let g1 = b.add_event(var, getval, vec![Value::Int(1)]).unwrap();
+        let a2 = b.add_event(var, assign, vec![Value::Int(2)]).unwrap();
+        let c = b.seal().unwrap();
+        assert!(c.element_precedes(a1, g1));
+        assert!(c.element_precedes(g1, a2));
+        assert!(c.element_precedes(a1, a2), "element order is transitive");
+        assert!(!c.element_precedes(a2, a1));
+        // Element order feeds the temporal order even without enables.
+        assert!(c.temporally_precedes(a1, a2));
+        assert!(!c.concurrent(a1, g1));
+    }
+
+    #[test]
+    fn occurrence_numbers_assigned_in_order() {
+        let (s, var, assign, _) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![Value::Int(1)]).unwrap();
+        let a2 = b.add_event(var, assign, vec![Value::Int(2)]).unwrap();
+        let c = b.seal().unwrap();
+        assert_eq!(c.event(a1).seq(), 0);
+        assert_eq!(c.event(a2).seq(), 1);
+        assert_eq!(c.nth_at(var, 0), Some(a1));
+        assert_eq!(c.nth_at(var, 1), Some(a2));
+        assert_eq!(c.nth_at(var, 2), None);
+        assert_eq!(c.events_at(var), &[a1, a2]);
+    }
+
+    #[test]
+    fn enable_vs_element_order_distinction() {
+        // §5: two assignments to Var from different processes are related
+        // by the element order but NOT the enable relation.
+        let mut s = Structure::new();
+        let assign = s.add_class("Assign", &["newval"]).unwrap();
+        let var = s.add_element("Var", &[assign]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let assign1 = b.add_event(var, assign, vec![Value::Int(1)]).unwrap();
+        let assign2 = b.add_event(var, assign, vec![Value::Int(2)]).unwrap();
+        let c = b.seal().unwrap();
+        assert!(!c.enables(assign1, assign2));
+        assert!(c.element_precedes(assign1, assign2));
+        assert!(c.temporally_precedes(assign1, assign2));
+    }
+
+    #[test]
+    fn cyclic_enable_rejected_at_seal() {
+        let (s, var, assign, _) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![]).unwrap();
+        let a2 = b.add_event(var, assign, vec![]).unwrap();
+        // Element order says a1 before a2; enabling a2 ⊳ a1 closes a cycle.
+        b.enable(a2, a1).unwrap();
+        assert!(matches!(b.seal(), Err(BuildError::Cyclic(_))));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let (s, var, assign, _) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        assert!(matches!(
+            b.add_event(ElementId::from_raw(9), assign, vec![]),
+            Err(BuildError::UnknownElement(_))
+        ));
+        assert!(matches!(
+            b.add_event(var, ClassId::from_raw(9), vec![]),
+            Err(BuildError::UnknownClass(_))
+        ));
+        let e = b.add_event(var, assign, vec![]).unwrap();
+        assert!(matches!(
+            b.enable(e, EventId::from_raw(5)),
+            Err(BuildError::UnknownEvent(_))
+        ));
+        assert!(matches!(
+            b.tag_thread(EventId::from_raw(5), crate::ThreadTag::new(crate::ThreadTypeId::from_raw(0), 0)),
+            Err(BuildError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn class_and_element_queries() {
+        let (s, var, assign, getval) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![]).unwrap();
+        let g1 = b.add_event(var, getval, vec![]).unwrap();
+        let c = b.seal().unwrap();
+        assert_eq!(c.events_of_class(assign).collect::<Vec<_>>(), vec![a1]);
+        assert_eq!(c.events_of_class(getval).collect::<Vec<_>>(), vec![g1]);
+        assert_eq!(c.event_count(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn minimal_maximal_and_new() {
+        let (s, var, assign, _) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![]).unwrap();
+        let a2 = b.add_event(var, assign, vec![]).unwrap();
+        let c = b.seal().unwrap();
+        assert_eq!(c.minimal_events(), vec![a1]);
+        assert_eq!(c.maximal_events(), vec![a2]);
+        assert!(c.is_new(a2));
+        assert!(!c.is_new(a1));
+    }
+
+    #[test]
+    fn at_control_point() {
+        let mut s = Structure::new();
+        let req = s.add_class("Req", &[]).unwrap();
+        let start = s.add_class("Start", &[]).unwrap();
+        let ctl = s.add_element("Control", &[req, start]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let r1 = b.add_event(ctl, req, vec![]).unwrap();
+        let r2 = b.add_event(ctl, req, vec![]).unwrap();
+        let s1 = b.add_event(ctl, start, vec![]).unwrap();
+        b.enable(r1, s1).unwrap();
+        let c = b.seal().unwrap();
+        // r1 has enabled a Start, so it is no longer "at Start"; r2 is.
+        assert!(!c.at_control_point(r1, start));
+        assert!(c.at_control_point(r2, start));
+    }
+
+    #[test]
+    fn duplicate_enable_edges_collapse() {
+        let (s, var, assign, _) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![]).unwrap();
+        let a2 = b.add_event(var, assign, vec![]).unwrap();
+        b.enable(a1, a2).unwrap();
+        b.enable(a1, a2).unwrap();
+        let c = b.seal().unwrap();
+        assert_eq!(c.enabled_from(a1), &[a2]);
+        assert_eq!(c.enablers_of(a2), &[a1]);
+        assert_eq!(c.enable_edges().count(), 1);
+    }
+
+    #[test]
+    fn precedence_orders_without_enabling() {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p = s.add_element("P", &[act]).unwrap();
+        let q = s.add_element("Q", &[act]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p, act, vec![]).unwrap();
+        let e2 = b.add_event(q, act, vec![]).unwrap();
+        b.add_precedence(e1, e2).unwrap();
+        let c = b.seal().unwrap();
+        assert!(c.temporally_precedes(e1, e2));
+        assert!(!c.enables(e1, e2), "precedence is not an enable edge");
+        assert!(!c.element_precedes(e1, e2));
+        assert!(!c.concurrent(e1, e2));
+    }
+
+    #[test]
+    fn cyclic_precedence_rejected() {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p = s.add_element("P", &[act]).unwrap();
+        let q = s.add_element("Q", &[act]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p, act, vec![]).unwrap();
+        let e2 = b.add_event(q, act, vec![]).unwrap();
+        b.enable(e1, e2).unwrap();
+        b.add_precedence(e2, e1).unwrap();
+        assert!(matches!(b.seal(), Err(BuildError::Cyclic(_))));
+        let mut b2 = ComputationBuilder::new(Structure::new());
+        assert!(matches!(
+            b2.add_precedence(EventId::from_raw(0), EventId::from_raw(1)),
+            Err(BuildError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn empty_computation() {
+        let (s, _, _, _) = var_structure();
+        let c = Computation::empty(s);
+        assert!(c.is_empty());
+        assert_eq!(c.event_count(), 0);
+        assert!(c.minimal_events().is_empty());
+    }
+}

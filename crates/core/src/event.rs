@@ -1,0 +1,111 @@
+//! Events: the atomic occurrences of a GEM computation (§4).
+//!
+//! An event is a unique occurrence with identity, an owning element, an
+//! event class, data parameters, and thread tags. Because all events at an
+//! element are totally ordered, an event is uniquely named by its element
+//! and occurrence number (`Var.assign_i`, or simply `Var^i`); the
+//! [`Event::seq`] accessor exposes that occurrence number.
+
+use crate::{ClassId, ElementId, EventId, ThreadTag, ThreadTypeId, Value};
+
+/// A single event occurrence.
+///
+/// Events are created through
+/// [`ComputationBuilder`](crate::ComputationBuilder) and owned by their
+/// [`Computation`](crate::Computation); this type is a read-only record.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Event {
+    pub(crate) id: EventId,
+    pub(crate) element: ElementId,
+    pub(crate) class: ClassId,
+    pub(crate) seq: u32,
+    pub(crate) params: Vec<Value>,
+    pub(crate) threads: Vec<ThreadTag>,
+}
+
+impl Event {
+    /// The event's identity within its computation.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// The element at which this event occurs (`e @ EL`).
+    pub fn element(&self) -> ElementId {
+        self.element
+    }
+
+    /// The event class this event belongs to.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The occurrence number at its element (0-based): this event is the
+    /// `seq`-th event at [`Event::element`] in the element order.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// The data parameters, positionally matching the class declaration.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    /// The `index`-th data parameter, if present.
+    pub fn param(&self, index: usize) -> Option<&Value> {
+        self.params.get(index)
+    }
+
+    /// The thread tags this event carries (§8.3).
+    pub fn threads(&self) -> &[ThreadTag] {
+        &self.threads
+    }
+
+    /// True if this event belongs to thread instance `tag`.
+    pub fn in_thread(&self, tag: ThreadTag) -> bool {
+        self.threads.contains(&tag)
+    }
+
+    /// The instance tag of thread type `ty` on this event, if any.
+    pub fn thread_of_type(&self, ty: ThreadTypeId) -> Option<ThreadTag> {
+        self.threads.iter().copied().find(|t| t.thread_type() == ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            id: EventId::from_raw(5),
+            element: ElementId::from_raw(1),
+            class: ClassId::from_raw(2),
+            seq: 3,
+            params: vec![Value::Int(7), Value::from("x")],
+            threads: vec![ThreadTag::new(ThreadTypeId::from_raw(0), 2)],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = sample();
+        assert_eq!(e.id(), EventId::from_raw(5));
+        assert_eq!(e.element(), ElementId::from_raw(1));
+        assert_eq!(e.class(), ClassId::from_raw(2));
+        assert_eq!(e.seq(), 3);
+        assert_eq!(e.param(0), Some(&Value::Int(7)));
+        assert_eq!(e.param(2), None);
+        assert_eq!(e.params().len(), 2);
+    }
+
+    #[test]
+    fn thread_queries() {
+        let e = sample();
+        let tag = ThreadTag::new(ThreadTypeId::from_raw(0), 2);
+        let other = ThreadTag::new(ThreadTypeId::from_raw(0), 3);
+        assert!(e.in_thread(tag));
+        assert!(!e.in_thread(other));
+        assert_eq!(e.thread_of_type(ThreadTypeId::from_raw(0)), Some(tag));
+        assert_eq!(e.thread_of_type(ThreadTypeId::from_raw(1)), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Typed identifiers for the objects of a GEM computation.
+//!
+//! Every object in a GEM structure — events, elements, groups, event
+//! classes, thread types — is referred to through a small copyable id
+//! newtype ([C-NEWTYPE]). Ids are indices into the owning
+//! [`Structure`](crate::Structure) or [`Computation`](crate::Computation)
+//! and are only meaningful relative to the object that issued them.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $tag:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Normally ids are issued by a [`Structure`](crate::Structure)
+            /// or builder; this constructor exists for tests and for
+            /// deserialization-like workflows where indices are known.
+            pub const fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this id.
+            pub const fn as_raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the id as a `usize`, for indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $tag, self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a single event occurrence within a computation.
+    EventId,
+    "e"
+);
+id_type!(
+    /// Identifier of an element (a locus of forced sequential activity).
+    ElementId,
+    "EL"
+);
+id_type!(
+    /// Identifier of a group (a semantic clustering of elements/groups).
+    GroupId,
+    "G"
+);
+id_type!(
+    /// Identifier of an event class (a set of similar events, e.g. `Assign`).
+    ClassId,
+    "cls"
+);
+id_type!(
+    /// Identifier of a thread *type* (a path-expression pattern, §8.3).
+    ThreadTypeId,
+    "pi"
+);
+
+/// A thread *instance* tag carried by an event: which thread type it belongs
+/// to and which instance of that type (e.g. `pi_RW-3`).
+///
+/// The paper (§8.3) associates a fresh thread identifier with each chain of
+/// enabled events matching a thread type's path expression; `ThreadTag` is
+/// that identifier.
+///
+/// # Examples
+///
+/// ```
+/// use gem_core::{ThreadTag, ThreadTypeId};
+/// let tag = ThreadTag::new(ThreadTypeId::from_raw(0), 3);
+/// assert_eq!(tag.instance(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadTag {
+    ty: ThreadTypeId,
+    instance: u32,
+}
+
+impl ThreadTag {
+    /// Creates a tag for instance `instance` of thread type `ty`.
+    pub const fn new(ty: ThreadTypeId, instance: u32) -> Self {
+        Self { ty, instance }
+    }
+
+    /// The thread type this tag instantiates.
+    pub const fn thread_type(self) -> ThreadTypeId {
+        self.ty
+    }
+
+    /// The instance number, unique per thread type within a computation.
+    pub const fn instance(self) -> u32 {
+        self.instance
+    }
+}
+
+impl fmt::Display for ThreadTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.ty, self.instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        let e = EventId::from_raw(7);
+        assert_eq!(e.as_raw(), 7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(u32::from(e), 7);
+    }
+
+    #[test]
+    fn ids_display_with_tag() {
+        assert_eq!(EventId::from_raw(3).to_string(), "e3");
+        assert_eq!(ElementId::from_raw(0).to_string(), "EL0");
+        assert_eq!(GroupId::from_raw(2).to_string(), "G2");
+        assert_eq!(ClassId::from_raw(9).to_string(), "cls9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(EventId::from_raw(1) < EventId::from_raw(2));
+    }
+
+    #[test]
+    fn thread_tag_accessors() {
+        let tag = ThreadTag::new(ThreadTypeId::from_raw(1), 4);
+        assert_eq!(tag.thread_type(), ThreadTypeId::from_raw(1));
+        assert_eq!(tag.instance(), 4);
+        assert_eq!(tag.to_string(), "pi1-4");
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        #![allow(unused)]
+        // Compile-time property: EventId and ElementId are distinct types.
+        fn takes_event(_: EventId) {}
+        takes_event(EventId::from_raw(0));
+    }
+}

@@ -1,0 +1,396 @@
+//! GEM legality restrictions (§3, §4): the properties every legal
+//! computation must satisfy regardless of specification.
+//!
+//! Some legality properties are enforced by construction in this
+//! reproduction — every event belongs to exactly one element
+//! (the builder requires an element per event), the element order is total
+//! per element (occurrence numbering), and the temporal order is the
+//! transitive closure of enable ∪ element order, irreflexive by the
+//! acyclicity check at [`seal`](crate::ComputationBuilder::seal). The
+//! remaining checks live here:
+//!
+//! * every event's class is among the classes its element declares,
+//! * every event's parameter list matches its class's arity,
+//! * every enable edge respects the group scope rules (`access`/ports).
+
+use std::fmt;
+
+use crate::{ClassId, Computation, ElementId, EventId};
+
+/// A single legality violation found in a computation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// An event's class is not declared at its element.
+    ClassNotAllowed {
+        /// The offending event.
+        event: EventId,
+        /// The element the event occurred at.
+        element: ElementId,
+        /// The undeclared class.
+        class: ClassId,
+    },
+    /// An event's parameter count does not match its class declaration.
+    ArityMismatch {
+        /// The offending event.
+        event: EventId,
+        /// Arity the class declares.
+        expected: usize,
+        /// Arity the event carries.
+        actual: usize,
+    },
+    /// An enable edge crosses a group firewall (footnote 4's rule fails).
+    AccessViolation {
+        /// Source of the enable edge.
+        from: EventId,
+        /// Target of the enable edge.
+        to: EventId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ClassNotAllowed {
+                event,
+                element,
+                class,
+            } => write!(f, "event {event}: class {class} not declared at {element}"),
+            Violation::ArityMismatch {
+                event,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "event {event}: expected {expected} parameters, found {actual}"
+            ),
+            Violation::AccessViolation { from, to } => {
+                write!(f, "enable edge {from} -> {to} violates group access rules")
+            }
+        }
+    }
+}
+
+impl Violation {
+    /// A human-readable description using names from the computation's
+    /// structure.
+    pub fn describe(&self, c: &Computation) -> String {
+        let s = c.structure();
+        match self {
+            Violation::ClassNotAllowed {
+                event,
+                element,
+                class,
+            } => format!(
+                "event {event}: class {:?} is not declared at element {:?}",
+                s.class_info(*class).name(),
+                s.element_info(*element).name()
+            ),
+            Violation::ArityMismatch {
+                event,
+                expected,
+                actual,
+            } => {
+                let ev = c.event(*event);
+                format!(
+                    "event {event} ({}.{}): class declares {expected} parameters, event carries {actual}",
+                    s.element_info(ev.element()).name(),
+                    s.class_info(ev.class()).name()
+                )
+            }
+            Violation::AccessViolation { from, to } => {
+                let (ef, et) = (c.event(*from), c.event(*to));
+                format!(
+                    "enable edge {}.{} -> {}.{} violates group access rules",
+                    s.element_info(ef.element()).name(),
+                    s.class_info(ef.class()).name(),
+                    s.element_info(et.element()).name(),
+                    s.class_info(et.class()).name()
+                )
+            }
+        }
+    }
+}
+
+/// Checks the non-structural legality restrictions of a computation,
+/// returning every violation found (empty means legal).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gem_core::{check_legality, ComputationBuilder, Structure};
+/// let mut s = Structure::new();
+/// let act = s.add_class("Act", &[])?;
+/// let el = s.add_element("P", &[act])?;
+/// let mut b = ComputationBuilder::new(s);
+/// b.add_event(el, act, vec![])?;
+/// let c = b.seal()?;
+/// assert!(check_legality(&c).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_legality(c: &Computation) -> Vec<Violation> {
+    let s = c.structure();
+    let mut violations = Vec::new();
+    for ev in c.events() {
+        if !s.element_info(ev.element()).allows(ev.class()) {
+            violations.push(Violation::ClassNotAllowed {
+                event: ev.id(),
+                element: ev.element(),
+                class: ev.class(),
+            });
+        }
+        let expected = s.class_info(ev.class()).arity();
+        if ev.params().len() != expected {
+            violations.push(Violation::ArityMismatch {
+                event: ev.id(),
+                expected,
+                actual: ev.params().len(),
+            });
+        }
+    }
+    let dynamic = !c.memberships().is_empty();
+    for (from, to) in c.enable_edges() {
+        let (ef, et) = (c.event(from), c.event(to));
+        let allowed = if dynamic {
+            // Dynamic group structures (§5): the access rules in force for
+            // an edge are those established by membership events that
+            // temporally precede its source.
+            c.structure_at(from)
+                .may_enable(ef.element(), et.element(), et.class())
+        } else {
+            s.may_enable(ef.element(), et.element(), et.class())
+        };
+        if !allowed {
+            violations.push(Violation::AccessViolation { from, to });
+        }
+    }
+    violations
+}
+
+/// True if [`check_legality`] finds no violation.
+pub fn is_legal(c: &Computation) -> bool {
+    check_legality(c).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComputationBuilder, Structure, Value};
+
+    #[test]
+    fn legal_computation_passes() {
+        let mut s = Structure::new();
+        let assign = s.add_class("Assign", &["newval"]).unwrap();
+        let var = s.add_element("Var", &[assign]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        b.add_event(var, assign, vec![Value::Int(1)]).unwrap();
+        let c = b.seal().unwrap();
+        assert!(is_legal(&c));
+    }
+
+    #[test]
+    fn undeclared_class_flagged() {
+        let mut s = Structure::new();
+        let assign = s.add_class("Assign", &[]).unwrap();
+        let getval = s.add_class("Getval", &[]).unwrap();
+        let var = s.add_element("Var", &[assign]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e = b.add_event(var, getval, vec![]).unwrap();
+        let c = b.seal().unwrap();
+        let vs = check_legality(&c);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(
+            vs[0],
+            Violation::ClassNotAllowed { event, .. } if event == e
+        ));
+        assert!(vs[0].describe(&c).contains("Getval"));
+    }
+
+    #[test]
+    fn arity_mismatch_flagged() {
+        let mut s = Structure::new();
+        let assign = s.add_class("Assign", &["newval"]).unwrap();
+        let var = s.add_element("Var", &[assign]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        b.add_event(var, assign, vec![]).unwrap();
+        let c = b.seal().unwrap();
+        let vs = check_legality(&c);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(
+            vs[0],
+            Violation::ArityMismatch {
+                expected: 1,
+                actual: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn firewall_enable_flagged() {
+        // Two disjoint process groups; a direct enable between them is
+        // illegal.
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p1 = s.add_element("P1", &[act]).unwrap();
+        let p2 = s.add_element("P2", &[act]).unwrap();
+        s.add_group("G1", &[p1.into()]).unwrap();
+        s.add_group("G2", &[p2.into()]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p1, act, vec![]).unwrap();
+        let e2 = b.add_event(p2, act, vec![]).unwrap();
+        b.enable(e1, e2).unwrap();
+        let c = b.seal().unwrap();
+        let vs = check_legality(&c);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(vs[0], Violation::AccessViolation { .. }));
+        assert!(vs[0].describe(&c).contains("P1"));
+    }
+
+    #[test]
+    fn port_enable_allowed() {
+        let mut s = Structure::new();
+        let start = s.add_class("Start", &[]).unwrap();
+        let inner = s.add_class("Inner", &[]).unwrap();
+        let oper = s.add_element("Oper", &[start, inner]).unwrap();
+        let client = s.add_element("Client", &[start]).unwrap();
+        let g = s.add_group("Abstraction", &[oper.into()]).unwrap();
+        s.add_port(g, oper, start).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let call = b.add_event(client, start, vec![]).unwrap();
+        let entry = b.add_event(oper, start, vec![]).unwrap();
+        let hidden = b.add_event(oper, inner, vec![]).unwrap();
+        b.enable(call, entry).unwrap();
+        b.enable(entry, hidden).unwrap();
+        let c = b.seal().unwrap();
+        assert!(is_legal(&c), "{:?}", check_legality(&c));
+    }
+
+    #[test]
+    fn non_port_enable_into_group_flagged() {
+        let mut s = Structure::new();
+        let start = s.add_class("Start", &[]).unwrap();
+        let inner = s.add_class("Inner", &[]).unwrap();
+        let oper = s.add_element("Oper", &[start, inner]).unwrap();
+        let client = s.add_element("Client", &[start]).unwrap();
+        let g = s.add_group("Abstraction", &[oper.into()]).unwrap();
+        s.add_port(g, oper, start).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let call = b.add_event(client, start, vec![]).unwrap();
+        let hidden = b.add_event(oper, inner, vec![]).unwrap();
+        b.enable(call, hidden).unwrap();
+        let c = b.seal().unwrap();
+        assert_eq!(check_legality(&c).len(), 1);
+    }
+
+    /// Dynamic group structures (§5): a channel group is created at run
+    /// time by a membership event; communication across the firewall is
+    /// illegal before it and legal after it.
+    #[test]
+    fn dynamic_membership_opens_access() {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let spawn = s.add_class("Spawn", &[]).unwrap();
+        let p1 = s.add_element("P1", &[act, spawn]).unwrap();
+        let p2 = s.add_element("P2", &[act]).unwrap();
+        let g1 = s.add_group("G1", &[p1.into()]).unwrap();
+        s.add_group("G2", &[p2.into()]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p1, spawn, vec![]).unwrap();
+        let e2 = b.add_event(p1, act, vec![]).unwrap();
+        let e3 = b.add_event(p2, act, vec![]).unwrap();
+        b.enable(e1, e2).unwrap();
+        b.enable(e2, e3).unwrap(); // crosses G1 → G2
+        // The spawn event admits P2 into G1: from e1 onwards, P1 and P2
+        // share a group, so e2 ⊳ e3 is legal.
+        b.add_membership_event(e1, g1, p2.into()).unwrap();
+        let c = b.seal().unwrap();
+        assert!(is_legal(&c), "{:?}", check_legality(&c));
+    }
+
+    #[test]
+    fn membership_not_in_force_before_its_event() {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p1 = s.add_element("P1", &[act]).unwrap();
+        let p2 = s.add_element("P2", &[act]).unwrap();
+        let g1 = s.add_group("G1", &[p1.into()]).unwrap();
+        s.add_group("G2", &[p2.into()]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let cross = b.add_event(p1, act, vec![]).unwrap();
+        let target = b.add_event(p2, act, vec![]).unwrap();
+        let later = b.add_event(p1, act, vec![]).unwrap();
+        b.enable(cross, target).unwrap();
+        // The membership event comes temporally AFTER the crossing edge's
+        // source, so it does not legalize it.
+        b.add_membership_event(later, g1, p2.into()).unwrap();
+        let c = b.seal().unwrap();
+        let vs = check_legality(&c);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(vs[0], Violation::AccessViolation { .. }));
+    }
+
+    #[test]
+    fn membership_concurrent_with_source_not_in_force() {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p1 = s.add_element("P1", &[act]).unwrap();
+        let p2 = s.add_element("P2", &[act]).unwrap();
+        let p3 = s.add_element("P3", &[act]).unwrap();
+        let g1 = s.add_group("G1", &[p1.into()]).unwrap();
+        s.add_group("G2", &[p2.into()]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let cross = b.add_event(p1, act, vec![]).unwrap();
+        let target = b.add_event(p2, act, vec![]).unwrap();
+        // A concurrent third-party event carries the membership change.
+        let unrelated = b.add_event(p3, act, vec![]).unwrap();
+        b.enable(cross, target).unwrap();
+        b.add_membership_event(unrelated, g1, p2.into()).unwrap();
+        let c = b.seal().unwrap();
+        assert!(c.concurrent(cross, unrelated));
+        assert_eq!(check_legality(&c).len(), 1, "no observable order, no access");
+    }
+
+    #[test]
+    fn structure_at_grows_monotonically() {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p1 = s.add_element("P1", &[act]).unwrap();
+        let p2 = s.add_element("P2", &[act]).unwrap();
+        let g1 = s.add_group("G1", &[p1.into()]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p1, act, vec![]).unwrap();
+        let e2 = b.add_event(p1, act, vec![]).unwrap();
+        b.add_membership_event(e1, g1, p2.into()).unwrap();
+        let c = b.seal().unwrap();
+        assert_eq!(c.memberships().len(), 1);
+        // Before/at e1: membership applies at e1 itself and at e2.
+        assert!(c.structure_at(e1).group_info(g1).has_member(p2.into()));
+        assert!(c.structure_at(e2).group_info(g1).has_member(p2.into()));
+        // The static structure is untouched.
+        assert!(!c.structure().group_info(g1).has_member(p2.into()));
+    }
+
+    #[test]
+    fn multiple_violations_all_reported() {
+        let mut s = Structure::new();
+        let a = s.add_class("A", &["p"]).unwrap();
+        let b_cls = s.add_class("B", &[]).unwrap();
+        let el = s.add_element("E", &[a]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        b.add_event(el, b_cls, vec![Value::Int(0)]).unwrap(); // wrong class AND wrong arity
+        let c = b.seal().unwrap();
+        let vs = check_legality(&c);
+        assert_eq!(vs.len(), 2);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::AccessViolation {
+            from: EventId::from_raw(0),
+            to: EventId::from_raw(1),
+        };
+        assert!(v.to_string().contains("access"));
+    }
+}

@@ -1,0 +1,181 @@
+//! ADA tasking program definitions: tasks with entries communicating by
+//! rendezvous (the third language primitive the paper describes in GEM).
+
+use gem_core::Value;
+
+use crate::ast::Expr;
+
+/// An ADA task statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AdaStmt {
+    /// Local assignment.
+    Assign(String, Expr),
+    /// Conditional.
+    If(Expr, Vec<AdaStmt>, Vec<AdaStmt>),
+    /// Loop.
+    While(Expr, Vec<AdaStmt>),
+    /// Call an entry of another task (blocks until the rendezvous
+    /// completes).
+    EntryCall {
+        /// Callee task name.
+        task: String,
+        /// Entry name.
+        entry: String,
+        /// Argument expressions, evaluated over the caller's locals.
+        args: Vec<Expr>,
+    },
+    /// Accept a call on an entry, executing the body during the
+    /// rendezvous. Bodies may contain only local statements (no nested
+    /// rendezvous).
+    Accept(AcceptArm),
+    /// Selective wait over several accept alternatives with optional
+    /// guards.
+    Select(Vec<SelectBranch>),
+}
+
+/// An accept arm: entry, formal parameters, and rendezvous body.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AcceptArm {
+    /// Entry name.
+    pub entry: String,
+    /// Formal parameter names bound to the call's arguments.
+    pub params: Vec<String>,
+    /// The rendezvous body (local statements only).
+    pub body: Vec<AdaStmt>,
+}
+
+/// One branch of a selective wait.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SelectBranch {
+    /// Optional boolean guard (`when G =>`); `None` is open.
+    pub guard: Option<Expr>,
+    /// The accept alternative.
+    pub accept: AcceptArm,
+}
+
+impl AdaStmt {
+    /// Shorthand for [`AdaStmt::Assign`].
+    pub fn assign(var: impl Into<String>, expr: Expr) -> Self {
+        AdaStmt::Assign(var.into(), expr)
+    }
+
+    /// Shorthand for [`AdaStmt::EntryCall`].
+    pub fn call(task: impl Into<String>, entry: impl Into<String>, args: Vec<Expr>) -> Self {
+        AdaStmt::EntryCall {
+            task: task.into(),
+            entry: entry.into(),
+            args,
+        }
+    }
+
+    /// Shorthand for a parameterless [`AdaStmt::Accept`].
+    pub fn accept(entry: impl Into<String>, body: Vec<AdaStmt>) -> Self {
+        AdaStmt::Accept(AcceptArm {
+            entry: entry.into(),
+            params: Vec::new(),
+            body,
+        })
+    }
+
+    /// Shorthand for an [`AdaStmt::Accept`] with parameters.
+    pub fn accept_with(
+        entry: impl Into<String>,
+        params: &[&str],
+        body: Vec<AdaStmt>,
+    ) -> Self {
+        AdaStmt::Accept(AcceptArm {
+            entry: entry.into(),
+            params: params.iter().map(|s| (*s).to_owned()).collect(),
+            body,
+        })
+    }
+}
+
+/// An ADA task: name, declared entries, locals, and body.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AdaTask {
+    /// Task name.
+    pub name: String,
+    /// Entry names this task accepts.
+    pub entries: Vec<String>,
+    /// Local variables with initial values.
+    pub locals: Vec<(String, Value)>,
+    /// The task body.
+    pub body: Vec<AdaStmt>,
+}
+
+impl AdaTask {
+    /// Creates a task.
+    pub fn new(name: impl Into<String>, body: Vec<AdaStmt>) -> Self {
+        Self {
+            name: name.into(),
+            entries: Vec::new(),
+            locals: Vec::new(),
+            body,
+        }
+    }
+
+    /// Declares an entry.
+    pub fn entry(mut self, name: impl Into<String>) -> Self {
+        self.entries.push(name.into());
+        self
+    }
+
+    /// Declares a local variable.
+    pub fn local(mut self, name: impl Into<String>, init: impl Into<Value>) -> Self {
+        self.locals.push((name.into(), init.into()));
+        self
+    }
+}
+
+/// An ADA program: a closed set of tasks.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct AdaProgram {
+    /// The tasks.
+    pub tasks: Vec<AdaTask>,
+}
+
+impl AdaProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task.
+    pub fn task(mut self, t: AdaTask) -> Self {
+        self.tasks.push(t);
+        self
+    }
+
+    /// Index of the task named `name`.
+    pub fn task_index(&self, name: &str) -> Option<usize> {
+        self.tasks.iter().position(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let server = AdaTask::new(
+            "server",
+            vec![AdaStmt::accept_with(
+                "Put",
+                &["x"],
+                vec![AdaStmt::assign("slot", Expr::var("x"))],
+            )],
+        )
+        .entry("Put")
+        .local("slot", 0i64);
+        let client = AdaTask::new(
+            "client",
+            vec![AdaStmt::call("server", "Put", vec![Expr::int(5)])],
+        );
+        let prog = AdaProgram::new().task(server).task(client);
+        assert_eq!(prog.tasks.len(), 2);
+        assert_eq!(prog.task_index("server"), Some(0));
+        assert_eq!(prog.task_index("nobody"), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! The GEM description of ADA rendezvous as checkable restrictions.
+//!
+//! The tasking/rendezvous rules: every rendezvous start (`Accept`) is
+//! enabled by exactly one entry `Call` and vice versa at most once; every
+//! caller resumption (`Returned`) is enabled by exactly one rendezvous
+//! `Complete`; the extended-rendezvous shape `Call ⇒ Accept ⇒ Complete ⇒
+//! Returned` holds of every served call; and rendezvous of one task never
+//! overlap (the accepting task is sequential).
+
+use gem_core::Computation;
+use gem_logic::{EventSel, Formula};
+use gem_spec::prerequisite;
+
+use crate::ada::sim::AdaSystem;
+
+/// Named restriction formulas for the ADA tasking primitive.
+pub fn ada_restrictions(sys: &AdaSystem) -> Vec<(String, Formula)> {
+    let call = EventSel::of_class(sys.class("Call"));
+    let accept = EventSel::of_class(sys.class("Accept"));
+    let complete = EventSel::of_class(sys.class("Complete"));
+    let returned = EventSel::of_class(sys.class("Returned"));
+
+    // Rendezvous shape: Call → Accept pairing and Complete → Returned
+    // pairing, plus extended-rendezvous ordering.
+    let extended = Formula::forall(
+        "c",
+        call.clone(),
+        Formula::forall(
+            "a",
+            accept.clone(),
+            Formula::enables("c", "a").implies(
+                Formula::exists(
+                    "k",
+                    complete.clone(),
+                    Formula::precedes("a", "k").and(Formula::exists(
+                        "r",
+                        returned.clone(),
+                        Formula::enables("k", "r"),
+                    )),
+                ),
+            ),
+        ),
+    );
+
+    vec![
+        ("call-enables-one-accept".into(), prerequisite(&call, &accept)),
+        (
+            "complete-enables-one-return".into(),
+            prerequisite(&complete, &returned),
+        ),
+        ("extended-rendezvous".into(), extended),
+    ]
+}
+
+/// Rendezvous of the same accepting task never overlap: all `Accept` and
+/// `Complete` events of one task are totally ordered by the temporal
+/// order.
+pub fn rendezvous_sequential(sys: &AdaSystem, computation: &Computation) -> bool {
+    let s = computation.structure();
+    for t in &sys.program().tasks {
+        let Some(group) = s.group(&t.name) else { continue };
+        let interesting: Vec<_> = computation
+            .events()
+            .iter()
+            .filter(|e| {
+                (e.class() == sys.class("Accept") || e.class() == sys.class("Complete"))
+                    && s.contained(e.element().into(), group)
+            })
+            .map(|e| e.id())
+            .collect();
+        for (i, &a) in interesting.iter().enumerate() {
+            for &b in &interesting[i + 1..] {
+                if computation.concurrent(a, b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ada::def::{AdaProgram, AdaStmt, AdaTask};
+    use crate::explore::Explorer;
+    use crate::Expr;
+    use gem_logic::holds_on_computation;
+    use std::ops::ControlFlow;
+
+    fn two_client_server() -> AdaProgram {
+        let server = AdaTask::new(
+            "server",
+            vec![
+                AdaStmt::accept_with("E", &["x"], vec![AdaStmt::assign("v", Expr::var("x"))]),
+                AdaStmt::accept_with("E", &["x"], vec![AdaStmt::assign("v", Expr::var("x"))]),
+            ],
+        )
+        .entry("E")
+        .local("v", 0i64);
+        AdaProgram::new()
+            .task(server)
+            .task(AdaTask::new(
+                "c1",
+                vec![AdaStmt::call("server", "E", vec![Expr::int(1)])],
+            ))
+            .task(AdaTask::new(
+                "c2",
+                vec![AdaStmt::call("server", "E", vec![Expr::int(2)])],
+            ))
+    }
+
+    #[test]
+    fn ada_restrictions_hold_on_all_schedules() {
+        let sys = AdaSystem::new(two_client_server());
+        let restrictions = ada_restrictions(&sys);
+        let mut runs = 0;
+        Explorer::default().for_each_run(&sys, |state, _| {
+            runs += 1;
+            let c = sys.computation(state).unwrap();
+            for (name, f) in &restrictions {
+                assert!(
+                    holds_on_computation(f, &c).unwrap(),
+                    "ADA restriction {name} violated"
+                );
+            }
+            assert!(rendezvous_sequential(&sys, &c));
+            ControlFlow::Continue(())
+        });
+        assert!(runs >= 2, "both arrival orders explored");
+    }
+}

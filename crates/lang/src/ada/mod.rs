@@ -1,0 +1,17 @@
+//! ADA tasking (entries, accept, select, rendezvous), the third language
+//! primitive the paper describes in GEM.
+//!
+//! * [`AdaProgram`]/[`AdaTask`] — program text.
+//! * [`AdaSystem`] — executes programs, emitting GEM computations whose
+//!   served calls carry the extended-rendezvous shape
+//!   `Call ⇒ Accept ⇒ Complete ⇒ Returned`.
+//! * [`ada_restrictions`]/[`rendezvous_sequential`] — the GEM description
+//!   of the primitive.
+
+mod def;
+mod gemspec;
+mod sim;
+
+pub use def::{AcceptArm, AdaProgram, AdaStmt, AdaTask, SelectBranch};
+pub use gemspec::{ada_restrictions, rendezvous_sequential};
+pub use sim::{AdaAction, AdaState, AdaSystem};

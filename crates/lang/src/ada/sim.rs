@@ -1,0 +1,890 @@
+//! Execution of ADA tasking programs into GEM computations.
+//!
+//! Event vocabulary per task `t`:
+//!
+//! | Element | Classes (params) |
+//! |---------|------------------|
+//! | `<t>.flow` | `CallSent(callee, entry)`, `Returned(callee, entry)` |
+//! | `<t>.entry.<e>` | `Call(caller)`, `Accept(caller)`, `Complete(caller)` |
+//! | `<t>.var.<v>` | `Assign(newval)` |
+//!
+//! Each task is a GEM group; its entry `Call` classes and its flow
+//! `Returned` class are ports — calls arrive from outside, and the
+//! rendezvous completion re-enables the caller across the firewall.
+//!
+//! A rendezvous produces `CallSent ⊳ Call ⊳ Accept ⊳ (body) ⊳ Complete ⊳
+//! Returned`, with the caller suspended between `Call` and `Returned` —
+//! GEM's picture of ADA's extended rendezvous. Entry queues are FIFO in
+//! call-arrival order, and arrival order is a scheduler choice, so all
+//! service orders are explored.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use gem_core::{
+    BuildError, ClassId, Computation, ComputationBuilder, ElementId, EventId, NodeRef, Structure,
+    Value,
+};
+
+use crate::ada::def::{AcceptArm, AdaProgram, AdaStmt, SelectBranch};
+use crate::ast::VarStore;
+use crate::explore::System;
+
+/// A compiled ADA program ready to execute.
+#[derive(Clone, Debug)]
+pub struct AdaSystem {
+    program: AdaProgram,
+    structure: Arc<Structure>,
+    call_sent: ClassId,
+    returned: ClassId,
+    call: ClassId,
+    accept: ClassId,
+    complete: ClassId,
+    assign: ClassId,
+    flow_els: Vec<ElementId>,
+    entry_els: Vec<BTreeMap<String, ElementId>>,
+    var_els: Vec<BTreeMap<String, ElementId>>,
+}
+
+#[derive(Clone, Debug)]
+enum TStatus {
+    /// Stopped at an [`AdaStmt::EntryCall`], waiting for the scheduler to
+    /// issue it.
+    ReadyToCall,
+    /// Call issued; suspended in the callee's entry queue / rendezvous.
+    InCall,
+    /// Blocked at accept/select with the given open arms.
+    AtAccept(Vec<AcceptArm>),
+    /// Task body finished.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct TaskState {
+    locals: VarStore,
+    frames: Vec<VecDeque<AdaStmt>>,
+    status: TStatus,
+    last: Option<EventId>,
+}
+
+/// A queued entry call.
+#[derive(Clone, Debug)]
+struct QueuedCall {
+    caller: usize,
+    args: Vec<Value>,
+    call_event: EventId,
+}
+
+/// Execution state of an ADA program.
+#[derive(Clone, Debug)]
+pub struct AdaState {
+    builder: ComputationBuilder,
+    tasks: Vec<TaskState>,
+    /// Entry queues: `(task, entry) → FIFO of queued calls`.
+    queues: BTreeMap<(usize, String), VecDeque<QueuedCall>>,
+}
+
+/// A scheduler choice for an ADA program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdaAction {
+    /// Task `tid` issues its pending entry call (joins the callee queue).
+    IssueCall(usize),
+    /// Callee `tid` rendezvouses on `entry` with the queue-front caller.
+    Rendezvous {
+        /// The accepting task.
+        tid: usize,
+        /// The entry accepted.
+        entry: String,
+    },
+}
+
+impl AdaSystem {
+    /// Compiles `program`: one GEM group per task with flow, entry, and
+    /// variable elements; entry `Call`s and flow `Returned` as ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a call references an unknown task/entry or an accept
+    /// names an undeclared entry, or an accept body contains a nested
+    /// rendezvous.
+    pub fn new(program: AdaProgram) -> Self {
+        let mut s = Structure::new();
+        let call_sent = s
+            .add_class("CallSent", &["callee", "entry"])
+            .expect("fresh class");
+        let returned = s
+            .add_class("Returned", &["callee", "entry"])
+            .expect("fresh class");
+        let call = s.add_class("Call", &["caller"]).expect("fresh class");
+        let accept = s.add_class("Accept", &["caller"]).expect("fresh class");
+        let complete = s.add_class("Complete", &["caller"]).expect("fresh class");
+        let assign = s.add_class("Assign", &["newval"]).expect("fresh class");
+
+        let mut flow_els = Vec::new();
+        let mut entry_els = Vec::new();
+        let mut var_els = Vec::new();
+        for t in &program.tasks {
+            let flow = s
+                .add_element(format!("{}.flow", t.name), &[call_sent, returned])
+                .expect("flow element");
+            let mut members: Vec<NodeRef> = vec![flow.into()];
+            let mut entries = BTreeMap::new();
+            for e in &t.entries {
+                let el = s
+                    .add_element(format!("{}.entry.{e}", t.name), &[call, accept, complete])
+                    .expect("entry element");
+                entries.insert(e.clone(), el);
+                members.push(el.into());
+            }
+            let mut vars = BTreeMap::new();
+            for (v, _) in &t.locals {
+                let el = s
+                    .add_element(format!("{}.var.{v}", t.name), &[assign])
+                    .expect("var element");
+                vars.insert(v.clone(), el);
+                members.push(el.into());
+            }
+            let g = s.add_group(t.name.clone(), &members).expect("task group");
+            for &el in entries.values() {
+                s.add_port(g, el, call).expect("entry port");
+            }
+            s.add_port(g, flow, returned).expect("flow port");
+            flow_els.push(flow);
+            entry_els.push(entries);
+            var_els.push(vars);
+        }
+
+        // Eager validation.
+        fn check(program: &AdaProgram, tname: &str, stmts: &[AdaStmt], in_body: bool) {
+            for st in stmts {
+                match st {
+                    AdaStmt::EntryCall { task, entry, .. } => {
+                        assert!(!in_body, "task {tname:?}: nested rendezvous in accept body");
+                        let ti = program
+                            .task_index(task)
+                            .unwrap_or_else(|| panic!("task {tname:?} calls unknown task {task:?}"));
+                        assert!(
+                            program.tasks[ti].entries.contains(entry),
+                            "task {tname:?} calls unknown entry {task}.{entry}"
+                        );
+                    }
+                    AdaStmt::Accept(arm) => {
+                        assert!(!in_body, "task {tname:?}: nested accept in accept body");
+                        let ti = program.task_index(tname).expect("own task");
+                        assert!(
+                            program.tasks[ti].entries.contains(&arm.entry),
+                            "task {tname:?} accepts undeclared entry {:?}",
+                            arm.entry
+                        );
+                        check(program, tname, &arm.body, true);
+                    }
+                    AdaStmt::Select(branches) => {
+                        assert!(!in_body, "task {tname:?}: select in accept body");
+                        for b in branches {
+                            let ti = program.task_index(tname).expect("own task");
+                            assert!(
+                                program.tasks[ti].entries.contains(&b.accept.entry),
+                                "task {tname:?} selects undeclared entry {:?}",
+                                b.accept.entry
+                            );
+                            check(program, tname, &b.accept.body, true);
+                        }
+                    }
+                    AdaStmt::If(_, a, b) => {
+                        check(program, tname, a, in_body);
+                        check(program, tname, b, in_body);
+                    }
+                    AdaStmt::While(_, b) => check(program, tname, b, in_body),
+                    AdaStmt::Assign(..) => {}
+                }
+            }
+        }
+        for t in &program.tasks {
+            check(&program, &t.name, &t.body, false);
+        }
+
+        Self {
+            program,
+            structure: Arc::new(s),
+            call_sent,
+            returned,
+            call,
+            accept,
+            complete,
+            assign,
+            flow_els,
+            entry_els,
+            var_els,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &AdaProgram {
+        &self.program
+    }
+
+    /// The GEM structure of this system's computations.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Shared handle to the structure.
+    pub fn structure_arc(&self) -> Arc<Structure> {
+        Arc::clone(&self.structure)
+    }
+
+    /// Class id by name (`"CallSent"`, `"Returned"`, `"Call"`,
+    /// `"Accept"`, `"Complete"`, `"Assign"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name.
+    pub fn class(&self, name: &str) -> ClassId {
+        match name {
+            "CallSent" => self.call_sent,
+            "Returned" => self.returned,
+            "Call" => self.call,
+            "Accept" => self.accept,
+            "Complete" => self.complete,
+            "Assign" => self.assign,
+            other => panic!("unknown ADA class {other:?}"),
+        }
+    }
+
+    /// The entry element of `task.entry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names.
+    pub fn entry_element(&self, task: &str, entry: &str) -> ElementId {
+        let ti = self
+            .program
+            .task_index(task)
+            .unwrap_or_else(|| panic!("unknown task {task:?}"));
+        *self.entry_els[ti]
+            .get(entry)
+            .unwrap_or_else(|| panic!("unknown entry {task}.{entry}"))
+    }
+
+    /// The flow element of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown task.
+    pub fn flow_element(&self, task: &str) -> ElementId {
+        let ti = self
+            .program
+            .task_index(task)
+            .unwrap_or_else(|| panic!("unknown task {task:?}"));
+        self.flow_els[ti]
+    }
+
+    /// Seals the computation accumulated in `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] only on a simulator bug (cyclic trace).
+    pub fn computation(&self, state: &AdaState) -> Result<Computation, BuildError> {
+        state.builder.clone().seal()
+    }
+
+    fn emit(
+        &self,
+        state: &mut AdaState,
+        tid: usize,
+        element: ElementId,
+        class: ClassId,
+        params: Vec<Value>,
+        extra: &[EventId],
+    ) -> EventId {
+        let e = state
+            .builder
+            .add_event(element, class, params)
+            .expect("ids are from this structure");
+        if let Some(last) = state.tasks[tid].last {
+            state.builder.enable(last, e).expect("known events");
+        }
+        state.tasks[tid].last = Some(e);
+        for &x in extra {
+            state.builder.enable(x, e).expect("known events");
+        }
+        e
+    }
+
+    /// Runs local statements of `tid` until a blocking point.
+    fn run(&self, state: &mut AdaState, tid: usize) {
+        loop {
+            while matches!(state.tasks[tid].frames.last(), Some(f) if f.is_empty()) {
+                state.tasks[tid].frames.pop();
+            }
+            let Some(stmt) = state
+                .tasks[tid]
+                .frames
+                .last_mut()
+                .and_then(VecDeque::pop_front)
+            else {
+                state.tasks[tid].status = TStatus::Done;
+                return;
+            };
+            match stmt {
+                AdaStmt::Assign(var, expr) => {
+                    let v = expr
+                        .eval(&state.tasks[tid].locals)
+                        .unwrap_or_else(|e| panic!("ADA runtime error: {e}"));
+                    state.tasks[tid].locals.set(var.clone(), v.clone());
+                    let el = *self.var_els[tid]
+                        .get(&var)
+                        .unwrap_or_else(|| panic!("undeclared local {var:?}"));
+                    self.emit(state, tid, el, self.assign, vec![v], &[]);
+                }
+                AdaStmt::If(cond, t, e) => {
+                    let b = cond
+                        .eval(&state.tasks[tid].locals)
+                        .unwrap_or_else(|e| panic!("ADA runtime error: {e}"))
+                        .as_bool()
+                        .expect("IF condition must be boolean");
+                    state.tasks[tid]
+                        .frames
+                        .push(if b { t } else { e }.into_iter().collect());
+                }
+                AdaStmt::While(cond, body) => {
+                    let b = cond
+                        .eval(&state.tasks[tid].locals)
+                        .unwrap_or_else(|e| panic!("ADA runtime error: {e}"))
+                        .as_bool()
+                        .expect("WHILE condition must be boolean");
+                    if b {
+                        let mut frame: VecDeque<AdaStmt> = body.iter().cloned().collect();
+                        frame.push_back(AdaStmt::While(cond, body));
+                        state.tasks[tid].frames.push(frame);
+                    }
+                }
+                AdaStmt::EntryCall { task, entry, args } => {
+                    // Re-queue the statement; the scheduler issues it.
+                    state.tasks[tid]
+                        .frames
+                        .last_mut()
+                        .expect("frame exists")
+                        .push_front(AdaStmt::EntryCall { task, entry, args });
+                    state.tasks[tid].status = TStatus::ReadyToCall;
+                    return;
+                }
+                AdaStmt::Accept(arm) => {
+                    state.tasks[tid].status = TStatus::AtAccept(vec![arm]);
+                    return;
+                }
+                AdaStmt::Select(branches) => {
+                    let mut arms = Vec::new();
+                    for SelectBranch { guard, accept } in branches {
+                        let open = match &guard {
+                            None => true,
+                            Some(g) => g
+                                .eval(&state.tasks[tid].locals)
+                                .unwrap_or_else(|e| panic!("ADA runtime error: {e}"))
+                                .as_bool()
+                                .expect("guard must be boolean"),
+                        };
+                        if open {
+                            arms.push(accept);
+                        }
+                    }
+                    assert!(
+                        !arms.is_empty(),
+                        "select with all guards closed (task {:?})",
+                        self.program.tasks[tid].name
+                    );
+                    state.tasks[tid].status = TStatus::AtAccept(arms);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl System for AdaSystem {
+    type State = AdaState;
+    type Action = AdaAction;
+
+    fn initial(&self) -> AdaState {
+        let mut state = AdaState {
+            builder: ComputationBuilder::new(self.structure_arc()),
+            tasks: self
+                .program
+                .tasks
+                .iter()
+                .map(|t| TaskState {
+                    locals: t
+                        .locals
+                        .iter()
+                        .map(|(n, v)| (n.clone(), v.clone()))
+                        .collect(),
+                    frames: vec![t.body.iter().cloned().collect()],
+                    status: TStatus::Done,
+                    last: None,
+                })
+                .collect(),
+            queues: BTreeMap::new(),
+        };
+        for tid in 0..self.program.tasks.len() {
+            self.run(&mut state, tid);
+        }
+        state
+    }
+
+    fn enabled(&self, state: &AdaState) -> Vec<AdaAction> {
+        let mut actions = Vec::new();
+        for (tid, t) in state.tasks.iter().enumerate() {
+            match &t.status {
+                TStatus::ReadyToCall => actions.push(AdaAction::IssueCall(tid)),
+                TStatus::AtAccept(arms) => {
+                    for arm in arms {
+                        let key = (tid, arm.entry.clone());
+                        if state.queues.get(&key).is_some_and(|q| !q.is_empty()) {
+                            actions.push(AdaAction::Rendezvous {
+                                tid,
+                                entry: arm.entry.clone(),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        actions
+    }
+
+    fn apply(&self, state: &mut AdaState, action: &AdaAction) {
+        match action {
+            AdaAction::IssueCall(tid) => {
+                let tid = *tid;
+                let AdaStmt::EntryCall { task, entry, args } = state.tasks[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame exists")
+                    .pop_front()
+                    .expect("pending call statement")
+                else {
+                    panic!("IssueCall on a non-call statement");
+                };
+                let callee = self.program.task_index(&task).expect("validated");
+                let arg_values: Vec<Value> = args
+                    .iter()
+                    .map(|a| {
+                        a.eval(&state.tasks[tid].locals)
+                            .unwrap_or_else(|e| panic!("ADA runtime error: {e}"))
+                    })
+                    .collect();
+                self.emit(
+                    state,
+                    tid,
+                    self.flow_els[tid],
+                    self.call_sent,
+                    vec![Value::Str(task.clone()), Value::Str(entry.clone())],
+                    &[],
+                );
+                let caller_name = self.program.tasks[tid].name.clone();
+                let call_ev = self.emit(
+                    state,
+                    tid,
+                    self.entry_els[callee][&entry],
+                    self.call,
+                    vec![Value::Str(caller_name)],
+                    &[],
+                );
+                state
+                    .queues
+                    .entry((callee, entry))
+                    .or_default()
+                    .push_back(QueuedCall {
+                        caller: tid,
+                        args: arg_values,
+                        call_event: call_ev,
+                    });
+                state.tasks[tid].status = TStatus::InCall;
+            }
+            AdaAction::Rendezvous { tid, entry } => {
+                let tid = *tid;
+                let TStatus::AtAccept(arms) =
+                    std::mem::replace(&mut state.tasks[tid].status, TStatus::Done)
+                else {
+                    panic!("Rendezvous on a non-accepting task");
+                };
+                let arm = arms
+                    .into_iter()
+                    .find(|a| &a.entry == entry)
+                    .expect("entry among open arms");
+                let queued = state
+                    .queues
+                    .get_mut(&(tid, entry.clone()))
+                    .and_then(VecDeque::pop_front)
+                    .expect("queue non-empty");
+                let caller_name = self.program.tasks[queued.caller].name.clone();
+                let entry_el = self.entry_els[tid][entry];
+                // Accept: enabled by the call and the callee's chain.
+                self.emit(
+                    state,
+                    tid,
+                    entry_el,
+                    self.accept,
+                    vec![Value::Str(caller_name.clone())],
+                    &[queued.call_event],
+                );
+                // Bind formals and execute the body inline (local only).
+                for (p, v) in arm.params.iter().zip(queued.args.iter()) {
+                    state.tasks[tid].locals.set(p.clone(), v.clone());
+                }
+                state.tasks[tid]
+                    .frames
+                    .push(arm.body.iter().cloned().collect());
+                // Body statements execute as part of the rendezvous; they
+                // may not block (validated), so run them inline.
+                self.run_body(state, tid);
+                let complete_ev = self.emit(
+                    state,
+                    tid,
+                    entry_el,
+                    self.complete,
+                    vec![Value::Str(caller_name)],
+                    &[],
+                );
+                // Caller resumes: Returned enabled by its Call (chain) and
+                // the Complete.
+                let caller = queued.caller;
+                let callee_name = self.program.tasks[tid].name.clone();
+                self.emit(
+                    state,
+                    caller,
+                    self.flow_els[caller],
+                    self.returned,
+                    vec![Value::Str(callee_name), Value::Str(entry.clone())],
+                    &[complete_ev],
+                );
+                self.run(state, caller);
+                self.run(state, tid);
+            }
+        }
+    }
+
+    fn is_complete(&self, state: &AdaState) -> bool {
+        state.tasks.iter().all(|t| matches!(t.status, TStatus::Done))
+    }
+
+    fn control_key(&self, state: &AdaState) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        for t in &state.tasks {
+            for (n, v) in t.locals.iter() {
+                n.hash(&mut h);
+                format!("{v:?}").hash(&mut h);
+            }
+            format!("{:?}", t.frames).hash(&mut h);
+            std::mem::discriminant(&t.status).hash(&mut h);
+        }
+        for ((tid, e), q) in &state.queues {
+            tid.hash(&mut h);
+            e.hash(&mut h);
+            for c in q {
+                c.caller.hash(&mut h);
+            }
+        }
+        Some(h.finish())
+    }
+}
+
+impl AdaSystem {
+    /// Runs rendezvous-body statements (local only) of `tid` until its
+    /// body frame is exhausted, leaving outer frames untouched.
+    fn run_body(&self, state: &mut AdaState, tid: usize) {
+        let depth = state.tasks[tid].frames.len();
+        loop {
+            while state.tasks[tid].frames.len() >= depth
+                && matches!(state.tasks[tid].frames.last(), Some(f) if f.is_empty())
+            {
+                state.tasks[tid].frames.pop();
+            }
+            if state.tasks[tid].frames.len() < depth {
+                return;
+            }
+            let Some(stmt) = state
+                .tasks[tid]
+                .frames
+                .last_mut()
+                .and_then(VecDeque::pop_front)
+            else {
+                return;
+            };
+            match stmt {
+                AdaStmt::Assign(var, expr) => {
+                    let v = expr
+                        .eval(&state.tasks[tid].locals)
+                        .unwrap_or_else(|e| panic!("ADA runtime error: {e}"));
+                    state.tasks[tid].locals.set(var.clone(), v.clone());
+                    let el = *self.var_els[tid]
+                        .get(&var)
+                        .unwrap_or_else(|| panic!("undeclared local {var:?}"));
+                    self.emit(state, tid, el, self.assign, vec![v], &[]);
+                }
+                AdaStmt::If(cond, t, e) => {
+                    let b = cond
+                        .eval(&state.tasks[tid].locals)
+                        .unwrap_or_else(|e| panic!("ADA runtime error: {e}"))
+                        .as_bool()
+                        .expect("IF condition must be boolean");
+                    state.tasks[tid]
+                        .frames
+                        .push(if b { t } else { e }.into_iter().collect());
+                }
+                AdaStmt::While(cond, body) => {
+                    let b = cond
+                        .eval(&state.tasks[tid].locals)
+                        .unwrap_or_else(|e| panic!("ADA runtime error: {e}"))
+                        .as_bool()
+                        .expect("WHILE condition must be boolean");
+                    if b {
+                        let mut frame: VecDeque<AdaStmt> = body.iter().cloned().collect();
+                        frame.push_back(AdaStmt::While(cond, body));
+                        state.tasks[tid].frames.push(frame);
+                    }
+                }
+                other => panic!("rendezvous body may contain only local statements: {other:?}"),
+            }
+        }
+    }
+}
+
+impl AdaState {
+    /// The number of events emitted so far.
+    pub fn event_count(&self) -> usize {
+        self.builder.event_count()
+    }
+
+    /// A local variable of task `tid`.
+    pub fn local(&self, tid: usize, var: &str) -> Option<&Value> {
+        self.tasks[tid].locals.get(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ada::def::AdaTask;
+    use crate::explore::{find_deadlock, Explorer};
+    use crate::Expr;
+    use gem_core::is_legal;
+    use std::ops::ControlFlow;
+
+    fn put_get_server() -> AdaProgram {
+        let server = AdaTask::new(
+            "server",
+            vec![
+                AdaStmt::accept_with(
+                    "Put",
+                    &["x"],
+                    vec![AdaStmt::assign("slot", Expr::var("x"))],
+                ),
+                AdaStmt::accept("Bump", vec![AdaStmt::assign(
+                    "slot",
+                    Expr::var("slot").add(Expr::int(1)),
+                )]),
+            ],
+        )
+        .entry("Put")
+        .entry("Bump")
+        .local("slot", 0i64);
+        let client = AdaTask::new(
+            "client",
+            vec![
+                AdaStmt::call("server", "Put", vec![Expr::int(41)]),
+                AdaStmt::call("server", "Bump", vec![]),
+            ],
+        );
+        AdaProgram::new().task(server).task(client)
+    }
+
+    #[test]
+    fn rendezvous_transfers_and_orders() {
+        let sys = AdaSystem::new(put_get_server());
+        let stats = Explorer::default().for_each_run(&sys, |state, _| {
+            assert!(sys.is_complete(state));
+            assert_eq!(state.local(0, "slot"), Some(&Value::Int(42)));
+            let c = sys.computation(state).unwrap();
+            assert!(is_legal(&c), "{:?}", gem_core::check_legality(&c));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(stats.runs, 1, "single caller, deterministic");
+    }
+
+    #[test]
+    fn rendezvous_event_chain() {
+        let sys = AdaSystem::new(put_get_server());
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            for acc in c.events_of_class(sys.class("Accept")) {
+                // Each Accept enabled by exactly one Call.
+                let calls = c
+                    .enablers_of(acc)
+                    .iter()
+                    .filter(|&&e| c.event(e).class() == sys.class("Call"))
+                    .count();
+                assert_eq!(calls, 1);
+            }
+            for ret in c.events_of_class(sys.class("Returned")) {
+                let completes = c
+                    .enablers_of(ret)
+                    .iter()
+                    .filter(|&&e| c.event(e).class() == sys.class("Complete"))
+                    .count();
+                assert_eq!(completes, 1);
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn select_serves_both_orders() {
+        let server = AdaTask::new(
+            "server",
+            vec![
+                AdaStmt::While(
+                    Expr::var("served").lt(Expr::int(2)),
+                    vec![AdaStmt::Select(vec![
+                        SelectBranch {
+                            guard: None,
+                            accept: AcceptArm {
+                                entry: "A".into(),
+                                params: vec![],
+                                body: vec![AdaStmt::assign(
+                                    "served",
+                                    Expr::var("served").add(Expr::int(1)),
+                                )],
+                            },
+                        },
+                        SelectBranch {
+                            guard: None,
+                            accept: AcceptArm {
+                                entry: "B".into(),
+                                params: vec![],
+                                body: vec![AdaStmt::assign(
+                                    "served",
+                                    Expr::var("served").add(Expr::int(1)),
+                                )],
+                            },
+                        },
+                    ])],
+                ),
+            ],
+        )
+        .entry("A")
+        .entry("B")
+        .local("served", 0i64);
+        let ca = AdaTask::new("ca", vec![AdaStmt::call("server", "A", vec![])]);
+        let cb = AdaTask::new("cb", vec![AdaStmt::call("server", "B", vec![])]);
+        let sys = AdaSystem::new(AdaProgram::new().task(server).task(ca).task(cb));
+        let mut orders = std::collections::HashSet::new();
+        Explorer::default().for_each_run(&sys, |state, path| {
+            assert!(sys.is_complete(state));
+            let rendezvous: Vec<String> = path
+                .iter()
+                .filter_map(|a| match a {
+                    AdaAction::Rendezvous { entry, .. } => Some(entry.clone()),
+                    AdaAction::IssueCall(_) => None,
+                })
+                .collect();
+            orders.insert(rendezvous);
+            ControlFlow::Continue(())
+        });
+        assert!(orders.contains(&vec!["A".to_owned(), "B".to_owned()]));
+        assert!(orders.contains(&vec!["B".to_owned(), "A".to_owned()]));
+    }
+
+    #[test]
+    fn guarded_select_closes_branches() {
+        let server = AdaTask::new(
+            "server",
+            vec![AdaStmt::Select(vec![
+                SelectBranch {
+                    guard: Some(Expr::bool(false)),
+                    accept: AcceptArm {
+                        entry: "A".into(),
+                        params: vec![],
+                        body: vec![],
+                    },
+                },
+                SelectBranch {
+                    guard: Some(Expr::bool(true)),
+                    accept: AcceptArm {
+                        entry: "B".into(),
+                        params: vec![],
+                        body: vec![],
+                    },
+                },
+            ])],
+        )
+        .entry("A")
+        .entry("B");
+        let client = AdaTask::new("client", vec![AdaStmt::call("server", "B", vec![])]);
+        let sys = AdaSystem::new(AdaProgram::new().task(server).task(client));
+        assert!(find_deadlock(&sys, &Explorer::default()).is_none());
+    }
+
+    #[test]
+    fn missing_accept_deadlocks() {
+        let server = AdaTask::new("server", vec![]).entry("E");
+        let client = AdaTask::new("client", vec![AdaStmt::call("server", "E", vec![])]);
+        let sys = AdaSystem::new(AdaProgram::new().task(server).task(client));
+        assert!(find_deadlock(&sys, &Explorer::default()).is_some());
+    }
+
+    #[test]
+    fn fifo_entry_queue() {
+        // Two clients call the same entry; service order follows arrival
+        // order, and both arrival orders are explored.
+        let server = AdaTask::new(
+            "server",
+            vec![
+                AdaStmt::accept_with("E", &["x"], vec![AdaStmt::assign("first", Expr::var("x"))]),
+                AdaStmt::accept_with("E", &["x"], vec![AdaStmt::assign("second", Expr::var("x"))]),
+            ],
+        )
+        .entry("E")
+        .local("first", 0i64)
+        .local("second", 0i64);
+        let c1 = AdaTask::new("c1", vec![AdaStmt::call("server", "E", vec![Expr::int(1)])]);
+        let c2 = AdaTask::new("c2", vec![AdaStmt::call("server", "E", vec![Expr::int(2)])]);
+        let sys = AdaSystem::new(AdaProgram::new().task(server).task(c1).task(c2));
+        let mut outcomes = std::collections::HashSet::new();
+        Explorer::default().for_each_run(&sys, |state, _| {
+            assert!(sys.is_complete(state));
+            outcomes.insert((
+                state.local(0, "first").cloned(),
+                state.local(0, "second").cloned(),
+            ));
+            ControlFlow::Continue(())
+        });
+        assert!(outcomes.contains(&(Some(Value::Int(1)), Some(Value::Int(2)))));
+        assert!(outcomes.contains(&(Some(Value::Int(2)), Some(Value::Int(1)))));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn unknown_callee_rejected() {
+        let t = AdaTask::new("a", vec![AdaStmt::call("ghost", "E", vec![])]);
+        let _ = AdaSystem::new(AdaProgram::new().task(t));
+    }
+
+    #[test]
+    #[should_panic(expected = "nested rendezvous")]
+    fn nested_rendezvous_rejected() {
+        let t = AdaTask::new(
+            "a",
+            vec![AdaStmt::Accept(AcceptArm {
+                entry: "E".into(),
+                params: vec![],
+                body: vec![AdaStmt::call("a", "E", vec![])],
+            })],
+        )
+        .entry("E");
+        let _ = AdaSystem::new(AdaProgram::new().task(t));
+    }
+}

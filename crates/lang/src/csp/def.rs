@@ -1,0 +1,165 @@
+//! CSP program definitions: sequential processes communicating by
+//! synchronous message exchange (Hoare's Communicating Sequential
+//! Processes, the second language primitive the paper describes in GEM).
+
+use gem_core::Value;
+
+use crate::ast::Expr;
+
+/// A communication command: output (`Q!expr`) or input (`Q?var`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Comm {
+    /// `to ! expr` — offer `expr`'s value to process `to`.
+    Send {
+        /// Partner process name.
+        to: String,
+        /// Value expression, evaluated over the process locals when the
+        /// offer is made.
+        expr: Expr,
+    },
+    /// `from ? var` — accept a value from process `from` into `var`.
+    Recv {
+        /// Partner process name.
+        from: String,
+        /// Local variable receiving the value.
+        var: String,
+    },
+}
+
+/// One guarded branch of an alternative command.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AltBranch {
+    /// Optional boolean guard; `None` is an open guard.
+    pub guard: Option<Expr>,
+    /// The communication guarding the branch.
+    pub comm: Comm,
+    /// Statements executed when the branch is chosen.
+    pub body: Vec<CspStmt>,
+}
+
+/// A CSP statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CspStmt {
+    /// Local assignment.
+    Assign(String, Expr),
+    /// Conditional.
+    If(Expr, Vec<CspStmt>, Vec<CspStmt>),
+    /// Loop.
+    While(Expr, Vec<CspStmt>),
+    /// A single communication (blocking until the partner is ready).
+    Comm(Comm),
+    /// Guarded alternative: offers every open branch's communication and
+    /// commits to whichever exchange happens.
+    Alt(Vec<AltBranch>),
+}
+
+impl CspStmt {
+    /// Shorthand for `to ! expr`.
+    pub fn send(to: impl Into<String>, expr: Expr) -> Self {
+        CspStmt::Comm(Comm::Send {
+            to: to.into(),
+            expr,
+        })
+    }
+
+    /// Shorthand for `from ? var`.
+    pub fn recv(from: impl Into<String>, var: impl Into<String>) -> Self {
+        CspStmt::Comm(Comm::Recv {
+            from: from.into(),
+            var: var.into(),
+        })
+    }
+
+    /// Shorthand for [`CspStmt::Assign`].
+    pub fn assign(var: impl Into<String>, expr: Expr) -> Self {
+        CspStmt::Assign(var.into(), expr)
+    }
+}
+
+/// A CSP process: name, locals with initial values, and a body.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CspProcess {
+    /// Process name (used as the communication partner address).
+    pub name: String,
+    /// Local variables and initial values.
+    pub locals: Vec<(String, Value)>,
+    /// The process body.
+    pub body: Vec<CspStmt>,
+}
+
+impl CspProcess {
+    /// Creates a process.
+    pub fn new(name: impl Into<String>, body: Vec<CspStmt>) -> Self {
+        Self {
+            name: name.into(),
+            locals: Vec::new(),
+            body,
+        }
+    }
+
+    /// Declares a local variable with an initial value.
+    pub fn local(mut self, name: impl Into<String>, init: impl Into<Value>) -> Self {
+        self.locals.push((name.into(), init.into()));
+        self
+    }
+}
+
+/// A CSP program: a closed set of processes.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CspProgram {
+    /// The processes, addressed by name.
+    pub processes: Vec<CspProcess>,
+}
+
+impl CspProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a process.
+    pub fn process(mut self, p: CspProcess) -> Self {
+        self.processes.push(p);
+        self
+    }
+
+    /// Index of the process named `name`.
+    pub fn process_index(&self, name: &str) -> Option<usize> {
+        self.processes.iter().position(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let p = CspProcess::new(
+            "producer",
+            vec![CspStmt::send("consumer", Expr::int(1))],
+        )
+        .local("i", 0i64);
+        let prog = CspProgram::new().process(p).process(CspProcess::new(
+            "consumer",
+            vec![CspStmt::recv("producer", "x")],
+        ));
+        assert_eq!(prog.processes.len(), 2);
+        assert_eq!(prog.process_index("consumer"), Some(1));
+        assert_eq!(prog.process_index("ghost"), None);
+    }
+
+    #[test]
+    fn alt_branch_shape() {
+        let b = AltBranch {
+            guard: Some(Expr::var("n").gt(Expr::int(0))),
+            comm: Comm::Recv {
+                from: "p".into(),
+                var: "x".into(),
+            },
+            body: vec![CspStmt::assign("n", Expr::var("n").add(Expr::int(1)))],
+        };
+        assert!(b.guard.is_some());
+        assert!(matches!(b.comm, Comm::Recv { .. }));
+    }
+}

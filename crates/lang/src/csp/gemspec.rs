@@ -1,0 +1,171 @@
+//! The GEM description of CSP communication (§8.2) as checkable
+//! restrictions.
+//!
+//! The paper's simultaneity restriction for an I/O exchange is
+//!
+//! ```text
+//! (∀ inp:?, out:!) [ inp.req ⊳ out.end ⇔ out.req ⊳ inp.end ]
+//! ```
+//!
+//! together with the prerequisite structure of requests and completions
+//! and value transfer (`send ⊳ receive ⊃ parameters equal`).
+
+use gem_logic::{EventSel, Formula, ValueTerm};
+use gem_spec::prerequisite;
+
+use crate::csp::sim::CspSystem;
+
+/// Named restriction formulas for the CSP primitive on `sys`'s structure.
+pub fn csp_restrictions(sys: &CspSystem) -> Vec<(String, Formula)> {
+    let out_req = EventSel::of_class(sys.class("OutReq"));
+    let out_end = EventSel::of_class(sys.class("OutEnd"));
+    let in_req = EventSel::of_class(sys.class("InReq"));
+    let in_end = EventSel::of_class(sys.class("InEnd"));
+
+    // Simultaneity: for every exchange, the cross edges come in pairs:
+    // if an InReq enabled an OutEnd, then the OutReq that enabled that
+    // OutEnd enabled the InReq's own InEnd, and vice versa.
+    let simultaneity = Formula::forall(
+        "ir",
+        in_req.clone(),
+        Formula::forall(
+            "oe",
+            out_end.clone(),
+            Formula::enables("ir", "oe").implies(Formula::exists(
+                "or",
+                out_req.clone(),
+                Formula::enables("or", "oe").and(Formula::exists(
+                    "ie",
+                    in_end.clone(),
+                    Formula::enables("ir", "ie").and(Formula::enables("or", "ie")),
+                )),
+            )),
+        ),
+    );
+
+    // Value transfer: paired ends carry the same value.
+    let transfer = Formula::forall(
+        "or",
+        out_req.clone(),
+        Formula::forall(
+            "oe",
+            out_end.clone(),
+            Formula::forall(
+                "ie",
+                in_end.clone(),
+                Formula::enables("or", "oe")
+                    .and(Formula::enables("or", "ie"))
+                    .implies(Formula::value_eq(
+                        ValueTerm::param("oe", "val"),
+                        ValueTerm::param("ie", "val"),
+                    )),
+            ),
+        ),
+    );
+
+    vec![
+        ("outreq-enables-one-outend".into(), prerequisite(&out_req, &out_end)),
+        ("inreq-enables-one-inend".into(), prerequisite(&in_req, &in_end)),
+        ("simultaneity".into(), simultaneity),
+        ("value-transfer".into(), transfer),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::def::{CspProcess, CspProgram, CspStmt};
+    use crate::explore::Explorer;
+    use crate::{Expr, System as _};
+    use gem_logic::holds_on_computation;
+    use std::ops::ControlFlow;
+
+    #[test]
+    fn csp_restrictions_hold_on_pipeline() {
+        // A three-stage pipeline: src -> mid -> sink, two items.
+        let prog = CspProgram::new()
+            .process(CspProcess::new(
+                "src",
+                vec![
+                    CspStmt::send("mid", Expr::int(1)),
+                    CspStmt::send("mid", Expr::int(2)),
+                ],
+            ))
+            .process(
+                CspProcess::new(
+                    "mid",
+                    vec![
+                        CspStmt::recv("src", "x"),
+                        CspStmt::send("sink", Expr::var("x").mul(Expr::int(10))),
+                        CspStmt::recv("src", "x"),
+                        CspStmt::send("sink", Expr::var("x").mul(Expr::int(10))),
+                    ],
+                )
+                .local("x", 0i64),
+            )
+            .process(
+                CspProcess::new(
+                    "sink",
+                    vec![CspStmt::recv("mid", "a"), CspStmt::recv("mid", "b")],
+                )
+                .local("a", 0i64)
+                .local("b", 0i64),
+            );
+        let sys = CspSystem::new(prog);
+        let restrictions = csp_restrictions(&sys);
+        let mut runs = 0;
+        Explorer::default().for_each_run(&sys, |state, _| {
+            runs += 1;
+            assert!(sys.is_complete(state));
+            let c = sys.computation(state).unwrap();
+            for (name, f) in &restrictions {
+                assert!(
+                    holds_on_computation(f, &c).unwrap(),
+                    "CSP restriction {name} violated"
+                );
+            }
+            ControlFlow::Continue(())
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn simultaneity_fails_on_hand_built_half_exchange() {
+        // Build a computation with only one cross edge — the simultaneity
+        // restriction must reject it.
+        use gem_core::ComputationBuilder;
+        let prog = CspProgram::new()
+            .process(CspProcess::new("a", vec![]))
+            .process(CspProcess::new("b", vec![]));
+        let sys = CspSystem::new(prog);
+        let mut b = ComputationBuilder::new(sys.structure_arc());
+        let oreq = b
+            .add_event(
+                sys.out_element(0),
+                sys.class("OutReq"),
+                vec!["b".into()],
+            )
+            .unwrap();
+        let ireq = b
+            .add_event(sys.in_element(1), sys.class("InReq"), vec!["a".into()])
+            .unwrap();
+        let oend = b
+            .add_event(
+                sys.out_element(0),
+                sys.class("OutEnd"),
+                vec![1i64.into(), "b".into()],
+            )
+            .unwrap();
+        b.enable(oreq, oend).unwrap();
+        b.enable(ireq, oend).unwrap();
+        // Deliberately omit the InEnd: half an exchange.
+        let c = b.seal().unwrap();
+        let restrictions = csp_restrictions(&sys);
+        let sim = &restrictions
+            .iter()
+            .find(|(n, _)| n == "simultaneity")
+            .unwrap()
+            .1;
+        assert!(!holds_on_computation(sim, &c).unwrap());
+    }
+}

@@ -1,0 +1,17 @@
+//! Communicating Sequential Processes (Hoare), the second language
+//! primitive the paper describes in GEM.
+//!
+//! * [`CspProgram`]/[`CspProcess`] — program text (processes, guarded
+//!   alternatives, synchronous send/receive).
+//! * [`CspSystem`] — executes programs, emitting GEM computations whose
+//!   exchanges carry the paper's simultaneity structure
+//!   (`inp.req ⊳ out.end ⇔ out.req ⊳ inp.end`).
+//! * [`csp_restrictions`] — the GEM description of the primitive.
+
+mod def;
+mod gemspec;
+mod sim;
+
+pub use def::{AltBranch, Comm, CspProcess, CspProgram, CspStmt};
+pub use gemspec::csp_restrictions;
+pub use sim::{CspAction, CspState, CspSystem, Offer};

@@ -1,0 +1,820 @@
+//! Execution of CSP programs into GEM computations.
+//!
+//! Event vocabulary per process `p`, following the paper's §8.2 sketch of
+//! CSP input/output elements:
+//!
+//! | Element | Classes (params) |
+//! |---------|------------------|
+//! | `<p>.out` (the `!` element) | `OutReq(partner)`, `OutEnd(val, partner)` |
+//! | `<p>.in` (the `?` element) | `InReq(partner)`, `InEnd(val, partner)` |
+//! | `<p>.var.<v>` | `Assign(newval)` |
+//!
+//! Each process is a GEM group; the `OutEnd`/`InEnd` classes are its
+//! ports, since an exchange enables them *across* process boundaries: for
+//! a matched pair the edges are `OutReq ⊳ OutEnd`, `InReq ⊳ OutEnd`,
+//! `InReq ⊳ InEnd`, `OutReq ⊳ InEnd` — which yields the paper's
+//! simultaneity restriction `inp.req ⊳ out.end ⇔ out.req ⊳ inp.end`.
+//!
+//! Local computation is deterministic and private to each process (no
+//! shared variables in CSP), so processes auto-run to their next
+//! communication point; the only scheduler choices are *which matched
+//! exchange happens next*. An `Alt` publishes a request event per open
+//! branch (the offers); branches not chosen leave dangling requests that
+//! never enable an `End` — CSP offer withdrawal.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use gem_core::{
+    BuildError, ClassId, Computation, ComputationBuilder, ElementId, EventId, NodeRef, Structure,
+    Value,
+};
+
+use crate::ast::VarStore;
+use crate::csp::def::{AltBranch, Comm, CspProgram, CspStmt};
+use crate::explore::System;
+
+/// A compiled CSP program ready to execute.
+#[derive(Clone, Debug)]
+pub struct CspSystem {
+    program: CspProgram,
+    structure: Arc<Structure>,
+    out_req: ClassId,
+    out_end: ClassId,
+    in_req: ClassId,
+    in_end: ClassId,
+    assign: ClassId,
+    out_els: Vec<ElementId>,
+    in_els: Vec<ElementId>,
+    var_els: Vec<BTreeMap<String, ElementId>>,
+}
+
+/// A published communication offer of a blocked process.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Offer {
+    /// True for a send offer, false for a receive offer.
+    pub is_send: bool,
+    /// Partner process index.
+    pub partner: usize,
+    /// For sends: the value offered (evaluated at offer time).
+    pub value: Option<Value>,
+    /// For receives: the variable to bind.
+    pub var: Option<String>,
+    /// The request event published for this offer.
+    pub req_event: EventId,
+    /// Statements to run when this offer commits (alt branch body).
+    pub body: Vec<CspStmt>,
+}
+
+#[derive(Clone, Debug)]
+enum PStatus {
+    Blocked(Vec<Offer>),
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct ProcState {
+    locals: VarStore,
+    frames: Vec<VecDeque<CspStmt>>,
+    status: PStatus,
+    last: Option<EventId>,
+}
+
+/// Execution state of a CSP program.
+#[derive(Clone, Debug)]
+pub struct CspState {
+    builder: ComputationBuilder,
+    procs: Vec<ProcState>,
+}
+
+/// A scheduler choice: commit a matched exchange.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CspAction {
+    /// Sending process index.
+    pub sender: usize,
+    /// Index of the send offer within the sender's offers.
+    pub send_offer: usize,
+    /// Receiving process index.
+    pub receiver: usize,
+    /// Index of the receive offer within the receiver's offers.
+    pub recv_offer: usize,
+}
+
+impl CspSystem {
+    /// Compiles `program`: builds one GEM group per process with `in`,
+    /// `out`, and variable elements, end-classes as ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a communication names an unknown partner process.
+    pub fn new(program: CspProgram) -> Self {
+        let mut s = Structure::new();
+        let out_req = s.add_class("OutReq", &["partner"]).expect("fresh class");
+        let out_end = s
+            .add_class("OutEnd", &["val", "partner"])
+            .expect("fresh class");
+        let in_req = s.add_class("InReq", &["partner"]).expect("fresh class");
+        let in_end = s
+            .add_class("InEnd", &["val", "partner"])
+            .expect("fresh class");
+        let assign = s.add_class("Assign", &["newval"]).expect("fresh class");
+
+        let mut out_els = Vec::new();
+        let mut in_els = Vec::new();
+        let mut var_els = Vec::new();
+        for p in &program.processes {
+            let out_el = s
+                .add_element(format!("{}.out", p.name), &[out_req, out_end])
+                .expect("out element");
+            let in_el = s
+                .add_element(format!("{}.in", p.name), &[in_req, in_end])
+                .expect("in element");
+            let mut vars = BTreeMap::new();
+            let mut members: Vec<NodeRef> = vec![out_el.into(), in_el.into()];
+            for (v, _) in &p.locals {
+                let el = s
+                    .add_element(format!("{}.var.{v}", p.name), &[assign])
+                    .expect("var element");
+                vars.insert(v.clone(), el);
+                members.push(el.into());
+            }
+            let g = s.add_group(p.name.clone(), &members).expect("process group");
+            s.add_port(g, out_el, out_end).expect("out port");
+            s.add_port(g, in_el, in_end).expect("in port");
+            out_els.push(out_el);
+            in_els.push(in_el);
+            var_els.push(vars);
+        }
+
+        // Validate partner names eagerly.
+        fn check_stmts(program: &CspProgram, pname: &str, stmts: &[CspStmt]) {
+            for st in stmts {
+                match st {
+                    CspStmt::Comm(c) => check_comm(program, pname, c),
+                    CspStmt::Alt(branches) => {
+                        for b in branches {
+                            check_comm(program, pname, &b.comm);
+                            check_stmts(program, pname, &b.body);
+                        }
+                    }
+                    CspStmt::If(_, t, e) => {
+                        check_stmts(program, pname, t);
+                        check_stmts(program, pname, e);
+                    }
+                    CspStmt::While(_, b) => check_stmts(program, pname, b),
+                    CspStmt::Assign(..) => {}
+                }
+            }
+        }
+        fn check_comm(program: &CspProgram, pname: &str, c: &Comm) {
+            let partner = match c {
+                Comm::Send { to, .. } => to,
+                Comm::Recv { from, .. } => from,
+            };
+            assert!(
+                program.process_index(partner).is_some(),
+                "process {pname:?} communicates with unknown process {partner:?}"
+            );
+        }
+        for p in &program.processes {
+            check_stmts(&program, &p.name, &p.body);
+        }
+
+        Self {
+            program,
+            structure: Arc::new(s),
+            out_req,
+            out_end,
+            in_req,
+            in_end,
+            assign,
+            out_els,
+            in_els,
+            var_els,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &CspProgram {
+        &self.program
+    }
+
+    /// The GEM structure of this system's computations.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Shared handle to the structure.
+    pub fn structure_arc(&self) -> Arc<Structure> {
+        Arc::clone(&self.structure)
+    }
+
+    /// Class id by name (`"OutReq"`, `"OutEnd"`, `"InReq"`, `"InEnd"`,
+    /// `"Assign"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name.
+    pub fn class(&self, name: &str) -> ClassId {
+        match name {
+            "OutReq" => self.out_req,
+            "OutEnd" => self.out_end,
+            "InReq" => self.in_req,
+            "InEnd" => self.in_end,
+            "Assign" => self.assign,
+            other => panic!("unknown CSP class {other:?}"),
+        }
+    }
+
+    /// The `!` element of process `pid`.
+    pub fn out_element(&self, pid: usize) -> ElementId {
+        self.out_els[pid]
+    }
+
+    /// The `?` element of process `pid`.
+    pub fn in_element(&self, pid: usize) -> ElementId {
+        self.in_els[pid]
+    }
+
+    /// Seals the computation accumulated in `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] only on a simulator bug (cyclic trace).
+    pub fn computation(&self, state: &CspState) -> Result<Computation, BuildError> {
+        state.builder.clone().seal()
+    }
+
+    fn emit(
+        &self,
+        state: &mut CspState,
+        pid: usize,
+        element: ElementId,
+        class: ClassId,
+        params: Vec<Value>,
+        extra: &[EventId],
+    ) -> EventId {
+        let e = state
+            .builder
+            .add_event(element, class, params)
+            .expect("ids are from this structure");
+        if let Some(last) = state.procs[pid].last {
+            state.builder.enable(last, e).expect("known events");
+        }
+        state.procs[pid].last = Some(e);
+        for &x in extra {
+            state.builder.enable(x, e).expect("known events");
+        }
+        e
+    }
+
+    /// Runs process `pid` until it blocks at a communication point or
+    /// finishes, publishing offer request events at the block.
+    fn run(&self, state: &mut CspState, pid: usize) {
+        loop {
+            while matches!(state.procs[pid].frames.last(), Some(f) if f.is_empty()) {
+                state.procs[pid].frames.pop();
+            }
+            let Some(stmt) = state
+                .procs[pid]
+                .frames
+                .last_mut()
+                .and_then(VecDeque::pop_front)
+            else {
+                state.procs[pid].status = PStatus::Done;
+                return;
+            };
+            match stmt {
+                CspStmt::Assign(var, expr) => {
+                    let v = expr
+                        .eval(&state.procs[pid].locals)
+                        .unwrap_or_else(|e| panic!("CSP runtime error: {e}"));
+                    state.procs[pid].locals.set(var.clone(), v.clone());
+                    let el = *self.var_els[pid]
+                        .get(&var)
+                        .unwrap_or_else(|| panic!("undeclared local {var:?}"));
+                    self.emit(state, pid, el, self.assign, vec![v], &[]);
+                }
+                CspStmt::If(cond, t, e) => {
+                    let b = cond
+                        .eval(&state.procs[pid].locals)
+                        .unwrap_or_else(|e| panic!("CSP runtime error: {e}"))
+                        .as_bool()
+                        .expect("IF condition must be boolean");
+                    state.procs[pid]
+                        .frames
+                        .push(if b { t } else { e }.into_iter().collect());
+                }
+                CspStmt::While(cond, body) => {
+                    let b = cond
+                        .eval(&state.procs[pid].locals)
+                        .unwrap_or_else(|e| panic!("CSP runtime error: {e}"))
+                        .as_bool()
+                        .expect("WHILE condition must be boolean");
+                    if b {
+                        let mut frame: VecDeque<CspStmt> = body.iter().cloned().collect();
+                        frame.push_back(CspStmt::While(cond, body));
+                        state.procs[pid].frames.push(frame);
+                    }
+                }
+                CspStmt::Comm(c) => {
+                    let offer = self.publish_offer(state, pid, &c, Vec::new());
+                    state.procs[pid].status = PStatus::Blocked(vec![offer]);
+                    return;
+                }
+                CspStmt::Alt(branches) => {
+                    let mut offers = Vec::new();
+                    for AltBranch { guard, comm, body } in branches {
+                        let open = match &guard {
+                            None => true,
+                            Some(g) => g
+                                .eval(&state.procs[pid].locals)
+                                .unwrap_or_else(|e| panic!("CSP runtime error: {e}"))
+                                .as_bool()
+                                .expect("guard must be boolean"),
+                        };
+                        if open {
+                            offers.push(self.publish_offer(state, pid, &comm, body));
+                        }
+                    }
+                    assert!(
+                        !offers.is_empty(),
+                        "alternative with all guards closed (process {:?})",
+                        self.program.processes[pid].name
+                    );
+                    state.procs[pid].status = PStatus::Blocked(offers);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn publish_offer(
+        &self,
+        state: &mut CspState,
+        pid: usize,
+        comm: &Comm,
+        body: Vec<CspStmt>,
+    ) -> Offer {
+        match comm {
+            Comm::Send { to, expr } => {
+                let partner = self.program.process_index(to).expect("validated");
+                let value = expr
+                    .eval(&state.procs[pid].locals)
+                    .unwrap_or_else(|e| panic!("CSP runtime error: {e}"));
+                let req = self.emit(
+                    state,
+                    pid,
+                    self.out_els[pid],
+                    self.out_req,
+                    vec![Value::Str(to.clone())],
+                    &[],
+                );
+                Offer {
+                    is_send: true,
+                    partner,
+                    value: Some(value),
+                    var: None,
+                    req_event: req,
+                    body,
+                }
+            }
+            Comm::Recv { from, var } => {
+                let partner = self.program.process_index(from).expect("validated");
+                let req = self.emit(
+                    state,
+                    pid,
+                    self.in_els[pid],
+                    self.in_req,
+                    vec![Value::Str(from.clone())],
+                    &[],
+                );
+                Offer {
+                    is_send: false,
+                    partner,
+                    value: None,
+                    var: Some(var.clone()),
+                    req_event: req,
+                    body,
+                }
+            }
+        }
+    }
+}
+
+impl System for CspSystem {
+    type State = CspState;
+    type Action = CspAction;
+
+    fn initial(&self) -> CspState {
+        let mut state = CspState {
+            builder: ComputationBuilder::new(self.structure_arc()),
+            procs: self
+                .program
+                .processes
+                .iter()
+                .map(|p| ProcState {
+                    locals: p
+                        .locals
+                        .iter()
+                        .map(|(n, v)| (n.clone(), v.clone()))
+                        .collect(),
+                    frames: vec![p.body.iter().cloned().collect()],
+                    status: PStatus::Done, // set by run below
+                    last: None,
+                })
+                .collect(),
+        };
+        for pid in 0..self.program.processes.len() {
+            self.run(&mut state, pid);
+        }
+        state
+    }
+
+    fn enabled(&self, state: &CspState) -> Vec<CspAction> {
+        let mut actions = Vec::new();
+        for (p, ps) in state.procs.iter().enumerate() {
+            let PStatus::Blocked(p_offers) = &ps.status else {
+                continue;
+            };
+            for (si, so) in p_offers.iter().enumerate() {
+                if !so.is_send {
+                    continue;
+                }
+                let q = so.partner;
+                if q == p {
+                    // Self-communication can never complete in CSP.
+                    continue;
+                }
+                let PStatus::Blocked(q_offers) = &state.procs[q].status else {
+                    continue;
+                };
+                for (ri, ro) in q_offers.iter().enumerate() {
+                    if !ro.is_send && ro.partner == p {
+                        actions.push(CspAction {
+                            sender: p,
+                            send_offer: si,
+                            receiver: q,
+                            recv_offer: ri,
+                        });
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    fn apply(&self, state: &mut CspState, action: &CspAction) {
+        let (p, q) = (action.sender, action.receiver);
+        let PStatus::Blocked(p_offers) = std::mem::replace(&mut state.procs[p].status, PStatus::Done)
+        else {
+            panic!("sender not blocked");
+        };
+        let PStatus::Blocked(q_offers) = std::mem::replace(&mut state.procs[q].status, PStatus::Done)
+        else {
+            panic!("receiver not blocked");
+        };
+        let so = p_offers[action.send_offer].clone();
+        let ro = q_offers[action.recv_offer].clone();
+        let value = so.value.clone().expect("send offer carries a value");
+        let partner_of_p = self.program.processes[q].name.clone();
+        let partner_of_q = self.program.processes[p].name.clone();
+
+        // The exchange: OutEnd enabled by {OutReq (chain), InReq}; InEnd
+        // enabled by {InReq (chain), OutReq} — the paper's simultaneity.
+        self.emit(
+            state,
+            p,
+            self.out_els[p],
+            self.out_end,
+            vec![value.clone(), Value::Str(partner_of_p)],
+            &[ro.req_event],
+        );
+        self.emit(
+            state,
+            q,
+            self.in_els[q],
+            self.in_end,
+            vec![value.clone(), Value::Str(partner_of_q)],
+            &[so.req_event],
+        );
+        if let Some(var) = &ro.var {
+            state.procs[q].locals.set(var.clone(), value);
+        }
+        if !so.body.is_empty() {
+            state.procs[p].frames.push(so.body.into_iter().collect());
+        }
+        if !ro.body.is_empty() {
+            state.procs[q].frames.push(ro.body.into_iter().collect());
+        }
+        self.run(state, p);
+        self.run(state, q);
+    }
+
+    fn is_complete(&self, state: &CspState) -> bool {
+        state
+            .procs
+            .iter()
+            .all(|p| matches!(p.status, PStatus::Done))
+    }
+
+    fn control_key(&self, state: &CspState) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        for p in &state.procs {
+            for (n, v) in p.locals.iter() {
+                n.hash(&mut h);
+                format!("{v:?}").hash(&mut h);
+            }
+            format!("{:?}", p.frames).hash(&mut h);
+            match &p.status {
+                PStatus::Done => 0u8.hash(&mut h),
+                PStatus::Blocked(offers) => {
+                    1u8.hash(&mut h);
+                    offers.len().hash(&mut h);
+                }
+            }
+        }
+        Some(h.finish())
+    }
+}
+
+impl CspState {
+    /// The number of events emitted so far.
+    pub fn event_count(&self) -> usize {
+        self.builder.event_count()
+    }
+
+    /// The offers currently published by process `pid` (empty when
+    /// running or done).
+    pub fn offers(&self, pid: usize) -> &[Offer] {
+        match &self.procs[pid].status {
+            PStatus::Blocked(o) => o,
+            PStatus::Done => &[],
+        }
+    }
+
+    /// A local variable of process `pid`.
+    pub fn local(&self, pid: usize, var: &str) -> Option<&Value> {
+        self.procs[pid].locals.get(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::def::CspProcess;
+    use crate::explore::{find_deadlock, Explorer};
+    use crate::Expr;
+    use gem_core::is_legal;
+    use std::ops::ControlFlow;
+
+    fn ping_pong() -> CspProgram {
+        CspProgram::new()
+            .process(CspProcess::new(
+                "ping",
+                vec![
+                    CspStmt::send("pong", Expr::int(7)),
+                    CspStmt::recv("pong", "reply"),
+                ],
+            ).local("reply", 0i64))
+            .process(CspProcess::new(
+                "pong",
+                vec![
+                    CspStmt::recv("ping", "x"),
+                    CspStmt::send("ping", Expr::var("x").add(Expr::int(1))),
+                ],
+            ).local("x", 0i64))
+    }
+
+    #[test]
+    fn ping_pong_exchanges_values() {
+        let sys = CspSystem::new(ping_pong());
+        let stats = Explorer::default().for_each_run(&sys, |state, _| {
+            assert!(sys.is_complete(state));
+            assert_eq!(state.local(1, "x"), Some(&Value::Int(7)));
+            assert_eq!(state.local(0, "reply"), Some(&Value::Int(8)));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(stats.runs, 1, "fully deterministic exchange order");
+    }
+
+    #[test]
+    fn computations_are_legal_and_paired() {
+        let sys = CspSystem::new(ping_pong());
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            assert!(is_legal(&c), "{:?}", gem_core::check_legality(&c));
+            // Cross edges: each OutEnd enabled by an InReq and vice versa.
+            for oe in c.events_of_class(sys.class("OutEnd")) {
+                assert!(c
+                    .enablers_of(oe)
+                    .iter()
+                    .any(|&e| c.event(e).class() == sys.class("InReq")));
+                assert!(c
+                    .enablers_of(oe)
+                    .iter()
+                    .any(|&e| c.event(e).class() == sys.class("OutReq")));
+            }
+            for ie in c.events_of_class(sys.class("InEnd")) {
+                assert!(c
+                    .enablers_of(ie)
+                    .iter()
+                    .any(|&e| c.event(e).class() == sys.class("OutReq")));
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn mismatched_processes_deadlock() {
+        let prog = CspProgram::new()
+            .process(CspProcess::new(
+                "a",
+                vec![CspStmt::recv("b", "x")].into_iter().collect(),
+            ).local("x", 0i64))
+            .process(CspProcess::new(
+                "b",
+                vec![CspStmt::recv("a", "y")],
+            ).local("y", 0i64));
+        let sys = CspSystem::new(prog);
+        assert!(find_deadlock(&sys, &Explorer::default()).is_some());
+    }
+
+    #[test]
+    fn alt_allows_either_order() {
+        // A merger accepting one value from each of two producers, in
+        // either order, via guarded alternatives.
+        let merger = CspProcess::new(
+            "m",
+            vec![
+                CspStmt::Alt(vec![
+                    AltBranch {
+                        guard: None,
+                        comm: Comm::Recv {
+                            from: "p1".into(),
+                            var: "a".into(),
+                        },
+                        body: vec![CspStmt::recv("p2", "b")],
+                    },
+                    AltBranch {
+                        guard: None,
+                        comm: Comm::Recv {
+                            from: "p2".into(),
+                            var: "b".into(),
+                        },
+                        body: vec![CspStmt::recv("p1", "a")],
+                    },
+                ]),
+            ],
+        )
+        .local("a", 0i64)
+        .local("b", 0i64);
+        let prog = CspProgram::new()
+            .process(merger)
+            .process(CspProcess::new("p1", vec![CspStmt::send("m", Expr::int(1))]))
+            .process(CspProcess::new("p2", vec![CspStmt::send("m", Expr::int(2))]));
+        let sys = CspSystem::new(prog);
+        let stats = Explorer::default().for_each_run(&sys, |state, _| {
+            assert!(sys.is_complete(state), "alt must not deadlock");
+            assert_eq!(state.local(0, "a"), Some(&Value::Int(1)));
+            assert_eq!(state.local(0, "b"), Some(&Value::Int(2)));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(stats.runs, 2, "two commit orders");
+    }
+
+    #[test]
+    fn closed_guards_filtered() {
+        let prog = CspProgram::new()
+            .process(
+                CspProcess::new(
+                    "m",
+                    vec![CspStmt::Alt(vec![
+                        AltBranch {
+                            guard: Some(Expr::bool(false)),
+                            comm: Comm::Recv {
+                                from: "p".into(),
+                                var: "x".into(),
+                            },
+                            body: vec![CspStmt::assign("x", Expr::int(99))],
+                        },
+                        AltBranch {
+                            guard: Some(Expr::bool(true)),
+                            comm: Comm::Recv {
+                                from: "p".into(),
+                                var: "x".into(),
+                            },
+                            body: vec![],
+                        },
+                    ])],
+                )
+                .local("x", 0i64),
+            )
+            .process(CspProcess::new("p", vec![CspStmt::send("m", Expr::int(5))]));
+        let sys = CspSystem::new(prog);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            assert_eq!(state.local(0, "x"), Some(&Value::Int(5)));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn local_loops_and_ifs() {
+        let prog = CspProgram::new()
+            .process(
+                CspProcess::new(
+                    "w",
+                    vec![
+                        CspStmt::While(
+                            Expr::var("i").lt(Expr::int(3)),
+                            vec![CspStmt::assign("i", Expr::var("i").add(Expr::int(1)))],
+                        ),
+                        CspStmt::If(
+                            Expr::var("i").eq(Expr::int(3)),
+                            vec![CspStmt::send("sink", Expr::var("i"))],
+                            vec![],
+                        ),
+                    ],
+                )
+                .local("i", 0i64),
+            )
+            .process(CspProcess::new("sink", vec![CspStmt::recv("w", "got")]).local("got", 0i64));
+        let sys = CspSystem::new(prog);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            assert_eq!(state.local(1, "got"), Some(&Value::Int(3)));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn state_accessors() {
+        let sys = CspSystem::new(ping_pong());
+        let state = sys.initial();
+        // Both processes publish their first offers at start.
+        assert_eq!(sys.offers_len(&state), (1, 1));
+        assert!(state.event_count() >= 2, "requests were published");
+        assert!(state.offers(0)[0].is_send);
+        assert!(!state.offers(1)[0].is_send);
+        assert_eq!(state.local(1, "x"), Some(&Value::Int(0)));
+        assert_eq!(state.local(1, "missing"), None);
+    }
+
+    impl CspSystem {
+        /// Test helper: offer counts for the two ping-pong processes.
+        fn offers_len(&self, s: &CspState) -> (usize, usize) {
+            (s.offers(0).len(), s.offers(1).len())
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn unknown_partner_rejected() {
+        let prog = CspProgram::new().process(CspProcess::new(
+            "a",
+            vec![CspStmt::send("ghost", Expr::int(1))],
+        ));
+        let _ = CspSystem::new(prog);
+    }
+
+    #[test]
+    fn dangling_offers_never_end() {
+        // p offers to both q and r via alt; only q accepts. The offer to r
+        // remains a request with no end.
+        let prog = CspProgram::new()
+            .process(CspProcess::new(
+                "p",
+                vec![CspStmt::Alt(vec![
+                    AltBranch {
+                        guard: None,
+                        comm: Comm::Send {
+                            to: "q".into(),
+                            expr: Expr::int(1),
+                        },
+                        body: vec![],
+                    },
+                    AltBranch {
+                        guard: None,
+                        comm: Comm::Send {
+                            to: "r".into(),
+                            expr: Expr::int(2),
+                        },
+                        body: vec![],
+                    },
+                ])],
+            ))
+            .process(CspProcess::new("q", vec![CspStmt::recv("p", "x")]).local("x", 0i64))
+            .process(CspProcess::new("r", vec![]));
+        let sys = CspSystem::new(prog);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            assert!(sys.is_complete(state));
+            let c = sys.computation(state).unwrap();
+            let reqs = c.events_of_class(sys.class("OutReq")).count();
+            let ends = c.events_of_class(sys.class("OutEnd")).count();
+            assert_eq!(reqs, 2, "both offers published");
+            assert_eq!(ends, 1, "only one exchange committed");
+            ControlFlow::Continue(())
+        });
+    }
+}

@@ -1,0 +1,332 @@
+//! Bounded exhaustive exploration of a concurrent system's schedules.
+//!
+//! The verification methodology of §9 requires quantifying over the legal
+//! computations of a program specification. The substrates in this crate
+//! (Monitor, CSP, ADA) generate a GEM computation per *schedule*; this
+//! module enumerates all schedules up to configurable bounds — the
+//! machine-checked stand-in for the paper's hand proofs (see DESIGN.md).
+//!
+//! A [`System`] exposes its nondeterminism as a set of enabled actions per
+//! state; [`Explorer::for_each_run`] drives a depth-first search over all
+//! maximal action sequences. No state pruning is performed by default:
+//! restrictions depend on the *computation* (the full event past), so two
+//! schedules reaching the same control state must still both be checked.
+//! A state-hash pruning mode is available for pure state properties such
+//! as deadlock-freedom (the ablation of DESIGN.md §4).
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+use rand::Rng;
+
+/// A concurrent system driven by scheduler choices.
+pub trait System {
+    /// Full system state, including the event trace being accumulated.
+    type State: Clone;
+    /// One scheduler choice.
+    type Action: Clone + std::fmt::Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// The actions enabled in `state`. An empty result means the run is
+    /// over (completed or deadlocked).
+    fn enabled(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Applies `action` to `state`.
+    fn apply(&self, state: &mut Self::State, action: &Self::Action);
+
+    /// True if `state` is a proper terminal state (all processes
+    /// finished). A state with no enabled actions that is *not* complete
+    /// is a deadlock.
+    fn is_complete(&self, state: &Self::State) -> bool;
+
+    /// Optional hash of the *control* state (excluding the trace), used
+    /// only by pruning exploration. `None` (the default) disables pruning
+    /// for this system.
+    fn control_key(&self, _state: &Self::State) -> Option<u64> {
+        None
+    }
+}
+
+/// Statistics from an exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Number of maximal runs visited.
+    pub runs: usize,
+    /// Total actions applied across all runs.
+    pub steps: usize,
+    /// True if the run limit stopped the search early.
+    pub truncated: bool,
+    /// True if some run hit the depth limit (reported as a run).
+    pub depth_hit: bool,
+}
+
+/// Bounded depth-first exploration of all schedules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Explorer {
+    /// Maximum number of maximal runs to visit.
+    pub max_runs: usize,
+    /// Maximum actions per run (a safety net against unbounded systems).
+    pub max_depth: usize,
+    /// If true, prune states already seen (by [`System::control_key`]);
+    /// sound only for state properties, not trace properties.
+    pub prune: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self {
+            max_runs: 1_000_000,
+            max_depth: 10_000,
+            prune: false,
+        }
+    }
+}
+
+impl Explorer {
+    /// Creates an explorer with the given run limit and default depth.
+    pub fn with_max_runs(max_runs: usize) -> Self {
+        Self {
+            max_runs,
+            ..Self::default()
+        }
+    }
+
+    /// Visits every maximal run of `sys` (up to the bounds), calling
+    /// `visit` with the terminal state and the action sequence that led
+    /// there. The visitor may abort exploration early.
+    pub fn for_each_run<S: System>(
+        &self,
+        sys: &S,
+        mut visit: impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
+    ) -> ExploreStats {
+        let mut stats = ExploreStats::default();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut path: Vec<S::Action> = Vec::new();
+        let state = sys.initial();
+        let _ = self.dfs(sys, state, &mut path, &mut stats, &mut seen, &mut visit);
+        stats
+    }
+
+    fn dfs<S: System>(
+        &self,
+        sys: &S,
+        state: S::State,
+        path: &mut Vec<S::Action>,
+        stats: &mut ExploreStats,
+        seen: &mut HashSet<u64>,
+        visit: &mut impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if stats.runs >= self.max_runs {
+            stats.truncated = true;
+            return ControlFlow::Break(());
+        }
+        if self.prune {
+            if let Some(key) = sys.control_key(&state) {
+                if !seen.insert(key) {
+                    return ControlFlow::Continue(());
+                }
+            }
+        }
+        let actions = sys.enabled(&state);
+        if actions.is_empty() || path.len() >= self.max_depth {
+            if path.len() >= self.max_depth && !actions.is_empty() {
+                stats.depth_hit = true;
+            }
+            stats.runs += 1;
+            return visit(&state, path);
+        }
+        for action in actions {
+            let mut next = state.clone();
+            sys.apply(&mut next, &action);
+            stats.steps += 1;
+            path.push(action);
+            let flow = self.dfs(sys, next, path, stats, seen, visit);
+            path.pop();
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Runs one random schedule to completion (or the depth bound),
+    /// returning the terminal state and the actions taken.
+    pub fn random_run<S: System>(
+        &self,
+        sys: &S,
+        rng: &mut impl Rng,
+    ) -> (S::State, Vec<S::Action>) {
+        let mut state = sys.initial();
+        let mut path = Vec::new();
+        while path.len() < self.max_depth {
+            let actions = sys.enabled(&state);
+            if actions.is_empty() {
+                break;
+            }
+            let action = actions[rng.gen_range(0..actions.len())].clone();
+            sys.apply(&mut state, &action);
+            path.push(action);
+        }
+        (state, path)
+    }
+}
+
+/// Searches all runs for a deadlock: a terminal state that is not
+/// complete. Returns the action sequence leading to the first deadlock
+/// found, or `None` if every explored run completes.
+pub fn find_deadlock<S: System>(sys: &S, explorer: &Explorer) -> Option<Vec<S::Action>> {
+    let mut witness = None;
+    explorer.for_each_run(sys, |state, path| {
+        if !sys.is_complete(state) {
+            witness = Some(path.to_vec());
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    witness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy system: `n` independent counters each stepping to 2.
+    struct Counters {
+        n: usize,
+        stuck: bool,
+    }
+
+    impl System for Counters {
+        type State = Vec<u8>;
+        type Action = usize;
+
+        fn initial(&self) -> Vec<u8> {
+            vec![0; self.n]
+        }
+
+        fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+            if self.stuck && state.contains(&2) {
+                // Contrived deadlock: once anyone reaches 2, nobody moves,
+                // but others may be unfinished.
+                return Vec::new();
+            }
+            (0..self.n).filter(|&i| state[i] < 2).collect()
+        }
+
+        fn apply(&self, state: &mut Vec<u8>, &i: &usize) {
+            state[i] += 1;
+        }
+
+        fn is_complete(&self, state: &Vec<u8>) -> bool {
+            state.iter().all(|&c| c == 2)
+        }
+
+        fn control_key(&self, state: &Vec<u8>) -> Option<u64> {
+            let mut k = 0u64;
+            for &c in state {
+                k = k * 3 + u64::from(c);
+            }
+            Some(k)
+        }
+    }
+
+    #[test]
+    fn exhaustive_run_count() {
+        // 2 counters × 2 steps = interleavings of aabb = C(4,2) = 6.
+        let sys = Counters { n: 2, stuck: false };
+        let stats = Explorer::default().for_each_run(&sys, |s, path| {
+            assert!(sys.is_complete(s));
+            assert_eq!(path.len(), 4);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(stats.runs, 6);
+        assert!(!stats.truncated);
+        assert!(!stats.depth_hit);
+    }
+
+    #[test]
+    fn run_limit_truncates() {
+        let sys = Counters { n: 3, stuck: false };
+        let stats = Explorer::with_max_runs(5).for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.runs, 5);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn pruning_visits_fewer_paths() {
+        let sys = Counters { n: 3, stuck: false };
+        let full = Explorer::default().for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        let pruned = Explorer {
+            prune: true,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert!(pruned.steps < full.steps, "{pruned:?} vs {full:?}");
+        assert_eq!(full.runs, 90); // multinomial 6!/(2!2!2!)
+    }
+
+    #[test]
+    fn deadlock_found() {
+        let sys = Counters { n: 2, stuck: true };
+        let witness = find_deadlock(&sys, &Explorer::default());
+        assert!(witness.is_some());
+        let sys_ok = Counters { n: 2, stuck: false };
+        assert!(find_deadlock(&sys_ok, &Explorer::default()).is_none());
+    }
+
+    #[test]
+    fn random_run_completes() {
+        use rand::SeedableRng;
+        let sys = Counters { n: 2, stuck: false };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (state, path) = Explorer::default().random_run(&sys, &mut rng);
+        assert!(sys.is_complete(&state));
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn depth_limit_flags() {
+        let sys = Counters { n: 2, stuck: false };
+        let stats = Explorer {
+            max_depth: 2,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert!(stats.depth_hit);
+    }
+
+    #[test]
+    fn pruned_search_still_finds_deadlock() {
+        // Pruning is sound for state properties: the deadlock is found
+        // with fewer steps.
+        let sys = Counters { n: 3, stuck: true };
+        let pruned = Explorer {
+            prune: true,
+            ..Explorer::default()
+        };
+        assert!(find_deadlock(&sys, &pruned).is_some());
+        let full_steps = Explorer::default()
+            .for_each_run(&sys, |_, _| ControlFlow::Continue(()))
+            .steps;
+        let pruned_steps = pruned
+            .for_each_run(&sys, |_, _| ControlFlow::Continue(()))
+            .steps;
+        assert!(pruned_steps <= full_steps);
+    }
+
+    #[test]
+    fn early_break_stops_search() {
+        let sys = Counters { n: 3, stuck: false };
+        let mut count = 0;
+        Explorer::default().for_each_run(&sys, |_, _| {
+            count += 1;
+            if count == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(count, 3);
+    }
+}

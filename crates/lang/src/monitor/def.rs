@@ -1,0 +1,367 @@
+//! Monitor program definitions: a Hoare-style monitor (lock, entries,
+//! conditions, variables, initialization) plus the user processes that
+//! call it.
+//!
+//! The paper's §9 GEM description of the Monitor primitive is
+//! `Monitor = GROUP TYPE(lock, {entry}, {cond}, {init}, {var})
+//! PORTS(lock.Req)`; [`MonitorProgram`] is the concrete program text this
+//! substrate executes and translates into computations over exactly that
+//! group structure.
+
+use gem_core::Value;
+
+use crate::ast::Expr;
+
+/// A statement of monitor entry code.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `var := expr` on a monitor variable.
+    Assign(String, Expr),
+    /// `IF cond THEN … ELSE …`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `WHILE cond DO …`.
+    While(Expr, Vec<Stmt>),
+    /// `WAIT(condition)` — release the monitor and join the condition
+    /// queue.
+    Wait(String),
+    /// `SIGNAL(condition)` — Hoare semantics: if a process waits on the
+    /// condition, the monitor passes to it immediately and the signaller
+    /// waits on the urgent stack; otherwise a no-op.
+    Signal(String),
+    /// `IF queue(condition) THEN … ELSE …` — branch on whether any
+    /// process waits on the condition (used by the paper's `EndWrite`).
+    IfQueue(String, Vec<Stmt>, Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Shorthand for [`Stmt::Assign`].
+    pub fn assign(var: impl Into<String>, expr: Expr) -> Self {
+        Stmt::Assign(var.into(), expr)
+    }
+
+    /// Shorthand for a one-armed [`Stmt::If`].
+    pub fn if_then(cond: Expr, then_branch: Vec<Stmt>) -> Self {
+        Stmt::If(cond, then_branch, Vec::new())
+    }
+
+    /// Shorthand for [`Stmt::Wait`].
+    pub fn wait(cond: impl Into<String>) -> Self {
+        Stmt::Wait(cond.into())
+    }
+
+    /// Shorthand for [`Stmt::Signal`].
+    pub fn signal(cond: impl Into<String>) -> Self {
+        Stmt::Signal(cond.into())
+    }
+}
+
+/// One monitor entry procedure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EntryDef {
+    /// Entry name, e.g. `"StartRead"`.
+    pub name: String,
+    /// Formal parameter names, bound per call.
+    pub params: Vec<String>,
+    /// The entry body.
+    pub body: Vec<Stmt>,
+}
+
+/// A monitor definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MonitorDef {
+    /// Monitor name.
+    pub name: String,
+    /// Monitor variables with their initial values (the initialization
+    /// code of the paper).
+    pub vars: Vec<(String, Value)>,
+    /// Condition variable names.
+    pub conditions: Vec<String>,
+    /// Entry procedures.
+    pub entries: Vec<EntryDef>,
+}
+
+impl MonitorDef {
+    /// Creates an empty monitor.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            vars: Vec::new(),
+            conditions: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Declares a monitor variable with an initial value.
+    pub fn var(mut self, name: impl Into<String>, init: impl Into<Value>) -> Self {
+        self.vars.push((name.into(), init.into()));
+        self
+    }
+
+    /// Declares a condition variable.
+    pub fn condition(mut self, name: impl Into<String>) -> Self {
+        self.conditions.push(name.into());
+        self
+    }
+
+    /// Adds an entry procedure.
+    pub fn entry(mut self, name: impl Into<String>, params: &[&str], body: Vec<Stmt>) -> Self {
+        self.entries.push(EntryDef {
+            name: name.into(),
+            params: params.iter().map(|s| (*s).to_owned()).collect(),
+            body,
+        });
+        self
+    }
+
+    /// Finds an entry by name.
+    pub fn entry_index(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+}
+
+/// One step of a user process script.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScriptStep {
+    /// Call a monitor entry with argument values.
+    Call {
+        /// Entry name.
+        entry: String,
+        /// Argument values, positional.
+        args: Vec<Value>,
+    },
+    /// Emit a local event at the user's own element (e.g. the
+    /// Readers/Writers `Read`/`FinishRead` events).
+    Event {
+        /// Event class name (must be among the system's user classes).
+        class: String,
+        /// Event parameters.
+        params: Vec<Value>,
+    },
+    /// Read a shared (non-monitor) variable: a `Getval` event at that
+    /// variable's element.
+    ReadShared {
+        /// Shared variable name.
+        var: String,
+    },
+    /// Write a shared variable: an `Assign` event at its element.
+    WriteShared {
+        /// Shared variable name.
+        var: String,
+        /// Value to write (evaluated over the shared/monitor variables).
+        value: Expr,
+    },
+}
+
+/// A user process: a name and a sequential script.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProcessDef {
+    /// Process name (also its GEM element name).
+    pub name: String,
+    /// The sequential script.
+    pub script: Vec<ScriptStep>,
+}
+
+impl ProcessDef {
+    /// Creates a process with the given script.
+    pub fn new(name: impl Into<String>, script: Vec<ScriptStep>) -> Self {
+        Self {
+            name: name.into(),
+            script,
+        }
+    }
+}
+
+/// The signalling discipline of the monitor (the classic Hoare/Mesa
+/// split).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SignalSemantics {
+    /// Hoare / signal-urgent: `SIGNAL` on a non-empty condition passes
+    /// the monitor to the first waiter immediately; the signaller parks
+    /// and resumes before any new entry. The signalled condition is
+    /// guaranteed still to hold, so `IF … THEN WAIT` suffices — this is
+    /// what §9's proof assumes.
+    #[default]
+    Hoare,
+    /// Mesa / signal-and-continue: `SIGNAL` merely makes the first waiter
+    /// *eligible to re-acquire* the monitor; the signaller keeps running,
+    /// and new callers may beat the waiter to the lock, so the signalled
+    /// condition may no longer hold when the waiter resumes. Correct Mesa
+    /// code re-checks with `WHILE … DO WAIT`.
+    Mesa,
+}
+
+/// A complete monitor program: the monitor, the user processes, shared
+/// variables accessed outside the monitor, and any extra user event
+/// classes the scripts emit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MonitorProgram {
+    /// The monitor definition.
+    pub monitor: MonitorDef,
+    /// The user processes.
+    pub processes: Vec<ProcessDef>,
+    /// Shared variables (outside the monitor) with initial values.
+    pub shared_vars: Vec<(String, Value)>,
+    /// Extra event classes at user elements: `(name, param names)`.
+    pub user_classes: Vec<(String, Vec<String>)>,
+    /// The signalling discipline (default [`SignalSemantics::Hoare`]).
+    pub semantics: SignalSemantics,
+}
+
+impl MonitorProgram {
+    /// Creates a program with no processes.
+    pub fn new(monitor: MonitorDef) -> Self {
+        Self {
+            monitor,
+            processes: Vec::new(),
+            shared_vars: Vec::new(),
+            user_classes: Vec::new(),
+            semantics: SignalSemantics::Hoare,
+        }
+    }
+
+    /// Selects the signalling discipline.
+    pub fn with_semantics(mut self, semantics: SignalSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Adds a user process.
+    pub fn process(mut self, p: ProcessDef) -> Self {
+        self.processes.push(p);
+        self
+    }
+
+    /// Declares a shared variable.
+    pub fn shared_var(mut self, name: impl Into<String>, init: impl Into<Value>) -> Self {
+        self.shared_vars.push((name.into(), init.into()));
+        self
+    }
+
+    /// Declares a user event class.
+    pub fn user_class(mut self, name: impl Into<String>, params: &[&str]) -> Self {
+        self.user_classes.push((
+            name.into(),
+            params.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        self
+    }
+}
+
+/// The Readers-Priority Readers/Writers monitor of §9, verbatim:
+///
+/// ```text
+/// readqueue, writequeue: CONDITION;
+/// readernum: INTEGER;  /* positive if reading, -1 if writing */
+/// ENTRY StartRead: IF readernum < 0 THEN WAIT(readqueue);
+///                  readernum := readernum + 1; SIGNAL(readqueue);
+/// ENTRY EndRead:   readernum := readernum - 1;
+///                  IF readernum = 0 THEN SIGNAL(writequeue);
+/// ENTRY StartWrite: IF readernum ≠ 0 THEN WAIT(writequeue);
+///                   readernum := -1;
+/// ENTRY EndWrite:  readernum := 0;
+///                  IF queue(readqueue) THEN SIGNAL(readqueue)
+///                  ELSE SIGNAL(writequeue);
+/// init: readernum := 0
+/// ```
+pub fn readers_writers_monitor() -> MonitorDef {
+    let readernum = || Expr::var("readernum");
+    MonitorDef::new("ReadersWriters")
+        .var("readernum", 0i64)
+        .condition("readqueue")
+        .condition("writequeue")
+        .entry(
+            "StartRead",
+            &[],
+            vec![
+                Stmt::if_then(readernum().lt(Expr::int(0)), vec![Stmt::wait("readqueue")]),
+                Stmt::assign("readernum", readernum().add(Expr::int(1))),
+                Stmt::signal("readqueue"),
+            ],
+        )
+        .entry(
+            "EndRead",
+            &[],
+            vec![
+                Stmt::assign("readernum", readernum().sub(Expr::int(1))),
+                Stmt::if_then(
+                    readernum().eq(Expr::int(0)),
+                    vec![Stmt::signal("writequeue")],
+                ),
+            ],
+        )
+        .entry(
+            "StartWrite",
+            &[],
+            vec![
+                Stmt::if_then(readernum().ne(Expr::int(0)), vec![Stmt::wait("writequeue")]),
+                Stmt::assign("readernum", Expr::int(-1)),
+            ],
+        )
+        .entry(
+            "EndWrite",
+            &[],
+            vec![
+                Stmt::assign("readernum", Expr::int(0)),
+                Stmt::IfQueue(
+                    "readqueue".into(),
+                    vec![Stmt::signal("readqueue")],
+                    vec![Stmt::signal("writequeue")],
+                ),
+            ],
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate() {
+        let m = MonitorDef::new("M")
+            .var("x", 0i64)
+            .condition("c")
+            .entry("E", &["p"], vec![Stmt::assign("x", Expr::var("p"))]);
+        assert_eq!(m.vars.len(), 1);
+        assert_eq!(m.conditions, vec!["c"]);
+        assert_eq!(m.entry_index("E"), Some(0));
+        assert_eq!(m.entry_index("F"), None);
+        assert_eq!(m.entries[0].params, vec!["p"]);
+    }
+
+    #[test]
+    fn rw_monitor_shape() {
+        let m = readers_writers_monitor();
+        assert_eq!(m.entries.len(), 4);
+        assert_eq!(m.conditions.len(), 2);
+        assert!(m.entry_index("StartRead").is_some());
+        assert!(m.entry_index("EndWrite").is_some());
+    }
+
+    #[test]
+    fn program_builder() {
+        let prog = MonitorProgram::new(readers_writers_monitor())
+            .shared_var("data", 0i64)
+            .user_class("Read", &[])
+            .process(ProcessDef::new(
+                "r0",
+                vec![
+                    ScriptStep::Event {
+                        class: "Read".into(),
+                        params: vec![],
+                    },
+                    ScriptStep::Call {
+                        entry: "StartRead".into(),
+                        args: vec![],
+                    },
+                    ScriptStep::ReadShared { var: "data".into() },
+                    ScriptStep::Call {
+                        entry: "EndRead".into(),
+                        args: vec![],
+                    },
+                ],
+            ));
+        assert_eq!(prog.processes.len(), 1);
+        assert_eq!(prog.shared_vars.len(), 1);
+        assert_eq!(prog.user_classes.len(), 1);
+    }
+}

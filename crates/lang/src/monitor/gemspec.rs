@@ -1,0 +1,221 @@
+//! The GEM description of the Monitor primitive (§9) as checkable
+//! restrictions.
+//!
+//! The paper sketches `Monitor = GROUP TYPE(lock, {entry}, {cond}, init,
+//! {var}) PORTS(lock.Req)` with "restrictions describing how a monitor
+//! functions — rules for waiting and signalling, initialization, etc."
+//! [`monitor_restrictions`] produces those rules for a concrete
+//! [`MonitorSystem`]:
+//!
+//! 1. **Signal/Resume pairing** — the release of a wait must be enabled by
+//!    exactly one `Signal`, and each `Signal` can enable only one resume
+//!    (§8.2's prerequisite example).
+//! 2. **Wait/Resume pairing** — each resume continues exactly one wait.
+//! 3. **Lock discipline** — every `Acquire` is preceded (temporally) by
+//!    the initialization, and acquire events are totally ordered (they all
+//!    occur at the lock element, so this is the element-order legality
+//!    restriction; stated here as documentation).
+//!
+//! [`entries_sequential`] checks the property the paper reports proving of
+//! the Monitor: *sequential execution of monitor entries* — all events at
+//! monitor-internal elements are totally ordered by the temporal order.
+
+use gem_core::Computation;
+use gem_logic::{EventSel, Formula};
+
+use crate::monitor::sim::MonitorSystem;
+
+/// Named restriction formulas describing how a monitor functions, for the
+/// given compiled system.
+pub fn monitor_restrictions(sys: &MonitorSystem) -> Vec<(String, Formula)> {
+    let mut out = Vec::new();
+    for cond in &sys.program().monitor.conditions {
+        let el = sys.cond_element(cond);
+        let signal = EventSel::of_class(sys.class("Signal")).at(el);
+        let wait = EventSel::of_class(sys.class("Wait")).at(el);
+        let resume = EventSel::of_class(sys.class("Resume")).at(el);
+        out.push((
+            format!("{cond}.signal-enables-resume"),
+            gem_spec::prerequisite(&signal, &resume),
+        ));
+        out.push((
+            format!("{cond}.wait-enables-resume"),
+            gem_spec::prerequisite(&wait, &resume),
+        ));
+    }
+    // Initialization precedes every acquisition of the lock.
+    let init = EventSel::of_class(sys.class("Init"));
+    let acquire = EventSel::of_class(sys.class("Acquire")).at(sys.lock_element());
+    out.push((
+        "init-before-any-entry".into(),
+        Formula::forall(
+            "i",
+            init,
+            Formula::forall("a", acquire, Formula::precedes("i", "a")),
+        ),
+    ));
+    out
+}
+
+/// The paper's proved Monitor property: all events occurring in monitor
+/// entries, conditions, variables, or initialization code are totally
+/// ordered by the temporal order.
+///
+/// Lock `Req` events are excluded: requests are made *from outside* the
+/// monitor and genuinely overlap running entries; the sequentiality claim
+/// is about the code executed under the lock.
+///
+/// Returns `true` if every pair of such events of `computation` is
+/// ordered.
+pub fn entries_sequential(sys: &MonitorSystem, computation: &Computation) -> bool {
+    let s = computation.structure();
+    let group = s
+        .group(&sys.program().monitor.name)
+        .expect("monitor group exists");
+    let req = sys.class("Req");
+    let internal: Vec<_> = computation
+        .events()
+        .iter()
+        .filter(|e| e.class() != req && s.contained(e.element().into(), group))
+        .map(|e| e.id())
+        .collect();
+    for (i, &a) in internal.iter().enumerate() {
+        for &b in &internal[i + 1..] {
+            if computation.concurrent(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use crate::monitor::def::{
+        readers_writers_monitor, MonitorProgram, ProcessDef, ScriptStep,
+    };
+    use gem_logic::{holds_on_computation, Strategy};
+    use std::ops::ControlFlow;
+
+    fn call(entry: &str) -> ScriptStep {
+        ScriptStep::Call {
+            entry: entry.into(),
+            args: vec![],
+        }
+    }
+
+    fn rw_program(readers: usize, writers: usize) -> MonitorProgram {
+        let mut prog = MonitorProgram::new(readers_writers_monitor());
+        for i in 0..readers {
+            prog = prog.process(ProcessDef::new(
+                format!("r{i}"),
+                vec![call("StartRead"), call("EndRead")],
+            ));
+        }
+        for i in 0..writers {
+            prog = prog.process(ProcessDef::new(
+                format!("w{i}"),
+                vec![call("StartWrite"), call("EndWrite")],
+            ));
+        }
+        prog
+    }
+
+    #[test]
+    fn monitor_restrictions_hold_on_all_rw_schedules() {
+        let sys = MonitorSystem::new(rw_program(2, 1));
+        let restrictions = monitor_restrictions(&sys);
+        assert!(restrictions.len() >= 5);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            for (name, f) in &restrictions {
+                assert!(
+                    holds_on_computation(f, &c).unwrap(),
+                    "restriction {name} violated"
+                );
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn entries_sequential_on_all_schedules() {
+        let sys = MonitorSystem::new(rw_program(2, 1));
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            assert!(entries_sequential(&sys, &c));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn user_events_are_concurrent_across_processes() {
+        // Sanity: the sequential-entries property is about the monitor,
+        // not the users — independent user events stay concurrent.
+        let mut prog = rw_program(1, 0);
+        prog = prog.user_class("Think", &[]);
+        let mut procs = std::mem::take(&mut prog.processes);
+        procs.push(ProcessDef::new(
+            "idler",
+            vec![ScriptStep::Event {
+                class: "Think".into(),
+                params: vec![],
+            }],
+        ));
+        prog.processes = procs;
+        let sys = MonitorSystem::new(prog);
+        let mut found_concurrent = false;
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            let think: Vec<_> = c.events_of_class(sys.class("Think")).collect();
+            let begin: Vec<_> = c.events_of_class(sys.class("Begin")).collect();
+            if !think.is_empty() && !begin.is_empty() && c.concurrent(think[0], begin[0]) {
+                found_concurrent = true;
+            }
+            ControlFlow::Continue(())
+        });
+        assert!(found_concurrent);
+    }
+
+    #[test]
+    fn monitor_restrictions_hold_under_mesa_semantics() {
+        // Signal/Wait → Resume pairing is a property of the primitive's
+        // event structure, independent of the signalling discipline.
+        use crate::monitor::def::SignalSemantics;
+        let mut prog = rw_program(1, 2);
+        prog.semantics = SignalSemantics::Mesa;
+        let sys = MonitorSystem::new(prog);
+        let restrictions = monitor_restrictions(&sys);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            for (name, f) in &restrictions {
+                assert!(
+                    holds_on_computation(f, &c).unwrap(),
+                    "restriction {name} violated under Mesa"
+                );
+            }
+            assert!(entries_sequential(&sys, &c));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn restrictions_hold_under_linearization_checking() {
+        // The same restrictions, checked with the sequence machinery.
+        let sys = MonitorSystem::new(rw_program(1, 1));
+        let restrictions = monitor_restrictions(&sys);
+        let mut checked = 0;
+        Explorer::with_max_runs(3).for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            for (_, f) in &restrictions {
+                let r = gem_logic::check(f, &c, Strategy::Complete).unwrap();
+                assert!(r.holds);
+            }
+            checked += 1;
+            ControlFlow::Continue(())
+        });
+        assert!(checked > 0);
+    }
+}

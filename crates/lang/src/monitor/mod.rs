@@ -1,0 +1,21 @@
+//! The Monitor concurrency primitive (Hoare/Brinch-Hansen style), one of
+//! the three language substrates the paper describes in GEM (§9).
+//!
+//! * [`MonitorDef`]/[`MonitorProgram`] — program text (entries, conditions,
+//!   variables, user process scripts).
+//! * [`MonitorSystem`] — executes programs under an exploring scheduler,
+//!   emitting GEM computations over the Monitor group structure
+//!   (`PORTS(lock.Req)`).
+//! * [`monitor_restrictions`]/[`entries_sequential`] — the GEM description
+//!   of the primitive itself, checkable against generated computations.
+
+mod def;
+mod gemspec;
+mod sim;
+
+pub use def::{
+    readers_writers_monitor, EntryDef, MonitorDef, MonitorProgram, ProcessDef, ScriptStep,
+    SignalSemantics, Stmt,
+};
+pub use gemspec::{entries_sequential, monitor_restrictions};
+pub use sim::{MonitorAction, MonitorState, MonitorSystem};

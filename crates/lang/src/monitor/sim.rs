@@ -1,0 +1,1166 @@
+//! Execution of monitor programs into GEM computations.
+//!
+//! [`MonitorSystem`] implements [`System`](crate::System): scheduler
+//! choices are (a) which user process takes its next script step and
+//! (b) which pending caller acquires the free monitor. Monitor entry code
+//! runs to its next blocking point within one action — the monitor lock
+//! excludes all other monitor activity anyway, and user-level events of
+//! other processes remain concurrent *in the generated computation*, so
+//! event-level interleavings are fully represented even though entries are
+//! scheduler-atomic.
+//!
+//! Signal semantics are Hoare's with an urgent stack: `SIGNAL` on a
+//! non-empty condition passes the monitor to the first waiter immediately
+//! and parks the signaller; on release, parked signallers resume before
+//! any new entry. This is the discipline §9's readers-priority proof
+//! assumes ("all waiting readers will be signalled before any other
+//! process executes in the monitor").
+//!
+//! ## Event vocabulary
+//!
+//! | Element | Classes (params) |
+//! |---------|------------------|
+//! | each user process | `Call(entry)`, `Return(entry)`, plus declared user classes |
+//! | `<m>.lock` | `Req(entry, pid)`, `Acquire(pid)`, `Release(pid)` — `Req` is the monitor group's port |
+//! | `<m>.entry.<e>` | `Begin(pid)`, `End(pid)` |
+//! | `<m>.var.<v>`, shared `<v>` | `Assign(newval, entry, pid)`, `Getval(oldval, entry, pid)` |
+//! | `<m>.cond.<c>` | `Wait(pid)`, `Signal(pid)`, `Resume(pid)` |
+//! | `<m>.init` | `Init()` |
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use gem_core::{
+    BuildError, ClassId, Computation, ComputationBuilder, ElementId, EventId, Structure, Value,
+};
+
+use crate::ast::VarStore;
+use crate::explore::System;
+use crate::monitor::def::{MonitorProgram, ScriptStep, SignalSemantics, Stmt};
+
+/// Sentinel `pid` parameter for initialization events.
+const INIT_PID: i64 = -1;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Classes {
+    call: ClassId,
+    ret: ClassId,
+    req: ClassId,
+    acquire: ClassId,
+    release: ClassId,
+    begin: ClassId,
+    end: ClassId,
+    assign: ClassId,
+    getval: ClassId,
+    wait: ClassId,
+    signal: ClassId,
+    resume: ClassId,
+    init: ClassId,
+}
+
+/// A monitor program compiled against a GEM structure, ready to execute.
+#[derive(Clone, Debug)]
+pub struct MonitorSystem {
+    program: MonitorProgram,
+    structure: Arc<Structure>,
+    cls: Classes,
+    user_cls: BTreeMap<String, ClassId>,
+    user_els: Vec<ElementId>,
+    lock_el: ElementId,
+    init_el: ElementId,
+    entry_els: Vec<ElementId>,
+    var_els: BTreeMap<String, ElementId>,
+    cond_els: BTreeMap<String, ElementId>,
+}
+
+/// Status of a user process between scheduler actions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+enum Status {
+    /// Ready to take its next script step.
+    Ready,
+    /// Requested an entry; waiting for the monitor lock.
+    Pending,
+    /// Blocked in `WAIT` on a condition.
+    Waiting,
+    /// Signalled under Mesa semantics: eligible to re-acquire the lock.
+    ReAcquire,
+    /// Parked on the urgent stack after `SIGNAL` (Hoare semantics).
+    Urgent,
+    /// Script exhausted.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct ProcRuntime {
+    script_pos: usize,
+    status: Status,
+    frames: Vec<VecDeque<Stmt>>,
+    entry: Option<usize>,
+    locals: VarStore,
+    pending_args: Vec<Value>,
+    last: Option<EventId>,
+    wait_event: Option<EventId>,
+    /// Mesa: the signal that woke this process, pending its re-acquire.
+    pending_signal: Option<EventId>,
+    /// Mesa: the condition this process is resuming from.
+    resume_cond: Option<String>,
+}
+
+/// Full execution state of a monitor program, including the computation
+/// built so far.
+#[derive(Clone, Debug)]
+pub struct MonitorState {
+    builder: ComputationBuilder,
+    vars: VarStore,
+    procs: Vec<ProcRuntime>,
+    lock: Option<usize>,
+    /// Last initialization event inside the monitor; enables the first
+    /// acquisition (the monitor cannot run before it is initialized).
+    init_done: Option<EventId>,
+    urgent: Vec<usize>,
+    queues: BTreeMap<String, VecDeque<usize>>,
+}
+
+/// A scheduler choice for a monitor program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MonitorAction {
+    /// Process `pid` performs its next script step (a local event, shared
+    /// access, or an entry request).
+    Step(usize),
+    /// Pending process `pid` acquires the free monitor and runs its entry
+    /// to the next blocking point.
+    Enter(usize),
+    /// Mesa semantics: signalled process `pid` re-acquires the free
+    /// monitor and resumes after its `WAIT`.
+    Resume(usize),
+}
+
+impl MonitorSystem {
+    /// Compiles `program` into a system: builds the GEM structure (the
+    /// Monitor group with `PORTS(lock.Req)`, per §9) and caches ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is ill-formed (duplicate names, a script
+    /// referencing an unknown entry/variable/class). These are
+    /// program-text errors, reported eagerly.
+    pub fn new(program: MonitorProgram) -> Self {
+        let mut s = Structure::new();
+        let m = &program.monitor.name;
+        let cls = Classes {
+            call: s.add_class("Call", &["entry"]).expect("fresh class"),
+            ret: s.add_class("Return", &["entry"]).expect("fresh class"),
+            req: s.add_class("Req", &["entry", "pid"]).expect("fresh class"),
+            acquire: s.add_class("Acquire", &["pid"]).expect("fresh class"),
+            release: s.add_class("Release", &["pid"]).expect("fresh class"),
+            begin: s.add_class("Begin", &["pid"]).expect("fresh class"),
+            end: s.add_class("End", &["pid"]).expect("fresh class"),
+            assign: s
+                .add_class("Assign", &["newval", "entry", "pid"])
+                .expect("fresh class"),
+            getval: s
+                .add_class("Getval", &["oldval", "entry", "pid"])
+                .expect("fresh class"),
+            wait: s.add_class("Wait", &["pid"]).expect("fresh class"),
+            signal: s.add_class("Signal", &["pid"]).expect("fresh class"),
+            resume: s.add_class("Resume", &["pid"]).expect("fresh class"),
+            init: s.add_class("Init", &[]).expect("fresh class"),
+        };
+        let mut user_cls = BTreeMap::new();
+        for (name, params) in &program.user_classes {
+            let ps: Vec<&str> = params.iter().map(String::as_str).collect();
+            user_cls.insert(
+                name.clone(),
+                s.add_class(name.clone(), &ps).expect("user class"),
+            );
+        }
+        let user_els: Vec<ElementId> = program
+            .processes
+            .iter()
+            .map(|p| {
+                let mut classes = vec![cls.call, cls.ret];
+                classes.extend(user_cls.values().copied());
+                s.add_element(p.name.clone(), &classes).expect("user element")
+            })
+            .collect();
+        let lock_el = s
+            .add_element(format!("{m}.lock"), &[cls.req, cls.acquire, cls.release])
+            .expect("lock element");
+        let init_el = s
+            .add_element(format!("{m}.init"), &[cls.init])
+            .expect("init element");
+        let entry_els: Vec<ElementId> = program
+            .monitor
+            .entries
+            .iter()
+            .map(|e| {
+                s.add_element(format!("{m}.entry.{}", e.name), &[cls.begin, cls.end])
+                    .expect("entry element")
+            })
+            .collect();
+        let mut var_els = BTreeMap::new();
+        for (v, _) in &program.monitor.vars {
+            var_els.insert(
+                v.clone(),
+                s.add_element(format!("{m}.var.{v}"), &[cls.assign, cls.getval])
+                    .expect("var element"),
+            );
+        }
+        for (v, _) in &program.shared_vars {
+            var_els.insert(
+                v.clone(),
+                s.add_element(v.clone(), &[cls.assign, cls.getval])
+                    .expect("shared var element"),
+            );
+        }
+        let mut cond_els = BTreeMap::new();
+        for c in &program.monitor.conditions {
+            cond_els.insert(
+                c.clone(),
+                s.add_element(format!("{m}.cond.{c}"), &[cls.wait, cls.signal, cls.resume])
+                    .expect("cond element"),
+            );
+        }
+        // Monitor = GROUP(lock, init, {entry}, {cond}, {var}) PORTS(lock.Req)
+        let mut members: Vec<gem_core::NodeRef> = vec![lock_el.into(), init_el.into()];
+        members.extend(entry_els.iter().map(|&e| gem_core::NodeRef::from(e)));
+        members.extend(cond_els.values().map(|&e| gem_core::NodeRef::from(e)));
+        for (v, _) in &program.monitor.vars {
+            members.push(var_els[v].into());
+        }
+        let group = s.add_group(m.clone(), &members).expect("monitor group");
+        s.add_port(group, lock_el, cls.req).expect("lock.Req port");
+
+        // Validate scripts eagerly.
+        for p in &program.processes {
+            for step in &p.script {
+                match step {
+                    ScriptStep::Call { entry, .. } => {
+                        assert!(
+                            program.monitor.entry_index(entry).is_some(),
+                            "process {:?} calls unknown entry {entry:?}",
+                            p.name
+                        );
+                    }
+                    ScriptStep::Event { class, .. } => {
+                        assert!(
+                            user_cls.contains_key(class),
+                            "process {:?} emits undeclared user class {class:?}",
+                            p.name
+                        );
+                    }
+                    ScriptStep::ReadShared { var } | ScriptStep::WriteShared { var, .. } => {
+                        assert!(
+                            program.shared_vars.iter().any(|(v, _)| v == var),
+                            "process {:?} accesses unknown shared variable {var:?}",
+                            p.name
+                        );
+                    }
+                }
+            }
+        }
+
+        Self {
+            program,
+            structure: Arc::new(s),
+            cls,
+            user_cls,
+            user_els,
+            lock_el,
+            init_el,
+            entry_els,
+            var_els,
+            cond_els,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &MonitorProgram {
+        &self.program
+    }
+
+    /// The GEM structure computations of this system use.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Shared handle to the structure.
+    pub fn structure_arc(&self) -> Arc<Structure> {
+        Arc::clone(&self.structure)
+    }
+
+    /// The element of user process `pid`.
+    pub fn user_element(&self, pid: usize) -> ElementId {
+        self.user_els[pid]
+    }
+
+    /// The monitor lock element.
+    pub fn lock_element(&self) -> ElementId {
+        self.lock_el
+    }
+
+    /// The element of entry `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such entry exists.
+    pub fn entry_element(&self, name: &str) -> ElementId {
+        let i = self
+            .program
+            .monitor
+            .entry_index(name)
+            .unwrap_or_else(|| panic!("unknown entry {name:?}"));
+        self.entry_els[i]
+    }
+
+    /// The element of monitor or shared variable `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such variable exists.
+    pub fn var_element(&self, name: &str) -> ElementId {
+        *self
+            .var_els
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown variable {name:?}"))
+    }
+
+    /// The element of condition `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such condition exists.
+    pub fn cond_element(&self, name: &str) -> ElementId {
+        *self
+            .cond_els
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown condition {name:?}"))
+    }
+
+    /// Class id of a built-in monitor event class (`"Call"`, `"Req"`,
+    /// `"Assign"`, …) or a declared user class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is unknown.
+    pub fn class(&self, name: &str) -> ClassId {
+        match name {
+            "Call" => self.cls.call,
+            "Return" => self.cls.ret,
+            "Req" => self.cls.req,
+            "Acquire" => self.cls.acquire,
+            "Release" => self.cls.release,
+            "Begin" => self.cls.begin,
+            "End" => self.cls.end,
+            "Assign" => self.cls.assign,
+            "Getval" => self.cls.getval,
+            "Wait" => self.cls.wait,
+            "Signal" => self.cls.signal,
+            "Resume" => self.cls.resume,
+            "Init" => self.cls.init,
+            other => *self
+                .user_cls
+                .get(other)
+                .unwrap_or_else(|| panic!("unknown class {other:?}")),
+        }
+    }
+
+    /// Seals the computation accumulated in `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the trace is cyclic — which would indicate
+    /// a simulator bug, as emitted edges always point forward in time.
+    pub fn computation(&self, state: &MonitorState) -> Result<Computation, BuildError> {
+        state.builder.clone().seal()
+    }
+
+    fn emit(
+        &self,
+        state: &mut MonitorState,
+        pid: Option<usize>,
+        element: ElementId,
+        class: ClassId,
+        params: Vec<Value>,
+        extra_enablers: &[EventId],
+    ) -> EventId {
+        let e = state
+            .builder
+            .add_event(element, class, params)
+            .expect("ids are from this structure");
+        if let Some(p) = pid {
+            if let Some(last) = state.procs[p].last {
+                state.builder.enable(last, e).expect("known events");
+            }
+            state.procs[p].last = Some(e);
+        }
+        for &x in extra_enablers {
+            state.builder.enable(x, e).expect("known events");
+        }
+        e
+    }
+
+    fn eval_env(&self, state: &MonitorState, pid: usize) -> VarStore {
+        let mut env = state.vars.clone();
+        env.extend(
+            state.procs[pid]
+                .locals
+                .iter()
+                .map(|(n, v)| (n.to_owned(), v.clone())),
+        );
+        env
+    }
+
+    /// Runs process `pid` (which holds the monitor) until it waits,
+    /// signals a non-empty condition, or finishes its entry.
+    fn run(&self, state: &mut MonitorState, pid: usize) {
+        loop {
+            // Drop exhausted frames.
+            while matches!(state.procs[pid].frames.last(), Some(f) if f.is_empty()) {
+                state.procs[pid].frames.pop();
+            }
+            let Some(stmt) = state
+                .procs[pid]
+                .frames
+                .last_mut()
+                .and_then(VecDeque::pop_front)
+            else {
+                self.finish_entry(state, pid);
+                return;
+            };
+            match stmt {
+                Stmt::Assign(var, expr) => {
+                    let env = self.eval_env(state, pid);
+                    let v = expr
+                        .eval(&env)
+                        .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
+                    state.vars.set(var.clone(), v.clone());
+                    let entry_name = self.entry_name(state, pid);
+                    self.emit(
+                        state,
+                        Some(pid),
+                        self.var_element(&var),
+                        self.cls.assign,
+                        vec![v, Value::Str(entry_name), Value::Int(pid as i64)],
+                        &[],
+                    );
+                }
+                Stmt::If(cond, then_branch, else_branch) => {
+                    let env = self.eval_env(state, pid);
+                    let b = cond
+                        .eval(&env)
+                        .unwrap_or_else(|e| panic!("monitor runtime error: {e}"))
+                        .as_bool()
+                        .expect("IF condition must be boolean");
+                    let branch = if b { then_branch } else { else_branch };
+                    state.procs[pid].frames.push(branch.into_iter().collect());
+                }
+                Stmt::While(cond, body) => {
+                    let env = self.eval_env(state, pid);
+                    let b = cond
+                        .eval(&env)
+                        .unwrap_or_else(|e| panic!("monitor runtime error: {e}"))
+                        .as_bool()
+                        .expect("WHILE condition must be boolean");
+                    if b {
+                        let mut frame: VecDeque<Stmt> = body.iter().cloned().collect();
+                        frame.push_back(Stmt::While(cond, body));
+                        state.procs[pid].frames.push(frame);
+                    }
+                }
+                Stmt::Wait(cond) => {
+                    // Join the condition queue inside the monitor, then
+                    // release the lock. The Wait event is remembered so
+                    // the eventual Resume is enabled by it (alongside the
+                    // Signal and the chain's Release).
+                    let wait_ev = self.emit(
+                        state,
+                        Some(pid),
+                        self.cond_element(&cond),
+                        self.cls.wait,
+                        vec![Value::Int(pid as i64)],
+                        &[],
+                    );
+                    state.procs[pid].wait_event = Some(wait_ev);
+                    let rel = self.emit(
+                        state,
+                        Some(pid),
+                        self.lock_el,
+                        self.cls.release,
+                        vec![Value::Int(pid as i64)],
+                        &[],
+                    );
+                    let _ = rel;
+                    state.queues.get_mut(&cond).expect("known condition").push_back(pid);
+                    state.procs[pid].status = Status::Waiting;
+                    state.lock = None;
+                    self.pop_urgent(state);
+                    return;
+                }
+                Stmt::Signal(cond) => {
+                    let sig = self.emit(
+                        state,
+                        Some(pid),
+                        self.cond_element(&cond),
+                        self.cls.signal,
+                        vec![Value::Int(pid as i64)],
+                        &[],
+                    );
+                    let waiter = state
+                        .queues
+                        .get_mut(&cond)
+                        .expect("known condition")
+                        .pop_front();
+                    if let Some(w) = waiter {
+                        match self.program.semantics {
+                            SignalSemantics::Hoare => {
+                                // Monitor passes to the waiter; signaller
+                                // parks on the urgent stack.
+                                state.urgent.push(pid);
+                                state.procs[pid].status = Status::Urgent;
+                                state.lock = Some(w);
+                                state.procs[w].status = Status::Ready;
+                                let mut extra = vec![sig];
+                                if let Some(we) = state.procs[w].wait_event.take() {
+                                    extra.push(we);
+                                }
+                                self.emit(
+                                    state,
+                                    Some(w),
+                                    self.cond_element(&cond),
+                                    self.cls.resume,
+                                    vec![Value::Int(w as i64)],
+                                    &extra,
+                                );
+                                self.run(state, w);
+                                return;
+                            }
+                            SignalSemantics::Mesa => {
+                                // Signal-and-continue: the waiter merely
+                                // becomes eligible to re-acquire; the
+                                // signaller keeps running, and new
+                                // entrants may overtake the waiter.
+                                state.procs[w].status = Status::ReAcquire;
+                                state.procs[w].pending_signal = Some(sig);
+                                state.procs[w].resume_cond = Some(cond.clone());
+                            }
+                        }
+                    }
+                }
+                Stmt::IfQueue(cond, then_branch, else_branch) => {
+                    let nonempty = !state.queues.get(&cond).expect("known condition").is_empty();
+                    let branch = if nonempty { then_branch } else { else_branch };
+                    state.procs[pid].frames.push(branch.into_iter().collect());
+                }
+            }
+        }
+    }
+
+    fn entry_name(&self, state: &MonitorState, pid: usize) -> String {
+        state.procs[pid]
+            .entry
+            .map(|i| self.program.monitor.entries[i].name.clone())
+            .unwrap_or_default()
+    }
+
+    fn finish_entry(&self, state: &mut MonitorState, pid: usize) {
+        let entry_idx = state.procs[pid].entry.expect("finishing inside an entry");
+        let entry_name = self.program.monitor.entries[entry_idx].name.clone();
+        self.emit(
+            state,
+            Some(pid),
+            self.entry_els[entry_idx],
+            self.cls.end,
+            vec![Value::Int(pid as i64)],
+            &[],
+        );
+        let rel = self.emit(
+            state,
+            Some(pid),
+            self.lock_el,
+            self.cls.release,
+            vec![Value::Int(pid as i64)],
+            &[],
+        );
+        self.emit(
+            state,
+            Some(pid),
+            self.user_els[pid],
+            self.cls.ret,
+            vec![Value::Str(entry_name)],
+            &[],
+        );
+        let proc = &mut state.procs[pid];
+        proc.entry = None;
+        proc.locals = VarStore::new();
+        proc.script_pos += 1;
+        proc.status = if proc.script_pos >= self.program.processes[pid].script.len() {
+            Status::Done
+        } else {
+            Status::Ready
+        };
+        let _ = rel;
+        state.lock = None;
+        self.pop_urgent(state);
+    }
+
+    fn advance_script(&self, state: &mut MonitorState, pid: usize) {
+        let proc = &mut state.procs[pid];
+        proc.script_pos += 1;
+        if proc.script_pos >= self.program.processes[pid].script.len() {
+            proc.status = Status::Done;
+        }
+    }
+
+    fn pop_urgent(&self, state: &mut MonitorState) {
+        if let Some(s) = state.urgent.pop() {
+            state.lock = Some(s);
+            state.procs[s].status = Status::Ready;
+            self.emit(
+                state,
+                Some(s),
+                self.lock_el,
+                self.cls.acquire,
+                vec![Value::Int(s as i64)],
+                &[],
+            );
+            self.run(state, s);
+        }
+    }
+}
+
+impl System for MonitorSystem {
+    type State = MonitorState;
+    type Action = MonitorAction;
+
+    fn initial(&self) -> MonitorState {
+        let mut state = MonitorState {
+            builder: ComputationBuilder::new(self.structure_arc()),
+            vars: VarStore::new(),
+            procs: self
+                .program
+                .processes
+                .iter()
+                .map(|p| ProcRuntime {
+                    script_pos: 0,
+                    status: if p.script.is_empty() {
+                        Status::Done
+                    } else {
+                        Status::Ready
+                    },
+                    frames: Vec::new(),
+                    entry: None,
+                    locals: VarStore::new(),
+                    pending_args: Vec::new(),
+                    last: None,
+                    wait_event: None,
+                    pending_signal: None,
+                    resume_cond: None,
+                })
+                .collect(),
+            lock: None,
+            init_done: None,
+            urgent: Vec::new(),
+            queues: self
+                .program
+                .monitor
+                .conditions
+                .iter()
+                .map(|c| (c.clone(), VecDeque::new()))
+                .collect(),
+        };
+        // Initialization code: an Init event followed by the initial
+        // assignments. Monitor variables form one chain inside the
+        // monitor (its tail enables the first acquisition); shared
+        // variables form a separate chain off the Init event, since a
+        // monitor-internal variable element may not enable events at a
+        // top-level shared element's neighbours.
+        let init_ev = self.emit(&mut state, None, self.init_el, self.cls.init, vec![], &[]);
+        let mut last_internal = init_ev;
+        let monitor_vars: Vec<(String, Value)> = self.program.monitor.vars.clone();
+        for (name, value) in monitor_vars {
+            state.vars.set(name.clone(), value.clone());
+            last_internal = self.emit(
+                &mut state,
+                None,
+                self.var_element(&name),
+                self.cls.assign,
+                vec![value, Value::Str("init".into()), Value::Int(INIT_PID)],
+                &[last_internal],
+            );
+        }
+        let mut last_shared = init_ev;
+        let shared_vars: Vec<(String, Value)> = self.program.shared_vars.clone();
+        for (name, value) in shared_vars {
+            state.vars.set(name.clone(), value.clone());
+            last_shared = self.emit(
+                &mut state,
+                None,
+                self.var_element(&name),
+                self.cls.assign,
+                vec![value, Value::Str("init".into()), Value::Int(INIT_PID)],
+                &[last_shared],
+            );
+        }
+        state.init_done = Some(last_internal);
+        state
+    }
+
+    fn enabled(&self, state: &MonitorState) -> Vec<MonitorAction> {
+        let mut actions = Vec::new();
+        for (pid, proc) in state.procs.iter().enumerate() {
+            match proc.status {
+                Status::Ready => actions.push(MonitorAction::Step(pid)),
+                Status::Pending if state.lock.is_none() => {
+                    actions.push(MonitorAction::Enter(pid));
+                }
+                Status::ReAcquire if state.lock.is_none() => {
+                    actions.push(MonitorAction::Resume(pid));
+                }
+                _ => {}
+            }
+        }
+        actions
+    }
+
+    fn apply(&self, state: &mut MonitorState, action: &MonitorAction) {
+        debug_assert!(state.lock.is_none(), "lock is free between actions");
+        match *action {
+            MonitorAction::Step(pid) => {
+                let step = self.program.processes[pid].script[state.procs[pid].script_pos].clone();
+                match step {
+                    ScriptStep::Call { entry, args } => {
+                        self.emit(
+                            state,
+                            Some(pid),
+                            self.user_els[pid],
+                            self.cls.call,
+                            vec![Value::Str(entry.clone())],
+                            &[],
+                        );
+                        self.emit(
+                            state,
+                            Some(pid),
+                            self.lock_el,
+                            self.cls.req,
+                            vec![Value::Str(entry), Value::Int(pid as i64)],
+                            &[],
+                        );
+                        state.procs[pid].pending_args = args;
+                        state.procs[pid].status = Status::Pending;
+                    }
+                    ScriptStep::Event { class, params } => {
+                        let cid = self.class(&class);
+                        self.emit(state, Some(pid), self.user_els[pid], cid, params, &[]);
+                        self.advance_script(state, pid);
+                    }
+                    ScriptStep::ReadShared { var } => {
+                        let value = state
+                            .vars
+                            .get(&var)
+                            .cloned()
+                            .expect("shared variable initialized");
+                        self.emit(
+                            state,
+                            Some(pid),
+                            self.var_element(&var),
+                            self.cls.getval,
+                            vec![value, Value::Str(String::new()), Value::Int(pid as i64)],
+                            &[],
+                        );
+                        self.advance_script(state, pid);
+                    }
+                    ScriptStep::WriteShared { var, value } => {
+                        let env = self.eval_env(state, pid);
+                        let v = value
+                            .eval(&env)
+                            .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
+                        state.vars.set(var.clone(), v.clone());
+                        self.emit(
+                            state,
+                            Some(pid),
+                            self.var_element(&var),
+                            self.cls.assign,
+                            vec![v, Value::Str(String::new()), Value::Int(pid as i64)],
+                            &[],
+                        );
+                        self.advance_script(state, pid);
+                    }
+                }
+            }
+            MonitorAction::Enter(pid) => {
+                let ScriptStep::Call { entry, .. } =
+                    self.program.processes[pid].script[state.procs[pid].script_pos].clone()
+                else {
+                    panic!("Enter on a non-call step");
+                };
+                let entry_idx = self
+                    .program
+                    .monitor
+                    .entry_index(&entry)
+                    .expect("validated at construction");
+                state.lock = Some(pid);
+                // Lock handoff is ordering, not causality: the acquire is
+                // ordered after the previous release by the lock element
+                // order; no enable edge is drawn across transactions. The
+                // one genuine cross edge is initialization enabling the
+                // very first acquisition.
+                let extra: Vec<EventId> = state.init_done.take().into_iter().collect();
+                self.emit(
+                    state,
+                    Some(pid),
+                    self.lock_el,
+                    self.cls.acquire,
+                    vec![Value::Int(pid as i64)],
+                    &extra,
+                );
+                self.emit(
+                    state,
+                    Some(pid),
+                    self.entry_els[entry_idx],
+                    self.cls.begin,
+                    vec![Value::Int(pid as i64)],
+                    &[],
+                );
+                let def = &self.program.monitor.entries[entry_idx];
+                let args = std::mem::take(&mut state.procs[pid].pending_args);
+                let mut locals = VarStore::new();
+                for (param, arg) in def.params.iter().zip(args) {
+                    locals.set(param.clone(), arg);
+                }
+                state.procs[pid].locals = locals;
+                state.procs[pid].entry = Some(entry_idx);
+                state.procs[pid].frames = vec![def.body.iter().cloned().collect()];
+                state.procs[pid].status = Status::Ready; // running now
+                self.run(state, pid);
+            }
+            MonitorAction::Resume(pid) => {
+                // Mesa re-acquisition: the waiter takes the free lock and
+                // resumes after its WAIT (without re-checking anything —
+                // the program text must use WHILE for that).
+                debug_assert_eq!(self.program.semantics, SignalSemantics::Mesa);
+                state.lock = Some(pid);
+                self.emit(
+                    state,
+                    Some(pid),
+                    self.lock_el,
+                    self.cls.acquire,
+                    vec![Value::Int(pid as i64)],
+                    &[],
+                );
+                let cond = state.procs[pid]
+                    .resume_cond
+                    .take()
+                    .expect("resuming from a condition");
+                let mut extra = Vec::new();
+                if let Some(sig) = state.procs[pid].pending_signal.take() {
+                    extra.push(sig);
+                }
+                if let Some(we) = state.procs[pid].wait_event.take() {
+                    extra.push(we);
+                }
+                state.procs[pid].status = Status::Ready;
+                self.emit(
+                    state,
+                    Some(pid),
+                    self.cond_element(&cond),
+                    self.cls.resume,
+                    vec![Value::Int(pid as i64)],
+                    &extra,
+                );
+                self.run(state, pid);
+            }
+        }
+    }
+
+    fn is_complete(&self, state: &MonitorState) -> bool {
+        state.procs.iter().all(|p| p.status == Status::Done)
+    }
+
+    fn control_key(&self, state: &MonitorState) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        for (n, v) in state.vars.iter() {
+            n.hash(&mut h);
+            format!("{v:?}").hash(&mut h);
+        }
+        for p in &state.procs {
+            p.script_pos.hash(&mut h);
+            p.status.hash(&mut h);
+            p.entry.hash(&mut h);
+            format!("{:?}", p.frames).hash(&mut h);
+        }
+        state.lock.hash(&mut h);
+        state.urgent.hash(&mut h);
+        format!("{:?}", state.queues).hash(&mut h);
+        Some(h.finish())
+    }
+}
+
+impl MonitorState {
+    /// The number of events emitted so far.
+    pub fn event_count(&self) -> usize {
+        self.builder.event_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{find_deadlock, Explorer};
+    use crate::monitor::def::{readers_writers_monitor, MonitorDef, ProcessDef};
+    use crate::Expr;
+    use gem_core::{check_legality, is_legal};
+    use std::ops::ControlFlow;
+
+    fn call(entry: &str) -> ScriptStep {
+        ScriptStep::Call {
+            entry: entry.into(),
+            args: vec![],
+        }
+    }
+
+    /// A counter monitor: one entry incrementing a variable.
+    fn counter_program(n_procs: usize, incs_each: usize) -> MonitorProgram {
+        let monitor = MonitorDef::new("Counter").var("count", 0i64).entry(
+            "Inc",
+            &[],
+            vec![Stmt::assign(
+                "count",
+                Expr::var("count").add(Expr::int(1)),
+            )],
+        );
+        let mut prog = MonitorProgram::new(monitor);
+        for i in 0..n_procs {
+            prog = prog.process(ProcessDef::new(
+                format!("p{i}"),
+                vec![call("Inc"); incs_each],
+            ));
+        }
+        prog
+    }
+
+    #[test]
+    fn counter_single_run() {
+        let sys = MonitorSystem::new(counter_program(2, 2));
+        let explorer = Explorer::default();
+        let mut runs = 0;
+        explorer.for_each_run(&sys, |state, _| {
+            runs += 1;
+            assert!(sys.is_complete(state));
+            assert_eq!(state.vars.get("count"), Some(&Value::Int(4)));
+            ControlFlow::Continue(())
+        });
+        assert!(runs > 1, "multiple schedules explored: {runs}");
+    }
+
+    #[test]
+    fn computations_are_legal() {
+        let sys = MonitorSystem::new(counter_program(2, 1));
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).expect("acyclic");
+            let violations = check_legality(&c);
+            assert!(violations.is_empty(), "{:?}", violations.iter().map(|v| v.describe(&c)).collect::<Vec<_>>());
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn monitor_events_mutually_exclusive_in_time() {
+        // All Begin/End events are totally ordered by the temporal order —
+        // the paper's "sequential execution of monitor entries".
+        let sys = MonitorSystem::new(counter_program(3, 1));
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            let begins: Vec<_> = c.events_of_class(sys.class("Begin")).collect();
+            let ends: Vec<_> = c.events_of_class(sys.class("End")).collect();
+            let all: Vec<_> = begins.iter().chain(ends.iter()).copied().collect();
+            for (i, &a) in all.iter().enumerate() {
+                for &b in &all[i + 1..] {
+                    assert!(
+                        !c.concurrent(a, b),
+                        "monitor-internal events must be ordered"
+                    );
+                }
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn wait_and_signal_produce_resume_chain() {
+        // One-slot buffer style: consumer waits until producer signals.
+        let monitor = MonitorDef::new("Gate")
+            .var("ready", Value::Bool(false))
+            .condition("go")
+            .entry(
+                "Open",
+                &[],
+                vec![
+                    Stmt::assign("ready", Expr::bool(true)),
+                    Stmt::signal("go"),
+                ],
+            )
+            .entry(
+                "Pass",
+                &[],
+                vec![Stmt::if_then(
+                    Expr::var("ready").not(),
+                    vec![Stmt::wait("go")],
+                )],
+            );
+        let prog = MonitorProgram::new(monitor)
+            .process(ProcessDef::new("consumer", vec![call("Pass")]))
+            .process(ProcessDef::new("producer", vec![call("Open")]));
+        let sys = MonitorSystem::new(prog);
+        let mut saw_resume = false;
+        Explorer::default().for_each_run(&sys, |state, _| {
+            assert!(sys.is_complete(state), "no deadlock");
+            let c = sys.computation(state).unwrap();
+            assert!(is_legal(&c));
+            let resumes: Vec<_> = c.events_of_class(sys.class("Resume")).collect();
+            if !resumes.is_empty() {
+                saw_resume = true;
+                // Resume is enabled by exactly one Signal (§8.2's Monitor
+                // prerequisite).
+                for &r in &resumes {
+                    let signal_enablers = c
+                        .enablers_of(r)
+                        .iter()
+                        .filter(|&&e| c.event(e).class() == sys.class("Signal"))
+                        .count();
+                    assert_eq!(signal_enablers, 1);
+                }
+            }
+            ControlFlow::Continue(())
+        });
+        assert!(saw_resume, "some schedule makes the consumer wait");
+    }
+
+    #[test]
+    fn deadlock_detected_when_nobody_signals() {
+        let monitor = MonitorDef::new("Stuck")
+            .var("ready", Value::Bool(false))
+            .condition("go")
+            .entry(
+                "Pass",
+                &[],
+                vec![Stmt::if_then(
+                    Expr::var("ready").not(),
+                    vec![Stmt::wait("go")],
+                )],
+            );
+        let prog = MonitorProgram::new(monitor)
+            .process(ProcessDef::new("consumer", vec![call("Pass")]));
+        let sys = MonitorSystem::new(prog);
+        let witness = find_deadlock(&sys, &Explorer::default());
+        assert!(witness.is_some(), "waiting with no signaller deadlocks");
+    }
+
+    #[test]
+    fn rw_monitor_runs_and_counts() {
+        let prog = MonitorProgram::new(readers_writers_monitor())
+            .process(ProcessDef::new(
+                "r0",
+                vec![call("StartRead"), call("EndRead")],
+            ))
+            .process(ProcessDef::new(
+                "w0",
+                vec![call("StartWrite"), call("EndWrite")],
+            ));
+        let sys = MonitorSystem::new(prog);
+        let stats = Explorer::default().for_each_run(&sys, |state, _| {
+            assert!(sys.is_complete(state), "RW monitor must not deadlock");
+            assert_eq!(state.vars.get("readernum"), Some(&Value::Int(0)));
+            ControlFlow::Continue(())
+        });
+        assert!(stats.runs >= 2, "read-first and write-first schedules");
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn entry_params_bound() {
+        let monitor = MonitorDef::new("Store").var("x", 0i64).entry(
+            "Set",
+            &["v"],
+            vec![Stmt::assign("x", Expr::var("v"))],
+        );
+        let prog = MonitorProgram::new(monitor).process(ProcessDef::new(
+            "p",
+            vec![ScriptStep::Call {
+                entry: "Set".into(),
+                args: vec![Value::Int(42)],
+            }],
+        ));
+        let sys = MonitorSystem::new(prog);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            assert_eq!(state.vars.get("x"), Some(&Value::Int(42)));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn while_loop_executes() {
+        let monitor = MonitorDef::new("Loop").var("x", 0i64).entry(
+            "Count",
+            &[],
+            vec![Stmt::While(
+                Expr::var("x").lt(Expr::int(3)),
+                vec![Stmt::assign("x", Expr::var("x").add(Expr::int(1)))],
+            )],
+        );
+        let prog =
+            MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Count")]));
+        let sys = MonitorSystem::new(prog);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            assert_eq!(state.vars.get("x"), Some(&Value::Int(3)));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn shared_variable_events_outside_monitor() {
+        let monitor = MonitorDef::new("M").entry("Nop", &[], vec![]);
+        let prog = MonitorProgram::new(monitor)
+            .shared_var("data", 5i64)
+            .process(ProcessDef::new(
+                "p",
+                vec![
+                    ScriptStep::WriteShared {
+                        var: "data".into(),
+                        value: Expr::int(9),
+                    },
+                    ScriptStep::ReadShared { var: "data".into() },
+                ],
+            ));
+        let sys = MonitorSystem::new(prog);
+        Explorer::default().for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            assert!(is_legal(&c));
+            let getvals: Vec<_> = c.events_of_class(sys.class("Getval")).collect();
+            assert_eq!(getvals.len(), 1);
+            assert_eq!(c.event(getvals[0]).param(0), Some(&Value::Int(9)));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown entry")]
+    fn unknown_entry_rejected_eagerly() {
+        let monitor = MonitorDef::new("M").entry("E", &[], vec![]);
+        let prog =
+            MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Nope")]));
+        let _ = MonitorSystem::new(prog);
+    }
+
+    #[test]
+    fn lock_port_is_registered() {
+        let sys = MonitorSystem::new(counter_program(1, 1));
+        let s = sys.structure();
+        let g = s.group("Counter").unwrap();
+        assert!(s
+            .group_info(g)
+            .has_port(sys.lock_element(), sys.class("Req")));
+    }
+}

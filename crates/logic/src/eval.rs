@@ -1,0 +1,614 @@
+//! Evaluation of restriction formulae over computations, histories, and
+//! history sequences.
+//!
+//! Semantics follow §7/§8 of the paper:
+//!
+//! * An *immediate assertion* is evaluated on a single history; a formula
+//!   asserted of a history sequence holds iff it holds of the first
+//!   history ( `S ⊨ ρ ⇔ α₀ ⊨ ρ` ).
+//! * `◻ ρ` holds of `S` iff `ρ` holds of every tail of `S`; `◇ ρ` iff it
+//!   holds of some tail.
+//! * Quantified variables range over all events of the computation (the
+//!   predicates `occurred`, `potential` etc. distinguish what has
+//!   happened in the current history).
+
+use std::fmt;
+
+use gem_core::{Computation, EventId, History, Value};
+
+use crate::{Atom, EventTerm, Formula, ParamRef, ValueTerm};
+
+/// Errors raised during evaluation (programming errors in the formula, not
+/// properties of the computation).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A variable was used without an enclosing quantifier binding it.
+    UnboundVariable(String),
+    /// A named parameter is not declared by the event's class.
+    UnknownParam {
+        /// The parameter name used.
+        name: String,
+        /// The class the event belongs to (by name).
+        class: String,
+    },
+    /// A positional parameter index exceeds the event's parameter list.
+    ParamOutOfRange {
+        /// The index used.
+        index: usize,
+        /// Number of parameters the event carries.
+        arity: usize,
+    },
+    /// A formula was evaluated against an empty history sequence.
+    EmptySequence,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound event variable {v:?}"),
+            EvalError::UnknownParam { name, class } => {
+                write!(f, "parameter {name:?} is not declared by class {class:?}")
+            }
+            EvalError::ParamOutOfRange { index, arity } => {
+                write!(f, "parameter index {index} out of range (arity {arity})")
+            }
+            EvalError::EmptySequence => write!(f, "cannot evaluate over an empty sequence"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Variable bindings, innermost last.
+#[derive(Clone, Debug, Default)]
+struct Env {
+    bindings: Vec<(String, EventId)>,
+}
+
+impl Env {
+    fn lookup(&self, name: &str) -> Option<EventId> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, e)| e)
+    }
+}
+
+/// True if `formula` holds of the history sequence `seq` (interpreted as a
+/// valid history sequence of `computation`).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for malformed formulae (unbound variables, bad
+/// parameter references) or an empty `seq`.
+pub fn holds_on_sequence(
+    formula: &Formula,
+    computation: &Computation,
+    seq: &[History],
+) -> Result<bool, EvalError> {
+    if seq.is_empty() {
+        return Err(EvalError::EmptySequence);
+    }
+    let mut env = Env::default();
+    eval(formula, computation, seq, &mut env)
+}
+
+/// True if `formula` holds of the single history `history` (as the
+/// one-element sequence; `◻ρ`/`◇ρ` degenerate to `ρ`).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for malformed formulae.
+pub fn holds_on_history(
+    formula: &Formula,
+    computation: &Computation,
+    history: &History,
+) -> Result<bool, EvalError> {
+    holds_on_sequence(formula, computation, std::slice::from_ref(history))
+}
+
+/// True if `formula` holds of the *complete* computation — evaluation on
+/// the full history. This is the interpretation of computation-level
+/// (non-temporal) restrictions.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for malformed formulae.
+pub fn holds_on_computation(
+    formula: &Formula,
+    computation: &Computation,
+) -> Result<bool, EvalError> {
+    holds_on_history(formula, computation, &History::full(computation))
+}
+
+fn resolve(term: &EventTerm, computation: &Computation, env: &Env) -> Result<Option<EventId>, EvalError> {
+    match term {
+        EventTerm::Var(name) => env
+            .lookup(name)
+            .map(Some)
+            .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+        EventTerm::Fixed(id) => Ok(if id.index() < computation.event_count() {
+            Some(*id)
+        } else {
+            None
+        }),
+        EventTerm::NthAt(el, i) => Ok(computation.nth_at(*el, *i)),
+    }
+}
+
+fn resolve_value(
+    term: &ValueTerm,
+    computation: &Computation,
+    env: &Env,
+) -> Result<Option<Value>, EvalError> {
+    match term {
+        ValueTerm::Const(v) => Ok(Some(v.clone())),
+        ValueTerm::SeqOf(e) => Ok(resolve(e, computation, env)?
+            .map(|id| Value::Int(i64::from(computation.event(id).seq())))),
+        ValueTerm::Param(e, p) => {
+            let Some(id) = resolve(e, computation, env)? else {
+                return Ok(None);
+            };
+            let ev = computation.event(id);
+            let index = match p {
+                ParamRef::Index(i) => *i,
+                ParamRef::Named(name) => {
+                    let info = computation.structure().class_info(ev.class());
+                    info.param_index(name).ok_or_else(|| EvalError::UnknownParam {
+                        name: name.clone(),
+                        class: info.name().to_owned(),
+                    })?
+                }
+            };
+            ev.param(index)
+                .cloned()
+                .map(Some)
+                .ok_or(EvalError::ParamOutOfRange {
+                    index,
+                    arity: ev.params().len(),
+                })
+        }
+    }
+}
+
+fn eval(
+    formula: &Formula,
+    computation: &Computation,
+    seq: &[History],
+    env: &mut Env,
+) -> Result<bool, EvalError> {
+    match formula {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Atom(a) => eval_atom(a, computation, &seq[0], env),
+        Formula::Not(f) => Ok(!eval(f, computation, seq, env)?),
+        Formula::And(fs) => {
+            for f in fs {
+                if !eval(f, computation, seq, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for f in fs {
+                if eval(f, computation, seq, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Implies(a, b) => {
+            Ok(!eval(a, computation, seq, env)? || eval(b, computation, seq, env)?)
+        }
+        Formula::Iff(a, b) => {
+            Ok(eval(a, computation, seq, env)? == eval(b, computation, seq, env)?)
+        }
+        Formula::ForAll(var, sel, body) => {
+            let candidates: Vec<EventId> = sel.select(computation).collect();
+            for e in candidates {
+                env.bindings.push((var.clone(), e));
+                let ok = eval(body, computation, seq, env)?;
+                env.bindings.pop();
+                if !ok {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Exists(var, sel, body) => {
+            let candidates: Vec<EventId> = sel.select(computation).collect();
+            for e in candidates {
+                env.bindings.push((var.clone(), e));
+                let ok = eval(body, computation, seq, env)?;
+                env.bindings.pop();
+                if ok {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::ExistsUnique(var, sel, body) => {
+            let mut count = 0usize;
+            let candidates: Vec<EventId> = sel.select(computation).collect();
+            for e in candidates {
+                env.bindings.push((var.clone(), e));
+                let ok = eval(body, computation, seq, env)?;
+                env.bindings.pop();
+                if ok {
+                    count += 1;
+                    if count > 1 {
+                        return Ok(false);
+                    }
+                }
+            }
+            Ok(count == 1)
+        }
+        Formula::AtMostOne(var, sel, body) => {
+            let mut count = 0usize;
+            let candidates: Vec<EventId> = sel.select(computation).collect();
+            for e in candidates {
+                env.bindings.push((var.clone(), e));
+                let ok = eval(body, computation, seq, env)?;
+                env.bindings.pop();
+                if ok {
+                    count += 1;
+                    if count > 1 {
+                        return Ok(false);
+                    }
+                }
+            }
+            Ok(true)
+        }
+        Formula::Henceforth(f) => {
+            for i in 0..seq.len() {
+                if !eval(f, computation, &seq[i..], env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Eventually(f) => {
+            for i in 0..seq.len() {
+                if eval(f, computation, &seq[i..], env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+fn eval_atom(
+    atom: &Atom,
+    computation: &Computation,
+    history: &History,
+    env: &Env,
+) -> Result<bool, EvalError> {
+    // Helper: resolve or decide the atom is false.
+    macro_rules! ev {
+        ($t:expr) => {
+            match resolve($t, computation, env)? {
+                Some(id) => id,
+                None => return Ok(false),
+            }
+        };
+    }
+    match atom {
+        Atom::Occurred(t) => Ok(history.contains(ev!(t))),
+        Atom::AtElement(t, el) => {
+            let e = ev!(t);
+            Ok(computation.event(e).element() == *el)
+        }
+        Atom::InClass(t, c) => {
+            let e = ev!(t);
+            Ok(computation.event(e).class() == *c)
+        }
+        Atom::Matches(t, sel) => {
+            let e = ev!(t);
+            Ok(sel.matches(computation.event(e)))
+        }
+        Atom::Enables(t1, t2) => {
+            let (a, b) = (ev!(t1), ev!(t2));
+            Ok(history.contains(a) && history.contains(b) && computation.enables(a, b))
+        }
+        Atom::ElementPrecedes(t1, t2) => {
+            let (a, b) = (ev!(t1), ev!(t2));
+            Ok(history.contains(a) && history.contains(b) && computation.element_precedes(a, b))
+        }
+        Atom::TemporallyPrecedes(t1, t2) => {
+            let (a, b) = (ev!(t1), ev!(t2));
+            Ok(history.contains(a)
+                && history.contains(b)
+                && computation.temporally_precedes(a, b))
+        }
+        Atom::Concurrent(t1, t2) => {
+            let (a, b) = (ev!(t1), ev!(t2));
+            Ok(history.contains(a) && history.contains(b) && computation.concurrent(a, b))
+        }
+        Atom::EventEq(t1, t2) => {
+            let (a, b) = (ev!(t1), ev!(t2));
+            Ok(a == b)
+        }
+        Atom::AtControlPoint(t, sel) => {
+            let e = ev!(t);
+            if !history.contains(e) {
+                return Ok(false);
+            }
+            Ok(!computation
+                .enabled_from(e)
+                .iter()
+                .any(|&s| history.contains(s) && sel.matches(computation.event(s))))
+        }
+        Atom::New(t) => {
+            let e = ev!(t);
+            if !history.contains(e) {
+                return Ok(false);
+            }
+            Ok(!computation
+                .closure()
+                .successors(e)
+                .iter()
+                .any(|s| history.contains(EventId::from_raw(s as u32))))
+        }
+        Atom::Potential(t) => {
+            let e = ev!(t);
+            if history.contains(e) {
+                return Ok(false);
+            }
+            Ok(computation
+                .closure()
+                .predecessors(e)
+                .iter()
+                .all(|p| history.contains(EventId::from_raw(p as u32))))
+        }
+        Atom::SameThread(t1, t2, ty) => {
+            let (a, b) = (ev!(t1), ev!(t2));
+            let (ta, tb) = (
+                computation.event(a).thread_of_type(*ty),
+                computation.event(b).thread_of_type(*ty),
+            );
+            Ok(matches!((ta, tb), (Some(x), Some(y)) if x == y))
+        }
+        Atom::DistinctThreads(t1, t2, ty) => {
+            let (a, b) = (ev!(t1), ev!(t2));
+            let (ta, tb) = (
+                computation.event(a).thread_of_type(*ty),
+                computation.event(b).thread_of_type(*ty),
+            );
+            Ok(matches!((ta, tb), (Some(x), Some(y)) if x != y))
+        }
+        Atom::ValueCmp(op, v1, v2) => {
+            let (Some(a), Some(b)) = (
+                resolve_value(v1, computation, env)?,
+                resolve_value(v2, computation, env)?,
+            ) else {
+                return Ok(false);
+            };
+            Ok(op.apply(&a, &b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventSel;
+    use gem_core::{ComputationBuilder, HistorySequence, Structure, Value};
+
+    /// Variable computation: Assign(1), Getval(1), Assign(2).
+    fn var_comp() -> (Computation, Vec<EventId>) {
+        let mut s = Structure::new();
+        let assign = s.add_class("Assign", &["newval"]).unwrap();
+        let getval = s.add_class("Getval", &["oldval"]).unwrap();
+        let var = s.add_element("Var", &[assign, getval]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(var, assign, vec![Value::Int(1)]).unwrap();
+        let e2 = b.add_event(var, getval, vec![Value::Int(1)]).unwrap();
+        let e3 = b.add_event(var, assign, vec![Value::Int(2)]).unwrap();
+        b.enable(e1, e2).unwrap();
+        (b.seal().unwrap(), vec![e1, e2, e3])
+    }
+
+    #[test]
+    fn atoms_on_complete_computation() {
+        let (c, e) = var_comp();
+        assert!(holds_on_computation(&Formula::occurred(e[0]), &c).unwrap());
+        assert!(holds_on_computation(&Formula::enables(e[0], e[1]), &c).unwrap());
+        assert!(!holds_on_computation(&Formula::enables(e[1], e[2]), &c).unwrap());
+        assert!(holds_on_computation(&Formula::element_precedes(e[1], e[2]), &c).unwrap());
+        assert!(holds_on_computation(&Formula::precedes(e[0], e[2]), &c).unwrap());
+        assert!(!holds_on_computation(&Formula::concurrent(e[0], e[2]), &c).unwrap());
+        assert!(holds_on_computation(&Formula::event_eq(e[0], e[0]), &c).unwrap());
+        assert!(!holds_on_computation(&Formula::event_eq(e[0], e[1]), &c).unwrap());
+    }
+
+    #[test]
+    fn occurred_is_history_relative() {
+        let (c, e) = var_comp();
+        let h = History::from_events(&c, [e[0]]).unwrap();
+        assert!(holds_on_history(&Formula::occurred(e[0]), &c, &h).unwrap());
+        assert!(!holds_on_history(&Formula::occurred(e[1]), &c, &h).unwrap());
+    }
+
+    #[test]
+    fn potential_and_new() {
+        let (c, e) = var_comp();
+        let h = History::from_events(&c, [e[0]]).unwrap();
+        assert!(holds_on_history(&Formula::potential(e[1]), &c, &h).unwrap());
+        assert!(!holds_on_history(&Formula::potential(e[0]), &c, &h).unwrap(), "occurred event is not potential");
+        assert!(holds_on_history(&Formula::is_new(e[0]), &c, &h).unwrap());
+        let h2 = History::from_events(&c, [e[0], e[1]]).unwrap();
+        assert!(!holds_on_history(&Formula::is_new(e[0]), &c, &h2).unwrap());
+        assert!(holds_on_history(&Formula::is_new(e[1]), &c, &h2).unwrap());
+    }
+
+    #[test]
+    fn at_control_point_is_history_relative() {
+        let (c, e) = var_comp();
+        let getval_sel = EventSel::of_class(c.structure().class("Getval").unwrap());
+        // In the history containing only e1, e1 is still "at Getval".
+        let h1 = History::from_events(&c, [e[0]]).unwrap();
+        assert!(holds_on_history(&Formula::at_control(e[0], getval_sel.clone()), &c, &h1).unwrap());
+        // Once e2 occurred, e1 has enabled a Getval.
+        let h2 = History::from_events(&c, [e[0], e[1]]).unwrap();
+        assert!(!holds_on_history(&Formula::at_control(e[0], getval_sel), &c, &h2).unwrap());
+    }
+
+    #[test]
+    fn variable_semantics_restriction() {
+        // Getval must yield the value last assigned — holds for our data.
+        let (c, _) = var_comp();
+        let s = c.structure();
+        let assign = s.class("Assign").unwrap();
+        let getval = s.class("Getval").unwrap();
+        let f = Formula::forall(
+            "a",
+            EventSel::of_class(assign),
+            Formula::forall(
+                "g",
+                EventSel::of_class(getval),
+                Formula::enables("a", "g").implies(Formula::value_eq(
+                    ValueTerm::param("a", "newval"),
+                    ValueTerm::param("g", "oldval"),
+                )),
+            ),
+        );
+        assert!(holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn quantifier_semantics() {
+        let (c, _) = var_comp();
+        let s = c.structure();
+        let assign = s.class("Assign").unwrap();
+        let getval = s.class("Getval").unwrap();
+        // Exactly one Getval event.
+        assert!(holds_on_computation(
+            &Formula::exists_unique("g", EventSel::of_class(getval), Formula::occurred("g")),
+            &c
+        )
+        .unwrap());
+        // Not exactly one Assign event (there are two).
+        assert!(!holds_on_computation(
+            &Formula::exists_unique("a", EventSel::of_class(assign), Formula::occurred("a")),
+            &c
+        )
+        .unwrap());
+        // At most one Getval: true; at most one Assign: false.
+        assert!(holds_on_computation(
+            &Formula::at_most_one("g", EventSel::of_class(getval), Formula::occurred("g")),
+            &c
+        )
+        .unwrap());
+        assert!(!holds_on_computation(
+            &Formula::at_most_one("a", EventSel::of_class(assign), Formula::occurred("a")),
+            &c
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn temporal_operators_on_sequences() {
+        let (c, e) = var_comp();
+        let seq = HistorySequence::from_linearization(&c, &[e[0], e[1], e[2]]);
+        // Eventually all three occurred.
+        let all = Formula::occurred(e[0])
+            .and(Formula::occurred(e[1]))
+            .and(Formula::occurred(e[2]));
+        assert!(holds_on_sequence(&all.clone().eventually(), &c, seq.histories()).unwrap());
+        assert!(!holds_on_sequence(&all.clone().henceforth(), &c, seq.histories()).unwrap());
+        // Henceforth: once e1 occurred it stays occurred (monotonicity).
+        let stable = Formula::occurred(e[0])
+            .implies(Formula::occurred(e[0]).henceforth())
+            .henceforth();
+        assert!(holds_on_sequence(&stable, &c, seq.histories()).unwrap());
+        // ◻(occurred(e3) ⊃ occurred(e1)): e1 (same element) precedes e3.
+        let prec = Formula::occurred(e[2])
+            .implies(Formula::occurred(e[0]))
+            .henceforth();
+        assert!(holds_on_sequence(&prec, &c, seq.histories()).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let (c, _) = var_comp();
+        let err = holds_on_computation(&Formula::occurred("ghost"), &c).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundVariable(_)));
+    }
+
+    #[test]
+    fn unknown_param_is_an_error() {
+        let (c, e) = var_comp();
+        let f = Formula::value_eq(ValueTerm::param(e[0], "missing"), ValueTerm::lit(1i64));
+        assert!(matches!(
+            holds_on_computation(&f, &c),
+            Err(EvalError::UnknownParam { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_param_is_an_error() {
+        let (c, e) = var_comp();
+        let f = Formula::value_eq(ValueTerm::param(e[0], 5usize), ValueTerm::lit(1i64));
+        assert!(matches!(
+            holds_on_computation(&f, &c),
+            Err(EvalError::ParamOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sequence_is_an_error() {
+        let (c, _) = var_comp();
+        assert!(matches!(
+            holds_on_sequence(&Formula::True, &c, &[]),
+            Err(EvalError::EmptySequence)
+        ));
+    }
+
+    #[test]
+    fn nth_at_term_resolution() {
+        let (c, e) = var_comp();
+        let var = c.structure().element("Var").unwrap();
+        // Var^0 is e1; Var^5 does not exist → atom false, not an error.
+        assert!(holds_on_computation(
+            &Formula::event_eq(EventTerm::NthAt(var, 0), e[0]),
+            &c
+        )
+        .unwrap());
+        assert!(!holds_on_computation(
+            &Formula::occurred(EventTerm::NthAt(var, 5)),
+            &c
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn seq_of_value_term() {
+        let (c, e) = var_comp();
+        let f = Formula::value_eq(ValueTerm::SeqOf(EventTerm::Fixed(e[2])), ValueTerm::lit(2i64));
+        assert!(holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn thread_atoms() {
+        use gem_core::{ThreadTag, ThreadTypeId};
+        let mut s = Structure::new();
+        let a = s.add_class("A", &[]).unwrap();
+        let p = s.add_element("P", &[a]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p, a, vec![]).unwrap();
+        let e2 = b.add_event(p, a, vec![]).unwrap();
+        let e3 = b.add_event(p, a, vec![]).unwrap();
+        let ty = ThreadTypeId::from_raw(0);
+        b.tag_thread(e1, ThreadTag::new(ty, 0)).unwrap();
+        b.tag_thread(e2, ThreadTag::new(ty, 0)).unwrap();
+        b.tag_thread(e3, ThreadTag::new(ty, 1)).unwrap();
+        let c = b.seal().unwrap();
+        assert!(holds_on_computation(&Formula::same_thread(e1, e2, ty), &c).unwrap());
+        assert!(!holds_on_computation(&Formula::same_thread(e1, e3, ty), &c).unwrap());
+        assert!(holds_on_computation(&Formula::distinct_threads(e1, e3, ty), &c).unwrap());
+        assert!(!holds_on_computation(&Formula::distinct_threads(e1, e2, ty), &c).unwrap());
+    }
+}

@@ -1,0 +1,643 @@
+//! Restriction formulae (§8): first-order logic over GEM predicates plus
+//! the temporal operators henceforth (`◻`) and eventually (`◇`).
+//!
+//! Restrictions are built programmatically with the constructors on
+//! [`Formula`]; the [`Formula::render`] method pretty-prints them with
+//! names resolved against a [`Structure`].
+
+use std::fmt::Write as _;
+
+use gem_core::{ClassId, ElementId, Structure, ThreadTypeId};
+
+use crate::{CmpOp, EventSel, EventTerm, ParamRef, ValueTerm};
+
+/// An atomic GEM predicate (§8.1), interpreted relative to a history.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Atom {
+    /// `occurred(e)`: the event has occurred in the current history.
+    Occurred(EventTerm),
+    /// `e @ EL`: the event occurs at element `EL` (history-independent).
+    AtElement(EventTerm, ElementId),
+    /// `e : E`: the event belongs to event class `E` (history-independent).
+    InClass(EventTerm, ClassId),
+    /// The event satisfies all constraints of the selector
+    /// (history-independent).
+    Matches(EventTerm, EventSel),
+    /// `e1 ⊳ e2`: `e1` enables `e2`, both occurred.
+    Enables(EventTerm, EventTerm),
+    /// `e1 ⇒ₑ e2`: element order, both occurred.
+    ElementPrecedes(EventTerm, EventTerm),
+    /// `e1 ⇒ e2`: temporal order, both occurred.
+    TemporallyPrecedes(EventTerm, EventTerm),
+    /// `e1` and `e2` are potentially concurrent, both occurred.
+    Concurrent(EventTerm, EventTerm),
+    /// The two terms denote the same event (history-independent).
+    EventEq(EventTerm, EventTerm),
+    /// `e at E` (§8.2): `e` occurred and has not enabled an event matching
+    /// the selector within the current history.
+    AtControlPoint(EventTerm, EventSel),
+    /// `new(e)` (§8.2): `e` occurred and no occurred event observably
+    /// follows it.
+    New(EventTerm),
+    /// `potential(e)` (§9): `e` has not occurred but all its temporal
+    /// predecessors have — it could legally extend the history.
+    Potential(EventTerm),
+    /// Both events carry the same instance of thread type `ty` (§8.3).
+    SameThread(EventTerm, EventTerm, ThreadTypeId),
+    /// Both events carry *different* instances of thread type `ty`.
+    DistinctThreads(EventTerm, EventTerm, ThreadTypeId),
+    /// Value comparison between two value terms.
+    ValueCmp(CmpOp, ValueTerm, ValueTerm),
+}
+
+/// A restriction formula.
+///
+/// Quantified variables range over *all* events of the computation under
+/// evaluation (whether occurred or not); use [`Atom::Occurred`] — or the
+/// selector argument, which filters by class/element/thread — to restrict
+/// attention to occurred events.
+///
+/// # Examples
+///
+/// The Variable restriction of §8.2 ("`Getval` yields the value last
+/// assigned"):
+///
+/// ```
+/// use gem_logic::{Formula, EventSel, ValueTerm};
+/// # use gem_core::Structure;
+/// # let mut s = Structure::new();
+/// # let assign = s.add_class("Assign", &["newval"]).unwrap();
+/// # let getval = s.add_class("Getval", &["oldval"]).unwrap();
+/// let f = Formula::forall(
+///     "a",
+///     EventSel::of_class(assign),
+///     Formula::forall(
+///         "g",
+///         EventSel::of_class(getval),
+///         Formula::enables("a", "g").implies(Formula::value_eq(
+///             ValueTerm::param("a", "newval"),
+///             ValueTerm::param("g", "oldval"),
+///         )),
+///     ),
+/// );
+/// assert!(f.render(&s).contains("FORALL"));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// The always-true formula.
+    True,
+    /// The always-false formula.
+    False,
+    /// An atomic predicate.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of zero or more formulae (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction of zero or more formulae (empty = false).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Universal quantification over events matching the selector.
+    ForAll(String, EventSel, Box<Formula>),
+    /// Existential quantification over events matching the selector.
+    Exists(String, EventSel, Box<Formula>),
+    /// `∃!`: exactly one matching event satisfies the body.
+    ExistsUnique(String, EventSel, Box<Formula>),
+    /// "∃ at most one" (used by the prerequisite abbreviations of §8.2).
+    AtMostOne(String, EventSel, Box<Formula>),
+    /// `◻ p`: `p` holds of every tail of the history sequence.
+    Henceforth(Box<Formula>),
+    /// `◇ p`: `p` holds of some tail of the history sequence.
+    Eventually(Box<Formula>),
+}
+
+impl Formula {
+    // --- Atom constructors -------------------------------------------------
+
+    /// `occurred(e)`.
+    pub fn occurred(e: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::Occurred(e.into()))
+    }
+
+    /// `e @ EL`.
+    pub fn at_element(e: impl Into<EventTerm>, el: ElementId) -> Self {
+        Formula::Atom(Atom::AtElement(e.into(), el))
+    }
+
+    /// `e : C`.
+    pub fn in_class(e: impl Into<EventTerm>, class: ClassId) -> Self {
+        Formula::Atom(Atom::InClass(e.into(), class))
+    }
+
+    /// The event matches the selector.
+    pub fn matches(e: impl Into<EventTerm>, sel: EventSel) -> Self {
+        Formula::Atom(Atom::Matches(e.into(), sel))
+    }
+
+    /// `e1 ⊳ e2`.
+    pub fn enables(e1: impl Into<EventTerm>, e2: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::Enables(e1.into(), e2.into()))
+    }
+
+    /// `e1 ⇒ₑ e2`.
+    pub fn element_precedes(e1: impl Into<EventTerm>, e2: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::ElementPrecedes(e1.into(), e2.into()))
+    }
+
+    /// `e1 ⇒ e2`.
+    pub fn precedes(e1: impl Into<EventTerm>, e2: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::TemporallyPrecedes(e1.into(), e2.into()))
+    }
+
+    /// `e1` and `e2` are potentially concurrent.
+    pub fn concurrent(e1: impl Into<EventTerm>, e2: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::Concurrent(e1.into(), e2.into()))
+    }
+
+    /// `e1 = e2` (event identity).
+    pub fn event_eq(e1: impl Into<EventTerm>, e2: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::EventEq(e1.into(), e2.into()))
+    }
+
+    /// `e at E` — intermediate control point (§8.2).
+    pub fn at_control(e: impl Into<EventTerm>, sel: EventSel) -> Self {
+        Formula::Atom(Atom::AtControlPoint(e.into(), sel))
+    }
+
+    /// `new(e)` (§8.2).
+    pub fn is_new(e: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::New(e.into()))
+    }
+
+    /// `potential(e)` (§9).
+    pub fn potential(e: impl Into<EventTerm>) -> Self {
+        Formula::Atom(Atom::Potential(e.into()))
+    }
+
+    /// Both events carry the same instance of thread type `ty`.
+    pub fn same_thread(
+        e1: impl Into<EventTerm>,
+        e2: impl Into<EventTerm>,
+        ty: ThreadTypeId,
+    ) -> Self {
+        Formula::Atom(Atom::SameThread(e1.into(), e2.into(), ty))
+    }
+
+    /// Both events carry distinct instances of thread type `ty`.
+    pub fn distinct_threads(
+        e1: impl Into<EventTerm>,
+        e2: impl Into<EventTerm>,
+        ty: ThreadTypeId,
+    ) -> Self {
+        Formula::Atom(Atom::DistinctThreads(e1.into(), e2.into(), ty))
+    }
+
+    /// `v1 = v2` on values.
+    pub fn value_eq(v1: ValueTerm, v2: ValueTerm) -> Self {
+        Formula::Atom(Atom::ValueCmp(CmpOp::Eq, v1, v2))
+    }
+
+    /// General value comparison.
+    pub fn value_cmp(op: CmpOp, v1: ValueTerm, v2: ValueTerm) -> Self {
+        Formula::Atom(Atom::ValueCmp(op, v1, v2))
+    }
+
+    // --- Connectives --------------------------------------------------------
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Binary conjunction (use [`Formula::And`] directly for n-ary).
+    pub fn and(self, other: Formula) -> Self {
+        match (self, other) {
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), f) => {
+                a.push(f);
+                Formula::And(a)
+            }
+            (f, Formula::And(mut b)) => {
+                b.insert(0, f);
+                Formula::And(b)
+            }
+            (f, g) => Formula::And(vec![f, g]),
+        }
+    }
+
+    /// Binary disjunction.
+    pub fn or(self, other: Formula) -> Self {
+        match (self, other) {
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), f) => {
+                a.push(f);
+                Formula::Or(a)
+            }
+            (f, Formula::Or(mut b)) => {
+                b.insert(0, f);
+                Formula::Or(b)
+            }
+            (f, g) => Formula::Or(vec![f, g]),
+        }
+    }
+
+    /// Implication `self ⊃ other`.
+    pub fn implies(self, other: Formula) -> Self {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Bi-implication.
+    pub fn iff(self, other: Formula) -> Self {
+        Formula::Iff(Box::new(self), Box::new(other))
+    }
+
+    // --- Quantifiers --------------------------------------------------------
+
+    /// `∀ var : sel . body`.
+    pub fn forall(var: impl Into<String>, sel: EventSel, body: Formula) -> Self {
+        Formula::ForAll(var.into(), sel, Box::new(body))
+    }
+
+    /// `∃ var : sel . body`.
+    pub fn exists(var: impl Into<String>, sel: EventSel, body: Formula) -> Self {
+        Formula::Exists(var.into(), sel, Box::new(body))
+    }
+
+    /// `∃! var : sel . body`.
+    pub fn exists_unique(var: impl Into<String>, sel: EventSel, body: Formula) -> Self {
+        Formula::ExistsUnique(var.into(), sel, Box::new(body))
+    }
+
+    /// "∃ at most one `var : sel` with `body`".
+    pub fn at_most_one(var: impl Into<String>, sel: EventSel, body: Formula) -> Self {
+        Formula::AtMostOne(var.into(), sel, Box::new(body))
+    }
+
+    // --- Temporal operators -------------------------------------------------
+
+    /// `◻ self` — henceforth.
+    pub fn henceforth(self) -> Self {
+        Formula::Henceforth(Box::new(self))
+    }
+
+    /// `◇ self` — eventually.
+    pub fn eventually(self) -> Self {
+        Formula::Eventually(Box::new(self))
+    }
+
+    /// True if the formula contains a temporal operator; temporal-free
+    /// restrictions are *immediate assertions* (§7) evaluable on a single
+    /// history.
+    pub fn is_temporal(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => false,
+            Formula::Not(f) => f.is_temporal(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(Formula::is_temporal),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.is_temporal() || b.is_temporal(),
+            Formula::ForAll(_, _, f)
+            | Formula::Exists(_, _, f)
+            | Formula::ExistsUnique(_, _, f)
+            | Formula::AtMostOne(_, _, f) => f.is_temporal(),
+            Formula::Henceforth(_) | Formula::Eventually(_) => true,
+        }
+    }
+
+    /// Pretty-prints the formula with names resolved against `structure`.
+    pub fn render(&self, structure: &Structure) -> String {
+        let mut out = String::new();
+        self.render_into(structure, &mut out);
+        out
+    }
+
+    fn render_into(&self, s: &Structure, out: &mut String) {
+        match self {
+            Formula::True => out.push_str("true"),
+            Formula::False => out.push_str("false"),
+            Formula::Atom(a) => render_atom(a, s, out),
+            Formula::Not(f) => {
+                out.push_str("NOT (");
+                f.render_into(s, out);
+                out.push(')');
+            }
+            Formula::And(fs) => render_nary("AND", fs, s, out),
+            Formula::Or(fs) => render_nary("OR", fs, s, out),
+            Formula::Implies(a, b) => {
+                out.push('(');
+                a.render_into(s, out);
+                out.push_str(" => ");
+                b.render_into(s, out);
+                out.push(')');
+            }
+            Formula::Iff(a, b) => {
+                out.push('(');
+                a.render_into(s, out);
+                out.push_str(" <=> ");
+                b.render_into(s, out);
+                out.push(')');
+            }
+            Formula::ForAll(v, sel, f) => render_quant("FORALL", v, sel, f, s, out),
+            Formula::Exists(v, sel, f) => render_quant("EXISTS", v, sel, f, s, out),
+            Formula::ExistsUnique(v, sel, f) => render_quant("EXISTS!", v, sel, f, s, out),
+            Formula::AtMostOne(v, sel, f) => render_quant("ATMOSTONE", v, sel, f, s, out),
+            Formula::Henceforth(f) => {
+                out.push_str("[](");
+                f.render_into(s, out);
+                out.push(')');
+            }
+            Formula::Eventually(f) => {
+                out.push_str("<>(");
+                f.render_into(s, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn render_nary(op: &str, fs: &[Formula], s: &Structure, out: &mut String) {
+    out.push('(');
+    for (i, f) in fs.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, " {op} ");
+        }
+        f.render_into(s, out);
+    }
+    out.push(')');
+}
+
+fn render_quant(
+    kw: &str,
+    var: &str,
+    sel: &EventSel,
+    body: &Formula,
+    s: &Structure,
+    out: &mut String,
+) {
+    let _ = write!(out, "({kw} {var}");
+    render_sel(sel, s, out);
+    out.push_str(") ");
+    body.render_into(s, out);
+}
+
+fn render_sel(sel: &EventSel, s: &Structure, out: &mut String) {
+    if let Some(c) = sel.class {
+        let _ = write!(out, " : {}", s.class_info(c).name());
+    }
+    if let Some(el) = sel.element {
+        let _ = write!(out, " @ {}", s.element_info(el).name());
+    }
+    if let Some(t) = sel.thread {
+        let _ = write!(out, " in {t}");
+    }
+}
+
+fn render_term(t: &EventTerm, s: &Structure, out: &mut String) {
+    match t {
+        EventTerm::Var(v) => out.push_str(v),
+        EventTerm::Fixed(id) => {
+            let _ = write!(out, "{id}");
+        }
+        EventTerm::NthAt(el, i) => {
+            let _ = write!(out, "{}^{i}", s.element_info(*el).name());
+        }
+    }
+}
+
+fn render_value_term(t: &ValueTerm, s: &Structure, out: &mut String) {
+    match t {
+        ValueTerm::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ValueTerm::Param(e, p) => {
+            render_term(e, s, out);
+            match p {
+                ParamRef::Index(i) => {
+                    let _ = write!(out, ".par{i}");
+                }
+                ParamRef::Named(n) => {
+                    let _ = write!(out, ".{n}");
+                }
+            }
+        }
+        ValueTerm::SeqOf(e) => {
+            out.push_str("seq(");
+            render_term(e, s, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_atom(a: &Atom, s: &Structure, out: &mut String) {
+    match a {
+        Atom::Occurred(e) => {
+            out.push_str("occurred(");
+            render_term(e, s, out);
+            out.push(')');
+        }
+        Atom::AtElement(e, el) => {
+            render_term(e, s, out);
+            let _ = write!(out, " @ {}", s.element_info(*el).name());
+        }
+        Atom::InClass(e, c) => {
+            render_term(e, s, out);
+            let _ = write!(out, " : {}", s.class_info(*c).name());
+        }
+        Atom::Matches(e, sel) => {
+            render_term(e, s, out);
+            render_sel(sel, s, out);
+        }
+        Atom::Enables(a1, a2) => {
+            render_term(a1, s, out);
+            out.push_str(" |> ");
+            render_term(a2, s, out);
+        }
+        Atom::ElementPrecedes(a1, a2) => {
+            render_term(a1, s, out);
+            out.push_str(" =el=> ");
+            render_term(a2, s, out);
+        }
+        Atom::TemporallyPrecedes(a1, a2) => {
+            render_term(a1, s, out);
+            out.push_str(" ==> ");
+            render_term(a2, s, out);
+        }
+        Atom::Concurrent(a1, a2) => {
+            out.push_str("concurrent(");
+            render_term(a1, s, out);
+            out.push_str(", ");
+            render_term(a2, s, out);
+            out.push(')');
+        }
+        Atom::EventEq(a1, a2) => {
+            render_term(a1, s, out);
+            out.push_str(" == ");
+            render_term(a2, s, out);
+        }
+        Atom::AtControlPoint(e, sel) => {
+            render_term(e, s, out);
+            out.push_str(" at");
+            render_sel(sel, s, out);
+        }
+        Atom::New(e) => {
+            out.push_str("new(");
+            render_term(e, s, out);
+            out.push(')');
+        }
+        Atom::Potential(e) => {
+            out.push_str("potential(");
+            render_term(e, s, out);
+            out.push(')');
+        }
+        Atom::SameThread(a1, a2, ty) => {
+            out.push_str("samethread(");
+            render_term(a1, s, out);
+            out.push_str(", ");
+            render_term(a2, s, out);
+            let _ = write!(out, ", {ty})");
+        }
+        Atom::DistinctThreads(a1, a2, ty) => {
+            out.push_str("distinctthreads(");
+            render_term(a1, s, out);
+            out.push_str(", ");
+            render_term(a2, s, out);
+            let _ = write!(out, ", {ty})");
+        }
+        Atom::ValueCmp(op, v1, v2) => {
+            render_value_term(v1, s, out);
+            let _ = write!(out, " {op} ");
+            render_value_term(v2, s, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structure() -> Structure {
+        let mut s = Structure::new();
+        let a = s.add_class("Assign", &["newval"]).unwrap();
+        let g = s.add_class("Getval", &["oldval"]).unwrap();
+        s.add_element("Var", &[a, g]).unwrap();
+        s
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let f = Formula::True.and(Formula::False).and(Formula::True);
+        assert!(matches!(&f, Formula::And(v) if v.len() == 3));
+        let g = Formula::True.or(Formula::False).or(Formula::True);
+        assert!(matches!(&g, Formula::Or(v) if v.len() == 3));
+        let mixed = Formula::True.and(Formula::False.or(Formula::True));
+        assert!(matches!(&mixed, Formula::And(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn is_temporal_detection() {
+        assert!(!Formula::occurred("e").is_temporal());
+        assert!(Formula::occurred("e").henceforth().is_temporal());
+        assert!(Formula::forall(
+            "e",
+            EventSel::any(),
+            Formula::occurred("e").eventually()
+        )
+        .is_temporal());
+        assert!(!Formula::True.and(Formula::False).is_temporal());
+        assert!(Formula::True.and(Formula::False.eventually()).is_temporal());
+        assert!(Formula::occurred("e").not().implies(Formula::True.henceforth()).is_temporal());
+    }
+
+    #[test]
+    fn render_readable() {
+        let s = structure();
+        let assign = s.class("Assign").unwrap();
+        let getval = s.class("Getval").unwrap();
+        let f = Formula::forall(
+            "a",
+            EventSel::of_class(assign),
+            Formula::exists(
+                "g",
+                EventSel::of_class(getval),
+                Formula::enables("a", "g").implies(Formula::value_eq(
+                    ValueTerm::param("a", "newval"),
+                    ValueTerm::param("g", "oldval"),
+                )),
+            ),
+        );
+        let r = f.render(&s);
+        assert!(r.contains("FORALL a : Assign"));
+        assert!(r.contains("EXISTS g : Getval"));
+        assert!(r.contains("a |> g"));
+        assert!(r.contains("a.newval = g.oldval"));
+    }
+
+    #[test]
+    fn render_temporal_and_special_atoms() {
+        let s = structure();
+        let getval = s.class("Getval").unwrap();
+        let f = Formula::at_control("e", EventSel::of_class(getval))
+            .and(Formula::is_new("e"))
+            .and(Formula::potential("x"))
+            .henceforth()
+            .eventually();
+        let r = f.render(&s);
+        assert!(r.contains("<>([]("));
+        assert!(r.contains("e at : Getval"));
+        assert!(r.contains("new(e)"));
+        assert!(r.contains("potential(x)"));
+    }
+
+    #[test]
+    fn render_terms_and_atoms() {
+        use crate::{CmpOp, EventTerm, ValueTerm};
+        use gem_core::EventId;
+        let s = structure();
+        let var = s.element("Var").unwrap();
+        // Fixed event id, occurrence notation, seq(), positional params.
+        let f = Formula::event_eq(EventTerm::Fixed(EventId::from_raw(3)), EventTerm::NthAt(var, 2))
+            .and(Formula::value_cmp(
+                CmpOp::Lt,
+                ValueTerm::SeqOf(EventTerm::var("e")),
+                ValueTerm::param("e", 1usize),
+            ))
+            .and(Formula::element_precedes("a", "b"))
+            .and(Formula::concurrent("a", "b"))
+            .and(Formula::matches("a", EventSel::at_element(var)));
+        let r = f.render(&s);
+        assert!(r.contains("e3 == Var^2"), "{r}");
+        assert!(r.contains("seq(e) < e.par1"), "{r}");
+        assert!(r.contains("a =el=> b"), "{r}");
+        assert!(r.contains("concurrent(a, b)"), "{r}");
+        assert!(r.contains("a @ Var"), "{r}");
+    }
+
+    #[test]
+    fn render_thread_atoms_and_iff() {
+        use gem_core::ThreadTypeId;
+        let s = structure();
+        let f = Formula::same_thread("a", "b", ThreadTypeId::from_raw(2))
+            .iff(Formula::distinct_threads("a", "b", ThreadTypeId::from_raw(2)).not());
+        let r = f.render(&s);
+        assert!(r.contains("samethread(a, b, pi2)"), "{r}");
+        assert!(r.contains("<=>"), "{r}");
+        assert!(r.contains("distinctthreads"), "{r}");
+    }
+
+    #[test]
+    fn render_quantifier_variants() {
+        let s = structure();
+        let r1 = Formula::exists_unique("e", EventSel::any(), Formula::True).render(&s);
+        assert!(r1.contains("EXISTS! e"));
+        let r2 = Formula::at_most_one("e", EventSel::any(), Formula::True).render(&s);
+        assert!(r2.contains("ATMOSTONE e"));
+    }
+}

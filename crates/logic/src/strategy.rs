@@ -1,0 +1,427 @@
+//! Checking strategies: deciding whether a restriction holds of *every*
+//! valid history sequence of a computation.
+//!
+//! The paper's semantics quantifies restrictions over all valid history
+//! sequences of a computation. The number of vhs is (doubly) exponential,
+//! so [`check`] approximates the set by a [`Strategy`]:
+//!
+//! * [`Strategy::Complete`] — a single sequence containing the complete
+//!   history. Exact for non-temporal (computation-level) restrictions.
+//! * [`Strategy::Linearizations`] — every one-event-at-a-time vhs. Exact
+//!   for `◻`-safety formulae (every history lies on some linearization,
+//!   and every pair `α ⊑ β` lies on a common one).
+//! * [`Strategy::StepSequences`] — every vhs with arbitrary antichain
+//!   steps. Fully exact, but only feasible for very small computations.
+//! * [`Strategy::RandomLinearizations`] — seeded sample of linearizations;
+//!   sound for *refuting* (a found violation is real) but not exhaustive.
+//! * [`Strategy::GreedySteps`] — the single maximal-parallelism vhs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gem_core::{
+    for_each_linearization, for_each_step_sequence, Computation, EventId, History,
+    HistorySequence,
+};
+
+use crate::{holds_on_sequence, EvalError, Formula};
+
+/// How to enumerate the history sequences a formula is checked against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// The single sequence `[complete history]`.
+    Complete,
+    /// All linearizations (singleton-step vhs), up to `limit` sequences.
+    Linearizations {
+        /// Maximum number of sequences to check.
+        limit: usize,
+    },
+    /// All antichain-step vhs, up to `limit` sequences.
+    StepSequences {
+        /// Maximum number of sequences to check.
+        limit: usize,
+    },
+    /// `count` random linearizations drawn with the given seed.
+    RandomLinearizations {
+        /// Number of sampled schedules.
+        count: usize,
+        /// RNG seed, for reproducibility.
+        seed: u64,
+    },
+    /// The single greedy maximal-step sequence.
+    GreedySteps,
+}
+
+impl Default for Strategy {
+    /// Defaults to exhaustive linearizations with a generous limit.
+    fn default() -> Self {
+        Strategy::Linearizations { limit: 100_000 }
+    }
+}
+
+/// A violating history sequence, recorded as the event sets of its
+/// histories.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counterexample {
+    /// Each history of the violating sequence, as its event list.
+    pub histories: Vec<Vec<EventId>>,
+}
+
+impl Counterexample {
+    fn from_histories(seq: &[History]) -> Self {
+        Self {
+            histories: seq.iter().map(|h| h.iter().collect()).collect(),
+        }
+    }
+
+    /// Renders the violating sequence with event names resolved against
+    /// the computation.
+    pub fn describe(&self, computation: &Computation) -> String {
+        use std::fmt::Write as _;
+        let s = computation.structure();
+        let mut out = String::from("violating history sequence:\n");
+        let mut prev: Vec<EventId> = Vec::new();
+        for (i, h) in self.histories.iter().enumerate() {
+            let added: Vec<String> = h
+                .iter()
+                .filter(|e| !prev.contains(e))
+                .map(|&e| {
+                    let ev = computation.event(e);
+                    format!(
+                        "{}.{}^{}",
+                        s.element_info(ev.element()).name(),
+                        s.class_info(ev.class()).name(),
+                        ev.seq()
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "  step {i}: +[{}] ({} events)", added.join(", "), h.len());
+            prev = h.clone();
+        }
+        out
+    }
+}
+
+/// Result of checking a formula against a computation under a strategy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckReport {
+    /// True if no checked sequence violated the formula.
+    pub holds: bool,
+    /// Number of sequences evaluated.
+    pub sequences_checked: usize,
+    /// True if the strategy's family was fully enumerated (the limit was
+    /// not hit). A `holds == true` report with `exhaustive == false` is
+    /// only evidence, not proof.
+    pub exhaustive: bool,
+    /// A violating sequence, if one was found.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CheckReport {
+    fn passing(sequences_checked: usize, exhaustive: bool) -> Self {
+        Self {
+            holds: true,
+            sequences_checked,
+            exhaustive,
+            counterexample: None,
+        }
+    }
+}
+
+/// Checks `formula` against `computation` under `strategy`: the formula
+/// must hold of every generated history sequence.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if the formula is malformed (unbound variables,
+/// bad parameter references).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gem_core::{ComputationBuilder, Structure};
+/// use gem_logic::{check, Formula, Strategy};
+/// let mut s = Structure::new();
+/// let act = s.add_class("Act", &[])?;
+/// let el = s.add_element("P", &[act])?;
+/// let mut b = ComputationBuilder::new(s);
+/// let e = b.add_event(el, act, vec![])?;
+/// let c = b.seal()?;
+/// let report = check(&Formula::occurred(e).eventually(), &c, Strategy::default())?;
+/// assert!(report.holds && report.exhaustive);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check(
+    formula: &Formula,
+    computation: &Computation,
+    strategy: Strategy,
+) -> Result<CheckReport, EvalError> {
+    // A temporal-free restriction is an *immediate assertion* about the
+    // computation (§8): evaluating it at the front of every history
+    // sequence would test the empty history. Dispatch it to the complete
+    // computation regardless of the requested strategy; to assert an
+    // immediate property of every history, wrap it in `◻` explicitly.
+    let strategy = if formula.is_temporal() {
+        strategy
+    } else {
+        Strategy::Complete
+    };
+    match strategy {
+        Strategy::Complete => {
+            let seq = [History::full(computation)];
+            if holds_on_sequence(formula, computation, &seq)? {
+                Ok(CheckReport::passing(1, true))
+            } else {
+                Ok(CheckReport {
+                    holds: false,
+                    sequences_checked: 1,
+                    exhaustive: true,
+                    counterexample: Some(Counterexample::from_histories(&seq)),
+                })
+            }
+        }
+        Strategy::GreedySteps => {
+            let seq = HistorySequence::greedy_steps(computation);
+            if holds_on_sequence(formula, computation, seq.histories())? {
+                Ok(CheckReport::passing(1, true))
+            } else {
+                Ok(CheckReport {
+                    holds: false,
+                    sequences_checked: 1,
+                    exhaustive: true,
+                    counterexample: Some(Counterexample::from_histories(seq.histories())),
+                })
+            }
+        }
+        Strategy::Linearizations { limit } => {
+            let mut checked = 0usize;
+            let mut failure: Option<Counterexample> = None;
+            let mut error: Option<EvalError> = None;
+            let visited = for_each_linearization(computation, limit, |order| {
+                checked += 1;
+                let seq = HistorySequence::from_linearization(computation, order);
+                match holds_on_sequence(formula, computation, seq.histories()) {
+                    Ok(true) => std::ops::ControlFlow::Continue(()),
+                    Ok(false) => {
+                        failure = Some(Counterexample::from_histories(seq.histories()));
+                        std::ops::ControlFlow::Break(())
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        std::ops::ControlFlow::Break(())
+                    }
+                }
+            });
+            if let Some(e) = error {
+                return Err(e);
+            }
+            let exhaustive = failure.is_some() || visited < limit;
+            Ok(CheckReport {
+                holds: failure.is_none(),
+                sequences_checked: checked,
+                exhaustive,
+                counterexample: failure,
+            })
+        }
+        Strategy::StepSequences { limit } => {
+            let mut checked = 0usize;
+            let mut failure: Option<Counterexample> = None;
+            let mut error: Option<EvalError> = None;
+            let visited = for_each_step_sequence(computation, limit, |seq| {
+                checked += 1;
+                match holds_on_sequence(formula, computation, seq) {
+                    Ok(true) => std::ops::ControlFlow::Continue(()),
+                    Ok(false) => {
+                        failure = Some(Counterexample::from_histories(seq));
+                        std::ops::ControlFlow::Break(())
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        std::ops::ControlFlow::Break(())
+                    }
+                }
+            });
+            if let Some(e) = error {
+                return Err(e);
+            }
+            let exhaustive = failure.is_some() || visited < limit;
+            Ok(CheckReport {
+                holds: failure.is_none(),
+                sequences_checked: checked,
+                exhaustive,
+                counterexample: failure,
+            })
+        }
+        Strategy::RandomLinearizations { count, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..count {
+                let order = random_linearization(computation, &mut rng);
+                let seq = HistorySequence::from_linearization(computation, &order);
+                if !holds_on_sequence(formula, computation, seq.histories())? {
+                    return Ok(CheckReport {
+                        holds: false,
+                        sequences_checked: i + 1,
+                        exhaustive: false,
+                        counterexample: Some(Counterexample::from_histories(seq.histories())),
+                    });
+                }
+            }
+            Ok(CheckReport::passing(count, false))
+        }
+    }
+}
+
+/// Draws one uniform-at-random-ish linearization (random frontier choice at
+/// each step).
+pub fn random_linearization(computation: &Computation, rng: &mut impl Rng) -> Vec<EventId> {
+    let mut h = History::empty(computation);
+    let mut order = Vec::with_capacity(computation.event_count());
+    loop {
+        let frontier = h.frontier(computation);
+        if frontier.is_empty() {
+            break;
+        }
+        let pick = frontier[rng.gen_range(0..frontier.len())];
+        h.try_insert(computation, pick)
+            .expect("frontier event is insertable");
+        order.push(pick);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventSel;
+    use gem_core::{ComputationBuilder, Structure};
+
+    /// Two concurrent chains: p1 → p2 and q1 → q2.
+    fn two_chains() -> (Computation, Vec<EventId>) {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p = s.add_element("P", &[act]).unwrap();
+        let q = s.add_element("Q", &[act]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let p1 = b.add_event(p, act, vec![]).unwrap();
+        let p2 = b.add_event(p, act, vec![]).unwrap();
+        let q1 = b.add_event(q, act, vec![]).unwrap();
+        let q2 = b.add_event(q, act, vec![]).unwrap();
+        (b.seal().unwrap(), vec![p1, p2, q1, q2])
+    }
+
+    #[test]
+    fn linearizations_check_safety() {
+        let (c, e) = two_chains();
+        // Safety: p2 never occurs before p1 — holds on all 6 interleavings.
+        let f = Formula::occurred(e[1])
+            .implies(Formula::occurred(e[0]))
+            .henceforth();
+        let r = check(&f, &c, Strategy::Linearizations { limit: 100 }).unwrap();
+        assert!(r.holds);
+        assert!(r.exhaustive);
+        assert_eq!(r.sequences_checked, 6);
+    }
+
+    #[test]
+    fn violation_found_with_counterexample() {
+        let (c, e) = two_chains();
+        // False claim: q1 always occurs before p1.
+        let f = Formula::occurred(e[0])
+            .implies(Formula::occurred(e[2]))
+            .henceforth();
+        let r = check(&f, &c, Strategy::Linearizations { limit: 100 }).unwrap();
+        assert!(!r.holds);
+        let cex = r.counterexample.unwrap();
+        let desc = cex.describe(&c);
+        assert!(desc.contains("P.Act^0"), "{desc}");
+    }
+
+    #[test]
+    fn complete_strategy_for_immediate_restrictions() {
+        let (c, _) = two_chains();
+        let act = c.structure().class("Act").unwrap();
+        let f = Formula::forall("e", EventSel::of_class(act), Formula::occurred("e"));
+        let r = check(&f, &c, Strategy::Complete).unwrap();
+        assert!(r.holds && r.exhaustive);
+        assert_eq!(r.sequences_checked, 1);
+    }
+
+    #[test]
+    fn step_sequences_catch_simultaneity() {
+        let (c, e) = two_chains();
+        // "Some history separates p1 from q1" holds of every linearization
+        // (one of them is added first) but fails on the step sequence where
+        // p1 and q1 enter simultaneously (§7: events occurring "at the same
+        // time").
+        let p_first = Formula::occurred(e[0]).and(Formula::occurred(e[2]).not());
+        let q_first = Formula::occurred(e[2]).and(Formula::occurred(e[0]).not());
+        let f = p_first.eventually().or(q_first.eventually());
+        let lin = check(&f, &c, Strategy::Linearizations { limit: 1000 }).unwrap();
+        assert!(lin.holds, "every linearization separates them");
+        let steps = check(&f, &c, Strategy::StepSequences { limit: 10_000 }).unwrap();
+        assert!(!steps.holds, "a simultaneous step never separates them");
+        assert!(steps.counterexample.is_some());
+    }
+
+    #[test]
+    fn greedy_steps_single_sequence() {
+        let (c, e) = two_chains();
+        let f = Formula::occurred(e[0]).eventually();
+        let r = check(&f, &c, Strategy::GreedySteps).unwrap();
+        assert!(r.holds);
+        assert_eq!(r.sequences_checked, 1);
+    }
+
+    #[test]
+    fn random_linearizations_reproducible() {
+        let (c, e) = two_chains();
+        let f = Formula::occurred(e[0])
+            .implies(Formula::occurred(e[2]))
+            .henceforth();
+        let r1 = check(&f, &c, Strategy::RandomLinearizations { count: 50, seed: 7 }).unwrap();
+        let r2 = check(&f, &c, Strategy::RandomLinearizations { count: 50, seed: 7 }).unwrap();
+        assert_eq!(r1, r2, "same seed, same verdict");
+        assert!(!r1.exhaustive);
+        // With 50 samples over 6 interleavings a violation is all but
+        // certain to be sampled.
+        assert!(!r1.holds);
+    }
+
+    #[test]
+    fn limit_marks_non_exhaustive() {
+        let (c, _) = two_chains();
+        let f = Formula::True.henceforth();
+        let r = check(&f, &c, Strategy::Linearizations { limit: 2 }).unwrap();
+        assert!(r.holds);
+        assert!(!r.exhaustive);
+        assert_eq!(r.sequences_checked, 2);
+    }
+
+    #[test]
+    fn immediate_assertions_dispatch_to_complete() {
+        // A temporal-free formula is a computation-level restriction: it
+        // is evaluated once on the complete history even under a
+        // sequence-producing strategy.
+        let (c, e) = two_chains();
+        let f = Formula::occurred(e[0]);
+        let r = check(&f, &c, Strategy::Linearizations { limit: 100 }).unwrap();
+        assert!(r.holds);
+        assert_eq!(r.sequences_checked, 1);
+        assert!(r.exhaustive);
+    }
+
+    #[test]
+    fn random_linearization_is_topological() {
+        let (c, e) = two_chains();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let order = random_linearization(&c, &mut rng);
+            assert_eq!(order.len(), 4);
+            let p1 = order.iter().position(|&x| x == e[0]).unwrap();
+            let p2 = order.iter().position(|&x| x == e[1]).unwrap();
+            assert!(p1 < p2);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Terms of the restriction language: event references, event selectors,
+//! and value expressions.
+
+use gem_core::{ClassId, Computation, ElementId, Event, EventId, ThreadTag, Value};
+
+/// A term denoting an event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventTerm {
+    /// A bound variable introduced by a quantifier.
+    Var(String),
+    /// A fixed event of the computation under evaluation.
+    Fixed(EventId),
+    /// The `i`-th event at an element — the paper's `EL^i` notation.
+    NthAt(ElementId, usize),
+}
+
+impl EventTerm {
+    /// Shorthand for a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        EventTerm::Var(name.into())
+    }
+}
+
+impl From<EventId> for EventTerm {
+    fn from(id: EventId) -> Self {
+        EventTerm::Fixed(id)
+    }
+}
+
+impl From<&str> for EventTerm {
+    fn from(name: &str) -> Self {
+        EventTerm::Var(name.to_owned())
+    }
+}
+
+/// A selector describing a class of events — the paper's `e : E` notation,
+/// optionally narrowed to an element and/or a thread instance.
+///
+/// An empty selector matches every event.
+///
+/// # Examples
+///
+/// ```
+/// use gem_logic::EventSel;
+/// use gem_core::{ClassId, ElementId};
+/// let sel = EventSel::of_class(ClassId::from_raw(0)).at(ElementId::from_raw(2));
+/// assert!(sel.class.is_some() && sel.element.is_some());
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct EventSel {
+    /// Restrict to events at this element.
+    pub element: Option<ElementId>,
+    /// Restrict to events of this class.
+    pub class: Option<ClassId>,
+    /// Restrict to events carrying this thread tag.
+    pub thread: Option<ThreadTag>,
+    /// Restrict to events whose `i`-th parameter equals the given value,
+    /// for each `(i, value)` pair (e.g. "the assignments made inside entry
+    /// StartRead", when the substrate records the entry as a parameter).
+    pub params: Vec<(usize, Value)>,
+}
+
+impl EventSel {
+    /// The selector matching every event.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Selector for events of `class`.
+    pub fn of_class(class: ClassId) -> Self {
+        Self {
+            class: Some(class),
+            ..Self::default()
+        }
+    }
+
+    /// Selector for events at `element`.
+    pub fn at_element(element: ElementId) -> Self {
+        Self {
+            element: Some(element),
+            ..Self::default()
+        }
+    }
+
+    /// Narrows this selector to events at `element`.
+    pub fn at(mut self, element: ElementId) -> Self {
+        self.element = Some(element);
+        self
+    }
+
+    /// Narrows this selector to events carrying `tag`.
+    pub fn in_thread(mut self, tag: ThreadTag) -> Self {
+        self.thread = Some(tag);
+        self
+    }
+
+    /// Narrows this selector to events whose `index`-th parameter equals
+    /// `value`.
+    pub fn with_param(mut self, index: usize, value: impl Into<Value>) -> Self {
+        self.params.push((index, value.into()));
+        self
+    }
+
+    /// True if `event` satisfies every constraint of this selector.
+    pub fn matches(&self, event: &Event) -> bool {
+        self.element.is_none_or(|el| event.element() == el)
+            && self.class.is_none_or(|c| event.class() == c)
+            && self.thread.is_none_or(|t| event.in_thread(t))
+            && self
+                .params
+                .iter()
+                .all(|(i, v)| event.param(*i).is_some_and(|p| p == v))
+    }
+
+    /// Iterates over the ids of the computation's events matching this
+    /// selector.
+    pub fn select<'a>(
+        &'a self,
+        computation: &'a Computation,
+    ) -> impl Iterator<Item = EventId> + 'a {
+        computation
+            .events()
+            .iter()
+            .filter(|e| self.matches(e))
+            .map(|e| e.id())
+    }
+}
+
+/// A reference to an event parameter, by position or by declared name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParamRef {
+    /// Positional parameter index.
+    Index(usize),
+    /// Parameter name resolved against the event's class declaration.
+    Named(String),
+}
+
+impl From<usize> for ParamRef {
+    fn from(i: usize) -> Self {
+        ParamRef::Index(i)
+    }
+}
+
+impl From<&str> for ParamRef {
+    fn from(s: &str) -> Self {
+        ParamRef::Named(s.to_owned())
+    }
+}
+
+/// A term denoting a data value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ValueTerm {
+    /// A literal value.
+    Const(Value),
+    /// A parameter of an event (`e.par`).
+    Param(EventTerm, ParamRef),
+    /// The occurrence number of an event at its element, as an integer.
+    SeqOf(EventTerm),
+}
+
+impl ValueTerm {
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        ValueTerm::Const(v.into())
+    }
+
+    /// Shorthand for `event.param`.
+    pub fn param(event: impl Into<EventTerm>, param: impl Into<ParamRef>) -> Self {
+        ValueTerm::Param(event.into(), param.into())
+    }
+}
+
+/// Comparison operators between value terms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less (integers only; false otherwise).
+    Lt,
+    /// Less or equal (integers only; false otherwise).
+    Le,
+    /// Strictly greater (integers only; false otherwise).
+    Gt,
+    /// Greater or equal (integers only; false otherwise).
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two values.
+    ///
+    /// `Eq`/`Ne` compare any values structurally; the order comparisons
+    /// are defined only between two integers and evaluate to `false`
+    /// otherwise (`Ne` of mixed variants is `true`).
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                match (a.as_int(), b.as_int()) {
+                    (Some(x), Some(y)) => match self {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                        _ => unreachable!(),
+                    },
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::{ComputationBuilder, Structure};
+
+    #[test]
+    fn cmp_op_semantics() {
+        let one = Value::Int(1);
+        let two = Value::Int(2);
+        assert!(CmpOp::Eq.apply(&one, &one));
+        assert!(CmpOp::Ne.apply(&one, &two));
+        assert!(CmpOp::Lt.apply(&one, &two));
+        assert!(CmpOp::Le.apply(&one, &one));
+        assert!(CmpOp::Gt.apply(&two, &one));
+        assert!(CmpOp::Ge.apply(&two, &two));
+        // Order on non-integers is false; Ne across variants is true.
+        assert!(!CmpOp::Lt.apply(&Value::from("a"), &Value::from("b")));
+        assert!(CmpOp::Ne.apply(&Value::from("a"), &one));
+        assert!(!CmpOp::Eq.apply(&Value::from("a"), &one));
+    }
+
+    #[test]
+    fn selector_matching() {
+        let mut s = Structure::new();
+        let a = s.add_class("A", &[]).unwrap();
+        let b_cls = s.add_class("B", &[]).unwrap();
+        let p = s.add_element("P", &[a, b_cls]).unwrap();
+        let q = s.add_element("Q", &[a]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p, a, vec![]).unwrap();
+        let e2 = b.add_event(p, b_cls, vec![]).unwrap();
+        let e3 = b.add_event(q, a, vec![]).unwrap();
+        let c = b.seal().unwrap();
+
+        assert_eq!(EventSel::any().select(&c).count(), 3);
+        assert_eq!(
+            EventSel::of_class(a).select(&c).collect::<Vec<_>>(),
+            vec![e1, e3]
+        );
+        assert_eq!(
+            EventSel::of_class(a).at(p).select(&c).collect::<Vec<_>>(),
+            vec![e1]
+        );
+        assert_eq!(
+            EventSel::at_element(p).select(&c).collect::<Vec<_>>(),
+            vec![e1, e2]
+        );
+    }
+
+    #[test]
+    fn selector_thread_constraint() {
+        use gem_core::{ThreadTag, ThreadTypeId};
+        let mut s = Structure::new();
+        let a = s.add_class("A", &[]).unwrap();
+        let p = s.add_element("P", &[a]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p, a, vec![]).unwrap();
+        let e2 = b.add_event(p, a, vec![]).unwrap();
+        let tag = ThreadTag::new(ThreadTypeId::from_raw(0), 7);
+        b.tag_thread(e1, tag).unwrap();
+        let c = b.seal().unwrap();
+        let sel = EventSel::any().in_thread(tag);
+        assert_eq!(sel.select(&c).collect::<Vec<_>>(), vec![e1]);
+        assert!(!sel.matches(c.event(e2)));
+    }
+
+    #[test]
+    fn selector_param_constraint() {
+        let mut s = Structure::new();
+        let a = s.add_class("A", &["x"]).unwrap();
+        let p = s.add_element("P", &[a]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p, a, vec![Value::Int(1)]).unwrap();
+        let _e2 = b.add_event(p, a, vec![Value::Int(2)]).unwrap();
+        let c = b.seal().unwrap();
+        let sel = EventSel::of_class(a).with_param(0, 1i64);
+        assert_eq!(sel.select(&c).collect::<Vec<_>>(), vec![e1]);
+        // Out-of-range constraint matches nothing.
+        let none = EventSel::of_class(a).with_param(3, 1i64);
+        assert_eq!(none.select(&c).count(), 0);
+    }
+
+    #[test]
+    fn term_conversions() {
+        assert_eq!(EventTerm::from("x"), EventTerm::Var("x".into()));
+        assert_eq!(
+            EventTerm::from(EventId::from_raw(2)),
+            EventTerm::Fixed(EventId::from_raw(2))
+        );
+        assert_eq!(ParamRef::from(1), ParamRef::Index(1));
+        assert_eq!(ParamRef::from("loc"), ParamRef::Named("loc".into()));
+        assert_eq!(ValueTerm::lit(5i64), ValueTerm::Const(Value::Int(5)));
+    }
+}

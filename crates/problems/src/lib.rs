@@ -1,0 +1,22 @@
+//! # gem-problems — the paper's problem library
+//!
+//! GEM specifications and verified solutions for every problem the paper
+//! reports (§1, §11): the One-Slot Buffer, the Bounded Buffer, five
+//! versions of the Readers/Writers problem (with the §9 monitor), a
+//! distributed database update algorithm, and an asynchronous Game of
+//! Life. Each module provides the problem [`Specification`], one or more
+//! solutions on the `gem-lang` substrates, and the significant-object
+//! [`Correspondence`] used to verify `PROG sat P`.
+//!
+//! [`Specification`]: gem_spec::Specification
+//! [`Correspondence`]: gem_verify::Correspondence
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod db_update;
+pub mod life;
+pub mod one_slot;
+pub mod philosophers;
+pub mod readers_writers;

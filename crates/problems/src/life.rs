@@ -1,0 +1,419 @@
+//! The asynchronous, distributed Game of Life (§1, §11 — the paper's
+//! second distributed application, citing its reference \[29\]).
+//!
+//! Each grid cell is a CSP process; neighbour state flows through
+//! one-slot *edge buffer* processes (one per directed neighbour edge), so
+//! cells advance asynchronously: a cell may run ahead of its neighbours
+//! by at most one generation (the buffers bound the skew), and a cell
+//! computes generation `g+1` only after receiving all of its neighbours'
+//! generation-`g` states — the defining constraint of asynchronous Life.
+//!
+//! The problem specification has one element per cell with
+//! `Compute(state)` events (the cell's generation steps). Its
+//! restrictions are generated per instance:
+//!
+//! * `neighbour-causality` — `cell^g` (the `g`-th compute of a cell) is
+//!   temporally preceded by `nb^{g-1}` for every neighbour `nb`;
+//! * `completeness` — every cell computes all `gens` generations;
+//! * `functional` — the `g`-th compute of each cell carries exactly the
+//!   state the synchronous reference evolution ([`sync_life`]) predicts.
+//!   (Asynchronous Life is confluent: every schedule must produce the
+//!   synchronous result.)
+
+use gem_logic::{EventSel, EventTerm, Formula, ValueTerm};
+use gem_spec::{ElementType, SpecBuilder, Specification};
+use gem_verify::Correspondence;
+
+use gem_lang::csp::{CspProcess, CspProgram, CspStmt, CspSystem};
+use gem_lang::Expr;
+
+/// A rectangular Life grid with dead cells beyond the boundary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Grid {
+    /// Width in cells.
+    pub width: usize,
+    /// Height in cells.
+    pub height: usize,
+    /// Row-major cell states (`true` = alive).
+    pub cells: Vec<bool>,
+}
+
+impl Grid {
+    /// Creates a grid from row-major states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != width * height`.
+    pub fn new(width: usize, height: usize, cells: Vec<bool>) -> Self {
+        assert_eq!(cells.len(), width * height, "cell count mismatch");
+        Self {
+            width,
+            height,
+            cells,
+        }
+    }
+
+    /// The state of cell `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        self.cells[y * self.width + x]
+    }
+
+    /// The Moore neighbours (up to 8) of `(x, y)` within the grid.
+    pub fn neighbours(&self, x: usize, y: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height
+                {
+                    out.push((nx as usize, ny as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// One synchronous Life step (B3/S23, dead boundary).
+    pub fn step(&self) -> Grid {
+        let mut next = self.cells.clone();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let alive = self.get(x, y);
+                let count = self
+                    .neighbours(x, y)
+                    .into_iter()
+                    .filter(|&(nx, ny)| self.get(nx, ny))
+                    .count();
+                next[y * self.width + x] = count == 3 || (alive && count == 2);
+            }
+        }
+        Grid {
+            width: self.width,
+            height: self.height,
+            cells: next,
+        }
+    }
+}
+
+/// Runs the synchronous reference evolution: the grid after each of
+/// `gens` steps (so the result has `gens` entries).
+pub fn sync_life(initial: &Grid, gens: usize) -> Vec<Grid> {
+    let mut out = Vec::with_capacity(gens);
+    let mut g = initial.clone();
+    for _ in 0..gens {
+        g = g.step();
+        out.push(g.clone());
+    }
+    out
+}
+
+fn cell_name(x: usize, y: usize) -> String {
+    format!("cell_{x}_{y}")
+}
+
+fn buf_name(from: (usize, usize), to: (usize, usize)) -> String {
+    format!("buf_{}_{}_to_{}_{}", from.0, from.1, to.0, to.1)
+}
+
+/// The asynchronous-Life problem specification for `initial` evolved
+/// `gens` generations, including the expected per-generation states from
+/// the synchronous reference.
+#[allow(clippy::needless_range_loop)] // g indexes both events and reference states
+pub fn life_spec(initial: &Grid, gens: usize) -> Specification {
+    let cell_t = ElementType::new("LifeCell").event("Compute", &["state"]);
+    let mut sb = SpecBuilder::new("AsyncLife");
+    let mut cell_els = Vec::new();
+    for y in 0..initial.height {
+        for x in 0..initial.width {
+            let inst = sb
+                .instantiate_element(&cell_t, cell_name(x, y))
+                .expect("fresh cell");
+            cell_els.push(inst.id());
+        }
+    }
+    let reference = sync_life(initial, gens);
+
+    let mut causality = Vec::new();
+    let mut completeness = Vec::new();
+    let mut functional = Vec::new();
+    for y in 0..initial.height {
+        for x in 0..initial.width {
+            let el = cell_els[y * initial.width + x];
+            completeness.push(Formula::occurred(EventTerm::NthAt(el, gens - 1)));
+            for g in 0..gens {
+                let me_g = EventTerm::NthAt(el, g);
+                functional.push(Formula::occurred(me_g.clone()).implies(Formula::value_eq(
+                    ValueTerm::param(me_g.clone(), "state"),
+                    ValueTerm::Const(gem_core::Value::Int(i64::from(
+                        reference[g].get(x, y),
+                    ))),
+                )));
+                if g > 0 {
+                    for (nx, ny) in initial.neighbours(x, y) {
+                        let nb_el = cell_els[ny * initial.width + nx];
+                        let nb_prev = EventTerm::NthAt(nb_el, g - 1);
+                        causality.push(
+                            Formula::occurred(me_g.clone())
+                                .implies(Formula::precedes(nb_prev, me_g.clone())),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    sb.add_restriction("neighbour-causality", Formula::And(causality));
+    sb.add_restriction("completeness", Formula::And(completeness));
+    sb.add_restriction("functional", Formula::And(functional));
+    sb.finish()
+}
+
+/// Builds the asynchronous CSP implementation: one process per cell, one
+/// one-slot buffer process per directed neighbour edge, `gens`
+/// generations.
+pub fn life_program(initial: &Grid, gens: usize) -> CspSystem {
+    let mut prog = CspProgram::new();
+    for y in 0..initial.height {
+        for x in 0..initial.width {
+            let me = (x, y);
+            let nbs = initial.neighbours(x, y);
+            let mut body = Vec::new();
+            for _ in 0..gens {
+                // Publish my state to every outgoing edge buffer …
+                for &nb in &nbs {
+                    body.push(CspStmt::send(buf_name(me, nb), Expr::var("alive")));
+                }
+                // … gather every neighbour's state …
+                let mut sum = Expr::int(0);
+                for (j, &nb) in nbs.iter().enumerate() {
+                    body.push(CspStmt::recv(buf_name(nb, me), format!("n{j}")));
+                    sum = sum.add(Expr::var(format!("n{j}")));
+                }
+                body.push(CspStmt::assign("sum", sum));
+                // … and step (B3/S23).
+                body.push(CspStmt::If(
+                    Expr::var("sum").eq(Expr::int(3)).or(Expr::var("alive")
+                        .eq(Expr::int(1))
+                        .and(Expr::var("sum").eq(Expr::int(2)))),
+                    vec![CspStmt::assign("alive", Expr::int(1))],
+                    vec![CspStmt::assign("alive", Expr::int(0))],
+                ));
+            }
+            let mut proc = CspProcess::new(cell_name(x, y), body)
+                .local("alive", i64::from(initial.get(x, y)))
+                .local("sum", 0i64);
+            for j in 0..nbs.len() {
+                proc = proc.local(format!("n{j}"), 0i64);
+            }
+            prog = prog.process(proc);
+        }
+    }
+    // Edge buffers: one-slot relays, `gens` items each.
+    for y in 0..initial.height {
+        for x in 0..initial.width {
+            let me = (x, y);
+            for nb in initial.neighbours(x, y) {
+                let mut body = Vec::new();
+                for _ in 0..gens {
+                    body.push(CspStmt::recv(cell_name(me.0, me.1), "v"));
+                    body.push(CspStmt::send(cell_name(nb.0, nb.1), Expr::var("v")));
+                }
+                prog = prog.process(CspProcess::new(buf_name(me, nb), body).local("v", 0i64));
+            }
+        }
+    }
+    CspSystem::new(prog)
+}
+
+/// Significant objects: each cell's `alive` assignments are its `Compute`
+/// events. (The `alive` variable is assigned exactly once per generation
+/// — both branches of the rule assign it.)
+pub fn life_correspondence(
+    sys: &CspSystem,
+    problem: &Specification,
+    grid: &Grid,
+) -> Correspondence {
+    let ps = problem.structure();
+    let compute = ps.class("Compute").expect("Compute class");
+    let mut corr = Correspondence::new();
+    for y in 0..grid.height {
+        for x in 0..grid.width {
+            let cell_el = ps.element(&cell_name(x, y)).expect("cell element");
+            let var_el = sys
+                .structure()
+                .element(&format!("{}.var.alive", cell_name(x, y)))
+                .expect("alive var");
+            corr = corr.map_with_params(
+                EventSel::of_class(sys.class("Assign")).at(var_el),
+                cell_el,
+                compute,
+                &[(0, 0)],
+            );
+        }
+    }
+    corr
+}
+
+/// A 3×3 blinker: a vertical bar that oscillates to horizontal and back.
+pub fn blinker() -> Grid {
+    Grid::new(
+        3,
+        3,
+        vec![
+            false, true, false, //
+            false, true, false, //
+            false, true, false,
+        ],
+    )
+}
+
+/// A 2×2 block (still life).
+pub fn block() -> Grid {
+    Grid::new(2, 2, vec![true, true, true, true])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_lang::{Explorer, System};
+    use gem_verify::{verify_system, VerifyOptions};
+    use rand::SeedableRng;
+    use std::ops::ControlFlow;
+
+    #[test]
+    fn sync_reference_blinker_oscillates() {
+        let steps = sync_life(&blinker(), 2);
+        let horizontal = Grid::new(
+            3,
+            3,
+            vec![
+                false, false, false, //
+                true, true, true, //
+                false, false, false,
+            ],
+        );
+        assert_eq!(steps[0], horizontal);
+        assert_eq!(steps[1], blinker());
+    }
+
+    #[test]
+    fn sync_reference_block_is_still() {
+        let steps = sync_life(&block(), 3);
+        assert!(steps.iter().all(|g| *g == block()));
+    }
+
+    #[test]
+    fn block_satisfies_spec_on_sampled_schedules() {
+        let grid = block();
+        let gens = 2;
+        let sys = life_program(&grid, gens);
+        let problem = life_spec(&grid, gens);
+        let corr = life_correspondence(&sys, &problem, &grid);
+        let outcome = verify_system(
+            &sys,
+            &problem,
+            &corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &VerifyOptions {
+                explorer: Explorer::with_max_runs(40),
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("correspondence consistent");
+        assert!(outcome.ok(), "{outcome}");
+        assert!(outcome.runs >= 40, "sampled schedules all pass");
+    }
+
+    #[test]
+    fn blinker_matches_sync_reference_on_random_schedules() {
+        // Asynchronous Life is confluent: every schedule yields the
+        // synchronous result. 3×3 exhaustive exploration is infeasible,
+        // so check seeded random schedules end-to-end.
+        let grid = blinker();
+        let gens = 2;
+        let sys = life_program(&grid, gens);
+        let reference = sync_life(&grid, gens);
+        let explorer = Explorer::default();
+        for seed in 0..5 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (state, _) = explorer.random_run(&sys, &mut rng);
+            assert!(sys.is_complete(&state), "no deadlock on seed {seed}");
+            for y in 0..grid.height {
+                for x in 0..grid.width {
+                    let pid = sys.program().process_index(&cell_name(x, y)).unwrap();
+                    let alive = state.local(pid, "alive").unwrap().as_int().unwrap();
+                    assert_eq!(
+                        alive,
+                        i64::from(reference[gens - 1].get(x, y)),
+                        "cell ({x},{y}) seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blinker_spec_holds_on_random_schedule() {
+        let grid = blinker();
+        let gens = 1;
+        let sys = life_program(&grid, gens);
+        let problem = life_spec(&grid, gens);
+        let corr = life_correspondence(&sys, &problem, &grid);
+        let mut checked = 0;
+        Explorer::with_max_runs(3).for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            let p = gem_verify::project(&c, problem.structure_arc(), &corr).unwrap();
+            let report = problem
+                .check(&p, gem_logic::Strategy::Complete)
+                .expect("evaluable");
+            assert!(report.is_legal(), "{report}");
+            checked += 1;
+            ControlFlow::Continue(())
+        });
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn wrong_reference_detected() {
+        // The functional restriction is sensitive: spec for a DIFFERENT
+        // initial grid fails against the block program.
+        let grid = block();
+        let wrong = Grid::new(2, 2, vec![true, false, false, true]); // dies out
+        let gens = 1;
+        let sys = life_program(&grid, gens);
+        let problem = life_spec(&wrong, gens);
+        let corr = life_correspondence(&sys, &problem, &grid);
+        let outcome = verify_system(
+            &sys,
+            &problem,
+            &corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &VerifyOptions {
+                explorer: Explorer::with_max_runs(5),
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("correspondence consistent");
+        assert!(!outcome.ok());
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.violated.iter().any(|v| v == "functional")));
+    }
+
+    #[test]
+    fn neighbours_of_corner_edge_center() {
+        let g = blinker();
+        assert_eq!(g.neighbours(0, 0).len(), 3);
+        assert_eq!(g.neighbours(1, 0).len(), 5);
+        assert_eq!(g.neighbours(1, 1).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn bad_grid_rejected() {
+        let _ = Grid::new(2, 2, vec![true]);
+    }
+}

@@ -1,0 +1,458 @@
+//! Restriction abbreviations (§8.2): the common computational patterns of
+//! concurrent systems as formula generators.
+//!
+//! Each function returns a closed [`Formula`] over the given event
+//! selectors:
+//!
+//! * [`prerequisite`] — `E1 → E2`: every `e2` enabled by exactly one `e1`,
+//!   each `e1` enabling at most one `e2`.
+//! * [`chain`] — `E1 → E2 → … → En`.
+//! * [`nondet_prerequisite`] — `{E…} → E`: each `e` enabled by exactly one
+//!   event of the set.
+//! * [`fork`] / [`join`] — `E → {E…}` / `{E…} → E`.
+//! * [`mutual_exclusion`] / [`priority`] — the transaction-level patterns
+//!   of §8.3, phrased over thread instances.
+
+use gem_core::ThreadTypeId;
+use gem_logic::{EventSel, Formula};
+
+/// `E1 → E2` (§8.2): `E1` is a *prerequisite* to `E2`.
+///
+/// ```text
+/// (∀ e2:E2)[ occurred(e2) ⊃ (∃! e1:E1)[e1 ⊳ e2] ]
+///  ∧ (∀ e1:E1)[ at most one e2:E2 with e1 ⊳ e2 ]
+/// ```
+pub fn prerequisite(source: &EventSel, target: &EventSel) -> Formula {
+    let each_enabled = Formula::forall(
+        "__t",
+        target.clone(),
+        Formula::occurred("__t").implies(Formula::exists_unique(
+            "__s",
+            source.clone(),
+            Formula::enables("__s", "__t"),
+        )),
+    );
+    let at_most_one = Formula::forall(
+        "__s",
+        source.clone(),
+        Formula::at_most_one("__t", target.clone(), Formula::enables("__s", "__t")),
+    );
+    each_enabled.and(at_most_one)
+}
+
+/// `E1 → E2 → … → En`: conjunction of consecutive [`prerequisite`]s.
+///
+/// # Panics
+///
+/// Panics if fewer than two selectors are given.
+pub fn chain(sels: &[EventSel]) -> Formula {
+    assert!(sels.len() >= 2, "a chain needs at least two event classes");
+    let mut parts = Vec::with_capacity(sels.len() - 1);
+    for pair in sels.windows(2) {
+        parts.push(prerequisite(&pair[0], &pair[1]));
+    }
+    Formula::And(parts)
+}
+
+/// `{E₁, …, Eₖ} → E` (§8.2): nondeterministic prerequisite — every `e:E`
+/// is enabled by exactly one event drawn from the union of the source
+/// classes, and each source event enables at most one `e:E`.
+pub fn nondet_prerequisite(sources: &[EventSel], target: &EventSel) -> Formula {
+    let any_source = |var: &str| {
+        Formula::Or(
+            sources
+                .iter()
+                .map(|s| Formula::matches(var, s.clone()))
+                .collect(),
+        )
+    };
+    let each_enabled = Formula::forall(
+        "__t",
+        target.clone(),
+        Formula::occurred("__t").implies(Formula::exists_unique(
+            "__s",
+            EventSel::any(),
+            any_source("__s").and(Formula::enables("__s", "__t")),
+        )),
+    );
+    let at_most_one = Formula::forall(
+        "__s",
+        EventSel::any(),
+        any_source("__s").implies(Formula::at_most_one(
+            "__t",
+            target.clone(),
+            Formula::enables("__s", "__t"),
+        )),
+    );
+    each_enabled.and(at_most_one)
+}
+
+/// Event FORK (§8.2): `E → {E₁, …, Eₖ}` — `E` is a prerequisite to each
+/// target class.
+pub fn fork(source: &EventSel, targets: &[EventSel]) -> Formula {
+    Formula::And(targets.iter().map(|t| prerequisite(source, t)).collect())
+}
+
+/// Event JOIN (§8.2): `{E₁, …, Eₖ} → E` — each source class is a
+/// prerequisite to `E`.
+pub fn join(sources: &[EventSel], target: &EventSel) -> Formula {
+    Formula::And(sources.iter().map(|s| prerequisite(s, target)).collect())
+}
+
+/// An event of `start_sel` is *in progress* in the current history: it
+/// occurred but the matching `end_sel` event of the same thread instance
+/// has not. Used as a building block for exclusion restrictions.
+fn in_progress(var: &str, end_sel: &EventSel, ty: ThreadTypeId) -> Formula {
+    Formula::occurred(var).and(
+        Formula::exists(
+            "__end",
+            end_sel.clone(),
+            Formula::same_thread(var, "__end", ty).and(Formula::occurred("__end")),
+        )
+        .not(),
+    )
+}
+
+/// Mutual exclusion between two transaction phases (§8.3's "writers
+/// exclude others" pattern): henceforth, a `start1 … end1` phase and a
+/// `start2 … end2` phase of *distinct* thread instances of type `ty` are
+/// never simultaneously in progress.
+///
+/// When `start1`/`start2` describe the same class (writer vs writer), the
+/// distinct-instance requirement is what keeps a phase from excluding
+/// itself; for different classes it is harmless (instances differ anyway).
+pub fn mutual_exclusion(
+    start1: &EventSel,
+    end1: &EventSel,
+    start2: &EventSel,
+    end2: &EventSel,
+    ty: ThreadTypeId,
+) -> Formula {
+    Formula::forall(
+        "__s1",
+        start1.clone(),
+        Formula::forall(
+            "__s2",
+            start2.clone(),
+            Formula::distinct_threads("__s1", "__s2", ty).implies(
+                in_progress("__s1", end1, ty)
+                    .and(in_progress("__s2", end2, ty))
+                    .not(),
+            ),
+        ),
+    )
+    .henceforth()
+}
+
+/// Priority of A-transactions over B-transactions (§8.3's Reader's
+/// Priority pattern):
+///
+/// > If a request for A and a request for B are pending at the same time,
+/// > the A must be serviced before the B.
+///
+/// ```text
+/// ◻ ∀ ra:ReqA ∀ rb:ReqB ∀ sb:StartB .
+///     [ samethread(rb, sb) ∧ ra at StartA ∧ rb at StartB ]
+///   ⊃ ◻ [ occurred(sb) ⊃ ∃ sa:StartA . samethread(ra, sa) ∧ occurred(sa) ]
+/// ```
+pub fn priority(
+    req_a: &EventSel,
+    start_a: &EventSel,
+    req_b: &EventSel,
+    start_b: &EventSel,
+    ty: ThreadTypeId,
+) -> Formula {
+    let pending = Formula::occurred("__ra")
+        .and(Formula::occurred("__rb"))
+        .and(Formula::at_control("__ra", start_a.clone()))
+        .and(Formula::at_control("__rb", start_b.clone()));
+    let serviced_first = Formula::occurred("__sb").implies(Formula::exists(
+        "__sa",
+        start_a.clone(),
+        Formula::same_thread("__ra", "__sa", ty).and(Formula::occurred("__sa")),
+    ));
+    Formula::forall(
+        "__ra",
+        req_a.clone(),
+        Formula::forall(
+            "__rb",
+            req_b.clone(),
+            Formula::forall(
+                "__sb",
+                start_b.clone(),
+                Formula::same_thread("__rb", "__sb", ty)
+                    .and(pending)
+                    .implies(serviced_first.henceforth()),
+            ),
+        ),
+    )
+    .henceforth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::{ComputationBuilder, Structure, ThreadTag};
+    use gem_logic::{check, holds_on_computation, Strategy};
+
+    fn setup() -> (Structure, gem_core::ClassId, gem_core::ClassId, gem_core::ElementId) {
+        let mut s = Structure::new();
+        let a = s.add_class("A", &[]).unwrap();
+        let b = s.add_class("B", &[]).unwrap();
+        let el = s.add_element("E", &[a, b]).unwrap();
+        (s, a, b, el)
+    }
+
+    #[test]
+    fn prerequisite_holds_for_paired_events() {
+        let (s, a, b_cls, el) = setup();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(el, a, vec![]).unwrap();
+        let b1 = b.add_event(el, b_cls, vec![]).unwrap();
+        let a2 = b.add_event(el, a, vec![]).unwrap();
+        let b2 = b.add_event(el, b_cls, vec![]).unwrap();
+        b.enable(a1, b1).unwrap();
+        b.enable(a2, b2).unwrap();
+        let c = b.seal().unwrap();
+        let f = prerequisite(&EventSel::of_class(a), &EventSel::of_class(b_cls));
+        assert!(holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn prerequisite_fails_without_enabler() {
+        let (s, a, b_cls, el) = setup();
+        let mut b = ComputationBuilder::new(s);
+        b.add_event(el, a, vec![]).unwrap();
+        b.add_event(el, b_cls, vec![]).unwrap(); // no enable edge
+        let c = b.seal().unwrap();
+        let f = prerequisite(&EventSel::of_class(a), &EventSel::of_class(b_cls));
+        assert!(!holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn prerequisite_fails_on_double_enable() {
+        // One A enabling two Bs violates "at most one".
+        let (s, a, b_cls, el) = setup();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(el, a, vec![]).unwrap();
+        let b1 = b.add_event(el, b_cls, vec![]).unwrap();
+        let b2 = b.add_event(el, b_cls, vec![]).unwrap();
+        b.enable(a1, b1).unwrap();
+        b.enable(a1, b2).unwrap();
+        let c = b.seal().unwrap();
+        let f = prerequisite(&EventSel::of_class(a), &EventSel::of_class(b_cls));
+        assert!(!holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn prerequisite_fails_on_two_enablers() {
+        let (s, a, b_cls, el) = setup();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(el, a, vec![]).unwrap();
+        let a2 = b.add_event(el, a, vec![]).unwrap();
+        let b1 = b.add_event(el, b_cls, vec![]).unwrap();
+        b.enable(a1, b1).unwrap();
+        b.enable(a2, b1).unwrap();
+        let c = b.seal().unwrap();
+        let f = prerequisite(&EventSel::of_class(a), &EventSel::of_class(b_cls));
+        assert!(!holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn chain_checks_consecutive_pairs() {
+        let mut s = Structure::new();
+        let cls: Vec<_> = ["A", "B", "C"]
+            .iter()
+            .map(|n| s.add_class(*n, &[]).unwrap())
+            .collect();
+        let el = s.add_element("E", &cls).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(el, cls[0], vec![]).unwrap();
+        let e2 = b.add_event(el, cls[1], vec![]).unwrap();
+        let e3 = b.add_event(el, cls[2], vec![]).unwrap();
+        b.enable(e1, e2).unwrap();
+        b.enable(e2, e3).unwrap();
+        let c = b.seal().unwrap();
+        let sels: Vec<_> = cls.iter().map(|&c| EventSel::of_class(c)).collect();
+        assert!(holds_on_computation(&chain(&sels), &c).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn chain_requires_two() {
+        let _ = chain(&[EventSel::any()]);
+    }
+
+    #[test]
+    fn nondet_prerequisite_accepts_either_source() {
+        let mut s = Structure::new();
+        let snd1 = s.add_class("Send1", &[]).unwrap();
+        let snd2 = s.add_class("Send2", &[]).unwrap();
+        let rcv = s.add_class("Recv", &[]).unwrap();
+        let el = s.add_element("Chan", &[snd1, snd2, rcv]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let s1 = b.add_event(el, snd1, vec![]).unwrap();
+        let r1 = b.add_event(el, rcv, vec![]).unwrap();
+        let s2 = b.add_event(el, snd2, vec![]).unwrap();
+        let r2 = b.add_event(el, rcv, vec![]).unwrap();
+        b.enable(s1, r1).unwrap();
+        b.enable(s2, r2).unwrap();
+        let c = b.seal().unwrap();
+        let f = nondet_prerequisite(
+            &[EventSel::of_class(snd1), EventSel::of_class(snd2)],
+            &EventSel::of_class(rcv),
+        );
+        assert!(holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn nondet_prerequisite_rejects_unenabled_target() {
+        let mut s = Structure::new();
+        let snd = s.add_class("Send", &[]).unwrap();
+        let rcv = s.add_class("Recv", &[]).unwrap();
+        let el = s.add_element("Chan", &[snd, rcv]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        b.add_event(el, rcv, vec![]).unwrap();
+        let c = b.seal().unwrap();
+        let f = nondet_prerequisite(&[EventSel::of_class(snd)], &EventSel::of_class(rcv));
+        assert!(!holds_on_computation(&f, &c).unwrap());
+    }
+
+    #[test]
+    fn fork_and_join() {
+        let mut s = Structure::new();
+        let f_cls = s.add_class("Fork", &[]).unwrap();
+        let l = s.add_class("Left", &[]).unwrap();
+        let r = s.add_class("Right", &[]).unwrap();
+        let j = s.add_class("Join", &[]).unwrap();
+        let el = s.add_element("E", &[f_cls, l, r, j]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let ef = b.add_event(el, f_cls, vec![]).unwrap();
+        let el1 = b.add_event(el, l, vec![]).unwrap();
+        let er = b.add_event(el, r, vec![]).unwrap();
+        let ej = b.add_event(el, j, vec![]).unwrap();
+        b.enable(ef, el1).unwrap();
+        b.enable(ef, er).unwrap();
+        b.enable(el1, ej).unwrap();
+        b.enable(er, ej).unwrap();
+        let c = b.seal().unwrap();
+        assert!(holds_on_computation(
+            &fork(&EventSel::of_class(f_cls), &[EventSel::of_class(l), EventSel::of_class(r)]),
+            &c
+        )
+        .unwrap());
+        assert!(holds_on_computation(
+            &join(&[EventSel::of_class(l), EventSel::of_class(r)], &EventSel::of_class(j)),
+            &c
+        )
+        .unwrap());
+    }
+
+    /// Builds a toy transaction computation: start/end pairs tagged with
+    /// thread instances, overlapping or not.
+    fn phases(overlap: bool) -> (gem_core::Computation, ThreadTypeId) {
+        let mut s = Structure::new();
+        let start = s.add_class("Start", &[]).unwrap();
+        let end = s.add_class("End", &[]).unwrap();
+        let p = s.add_element("P", &[start, end]).unwrap();
+        let q = s.add_element("Q", &[start, end]).unwrap();
+        let ty = ThreadTypeId::from_raw(0);
+        let mut b = ComputationBuilder::new(s);
+        let s1 = b.add_event(p, start, vec![]).unwrap();
+        let e1 = b.add_event(p, end, vec![]).unwrap();
+        let s2 = b.add_event(q, start, vec![]).unwrap();
+        let e2 = b.add_event(q, end, vec![]).unwrap();
+        b.enable(s1, e1).unwrap();
+        b.enable(s2, e2).unwrap();
+        if !overlap {
+            // Serialize: phase 1 entirely before phase 2.
+            b.enable(e1, s2).unwrap();
+        }
+        b.tag_thread(s1, ThreadTag::new(ty, 0)).unwrap();
+        b.tag_thread(e1, ThreadTag::new(ty, 0)).unwrap();
+        b.tag_thread(s2, ThreadTag::new(ty, 1)).unwrap();
+        b.tag_thread(e2, ThreadTag::new(ty, 1)).unwrap();
+        (b.seal().unwrap(), ty)
+    }
+
+    /// Hand-built priority scenario: requests for A and B pending
+    /// simultaneously; `b_first` controls which transaction starts first.
+    fn priority_scenario(b_first: bool) -> (gem_core::Computation, ThreadTypeId) {
+        let mut s = Structure::new();
+        let req_a = s.add_class("ReqA", &[]).unwrap();
+        let start_a = s.add_class("StartA", &[]).unwrap();
+        let req_b = s.add_class("ReqB", &[]).unwrap();
+        let start_b = s.add_class("StartB", &[]).unwrap();
+        let ctl = s.add_element("Ctl", &[req_a, start_a, req_b, start_b]).unwrap();
+        let ty = ThreadTypeId::from_raw(0);
+        let mut b = ComputationBuilder::new(s);
+        let ra = b.add_event(ctl, req_a, vec![]).unwrap();
+        let rb = b.add_event(ctl, req_b, vec![]).unwrap();
+        let (first, second) = if b_first {
+            (start_b, start_a)
+        } else {
+            (start_a, start_b)
+        };
+        let s1 = b.add_event(ctl, first, vec![]).unwrap();
+        let s2 = b.add_event(ctl, second, vec![]).unwrap();
+        let (sa, sb) = if b_first { (s2, s1) } else { (s1, s2) };
+        b.enable(ra, sa).unwrap();
+        b.enable(rb, sb).unwrap();
+        b.tag_thread(ra, ThreadTag::new(ty, 0)).unwrap();
+        b.tag_thread(sa, ThreadTag::new(ty, 0)).unwrap();
+        b.tag_thread(rb, ThreadTag::new(ty, 1)).unwrap();
+        b.tag_thread(sb, ThreadTag::new(ty, 1)).unwrap();
+        (b.seal().unwrap(), ty)
+    }
+
+    #[test]
+    fn priority_holds_when_a_serviced_first() {
+        let (c, ty) = priority_scenario(false);
+        let s = c.structure();
+        let f = priority(
+            &EventSel::of_class(s.class("ReqA").unwrap()),
+            &EventSel::of_class(s.class("StartA").unwrap()),
+            &EventSel::of_class(s.class("ReqB").unwrap()),
+            &EventSel::of_class(s.class("StartB").unwrap()),
+            ty,
+        );
+        let r = check(&f, &c, Strategy::Linearizations { limit: 100 }).unwrap();
+        assert!(r.holds, "{:?}", r.counterexample.map(|x| x.describe(&c)));
+    }
+
+    #[test]
+    fn priority_fails_when_b_overtakes() {
+        let (c, ty) = priority_scenario(true);
+        let s = c.structure();
+        let f = priority(
+            &EventSel::of_class(s.class("ReqA").unwrap()),
+            &EventSel::of_class(s.class("StartA").unwrap()),
+            &EventSel::of_class(s.class("ReqB").unwrap()),
+            &EventSel::of_class(s.class("StartB").unwrap()),
+            ty,
+        );
+        let r = check(&f, &c, Strategy::Linearizations { limit: 100 }).unwrap();
+        assert!(!r.holds, "B started while A's earlier request was pending");
+        assert!(r.counterexample.is_some());
+    }
+
+    #[test]
+    fn mutual_exclusion_holds_when_serialized() {
+        let (c, ty) = phases(false);
+        let start = EventSel::of_class(c.structure().class("Start").unwrap());
+        let end = EventSel::of_class(c.structure().class("End").unwrap());
+        let f = mutual_exclusion(&start, &end, &start, &end, ty);
+        let r = check(&f, &c, Strategy::Linearizations { limit: 1000 }).unwrap();
+        assert!(r.holds, "{:?}", r.counterexample.map(|x| x.describe(&c)));
+    }
+
+    #[test]
+    fn mutual_exclusion_fails_when_overlapping() {
+        let (c, ty) = phases(true);
+        let start = EventSel::of_class(c.structure().class("Start").unwrap());
+        let end = EventSel::of_class(c.structure().class("End").unwrap());
+        let f = mutual_exclusion(&start, &end, &start, &end, ty);
+        let r = check(&f, &c, Strategy::Linearizations { limit: 1000 }).unwrap();
+        assert!(!r.holds, "concurrent phases can both be in progress");
+    }
+}

@@ -1,0 +1,68 @@
+//! # gem-spec — the GEM specification layer
+//!
+//! The §6–§8 machinery of Lansky & Owicki's GEM on top of `gem-core` and
+//! `gem-logic`:
+//!
+//! * **Type descriptions** (§6): [`ElementType`] and [`GroupType`] with
+//!   refinement ([`ElementType::refine`]) and parameterization (types are
+//!   values, so a parameterized type is a Rust function returning one).
+//!   [`SpecBuilder`] instantiates types into a concrete structure.
+//! * **Restriction abbreviations** (§8.2): [`prerequisite`], [`chain`],
+//!   [`nondet_prerequisite`], [`fork`], [`join`], and the transaction
+//!   patterns [`mutual_exclusion`] and [`priority`].
+//! * **Threads** (§8.3): [`ThreadSpec`] path expressions,
+//!   [`infer_threads`] assignment, and [`check_thread_tags`] discipline
+//!   checking.
+//! * **Specifications** (§3): [`Specification`] bundles structure,
+//!   restrictions, and thread types; [`Specification::check`] decides
+//!   legality of a computation.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use gem_core::{ComputationBuilder, Value};
+//! use gem_logic::Strategy;
+//! use gem_spec::{prerequisite, ElementType, SpecBuilder};
+//!
+//! let buffer = ElementType::new("Buffer")
+//!     .event("Put", &["item"])
+//!     .event("Get", &["item"]);
+//! let mut sb = SpecBuilder::new("OneSlot");
+//! let buf = sb.instantiate_element(&buffer, "buf")?;
+//! sb.add_restriction("put-then-get", prerequisite(&buf.sel("Put"), &buf.sel("Get")));
+//! let spec = sb.finish();
+//!
+//! let s = spec.structure();
+//! let (el, put, get) = (
+//!     s.element("buf").unwrap(),
+//!     s.class("Put").unwrap(),
+//!     s.class("Get").unwrap(),
+//! );
+//! let mut b = ComputationBuilder::new(spec.structure_arc());
+//! let p = b.add_event(el, put, vec![Value::Int(7)])?;
+//! let g = b.add_event(el, get, vec![Value::Int(7)])?;
+//! b.enable(p, g)?;
+//! let c = b.seal()?;
+//! assert!(spec.check(&c, Strategy::default())?.is_legal());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abbrev;
+mod render;
+mod spec;
+mod thread;
+mod types;
+
+pub use abbrev::{chain, fork, join, mutual_exclusion, nondet_prerequisite, prerequisite, priority};
+pub use render::render_specification;
+pub use spec::{RestrictionResult, SpecReport, Specification};
+pub use thread::{check_thread_tags, infer_threads, ThreadSpec, ThreadViolation};
+pub use types::{
+    ElementInstance, ElementType, EventDecl, GroupInstance, GroupType, Multiplicity, Restriction,
+    SpecBuilder, SpecError,
+};

@@ -1,0 +1,138 @@
+//! Rendering specifications in the paper's surface notation.
+//!
+//! The paper sketches a concrete syntax for GEM specifications
+//! (`ELEMENT TYPE … EVENTS … RESTRICTIONS … END`); this reproduction keeps
+//! specifications as data, but [`render_specification`] prints a finished
+//! [`Specification`](crate::Specification) in that style — useful for
+//! inspecting generated specs and for documentation.
+
+use std::fmt::Write as _;
+
+use gem_core::NodeRef;
+
+use crate::Specification;
+
+/// Renders `spec` in a paper-like textual notation: elements with their
+/// event classes, groups with members and ports, thread types, and the
+/// named restrictions (pretty-printed by
+/// [`Formula::render`](gem_logic::Formula::render)).
+pub fn render_specification(spec: &Specification) -> String {
+    let s = spec.structure();
+    let mut out = String::new();
+    let _ = writeln!(out, "SPECIFICATION {}", spec.name());
+
+    for el in s.elements() {
+        let info = s.element_info(el);
+        let _ = writeln!(out, "\n{} = ELEMENT", info.name());
+        let _ = writeln!(out, "  EVENTS");
+        for &cls in info.classes() {
+            let ci = s.class_info(cls);
+            if ci.params().is_empty() {
+                let _ = writeln!(out, "    {}", ci.name());
+            } else {
+                let _ = writeln!(out, "    {}({})", ci.name(), ci.params().join(", "));
+            }
+        }
+    }
+
+    for g in s.groups() {
+        let info = s.group_info(g);
+        let members: Vec<String> = info
+            .members()
+            .iter()
+            .map(|m| match m {
+                NodeRef::Element(e) => s.element_info(*e).name().to_owned(),
+                NodeRef::Group(gg) => s.group_info(*gg).name().to_owned(),
+            })
+            .collect();
+        let _ = writeln!(out, "\n{} = GROUP({})", info.name(), members.join(", "));
+        if !info.ports().is_empty() {
+            let ports: Vec<String> = info
+                .ports()
+                .iter()
+                .map(|&(el, cls)| {
+                    format!("{}.{}", s.element_info(el).name(), s.class_info(cls).name())
+                })
+                .collect();
+            let _ = writeln!(out, "  PORTS({})", ports.join(", "));
+        }
+    }
+
+    if !spec.threads().is_empty() {
+        let _ = writeln!(out, "\nTHREADS");
+        for t in spec.threads() {
+            for path in &t.paths {
+                let stages: Vec<String> = path
+                    .iter()
+                    .map(|sel| {
+                        let cls = sel
+                            .class
+                            .map(|c| s.class_info(c).name().to_owned())
+                            .unwrap_or_else(|| "*".to_owned());
+                        match sel.element {
+                            Some(el) => format!("{}.{cls}", s.element_info(el).name()),
+                            None => cls,
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(out, "  {} = ({})", t.name, stages.join(" :: "));
+            }
+        }
+    }
+
+    let _ = writeln!(out, "\nRESTRICTIONS");
+    for r in spec.restrictions() {
+        let _ = writeln!(out, "  {}:", r.name);
+        let _ = writeln!(out, "    {}", r.formula.render(s));
+    }
+    let _ = writeln!(out, "\nEND {}", spec.name());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prerequisite, ElementType, GroupType, SpecBuilder};
+    use gem_logic::EventSel;
+
+    #[test]
+    fn renders_all_sections() {
+        let buffer = ElementType::new("Buffer")
+            .event("Deposit", &["item"])
+            .event("Remove", &["item"]);
+        let user = ElementType::new("User").event("Call", &[]);
+        let db = GroupType::new("DB")
+            .element_member("buf", buffer)
+            .port("buf", "Deposit");
+        let mut sb = SpecBuilder::new("Demo");
+        let g = sb.instantiate_group(&db, "db", &[]).unwrap();
+        let u = sb.instantiate_element(&user, "u0").unwrap();
+        let buf = g.element("buf");
+        sb.add_restriction(
+            "dep-then-rem",
+            prerequisite(&buf.sel("Deposit"), &buf.sel("Remove")),
+        );
+        sb.declare_thread(
+            "pi",
+            vec![vec![u.sel("Call"), buf.sel("Deposit")]],
+        );
+        let spec = sb.finish();
+        let text = render_specification(&spec);
+        assert!(text.contains("SPECIFICATION Demo"));
+        assert!(text.contains("db.buf = ELEMENT"));
+        assert!(text.contains("Deposit(item)"));
+        assert!(text.contains("db = GROUP(db.buf)"));
+        assert!(text.contains("PORTS(db.buf.Deposit)"));
+        assert!(text.contains("pi = (u0.Call :: db.buf.Deposit)"));
+        assert!(text.contains("dep-then-rem:"));
+        assert!(text.contains("END Demo"));
+    }
+
+    #[test]
+    fn wildcard_thread_stage_rendered() {
+        let mut sb = SpecBuilder::new("W");
+        sb.declare_thread("pi", vec![vec![EventSel::any()]]);
+        let text = render_specification(&sb.finish());
+        assert!(text.contains("pi = (*)"));
+    }
+}

@@ -1,0 +1,355 @@
+//! The GEM thread mechanism (§8.3).
+//!
+//! A *thread* is an identifier associated with a chain of enabled events of
+//! a specified form, defined by a path-expression-like notation; each
+//! thread may be thought of as a sequential process (e.g. one
+//! Readers/Writers transaction). The paper's two thread restrictions are:
+//!
+//! 1. a unique thread identifier is created for each event matching the
+//!    head of a path, and
+//! 2. the identifier is passed along the control path as long as events
+//!    enable one another in the prescribed order.
+//!
+//! [`infer_threads`] implements exactly that assignment over a finished
+//! computation, and [`check_thread_tags`] verifies that a (possibly
+//! substrate-assigned) tagging obeys the discipline.
+
+use std::collections::HashMap;
+
+use gem_core::{Computation, EventId, ThreadTag, ThreadTypeId};
+use gem_logic::EventSel;
+
+/// A declared thread type: a name, an id, and one or more alternative
+/// paths (sequences of event selectors).
+///
+/// The Readers/Writers thread of §8.3 has two alternatives:
+/// `Read :: ReqRead :: StartRead :: Getval :: EndRead :: FinishRead` and
+/// the corresponding write path.
+#[derive(Clone, Debug)]
+pub struct ThreadSpec {
+    /// Human-readable name, e.g. `"pi_RW"`.
+    pub name: String,
+    /// The thread type id used in tags and formulae.
+    pub ty: ThreadTypeId,
+    /// Alternative paths; each path is a sequence of event selectors.
+    pub paths: Vec<Vec<EventSel>>,
+}
+
+impl ThreadSpec {
+    /// True if `event` (of `computation`) matches the head of some path.
+    pub fn matches_head(&self, computation: &Computation, event: EventId) -> bool {
+        let ev = computation.event(event);
+        self.paths
+            .iter()
+            .any(|p| p.first().is_some_and(|sel| sel.matches(ev)))
+    }
+}
+
+/// Computes the thread assignment induced by `specs` and returns a copy of
+/// the computation with events re-tagged accordingly (existing tags of the
+/// same thread types are replaced; tags of other types are preserved).
+///
+/// For each path head match a fresh instance is created; the tag is then
+/// propagated along enable edges matching each successive selector of the
+/// path. If a stage enables several matching events (a fork within the
+/// transaction), all of them receive the tag.
+pub fn infer_threads(computation: &Computation, specs: &[ThreadSpec]) -> Computation {
+    let mut tags: HashMap<EventId, Vec<ThreadTag>> = HashMap::new();
+    for ev in computation.events() {
+        let preserved: Vec<ThreadTag> = ev
+            .threads()
+            .iter()
+            .copied()
+            .filter(|t| specs.iter().all(|s| s.ty != t.thread_type()))
+            .collect();
+        if !preserved.is_empty() {
+            tags.insert(ev.id(), preserved);
+        }
+    }
+    for spec in specs {
+        let mut instance = 0u32;
+        // Heads in topological order so instance numbers follow causality.
+        for &e in computation.closure().topological() {
+            for path in &spec.paths {
+                let Some(head) = path.first() else { continue };
+                if !head.matches(computation.event(e)) {
+                    continue;
+                }
+                let tag = ThreadTag::new(spec.ty, instance);
+                instance += 1;
+                // Walk the chain: (event, stage) pairs.
+                let mut frontier = vec![(e, 0usize)];
+                let mut seen = vec![(e, 0usize)];
+                while let Some((cur, stage)) = frontier.pop() {
+                    tags.entry(cur).or_default().push(tag);
+                    if stage + 1 >= path.len() {
+                        continue;
+                    }
+                    for &next in computation.enabled_from(cur) {
+                        if path[stage + 1].matches(computation.event(next))
+                            && !seen.contains(&(next, stage + 1))
+                        {
+                            seen.push((next, stage + 1));
+                            frontier.push((next, stage + 1));
+                        }
+                    }
+                }
+                break; // one instance per head event, first matching path
+            }
+        }
+    }
+    computation.retagged(|e| {
+        let mut ts = tags.get(&e).cloned().unwrap_or_default();
+        ts.sort();
+        ts.dedup();
+        ts
+    })
+}
+
+/// A violation of the thread discipline of §8.3.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ThreadViolation {
+    /// An event matching a path head carries no tag of the thread type.
+    UntaggedHead {
+        /// The head event.
+        event: EventId,
+    },
+    /// Two distinct head events carry the same instance tag.
+    DuplicateInstance {
+        /// First head event.
+        first: EventId,
+        /// Second head event.
+        second: EventId,
+        /// The shared tag.
+        tag: ThreadTag,
+    },
+    /// A tagged non-head event has no enabler carrying the same tag — the
+    /// identifier was not "passed along" a control path.
+    OrphanTag {
+        /// The offending event.
+        event: EventId,
+        /// The unexplained tag.
+        tag: ThreadTag,
+    },
+}
+
+impl std::fmt::Display for ThreadViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadViolation::UntaggedHead { event } => {
+                write!(f, "head event {event} carries no thread tag")
+            }
+            ThreadViolation::DuplicateInstance { first, second, tag } => {
+                write!(f, "head events {first} and {second} share tag {tag}")
+            }
+            ThreadViolation::OrphanTag { event, tag } => {
+                write!(f, "event {event} carries tag {tag} not passed from any enabler")
+            }
+        }
+    }
+}
+
+/// Checks that the computation's existing tags of `spec`'s thread type
+/// follow the discipline: unique fresh instances at path heads, and every
+/// other tag inherited from an enabler.
+pub fn check_thread_tags(computation: &Computation, spec: &ThreadSpec) -> Vec<ThreadViolation> {
+    let mut violations = Vec::new();
+    let mut head_tags: HashMap<ThreadTag, EventId> = HashMap::new();
+    for ev in computation.events() {
+        let is_head = spec.matches_head(computation, ev.id());
+        let my_tags: Vec<ThreadTag> = ev
+            .threads()
+            .iter()
+            .copied()
+            .filter(|t| t.thread_type() == spec.ty)
+            .collect();
+        if is_head {
+            if my_tags.is_empty() {
+                violations.push(ThreadViolation::UntaggedHead { event: ev.id() });
+            }
+            for &t in &my_tags {
+                if let Some(&other) = head_tags.get(&t) {
+                    violations.push(ThreadViolation::DuplicateInstance {
+                        first: other,
+                        second: ev.id(),
+                        tag: t,
+                    });
+                } else {
+                    head_tags.insert(t, ev.id());
+                }
+            }
+        } else {
+            for &t in &my_tags {
+                let inherited = computation
+                    .enablers_of(ev.id())
+                    .iter()
+                    .any(|&p| computation.event(p).in_thread(t));
+                if !inherited {
+                    violations.push(ThreadViolation::OrphanTag {
+                        event: ev.id(),
+                        tag: t,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::{ComputationBuilder, Structure};
+
+    /// Two transactions: Req -> Start -> End, interleaved across two users.
+    fn transactions() -> (Computation, ThreadSpec) {
+        let mut s = Structure::new();
+        let req = s.add_class("Req", &[]).unwrap();
+        let start = s.add_class("Start", &[]).unwrap();
+        let end = s.add_class("End", &[]).unwrap();
+        let u1 = s.add_element("U1", &[req, start, end]).unwrap();
+        let u2 = s.add_element("U2", &[req, start, end]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let r1 = b.add_event(u1, req, vec![]).unwrap();
+        let s1 = b.add_event(u1, start, vec![]).unwrap();
+        let e1 = b.add_event(u1, end, vec![]).unwrap();
+        let r2 = b.add_event(u2, req, vec![]).unwrap();
+        let s2 = b.add_event(u2, start, vec![]).unwrap();
+        let e2 = b.add_event(u2, end, vec![]).unwrap();
+        for (a, bb) in [(r1, s1), (s1, e1), (r2, s2), (s2, e2)] {
+            b.enable(a, bb).unwrap();
+        }
+        let c = b.seal().unwrap();
+        let spec = ThreadSpec {
+            name: "pi".into(),
+            ty: ThreadTypeId::from_raw(0),
+            paths: vec![vec![
+                EventSel::of_class(c.structure().class("Req").unwrap()),
+                EventSel::of_class(c.structure().class("Start").unwrap()),
+                EventSel::of_class(c.structure().class("End").unwrap()),
+            ]],
+        };
+        (c, spec)
+    }
+
+    #[test]
+    fn infer_assigns_unique_instances() {
+        let (c, spec) = transactions();
+        let tagged = infer_threads(&c, std::slice::from_ref(&spec));
+        let ids: Vec<Vec<ThreadTag>> = tagged
+            .events()
+            .iter()
+            .map(|e| e.threads().to_vec())
+            .collect();
+        // Every event is tagged; each chain has a consistent instance.
+        assert!(ids.iter().all(|t| t.len() == 1));
+        let chain1: Vec<_> = ids[..3].iter().map(|t| t[0].instance()).collect();
+        let chain2: Vec<_> = ids[3..].iter().map(|t| t[0].instance()).collect();
+        assert_eq!(chain1[0], chain1[1]);
+        assert_eq!(chain1[1], chain1[2]);
+        assert_eq!(chain2[0], chain2[1]);
+        assert_ne!(chain1[0], chain2[0], "distinct transactions, distinct ids");
+    }
+
+    #[test]
+    fn inferred_tags_pass_discipline_check() {
+        let (c, spec) = transactions();
+        let tagged = infer_threads(&c, std::slice::from_ref(&spec));
+        assert!(check_thread_tags(&tagged, &spec).is_empty());
+    }
+
+    #[test]
+    fn untagged_head_detected() {
+        let (c, spec) = transactions();
+        // No tags at all: every Req head is untagged.
+        let vs = check_thread_tags(&c, &spec);
+        assert_eq!(
+            vs.iter()
+                .filter(|v| matches!(v, ThreadViolation::UntaggedHead { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn duplicate_instance_detected() {
+        let (c, spec) = transactions();
+        let ty = spec.ty;
+        let tag = ThreadTag::new(ty, 0);
+        let bad = c.retagged(|e| {
+            // Tag both Req heads with the same instance.
+            let ev = c.event(e);
+            if ev.seq() == 0 && spec.matches_head(&c, e) {
+                vec![tag]
+            } else {
+                vec![]
+            }
+        });
+        let vs = check_thread_tags(&bad, &spec);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, ThreadViolation::DuplicateInstance { .. })));
+    }
+
+    #[test]
+    fn orphan_tag_detected() {
+        let (c, spec) = transactions();
+        let ty = spec.ty;
+        // Tag a Start event without tagging its enabling Req.
+        let start_cls = c.structure().class("Start").unwrap();
+        let bad = c.retagged(|e| {
+            if c.event(e).class() == start_cls {
+                vec![ThreadTag::new(ty, 9)]
+            } else {
+                vec![]
+            }
+        });
+        let vs = check_thread_tags(&bad, &spec);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, ThreadViolation::OrphanTag { .. })));
+    }
+
+    #[test]
+    fn alternative_paths_share_instance_counter() {
+        // Read-or-write transaction type: heads of either class get
+        // distinct instances.
+        let mut s = Structure::new();
+        let read = s.add_class("Read", &[]).unwrap();
+        let write = s.add_class("Write", &[]).unwrap();
+        let u = s.add_element("U", &[read, write]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        b.add_event(u, read, vec![]).unwrap();
+        b.add_event(u, write, vec![]).unwrap();
+        let c = b.seal().unwrap();
+        let spec = ThreadSpec {
+            name: "pi_RW".into(),
+            ty: ThreadTypeId::from_raw(0),
+            paths: vec![
+                vec![EventSel::of_class(read)],
+                vec![EventSel::of_class(write)],
+            ],
+        };
+        let tagged = infer_threads(&c, &[spec]);
+        let t0 = tagged.events()[0].threads()[0];
+        let t1 = tagged.events()[1].threads()[0];
+        assert_ne!(t0.instance(), t1.instance());
+    }
+
+    #[test]
+    fn foreign_tags_preserved() {
+        let (c, spec) = transactions();
+        let foreign = ThreadTag::new(ThreadTypeId::from_raw(7), 3);
+        let pre = c.retagged(|_| vec![foreign]);
+        let tagged = infer_threads(&pre, &[spec]);
+        assert!(tagged.events().iter().all(|e| e.in_thread(foreign)));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = ThreadViolation::UntaggedHead {
+            event: EventId::from_raw(0),
+        };
+        assert!(v.to_string().contains("no thread tag"));
+    }
+}

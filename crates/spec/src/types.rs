@@ -1,0 +1,853 @@
+//! GEM type descriptions (§6): element and group types, refinement,
+//! parameterization, and instantiation.
+//!
+//! The paper treats types as "a simple text substitution facility": each
+//! instance of a type is an element or group with the structure of its
+//! type description. This reproduction represents types as data
+//! ([`ElementType`], [`GroupType`]) whose restriction bodies are Rust
+//! closures from the *instance* (the concrete ids created at instantiation)
+//! to a [`Formula`] — substitution happens when
+//! [`SpecBuilder::instantiate_element`] / [`SpecBuilder::instantiate_group`]
+//! run. Parameterized types (§6's `TypedVariable(t: TYPE)`) are ordinary
+//! Rust functions returning an `ElementType`/`GroupType`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use gem_core::{ClassId, ElementId, GroupId, NodeRef, Structure, StructureError, ThreadTypeId};
+use gem_logic::{EventSel, Formula};
+
+use crate::thread::ThreadSpec;
+
+/// Declaration of one event class within a type: name and parameter names.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventDecl {
+    /// Event class name, e.g. `"Assign"`.
+    pub name: String,
+    /// Parameter names, positional.
+    pub params: Vec<String>,
+}
+
+type ElementRestrictionFn = Arc<dyn Fn(&ElementInstance, &Structure) -> Formula + Send + Sync>;
+type GroupRestrictionFn = Arc<dyn Fn(&GroupInstance, &Structure) -> Formula + Send + Sync>;
+
+/// An element type description (§6).
+///
+/// # Examples
+///
+/// The paper's `Variable` element type with its value-semantics
+/// restriction:
+///
+/// ```
+/// use gem_spec::ElementType;
+/// use gem_logic::{Formula, ValueTerm};
+///
+/// let variable = ElementType::new("Variable")
+///     .event("Assign", &["newval"])
+///     .event("Getval", &["oldval"])
+///     .restriction("getval-yields-last-assign", |inst, _s| {
+///         Formula::forall("a", inst.sel("Assign"),
+///             Formula::forall("g", inst.sel("Getval"),
+///                 Formula::enables("a", "g").implies(Formula::value_eq(
+///                     ValueTerm::param("a", "newval"),
+///                     ValueTerm::param("g", "oldval"),
+///                 ))))
+///     });
+/// assert_eq!(variable.name(), "Variable");
+/// ```
+#[derive(Clone)]
+pub struct ElementType {
+    name: String,
+    events: Vec<EventDecl>,
+    restrictions: Vec<(String, ElementRestrictionFn)>,
+}
+
+impl fmt::Debug for ElementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElementType")
+            .field("name", &self.name)
+            .field("events", &self.events)
+            .field(
+                "restrictions",
+                &self.restrictions.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ElementType {
+    /// Creates an element type with no events or restrictions.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            events: Vec::new(),
+            restrictions: Vec::new(),
+        }
+    }
+
+    /// Creates a refinement of `base` under a new name (§6): the new type
+    /// starts with all of the base's events and restrictions and may add
+    /// more.
+    pub fn refine(base: &ElementType, name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            events: base.events.clone(),
+            restrictions: base.restrictions.clone(),
+        }
+    }
+
+    /// Adds an event class declaration.
+    pub fn event(mut self, name: impl Into<String>, params: &[&str]) -> Self {
+        self.events.push(EventDecl {
+            name: name.into(),
+            params: params.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        self
+    }
+
+    /// Adds a restriction template, instantiated per element instance.
+    pub fn restriction(
+        mut self,
+        name: impl Into<String>,
+        body: impl Fn(&ElementInstance, &Structure) -> Formula + Send + Sync + 'static,
+    ) -> Self {
+        self.restrictions.push((name.into(), Arc::new(body)));
+        self
+    }
+
+    /// The type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared event classes.
+    pub fn events(&self) -> &[EventDecl] {
+        &self.events
+    }
+
+    /// Names of the restriction templates.
+    pub fn restriction_names(&self) -> impl Iterator<Item = &str> {
+        self.restrictions.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// A concrete element created from an [`ElementType`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ElementInstance {
+    name: String,
+    element: ElementId,
+    classes: BTreeMap<String, ClassId>,
+}
+
+impl ElementInstance {
+    /// The instance name (e.g. `"Var"` or `"db.data[3]"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element id in the specification's structure.
+    pub fn id(&self) -> ElementId {
+        self.element
+    }
+
+    /// The class id of the type's event `event`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type declares no such event — a specification-author
+    /// error, analogous to a typo in the paper's notation.
+    pub fn class(&self, event: &str) -> ClassId {
+        *self
+            .classes
+            .get(event)
+            .unwrap_or_else(|| panic!("element {:?} has no event {event:?}", self.name))
+    }
+
+    /// Selector for events of `event` at this element
+    /// (`this_element.Event`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type declares no such event.
+    pub fn sel(&self, event: &str) -> EventSel {
+        EventSel::of_class(self.class(event)).at(self.element)
+    }
+
+    /// Iterates over `(event name, class id)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (&str, ClassId)> {
+        self.classes.iter().map(|(n, &c)| (n.as_str(), c))
+    }
+}
+
+/// Multiplicity of a group-type member role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Multiplicity {
+    /// Exactly one member.
+    One,
+    /// A set of members; the count is supplied at instantiation
+    /// (the paper's `{data[loc:1..N]} : SET OF Variable`).
+    Set,
+}
+
+#[derive(Clone)]
+enum MemberType {
+    Element(ElementType),
+    Group(Box<GroupType>),
+}
+
+/// A group type description (§6).
+///
+/// Members are *roles*: named slots filled with fresh element/group
+/// instances at instantiation. Ports (§4) designate member events as the
+/// group's access holes.
+#[derive(Clone)]
+pub struct GroupType {
+    name: String,
+    members: Vec<(String, MemberType, Multiplicity)>,
+    ports: Vec<(String, String)>,
+    restrictions: Vec<(String, GroupRestrictionFn)>,
+}
+
+impl fmt::Debug for GroupType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupType")
+            .field("name", &self.name)
+            .field(
+                "members",
+                &self.members.iter().map(|(n, _, m)| (n, m)).collect::<Vec<_>>(),
+            )
+            .field("ports", &self.ports)
+            .finish()
+    }
+}
+
+impl GroupType {
+    /// Creates a group type with no members.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            members: Vec::new(),
+            ports: Vec::new(),
+            restrictions: Vec::new(),
+        }
+    }
+
+    /// Creates a refinement of `base` under a new name.
+    pub fn refine(base: &GroupType, name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            members: base.members.clone(),
+            ports: base.ports.clone(),
+            restrictions: base.restrictions.clone(),
+        }
+    }
+
+    /// Adds a single element member role.
+    pub fn element_member(mut self, role: impl Into<String>, ty: ElementType) -> Self {
+        self.members
+            .push((role.into(), MemberType::Element(ty), Multiplicity::One));
+        self
+    }
+
+    /// Adds a set-of-elements member role (count fixed at instantiation).
+    pub fn element_set(mut self, role: impl Into<String>, ty: ElementType) -> Self {
+        self.members
+            .push((role.into(), MemberType::Element(ty), Multiplicity::Set));
+        self
+    }
+
+    /// Adds a single nested-group member role.
+    pub fn group_member(mut self, role: impl Into<String>, ty: GroupType) -> Self {
+        self.members
+            .push((role.into(), MemberType::Group(Box::new(ty)), Multiplicity::One));
+        self
+    }
+
+    /// Adds a set-of-groups member role.
+    pub fn group_set(mut self, role: impl Into<String>, ty: GroupType) -> Self {
+        self.members
+            .push((role.into(), MemberType::Group(Box::new(ty)), Multiplicity::Set));
+        self
+    }
+
+    /// Declares `role.event` as a port of this group (§4). `role` must be
+    /// an element member role; for `Set` roles, the event is a port at
+    /// every member.
+    pub fn port(mut self, role: impl Into<String>, event: impl Into<String>) -> Self {
+        self.ports.push((role.into(), event.into()));
+        self
+    }
+
+    /// Adds a restriction template, instantiated per group instance.
+    pub fn restriction(
+        mut self,
+        name: impl Into<String>,
+        body: impl Fn(&GroupInstance, &Structure) -> Formula + Send + Sync + 'static,
+    ) -> Self {
+        self.restrictions.push((name.into(), Arc::new(body)));
+        self
+    }
+
+    /// The type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A concrete group created from a [`GroupType`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupInstance {
+    name: String,
+    group: GroupId,
+    elements: BTreeMap<String, Vec<ElementInstance>>,
+    groups: BTreeMap<String, Vec<GroupInstance>>,
+}
+
+impl GroupInstance {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The group id in the specification's structure.
+    pub fn id(&self) -> GroupId {
+        self.group
+    }
+
+    /// The single element filling `role`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the role is missing or not an element role.
+    pub fn element(&self, role: &str) -> &ElementInstance {
+        &self.elements(role)[0]
+    }
+
+    /// All element instances filling `role` (length 1 for `One` roles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the role is missing or not an element role.
+    pub fn elements(&self, role: &str) -> &[ElementInstance] {
+        self.elements
+            .get(role)
+            .unwrap_or_else(|| panic!("group {:?} has no element role {role:?}", self.name))
+    }
+
+    /// The single nested group filling `role`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the role is missing or not a group role.
+    pub fn subgroup(&self, role: &str) -> &GroupInstance {
+        &self.subgroups(role)[0]
+    }
+
+    /// All nested group instances filling `role`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the role is missing or not a group role.
+    pub fn subgroups(&self, role: &str) -> &[GroupInstance] {
+        self.groups
+            .get(role)
+            .unwrap_or_else(|| panic!("group {:?} has no group role {role:?}", self.name))
+    }
+}
+
+/// A named restriction of a specification.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Restriction {
+    /// Restriction name, e.g. `"Var.getval-yields-last-assign"`.
+    pub name: String,
+    /// The formula.
+    pub formula: Formula,
+}
+
+/// Errors arising while building a specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecError {
+    /// An underlying structure declaration failed.
+    Structure(StructureError),
+    /// A group-type port referenced a role or event that does not exist.
+    UnknownPort {
+        /// The group type name.
+        group: String,
+        /// The role referenced.
+        role: String,
+        /// The event referenced.
+        event: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Structure(e) => write!(f, "{e}"),
+            SpecError::UnknownPort { group, role, event } => {
+                write!(f, "group type {group:?}: port {role}.{event} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<StructureError> for SpecError {
+    fn from(e: StructureError) -> Self {
+        SpecError::Structure(e)
+    }
+}
+
+/// Incremental builder for a [`crate::Specification`]: instantiates types,
+/// accumulates restrictions and thread declarations, and produces the final
+/// structure.
+pub struct SpecBuilder {
+    name: String,
+    structure: Structure,
+    restrictions: Vec<Restriction>,
+    threads: Vec<ThreadSpec>,
+}
+
+impl fmt::Debug for SpecBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecBuilder")
+            .field("name", &self.name)
+            .field("restrictions", &self.restrictions.len())
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl SpecBuilder {
+    /// Creates a builder for a specification called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            structure: Structure::new(),
+            restrictions: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// The structure built so far (read access for formula construction).
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// Mutable access to the structure, for declarations not covered by
+    /// the type layer (extra groups, ports, memberships).
+    pub fn structure_mut(&mut self) -> &mut Structure {
+        &mut self.structure
+    }
+
+    fn declare_class(&mut self, decl: &EventDecl, owner: &str) -> Result<ClassId, SpecError> {
+        let params: Vec<&str> = decl.params.iter().map(String::as_str).collect();
+        match self.structure.add_class(decl.name.clone(), &params) {
+            Ok(id) => Ok(id),
+            Err(StructureError::ClassConflict(_)) => {
+                // Same event name with different parameters elsewhere:
+                // qualify by the owning type, as the paper would write
+                // `Type.Event`.
+                Ok(self
+                    .structure
+                    .add_class(format!("{owner}.{}", decl.name), &params)?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Instantiates an element type as a fresh element called `name`,
+    /// adding the type's restrictions (qualified with the instance name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the underlying declarations fail (e.g.
+    /// duplicate instance name).
+    pub fn instantiate_element(
+        &mut self,
+        ty: &ElementType,
+        name: impl Into<String>,
+    ) -> Result<ElementInstance, SpecError> {
+        let name = name.into();
+        let mut classes = BTreeMap::new();
+        let mut class_ids = Vec::new();
+        for decl in &ty.events {
+            let id = self.declare_class(decl, &ty.name)?;
+            classes.insert(decl.name.clone(), id);
+            class_ids.push(id);
+        }
+        let element = self.structure.add_element(name.clone(), &class_ids)?;
+        let instance = ElementInstance {
+            name: name.clone(),
+            element,
+            classes,
+        };
+        for (rname, body) in &ty.restrictions {
+            let formula = body(&instance, &self.structure);
+            self.restrictions.push(Restriction {
+                name: format!("{name}.{rname}"),
+                formula,
+            });
+        }
+        Ok(instance)
+    }
+
+    /// Instantiates `count` elements of a type, named `base[0..count)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if any instantiation fails.
+    pub fn instantiate_element_set(
+        &mut self,
+        ty: &ElementType,
+        base: &str,
+        count: usize,
+    ) -> Result<Vec<ElementInstance>, SpecError> {
+        (0..count)
+            .map(|i| self.instantiate_element(ty, format!("{base}[{i}]")))
+            .collect()
+    }
+
+    /// Instantiates a group type as a fresh group called `name`. For each
+    /// `Set` role, `counts` must supply `(role, n)`; missing roles default
+    /// to one member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if declarations fail or a port references a
+    /// missing role/event.
+    pub fn instantiate_group(
+        &mut self,
+        ty: &GroupType,
+        name: impl Into<String>,
+        counts: &[(&str, usize)],
+    ) -> Result<GroupInstance, SpecError> {
+        let name = name.into();
+        let mut elements: BTreeMap<String, Vec<ElementInstance>> = BTreeMap::new();
+        let mut groups: BTreeMap<String, Vec<GroupInstance>> = BTreeMap::new();
+        let mut member_refs: Vec<NodeRef> = Vec::new();
+
+        for (role, member, mult) in &ty.members {
+            let n = match mult {
+                Multiplicity::One => 1,
+                Multiplicity::Set => counts
+                    .iter()
+                    .find(|(r, _)| r == role)
+                    .map(|&(_, n)| n)
+                    .unwrap_or(1),
+            };
+            for i in 0..n {
+                let member_name = match mult {
+                    Multiplicity::One => format!("{name}.{role}"),
+                    Multiplicity::Set => format!("{name}.{role}[{i}]"),
+                };
+                match member {
+                    MemberType::Element(et) => {
+                        let inst = self.instantiate_element(et, member_name)?;
+                        member_refs.push(inst.id().into());
+                        elements.entry(role.clone()).or_default().push(inst);
+                    }
+                    MemberType::Group(gt) => {
+                        let inst = self.instantiate_group(gt, member_name, counts)?;
+                        member_refs.push(NodeRef::Group(inst.id()));
+                        groups.entry(role.clone()).or_default().push(inst);
+                    }
+                }
+            }
+        }
+
+        let group = self.structure.add_group(name.clone(), &member_refs)?;
+        for (role, event) in &ty.ports {
+            let insts = elements.get(role).ok_or_else(|| SpecError::UnknownPort {
+                group: ty.name.clone(),
+                role: role.clone(),
+                event: event.clone(),
+            })?;
+            for inst in insts {
+                let class =
+                    inst.classes
+                        .get(event)
+                        .copied()
+                        .ok_or_else(|| SpecError::UnknownPort {
+                            group: ty.name.clone(),
+                            role: role.clone(),
+                            event: event.clone(),
+                        })?;
+                self.structure.add_port(group, inst.id(), class)?;
+            }
+        }
+
+        let instance = GroupInstance {
+            name: name.clone(),
+            group,
+            elements,
+            groups,
+        };
+        for (rname, body) in &ty.restrictions {
+            let formula = body(&instance, &self.structure);
+            self.restrictions.push(Restriction {
+                name: format!("{name}.{rname}"),
+                formula,
+            });
+        }
+        Ok(instance)
+    }
+
+    /// Adds a top-level restriction.
+    pub fn add_restriction(&mut self, name: impl Into<String>, formula: Formula) {
+        self.restrictions.push(Restriction {
+            name: name.into(),
+            formula,
+        });
+    }
+
+    /// Declares a thread type (§8.3) with one or more alternative paths.
+    /// Returns its id for use in thread predicates.
+    pub fn declare_thread(
+        &mut self,
+        name: impl Into<String>,
+        paths: Vec<Vec<EventSel>>,
+    ) -> ThreadTypeId {
+        let ty = ThreadTypeId::from_raw(self.threads.len() as u32);
+        self.threads.push(ThreadSpec {
+            name: name.into(),
+            ty,
+            paths,
+        });
+        ty
+    }
+
+    /// Finishes the builder, producing an immutable specification.
+    pub fn finish(self) -> crate::Specification {
+        crate::Specification::from_parts(self.name, self.structure, self.restrictions, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_logic::{Formula, ValueTerm};
+
+    fn variable_type() -> ElementType {
+        ElementType::new("Variable")
+            .event("Assign", &["newval"])
+            .event("Getval", &["oldval"])
+            .restriction("getval-yields-last-assign", |inst, _| {
+                Formula::forall(
+                    "a",
+                    inst.sel("Assign"),
+                    Formula::forall(
+                        "g",
+                        inst.sel("Getval"),
+                        Formula::enables("a", "g").implies(Formula::value_eq(
+                            ValueTerm::param("a", "newval"),
+                            ValueTerm::param("g", "oldval"),
+                        )),
+                    ),
+                )
+            })
+    }
+
+    #[test]
+    fn instantiate_element_creates_classes_and_restriction() {
+        let mut sb = SpecBuilder::new("Test");
+        let var = sb.instantiate_element(&variable_type(), "Var").unwrap();
+        assert_eq!(var.name(), "Var");
+        assert!(sb.structure().class("Assign").is_some());
+        assert!(sb.structure().element("Var").is_some());
+        let spec = sb.finish();
+        assert_eq!(spec.restrictions().len(), 1);
+        assert_eq!(
+            spec.restrictions()[0].name,
+            "Var.getval-yields-last-assign"
+        );
+    }
+
+    #[test]
+    fn two_instances_share_classes() {
+        let mut sb = SpecBuilder::new("Test");
+        let v1 = sb.instantiate_element(&variable_type(), "X").unwrap();
+        let v2 = sb.instantiate_element(&variable_type(), "Y").unwrap();
+        assert_eq!(v1.class("Assign"), v2.class("Assign"));
+        assert_ne!(v1.id(), v2.id());
+        // Selectors are element-scoped, so restrictions stay per-instance.
+        assert_ne!(v1.sel("Assign"), v2.sel("Assign"));
+    }
+
+    #[test]
+    fn conflicting_event_decl_gets_qualified_class() {
+        let other = ElementType::new("Weird").event("Assign", &["a", "b"]);
+        let mut sb = SpecBuilder::new("Test");
+        sb.instantiate_element(&variable_type(), "Var").unwrap();
+        let w = sb.instantiate_element(&other, "W").unwrap();
+        // Same event name, different params → qualified global class name.
+        assert!(sb.structure().class("Weird.Assign").is_some());
+        assert_eq!(
+            sb.structure().class_info(w.class("Assign")).name(),
+            "Weird.Assign"
+        );
+    }
+
+    #[test]
+    fn refinement_extends_base() {
+        let base = variable_type();
+        let typed = ElementType::refine(&base, "IntegerVariable").restriction(
+            "values-are-ints",
+            |_inst, _s| Formula::True,
+        );
+        assert_eq!(typed.events().len(), 2);
+        assert_eq!(typed.restriction_names().count(), 2);
+        assert_eq!(base.restriction_names().count(), 1, "base unchanged");
+        let mut sb = SpecBuilder::new("Test");
+        sb.instantiate_element(&typed, "IV").unwrap();
+        let spec = sb.finish();
+        assert_eq!(spec.restrictions().len(), 2);
+    }
+
+    #[test]
+    fn instantiate_set_names_indexed() {
+        let mut sb = SpecBuilder::new("Test");
+        let vars = sb
+            .instantiate_element_set(&variable_type(), "data", 3)
+            .unwrap();
+        assert_eq!(vars.len(), 3);
+        assert_eq!(vars[0].name(), "data[0]");
+        assert_eq!(vars[2].name(), "data[2]");
+    }
+
+    #[test]
+    fn group_instantiation_with_set_roles_and_ports() {
+        // DataBase = GROUP TYPE(control: RWControl, {data}: SET OF Variable)
+        let control = ElementType::new("RWControl")
+            .event("ReqRead", &["loc"])
+            .event("StartRead", &["loc"]);
+        let db = GroupType::new("DataBase")
+            .element_member("control", control)
+            .element_set("data", variable_type())
+            .port("control", "ReqRead");
+        let mut sb = SpecBuilder::new("Test");
+        let inst = sb.instantiate_group(&db, "db", &[("data", 4)]).unwrap();
+        assert_eq!(inst.elements("data").len(), 4);
+        assert_eq!(inst.element("control").name(), "db.control");
+        let s = sb.structure();
+        let g = s.group("db").unwrap();
+        assert_eq!(s.group_info(g).members().len(), 5);
+        // Port registered on the control element's ReqRead class.
+        assert_eq!(s.group_info(g).ports().len(), 1);
+        assert_eq!(
+            s.group_info(g).ports()[0],
+            (inst.element("control").id(), inst.element("control").class("ReqRead"))
+        );
+    }
+
+    #[test]
+    fn nested_group_instantiation() {
+        let inner = GroupType::new("Proc").element_member(
+            "code",
+            ElementType::new("Code").event("Step", &[]),
+        );
+        let outer = GroupType::new("System").group_set("procs", inner);
+        let mut sb = SpecBuilder::new("Test");
+        let sys = sb
+            .instantiate_group(&outer, "sys", &[("procs", 2)])
+            .unwrap();
+        assert_eq!(sys.subgroups("procs").len(), 2);
+        assert_eq!(
+            sys.subgroups("procs")[1].element("code").name(),
+            "sys.procs[1].code"
+        );
+        // Firewall: code of proc 0 cannot access code of proc 1.
+        let s = sb.structure();
+        let c0 = sys.subgroups("procs")[0].element("code").id();
+        let c1 = sys.subgroups("procs")[1].element("code").id();
+        assert!(!s.access(c0, c1.into()));
+    }
+
+    #[test]
+    fn single_group_member_role() {
+        let inner = GroupType::new("Mailbox").element_member(
+            "slot",
+            ElementType::new("Slot").event("Post", &[]),
+        );
+        let outer = GroupType::new("Agent").group_member("mbox", inner);
+        let mut sb = SpecBuilder::new("Test");
+        let agent = sb.instantiate_group(&outer, "a", &[]).unwrap();
+        assert_eq!(agent.subgroup("mbox").name(), "a.mbox");
+        assert_eq!(agent.subgroup("mbox").element("slot").name(), "a.mbox.slot");
+    }
+
+    #[test]
+    fn group_refinement_copies_everything() {
+        let base = GroupType::new("Base")
+            .element_member("x", ElementType::new("E").event("A", &[]))
+            .port("x", "A")
+            .restriction("r", |_g, _s| Formula::True);
+        let refined = GroupType::refine(&base, "Refined").restriction("r2", |_g, _s| Formula::False);
+        let mut sb = SpecBuilder::new("Test");
+        sb.instantiate_group(&refined, "g", &[]).unwrap();
+        let spec = sb.finish();
+        assert_eq!(spec.restrictions().len(), 2);
+        assert!(spec.restriction("g.r").is_some());
+        assert!(spec.restriction("g.r2").is_some());
+        let s = spec.structure();
+        assert_eq!(s.group_info(s.group("g").unwrap()).ports().len(), 1);
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let bad = GroupType::new("Bad")
+            .element_member("x", ElementType::new("E").event("A", &[]))
+            .port("x", "Missing");
+        let mut sb = SpecBuilder::new("Test");
+        assert!(matches!(
+            sb.instantiate_group(&bad, "b", &[]),
+            Err(SpecError::UnknownPort { .. })
+        ));
+        let bad_role = GroupType::new("Bad2")
+            .element_member("x", ElementType::new("E2").event("A", &[]))
+            .port("y", "A");
+        let mut sb2 = SpecBuilder::new("Test2");
+        assert!(matches!(
+            sb2.instantiate_group(&bad_role, "b2", &[]),
+            Err(SpecError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_instance_name_rejected() {
+        let mut sb = SpecBuilder::new("Test");
+        sb.instantiate_element(&variable_type(), "Var").unwrap();
+        assert!(matches!(
+            sb.instantiate_element(&variable_type(), "Var"),
+            Err(SpecError::Structure(StructureError::DuplicateName(_)))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no event")]
+    fn missing_event_selector_panics() {
+        let mut sb = SpecBuilder::new("Test");
+        let var = sb.instantiate_element(&variable_type(), "Var").unwrap();
+        let _ = var.sel("Nonexistent");
+    }
+
+    #[test]
+    fn group_set_multiplicity_defaults_to_one() {
+        let gt = GroupType::new("G").element_set("xs", ElementType::new("E").event("A", &[]));
+        let mut sb = SpecBuilder::new("Test");
+        let g = sb.instantiate_group(&gt, "g", &[]).unwrap();
+        assert_eq!(g.elements("xs").len(), 1);
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let et = variable_type();
+        assert!(format!("{et:?}").contains("Variable"));
+        let gt = GroupType::new("G");
+        assert!(format!("{gt:?}").contains('G'));
+        let sb = SpecBuilder::new("S");
+        assert!(format!("{sb:?}").contains('S'));
+    }
+}

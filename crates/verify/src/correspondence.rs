@@ -1,0 +1,385 @@
+//! Significant-object correspondences and computation projection (§9).
+//!
+//! The paper's proof method: *"For each group, element, event type, event
+//! parameter, and thread in P, choose a corresponding object in PROG. We
+//! call these the significant objects of PROG. … If we examine a
+//! computation which is legal with respect to PROG, and only take note of
+//! significant objects, those significant objects exhibit the same
+//! behavior as a computation that is legal with respect to P."*
+//!
+//! A [`Correspondence`] names the significant objects: each pair maps a
+//! program-side [`EventSel`] to a problem-side element/class (with a
+//! parameter mapping). [`project`] then *takes note of only the
+//! significant objects*: it keeps the matching events, re-expresses them
+//! over the problem structure, and bridges enable edges through
+//! insignificant events (an enable path in `PROG` whose intermediate
+//! events are all insignificant becomes a direct enable edge in the
+//! projection).
+
+use std::fmt;
+
+use gem_core::{
+    ClassId, Computation, ComputationBuilder, ElementId, EventId, Structure, Value,
+};
+use gem_logic::EventSel;
+
+/// One correspondence pair: program events matching `program` are the
+/// significant occurrences of `problem_class` at `problem_element`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Pair {
+    /// Selector over the *program* structure.
+    pub program: EventSel,
+    /// Target element in the *problem* structure.
+    pub problem_element: ElementId,
+    /// Target class in the problem structure.
+    pub problem_class: ClassId,
+    /// Parameter mapping: `(program index, problem index)` — the
+    /// significant event parameters. Unmapped problem parameters default
+    /// to [`Value::Unit`].
+    pub params: Vec<(usize, usize)>,
+}
+
+/// A significant-object correspondence between a program specification and
+/// a problem specification.
+///
+/// # Examples
+///
+/// The §9 Readers/Writers correspondence maps, e.g., the `Begin` event of
+/// entry `StartRead` to the problem's `ReqRead`, and the `readernum`
+/// assignment inside `StartRead` to the problem's `StartRead`.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Correspondence {
+    pairs: Vec<Pair>,
+}
+
+impl Correspondence {
+    /// Creates an empty correspondence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pair mapping `program` events to `problem_class` at
+    /// `problem_element`, with no parameters.
+    pub fn map(mut self, program: EventSel, problem_element: ElementId, problem_class: ClassId) -> Self {
+        self.pairs.push(Pair {
+            program,
+            problem_element,
+            problem_class,
+            params: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a pair with a parameter mapping.
+    pub fn map_with_params(
+        mut self,
+        program: EventSel,
+        problem_element: ElementId,
+        problem_class: ClassId,
+        params: &[(usize, usize)],
+    ) -> Self {
+        self.pairs.push(Pair {
+            program,
+            problem_element,
+            problem_class,
+            params: params.to_vec(),
+        });
+        self
+    }
+
+    /// The pairs, in precedence order (first match wins).
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// The first pair whose selector matches the event, if any.
+    fn match_event(&self, computation: &Computation, e: EventId) -> Option<&Pair> {
+        let ev = computation.event(e);
+        self.pairs.iter().find(|p| p.program.matches(ev))
+    }
+}
+
+/// Errors arising during projection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProjectError {
+    /// Two significant events map to the same problem element but are
+    /// concurrent in the program — the projected element order would be
+    /// ill-defined.
+    UnorderedAtElement {
+        /// First program event.
+        first: EventId,
+        /// Second program event.
+        second: EventId,
+    },
+    /// A mapped parameter index is out of range for the program event.
+    BadParam {
+        /// The program event.
+        event: EventId,
+        /// The out-of-range program parameter index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::UnorderedAtElement { first, second } => write!(
+                f,
+                "significant events {first} and {second} map to one element but are concurrent"
+            ),
+            ProjectError::BadParam { event, index } => {
+                write!(f, "event {event}: mapped parameter {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {}
+
+/// Projects a program computation onto its significant objects, producing
+/// a computation over the problem structure.
+///
+/// Events matching no pair are dropped; enable edges are bridged through
+/// them (a `PROG` enable path `e₁ ⊳ x₁ ⊳ … ⊳ xₖ ⊳ e₂` with every `xᵢ`
+/// insignificant becomes `e₁' ⊳ e₂'`).
+///
+/// # Errors
+///
+/// Returns [`ProjectError`] if the correspondence is inconsistent with
+/// the computation (see the variants). Whether the *projection* is legal
+/// for the problem specification is checked downstream by
+/// [`Specification::check`](gem_spec::Specification::check) — an illegal
+/// projection is exactly how `PROG sat P` fails.
+pub fn project(
+    program: &Computation,
+    problem_structure: impl Into<std::sync::Arc<Structure>>,
+    corr: &Correspondence,
+) -> Result<Computation, ProjectError> {
+    let problem_structure = problem_structure.into();
+    // Significant events in topological order (so same-element events are
+    // appended in their temporal order).
+    let mut significant: Vec<(EventId, &Pair)> = Vec::new();
+    for &e in program.closure().topological() {
+        if let Some(pair) = corr.match_event(program, e) {
+            significant.push((e, pair));
+        }
+    }
+
+    // Element-order consistency: same-element significant events must be
+    // temporally ordered in the program.
+    for (i, &(a, pa)) in significant.iter().enumerate() {
+        for &(b, pb) in &significant[i + 1..] {
+            if pa.problem_element == pb.problem_element
+                && program.concurrent(a, b)
+            {
+                return Err(ProjectError::UnorderedAtElement { first: a, second: b });
+            }
+        }
+    }
+
+    let mut builder = ComputationBuilder::new(problem_structure.clone());
+    let mut image: Vec<Option<EventId>> = vec![None; program.event_count()];
+    for &(e, pair) in &significant {
+        let ev = program.event(e);
+        let arity = problem_structure.class_info(pair.problem_class).arity();
+        let mut params = vec![Value::Unit; arity];
+        for &(prog_idx, prob_idx) in &pair.params {
+            let v = ev
+                .param(prog_idx)
+                .ok_or(ProjectError::BadParam {
+                    event: e,
+                    index: prog_idx,
+                })?
+                .clone();
+            if prob_idx < arity {
+                params[prob_idx] = v;
+            }
+        }
+        let new_id = builder
+            .add_event(pair.problem_element, pair.problem_class, params)
+            .expect("problem ids are from the problem structure");
+        image[e.index()] = Some(new_id);
+    }
+
+    // Bridged enable edges: DFS through insignificant events.
+    for &(e, _) in &significant {
+        let mut stack: Vec<EventId> = program.enabled_from(e).to_vec();
+        let mut seen = vec![false; program.event_count()];
+        while let Some(next) = stack.pop() {
+            if seen[next.index()] {
+                continue;
+            }
+            seen[next.index()] = true;
+            if let Some(target) = image[next.index()] {
+                builder
+                    .enable(image[e.index()].expect("significant"), target)
+                    .expect("known events");
+            } else {
+                stack.extend(program.enabled_from(next).iter().copied());
+            }
+        }
+    }
+
+    // Behaviour preservation (§9's "exhibit the same behavior"): the
+    // projection's temporal order must be the restriction of the
+    // program's, even where the mediating insignificant events are gone.
+    for (i, &(a, pa)) in significant.iter().enumerate() {
+        for &(b, pb) in &significant[i + 1..] {
+            if pa.problem_element == pb.problem_element {
+                continue; // already captured by the element order
+            }
+            if program.temporally_precedes(a, b) {
+                builder
+                    .add_precedence(
+                        image[a.index()].expect("significant"),
+                        image[b.index()].expect("significant"),
+                    )
+                    .expect("known events");
+            } else if program.temporally_precedes(b, a) {
+                builder
+                    .add_precedence(
+                        image[b.index()].expect("significant"),
+                        image[a.index()].expect("significant"),
+                    )
+                    .expect("known events");
+            }
+        }
+    }
+
+    Ok(builder
+        .seal()
+        .expect("projection of an acyclic computation is acyclic"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::Structure;
+
+    /// Program: user chain  A -> x -> y -> B  (x, y insignificant), plus a
+    /// concurrent C on another element.
+    fn program() -> (Computation, Vec<EventId>) {
+        let mut s = Structure::new();
+        let a = s.add_class("A", &["v"]).unwrap();
+        let mid = s.add_class("Mid", &[]).unwrap();
+        let b = s.add_class("B", &[]).unwrap();
+        let c = s.add_class("C", &[]).unwrap();
+        let p = s.add_element("P", &[a, mid, b]).unwrap();
+        let q = s.add_element("Q", &[c]).unwrap();
+        let mut builder = ComputationBuilder::new(s);
+        let e_a = builder.add_event(p, a, vec![Value::Int(7)]).unwrap();
+        let e_x = builder.add_event(p, mid, vec![]).unwrap();
+        let e_y = builder.add_event(p, mid, vec![]).unwrap();
+        let e_b = builder.add_event(p, b, vec![]).unwrap();
+        let e_c = builder.add_event(q, c, vec![]).unwrap();
+        builder.enable(e_a, e_x).unwrap();
+        builder.enable(e_x, e_y).unwrap();
+        builder.enable(e_y, e_b).unwrap();
+        (builder.seal().unwrap(), vec![e_a, e_x, e_y, e_b, e_c])
+    }
+
+    fn problem_structure() -> (Structure, ElementId, ClassId, ClassId, ClassId) {
+        let mut s = Structure::new();
+        let start = s.add_class("Start", &["val"]).unwrap();
+        let finish = s.add_class("Finish", &[]).unwrap();
+        let other = s.add_class("Other", &[]).unwrap();
+        let ctl = s.add_element("Ctl", &[start, finish]).unwrap();
+        (s, ctl, start, finish, other)
+    }
+
+    #[test]
+    fn projection_bridges_enable_edges() {
+        let (prog, e) = program();
+        let ps = prog.structure();
+        let (problem, ctl, start, finish, _) = problem_structure();
+        let corr = Correspondence::new()
+            .map_with_params(
+                EventSel::of_class(ps.class("A").unwrap()),
+                ctl,
+                start,
+                &[(0, 0)],
+            )
+            .map(EventSel::of_class(ps.class("B").unwrap()), ctl, finish);
+        let projected = project(&prog, problem, &corr).unwrap();
+        assert_eq!(projected.event_count(), 2);
+        let s0 = projected.nth_at(ctl, 0).unwrap();
+        let s1 = projected.nth_at(ctl, 1).unwrap();
+        // A's param carried over; bridged edge A' |> B'.
+        assert_eq!(projected.event(s0).param(0), Some(&Value::Int(7)));
+        assert!(projected.enables(s0, s1));
+        let _ = e;
+    }
+
+    #[test]
+    fn insignificant_events_dropped() {
+        let (prog, _) = program();
+        let ps = prog.structure();
+        let (problem, ctl, start, _, _) = problem_structure();
+        let corr = Correspondence::new().map(
+            EventSel::of_class(ps.class("A").unwrap()),
+            ctl,
+            start,
+        );
+        let projected = project(&prog, problem, &corr).unwrap();
+        assert_eq!(projected.event_count(), 1);
+        assert!(projected.enable_edges().count() == 0);
+    }
+
+    #[test]
+    fn concurrent_events_to_same_element_rejected() {
+        let (prog, _) = program();
+        let ps = prog.structure();
+        let (problem, ctl, start, finish, _) = problem_structure();
+        // Map both A (at P) and C (at Q, concurrent with A) to element Ctl.
+        let corr = Correspondence::new()
+            .map(EventSel::of_class(ps.class("A").unwrap()), ctl, start)
+            .map(EventSel::of_class(ps.class("C").unwrap()), ctl, finish);
+        let err = project(&prog, problem, &corr).unwrap_err();
+        assert!(matches!(err, ProjectError::UnorderedAtElement { .. }));
+        assert!(err.to_string().contains("concurrent"));
+    }
+
+    #[test]
+    fn bad_param_mapping_rejected() {
+        let (prog, _) = program();
+        let ps = prog.structure();
+        let (problem, ctl, start, _, _) = problem_structure();
+        let corr = Correspondence::new().map_with_params(
+            EventSel::of_class(ps.class("B").unwrap()),
+            ctl,
+            start,
+            &[(3, 0)], // B has no params
+        );
+        let err = project(&prog, problem, &corr).unwrap_err();
+        assert!(matches!(err, ProjectError::BadParam { .. }));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let (prog, _) = program();
+        let ps = prog.structure();
+        let (problem, ctl, start, finish, _) = problem_structure();
+        // Both pairs match class A; the first takes precedence.
+        let sel = EventSel::of_class(ps.class("A").unwrap());
+        let corr = Correspondence::new()
+            .map(sel.clone(), ctl, start)
+            .map(sel, ctl, finish);
+        let projected = project(&prog, problem, &corr).unwrap();
+        assert_eq!(projected.event_count(), 1);
+        assert_eq!(projected.events()[0].class(), start);
+    }
+
+    #[test]
+    fn unmapped_params_default_to_unit() {
+        let (prog, _) = program();
+        let ps = prog.structure();
+        let (problem, ctl, start, _, _) = problem_structure();
+        let corr = Correspondence::new().map(
+            EventSel::of_class(ps.class("A").unwrap()),
+            ctl,
+            start,
+        );
+        let projected = project(&prog, problem, &corr).unwrap();
+        assert_eq!(projected.events()[0].param(0), Some(&Value::Unit));
+    }
+}

@@ -1,0 +1,321 @@
+//! `PROG sat P`: exhaustive bounded verification of a program against a
+//! problem specification (§9).
+//!
+//! [`verify_system`] is the machine-checked stand-in for the paper's hand
+//! proofs (DESIGN.md substitution): it explores every schedule of a
+//! program system, extracts the GEM computation of each run, projects it
+//! onto the significant objects, and checks every restriction of the
+//! problem specification. Deadlocked runs (terminal but incomplete) are
+//! reported separately — the paper's "lack of deadlock" claims.
+
+use std::fmt;
+use std::ops::ControlFlow;
+
+use gem_core::Computation;
+use gem_lang::{Explorer, System};
+use gem_logic::Strategy;
+use gem_spec::Specification;
+
+use crate::correspondence::{project, Correspondence, ProjectError};
+
+/// One failing run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunFailure {
+    /// Index of the run in exploration order.
+    pub run: usize,
+    /// Names of legality categories or restrictions violated.
+    pub violated: Vec<String>,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+/// Outcome of verifying a program against a problem specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyOutcome {
+    /// Number of maximal runs explored.
+    pub runs: usize,
+    /// Number of deadlocked runs (terminal but incomplete).
+    pub deadlocks: usize,
+    /// Restriction/legality failures across runs (capped at
+    /// [`VerifyOptions::max_failures`]).
+    pub failures: Vec<RunFailure>,
+    /// True if the run limit truncated exploration.
+    pub truncated: bool,
+}
+
+impl VerifyOutcome {
+    /// True if every explored run completed and satisfied the
+    /// specification.
+    pub fn ok(&self) -> bool {
+        self.deadlocks == 0 && self.failures.is_empty()
+    }
+
+    /// True if the verdict covers *all* schedules (no truncation).
+    pub fn exhaustive(&self) -> bool {
+        !self.truncated
+    }
+}
+
+impl fmt::Display for VerifyOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} run(s): {} deadlock(s), {} failing run(s){}",
+            self.runs,
+            self.deadlocks,
+            self.failures.len(),
+            if self.truncated { " (truncated)" } else { "" }
+        )?;
+        for fail in &self.failures {
+            write!(f, "\n  run {}: {}", fail.run, fail.violated.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Options for [`verify_system`].
+#[derive(Clone, Debug)]
+pub struct VerifyOptions {
+    /// Bounds on schedule exploration.
+    pub explorer: Explorer,
+    /// Strategy for temporal restrictions on each projected computation.
+    pub strategy: Strategy,
+    /// Stop after this many failing runs (a few witnesses suffice).
+    pub max_failures: usize,
+    /// Also require the *program* computation itself to be GEM-legal.
+    pub check_program_legality: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        Self {
+            explorer: Explorer::default(),
+            strategy: Strategy::Linearizations { limit: 20_000 },
+            max_failures: 3,
+            check_program_legality: true,
+        }
+    }
+}
+
+/// Verifies `PROG sat P`: explores every schedule of `sys`, extracts each
+/// run's computation with `extract`, projects through `corr`, and checks
+/// `problem`'s restrictions.
+///
+/// # Errors
+///
+/// Returns [`ProjectError`] if the correspondence is inconsistent with a
+/// generated computation (a setup error rather than a verification
+/// verdict). Malformed restriction formulas also surface as an error
+/// string via the panic-free path: they are reported as failures with the
+/// evaluation error in `detail`.
+pub fn verify_system<S: System>(
+    sys: &S,
+    problem: &Specification,
+    corr: &Correspondence,
+    extract: impl Fn(&S::State) -> Computation,
+    options: &VerifyOptions,
+) -> Result<VerifyOutcome, ProjectError> {
+    let mut runs = 0usize;
+    let mut deadlocks = 0usize;
+    let mut failures: Vec<RunFailure> = Vec::new();
+    let mut project_error: Option<ProjectError> = None;
+
+    let stats = options.explorer.for_each_run(sys, |state, _path| {
+        runs += 1;
+        if !sys.is_complete(state) {
+            deadlocks += 1;
+        }
+        let program_comp = extract(state);
+        let mut violated = Vec::new();
+        let mut detail = String::new();
+        if options.check_program_legality {
+            let legality = gem_core::check_legality(&program_comp);
+            if !legality.is_empty() {
+                violated.push("program-legality".to_owned());
+                detail = legality[0].describe(&program_comp);
+            }
+        }
+        let projected = match project(&program_comp, problem.structure_arc(), corr) {
+            Ok(p) => p,
+            Err(e) => {
+                project_error = Some(e);
+                return ControlFlow::Break(());
+            }
+        };
+        match problem.check(&projected, options.strategy) {
+            Ok(report) => {
+                if !report.legality.is_empty() {
+                    violated.push("projection-legality".to_owned());
+                    if detail.is_empty() {
+                        detail = report.legality[0].describe(&projected);
+                    }
+                }
+                for name in report.failed() {
+                    violated.push(name.to_owned());
+                }
+                if detail.is_empty() && !violated.is_empty() {
+                    detail = report.to_string();
+                }
+            }
+            Err(e) => {
+                violated.push("evaluation-error".to_owned());
+                detail = e.to_string();
+            }
+        }
+        if !violated.is_empty() {
+            failures.push(RunFailure {
+                run: runs - 1,
+                violated,
+                detail,
+            });
+            if failures.len() >= options.max_failures {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+
+    if let Some(e) = project_error {
+        return Err(e);
+    }
+    Ok(VerifyOutcome {
+        runs,
+        deadlocks,
+        failures,
+        truncated: stats.truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_lang::monitor::{MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, Stmt};
+    use gem_lang::Expr;
+    use gem_logic::EventSel;
+    use gem_spec::{prerequisite, ElementType, SpecBuilder};
+
+    /// Problem: a "ticket" protocol — every Done is preceded by exactly
+    /// one Begin that enables it.
+    fn ticket_problem() -> Specification {
+        let ctl = ElementType::new("Ctl")
+            .event("TBegin", &[])
+            .event("TDone", &[]);
+        let mut sb = SpecBuilder::new("Ticket");
+        let c = sb.instantiate_element(&ctl, "ctl").unwrap();
+        sb.add_restriction(
+            "begin-then-done",
+            prerequisite(&c.sel("TBegin"), &c.sel("TDone")),
+        );
+        sb.finish()
+    }
+
+    fn counter_system(entries_per_proc: usize) -> MonitorSystem {
+        let monitor = MonitorDef::new("Counter").var("count", 0i64).entry(
+            "Inc",
+            &[],
+            vec![Stmt::assign("count", Expr::var("count").add(Expr::int(1)))],
+        );
+        let mut prog = MonitorProgram::new(monitor);
+        for i in 0..2 {
+            prog = prog.process(ProcessDef::new(
+                format!("p{i}"),
+                vec![
+                    ScriptStep::Call {
+                        entry: "Inc".into(),
+                        args: vec![]
+                    };
+                    entries_per_proc
+                ],
+            ));
+        }
+        MonitorSystem::new(prog)
+    }
+
+    #[test]
+    fn monitor_satisfies_ticket_protocol() {
+        let sys = counter_system(1);
+        let problem = ticket_problem();
+        let ps = problem.structure();
+        let ctl = ps.element("ctl").unwrap();
+        let tb = ps.class("TBegin").unwrap();
+        let td = ps.class("TDone").unwrap();
+        // Significant objects: entry Begin ↦ TBegin, entry End ↦ TDone.
+        let corr = Correspondence::new()
+            .map(
+                EventSel::of_class(sys.class("Begin")).at(sys.entry_element("Inc")),
+                ctl,
+                tb,
+            )
+            .map(
+                EventSel::of_class(sys.class("End")).at(sys.entry_element("Inc")),
+                ctl,
+                td,
+            );
+        let outcome = verify_system(
+            &sys,
+            &problem,
+            &corr,
+            |state| sys.computation(state).unwrap(),
+            &VerifyOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.ok(), "{outcome}");
+        assert!(outcome.exhaustive());
+        assert!(outcome.runs >= 2);
+    }
+
+    #[test]
+    fn wrong_correspondence_fails_sat() {
+        // Mapping Begin ↦ TDone breaks the prerequisite: a TDone with no
+        // TBegin enabling it.
+        let sys = counter_system(1);
+        let problem = ticket_problem();
+        let ps = problem.structure();
+        let ctl = ps.element("ctl").unwrap();
+        let td = ps.class("TDone").unwrap();
+        let corr = Correspondence::new().map(
+            EventSel::of_class(sys.class("Begin")).at(sys.entry_element("Inc")),
+            ctl,
+            td,
+        );
+        let outcome = verify_system(
+            &sys,
+            &problem,
+            &corr,
+            |state| sys.computation(state).unwrap(),
+            &VerifyOptions::default(),
+        )
+        .unwrap();
+        assert!(!outcome.ok());
+        assert!(outcome.failures[0]
+            .violated
+            .contains(&"begin-then-done".to_owned()));
+        assert!(outcome.to_string().contains("failing"));
+    }
+
+    #[test]
+    fn failure_cap_respected() {
+        let sys = counter_system(2);
+        let problem = ticket_problem();
+        let ps = problem.structure();
+        let ctl = ps.element("ctl").unwrap();
+        let td = ps.class("TDone").unwrap();
+        let corr = Correspondence::new().map(
+            EventSel::of_class(sys.class("Begin")).at(sys.entry_element("Inc")),
+            ctl,
+            td,
+        );
+        let outcome = verify_system(
+            &sys,
+            &problem,
+            &corr,
+            |state| sys.computation(state).unwrap(),
+            &VerifyOptions {
+                max_failures: 1,
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.failures.len(), 1);
+    }
+}

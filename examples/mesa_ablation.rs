@@ -1,0 +1,62 @@
+//! The Hoare/Mesa ablation (EXPERIMENTS.md E11): the §9 Readers/Writers
+//! monitor uses `IF … THEN WAIT`, which is only sound under the Hoare
+//! signal-urgent discipline its proof assumes. Re-running the *same*
+//! program text under Mesa (signal-and-continue) semantics breaks mutual
+//! exclusion — and the verifier produces the counterexample schedule.
+//! The `WHILE`-based repair is verified correct under both disciplines.
+//!
+//! Run with `cargo run --release --example mesa_ablation`.
+
+use gem_lang::monitor::{readers_writers_monitor, MonitorDef, SignalSemantics};
+use gem_problems::readers_writers::{
+    mesa_safe_readers_writers_monitor, rw_correspondence, rw_program_with_semantics, rw_spec,
+    RwVariant,
+};
+use gem_verify::{verify_system, VerifyOptions};
+
+fn check(monitor: MonitorDef, semantics: SignalSemantics) -> (bool, usize, String) {
+    let sys = rw_program_with_semantics(monitor, 1, 2, false, semantics);
+    let problem = rw_spec(3, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &problem, false);
+    let outcome = verify_system(
+        &sys,
+        &problem,
+        &corr,
+        |s| sys.computation(s).expect("acyclic"),
+        &VerifyOptions::default(),
+    )
+    .expect("correspondence consistent");
+    let detail = outcome
+        .failures
+        .first()
+        .map(|f| f.violated.join(", "))
+        .unwrap_or_default();
+    (outcome.ok(), outcome.runs, detail)
+}
+
+fn main() {
+    println!("Mutual exclusion of the Readers/Writers monitor, 1 reader + 2 writers:\n");
+    for (name, monitor) in [
+        ("paper §9 monitor (IF … THEN WAIT)", readers_writers_monitor as fn() -> MonitorDef),
+        ("repaired monitor (WHILE … DO WAIT)", mesa_safe_readers_writers_monitor),
+    ] {
+        for semantics in [SignalSemantics::Hoare, SignalSemantics::Mesa] {
+            let (ok, runs, detail) = check(monitor(), semantics);
+            println!(
+                "  {name} under {semantics:?}: {} ({runs} schedules{})",
+                if ok { "mutex HOLDS" } else { "mutex FAILS" },
+                if detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("; violated: {detail}")
+                }
+            );
+        }
+        println!();
+    }
+    println!(
+        "The §9 proof explicitly leans on Hoare's discipline (\"all waiting readers\n\
+         will be signalled before any other process executes in the monitor\");\n\
+         the ablation confirms that dependency mechanically."
+    );
+}

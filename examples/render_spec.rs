@@ -1,0 +1,13 @@
+//! Prints the generated Readers/Writers specification (§8.3, full
+//! structure with users, database group, data element, thread type, and
+//! all restrictions) in the paper's surface notation.
+//!
+//! Run with `cargo run --example render_spec`.
+
+use gem_problems::readers_writers::{rw_spec, RwVariant};
+use gem_spec::render_specification;
+
+fn main() {
+    let spec = rw_spec(2, true, RwVariant::ReadersPriority);
+    println!("{}", render_specification(&spec));
+}

@@ -1,0 +1,56 @@
+//! # gem — an executable reproduction of the GEM model
+//!
+//! GEM (the **G**roup **E**lement **M**odel) is the event-oriented model
+//! of concurrent computation of Lansky & Owicki, *GEM: A Tool for
+//! Concurrency Specification and Verification* (1983). A computation is a
+//! set of events related by the enable relation, per-element total
+//! orders, and their transitive closure — the temporal order; languages
+//! and problems are specified by logic restrictions over computations,
+//! and programs are verified by projecting their computations onto
+//! *significant objects* and checking the problem's restrictions.
+//!
+//! This crate is a facade re-exporting the workspace layers:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `gem-core` | events, elements, groups, orders, computations, histories |
+//! | [`logic`] | `gem-logic` | restriction formulae, temporal operators, checking strategies |
+//! | [`spec`] | `gem-spec` | type descriptions, abbreviations, threads, specifications |
+//! | [`lang`] | `gem-lang` | Monitor / CSP / ADA substrates + schedule explorer |
+//! | [`problems`] | `gem-problems` | buffers, Readers/Writers, distributed applications |
+//! | [`verify`] | `gem-verify` | correspondences, projection, `PROG sat P` |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gem::core::{ComputationBuilder, Structure};
+//! use gem::logic::{check, Formula, Strategy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut s = Structure::new();
+//! let act = s.add_class("Act", &[])?;
+//! let p = s.add_element("P", &[act])?;
+//! let mut b = ComputationBuilder::new(s);
+//! let e1 = b.add_event(p, act, vec![])?;
+//! let e2 = b.add_event(p, act, vec![])?;
+//! let c = b.seal()?;
+//! let safety = Formula::occurred(e2).implies(Formula::occurred(e1)).henceforth();
+//! assert!(check(&safety, &c, Strategy::default())?.holds);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for the paper's flagship verifications (the §9
+//! Readers/Writers monitor, CSP buffers, ADA rendezvous, the distributed
+//! database update, and the asynchronous Game of Life), and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gem_core as core;
+pub use gem_lang as lang;
+pub use gem_logic as logic;
+pub use gem_problems as problems;
+pub use gem_spec as spec;
+pub use gem_verify as verify;

@@ -1,0 +1,91 @@
+//! Property tests for the §8.2 restriction abbreviations: on randomly
+//! generated paired computations, `prerequisite`/`fork`/`join` hold
+//! exactly when the pairing discipline was respected.
+
+use proptest::prelude::*;
+
+use gem::core::{Computation, ComputationBuilder, Structure};
+use gem::logic::{holds_on_computation, EventSel};
+use gem::spec::{chain, fork, join, prerequisite};
+
+/// Builds a computation with `n` A→B pairs, then applies `corruption`:
+/// 0 = none, 1 = drop one enable edge, 2 = double-enable one B,
+/// 3 = one A enabling two Bs.
+fn paired(n: usize, corruption: u8) -> (Computation, EventSel, EventSel) {
+    let mut s = Structure::new();
+    let a = s.add_class("A", &[]).unwrap();
+    let b = s.add_class("B", &[]).unwrap();
+    let els: Vec<_> = (0..n)
+        .map(|i| s.add_element(format!("P{i}"), &[a, b]).unwrap())
+        .collect();
+    let mut builder = ComputationBuilder::new(s);
+    let mut a_ids = Vec::new();
+    let mut b_ids = Vec::new();
+    for &el in &els {
+        a_ids.push(builder.add_event(el, a, vec![]).unwrap());
+        b_ids.push(builder.add_event(el, b, vec![]).unwrap());
+    }
+    for i in 0..n {
+        let skip = corruption == 1 && i == 0;
+        if !skip {
+            builder.enable(a_ids[i], b_ids[i]).unwrap();
+        }
+    }
+    if corruption == 2 && n >= 2 {
+        builder.enable(a_ids[1], b_ids[0]).unwrap(); // b0 has two A enablers
+    }
+    if corruption == 3 && n >= 2 {
+        builder.enable(a_ids[0], b_ids[1]).unwrap(); // a0 enables two Bs
+    }
+    (
+        builder.seal().unwrap(),
+        EventSel::of_class(a),
+        EventSel::of_class(b),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn prerequisite_iff_discipline(n in 1usize..6, corruption in 0u8..4) {
+        let corruption = if n < 2 { 0 } else { corruption };
+        let (c, a, b) = paired(n, corruption);
+        let holds = holds_on_computation(&prerequisite(&a, &b), &c).unwrap();
+        prop_assert_eq!(holds, corruption == 0, "corruption {}", corruption);
+    }
+
+    #[test]
+    fn chain_of_pairs(n in 1usize..5) {
+        // A → B as a two-stage chain is the same as prerequisite.
+        let (c, a, b) = paired(n, 0);
+        prop_assert!(holds_on_computation(&chain(&[a, b]), &c).unwrap());
+    }
+}
+
+/// FORK / JOIN on an explicitly built diamond, plus refutations.
+#[test]
+fn fork_join_diamond() {
+    let mut s = Structure::new();
+    let root = s.add_class("Root", &[]).unwrap();
+    let l = s.add_class("L", &[]).unwrap();
+    let r = s.add_class("R", &[]).unwrap();
+    let sink = s.add_class("Sink", &[]).unwrap();
+    let el = s.add_element("E", &[root, l, r, sink]).unwrap();
+    let mut b = ComputationBuilder::new(s);
+    let e_root = b.add_event(el, root, vec![]).unwrap();
+    let e_l = b.add_event(el, l, vec![]).unwrap();
+    let e_r = b.add_event(el, r, vec![]).unwrap();
+    let e_sink = b.add_event(el, sink, vec![]).unwrap();
+    b.enable(e_root, e_l).unwrap();
+    b.enable(e_root, e_r).unwrap();
+    b.enable(e_l, e_sink).unwrap();
+    b.enable(e_r, e_sink).unwrap();
+    let c = b.seal().unwrap();
+    let sel = |cls| EventSel::of_class(cls);
+    assert!(holds_on_computation(&fork(&sel(root), &[sel(l), sel(r)]), &c).unwrap());
+    assert!(holds_on_computation(&join(&[sel(l), sel(r)], &sel(sink)), &c).unwrap());
+    // Refutation: Sink is not a fork target of L (L enables it, but no
+    // Root→Sink pairing exists).
+    assert!(!holds_on_computation(&fork(&sel(root), &[sel(sink)]), &c).unwrap());
+}

@@ -1,0 +1,302 @@
+//! Property-based tests of the core GEM invariants, driven by random
+//! structures, computations, and schedules.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use proptest::prelude::*;
+
+use gem::core::{
+    check_legality, for_each_history, for_each_linearization, ComputationBuilder, Computation,
+    DenseBitSet, EventId, History, HistorySequence, Structure,
+};
+use gem::logic::{holds_on_computation, EventSel, Formula};
+
+/// Strategy: a random DAG computation over up to `max_el` elements and
+/// `max_ev` events; edges only point from lower to higher event ids, so
+/// sealing always succeeds.
+fn computation_strategy(max_el: usize, max_ev: usize) -> impl Strategy<Value = Computation> {
+    (1..=max_el, 1..=max_ev).prop_flat_map(move |(n_el, n_ev)| {
+        let assignments = proptest::collection::vec(0..n_el, n_ev);
+        let edges = proptest::collection::vec((0..n_ev, 0..n_ev), 0..n_ev * 2);
+        (assignments, edges).prop_map(move |(assignments, edges)| {
+            let mut s = Structure::new();
+            let act = s.add_class("Act", &[]).expect("class");
+            let els: Vec<_> = (0..n_el)
+                .map(|i| s.add_element(format!("P{i}"), &[act]).expect("element"))
+                .collect();
+            let mut b = ComputationBuilder::new(s);
+            let ids: Vec<_> = assignments
+                .iter()
+                .map(|&el| b.add_event(els[el], act, vec![]).expect("event"))
+                .collect();
+            for (x, y) in edges {
+                if x < y {
+                    b.enable(ids[x], ids[y]).expect("edge");
+                }
+            }
+            b.seal().expect("forward edges are acyclic")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The temporal order is a strict partial order: irreflexive,
+    /// antisymmetric, transitive, and it extends both constituent orders.
+    #[test]
+    fn temporal_order_is_strict_partial(c in computation_strategy(4, 12)) {
+        let ids: Vec<EventId> = c.event_ids().collect();
+        for &a in &ids {
+            prop_assert!(!c.temporally_precedes(a, a), "irreflexive");
+            for &b in &ids {
+                if c.temporally_precedes(a, b) {
+                    prop_assert!(!c.temporally_precedes(b, a), "antisymmetric");
+                }
+                if c.enables(a, b) || c.element_precedes(a, b) {
+                    prop_assert!(c.temporally_precedes(a, b), "extends ⊳ and ⇒el");
+                }
+                for &d in &ids {
+                    if c.temporally_precedes(a, b) && c.temporally_precedes(b, d) {
+                        prop_assert!(c.temporally_precedes(a, d), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Concurrency is symmetric and excludes ordered pairs; element order
+    /// is total within an element.
+    #[test]
+    fn concurrency_and_element_order(c in computation_strategy(4, 10)) {
+        let ids: Vec<EventId> = c.event_ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert_eq!(c.concurrent(a, b), c.concurrent(b, a));
+                if c.concurrent(a, b) {
+                    prop_assert!(!c.temporally_precedes(a, b));
+                    prop_assert!(c.event(a).element() != c.event(b).element(),
+                        "same-element events are never concurrent");
+                }
+                if a != b && c.event(a).element() == c.event(b).element() {
+                    prop_assert!(c.element_precedes(a, b) || c.element_precedes(b, a));
+                }
+            }
+        }
+    }
+
+    /// Every enumerated history is downward-closed, enumeration is
+    /// duplicate-free, and the complete history is always reached.
+    #[test]
+    fn histories_are_downward_closed_prefixes(c in computation_strategy(3, 9)) {
+        let mut seen = BTreeSet::new();
+        let mut found_complete = false;
+        for_each_history(&c, 20_000, |h| {
+            let key: Vec<usize> = h.iter().map(|e| e.index()).collect();
+            assert!(seen.insert(key), "duplicate history");
+            for e in h.iter() {
+                for p in c.closure().predecessors(e).iter() {
+                    assert!(h.contains(EventId::from_raw(p as u32)), "not a prefix");
+                }
+            }
+            if h.is_complete(&c) {
+                found_complete = true;
+            }
+            ControlFlow::Continue(())
+        });
+        prop_assert!(found_complete);
+    }
+
+    /// Every enumerated linearization is a topological order, and turning
+    /// it into a history sequence yields a valid vhs whose tails are vhs.
+    #[test]
+    fn linearizations_are_topological(c in computation_strategy(3, 8)) {
+        for_each_linearization(&c, 2_000, |order| {
+            assert_eq!(order.len(), c.event_count());
+            for (i, &a) in order.iter().enumerate() {
+                for &b in &order[i + 1..] {
+                    assert!(!c.temporally_precedes(b, a), "order respects ⇒");
+                }
+            }
+            let seq = HistorySequence::from_linearization(&c, order);
+            assert!(HistorySequence::new(&c, seq.histories().to_vec()).is_ok());
+            for i in 0..seq.len() {
+                assert!(
+                    HistorySequence::new(&c, seq.tail(i).to_vec()).is_ok(),
+                    "tail closure (§7)"
+                );
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    /// Generated computations with only intra-structure edges are legal,
+    /// and along any greedy extension, `potential(e)` holds exactly of
+    /// the frontier while `new(e)` holds exactly of the occurred events
+    /// with no occurred successor.
+    #[test]
+    fn frontier_potential_new_consistency(c in computation_strategy(3, 8)) {
+        use gem::logic::holds_on_history;
+        prop_assert!(check_legality(&c).is_empty());
+        let mut h = History::empty(&c);
+        loop {
+            let frontier = h.frontier(&c);
+            for e in c.event_ids() {
+                let pot = holds_on_history(&Formula::potential(e), &c, &h).unwrap();
+                prop_assert_eq!(pot, frontier.contains(&e), "potential = frontier");
+                let is_new = holds_on_history(&Formula::is_new(e), &c, &h).unwrap();
+                let expect_new = h.contains(e)
+                    && c.closure()
+                        .successors(e)
+                        .iter()
+                        .all(|s| !h.contains(EventId::from_raw(s as u32)));
+                prop_assert_eq!(is_new, expect_new, "new = maximal in history");
+            }
+            match frontier.first() {
+                Some(&e) => h.try_insert(&c, e).expect("frontier insertable"),
+                None => break,
+            }
+        }
+        prop_assert!(h.is_complete(&c));
+        // On the complete computation nothing is potential.
+        for e in c.event_ids() {
+            prop_assert!(!holds_on_computation(&Formula::potential(e), &c).unwrap());
+        }
+    }
+
+    /// Histories form a lattice: join/meet of histories are histories
+    /// (downward-closed), and satisfy the lattice laws.
+    #[test]
+    fn histories_form_a_lattice(c in computation_strategy(3, 8)) {
+        // Collect a few histories deterministically.
+        let mut histories = Vec::new();
+        for_each_history(&c, 12, |h| {
+            histories.push(h.clone());
+            ControlFlow::Continue(())
+        });
+        for a in &histories {
+            for b in &histories {
+                let j = a.join(b);
+                let m = a.meet(b);
+                // Results are downward-closed (constructible as histories).
+                prop_assert!(History::from_events(&c, j.iter()).is_ok());
+                prop_assert!(History::from_events(&c, m.iter()).is_ok());
+                // Lattice laws.
+                prop_assert!(a.is_prefix_of(&j) && b.is_prefix_of(&j));
+                prop_assert!(m.is_prefix_of(a) && m.is_prefix_of(b));
+                prop_assert_eq!(&a.join(a), a);
+                prop_assert_eq!(&a.meet(a), a);
+                prop_assert_eq!(a.join(b), b.join(a));
+                prop_assert_eq!(a.meet(b), b.meet(a));
+                // Absorption: a ∨ (a ∧ b) = a.
+                prop_assert_eq!(&a.join(&a.meet(b)), a);
+            }
+        }
+    }
+
+    /// DenseBitSet behaves like a BTreeSet model.
+    #[test]
+    fn bitset_model(ops in proptest::collection::vec((0usize..128, any::<bool>()), 0..200)) {
+        let mut bs = DenseBitSet::new(128);
+        let mut model = BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(i), model.insert(i));
+            } else {
+                prop_assert_eq!(bs.remove(i), model.remove(&i));
+            }
+            prop_assert_eq!(bs.len(), model.len());
+        }
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Quantifier duality: ¬∃x.φ ⇔ ∀x.¬φ on arbitrary computations.
+    #[test]
+    fn quantifier_duality(c in computation_strategy(3, 8)) {
+        let body = |v: &str| Formula::is_new(v);
+        let exists = Formula::exists("x", EventSel::any(), body("x"));
+        let forall_not = Formula::forall("x", EventSel::any(), body("x").not());
+        let lhs = holds_on_computation(&exists.clone().not(), &c).unwrap();
+        let rhs = holds_on_computation(&forall_not, &c).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// `retagged` preserves every order and the event data.
+    #[test]
+    fn retagging_preserves_structure(c in computation_strategy(3, 8)) {
+        use gem::core::{ThreadTag, ThreadTypeId};
+        let tag = ThreadTag::new(ThreadTypeId::from_raw(0), 1);
+        let t = c.retagged(|_| vec![tag]);
+        prop_assert_eq!(t.event_count(), c.event_count());
+        for a in c.event_ids() {
+            prop_assert!(t.event(a).in_thread(tag));
+            prop_assert_eq!(t.event(a).class(), c.event(a).class());
+            for b in c.event_ids() {
+                prop_assert_eq!(t.temporally_precedes(a, b), c.temporally_precedes(a, b));
+                prop_assert_eq!(t.enables(a, b), c.enables(a, b));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ◻-safety verdicts agree between singleton-step (linearization) and
+    /// fully general antichain-step vhs semantics: every coarse-step
+    /// history is an order ideal, and every ideal lies on a linearization.
+    #[test]
+    fn step_and_linearization_safety_agree(c in computation_strategy(3, 6)) {
+        use gem::core::for_each_step_sequence;
+        use gem::logic::{check, holds_on_sequence, Strategy};
+        if c.event_count() < 2 {
+            return Ok(());
+        }
+        let e0 = EventId::from_raw(0);
+        let e1 = EventId::from_raw(1);
+        let f = Formula::occurred(e1).implies(Formula::occurred(e0)).henceforth();
+        let lin = check(&f, &c, Strategy::Linearizations { limit: 50_000 })
+            .unwrap()
+            .holds;
+        let mut steps_hold = true;
+        for_each_step_sequence(&c, 20_000, |seq| {
+            if !holds_on_sequence(&f, &c, seq).unwrap() {
+                steps_hold = false;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        prop_assert_eq!(lin, steps_hold);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checking a safety formula over all linearizations agrees with a
+    /// brute-force check over all histories for ◻(immediate) formulas.
+    #[test]
+    fn henceforth_agrees_with_history_enumeration(c in computation_strategy(3, 7)) {
+        use gem::logic::{check, holds_on_history, Strategy};
+        if c.event_count() < 2 {
+            return Ok(());
+        }
+        let e0 = EventId::from_raw(0);
+        let e1 = EventId::from_raw(1);
+        let imm = Formula::occurred(e1).implies(Formula::occurred(e0));
+        let via_sequences = check(&imm.clone().henceforth(), &c, Strategy::Linearizations { limit: 100_000 })
+            .unwrap()
+            .holds;
+        let mut via_histories = true;
+        for_each_history(&c, 100_000, |h| {
+            if !holds_on_history(&imm, &c, h).unwrap() {
+                via_histories = false;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        prop_assert_eq!(via_sequences, via_histories);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the §9 projection: on randomly scheduled monitor
+//! programs, the projection onto significant objects must preserve
+//! behaviour — the projected temporal order is exactly the restriction of
+//! the program's, and projected enable edges only connect events that were
+//! temporally ordered in the program.
+
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+
+use gem::core::{Computation, EventId, Value};
+use gem::lang::monitor::{MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, Stmt};
+use gem::lang::{Explorer, Expr};
+use gem::logic::EventSel;
+use gem::spec::{ElementType, SpecBuilder, Specification};
+use gem::verify::{project, Correspondence};
+
+/// A random monitor program: `procs` processes, each performing a random
+/// sequence of `Inc`/`Dec` entry calls.
+fn program_strategy() -> impl Strategy<Value = MonitorProgram> {
+    let script = proptest::collection::vec(prop_oneof![Just("Inc"), Just("Dec")], 1..4);
+    proptest::collection::vec(script, 1..4).prop_map(|scripts| {
+        let monitor = MonitorDef::new("Counter")
+            .var("x", 0i64)
+            .entry(
+                "Inc",
+                &[],
+                vec![Stmt::assign("x", Expr::var("x").add(Expr::int(1)))],
+            )
+            .entry(
+                "Dec",
+                &[],
+                vec![Stmt::assign("x", Expr::var("x").sub(Expr::int(1)))],
+            );
+        let mut prog = MonitorProgram::new(monitor);
+        for (i, script) in scripts.into_iter().enumerate() {
+            prog = prog.process(ProcessDef::new(
+                format!("p{i}"),
+                script
+                    .into_iter()
+                    .map(|e| ScriptStep::Call {
+                        entry: e.into(),
+                        args: vec![],
+                    })
+                    .collect(),
+            ));
+        }
+        prog
+    })
+}
+
+fn problem() -> Specification {
+    let ctl = ElementType::new("Ctl")
+        .event("Up", &["v"])
+        .event("Down", &["v"]);
+    let mut sb = SpecBuilder::new("CounterProblem");
+    sb.instantiate_element(&ctl, "ctl").unwrap();
+    sb.finish()
+}
+
+fn correspondence(sys: &MonitorSystem, spec: &Specification) -> Correspondence {
+    let ps = spec.structure();
+    let ctl = ps.element("ctl").unwrap();
+    Correspondence::new()
+        .map_with_params(
+            EventSel::of_class(sys.class("Assign"))
+                .at(sys.var_element("x"))
+                .with_param(1, "Inc"),
+            ctl,
+            ps.class("Up").unwrap(),
+            &[(0, 0)],
+        )
+        .map_with_params(
+            EventSel::of_class(sys.class("Assign"))
+                .at(sys.var_element("x"))
+                .with_param(1, "Dec"),
+            ctl,
+            ps.class("Down").unwrap(),
+            &[(0, 0)],
+        )
+}
+
+/// Significant events of the program computation, in topological order
+/// (matching the projection's event numbering).
+fn significant(sys: &MonitorSystem, c: &Computation) -> Vec<EventId> {
+    let x_el = sys.var_element("x");
+    let assign = sys.class("Assign");
+    c.closure()
+        .topological()
+        .iter()
+        .copied()
+        .filter(|&e| {
+            let ev = c.event(e);
+            ev.element() == x_el
+                && ev.class() == assign
+                && ev.param(1) != Some(&Value::Str("init".into()))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn projection_preserves_behaviour(prog in program_strategy()) {
+        let sys = MonitorSystem::new(prog);
+        let spec = problem();
+        let corr = correspondence(&sys, &spec);
+        let mut checked = 0usize;
+        Explorer::with_max_runs(8).for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).expect("acyclic");
+            let sig = significant(&sys, &c);
+            let p = project(&c, spec.structure_arc(), &corr).expect("consistent");
+            assert_eq!(p.event_count(), sig.len(), "one image per significant event");
+            for (i, &a) in sig.iter().enumerate() {
+                let pa = EventId::from_raw(i as u32);
+                // Values carried over.
+                assert_eq!(p.event(pa).param(0), c.event(a).param(0));
+                for (j, &b) in sig.iter().enumerate() {
+                    let pb = EventId::from_raw(j as u32);
+                    // Behaviour preservation: the projected temporal order
+                    // is exactly the restriction of the program's.
+                    assert_eq!(
+                        p.temporally_precedes(pa, pb),
+                        c.temporally_precedes(a, b),
+                        "temporal order must be the restriction"
+                    );
+                    // Bridged enables are sound: they only connect events
+                    // ordered in the program.
+                    if p.enables(pa, pb) {
+                        assert!(c.temporally_precedes(a, b));
+                    }
+                }
+            }
+            checked += 1;
+            ControlFlow::Continue(())
+        });
+        prop_assert!(checked >= 1);
+    }
+
+    /// Monitor runs always end with x == #Inc − #Dec, on every schedule —
+    /// the substrate's functional determinism.
+    #[test]
+    fn counter_functional_determinism(prog in program_strategy()) {
+        let expected: i64 = prog
+            .processes
+            .iter()
+            .flat_map(|p| p.script.iter())
+            .map(|s| match s {
+                ScriptStep::Call { entry, .. } if entry == "Inc" => 1,
+                ScriptStep::Call { .. } => -1,
+                _ => 0,
+            })
+            .sum();
+        let sys = MonitorSystem::new(prog);
+        Explorer::with_max_runs(16).for_each_run(&sys, |state, _| {
+            let c = sys.computation(state).expect("acyclic");
+            assert!(gem::core::check_legality(&c).is_empty());
+            ControlFlow::Continue(())
+        });
+        // One full run to read the final value.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (state, _) = Explorer::default().random_run(&sys, &mut rng);
+        let c = sys.computation(&state).expect("acyclic");
+        // The last assignment at x carries the final value.
+        let x_el = sys.var_element("x");
+        let last = *c.events_at(x_el).last().expect("initialized");
+        prop_assert_eq!(c.event(last).param(0), Some(&Value::Int(expected)));
+    }
+}

@@ -1,0 +1,109 @@
+//! Soundness of [`gem::logic::simplify`]: on random formulas and random
+//! computations, the simplified formula evaluates identically to the
+//! original — on the complete computation, on every history, and over
+//! linearization sequences.
+
+use std::ops::ControlFlow;
+
+use proptest::prelude::*;
+
+use gem::core::{
+    for_each_history, ComputationBuilder, Computation, EventId, HistorySequence, Structure,
+};
+use gem::logic::{
+    formula_size, holds_on_history, holds_on_sequence, simplify, EventSel, Formula,
+};
+
+fn small_computation() -> Computation {
+    let mut s = Structure::new();
+    let a = s.add_class("A", &[]).unwrap();
+    let b = s.add_class("B", &[]).unwrap();
+    let p = s.add_element("P", &[a, b]).unwrap();
+    let q = s.add_element("Q", &[a, b]).unwrap();
+    let mut builder = ComputationBuilder::new(s);
+    let e0 = builder.add_event(p, a, vec![]).unwrap();
+    let e1 = builder.add_event(p, b, vec![]).unwrap();
+    let e2 = builder.add_event(q, a, vec![]).unwrap();
+    builder.enable(e0, e2).unwrap();
+    let _ = e1;
+    builder.seal().unwrap()
+}
+
+/// Random formula over a handful of atoms on the fixed computation.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        Just(Formula::occurred(EventId::from_raw(0))),
+        Just(Formula::occurred(EventId::from_raw(1))),
+        Just(Formula::is_new(EventId::from_raw(2))),
+        Just(Formula::potential(EventId::from_raw(2))),
+        Just(Formula::enables(EventId::from_raw(0), EventId::from_raw(2))),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            inner.clone().prop_map(|f| f.henceforth()),
+            inner.clone().prop_map(|f| f.eventually()),
+            inner
+                .clone()
+                .prop_map(|f| Formula::forall("x", EventSel::any(), f)),
+            inner
+                .clone()
+                .prop_map(|f| Formula::exists("x", EventSel::any(), f)),
+            inner
+                .clone()
+                .prop_map(|f| Formula::at_most_one("x", EventSel::any(), f)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simplify_is_sound(f in formula_strategy()) {
+        let c = small_computation();
+        let g = simplify(&f);
+        prop_assert!(formula_size(&g) <= formula_size(&f), "never grows");
+        // Agreement on every history (covers immediate semantics) — note
+        // ◻/◇ on a singleton sequence degenerate consistently for both.
+        let mut ok = true;
+        for_each_history(&c, 10_000, |h| {
+            let lhs = holds_on_history(&f, &c, h);
+            let rhs = holds_on_history(&g, &c, h);
+            // Free variables never occur (quantifiers bind "x" wherever
+            // used), so evaluation cannot error.
+            if lhs.unwrap() != rhs.unwrap() {
+                ok = false;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        prop_assert!(ok, "history disagreement:\n  {f:?}\n  {g:?}");
+        // Agreement over full linearization sequences (temporal
+        // semantics).
+        let mut ok = true;
+        gem::core::for_each_linearization(&c, 100, |order| {
+            let seq = HistorySequence::from_linearization(&c, order);
+            let lhs = holds_on_sequence(&f, &c, seq.histories()).unwrap();
+            let rhs = holds_on_sequence(&g, &c, seq.histories()).unwrap();
+            if lhs != rhs {
+                ok = false;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        prop_assert!(ok, "sequence disagreement:\n  {f:?}\n  {g:?}");
+    }
+
+    #[test]
+    fn simplify_is_idempotent(f in formula_strategy()) {
+        let g = simplify(&f);
+        prop_assert_eq!(simplify(&g), g);
+    }
+}
