@@ -17,27 +17,54 @@ fn bench_buffers(c: &mut Criterion) {
         let corr = one_slot::monitor_correspondence(&sys, &problem);
         c.bench_function("buffer_verify/one_slot_monitor", |b| {
             b.iter(|| {
-                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
-                    .map(|o| { assert!(o.ok()); o.runs })
-                    .unwrap()
+                verify_system(
+                    &sys,
+                    &problem,
+                    &corr,
+                    |s| sys.computation(s).unwrap(),
+                    &VerifyOptions::default(),
+                )
+                .map(|o| {
+                    assert!(o.ok());
+                    o.runs
+                })
+                .unwrap()
             });
         });
         let sys = one_slot::csp_solution(ITEMS);
         let corr = one_slot::csp_correspondence(&sys, &problem);
         c.bench_function("buffer_verify/one_slot_csp", |b| {
             b.iter(|| {
-                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
-                    .map(|o| { assert!(o.ok()); o.runs })
-                    .unwrap()
+                verify_system(
+                    &sys,
+                    &problem,
+                    &corr,
+                    |s| sys.computation(s).unwrap(),
+                    &VerifyOptions::default(),
+                )
+                .map(|o| {
+                    assert!(o.ok());
+                    o.runs
+                })
+                .unwrap()
             });
         });
         let sys = one_slot::ada_solution(ITEMS);
         let corr = one_slot::ada_correspondence(&sys, &problem);
         c.bench_function("buffer_verify/one_slot_ada", |b| {
             b.iter(|| {
-                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
-                    .map(|o| { assert!(o.ok()); o.runs })
-                    .unwrap()
+                verify_system(
+                    &sys,
+                    &problem,
+                    &corr,
+                    |s| sys.computation(s).unwrap(),
+                    &VerifyOptions::default(),
+                )
+                .map(|o| {
+                    assert!(o.ok());
+                    o.runs
+                })
+                .unwrap()
             });
         });
     }
@@ -48,27 +75,54 @@ fn bench_buffers(c: &mut Criterion) {
         let corr = bounded::monitor_correspondence(&sys, &problem, CAP);
         c.bench_function("buffer_verify/bounded_monitor", |b| {
             b.iter(|| {
-                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
-                    .map(|o| { assert!(o.ok()); o.runs })
-                    .unwrap()
+                verify_system(
+                    &sys,
+                    &problem,
+                    &corr,
+                    |s| sys.computation(s).unwrap(),
+                    &VerifyOptions::default(),
+                )
+                .map(|o| {
+                    assert!(o.ok());
+                    o.runs
+                })
+                .unwrap()
             });
         });
         let sys = bounded::csp_solution(BITEMS, CAP);
         let corr = bounded::csp_correspondence(&sys, &problem, CAP);
         c.bench_function("buffer_verify/bounded_csp", |b| {
             b.iter(|| {
-                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
-                    .map(|o| { assert!(o.ok()); o.runs })
-                    .unwrap()
+                verify_system(
+                    &sys,
+                    &problem,
+                    &corr,
+                    |s| sys.computation(s).unwrap(),
+                    &VerifyOptions::default(),
+                )
+                .map(|o| {
+                    assert!(o.ok());
+                    o.runs
+                })
+                .unwrap()
             });
         });
         let sys = bounded::ada_solution(BITEMS, CAP);
         let corr = bounded::ada_correspondence(&sys, &problem, CAP);
         c.bench_function("buffer_verify/bounded_ada", |b| {
             b.iter(|| {
-                verify_system(&sys, &problem, &corr, |s| sys.computation(s).unwrap(), &VerifyOptions::default())
-                    .map(|o| { assert!(o.ok()); o.runs })
-                    .unwrap()
+                verify_system(
+                    &sys,
+                    &problem,
+                    &corr,
+                    |s| sys.computation(s).unwrap(),
+                    &VerifyOptions::default(),
+                )
+                .map(|o| {
+                    assert!(o.ok());
+                    o.runs
+                })
+                .unwrap()
             });
         });
     }

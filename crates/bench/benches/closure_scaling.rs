@@ -36,12 +36,7 @@ fn bench_closure(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("query_dfs", n), &n, |b, _| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .filter(|&&(x, y)| dfs.precedes(x, y))
-                    .count()
-            });
+            b.iter(|| queries.iter().filter(|&&(x, y)| dfs.precedes(x, y)).count());
         });
     }
     group.finish();

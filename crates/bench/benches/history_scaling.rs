@@ -30,9 +30,7 @@ fn bench_history(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("vhs_check", &label), &label, |b, _| {
             let seq = HistorySequence::greedy_steps(&comp);
-            b.iter(|| {
-                HistorySequence::new(&comp, seq.histories().to_vec()).expect("valid")
-            });
+            b.iter(|| HistorySequence::new(&comp, seq.histories().to_vec()).expect("valid"));
         });
         // Safety: the first event of element P0 always precedes the last
         // event of the same element.

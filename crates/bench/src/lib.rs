@@ -38,7 +38,11 @@ pub fn layered_computation(layers: usize, width: usize, fan_in: usize) -> Comput
 
 /// The edge list of a layered DAG, for benching closure construction
 /// without the computation wrapper.
-pub fn layered_edges(layers: usize, width: usize, fan_in: usize) -> (usize, Vec<(EventId, EventId)>) {
+pub fn layered_edges(
+    layers: usize,
+    width: usize,
+    fan_in: usize,
+) -> (usize, Vec<(EventId, EventId)>) {
     let c = layered_computation(layers, width, fan_in);
     (c.event_count(), c.enable_edges().collect())
 }

@@ -19,6 +19,15 @@
 //! | `life` | `grid=block\|blinker gens=2` |
 //! | `philosophers` | `n=3 meals=1 order=naive\|asymmetric` |
 //!
+//! Observability flags (accepted anywhere on the command line, either
+//! `--flag value` or `--flag=value`; see `docs/OBSERVABILITY.md`):
+//!
+//! * `--stats` — print a counter/timer table to stderr after the command
+//! * `--stats-json <path>` — write the same report as deterministic JSON
+//! * `--trace <path>` — stream every probe event as JSONL
+//! * `--heartbeat <secs>` — progress line cadence on stderr (default 5;
+//!   0 disables)
+//!
 //! The command dispatch lives in this library so it can be tested; the
 //! `gem` binary is a thin wrapper.
 
@@ -28,10 +37,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::ControlFlow;
+use std::sync::Arc;
+use std::time::Duration;
 
 use gem_lang::monitor::readers_writers_monitor;
-use gem_lang::{Explorer, System};
 use gem_lang::monitor::SignalSemantics;
+use gem_lang::{Explorer, System};
+use gem_obs::{FanoutProbe, HeartbeatProbe, NoopProbe, Probe, Span, StatsProbe, TraceProbe};
 use gem_problems::readers_writers::{
     mesa_safe_readers_writers_monitor, rw_correspondence, rw_program_with_semantics, rw_spec,
     writers_priority_monitor, RwVariant,
@@ -246,8 +258,7 @@ fn instance(problem: &str, p: &Params) -> Result<Instance, CliError> {
             };
             let sys = gem_problems::philosophers::philosophers_program(n, meals, order);
             let spec = gem_problems::philosophers::philosophers_spec(n);
-            let corr =
-                gem_problems::philosophers::philosophers_correspondence(&sys, &spec, n);
+            let corr = gem_problems::philosophers::philosophers_correspondence(&sys, &spec, n);
             Ok(Instance::Ada {
                 sys,
                 spec,
@@ -272,15 +283,128 @@ fn instance(problem: &str, p: &Params) -> Result<Instance, CliError> {
                 max_runs: 50, // life's schedule space is astronomical
             })
         }
-        other => Err(err(format!(
-            "unknown problem {other:?}; try `gem list`"
-        ))),
+        other => Err(err(format!("unknown problem {other:?}; try `gem list`"))),
     }
 }
 
 /// The problems `gem list` reports.
-pub const PROBLEMS: [&str; 6] =
-    ["one-slot", "bounded", "rw", "db-update", "life", "philosophers"];
+pub const PROBLEMS: [&str; 6] = [
+    "one-slot",
+    "bounded",
+    "rw",
+    "db-update",
+    "life",
+    "philosophers",
+];
+
+/// Observability flags, stripped from the raw argument list before
+/// command dispatch.
+#[derive(Clone, Debug, Default)]
+struct ObsFlags {
+    stats: bool,
+    stats_json: Option<String>,
+    trace: Option<String>,
+    heartbeat: Option<f64>,
+}
+
+/// Splits `--stats` / `--stats-json` / `--trace` / `--heartbeat` (either
+/// `--flag value` or `--flag=value`) out of `args`, leaving positional
+/// arguments and `key=value` parameters untouched.
+fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
+    let mut flags = ObsFlags::default();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_owned())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |flag: &str| -> Result<String, CliError> {
+            if let Some(v) = inline.clone() {
+                return Ok(v);
+            }
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        match name {
+            "--stats" => {
+                if inline.is_some() {
+                    return Err(err("--stats takes no value"));
+                }
+                flags.stats = true;
+            }
+            "--stats-json" => flags.stats_json = Some(value("--stats-json")?),
+            "--trace" => flags.trace = Some(value("--trace")?),
+            "--heartbeat" => {
+                let v = value("--heartbeat")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| err(format!("--heartbeat must be seconds, got {v:?}")))?;
+                if secs.is_nan() || secs < 0.0 {
+                    return Err(err(format!("--heartbeat must be >= 0, got {v:?}")));
+                }
+                flags.heartbeat = Some(secs);
+            }
+            "--help" => rest.push(arg.clone()),
+            _ if name.starts_with("--") => {
+                return Err(err(format!("unknown flag {name:?}\n{}", usage())))
+            }
+            _ => rest.push(arg.clone()),
+        }
+        i += 1;
+    }
+    Ok((rest, flags))
+}
+
+/// The probe sinks a command line asked for. Held separately from the
+/// composed probe so the stats sink can be read back after the command.
+struct ObsSetup {
+    probe: Arc<dyn Probe>,
+    stats_sink: Option<Arc<StatsProbe>>,
+    trace_sink: Option<Arc<TraceProbe>>,
+}
+
+fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
+    let stats_sink = if flags.stats || flags.stats_json.is_some() {
+        Some(Arc::new(StatsProbe::new()))
+    } else {
+        None
+    };
+    let trace_sink = match &flags.trace {
+        Some(path) => {
+            Some(Arc::new(TraceProbe::create(path).map_err(|e| {
+                err(format!("cannot create trace file {path:?}: {e}"))
+            })?))
+        }
+        None => None,
+    };
+    let heartbeat_secs = flags.heartbeat.unwrap_or(5.0);
+    let mut sinks: Vec<Arc<dyn Probe>> = Vec::new();
+    if let Some(s) = &stats_sink {
+        sinks.push(s.clone());
+    }
+    if let Some(t) = &trace_sink {
+        sinks.push(t.clone());
+    }
+    if heartbeat_secs > 0.0 {
+        sinks.push(Arc::new(HeartbeatProbe::new(Duration::from_secs_f64(
+            heartbeat_secs,
+        ))));
+    }
+    let probe: Arc<dyn Probe> = match sinks.len() {
+        0 => Arc::new(NoopProbe),
+        1 => sinks.pop().expect("len checked"),
+        _ => Arc::new(FanoutProbe::new(sinks)),
+    };
+    Ok(ObsSetup {
+        probe,
+        stats_sink,
+        trace_sink,
+    })
+}
 
 fn format_outcome(outcome: &VerifyOutcome) -> String {
     let verdict = if outcome.ok() { "HOLDS" } else { "FAILS" };
@@ -297,13 +421,51 @@ fn format_outcome(outcome: &VerifyOutcome) -> String {
 /// Executes a command line (without the leading program name), returning
 /// the text to print.
 ///
+/// Observability flags (`--stats`, `--stats-json <path>`,
+/// `--trace <path>`, `--heartbeat <secs>`) are accepted anywhere among
+/// the arguments; stats tables and heartbeats go to stderr so stdout
+/// stays machine-consumable.
+///
 /// # Errors
 ///
-/// Returns [`CliError`] for unknown commands/problems or bad parameters.
+/// Returns [`CliError`] for unknown commands/problems, bad parameters, or
+/// unwritable stats/trace files.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let (cmd, rest) = args
-        .split_first()
-        .ok_or_else(|| err(usage()))?;
+    let (args, flags) = split_flags(args)?;
+    let obs = obs_setup(&flags)?;
+    let result = {
+        let _total = Span::enter(obs.probe.as_ref(), "total");
+        dispatch(&args, &obs.probe)
+    };
+    // Reports are emitted even when the command failed: a truncated or
+    // failing sweep's counters are exactly what one wants to inspect.
+    if let Some(stats) = &obs.stats_sink {
+        let mut report = stats.report();
+        if let Some(cmd) = args.first() {
+            report.meta.insert("command".to_owned(), cmd.clone());
+        }
+        if let Some(problem) = args.get(1) {
+            report.meta.insert("problem".to_owned(), problem.clone());
+        }
+        if args.len() > 2 {
+            report.meta.insert("params".to_owned(), args[2..].join(" "));
+        }
+        if flags.stats {
+            eprintln!("{report}");
+        }
+        if let Some(path) = &flags.stats_json {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| err(format!("cannot write stats to {path:?}: {e}")))?;
+        }
+    }
+    if let Some(trace) = &obs.trace_sink {
+        trace.flush();
+    }
+    result
+}
+
+fn dispatch(args: &[String], probe: &Arc<dyn Probe>) -> Result<String, CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     match cmd.as_str() {
         "list" => Ok(PROBLEMS.join("\n")),
         "render" | "verify" | "explore" | "dot" | "deadlock" => {
@@ -322,13 +484,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     Ok(render_specification(spec))
                 }
                 "verify" => {
+                    let options = |max_runs: usize| VerifyOptions {
+                        explorer: Explorer::with_max_runs(max_runs),
+                        probe: probe.clone(),
+                        ..VerifyOptions::default()
+                    };
                     let outcome = match &inst {
                         Instance::Monitor { sys, spec, corr } => verify_system(
                             sys,
                             spec,
                             corr,
                             |s| sys.computation(s).expect("acyclic"),
-                            &VerifyOptions::default(),
+                            &options(1_000_000),
                         ),
                         Instance::Csp {
                             sys,
@@ -340,10 +507,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             spec,
                             corr,
                             |s| sys.computation(s).expect("acyclic"),
-                            &VerifyOptions {
-                                explorer: Explorer::with_max_runs(*max_runs),
-                                ..VerifyOptions::default()
-                            },
+                            &options(*max_runs),
                         ),
                         Instance::Ada {
                             sys,
@@ -355,20 +519,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             spec,
                             corr,
                             |s| sys.computation(s).expect("acyclic"),
-                            &VerifyOptions {
-                                explorer: Explorer::with_max_runs(*max_runs),
-                                ..VerifyOptions::default()
-                            },
+                            &options(*max_runs),
                         ),
                     }
                     .map_err(|e| err(format!("projection failed: {e}")))?;
                     Ok(format_outcome(&outcome))
                 }
                 "explore" => {
-                    fn explore<S: System>(sys: &S, max_runs: usize) -> String {
+                    fn explore<S: System>(
+                        sys: &S,
+                        max_runs: usize,
+                        probe: &Arc<dyn Probe>,
+                    ) -> String {
+                        let _ambient = probe
+                            .enabled()
+                            .then(|| gem_obs::ambient::install(probe.clone()));
                         let mut deadlocks = 0usize;
-                        let stats = Explorer::with_max_runs(max_runs).for_each_run(
+                        let stats = Explorer::with_max_runs(max_runs).for_each_run_probed(
                             sys,
+                            probe.as_ref(),
                             |state, _| {
                                 if !sys.is_complete(state) {
                                     deadlocks += 1;
@@ -376,17 +545,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                                 ControlFlow::Continue(())
                             },
                         );
+                        probe.add("verify.deadlocks", deadlocks as u64);
                         format!(
                             "schedules: {}{}  steps: {}  deadlocks: {deadlocks}",
                             stats.runs,
-                            if stats.truncated { "+ (truncated)" } else { "" },
+                            if stats.truncated() {
+                                "+ (truncated)"
+                            } else {
+                                ""
+                            },
                             stats.steps,
                         )
                     }
                     Ok(match &inst {
-                        Instance::Monitor { sys, .. } => explore(sys, 1_000_000),
-                        Instance::Csp { sys, max_runs, .. } => explore(sys, *max_runs),
-                        Instance::Ada { sys, max_runs, .. } => explore(sys, *max_runs),
+                        Instance::Monitor { sys, .. } => explore(sys, 1_000_000, probe),
+                        Instance::Csp { sys, max_runs, .. } => explore(sys, *max_runs, probe),
+                        Instance::Ada { sys, max_runs, .. } => explore(sys, *max_runs, probe),
                     })
                 }
                 "deadlock" => {
@@ -399,10 +573,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             ..Explorer::default()
                         };
                         match gem_lang::find_deadlock(sys, &explorer) {
-                            Some(path) => format!(
-                                "DEADLOCK after {} action(s):\n{path:#?}",
-                                path.len()
-                            ),
+                            Some(path) => {
+                                format!("DEADLOCK after {} action(s):\n{path:#?}", path.len())
+                            }
                             None => "no deadlock (pruned state search)".to_owned(),
                         }
                     }
@@ -446,7 +619,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: gem <command> [problem] [key=value ...]\n\
+    "usage: gem <command> [problem] [key=value ...] [flags]\n\
      commands:\n\
      \x20 list                       list available problems\n\
      \x20 render <problem> [params]  print the GEM specification\n\
@@ -454,10 +627,15 @@ pub fn usage() -> String {
      \x20 explore <problem> [params] count schedules and deadlocks\n\
      \x20 deadlock <problem> [params] hunt for a deadlock (pruned search)\n\
      \x20 dot <problem> [params]     emit one computation as Graphviz dot\n\
+     flags (allowed anywhere on the command line):\n\
+     \x20 --stats                    print an instrumentation table to stderr\n\
+     \x20 --stats-json <path>        write the run report as deterministic JSON\n\
+     \x20 --trace <path>             stream probe events as JSON lines\n\
+     \x20 --heartbeat <secs>         progress line interval (default 5, 0 = off)\n\
      problems: one-slot, bounded, rw, db-update, life, philosophers\n\
      examples:\n\
      \x20 gem verify rw readers=1 writers=2 variant=readers\n\
-     \x20 gem verify bounded items=4 cap=2 substrate=csp\n\
+     \x20 gem verify bounded items=4 cap=2 substrate=csp --stats\n\
      \x20 gem render rw data=true"
         .to_owned()
 }
@@ -497,10 +675,7 @@ mod tests {
 
     #[test]
     fn verify_rw_writers_priority_fails_on_readers_monitor() {
-        let out = runv(&[
-            "verify", "rw", "readers=1", "writers=2", "variant=writers",
-        ])
-        .unwrap();
+        let out = runv(&["verify", "rw", "readers=1", "writers=2", "variant=writers"]).unwrap();
         assert!(out.contains("FAILS"), "{out}");
     }
 
@@ -519,13 +694,14 @@ mod tests {
 
     #[test]
     fn mesa_ablation_via_cli() {
-        let out = runv(&[
-            "verify", "rw", "variant=mutex", "semantics=mesa",
-        ])
-        .unwrap();
+        let out = runv(&["verify", "rw", "variant=mutex", "semantics=mesa"]).unwrap();
         assert!(out.contains("FAILS"), "IF-based monitor under Mesa: {out}");
         let out = runv(&[
-            "verify", "rw", "variant=mutex", "semantics=mesa", "monitor=mesa-safe",
+            "verify",
+            "rw",
+            "variant=mutex",
+            "semantics=mesa",
+            "monitor=mesa-safe",
         ])
         .unwrap();
         assert!(out.contains("HOLDS"), "{out}");
@@ -555,5 +731,71 @@ mod tests {
         assert!(out.contains("HOLDS"), "{out}");
         let out = runv(&["verify", "one-slot", "items=2", "substrate=ada"]).unwrap();
         assert!(out.contains("HOLDS"), "{out}");
+    }
+
+    #[test]
+    fn obs_flags_are_stripped_anywhere() {
+        // A flag between positional args must not disturb dispatch.
+        let out = runv(&["verify", "--heartbeat", "0", "one-slot", "items=2"]).unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        let out = runv(&["--stats", "explore", "rw", "readers=1", "writers=1"]).unwrap();
+        assert!(out.contains("schedules:"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_writes_report() {
+        let dir = std::env::temp_dir().join("gem-cli-test-stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("one-slot.json");
+        let path_s = path.to_str().unwrap().to_owned();
+        let out = run(&[
+            "verify".to_owned(),
+            "one-slot".to_owned(),
+            "items=2".to_owned(),
+            format!("--stats-json={path_s}"),
+            "--heartbeat=0".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"explore.runs\""), "{json}");
+        assert!(json.contains("\"explore.steps\""), "{json}");
+        assert!(json.contains("\"explore.prune.hits\""), "{json}");
+        assert!(json.contains("\"verify.deadlocks\""), "{json}");
+        assert!(json.contains("\"restriction.evals\""), "{json}");
+        assert!(json.contains("\"total\""), "{json}"); // wall-time span
+        assert!(json.contains("\"command\": \"verify\""), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_flag_writes_events() {
+        let dir = std::env::temp_dir().join("gem-cli-test-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path_s = path.to_str().unwrap().to_owned();
+        runv(&[
+            "explore",
+            "one-slot",
+            "items=2",
+            "--trace",
+            &path_s,
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.lines().count() > 0);
+        assert!(trace.contains("explore.runs"), "{trace}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_flags_reported() {
+        assert!(runv(&["verify", "one-slot", "--bogus"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--stats-json"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--heartbeat", "abc"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--heartbeat", "-1"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--stats=yes"]).is_err());
     }
 }

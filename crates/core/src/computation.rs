@@ -590,7 +590,10 @@ mod tests {
             Err(BuildError::UnknownEvent(_))
         ));
         assert!(matches!(
-            b.tag_thread(EventId::from_raw(5), crate::ThreadTag::new(crate::ThreadTypeId::from_raw(0), 0)),
+            b.tag_thread(
+                EventId::from_raw(5),
+                crate::ThreadTag::new(crate::ThreadTypeId::from_raw(0), 0)
+            ),
             Err(BuildError::UnknownEvent(_))
         ));
     }

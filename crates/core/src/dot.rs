@@ -86,7 +86,10 @@ mod tests {
         assert!(dot.contains("P.A^1"));
         assert!(dot.contains("Q.A^0"));
         assert!(dot.contains("0 -> 2;"), "enable edge rendered: {dot}");
-        assert!(dot.contains("0 -> 1 [style=dashed];"), "element edge: {dot}");
+        assert!(
+            dot.contains("0 -> 1 [style=dashed];"),
+            "element edge: {dot}"
+        );
         assert!(dot.contains("cluster_0"));
         assert!(dot.ends_with("}\n"));
     }

@@ -259,7 +259,11 @@ impl fmt::Display for VhsError {
         match self {
             VhsError::NotAHistory(p) => write!(f, "{p}"),
             VhsError::NotMonotone { index } => {
-                write!(f, "history {index} is not a prefix of history {}", index + 1)
+                write!(
+                    f,
+                    "history {index} is not a prefix of history {}",
+                    index + 1
+                )
             }
             VhsError::OrderedStep {
                 index,
@@ -288,10 +292,7 @@ impl HistorySequence {
     /// # Errors
     ///
     /// Returns a [`VhsError`] describing the first violated vhs condition.
-    pub fn new(
-        computation: &Computation,
-        histories: Vec<History>,
-    ) -> Result<Self, VhsError> {
+    pub fn new(computation: &Computation, histories: Vec<History>) -> Result<Self, VhsError> {
         for h in &histories {
             History::from_events(computation, h.iter()).map_err(VhsError::NotAHistory)?;
         }
@@ -341,6 +342,7 @@ impl HistorySequence {
                 .expect("linearization must respect the temporal order");
             histories.push(h.clone());
         }
+        gem_obs::ambient::add("core.history.prefixes", histories.len() as u64);
         Self { histories }
     }
 
@@ -362,6 +364,7 @@ impl HistorySequence {
             }
             histories.push(h.clone());
         }
+        gem_obs::ambient::add("core.history.prefixes", histories.len() as u64);
         Self { histories }
     }
 
@@ -462,6 +465,7 @@ pub fn for_each_history(
         limit,
         &mut visit,
     );
+    gem_obs::ambient::add("core.history.histories_enumerated", visited as u64);
     visited
 }
 
@@ -514,6 +518,7 @@ pub fn for_each_linearization(
         limit,
         &mut visit,
     );
+    gem_obs::ambient::add("core.history.linearizations", visited as u64);
     visited
 }
 
@@ -686,8 +691,7 @@ mod tests {
         assert!(HistorySequence::new(&c, vec![a0.clone(), a3.clone(), a4.clone()]).is_ok());
         // But a step adding e1 and e2 together is invalid: e1 ⇒ e2.
         let bad = History::from_events(&c, [e[0], e[1]]).unwrap();
-        let err =
-            HistorySequence::new(&c, vec![History::empty(&c), bad]).unwrap_err();
+        let err = HistorySequence::new(&c, vec![History::empty(&c), bad]).unwrap_err();
         assert!(matches!(err, VhsError::OrderedStep { .. }));
     }
 
@@ -797,13 +801,19 @@ mod tests {
         b.add_event(el, act, vec![]).unwrap();
         b.add_event(el, act, vec![]).unwrap();
         let c = b.seal().unwrap();
-        assert_eq!(for_each_step_sequence(&c, usize::MAX, |_| ControlFlow::Continue(())), 1);
+        assert_eq!(
+            for_each_step_sequence(&c, usize::MAX, |_| ControlFlow::Continue(())),
+            1
+        );
     }
 
     #[test]
     fn step_sequences_limit() {
         let (c, _) = diamond();
-        assert_eq!(for_each_step_sequence(&c, 2, |_| ControlFlow::Continue(())), 2);
+        assert_eq!(
+            for_each_step_sequence(&c, 2, |_| ControlFlow::Continue(())),
+            2
+        );
     }
 
     #[test]

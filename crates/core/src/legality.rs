@@ -302,8 +302,8 @@ mod tests {
         let e3 = b.add_event(p2, act, vec![]).unwrap();
         b.enable(e1, e2).unwrap();
         b.enable(e2, e3).unwrap(); // crosses G1 → G2
-        // The spawn event admits P2 into G1: from e1 onwards, P1 and P2
-        // share a group, so e2 ⊳ e3 is legal.
+                                   // The spawn event admits P2 into G1: from e1 onwards, P1 and P2
+                                   // share a group, so e2 ⊳ e3 is legal.
         b.add_membership_event(e1, g1, p2.into()).unwrap();
         let c = b.seal().unwrap();
         assert!(is_legal(&c), "{:?}", check_legality(&c));
@@ -349,7 +349,11 @@ mod tests {
         b.add_membership_event(unrelated, g1, p2.into()).unwrap();
         let c = b.seal().unwrap();
         assert!(c.concurrent(cross, unrelated));
-        assert_eq!(check_legality(&c).len(), 1, "no observable order, no access");
+        assert_eq!(
+            check_legality(&c).len(),
+            1,
+            "no observable order, no access"
+        );
     }
 
     #[test]

@@ -72,9 +72,8 @@ pub use computation::{BuildError, Computation, ComputationBuilder, Membership};
 pub use dot::to_dot;
 pub use event::Event;
 pub use history::{
-    for_each_step_sequence,
-    for_each_history, for_each_linearization, history_count, linearization_count, History,
-    HistorySequence, PrefixError, VhsError,
+    for_each_history, for_each_linearization, for_each_step_sequence, history_count,
+    linearization_count, History, HistorySequence, PrefixError, VhsError,
 };
 pub use ids::{ClassId, ElementId, EventId, GroupId, ThreadTag, ThreadTypeId};
 pub use legality::{check_legality, is_legal, Violation};

@@ -67,7 +67,9 @@ impl Closure {
             indegree[b.index()] += 1;
         }
         // Kahn's algorithm for topological order + cycle detection.
-        let mut stack: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut topo = Vec::with_capacity(n);
         while let Some(v) = stack.pop() {
             topo.push(EventId::from_raw(v));
@@ -102,7 +104,12 @@ impl Closure {
                 pred[j].insert(i);
             }
         }
-        Ok(Self { succ, pred, topo })
+        let closure = Self { succ, pred, topo };
+        if gem_obs::ambient::active() {
+            gem_obs::ambient::add("core.closure.built", 1);
+            gem_obs::ambient::add("core.closure.edges", closure.pair_count() as u64);
+        }
+        Ok(closure)
     }
 
     /// Number of events covered by this closure.
@@ -236,7 +243,12 @@ mod tests {
         let edges = [(e(2), e(0)), (e(0), e(1))];
         let c = Closure::from_edges(3, &edges).unwrap();
         let pos: Vec<usize> = (0..3)
-            .map(|i| c.topological().iter().position(|&x| x == e(i as u32)).unwrap())
+            .map(|i| {
+                c.topological()
+                    .iter()
+                    .position(|&x| x == e(i as u32))
+                    .unwrap()
+            })
             .collect();
         assert!(pos[2] < pos[0]);
         assert!(pos[0] < pos[1]);
@@ -261,7 +273,9 @@ mod tests {
         let mut seed = 0x9e3779b97f4a7c15u64;
         for i in 0..n as u32 {
             for j in (i + 1)..n as u32 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if seed >> 61 == 0 {
                     edges.push((e(i), e(j)));
                 }

@@ -522,12 +522,7 @@ impl Structure {
     /// True if an event at `from` may enable an event of `to_class` at
     /// `to_element` under the group scope rules (footnote 4):
     /// `access(EL1, EL2) ∨ ∃G [ e2 is a port of G ∧ access(EL1, G) ]`.
-    pub fn may_enable(
-        &self,
-        from: ElementId,
-        to_element: ElementId,
-        to_class: ClassId,
-    ) -> bool {
+    pub fn may_enable(&self, from: ElementId, to_element: ElementId, to_class: ClassId) -> bool {
         if self.access(from, NodeRef::Element(to_element)) {
             return true;
         }

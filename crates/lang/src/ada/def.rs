@@ -78,11 +78,7 @@ impl AdaStmt {
     }
 
     /// Shorthand for an [`AdaStmt::Accept`] with parameters.
-    pub fn accept_with(
-        entry: impl Into<String>,
-        params: &[&str],
-        body: Vec<AdaStmt>,
-    ) -> Self {
+    pub fn accept_with(entry: impl Into<String>, params: &[&str], body: Vec<AdaStmt>) -> Self {
         AdaStmt::Accept(AcceptArm {
             entry: entry.into(),
             params: params.iter().map(|s| (*s).to_owned()).collect(),

@@ -28,22 +28,23 @@ pub fn ada_restrictions(sys: &AdaSystem) -> Vec<(String, Formula)> {
         Formula::forall(
             "a",
             accept.clone(),
-            Formula::enables("c", "a").implies(
-                Formula::exists(
-                    "k",
-                    complete.clone(),
-                    Formula::precedes("a", "k").and(Formula::exists(
-                        "r",
-                        returned.clone(),
-                        Formula::enables("k", "r"),
-                    )),
-                ),
-            ),
+            Formula::enables("c", "a").implies(Formula::exists(
+                "k",
+                complete.clone(),
+                Formula::precedes("a", "k").and(Formula::exists(
+                    "r",
+                    returned.clone(),
+                    Formula::enables("k", "r"),
+                )),
+            )),
         ),
     );
 
     vec![
-        ("call-enables-one-accept".into(), prerequisite(&call, &accept)),
+        (
+            "call-enables-one-accept".into(),
+            prerequisite(&call, &accept),
+        ),
         (
             "complete-enables-one-return".into(),
             prerequisite(&complete, &returned),
@@ -58,7 +59,9 @@ pub fn ada_restrictions(sys: &AdaSystem) -> Vec<(String, Formula)> {
 pub fn rendezvous_sequential(sys: &AdaSystem, computation: &Computation) -> bool {
     let s = computation.structure();
     for t in &sys.program().tasks {
-        let Some(group) = s.group(&t.name) else { continue };
+        let Some(group) = s.group(&t.name) else {
+            continue;
+        };
         let interesting: Vec<_> = computation
             .events()
             .iter()

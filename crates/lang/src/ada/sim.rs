@@ -162,9 +162,9 @@ impl AdaSystem {
                 match st {
                     AdaStmt::EntryCall { task, entry, .. } => {
                         assert!(!in_body, "task {tname:?}: nested rendezvous in accept body");
-                        let ti = program
-                            .task_index(task)
-                            .unwrap_or_else(|| panic!("task {tname:?} calls unknown task {task:?}"));
+                        let ti = program.task_index(task).unwrap_or_else(|| {
+                            panic!("task {tname:?} calls unknown task {task:?}")
+                        });
                         assert!(
                             program.tasks[ti].entries.contains(entry),
                             "task {tname:?} calls unknown entry {task}.{entry}"
@@ -319,8 +319,7 @@ impl AdaSystem {
             while matches!(state.tasks[tid].frames.last(), Some(f) if f.is_empty()) {
                 state.tasks[tid].frames.pop();
             }
-            let Some(stmt) = state
-                .tasks[tid]
+            let Some(stmt) = state.tasks[tid]
                 .frames
                 .last_mut()
                 .and_then(VecDeque::pop_front)
@@ -568,7 +567,10 @@ impl System for AdaSystem {
     }
 
     fn is_complete(&self, state: &AdaState) -> bool {
-        state.tasks.iter().all(|t| matches!(t.status, TStatus::Done))
+        state
+            .tasks
+            .iter()
+            .all(|t| matches!(t.status, TStatus::Done))
     }
 
     fn control_key(&self, state: &AdaState) -> Option<u64> {
@@ -606,8 +608,7 @@ impl AdaSystem {
             if state.tasks[tid].frames.len() < depth {
                 return;
             }
-            let Some(stmt) = state
-                .tasks[tid]
+            let Some(stmt) = state.tasks[tid]
                 .frames
                 .last_mut()
                 .and_then(VecDeque::pop_front)
@@ -678,15 +679,11 @@ mod tests {
         let server = AdaTask::new(
             "server",
             vec![
-                AdaStmt::accept_with(
-                    "Put",
-                    &["x"],
-                    vec![AdaStmt::assign("slot", Expr::var("x"))],
+                AdaStmt::accept_with("Put", &["x"], vec![AdaStmt::assign("slot", Expr::var("x"))]),
+                AdaStmt::accept(
+                    "Bump",
+                    vec![AdaStmt::assign("slot", Expr::var("slot").add(Expr::int(1)))],
                 ),
-                AdaStmt::accept("Bump", vec![AdaStmt::assign(
-                    "slot",
-                    Expr::var("slot").add(Expr::int(1)),
-                )]),
             ],
         )
         .entry("Put")
@@ -745,35 +742,33 @@ mod tests {
     fn select_serves_both_orders() {
         let server = AdaTask::new(
             "server",
-            vec![
-                AdaStmt::While(
-                    Expr::var("served").lt(Expr::int(2)),
-                    vec![AdaStmt::Select(vec![
-                        SelectBranch {
-                            guard: None,
-                            accept: AcceptArm {
-                                entry: "A".into(),
-                                params: vec![],
-                                body: vec![AdaStmt::assign(
-                                    "served",
-                                    Expr::var("served").add(Expr::int(1)),
-                                )],
-                            },
+            vec![AdaStmt::While(
+                Expr::var("served").lt(Expr::int(2)),
+                vec![AdaStmt::Select(vec![
+                    SelectBranch {
+                        guard: None,
+                        accept: AcceptArm {
+                            entry: "A".into(),
+                            params: vec![],
+                            body: vec![AdaStmt::assign(
+                                "served",
+                                Expr::var("served").add(Expr::int(1)),
+                            )],
                         },
-                        SelectBranch {
-                            guard: None,
-                            accept: AcceptArm {
-                                entry: "B".into(),
-                                params: vec![],
-                                body: vec![AdaStmt::assign(
-                                    "served",
-                                    Expr::var("served").add(Expr::int(1)),
-                                )],
-                            },
+                    },
+                    SelectBranch {
+                        guard: None,
+                        accept: AcceptArm {
+                            entry: "B".into(),
+                            params: vec![],
+                            body: vec![AdaStmt::assign(
+                                "served",
+                                Expr::var("served").add(Expr::int(1)),
+                            )],
                         },
-                    ])],
-                ),
-            ],
+                    },
+                ])],
+            )],
         )
         .entry("A")
         .entry("B")

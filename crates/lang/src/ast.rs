@@ -381,28 +381,50 @@ mod tests {
             Value::Int(7)
         );
         assert_eq!(
-            Expr::var("x").sub(Expr::int(1)).mul(Expr::int(2)).eval(&e).unwrap(),
+            Expr::var("x")
+                .sub(Expr::int(1))
+                .mul(Expr::int(2))
+                .eval(&e)
+                .unwrap(),
             Value::Int(4)
         );
-        assert_eq!(Expr::int(7).div(Expr::int(2)).eval(&e).unwrap(), Value::Int(3));
-        assert_eq!(Expr::int(7).rem(Expr::int(2)).eval(&e).unwrap(), Value::Int(1));
+        assert_eq!(
+            Expr::int(7).div(Expr::int(2)).eval(&e).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Expr::int(7).rem(Expr::int(2)).eval(&e).unwrap(),
+            Value::Int(1)
+        );
         assert_eq!(Expr::var("x").neg().eval(&e).unwrap(), Value::Int(-3));
     }
 
     #[test]
     fn comparisons_and_boolean() {
         let e = env();
-        assert_eq!(Expr::var("x").lt(Expr::int(4)).eval(&e).unwrap(), Value::Bool(true));
-        assert_eq!(Expr::var("x").ge(Expr::int(4)).eval(&e).unwrap(), Value::Bool(false));
         assert_eq!(
-            Expr::var("flag").and(Expr::var("x").eq(Expr::int(3))).eval(&e).unwrap(),
+            Expr::var("x").lt(Expr::int(4)).eval(&e).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::var("x").ge(Expr::int(4)).eval(&e).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::var("flag")
+                .and(Expr::var("x").eq(Expr::int(3)))
+                .eval(&e)
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
             Expr::bool(false).or(Expr::var("flag")).eval(&e).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(Expr::var("flag").not().eval(&e).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Expr::var("flag").not().eval(&e).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(
             Expr::str("a").ne(Expr::str("b")).eval(&e).unwrap(),
             Value::Bool(true)

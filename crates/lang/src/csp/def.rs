@@ -135,11 +135,8 @@ mod tests {
 
     #[test]
     fn builders() {
-        let p = CspProcess::new(
-            "producer",
-            vec![CspStmt::send("consumer", Expr::int(1))],
-        )
-        .local("i", 0i64);
+        let p = CspProcess::new("producer", vec![CspStmt::send("consumer", Expr::int(1))])
+            .local("i", 0i64);
         let prog = CspProgram::new().process(p).process(CspProcess::new(
             "consumer",
             vec![CspStmt::recv("producer", "x")],

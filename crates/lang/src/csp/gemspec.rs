@@ -64,8 +64,14 @@ pub fn csp_restrictions(sys: &CspSystem) -> Vec<(String, Formula)> {
     );
 
     vec![
-        ("outreq-enables-one-outend".into(), prerequisite(&out_req, &out_end)),
-        ("inreq-enables-one-inend".into(), prerequisite(&in_req, &in_end)),
+        (
+            "outreq-enables-one-outend".into(),
+            prerequisite(&out_req, &out_end),
+        ),
+        (
+            "inreq-enables-one-inend".into(),
+            prerequisite(&in_req, &in_end),
+        ),
         ("simultaneity".into(), simultaneity),
         ("value-transfer".into(), transfer),
     ]
@@ -140,11 +146,7 @@ mod tests {
         let sys = CspSystem::new(prog);
         let mut b = ComputationBuilder::new(sys.structure_arc());
         let oreq = b
-            .add_event(
-                sys.out_element(0),
-                sys.class("OutReq"),
-                vec!["b".into()],
-            )
+            .add_event(sys.out_element(0), sys.class("OutReq"), vec!["b".into()])
             .unwrap();
         let ireq = b
             .add_event(sys.in_element(1), sys.class("InReq"), vec!["a".into()])

@@ -140,7 +140,9 @@ impl CspSystem {
                 vars.insert(v.clone(), el);
                 members.push(el.into());
             }
-            let g = s.add_group(p.name.clone(), &members).expect("process group");
+            let g = s
+                .add_group(p.name.clone(), &members)
+                .expect("process group");
             s.add_port(g, out_el, out_end).expect("out port");
             s.add_port(g, in_el, in_end).expect("in port");
             out_els.push(out_el);
@@ -277,8 +279,7 @@ impl CspSystem {
             while matches!(state.procs[pid].frames.last(), Some(f) if f.is_empty()) {
                 state.procs[pid].frames.pop();
             }
-            let Some(stmt) = state
-                .procs[pid]
+            let Some(stmt) = state.procs[pid]
                 .frames
                 .last_mut()
                 .and_then(VecDeque::pop_front)
@@ -468,11 +469,13 @@ impl System for CspSystem {
 
     fn apply(&self, state: &mut CspState, action: &CspAction) {
         let (p, q) = (action.sender, action.receiver);
-        let PStatus::Blocked(p_offers) = std::mem::replace(&mut state.procs[p].status, PStatus::Done)
+        let PStatus::Blocked(p_offers) =
+            std::mem::replace(&mut state.procs[p].status, PStatus::Done)
         else {
             panic!("sender not blocked");
         };
-        let PStatus::Blocked(q_offers) = std::mem::replace(&mut state.procs[q].status, PStatus::Done)
+        let PStatus::Blocked(q_offers) =
+            std::mem::replace(&mut state.procs[q].status, PStatus::Done)
         else {
             panic!("receiver not blocked");
         };
@@ -572,20 +575,26 @@ mod tests {
 
     fn ping_pong() -> CspProgram {
         CspProgram::new()
-            .process(CspProcess::new(
-                "ping",
-                vec![
-                    CspStmt::send("pong", Expr::int(7)),
-                    CspStmt::recv("pong", "reply"),
-                ],
-            ).local("reply", 0i64))
-            .process(CspProcess::new(
-                "pong",
-                vec![
-                    CspStmt::recv("ping", "x"),
-                    CspStmt::send("ping", Expr::var("x").add(Expr::int(1))),
-                ],
-            ).local("x", 0i64))
+            .process(
+                CspProcess::new(
+                    "ping",
+                    vec![
+                        CspStmt::send("pong", Expr::int(7)),
+                        CspStmt::recv("pong", "reply"),
+                    ],
+                )
+                .local("reply", 0i64),
+            )
+            .process(
+                CspProcess::new(
+                    "pong",
+                    vec![
+                        CspStmt::recv("ping", "x"),
+                        CspStmt::send("ping", Expr::var("x").add(Expr::int(1))),
+                    ],
+                )
+                .local("x", 0i64),
+            )
     }
 
     #[test]
@@ -630,14 +639,11 @@ mod tests {
     #[test]
     fn mismatched_processes_deadlock() {
         let prog = CspProgram::new()
-            .process(CspProcess::new(
-                "a",
-                vec![CspStmt::recv("b", "x")].into_iter().collect(),
-            ).local("x", 0i64))
-            .process(CspProcess::new(
-                "b",
-                vec![CspStmt::recv("a", "y")],
-            ).local("y", 0i64));
+            .process(
+                CspProcess::new("a", vec![CspStmt::recv("b", "x")].into_iter().collect())
+                    .local("x", 0i64),
+            )
+            .process(CspProcess::new("b", vec![CspStmt::recv("a", "y")]).local("y", 0i64));
         let sys = CspSystem::new(prog);
         assert!(find_deadlock(&sys, &Explorer::default()).is_some());
     }
@@ -648,33 +654,37 @@ mod tests {
         // either order, via guarded alternatives.
         let merger = CspProcess::new(
             "m",
-            vec![
-                CspStmt::Alt(vec![
-                    AltBranch {
-                        guard: None,
-                        comm: Comm::Recv {
-                            from: "p1".into(),
-                            var: "a".into(),
-                        },
-                        body: vec![CspStmt::recv("p2", "b")],
+            vec![CspStmt::Alt(vec![
+                AltBranch {
+                    guard: None,
+                    comm: Comm::Recv {
+                        from: "p1".into(),
+                        var: "a".into(),
                     },
-                    AltBranch {
-                        guard: None,
-                        comm: Comm::Recv {
-                            from: "p2".into(),
-                            var: "b".into(),
-                        },
-                        body: vec![CspStmt::recv("p1", "a")],
+                    body: vec![CspStmt::recv("p2", "b")],
+                },
+                AltBranch {
+                    guard: None,
+                    comm: Comm::Recv {
+                        from: "p2".into(),
+                        var: "b".into(),
                     },
-                ]),
-            ],
+                    body: vec![CspStmt::recv("p1", "a")],
+                },
+            ])],
         )
         .local("a", 0i64)
         .local("b", 0i64);
         let prog = CspProgram::new()
             .process(merger)
-            .process(CspProcess::new("p1", vec![CspStmt::send("m", Expr::int(1))]))
-            .process(CspProcess::new("p2", vec![CspStmt::send("m", Expr::int(2))]));
+            .process(CspProcess::new(
+                "p1",
+                vec![CspStmt::send("m", Expr::int(1))],
+            ))
+            .process(CspProcess::new(
+                "p2",
+                vec![CspStmt::send("m", Expr::int(2))],
+            ));
         let sys = CspSystem::new(prog);
         let stats = Explorer::default().for_each_run(&sys, |state, _| {
             assert!(sys.is_complete(state), "alt must not deadlock");

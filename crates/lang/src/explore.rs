@@ -15,8 +15,10 @@
 //! as deadlock-freedom (the ablation of DESIGN.md §4).
 
 use std::collections::HashSet;
+use std::fmt;
 use std::ops::ControlFlow;
 
+use gem_obs::{NoopProbe, Probe};
 use rand::Rng;
 
 /// A concurrent system driven by scheduler choices.
@@ -49,6 +51,39 @@ pub trait System {
     }
 }
 
+/// Why an exploration stopped short of the full schedule space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TruncationReason {
+    /// The [`Explorer::max_runs`] cap stopped the search.
+    RunLimit,
+    /// The [`Explorer::max_steps`] cap stopped the search.
+    StepLimit,
+    /// At least one run was cut off at [`Explorer::max_depth`]; the
+    /// search itself ran to completion but those runs are not maximal.
+    DepthLimit,
+}
+
+impl fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::RunLimit => "run limit",
+            Self::StepLimit => "step limit",
+            Self::DepthLimit => "depth limit",
+        })
+    }
+}
+
+impl TruncationReason {
+    /// Stable machine-readable name, used as a probe counter suffix.
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::RunLimit => "run_limit",
+            Self::StepLimit => "step_limit",
+            Self::DepthLimit => "depth_limit",
+        }
+    }
+}
+
 /// Statistics from an exploration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ExploreStats {
@@ -56,10 +91,49 @@ pub struct ExploreStats {
     pub runs: usize,
     /// Total actions applied across all runs.
     pub steps: usize,
-    /// True if the run limit stopped the search early.
-    pub truncated: bool,
-    /// True if some run hit the depth limit (reported as a run).
-    pub depth_hit: bool,
+    /// Why the search was cut short, or `None` if it was exhaustive.
+    /// A run-limit or step-limit stop supersedes a depth-limit flag.
+    pub truncation: Option<TruncationReason>,
+    /// Runs reported at the depth limit while actions were still enabled.
+    pub depth_limited_runs: usize,
+    /// Longest run prefix reached (the DFS depth high-water mark).
+    pub max_depth_seen: usize,
+    /// States skipped by control-key pruning (already seen).
+    pub prune_hits: usize,
+    /// States admitted by control-key pruning (seen for the first time).
+    pub prune_misses: usize,
+}
+
+impl ExploreStats {
+    /// True if any bound cut the exploration short.
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
+    }
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} run(s), {} step(s), max depth {}",
+            self.runs, self.steps, self.max_depth_seen
+        )?;
+        if self.prune_hits > 0 || self.prune_misses > 0 {
+            write!(
+                f,
+                ", pruned {}/{}",
+                self.prune_hits,
+                self.prune_hits + self.prune_misses
+            )?;
+        }
+        if self.depth_limited_runs > 0 {
+            write!(f, ", {} depth-limited run(s)", self.depth_limited_runs)?;
+        }
+        match self.truncation {
+            Some(reason) => write!(f, " [truncated: {reason}]"),
+            None => write!(f, " [exhaustive]"),
+        }
+    }
 }
 
 /// Bounded depth-first exploration of all schedules.
@@ -67,6 +141,10 @@ pub struct ExploreStats {
 pub struct Explorer {
     /// Maximum number of maximal runs to visit.
     pub max_runs: usize,
+    /// Maximum total actions across the whole search (a wall against
+    /// exponential blowup that `max_runs` alone cannot bound, since one
+    /// run may be arbitrarily long). `usize::MAX` disables the cap.
+    pub max_steps: usize,
     /// Maximum actions per run (a safety net against unbounded systems).
     pub max_depth: usize,
     /// If true, prune states already seen (by [`System::control_key`]);
@@ -78,6 +156,7 @@ impl Default for Explorer {
     fn default() -> Self {
         Self {
             max_runs: 1_000_000,
+            max_steps: usize::MAX,
             max_depth: 10_000,
             prune: false,
         }
@@ -99,16 +178,59 @@ impl Explorer {
     pub fn for_each_run<S: System>(
         &self,
         sys: &S,
+        visit: impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
+    ) -> ExploreStats {
+        self.for_each_run_probed(sys, &NoopProbe, visit)
+    }
+
+    /// [`Explorer::for_each_run`] with instrumentation: `probe` receives
+    /// `explore.runs` / `explore.steps` counters batched once per maximal
+    /// run (never per step), pruning hit/miss counts, the DFS depth
+    /// high-water mark, and the truncation cause. With [`NoopProbe`] the
+    /// overhead is one virtual call per run.
+    pub fn for_each_run_probed<S: System>(
+        &self,
+        sys: &S,
+        probe: &dyn Probe,
         mut visit: impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
     ) -> ExploreStats {
         let mut stats = ExploreStats::default();
         let mut seen: HashSet<u64> = HashSet::new();
         let mut path: Vec<S::Action> = Vec::new();
+        let mut flushed_steps = 0usize;
         let state = sys.initial();
-        let _ = self.dfs(sys, state, &mut path, &mut stats, &mut seen, &mut visit);
+        let _ = self.dfs(
+            sys,
+            state,
+            &mut path,
+            &mut stats,
+            &mut seen,
+            probe,
+            &mut flushed_steps,
+            &mut visit,
+        );
+        if probe.enabled() {
+            // Final flush: steps of a truncated tail run, pruning totals,
+            // the depth high-water mark, and the truncation cause.
+            probe.add("explore.steps", (stats.steps - flushed_steps) as u64);
+            probe.add("explore.prune.hits", stats.prune_hits as u64);
+            probe.add("explore.prune.misses", stats.prune_misses as u64);
+            probe.gauge_max("explore.depth_high_water", stats.max_depth_seen as u64);
+            if let Some(reason) = stats.truncation {
+                probe.add(
+                    match reason {
+                        TruncationReason::RunLimit => "explore.truncation.run_limit",
+                        TruncationReason::StepLimit => "explore.truncation.step_limit",
+                        TruncationReason::DepthLimit => "explore.truncation.depth_limit",
+                    },
+                    1,
+                );
+            }
+        }
         stats
     }
 
+    #[allow(clippy::too_many_arguments)] // internal recursion carries the whole search state
     fn dfs<S: System>(
         &self,
         sys: &S,
@@ -116,25 +238,44 @@ impl Explorer {
         path: &mut Vec<S::Action>,
         stats: &mut ExploreStats,
         seen: &mut HashSet<u64>,
+        probe: &dyn Probe,
+        flushed_steps: &mut usize,
         visit: &mut impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         if stats.runs >= self.max_runs {
-            stats.truncated = true;
+            stats.truncation = Some(TruncationReason::RunLimit);
+            return ControlFlow::Break(());
+        }
+        if stats.steps >= self.max_steps {
+            stats.truncation = Some(TruncationReason::StepLimit);
             return ControlFlow::Break(());
         }
         if self.prune {
             if let Some(key) = sys.control_key(&state) {
                 if !seen.insert(key) {
+                    stats.prune_hits += 1;
                     return ControlFlow::Continue(());
                 }
+                stats.prune_misses += 1;
             }
         }
         let actions = sys.enabled(&state);
         if actions.is_empty() || path.len() >= self.max_depth {
             if path.len() >= self.max_depth && !actions.is_empty() {
-                stats.depth_hit = true;
+                stats.depth_limited_runs += 1;
+                if stats.truncation.is_none() {
+                    stats.truncation = Some(TruncationReason::DepthLimit);
+                }
             }
             stats.runs += 1;
+            stats.max_depth_seen = stats.max_depth_seen.max(path.len());
+            if probe.enabled() {
+                // Batched flush: one counter update per maximal run keeps
+                // the instrumented hot path within noise of the bare one.
+                probe.add("explore.runs", 1);
+                probe.add("explore.steps", (stats.steps - *flushed_steps) as u64);
+                *flushed_steps = stats.steps;
+            }
             return visit(&state, path);
         }
         for action in actions {
@@ -142,7 +283,7 @@ impl Explorer {
             sys.apply(&mut next, &action);
             stats.steps += 1;
             path.push(action);
-            let flow = self.dfs(sys, next, path, stats, seen, visit);
+            let flow = self.dfs(sys, next, path, stats, seen, probe, flushed_steps, visit);
             path.pop();
             flow?;
         }
@@ -151,11 +292,7 @@ impl Explorer {
 
     /// Runs one random schedule to completion (or the depth bound),
     /// returning the terminal state and the actions taken.
-    pub fn random_run<S: System>(
-        &self,
-        sys: &S,
-        rng: &mut impl Rng,
-    ) -> (S::State, Vec<S::Action>) {
+    pub fn random_run<S: System>(&self, sys: &S, rng: &mut impl Rng) -> (S::State, Vec<S::Action>) {
         let mut state = sys.initial();
         let mut path = Vec::new();
         while path.len() < self.max_depth {
@@ -241,8 +378,10 @@ mod tests {
             ControlFlow::Continue(())
         });
         assert_eq!(stats.runs, 6);
-        assert!(!stats.truncated);
-        assert!(!stats.depth_hit);
+        assert!(!stats.truncated());
+        assert_eq!(stats.truncation, None);
+        assert_eq!(stats.depth_limited_runs, 0);
+        assert_eq!(stats.max_depth_seen, 4);
     }
 
     #[test]
@@ -250,7 +389,22 @@ mod tests {
         let sys = Counters { n: 3, stuck: false };
         let stats = Explorer::with_max_runs(5).for_each_run(&sys, |_, _| ControlFlow::Continue(()));
         assert_eq!(stats.runs, 5);
-        assert!(stats.truncated);
+        assert!(stats.truncated());
+        assert_eq!(stats.truncation, Some(TruncationReason::RunLimit));
+    }
+
+    #[test]
+    fn step_limit_truncates() {
+        let sys = Counters { n: 3, stuck: false };
+        let stats = Explorer {
+            max_steps: 40,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.truncation, Some(TruncationReason::StepLimit));
+        assert!(stats.steps >= 40, "{stats}");
+        // Full space is 90 runs; the cap must have cut it short.
+        assert!(stats.runs < 90);
     }
 
     #[test]
@@ -293,7 +447,66 @@ mod tests {
             ..Explorer::default()
         }
         .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
-        assert!(stats.depth_hit);
+        assert!(stats.depth_limited_runs > 0);
+        assert_eq!(stats.truncation, Some(TruncationReason::DepthLimit));
+        assert_eq!(stats.max_depth_seen, 2);
+    }
+
+    #[test]
+    fn probed_exploration_matches_stats() {
+        use gem_obs::StatsProbe;
+        let sys = Counters { n: 3, stuck: false };
+        let probe = StatsProbe::new();
+        let stats = Explorer {
+            prune: true,
+            ..Explorer::default()
+        }
+        .for_each_run_probed(&sys, &probe, |_, _| ControlFlow::Continue(()));
+        let report = probe.report();
+        assert_eq!(report.counters["explore.runs"], stats.runs as u64);
+        assert_eq!(report.counters["explore.steps"], stats.steps as u64);
+        assert_eq!(
+            report.counters["explore.prune.hits"],
+            stats.prune_hits as u64
+        );
+        assert_eq!(
+            report.counters["explore.prune.misses"],
+            stats.prune_misses as u64
+        );
+        assert_eq!(
+            report.gauges["explore.depth_high_water"],
+            stats.max_depth_seen as u64
+        );
+        assert!(!report
+            .counters
+            .keys()
+            .any(|k| k.starts_with("explore.truncation")));
+    }
+
+    #[test]
+    fn probed_truncation_cause_reported() {
+        use gem_obs::StatsProbe;
+        let sys = Counters { n: 3, stuck: false };
+        let probe = StatsProbe::new();
+        Explorer::with_max_runs(5)
+            .for_each_run_probed(&sys, &probe, |_, _| ControlFlow::Continue(()));
+        assert_eq!(probe.report().counters["explore.truncation.run_limit"], 1);
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let sys = Counters { n: 2, stuck: false };
+        let stats = Explorer::default().for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(
+            stats.to_string(),
+            format!(
+                "6 run(s), {} step(s), max depth 4 [exhaustive]",
+                stats.steps
+            )
+        );
+        let truncated =
+            Explorer::with_max_runs(2).for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert!(truncated.to_string().ends_with("[truncated: run limit]"));
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod csp;
 pub mod monitor;
 
 pub use ast::{BinOp, Expr, RuntimeError, VarStore};
-pub use explore::{find_deadlock, Explorer, ExploreStats, System};
+pub use explore::{find_deadlock, ExploreStats, Explorer, System, TruncationReason};

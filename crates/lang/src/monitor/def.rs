@@ -317,10 +317,11 @@ mod tests {
 
     #[test]
     fn builders_accumulate() {
-        let m = MonitorDef::new("M")
-            .var("x", 0i64)
-            .condition("c")
-            .entry("E", &["p"], vec![Stmt::assign("x", Expr::var("p"))]);
+        let m = MonitorDef::new("M").var("x", 0i64).condition("c").entry(
+            "E",
+            &["p"],
+            vec![Stmt::assign("x", Expr::var("p"))],
+        );
         assert_eq!(m.vars.len(), 1);
         assert_eq!(m.conditions, vec!["c"]);
         assert_eq!(m.entry_index("E"), Some(0));

@@ -93,9 +93,7 @@ pub fn entries_sequential(sys: &MonitorSystem, computation: &Computation) -> boo
 mod tests {
     use super::*;
     use crate::explore::Explorer;
-    use crate::monitor::def::{
-        readers_writers_monitor, MonitorProgram, ProcessDef, ScriptStep,
-    };
+    use crate::monitor::def::{readers_writers_monitor, MonitorProgram, ProcessDef, ScriptStep};
     use gem_logic::{holds_on_computation, Strategy};
     use std::ops::ControlFlow;
 

@@ -182,7 +182,8 @@ impl MonitorSystem {
             .map(|p| {
                 let mut classes = vec![cls.call, cls.ret];
                 classes.extend(user_cls.values().copied());
-                s.add_element(p.name.clone(), &classes).expect("user element")
+                s.add_element(p.name.clone(), &classes)
+                    .expect("user element")
             })
             .collect();
         let lock_el = s
@@ -421,8 +422,7 @@ impl MonitorSystem {
             while matches!(state.procs[pid].frames.last(), Some(f) if f.is_empty()) {
                 state.procs[pid].frames.pop();
             }
-            let Some(stmt) = state
-                .procs[pid]
+            let Some(stmt) = state.procs[pid]
                 .frames
                 .last_mut()
                 .and_then(VecDeque::pop_front)
@@ -493,7 +493,11 @@ impl MonitorSystem {
                         &[],
                     );
                     let _ = rel;
-                    state.queues.get_mut(&cond).expect("known condition").push_back(pid);
+                    state
+                        .queues
+                        .get_mut(&cond)
+                        .expect("known condition")
+                        .push_back(pid);
                     state.procs[pid].status = Status::Waiting;
                     state.lock = None;
                     self.pop_urgent(state);
@@ -926,10 +930,7 @@ mod tests {
         let monitor = MonitorDef::new("Counter").var("count", 0i64).entry(
             "Inc",
             &[],
-            vec![Stmt::assign(
-                "count",
-                Expr::var("count").add(Expr::int(1)),
-            )],
+            vec![Stmt::assign("count", Expr::var("count").add(Expr::int(1)))],
         );
         let mut prog = MonitorProgram::new(monitor);
         for i in 0..n_procs {
@@ -961,7 +962,14 @@ mod tests {
         Explorer::default().for_each_run(&sys, |state, _| {
             let c = sys.computation(state).expect("acyclic");
             let violations = check_legality(&c);
-            assert!(violations.is_empty(), "{:?}", violations.iter().map(|v| v.describe(&c)).collect::<Vec<_>>());
+            assert!(
+                violations.is_empty(),
+                "{:?}",
+                violations
+                    .iter()
+                    .map(|v| v.describe(&c))
+                    .collect::<Vec<_>>()
+            );
             ControlFlow::Continue(())
         });
     }
@@ -997,10 +1005,7 @@ mod tests {
             .entry(
                 "Open",
                 &[],
-                vec![
-                    Stmt::assign("ready", Expr::bool(true)),
-                    Stmt::signal("go"),
-                ],
+                vec![Stmt::assign("ready", Expr::bool(true)), Stmt::signal("go")],
             )
             .entry(
                 "Pass",
@@ -1051,8 +1056,8 @@ mod tests {
                     vec![Stmt::wait("go")],
                 )],
             );
-        let prog = MonitorProgram::new(monitor)
-            .process(ProcessDef::new("consumer", vec![call("Pass")]));
+        let prog =
+            MonitorProgram::new(monitor).process(ProcessDef::new("consumer", vec![call("Pass")]));
         let sys = MonitorSystem::new(prog);
         let witness = find_deadlock(&sys, &Explorer::default());
         assert!(witness.is_some(), "waiting with no signaller deadlocks");
@@ -1076,7 +1081,7 @@ mod tests {
             ControlFlow::Continue(())
         });
         assert!(stats.runs >= 2, "read-first and write-first schedules");
-        assert!(!stats.truncated);
+        assert!(!stats.truncated());
     }
 
     #[test]
@@ -1110,8 +1115,7 @@ mod tests {
                 vec![Stmt::assign("x", Expr::var("x").add(Expr::int(1)))],
             )],
         );
-        let prog =
-            MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Count")]));
+        let prog = MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Count")]));
         let sys = MonitorSystem::new(prog);
         Explorer::default().for_each_run(&sys, |state, _| {
             assert_eq!(state.vars.get("x"), Some(&Value::Int(3)));
@@ -1149,8 +1153,7 @@ mod tests {
     #[should_panic(expected = "unknown entry")]
     fn unknown_entry_rejected_eagerly() {
         let monitor = MonitorDef::new("M").entry("E", &[], vec![]);
-        let prog =
-            MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Nope")]));
+        let prog = MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Nope")]));
         let _ = MonitorSystem::new(prog);
     }
 

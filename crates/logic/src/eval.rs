@@ -63,6 +63,9 @@ impl std::error::Error for EvalError {}
 #[derive(Clone, Debug, Default)]
 struct Env {
     bindings: Vec<(String, EventId)>,
+    /// Formula nodes visited; flushed to the ambient probe in one batch
+    /// per evaluation, so the recursion itself stays probe-free.
+    nodes: u64,
 }
 
 impl Env {
@@ -91,7 +94,12 @@ pub fn holds_on_sequence(
         return Err(EvalError::EmptySequence);
     }
     let mut env = Env::default();
-    eval(formula, computation, seq, &mut env)
+    let result = eval(formula, computation, seq, &mut env);
+    if gem_obs::ambient::active() {
+        gem_obs::ambient::add("logic.eval.calls", 1);
+        gem_obs::ambient::add("logic.eval.nodes", env.nodes);
+    }
+    result
 }
 
 /// True if `formula` holds of the single history `history` (as the
@@ -122,7 +130,11 @@ pub fn holds_on_computation(
     holds_on_history(formula, computation, &History::full(computation))
 }
 
-fn resolve(term: &EventTerm, computation: &Computation, env: &Env) -> Result<Option<EventId>, EvalError> {
+fn resolve(
+    term: &EventTerm,
+    computation: &Computation,
+    env: &Env,
+) -> Result<Option<EventId>, EvalError> {
     match term {
         EventTerm::Var(name) => env
             .lookup(name)
@@ -155,10 +167,11 @@ fn resolve_value(
                 ParamRef::Index(i) => *i,
                 ParamRef::Named(name) => {
                     let info = computation.structure().class_info(ev.class());
-                    info.param_index(name).ok_or_else(|| EvalError::UnknownParam {
-                        name: name.clone(),
-                        class: info.name().to_owned(),
-                    })?
+                    info.param_index(name)
+                        .ok_or_else(|| EvalError::UnknownParam {
+                            name: name.clone(),
+                            class: info.name().to_owned(),
+                        })?
                 }
             };
             ev.param(index)
@@ -178,6 +191,7 @@ fn eval(
     seq: &[History],
     env: &mut Env,
 ) -> Result<bool, EvalError> {
+    env.nodes += 1;
     match formula {
         Formula::True => Ok(true),
         Formula::False => Ok(false),
@@ -319,9 +333,7 @@ fn eval_atom(
         }
         Atom::TemporallyPrecedes(t1, t2) => {
             let (a, b) = (ev!(t1), ev!(t2));
-            Ok(history.contains(a)
-                && history.contains(b)
-                && computation.temporally_precedes(a, b))
+            Ok(history.contains(a) && history.contains(b) && computation.temporally_precedes(a, b))
         }
         Atom::Concurrent(t1, t2) => {
             let (a, b) = (ev!(t1), ev!(t2));
@@ -437,7 +449,10 @@ mod tests {
         let (c, e) = var_comp();
         let h = History::from_events(&c, [e[0]]).unwrap();
         assert!(holds_on_history(&Formula::potential(e[1]), &c, &h).unwrap());
-        assert!(!holds_on_history(&Formula::potential(e[0]), &c, &h).unwrap(), "occurred event is not potential");
+        assert!(
+            !holds_on_history(&Formula::potential(e[0]), &c, &h).unwrap(),
+            "occurred event is not potential"
+        );
         assert!(holds_on_history(&Formula::is_new(e[0]), &c, &h).unwrap());
         let h2 = History::from_events(&c, [e[0], e[1]]).unwrap();
         assert!(!holds_on_history(&Formula::is_new(e[0]), &c, &h2).unwrap());
@@ -572,22 +587,19 @@ mod tests {
         let (c, e) = var_comp();
         let var = c.structure().element("Var").unwrap();
         // Var^0 is e1; Var^5 does not exist → atom false, not an error.
-        assert!(holds_on_computation(
-            &Formula::event_eq(EventTerm::NthAt(var, 0), e[0]),
-            &c
-        )
-        .unwrap());
-        assert!(!holds_on_computation(
-            &Formula::occurred(EventTerm::NthAt(var, 5)),
-            &c
-        )
-        .unwrap());
+        assert!(
+            holds_on_computation(&Formula::event_eq(EventTerm::NthAt(var, 0), e[0]), &c).unwrap()
+        );
+        assert!(!holds_on_computation(&Formula::occurred(EventTerm::NthAt(var, 5)), &c).unwrap());
     }
 
     #[test]
     fn seq_of_value_term() {
         let (c, e) = var_comp();
-        let f = Formula::value_eq(ValueTerm::SeqOf(EventTerm::Fixed(e[2])), ValueTerm::lit(2i64));
+        let f = Formula::value_eq(
+            ValueTerm::SeqOf(EventTerm::Fixed(e[2])),
+            ValueTerm::lit(2i64),
+        );
         assert!(holds_on_computation(&f, &c).unwrap());
     }
 

@@ -545,15 +545,16 @@ mod tests {
     fn is_temporal_detection() {
         assert!(!Formula::occurred("e").is_temporal());
         assert!(Formula::occurred("e").henceforth().is_temporal());
-        assert!(Formula::forall(
-            "e",
-            EventSel::any(),
-            Formula::occurred("e").eventually()
-        )
-        .is_temporal());
+        assert!(
+            Formula::forall("e", EventSel::any(), Formula::occurred("e").eventually())
+                .is_temporal()
+        );
         assert!(!Formula::True.and(Formula::False).is_temporal());
         assert!(Formula::True.and(Formula::False.eventually()).is_temporal());
-        assert!(Formula::occurred("e").not().implies(Formula::True.henceforth()).is_temporal());
+        assert!(Formula::occurred("e")
+            .not()
+            .implies(Formula::True.henceforth())
+            .is_temporal());
     }
 
     #[test]
@@ -603,15 +604,18 @@ mod tests {
         let s = structure();
         let var = s.element("Var").unwrap();
         // Fixed event id, occurrence notation, seq(), positional params.
-        let f = Formula::event_eq(EventTerm::Fixed(EventId::from_raw(3)), EventTerm::NthAt(var, 2))
-            .and(Formula::value_cmp(
-                CmpOp::Lt,
-                ValueTerm::SeqOf(EventTerm::var("e")),
-                ValueTerm::param("e", 1usize),
-            ))
-            .and(Formula::element_precedes("a", "b"))
-            .and(Formula::concurrent("a", "b"))
-            .and(Formula::matches("a", EventSel::at_element(var)));
+        let f = Formula::event_eq(
+            EventTerm::Fixed(EventId::from_raw(3)),
+            EventTerm::NthAt(var, 2),
+        )
+        .and(Formula::value_cmp(
+            CmpOp::Lt,
+            ValueTerm::SeqOf(EventTerm::var("e")),
+            ValueTerm::param("e", 1usize),
+        ))
+        .and(Formula::element_precedes("a", "b"))
+        .and(Formula::concurrent("a", "b"))
+        .and(Formula::matches("a", EventSel::at_element(var)));
         let r = f.render(&s);
         assert!(r.contains("e3 == Var^2"), "{r}");
         assert!(r.contains("seq(e) < e.par1"), "{r}");

@@ -16,10 +16,24 @@
 use crate::Formula;
 
 /// Returns a logically equivalent, structurally smaller formula.
+///
+/// When an ambient probe is installed (`gem_obs::ambient`), records the
+/// node counts before and after (`logic.simplify.size_before` /
+/// `logic.simplify.size_after`), from which the saving follows.
 pub fn simplify(formula: &Formula) -> Formula {
+    let result = simplify_rec(formula);
+    if gem_obs::ambient::active() {
+        gem_obs::ambient::add("logic.simplify.calls", 1);
+        gem_obs::ambient::add("logic.simplify.size_before", formula_size(formula) as u64);
+        gem_obs::ambient::add("logic.simplify.size_after", formula_size(&result) as u64);
+    }
+    result
+}
+
+fn simplify_rec(formula: &Formula) -> Formula {
     match formula {
         Formula::True | Formula::False | Formula::Atom(_) => formula.clone(),
-        Formula::Not(f) => match simplify(f) {
+        Formula::Not(f) => match simplify_rec(f) {
             Formula::True => Formula::False,
             Formula::False => Formula::True,
             Formula::Not(inner) => *inner,
@@ -28,7 +42,7 @@ pub fn simplify(formula: &Formula) -> Formula {
         Formula::And(fs) => {
             let mut parts = Vec::new();
             for f in fs {
-                match simplify(f) {
+                match simplify_rec(f) {
                     Formula::True => {}
                     Formula::False => return Formula::False,
                     Formula::And(inner) => parts.extend(inner),
@@ -44,7 +58,7 @@ pub fn simplify(formula: &Formula) -> Formula {
         Formula::Or(fs) => {
             let mut parts = Vec::new();
             for f in fs {
-                match simplify(f) {
+                match simplify_rec(f) {
                     Formula::False => {}
                     Formula::True => return Formula::True,
                     Formula::Or(inner) => parts.extend(inner),
@@ -57,41 +71,39 @@ pub fn simplify(formula: &Formula) -> Formula {
                 _ => Formula::Or(parts),
             }
         }
-        Formula::Implies(a, b) => match (simplify(a), simplify(b)) {
+        Formula::Implies(a, b) => match (simplify_rec(a), simplify_rec(b)) {
             (Formula::True, g) => g,
             (Formula::False, _) => Formula::True,
             (_, Formula::True) => Formula::True,
-            (f, Formula::False) => simplify(&Formula::Not(Box::new(f))),
+            (f, Formula::False) => simplify_rec(&Formula::Not(Box::new(f))),
             (f, g) => Formula::Implies(Box::new(f), Box::new(g)),
         },
-        Formula::Iff(a, b) => match (simplify(a), simplify(b)) {
+        Formula::Iff(a, b) => match (simplify_rec(a), simplify_rec(b)) {
             (Formula::True, g) | (g, Formula::True) => g,
-            (Formula::False, g) | (g, Formula::False) => {
-                simplify(&Formula::Not(Box::new(g)))
-            }
+            (Formula::False, g) | (g, Formula::False) => simplify_rec(&Formula::Not(Box::new(g))),
             (f, g) => Formula::Iff(Box::new(f), Box::new(g)),
         },
-        Formula::ForAll(v, sel, f) => match simplify(f) {
+        Formula::ForAll(v, sel, f) => match simplify_rec(f) {
             Formula::True => Formula::True,
             g => Formula::ForAll(v.clone(), sel.clone(), Box::new(g)),
         },
-        Formula::Exists(v, sel, f) => match simplify(f) {
+        Formula::Exists(v, sel, f) => match simplify_rec(f) {
             Formula::False => Formula::False,
             g => Formula::Exists(v.clone(), sel.clone(), Box::new(g)),
         },
         Formula::ExistsUnique(v, sel, f) => {
-            Formula::ExistsUnique(v.clone(), sel.clone(), Box::new(simplify(f)))
+            Formula::ExistsUnique(v.clone(), sel.clone(), Box::new(simplify_rec(f)))
         }
-        Formula::AtMostOne(v, sel, f) => match simplify(f) {
+        Formula::AtMostOne(v, sel, f) => match simplify_rec(f) {
             Formula::False => Formula::True, // zero matches ≤ 1
             g => Formula::AtMostOne(v.clone(), sel.clone(), Box::new(g)),
         },
-        Formula::Henceforth(f) => match simplify(f) {
+        Formula::Henceforth(f) => match simplify_rec(f) {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
             g => Formula::Henceforth(Box::new(g)),
         },
-        Formula::Eventually(f) => match simplify(f) {
+        Formula::Eventually(f) => match simplify_rec(f) {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
             g => Formula::Eventually(Box::new(g)),
@@ -142,10 +154,7 @@ mod tests {
         assert_eq!(simplify(&Formula::True.implies(atom())), atom());
         assert_eq!(simplify(&Formula::False.implies(atom())), Formula::True);
         assert_eq!(simplify(&atom().implies(Formula::True)), Formula::True);
-        assert_eq!(
-            simplify(&atom().implies(Formula::False)),
-            atom().not()
-        );
+        assert_eq!(simplify(&atom().implies(Formula::False)), atom().not());
         assert_eq!(simplify(&atom().iff(Formula::True)), atom());
         assert_eq!(simplify(&atom().iff(Formula::False)), atom().not());
     }

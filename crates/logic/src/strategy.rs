@@ -20,8 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use gem_core::{
-    for_each_linearization, for_each_step_sequence, Computation, EventId, History,
-    HistorySequence,
+    for_each_linearization, for_each_step_sequence, Computation, EventId, History, HistorySequence,
 };
 
 use crate::{holds_on_sequence, EvalError, Formula};
@@ -95,7 +94,12 @@ impl Counterexample {
                     )
                 })
                 .collect();
-            let _ = writeln!(out, "  step {i}: +[{}] ({} events)", added.join(", "), h.len());
+            let _ = writeln!(
+                out,
+                "  step {i}: +[{}] ({} events)",
+                added.join(", "),
+                h.len()
+            );
             prev = h.clone();
         }
         out
@@ -380,8 +384,18 @@ mod tests {
         let f = Formula::occurred(e[0])
             .implies(Formula::occurred(e[2]))
             .henceforth();
-        let r1 = check(&f, &c, Strategy::RandomLinearizations { count: 50, seed: 7 }).unwrap();
-        let r2 = check(&f, &c, Strategy::RandomLinearizations { count: 50, seed: 7 }).unwrap();
+        let r1 = check(
+            &f,
+            &c,
+            Strategy::RandomLinearizations { count: 50, seed: 7 },
+        )
+        .unwrap();
+        let r2 = check(
+            &f,
+            &c,
+            Strategy::RandomLinearizations { count: 50, seed: 7 },
+        )
+        .unwrap();
         assert_eq!(r1, r2, "same seed, same verdict");
         assert!(!r1.exhaustive);
         // With 50 samples over 6 interleavings a violation is all but

@@ -197,18 +197,16 @@ impl CmpOp {
         match self {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
-            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
-                match (a.as_int(), b.as_int()) {
-                    (Some(x), Some(y)) => match self {
-                        CmpOp::Lt => x < y,
-                        CmpOp::Le => x <= y,
-                        CmpOp::Gt => x > y,
-                        CmpOp::Ge => x >= y,
-                        _ => unreachable!(),
-                    },
-                    _ => false,
-                }
-            }
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => match self {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    _ => unreachable!(),
+                },
+                _ => false,
+            },
         }
     }
 }

@@ -1,0 +1,132 @@
+//! Thread-local ambient probe.
+//!
+//! Deep layers (formula evaluation, transitive-closure construction,
+//! history materialization) sit below every public API; threading a
+//! probe argument through them would churn dozens of signatures. They
+//! record into the *ambient* probe instead: a thread-local slot a caller
+//! installs around a sweep (see `gem-verify`). When nothing is
+//! installed anywhere, the fast path is a single relaxed atomic load —
+//! and instrumented layers batch their counts, so even the slow path is
+//! per-call, not per-item.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::probe::Probe;
+
+/// Count of installed guards across all threads; lets the fast path skip
+/// the thread-local lookup entirely when no probe exists anywhere.
+static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<dyn Probe>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Uninstalls on drop. Not `Send`: the probe must be uninstalled on the
+/// thread that installed it.
+pub struct AmbientGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Installs `probe` as this thread's ambient probe until the returned
+/// guard drops. Nested installs shadow (innermost wins), mirroring span
+/// nesting.
+pub fn install(probe: Arc<dyn Probe>) -> AmbientGuard {
+    CURRENT.with(|c| c.borrow_mut().push(probe));
+    INSTALLED.fetch_add(1, Ordering::Relaxed);
+    AmbientGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        INSTALLED.fetch_sub(1, Ordering::Relaxed);
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// True if some thread has an ambient probe installed (cheap pre-check).
+#[inline]
+pub fn active() -> bool {
+    INSTALLED.load(Ordering::Relaxed) != 0
+}
+
+#[inline]
+fn with_current(f: impl FnOnce(&dyn Probe)) {
+    if !active() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(p) = c.borrow().last() {
+            f(p.as_ref());
+        }
+    });
+}
+
+/// Increments counter `name` on the ambient probe, if any.
+#[inline]
+pub fn add(name: &str, delta: u64) {
+    with_current(|p| p.add(name, delta));
+}
+
+/// Raises gauge `name` on the ambient probe, if any.
+#[inline]
+pub fn gauge_max(name: &str, value: u64) {
+    with_current(|p| p.gauge_max(name, value));
+}
+
+/// Sets gauge `name` on the ambient probe, if any.
+#[inline]
+pub fn gauge_set(name: &str, value: u64) {
+    with_current(|p| p.gauge_set(name, value));
+}
+
+/// Records a duration on the ambient probe, if any.
+#[inline]
+pub fn time_ns(name: &str, nanos: u64) {
+    with_current(|p| p.time_ns(name, nanos));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::StatsProbe;
+
+    #[test]
+    fn records_only_while_installed() {
+        add("before", 1); // discarded: nothing installed
+        let stats = Arc::new(StatsProbe::new());
+        {
+            let _g = install(stats.clone());
+            assert!(active());
+            add("during", 2);
+            gauge_max("depth", 5);
+            time_ns("t", 100);
+        }
+        add("after", 3); // discarded again
+        let r = stats.report();
+        assert_eq!(r.counters.get("before"), None);
+        assert_eq!(r.counters["during"], 2);
+        assert_eq!(r.counters.get("after"), None);
+        assert_eq!(r.gauges["depth"], 5);
+        assert_eq!(r.timers["t"].count, 1);
+    }
+
+    #[test]
+    fn nested_installs_shadow() {
+        let outer = Arc::new(StatsProbe::new());
+        let inner = Arc::new(StatsProbe::new());
+        let _g1 = install(outer.clone());
+        {
+            let _g2 = install(inner.clone());
+            add("n", 1);
+        }
+        add("n", 1);
+        assert_eq!(inner.counter("n"), 1);
+        assert_eq!(outer.counter("n"), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Progress heartbeat for long sweeps.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::probe::Probe;
+
+/// Prints a one-line progress report to stderr at a bounded rate.
+///
+/// The probe watches increments of a designated *run counter*
+/// (`explore.runs` by convention); every `check_every` increments it
+/// consults the clock, and if at least `interval` has elapsed since the
+/// last beat it prints accumulated runs/steps and the elapsed time. With
+/// the default 5-second interval, short sweeps stay silent and
+/// multi-minute exhaustive sweeps report a few times a minute.
+#[derive(Debug)]
+pub struct HeartbeatProbe {
+    run_counter: &'static str,
+    step_counter: &'static str,
+    interval: Duration,
+    check_every: u64,
+    state: Mutex<HeartbeatState>,
+}
+
+#[derive(Debug)]
+struct HeartbeatState {
+    runs: u64,
+    steps: u64,
+    since_check: u64,
+    started: Instant,
+    last_beat: Instant,
+}
+
+impl HeartbeatProbe {
+    /// A heartbeat on the conventional `explore.runs` / `explore.steps`
+    /// counters, printing at most once per `interval`.
+    pub fn new(interval: Duration) -> Self {
+        let now = Instant::now();
+        Self {
+            run_counter: "explore.runs",
+            step_counter: "explore.steps",
+            interval,
+            check_every: 1000,
+            state: Mutex::new(HeartbeatState {
+                runs: 0,
+                steps: 0,
+                since_check: 0,
+                started: now,
+                last_beat: now,
+            }),
+        }
+    }
+
+    /// Consults the clock every `n` run increments (default 1000);
+    /// lower it for workloads whose runs are individually slow.
+    #[must_use]
+    pub fn check_every(mut self, n: u64) -> Self {
+        self.check_every = n.max(1);
+        self
+    }
+
+    fn beat(state: &mut HeartbeatState) {
+        let elapsed = state.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            state.runs as f64 / elapsed
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[gem] {} run(s), {} step(s), {elapsed:.1}s elapsed ({rate:.0} runs/s)",
+            state.runs, state.steps
+        );
+        state.last_beat = Instant::now();
+    }
+}
+
+impl Probe for HeartbeatProbe {
+    fn add(&self, name: &str, delta: u64) {
+        if name == self.step_counter {
+            let mut state = self.state.lock().expect("heartbeat poisoned");
+            state.steps += delta;
+            return;
+        }
+        if name != self.run_counter {
+            return;
+        }
+        let mut state = self.state.lock().expect("heartbeat poisoned");
+        state.runs += delta;
+        state.since_check += delta;
+        if state.since_check >= self.check_every {
+            state.since_check = 0;
+            if state.last_beat.elapsed() >= self.interval {
+                Self::beat(&mut state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_runs_and_steps_without_printing_early() {
+        // A long interval: the heartbeat only accumulates.
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).check_every(10);
+        for _ in 0..25 {
+            hb.add("explore.runs", 1);
+            hb.add("explore.steps", 3);
+        }
+        hb.add("unrelated", 99);
+        let state = hb.state.lock().unwrap();
+        assert_eq!(state.runs, 25);
+        assert_eq!(state.steps, 75);
+        // 25 runs with check_every=10: clock checked twice, never beat.
+        assert_eq!(state.since_check, 5);
+    }
+
+    #[test]
+    fn zero_interval_beats_on_check() {
+        let hb = HeartbeatProbe::new(Duration::ZERO).check_every(5);
+        for _ in 0..5 {
+            hb.add("explore.runs", 1);
+        }
+        let state = hb.state.lock().unwrap();
+        assert_eq!(state.since_check, 0, "check fired");
+    }
+}

@@ -1,0 +1,45 @@
+//! # gem-obs — instrumentation for exploration & verification
+//!
+//! The verification methodology quantifies over *all* schedules of a
+//! bounded program; the interleaving explosion is where wall-clock time
+//! goes. This crate makes that spend visible without perturbing it:
+//!
+//! * [`Probe`] — the sink trait: monotonic **counters**, last/max
+//!   **gauges**, **timers** (duration histogram summaries), and
+//!   hierarchical **spans**.
+//! * [`NoopProbe`] — the zero-cost default. Instrumented code checks
+//!   [`Probe::enabled`] before doing any work, so the disabled path is a
+//!   virtual call returning a constant (and hot loops batch their counts,
+//!   so even that call is per-run, not per-step).
+//! * [`StatsProbe`] — thread-safe in-memory aggregation, convertible to a
+//!   [`Report`].
+//! * [`TraceProbe`] — appends JSONL events (span enter/exit, counter
+//!   batches) to a writer, for offline timeline reconstruction.
+//! * [`FanoutProbe`] — duplicates events to several probes (stats +
+//!   trace + heartbeat).
+//! * [`HeartbeatProbe`] — prints a progress line to stderr at a bounded
+//!   rate, keyed on run-counter increments, so exhaustive sweeps are not
+//!   silent.
+//! * [`Report`] — deterministic JSON (`BTreeMap`-ordered keys) so two
+//!   runs of the same workload diff cleanly: only timer values change.
+//! * [`ambient`] — a thread-local probe slot for layers too deep to
+//!   thread a probe argument through (formula evaluation, closure
+//!   construction, history materialization). Inactive cost is one atomic
+//!   load.
+//!
+//! Counter names are dot-separated paths (`explore.runs`,
+//! `restriction.<name>.evals`); see `docs/OBSERVABILITY.md` for the
+//! vocabulary the other crates emit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ambient;
+mod heartbeat;
+mod json;
+mod probe;
+mod report;
+
+pub use heartbeat::HeartbeatProbe;
+pub use probe::{FanoutProbe, NoopProbe, Probe, Span, StatsProbe, TraceProbe};
+pub use report::{Report, TimerStat};

@@ -1,0 +1,429 @@
+//! The [`Probe`] trait and its standard implementations.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::push_json_str;
+use crate::report::{Report, TimerStat};
+
+/// A sink for instrumentation events.
+///
+/// All methods have empty default bodies so implementors only override
+/// what they observe; [`Probe::enabled`] lets hot paths skip batching
+/// work entirely when the probe is a no-op.
+///
+/// Names are dot-separated paths (`explore.runs`,
+/// `restriction.<name>.evals`). They are `&str` rather than `&'static
+/// str` because per-restriction metrics are keyed by user-chosen names.
+pub trait Probe: Send + Sync {
+    /// False when every event is discarded; instrumented code may use
+    /// this to skip timestamping and delta bookkeeping.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Increments the monotonic counter `name` by `delta`.
+    fn add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the gauge `name` (last write wins).
+    fn gauge_set(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Raises the gauge `name` to `value` if larger (high-water mark).
+    fn gauge_max(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Records one duration under the timer `name`.
+    fn time_ns(&self, name: &str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// Marks entry into the span `name` (spans nest; exits arrive in
+    /// reverse entry order per thread).
+    fn span_enter(&self, name: &str) {
+        let _ = name;
+    }
+
+    /// Marks exit from the span `name` after `nanos` inside it.
+    fn span_exit(&self, name: &str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+}
+
+/// The zero-cost default: discards everything, reports itself disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// RAII span: enters on construction, exits (recording elapsed time, and
+/// mirroring it into a same-named timer) on drop.
+///
+/// Construct with [`Span::enter`]; when the probe is disabled no clock
+/// is read.
+pub struct Span<'a> {
+    probe: &'a dyn Probe,
+    name: &'a str,
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Enters span `name` on `probe`.
+    pub fn enter(probe: &'a dyn Probe, name: &'a str) -> Self {
+        let start = if probe.enabled() {
+            probe.span_enter(name);
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Self { probe, name, start }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.probe.span_exit(self.name, ns);
+            self.probe.time_ns(self.name, ns);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    timers: BTreeMap<String, TimerStat>,
+}
+
+/// In-memory aggregation: counters summed, gauges kept, timers
+/// summarized. Thread-safe (a single mutex; hot layers batch their
+/// counts so contention is per-run, not per-step).
+#[derive(Debug, Default)]
+pub struct StatsProbe {
+    inner: Mutex<StatsInner>,
+}
+
+impl StatsProbe {
+    /// An empty stats probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn report(&self) -> Report {
+        let inner = self.inner.lock().expect("stats probe poisoned");
+        Report {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            timers: inner.timers.clone(),
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// Reads one counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("stats probe poisoned");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl Probe for StatsProbe {
+    fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("stats probe poisoned");
+        match inner.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("stats probe poisoned");
+        inner.gauges.insert(name.to_owned(), value);
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("stats probe poisoned");
+        match inner.gauges.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                inner.gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    fn time_ns(&self, name: &str, nanos: u64) {
+        let mut inner = self.inner.lock().expect("stats probe poisoned");
+        inner
+            .timers
+            .entry(name.to_owned())
+            .or_default()
+            .record(nanos);
+    }
+
+    fn span_exit(&self, name: &str, nanos: u64) {
+        // Spans double as timers; `Span` already mirrors into `time_ns`,
+        // so only count nesting-free span exits arriving directly.
+        let _ = (name, nanos);
+    }
+}
+
+/// Writes one JSONL event per probe call to a writer (typically a file):
+/// `{"us":<since-start>,"ev":"counter","k":"explore.runs","v":1}` and
+/// `{"us":…,"ev":"enter"/"exit","k":"verify.run","ns":…}`.
+///
+/// Offsets are microseconds since probe construction. The stream is
+/// line-buffered via `BufWriter` and flushed on drop.
+pub struct TraceProbe {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for TraceProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceProbe").finish_non_exhaustive()
+    }
+}
+
+impl TraceProbe {
+    /// Traces into `writer`.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        Self {
+            out: Mutex::new(BufWriter::new(Box::new(writer))),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Creates (truncating) `path` and traces into it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+
+    fn line(&self, ev: &str, key: &str, fields: &[(&str, u64)]) {
+        let us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut line = String::with_capacity(64);
+        line.push_str(&format!("{{\"us\":{us},\"ev\":\"{ev}\",\"k\":"));
+        push_json_str(&mut line, key);
+        for (name, value) in fields {
+            line.push_str(&format!(",\"{name}\":{value}"));
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().expect("trace probe poisoned");
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    /// Flushes buffered events.
+    pub fn flush(&self) {
+        let mut out = self.out.lock().expect("trace probe poisoned");
+        let _ = out.flush();
+    }
+}
+
+impl Drop for TraceProbe {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Probe for TraceProbe {
+    fn add(&self, name: &str, delta: u64) {
+        self.line("counter", name, &[("v", delta)]);
+    }
+
+    fn gauge_set(&self, name: &str, value: u64) {
+        self.line("gauge", name, &[("v", value)]);
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        self.line("gauge_max", name, &[("v", value)]);
+    }
+
+    fn time_ns(&self, name: &str, nanos: u64) {
+        self.line("time", name, &[("ns", nanos)]);
+    }
+
+    fn span_enter(&self, name: &str) {
+        self.line("enter", name, &[]);
+    }
+
+    fn span_exit(&self, name: &str, nanos: u64) {
+        self.line("exit", name, &[("ns", nanos)]);
+    }
+}
+
+/// Duplicates every event to each wrapped probe.
+#[derive(Clone)]
+pub struct FanoutProbe {
+    sinks: Vec<Arc<dyn Probe>>,
+}
+
+impl std::fmt::Debug for FanoutProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FanoutProbe({} sinks)", self.sinks.len())
+    }
+}
+
+impl FanoutProbe {
+    /// Fans out to `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Probe>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Probe for FanoutProbe {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        for s in &self.sinks {
+            s.add(name, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.gauge_set(name, value);
+        }
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.gauge_max(name, value);
+        }
+    }
+
+    fn time_ns(&self, name: &str, nanos: u64) {
+        for s in &self.sinks {
+            s.time_ns(name, nanos);
+        }
+    }
+
+    fn span_enter(&self, name: &str) {
+        for s in &self.sinks {
+            s.span_enter(name);
+        }
+    }
+
+    fn span_exit(&self, name: &str, nanos: u64) {
+        for s in &self.sinks {
+            s.span_exit(name, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled() {
+        let p = NoopProbe;
+        assert!(!p.enabled());
+        p.add("x", 1); // must not panic
+    }
+
+    #[test]
+    fn stats_aggregates_counters_gauges_timers() {
+        let p = StatsProbe::new();
+        p.add("runs", 2);
+        p.add("runs", 3);
+        p.gauge_max("depth", 4);
+        p.gauge_max("depth", 2);
+        p.gauge_set("first_failure", 7);
+        p.gauge_set("first_failure", 9);
+        p.time_ns("check", 10);
+        p.time_ns("check", 30);
+        let r = p.report();
+        assert_eq!(r.counters["runs"], 5);
+        assert_eq!(r.gauges["depth"], 4);
+        assert_eq!(r.gauges["first_failure"], 9);
+        assert_eq!(r.timers["check"].count, 2);
+        assert_eq!(r.timers["check"].total_ns, 40);
+        assert_eq!(p.counter("runs"), 5);
+        assert_eq!(p.counter("missing"), 0);
+    }
+
+    #[test]
+    fn span_records_timer() {
+        let p = StatsProbe::new();
+        {
+            let _s = Span::enter(&p, "outer");
+            let _t = Span::enter(&p, "inner");
+        }
+        let r = p.report();
+        assert_eq!(r.timers["outer"].count, 1);
+        assert_eq!(r.timers["inner"].count, 1);
+        assert!(r.timers["outer"].total_ns >= r.timers["inner"].total_ns);
+    }
+
+    #[test]
+    fn span_on_noop_reads_no_clock() {
+        let p = NoopProbe;
+        let s = Span::enter(&p, "x");
+        assert!(s.start.is_none());
+    }
+
+    #[test]
+    fn trace_writes_jsonl() {
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let p = TraceProbe::new(buf.clone());
+        p.add("explore.runs", 1);
+        {
+            let _s = Span::enter(&p, "verify");
+        }
+        p.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "counter + enter + exit + time: {text}");
+        assert!(lines[0].contains("\"ev\":\"counter\""), "{text}");
+        assert!(lines[0].contains("\"k\":\"explore.runs\""), "{text}");
+        assert!(lines[1].contains("\"ev\":\"enter\""), "{text}");
+        assert!(lines[2].contains("\"ev\":\"exit\""), "{text}");
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "JSONL: {l}");
+        }
+    }
+
+    #[test]
+    fn fanout_duplicates() {
+        let a = Arc::new(StatsProbe::new());
+        let b = Arc::new(StatsProbe::new());
+        let f = FanoutProbe::new(vec![a.clone(), b.clone()]);
+        assert!(f.enabled());
+        f.add("n", 2);
+        assert_eq!(a.counter("n"), 2);
+        assert_eq!(b.counter("n"), 2);
+        let noop = FanoutProbe::new(vec![Arc::new(NoopProbe)]);
+        assert!(!noop.enabled());
+    }
+}

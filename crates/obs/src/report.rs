@@ -1,0 +1,289 @@
+//! Aggregated run reports with deterministic JSON serialization.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{push_json_key, push_json_str};
+
+/// Summary of a timer/span: count and total/min/max durations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TimerStat {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest recorded duration, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest recorded duration, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl TimerStat {
+    /// Folds one duration into the summary.
+    pub fn record(&mut self, nanos: u64) {
+        if self.count == 0 {
+            self.min_ns = nanos;
+            self.max_ns = nanos;
+        } else {
+            self.min_ns = self.min_ns.min(nanos);
+            self.max_ns = self.max_ns.max(nanos);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(nanos);
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// An aggregated, serializable view of everything a probe saw.
+///
+/// Key order is the `BTreeMap` order, so [`Report::to_json`] is
+/// byte-deterministic for a deterministic workload: two runs of the same
+/// sweep differ only in the *values* under `"timers"` and
+/// `"wall_time_ns"` — every counter, gauge, and meta entry is identical.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Report {
+    /// Monotonic counters (`explore.runs`, `verify.deadlocks`, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write / high-water gauges (`explore.depth_high_water`, …).
+    pub gauges: BTreeMap<String, u64>,
+    /// Timer/span summaries. The only nondeterministic section.
+    pub timers: BTreeMap<String, TimerStat>,
+    /// Free-form context (command line, problem name, parameters).
+    pub meta: BTreeMap<String, String>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: total wall time if the conventional `total` timer was
+    /// recorded.
+    pub fn wall_time_ns(&self) -> Option<u64> {
+        self.timers.get("total").map(|t| t.total_ns)
+    }
+
+    /// Serializes to a stable-ordered, human-diffable JSON document
+    /// (two-space indent, sorted keys, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  ");
+        push_json_key(&mut out, "counters");
+        out.push_str(" {");
+        push_u64_map(&mut out, &self.counters);
+        out.push_str("},\n  ");
+        push_json_key(&mut out, "gauges");
+        out.push_str(" {");
+        push_u64_map(&mut out, &self.gauges);
+        out.push_str("},\n  ");
+        push_json_key(&mut out, "meta");
+        out.push_str(" {");
+        let mut first = true;
+        for (k, v) in &self.meta {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            push_json_key(&mut out, k);
+            out.push(' ');
+            push_json_str(&mut out, v);
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  ");
+        push_json_key(&mut out, "timers");
+        out.push_str(" {");
+        let mut first = true;
+        for (k, t) in &self.timers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            push_json_key(&mut out, k);
+            out.push_str(&format!(
+                " {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                t.count,
+                t.total_ns,
+                t.min_ns,
+                t.max_ns,
+                t.mean_ns()
+            ));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// The report with every timer value zeroed — byte-identical across
+    /// runs of a deterministic workload; used by tests asserting report
+    /// determinism "modulo timing fields".
+    pub fn without_timings(&self) -> Report {
+        let mut r = self.clone();
+        for stat in r.timers.values_mut() {
+            *stat = TimerStat {
+                count: stat.count,
+                ..TimerStat::default()
+            };
+        }
+        r
+    }
+}
+
+fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        push_json_key(out, k);
+        out.push_str(&format!(" {v}"));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+impl fmt::Display for Report {
+    /// Human-readable aligned table (the `--stats` output).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.timers.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        if !self.meta.is_empty() {
+            for (k, v) in &self.meta {
+                writeln!(f, "# {k}: {v}")?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (k, v) in &self.counters {
+                writeln!(f, "  {k:width$}  {v:>12}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (k, v) in &self.gauges {
+                writeln!(f, "  {k:width$}  {v:>12}")?;
+            }
+        }
+        if !self.timers.is_empty() {
+            writeln!(f, "timers:")?;
+            for (k, t) in &self.timers {
+                writeln!(
+                    f,
+                    "  {k:width$}  {:>12}  x{:<8} mean {}",
+                    format_ns(t.total_ns),
+                    t.count,
+                    format_ns(t.mean_ns()),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders nanoseconds with a readable unit.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.counters.insert("explore.runs".into(), 6);
+        r.counters.insert("explore.steps".into(), 24);
+        r.gauges.insert("explore.depth_high_water".into(), 4);
+        r.meta.insert("problem".into(), "rw".into());
+        let mut t = TimerStat::default();
+        t.record(100);
+        t.record(300);
+        r.timers.insert("total".into(), t);
+        r
+    }
+
+    #[test]
+    fn json_is_stable_and_wellformed() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b, "serialization is a pure function");
+        assert!(a.contains("\"explore.runs\": 6"), "{a}");
+        assert!(a.contains("\"problem\": \"rw\""), "{a}");
+        assert!(a.contains("\"total_ns\": 400"), "{a}");
+        assert!(a.ends_with("}\n"));
+        // Keys appear in sorted order.
+        let runs = a.find("explore.runs").unwrap();
+        let steps = a.find("explore.steps").unwrap();
+        assert!(runs < steps);
+    }
+
+    #[test]
+    fn without_timings_is_timing_invariant() {
+        let mut a = sample();
+        let mut b = sample();
+        a.timers.get_mut("total").unwrap().record(999);
+        b.timers.get_mut("total").unwrap().record(1);
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(a.without_timings().to_json(), b.without_timings().to_json());
+    }
+
+    #[test]
+    fn timer_stat_aggregates() {
+        let mut t = TimerStat::default();
+        t.record(5);
+        t.record(1);
+        t.record(9);
+        assert_eq!(t.count, 3);
+        assert_eq!(t.total_ns, 15);
+        assert_eq!(t.min_ns, 1);
+        assert_eq!(t.max_ns, 9);
+        assert_eq!(t.mean_ns(), 5);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = sample();
+        let s = r.to_string();
+        assert!(s.contains("explore.runs"), "{s}");
+        assert!(s.contains("# problem: rw"), "{s}");
+        assert!(s.contains("timers:"), "{s}");
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(1_500), "1.500us");
+        assert_eq!(format_ns(2_000_000), "2.000ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000s");
+    }
+}

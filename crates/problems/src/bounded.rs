@@ -55,20 +55,21 @@ pub fn bounded_spec(items: usize, cap: usize) -> Specification {
     for k in 0..items {
         let d_k = EventTerm::NthAt(inp, k);
         let r_k = EventTerm::NthAt(outp, k);
-        fifo.push(Formula::occurred(r_k.clone()).implies(
-            Formula::occurred(d_k.clone()).and(Formula::value_eq(
-                ValueTerm::param(d_k.clone(), "item"),
-                ValueTerm::param(r_k.clone(), "item"),
+        fifo.push(
+            Formula::occurred(r_k.clone()).implies(Formula::occurred(d_k.clone()).and(
+                Formula::value_eq(
+                    ValueTerm::param(d_k.clone(), "item"),
+                    ValueTerm::param(r_k.clone(), "item"),
+                ),
             )),
-        ));
+        );
         order.push(
             Formula::occurred(r_k.clone()).implies(Formula::precedes(d_k.clone(), r_k.clone())),
         );
         if k >= cap {
             let r_freed = EventTerm::NthAt(outp, k - cap);
             capacity.push(
-                Formula::occurred(d_k.clone())
-                    .implies(Formula::precedes(r_freed, d_k.clone())),
+                Formula::occurred(d_k.clone()).implies(Formula::precedes(r_freed, d_k.clone())),
             );
         }
     }
@@ -94,7 +95,12 @@ pub fn monitor_solution(items: &[i64], cap: usize) -> MonitorSystem {
         monitor = monitor.var(format!("slot{i}"), 0i64);
     }
     // IF inx=0 THEN slot0 := v ELSE IF inx=1 THEN slot1 := v …
-    fn index_chain(var_prefix: &str, index_var: &str, cap: usize, make: impl Fn(usize) -> Stmt) -> Stmt {
+    fn index_chain(
+        var_prefix: &str,
+        index_var: &str,
+        cap: usize,
+        make: impl Fn(usize) -> Stmt,
+    ) -> Stmt {
         let mut stmt = make(cap - 1);
         for i in (0..cap - 1).rev() {
             stmt = Stmt::If(
@@ -116,7 +122,9 @@ pub fn monitor_solution(items: &[i64], cap: usize) -> MonitorSystem {
         }),
         Stmt::assign(
             "inx",
-            Expr::var("inx").add(Expr::int(1)).rem(Expr::int(cap as i64)),
+            Expr::var("inx")
+                .add(Expr::int(1))
+                .rem(Expr::int(cap as i64)),
         ),
         Stmt::assign("count", Expr::var("count").add(Expr::int(1))),
         Stmt::signal("notempty"),
@@ -131,7 +139,9 @@ pub fn monitor_solution(items: &[i64], cap: usize) -> MonitorSystem {
         }),
         Stmt::assign(
             "outx",
-            Expr::var("outx").add(Expr::int(1)).rem(Expr::int(cap as i64)),
+            Expr::var("outx")
+                .add(Expr::int(1))
+                .rem(Expr::int(cap as i64)),
         ),
         Stmt::assign("count", Expr::var("count").sub(Expr::int(1))),
         Stmt::signal("notfull"),
@@ -238,11 +248,7 @@ pub fn csp_solution(items: &[i64], cap: usize) -> CspSystem {
 
 /// Significant objects for the CSP solution: the first cell's `InEnd` is
 /// the deposit, the last cell's `OutEnd` the removal.
-pub fn csp_correspondence(
-    sys: &CspSystem,
-    problem: &Specification,
-    cap: usize,
-) -> Correspondence {
+pub fn csp_correspondence(sys: &CspSystem, problem: &Specification, cap: usize) -> Correspondence {
     let ps = problem.structure();
     let inp = ps.element("buf.inp").expect("inp element");
     let outp = ps.element("buf.outp").expect("outp element");
@@ -293,7 +299,9 @@ pub fn ada_solution(items: &[i64], cap: usize) -> AdaSystem {
             }),
             AdaStmt::assign(
                 "inx",
-                Expr::var("inx").add(Expr::int(1)).rem(Expr::int(cap as i64)),
+                Expr::var("inx")
+                    .add(Expr::int(1))
+                    .rem(Expr::int(cap as i64)),
             ),
             AdaStmt::assign("count", Expr::var("count").add(Expr::int(1))),
             AdaStmt::assign("puts", Expr::var("puts").add(Expr::int(1))),
@@ -308,7 +316,9 @@ pub fn ada_solution(items: &[i64], cap: usize) -> AdaSystem {
             }),
             AdaStmt::assign(
                 "outx",
-                Expr::var("outx").add(Expr::int(1)).rem(Expr::int(cap as i64)),
+                Expr::var("outx")
+                    .add(Expr::int(1))
+                    .rem(Expr::int(cap as i64)),
             ),
             AdaStmt::assign("count", Expr::var("count").sub(Expr::int(1))),
             AdaStmt::assign("takes", Expr::var("takes").add(Expr::int(1))),
@@ -331,7 +341,9 @@ pub fn ada_solution(items: &[i64], cap: usize) -> AdaSystem {
     let mut buffer = AdaTask::new(
         "buffer",
         vec![AdaStmt::While(
-            Expr::var("puts").lt(Expr::int(n)).or(Expr::var("takes").lt(Expr::int(n))),
+            Expr::var("puts")
+                .lt(Expr::int(n))
+                .or(Expr::var("takes").lt(Expr::int(n))),
             loop_body,
         )],
     )
@@ -360,20 +372,11 @@ pub fn ada_solution(items: &[i64], cap: usize) -> AdaSystem {
             .map(|_| AdaStmt::call("buffer", "Take", vec![]))
             .collect(),
     );
-    AdaSystem::new(
-        AdaProgram::new()
-            .task(buffer)
-            .task(producer)
-            .task(consumer),
-    )
+    AdaSystem::new(AdaProgram::new().task(buffer).task(producer).task(consumer))
 }
 
 /// Significant objects for the ADA solution.
-pub fn ada_correspondence(
-    sys: &AdaSystem,
-    problem: &Specification,
-    cap: usize,
-) -> Correspondence {
+pub fn ada_correspondence(sys: &AdaSystem, problem: &Specification, cap: usize) -> Correspondence {
     let ps = problem.structure();
     let inp = ps.element("buf.inp").expect("inp element");
     let outp = ps.element("buf.outp").expect("outp element");
@@ -381,8 +384,7 @@ pub fn ada_correspondence(
     let rem = ps.class("Remove").expect("Remove class");
     let s = sys.structure();
     let mut corr = Correspondence::new().map_with_params(
-        EventSel::of_class(sys.class("Assign"))
-            .at(s.element("buffer.var.out").expect("out var")),
+        EventSel::of_class(sys.class("Assign")).at(s.element("buffer.var.out").expect("out var")),
         outp,
         rem,
         &[(0, 0)],

@@ -51,9 +51,8 @@ pub fn db_update_spec(sites: usize, updates: usize) -> Specification {
         let ord_k = EventTerm::NthAt(order_el, k);
         for &site in &site_els {
             let app_k = EventTerm::NthAt(site, k);
-            everywhere.push(
-                Formula::occurred(ord_k.clone()).implies(Formula::occurred(app_k.clone())),
-            );
+            everywhere
+                .push(Formula::occurred(ord_k.clone()).implies(Formula::occurred(app_k.clone())));
             in_order.push(Formula::occurred(app_k.clone()).implies(Formula::value_eq(
                 ValueTerm::param(ord_k.clone(), "val"),
                 ValueTerm::param(app_k.clone(), "val"),
@@ -146,9 +145,7 @@ pub fn db_update_correspondence(
         &[(0, 0)],
     );
     for r in 0..sites {
-        let site_el = ps
-            .element(&format!("db.site[{r}]"))
-            .expect("site element");
+        let site_el = ps.element(&format!("db.site[{r}]")).expect("site element");
         let var_el = sys
             .structure()
             .element(&format!("replica{r}.var.db"))

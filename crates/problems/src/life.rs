@@ -67,8 +67,7 @@ impl Grid {
                     continue;
                 }
                 let (nx, ny) = (x as i64 + dx, y as i64 + dy);
-                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height
-                {
+                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
                     out.push((nx as usize, ny as usize));
                 }
             }
@@ -147,9 +146,7 @@ pub fn life_spec(initial: &Grid, gens: usize) -> Specification {
                 let me_g = EventTerm::NthAt(el, g);
                 functional.push(Formula::occurred(me_g.clone()).implies(Formula::value_eq(
                     ValueTerm::param(me_g.clone(), "state"),
-                    ValueTerm::Const(gem_core::Value::Int(i64::from(
-                        reference[g].get(x, y),
-                    ))),
+                    ValueTerm::Const(gem_core::Value::Int(i64::from(reference[g].get(x, y)))),
                 )));
                 if g > 0 {
                     for (nx, ny) in initial.neighbours(x, y) {

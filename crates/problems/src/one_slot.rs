@@ -18,13 +18,13 @@ use gem_logic::{EventSel, Formula, ValueTerm};
 use gem_spec::{ElementType, SpecBuilder, Specification};
 use gem_verify::Correspondence;
 
+use gem_core::Value;
 use gem_lang::monitor::{MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, Stmt};
 use gem_lang::{
     ada::{AdaProgram, AdaStmt, AdaSystem, AdaTask},
     csp::{CspProcess, CspProgram, CspStmt, CspSystem},
     Expr,
 };
-use gem_core::Value;
 
 /// The Buffer element type: `Deposit(item)` and `Remove(item)` events.
 pub fn buffer_element_type() -> ElementType {
@@ -63,8 +63,7 @@ pub fn one_slot_spec() -> Specification {
                 Formula::element_precedes("d1", "d2").implies(Formula::exists(
                     "r",
                     rem.clone(),
-                    Formula::element_precedes("d1", "r")
-                        .and(Formula::element_precedes("r", "d2")),
+                    Formula::element_precedes("d1", "r").and(Formula::element_precedes("r", "d2")),
                 )),
             ),
         ),
@@ -80,8 +79,7 @@ pub fn one_slot_spec() -> Specification {
                 Formula::element_precedes("r1", "r2").implies(Formula::exists(
                     "d",
                     dep.clone(),
-                    Formula::element_precedes("r1", "d")
-                        .and(Formula::element_precedes("d", "r2")),
+                    Formula::element_precedes("r1", "d").and(Formula::element_precedes("d", "r2")),
                 )),
             ),
         ),
@@ -277,12 +275,7 @@ pub fn ada_solution(items: &[i64]) -> AdaSystem {
             .map(|_| AdaStmt::call("buffer", "Take", vec![]))
             .collect(),
     );
-    AdaSystem::new(
-        AdaProgram::new()
-            .task(buffer)
-            .task(producer)
-            .task(consumer),
-    )
+    AdaSystem::new(AdaProgram::new().task(buffer).task(producer).task(consumer))
 }
 
 /// Significant objects for the ADA solution.

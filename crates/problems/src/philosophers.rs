@@ -97,13 +97,14 @@ pub fn philosophers_program(n: usize, meals: usize, order: ForkOrder) -> AdaSyst
         for _ in 0..meals {
             body.push(AdaStmt::call(format!("fork{first}"), "PickUp", vec![]));
             body.push(AdaStmt::call(format!("fork{second}"), "PickUp", vec![]));
-            body.push(AdaStmt::assign("meals", Expr::var("meals").add(Expr::int(1))));
+            body.push(AdaStmt::assign(
+                "meals",
+                Expr::var("meals").add(Expr::int(1)),
+            ));
             body.push(AdaStmt::call(format!("fork{first}"), "PutDown", vec![]));
             body.push(AdaStmt::call(format!("fork{second}"), "PutDown", vec![]));
         }
-        prog = prog.task(
-            AdaTask::new(format!("phil{p}"), body).local("meals", 0i64),
-        );
+        prog = prog.task(AdaTask::new(format!("phil{p}"), body).local("meals", 0i64));
     }
     AdaSystem::new(prog)
 }
@@ -136,8 +137,8 @@ pub fn philosophers_correspondence(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gem_lang::Explorer;
     use gem_lang::find_deadlock;
+    use gem_lang::Explorer;
     use gem_verify::{assert_no_deadlock, verify_system, VerifyOptions};
 
     const N: usize = 3;

@@ -25,9 +25,7 @@ use gem_spec::{
 };
 use gem_verify::Correspondence;
 
-use gem_lang::monitor::{
-    MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, Stmt,
-};
+use gem_lang::monitor::{MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, Stmt};
 use gem_lang::Expr;
 
 /// The five Readers/Writers specification variants (§11: "five versions
@@ -432,7 +430,8 @@ pub fn mesa_safe_readers_writers_monitor() -> MonitorDef {
 /// Which variable holds the read/write state in a given monitor, and
 /// which entry assignments are the significant Start/End events.
 fn state_var(monitor: &MonitorDef) -> &'static str {
-    if monitor.entry_index("StartRead").is_some() && monitor.vars.iter().any(|(v, _)| v == "readernum")
+    if monitor.entry_index("StartRead").is_some()
+        && monitor.vars.iter().any(|(v, _)| v == "readernum")
     {
         "readernum"
     } else {
@@ -585,7 +584,12 @@ pub fn rw_correspondence(
         .map(assign_in("EndWrite", ew_var), control, cls("EndWrite"));
     if with_data {
         let data = ps.element("db.data").expect("data element");
-        for (user_cls, _) in [("Read", 0), ("FinishRead", 0), ("Write", 0), ("FinishWrite", 0)] {
+        for (user_cls, _) in [
+            ("Read", 0),
+            ("FinishRead", 0),
+            ("Write", 0),
+            ("FinishWrite", 0),
+        ] {
             // User events keep their class, mapped per user element.
             for (pid, p) in sys.program().processes.iter().enumerate() {
                 let target = ps
@@ -691,7 +695,10 @@ mod tests {
             false,
             RwVariant::WritersPriority,
         );
-        assert!(!outcome.ok(), "paper monitor must not give writers priority");
+        assert!(
+            !outcome.ok(),
+            "paper monitor must not give writers priority"
+        );
         assert!(outcome
             .failures
             .iter()
@@ -720,7 +727,10 @@ mod tests {
             false,
             RwVariant::ReadersPriority,
         );
-        assert!(!outcome.ok(), "writers-priority monitor must not give readers priority");
+        assert!(
+            !outcome.ok(),
+            "writers-priority monitor must not give readers priority"
+        );
     }
 
     #[test]

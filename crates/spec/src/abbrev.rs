@@ -195,7 +195,12 @@ mod tests {
     use gem_core::{ComputationBuilder, Structure, ThreadTag};
     use gem_logic::{check, holds_on_computation, Strategy};
 
-    fn setup() -> (Structure, gem_core::ClassId, gem_core::ClassId, gem_core::ElementId) {
+    fn setup() -> (
+        Structure,
+        gem_core::ClassId,
+        gem_core::ClassId,
+        gem_core::ElementId,
+    ) {
         let mut s = Structure::new();
         let a = s.add_class("A", &[]).unwrap();
         let b = s.add_class("B", &[]).unwrap();
@@ -337,12 +342,18 @@ mod tests {
         b.enable(er, ej).unwrap();
         let c = b.seal().unwrap();
         assert!(holds_on_computation(
-            &fork(&EventSel::of_class(f_cls), &[EventSel::of_class(l), EventSel::of_class(r)]),
+            &fork(
+                &EventSel::of_class(f_cls),
+                &[EventSel::of_class(l), EventSel::of_class(r)]
+            ),
             &c
         )
         .unwrap());
         assert!(holds_on_computation(
-            &join(&[EventSel::of_class(l), EventSel::of_class(r)], &EventSel::of_class(j)),
+            &join(
+                &[EventSel::of_class(l), EventSel::of_class(r)],
+                &EventSel::of_class(j)
+            ),
             &c
         )
         .unwrap());
@@ -383,7 +394,9 @@ mod tests {
         let start_a = s.add_class("StartA", &[]).unwrap();
         let req_b = s.add_class("ReqB", &[]).unwrap();
         let start_b = s.add_class("StartB", &[]).unwrap();
-        let ctl = s.add_element("Ctl", &[req_a, start_a, req_b, start_b]).unwrap();
+        let ctl = s
+            .add_element("Ctl", &[req_a, start_a, req_b, start_b])
+            .unwrap();
         let ty = ThreadTypeId::from_raw(0);
         let mut b = ComputationBuilder::new(s);
         let ra = b.add_event(ctl, req_a, vec![]).unwrap();

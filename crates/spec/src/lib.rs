@@ -58,7 +58,9 @@ mod spec;
 mod thread;
 mod types;
 
-pub use abbrev::{chain, fork, join, mutual_exclusion, nondet_prerequisite, prerequisite, priority};
+pub use abbrev::{
+    chain, fork, join, mutual_exclusion, nondet_prerequisite, prerequisite, priority,
+};
 pub use render::render_specification;
 pub use spec::{RestrictionResult, SpecReport, Specification};
 pub use thread::{check_thread_tags, infer_threads, ThreadSpec, ThreadViolation};

@@ -112,10 +112,7 @@ mod tests {
             "dep-then-rem",
             prerequisite(&buf.sel("Deposit"), &buf.sel("Remove")),
         );
-        sb.declare_thread(
-            "pi",
-            vec![vec![u.sel("Call"), buf.sel("Deposit")]],
-        );
+        sb.declare_thread("pi", vec![vec![u.sel("Call"), buf.sel("Deposit")]]);
         let spec = sb.finish();
         let text = render_specification(&spec);
         assert!(text.contains("SPECIFICATION Demo"));

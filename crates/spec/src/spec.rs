@@ -112,6 +112,7 @@ impl Specification {
         };
 
         let legality = check_legality(target);
+        let probing = gem_obs::ambient::active();
         let mut results = Vec::with_capacity(self.restrictions.len());
         for r in &self.restrictions {
             let effective = if r.formula.is_temporal() {
@@ -119,7 +120,21 @@ impl Specification {
             } else {
                 Strategy::Complete
             };
+            let started = if probing {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             let report = check(&r.formula, target, effective)?;
+            if let Some(started) = started {
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                gem_obs::ambient::add("restriction.evals", 1);
+                gem_obs::ambient::add(&format!("restriction.{}.evals", r.name), 1);
+                gem_obs::ambient::time_ns(&format!("restriction.{}.check", r.name), ns);
+                if !report.holds {
+                    gem_obs::ambient::add(&format!("restriction.{}.violations", r.name), 1);
+                }
+            }
             results.push(RestrictionResult {
                 name: r.name.clone(),
                 report,
@@ -180,7 +195,11 @@ impl fmt::Display for SpecReport {
                 r.name,
                 if r.report.holds { "ok" } else { "VIOLATED" },
                 r.report.sequences_checked,
-                if r.report.exhaustive { "" } else { ", not exhaustive" },
+                if r.report.exhaustive {
+                    ""
+                } else {
+                    ", not exhaustive"
+                },
             )?;
         }
         Ok(())
@@ -282,15 +301,10 @@ mod tests {
     #[test]
     fn thread_tags_assigned_automatically_in_check() {
         use gem_core::ThreadTypeId;
-        let variable = ElementType::new("Ctl")
-            .event("Req", &[])
-            .event("Go", &[]);
+        let variable = ElementType::new("Ctl").event("Req", &[]).event("Go", &[]);
         let mut sb = SpecBuilder::new("T");
         let ctl = sb.instantiate_element(&variable, "ctl").unwrap();
-        let ty = sb.declare_thread(
-            "pi",
-            vec![vec![ctl.sel("Req"), ctl.sel("Go")]],
-        );
+        let ty = sb.declare_thread("pi", vec![vec![ctl.sel("Req"), ctl.sel("Go")]]);
         assert_eq!(ty, ThreadTypeId::from_raw(0));
         // Restriction: every Go shares a thread with some Req.
         sb.add_restriction(

@@ -143,7 +143,10 @@ impl std::fmt::Display for ThreadViolation {
                 write!(f, "head events {first} and {second} share tag {tag}")
             }
             ThreadViolation::OrphanTag { event, tag } => {
-                write!(f, "event {event} carries tag {tag} not passed from any enabler")
+                write!(
+                    f,
+                    "event {event} carries tag {tag} not passed from any enabler"
+                )
             }
         }
     }

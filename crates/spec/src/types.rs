@@ -215,7 +215,11 @@ impl fmt::Debug for GroupType {
             .field("name", &self.name)
             .field(
                 "members",
-                &self.members.iter().map(|(n, _, m)| (n, m)).collect::<Vec<_>>(),
+                &self
+                    .members
+                    .iter()
+                    .map(|(n, _, m)| (n, m))
+                    .collect::<Vec<_>>(),
             )
             .field("ports", &self.ports)
             .finish()
@@ -259,15 +263,21 @@ impl GroupType {
 
     /// Adds a single nested-group member role.
     pub fn group_member(mut self, role: impl Into<String>, ty: GroupType) -> Self {
-        self.members
-            .push((role.into(), MemberType::Group(Box::new(ty)), Multiplicity::One));
+        self.members.push((
+            role.into(),
+            MemberType::Group(Box::new(ty)),
+            Multiplicity::One,
+        ));
         self
     }
 
     /// Adds a set-of-groups member role.
     pub fn group_set(mut self, role: impl Into<String>, ty: GroupType) -> Self {
-        self.members
-            .push((role.into(), MemberType::Group(Box::new(ty)), Multiplicity::Set));
+        self.members.push((
+            role.into(),
+            MemberType::Group(Box::new(ty)),
+            Multiplicity::Set,
+        ));
         self
     }
 
@@ -386,7 +396,10 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::Structure(e) => write!(f, "{e}"),
             SpecError::UnknownPort { group, role, event } => {
-                write!(f, "group type {group:?}: port {role}.{event} does not exist")
+                write!(
+                    f,
+                    "group type {group:?}: port {role}.{event} does not exist"
+                )
             }
         }
     }
@@ -659,10 +672,7 @@ mod tests {
         assert!(sb.structure().element("Var").is_some());
         let spec = sb.finish();
         assert_eq!(spec.restrictions().len(), 1);
-        assert_eq!(
-            spec.restrictions()[0].name,
-            "Var.getval-yields-last-assign"
-        );
+        assert_eq!(spec.restrictions()[0].name, "Var.getval-yields-last-assign");
     }
 
     #[test]
@@ -693,10 +703,8 @@ mod tests {
     #[test]
     fn refinement_extends_base() {
         let base = variable_type();
-        let typed = ElementType::refine(&base, "IntegerVariable").restriction(
-            "values-are-ints",
-            |_inst, _s| Formula::True,
-        );
+        let typed = ElementType::refine(&base, "IntegerVariable")
+            .restriction("values-are-ints", |_inst, _s| Formula::True);
         assert_eq!(typed.events().len(), 2);
         assert_eq!(typed.restriction_names().count(), 2);
         assert_eq!(base.restriction_names().count(), 1, "base unchanged");
@@ -738,16 +746,17 @@ mod tests {
         assert_eq!(s.group_info(g).ports().len(), 1);
         assert_eq!(
             s.group_info(g).ports()[0],
-            (inst.element("control").id(), inst.element("control").class("ReqRead"))
+            (
+                inst.element("control").id(),
+                inst.element("control").class("ReqRead")
+            )
         );
     }
 
     #[test]
     fn nested_group_instantiation() {
-        let inner = GroupType::new("Proc").element_member(
-            "code",
-            ElementType::new("Code").event("Step", &[]),
-        );
+        let inner = GroupType::new("Proc")
+            .element_member("code", ElementType::new("Code").event("Step", &[]));
         let outer = GroupType::new("System").group_set("procs", inner);
         let mut sb = SpecBuilder::new("Test");
         let sys = sb
@@ -767,10 +776,8 @@ mod tests {
 
     #[test]
     fn single_group_member_role() {
-        let inner = GroupType::new("Mailbox").element_member(
-            "slot",
-            ElementType::new("Slot").event("Post", &[]),
-        );
+        let inner = GroupType::new("Mailbox")
+            .element_member("slot", ElementType::new("Slot").event("Post", &[]));
         let outer = GroupType::new("Agent").group_member("mbox", inner);
         let mut sb = SpecBuilder::new("Test");
         let agent = sb.instantiate_group(&outer, "a", &[]).unwrap();
@@ -784,7 +791,8 @@ mod tests {
             .element_member("x", ElementType::new("E").event("A", &[]))
             .port("x", "A")
             .restriction("r", |_g, _s| Formula::True);
-        let refined = GroupType::refine(&base, "Refined").restriction("r2", |_g, _s| Formula::False);
+        let refined =
+            GroupType::refine(&base, "Refined").restriction("r2", |_g, _s| Formula::False);
         let mut sb = SpecBuilder::new("Test");
         sb.instantiate_group(&refined, "g", &[]).unwrap();
         let spec = sb.finish();

@@ -18,9 +18,7 @@
 
 use std::fmt;
 
-use gem_core::{
-    ClassId, Computation, ComputationBuilder, ElementId, EventId, Structure, Value,
-};
+use gem_core::{ClassId, Computation, ComputationBuilder, ElementId, EventId, Structure, Value};
 use gem_logic::EventSel;
 
 /// One correspondence pair: program events matching `program` are the
@@ -60,7 +58,12 @@ impl Correspondence {
 
     /// Adds a pair mapping `program` events to `problem_class` at
     /// `problem_element`, with no parameters.
-    pub fn map(mut self, program: EventSel, problem_element: ElementId, problem_class: ClassId) -> Self {
+    pub fn map(
+        mut self,
+        program: EventSel,
+        problem_element: ElementId,
+        problem_class: ClassId,
+    ) -> Self {
         self.pairs.push(Pair {
             program,
             problem_element,
@@ -165,14 +168,20 @@ pub fn project(
         }
     }
 
+    if gem_obs::ambient::active() {
+        gem_obs::ambient::add("project.projections", 1);
+        gem_obs::ambient::add("project.significant_events", significant.len() as u64);
+    }
+
     // Element-order consistency: same-element significant events must be
     // temporally ordered in the program.
     for (i, &(a, pa)) in significant.iter().enumerate() {
         for &(b, pb) in &significant[i + 1..] {
-            if pa.problem_element == pb.problem_element
-                && program.concurrent(a, b)
-            {
-                return Err(ProjectError::UnorderedAtElement { first: a, second: b });
+            if pa.problem_element == pb.problem_element && program.concurrent(a, b) {
+                return Err(ProjectError::UnorderedAtElement {
+                    first: a,
+                    second: b,
+                });
             }
         }
     }
@@ -315,11 +324,8 @@ mod tests {
         let (prog, _) = program();
         let ps = prog.structure();
         let (problem, ctl, start, _, _) = problem_structure();
-        let corr = Correspondence::new().map(
-            EventSel::of_class(ps.class("A").unwrap()),
-            ctl,
-            start,
-        );
+        let corr =
+            Correspondence::new().map(EventSel::of_class(ps.class("A").unwrap()), ctl, start);
         let projected = project(&prog, problem, &corr).unwrap();
         assert_eq!(projected.event_count(), 1);
         assert!(projected.enable_edges().count() == 0);
@@ -374,11 +380,8 @@ mod tests {
         let (prog, _) = program();
         let ps = prog.structure();
         let (problem, ctl, start, _, _) = problem_structure();
-        let corr = Correspondence::new().map(
-            EventSel::of_class(ps.class("A").unwrap()),
-            ctl,
-            start,
-        );
+        let corr =
+            Correspondence::new().map(EventSel::of_class(ps.class("A").unwrap()), ctl, start);
         let projected = project(&prog, problem, &corr).unwrap();
         assert_eq!(projected.events()[0].param(0), Some(&Value::Unit));
     }

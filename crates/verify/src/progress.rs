@@ -15,7 +15,7 @@
 use std::ops::ControlFlow;
 
 use gem_core::Computation;
-use gem_lang::{Explorer, System};
+use gem_lang::{Explorer, System, TruncationReason};
 use gem_logic::{check, Formula, Strategy};
 
 /// Result of a liveness sweep over all runs.
@@ -25,14 +25,19 @@ pub struct LivenessOutcome {
     pub runs: usize,
     /// Runs on which the formula failed.
     pub failing_runs: Vec<usize>,
-    /// True if exploration was truncated.
-    pub truncated: bool,
+    /// Why exploration stopped short, or `None` if it was exhaustive.
+    pub truncation: Option<TruncationReason>,
 }
 
 impl LivenessOutcome {
     /// True if the formula held on every explored run.
     pub fn ok(&self) -> bool {
         self.failing_runs.is_empty()
+    }
+
+    /// True if some bound truncated the sweep.
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
     }
 }
 
@@ -51,15 +56,19 @@ pub fn eventually_on_all_runs<S: System>(
         let c = extract(state);
         match check(formula, &c, strategy) {
             Ok(report) if report.holds => {}
-            _ => failing_runs.push(runs),
+            _ => {
+                gem_obs::ambient::add("progress.failing_runs", 1);
+                failing_runs.push(runs);
+            }
         }
         runs += 1;
         ControlFlow::Continue(())
     });
+    gem_obs::ambient::add("progress.liveness_sweeps", 1);
     LivenessOutcome {
         runs,
         failing_runs,
-        truncated: stats.truncated,
+        truncation: stats.truncation,
     }
 }
 
@@ -95,13 +104,8 @@ mod tests {
     fn ping() -> CspSystem {
         CspSystem::new(
             CspProgram::new()
-                .process(CspProcess::new(
-                    "a",
-                    vec![CspStmt::send("b", Expr::int(1))],
-                ))
-                .process(
-                    CspProcess::new("b", vec![CspStmt::recv("a", "x")]).local("x", 0i64),
-                ),
+                .process(CspProcess::new("a", vec![CspStmt::send("b", Expr::int(1))]))
+                .process(CspProcess::new("b", vec![CspStmt::recv("a", "x")]).local("x", 0i64)),
         )
     }
 
@@ -175,7 +179,7 @@ mod tests {
             Strategy::GreedySteps,
         );
         assert!(outcome.ok());
-        assert!(outcome.truncated);
+        assert_eq!(outcome.truncation, Some(TruncationReason::RunLimit));
         assert_eq!(outcome.runs, 2);
     }
 

@@ -10,10 +10,12 @@
 
 use std::fmt;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 use gem_core::Computation;
-use gem_lang::{Explorer, System};
+use gem_lang::{Explorer, System, TruncationReason};
 use gem_logic::Strategy;
+use gem_obs::{NoopProbe, Probe, Span};
 use gem_spec::Specification;
 
 use crate::correspondence::{project, Correspondence, ProjectError};
@@ -39,8 +41,8 @@ pub struct VerifyOutcome {
     /// Restriction/legality failures across runs (capped at
     /// [`VerifyOptions::max_failures`]).
     pub failures: Vec<RunFailure>,
-    /// True if the run limit truncated exploration.
-    pub truncated: bool,
+    /// Why exploration stopped short, or `None` if it was exhaustive.
+    pub truncation: Option<TruncationReason>,
 }
 
 impl VerifyOutcome {
@@ -50,9 +52,14 @@ impl VerifyOutcome {
         self.deadlocks == 0 && self.failures.is_empty()
     }
 
+    /// True if some bound truncated exploration.
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
+    }
+
     /// True if the verdict covers *all* schedules (no truncation).
     pub fn exhaustive(&self) -> bool {
-        !self.truncated
+        !self.truncated()
     }
 }
 
@@ -60,12 +67,14 @@ impl fmt::Display for VerifyOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} run(s): {} deadlock(s), {} failing run(s){}",
+            "{} run(s): {} deadlock(s), {} failing run(s)",
             self.runs,
             self.deadlocks,
             self.failures.len(),
-            if self.truncated { " (truncated)" } else { "" }
         )?;
+        if let Some(reason) = self.truncation {
+            write!(f, " (truncated: {reason})")?;
+        }
         for fail in &self.failures {
             write!(f, "\n  run {}: {}", fail.run, fail.violated.join(", "))?;
         }
@@ -74,7 +83,7 @@ impl fmt::Display for VerifyOutcome {
 }
 
 /// Options for [`verify_system`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct VerifyOptions {
     /// Bounds on schedule exploration.
     pub explorer: Explorer,
@@ -84,6 +93,23 @@ pub struct VerifyOptions {
     pub max_failures: usize,
     /// Also require the *program* computation itself to be GEM-legal.
     pub check_program_legality: bool,
+    /// Instrumentation sink. The default [`NoopProbe`] costs one enabled
+    /// check per run; see `gem_obs::StatsProbe` for aggregation. The probe
+    /// is also installed as the ambient probe for the duration of the
+    /// sweep, so the logic/core layers report into it.
+    pub probe: Arc<dyn Probe>,
+}
+
+impl fmt::Debug for VerifyOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifyOptions")
+            .field("explorer", &self.explorer)
+            .field("strategy", &self.strategy)
+            .field("max_failures", &self.max_failures)
+            .field("check_program_legality", &self.check_program_legality)
+            .field("probe_enabled", &self.probe.enabled())
+            .finish()
+    }
 }
 
 impl Default for VerifyOptions {
@@ -93,6 +119,7 @@ impl Default for VerifyOptions {
             strategy: Strategy::Linearizations { limit: 20_000 },
             max_failures: 3,
             check_program_legality: true,
+            probe: Arc::new(NoopProbe),
         }
     }
 }
@@ -120,60 +147,79 @@ pub fn verify_system<S: System>(
     let mut failures: Vec<RunFailure> = Vec::new();
     let mut project_error: Option<ProjectError> = None;
 
-    let stats = options.explorer.for_each_run(sys, |state, _path| {
-        runs += 1;
-        if !sys.is_complete(state) {
-            deadlocks += 1;
-        }
-        let program_comp = extract(state);
-        let mut violated = Vec::new();
-        let mut detail = String::new();
-        if options.check_program_legality {
-            let legality = gem_core::check_legality(&program_comp);
-            if !legality.is_empty() {
-                violated.push("program-legality".to_owned());
-                detail = legality[0].describe(&program_comp);
+    let probe = options.probe.as_ref();
+    // Deep layers (restriction checking, formula evaluation, closure and
+    // history construction) report through the ambient probe. Installed
+    // only for an enabled probe so the default stays on its fast path.
+    let _ambient = probe
+        .enabled()
+        .then(|| gem_obs::ambient::install(options.probe.clone()));
+    let _total = Span::enter(probe, "verify");
+
+    let stats = options
+        .explorer
+        .for_each_run_probed(sys, probe, |state, _path| {
+            runs += 1;
+            if !sys.is_complete(state) {
+                deadlocks += 1;
             }
-        }
-        let projected = match project(&program_comp, problem.structure_arc(), corr) {
-            Ok(p) => p,
-            Err(e) => {
-                project_error = Some(e);
-                return ControlFlow::Break(());
+            let program_comp = extract(state);
+            let mut violated = Vec::new();
+            let mut detail = String::new();
+            if options.check_program_legality {
+                let legality = gem_core::check_legality(&program_comp);
+                if !legality.is_empty() {
+                    violated.push("program-legality".to_owned());
+                    detail = legality[0].describe(&program_comp);
+                }
             }
-        };
-        match problem.check(&projected, options.strategy) {
-            Ok(report) => {
-                if !report.legality.is_empty() {
-                    violated.push("projection-legality".to_owned());
-                    if detail.is_empty() {
-                        detail = report.legality[0].describe(&projected);
+            let projected = match project(&program_comp, problem.structure_arc(), corr) {
+                Ok(p) => p,
+                Err(e) => {
+                    project_error = Some(e);
+                    return ControlFlow::Break(());
+                }
+            };
+            match problem.check(&projected, options.strategy) {
+                Ok(report) => {
+                    if !report.legality.is_empty() {
+                        violated.push("projection-legality".to_owned());
+                        if detail.is_empty() {
+                            detail = report.legality[0].describe(&projected);
+                        }
+                    }
+                    for name in report.failed() {
+                        violated.push(name.to_owned());
+                    }
+                    if detail.is_empty() && !violated.is_empty() {
+                        detail = report.to_string();
                     }
                 }
-                for name in report.failed() {
-                    violated.push(name.to_owned());
-                }
-                if detail.is_empty() && !violated.is_empty() {
-                    detail = report.to_string();
+                Err(e) => {
+                    violated.push("evaluation-error".to_owned());
+                    detail = e.to_string();
                 }
             }
-            Err(e) => {
-                violated.push("evaluation-error".to_owned());
-                detail = e.to_string();
+            if !violated.is_empty() {
+                if failures.is_empty() {
+                    probe.gauge_set("verify.first_failure_run", (runs - 1) as u64);
+                }
+                probe.add("verify.failing_runs", 1);
+                failures.push(RunFailure {
+                    run: runs - 1,
+                    violated,
+                    detail,
+                });
+                if failures.len() >= options.max_failures {
+                    return ControlFlow::Break(());
+                }
             }
-        }
-        if !violated.is_empty() {
-            failures.push(RunFailure {
-                run: runs - 1,
-                violated,
-                detail,
-            });
-            if failures.len() >= options.max_failures {
-                return ControlFlow::Break(());
-            }
-        }
-        ControlFlow::Continue(())
-    });
+            ControlFlow::Continue(())
+        });
+
+    // One post-sweep flush so the counter is present (possibly zero) in
+    // every report.
+    probe.add("verify.deadlocks", deadlocks as u64);
 
     if let Some(e) = project_error {
         return Err(e);
@@ -182,14 +228,16 @@ pub fn verify_system<S: System>(
         runs,
         deadlocks,
         failures,
-        truncated: stats.truncated,
+        truncation: stats.truncation,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gem_lang::monitor::{MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, Stmt};
+    use gem_lang::monitor::{
+        MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, Stmt,
+    };
     use gem_lang::Expr;
     use gem_logic::EventSel;
     use gem_spec::{prerequisite, ElementType, SpecBuilder};

@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .entry("Deposit")
     .local("total", 0i64)
     .local("served", 0i64);
-    let alice = AdaTask::new("alice", vec![AdaStmt::call("server", "Deposit", vec![Expr::int(30)])]);
-    let bob = AdaTask::new("bob", vec![AdaStmt::call("server", "Deposit", vec![Expr::int(12)])]);
+    let alice = AdaTask::new(
+        "alice",
+        vec![AdaStmt::call("server", "Deposit", vec![Expr::int(30)])],
+    );
+    let bob = AdaTask::new(
+        "bob",
+        vec![AdaStmt::call("server", "Deposit", vec![Expr::int(12)])],
+    );
     let sys = AdaSystem::new(AdaProgram::new().task(server).task(alice).task(bob));
 
     let restrictions = ada_restrictions(&sys);

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = bounded_spec(items.len(), cap);
     let corr = csp_correspondence(&sys, &problem, cap);
 
-    println!("CSP bounded buffer: {} items through {cap} chained cells\n", items.len());
+    println!(
+        "CSP bounded buffer: {} items through {cap} chained cells\n",
+        items.len()
+    );
 
     // Show one projected computation: the buffer behaviour a downstream
     // observer sees.

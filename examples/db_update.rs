@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the distinct serialization orders replicas converge to.
     let replicas: Vec<usize> = (0..sites)
-        .map(|r| sys.program().process_index(&format!("replica{r}")).expect("replica"))
+        .map(|r| {
+            sys.program()
+                .process_index(&format!("replica{r}"))
+                .expect("replica")
+        })
         .collect();
     let mut orders = std::collections::BTreeSet::new();
     Explorer::default().for_each_run(&sys, |state, _| {
@@ -37,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         orders.insert(logs[0]);
         ControlFlow::Continue(())
     });
-    println!("replicas agree on every schedule; {} distinct serialization orders observed", orders.len());
+    println!(
+        "replicas agree on every schedule; {} distinct serialization orders observed",
+        orders.len()
+    );
 
     let outcome = verify_system(
         &sys,

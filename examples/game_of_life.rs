@@ -58,5 +58,7 @@ fn main() {
         );
         assert!(matches);
     }
-    println!("\nasynchrony is unobservable in the result — as the paper's distributed Life intends.");
+    println!(
+        "\nasynchrony is unobservable in the result — as the paper's distributed Life intends."
+    );
 }

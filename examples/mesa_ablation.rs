@@ -37,8 +37,14 @@ fn check(monitor: MonitorDef, semantics: SignalSemantics) -> (bool, usize, Strin
 fn main() {
     println!("Mutual exclusion of the Readers/Writers monitor, 1 reader + 2 writers:\n");
     for (name, monitor) in [
-        ("paper §9 monitor (IF … THEN WAIT)", readers_writers_monitor as fn() -> MonitorDef),
-        ("repaired monitor (WHILE … DO WAIT)", mesa_safe_readers_writers_monitor),
+        (
+            "paper §9 monitor (IF … THEN WAIT)",
+            readers_writers_monitor as fn() -> MonitorDef,
+        ),
+        (
+            "repaired monitor (WHILE … DO WAIT)",
+            mesa_safe_readers_writers_monitor,
+        ),
     ] {
         for semantics in [SignalSemantics::Hoare, SignalSemantics::Mesa] {
             let (ok, runs, detail) = check(monitor(), semantics);

@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== the three orders of GEM");
     println!("a1 |> g1 (enable):          {}", c.enables(a1, g1));
-    println!("g1 =el=> a2 (element order): {}", c.element_precedes(g1, a2));
-    println!("a1 ==> a2 (temporal order):  {}", c.temporally_precedes(a1, a2));
+    println!(
+        "g1 =el=> a2 (element order): {}",
+        c.element_precedes(g1, a2)
+    );
+    println!(
+        "a1 ==> a2 (temporal order):  {}",
+        c.temporally_precedes(a1, a2)
+    );
     println!("legal: {}", check_legality(&c).is_empty());
 
     // The Variable restriction of §8.2: Getval yields the value last
@@ -68,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diamond = b.seal()?;
 
     println!("== the §7 diamond");
-    println!("e2, e3 potentially concurrent: {}", diamond.concurrent(e[1], e[2]));
+    println!(
+        "e2, e3 potentially concurrent: {}",
+        diamond.concurrent(e[1], e[2])
+    );
     println!(
         "histories: {} (the paper lists 6, incl. the empty one)",
         history_count(&diamond, usize::MAX)

@@ -1,0 +1,151 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration. Only `cases` is honoured by this shim.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Error type property bodies may `return Err(...)` with (the shim's
+/// assertions panic instead, but early `return Ok(())` and the `Result`
+/// body contract of real proptest are preserved).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// FNV-1a, for deriving a per-test seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic RNG for case `case` of test `name`.
+pub fn new_case_rng(name: &str, case: u32) -> TestRng {
+    let seed = fnv1a(name.as_bytes()) ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    StdRng::seed_from_u64(seed)
+}
+
+/// Runs `body` for each case with a deterministically seeded RNG,
+/// annotating the failing case index on panic. No shrinking is attempted.
+pub fn run_cases(
+    name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..cases {
+        let mut rng = new_case_rng(name, case);
+        match catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!("{name}: case {case}/{cases} rejected: {e}"),
+            Err(payload) => {
+                eprintln!(
+                    "proptest shim: {name} failed on case {case}/{cases} \
+                     (deterministic seed; rerun the test to reproduce — no shrinking)"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// The property-test entry macro. Supports the subset of real proptest
+/// grammar this workspace uses: an optional `#![proptest_config(...)]`
+/// inner attribute, then `#[test] fn name(pat in strategy, ...) { ... }`
+/// items. Bodies behave as `Result<(), TestCaseError>` functions: an
+/// early `return Ok(())` skips the rest of the case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(stringify!($name), __config.cases, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body (panics on failure; the
+/// shim does not shrink, so this is equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body without requiring `Debug`
+/// (real proptest formats both sides; the shim reports the expressions).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        if !($left == $right) {
+            panic!(
+                "prop_assert_eq! failed: {} != {}",
+                stringify!($left),
+                stringify!($right)
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        if !($left == $right) {
+            panic!($($fmt)+);
+        }
+    }};
+}

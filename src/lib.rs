@@ -19,6 +19,7 @@
 //! | [`lang`] | `gem-lang` | Monitor / CSP / ADA substrates + schedule explorer |
 //! | [`problems`] | `gem-problems` | buffers, Readers/Writers, distributed applications |
 //! | [`verify`] | `gem-verify` | correspondences, projection, `PROG sat P` |
+//! | [`obs`] | `gem-obs` | probes, span timing, JSON run reports (docs/OBSERVABILITY.md) |
 //!
 //! ## Quick start
 //!
@@ -51,6 +52,7 @@
 pub use gem_core as core;
 pub use gem_lang as lang;
 pub use gem_logic as logic;
+pub use gem_obs as obs;
 pub use gem_problems as problems;
 pub use gem_spec as spec;
 pub use gem_verify as verify;

@@ -20,7 +20,10 @@ fn turnstile_end_to_end() {
         .event("Push", &[]);
     let mut sb = SpecBuilder::new("Turnstile");
     let g = sb.instantiate_element(&gate, "gate").unwrap();
-    sb.add_restriction("coin-then-push", prerequisite(&g.sel("Coin"), &g.sel("Push")));
+    sb.add_restriction(
+        "coin-then-push",
+        prerequisite(&g.sel("Coin"), &g.sel("Push")),
+    );
     sb.add_restriction(
         "exact-fare",
         Formula::forall(
@@ -145,11 +148,7 @@ fn facade_layers_compose() {
     let f = Formula::forall(
         "q",
         EventSel::of_class(pong),
-        Formula::exists(
-            "p",
-            EventSel::of_class(ping),
-            Formula::enables("p", "q"),
-        ),
+        Formula::exists("p", EventSel::of_class(ping), Formula::enables("p", "q")),
     );
     let report = check(&f, &c, Strategy::default()).unwrap();
     assert!(report.holds && report.exhaustive);
@@ -166,33 +165,37 @@ fn nondet_prerequisite_on_csp_merger() {
 
     let merger = CspProcess::new(
         "m",
-        vec![
-            CspStmt::Alt(vec![
-                AltBranch {
-                    guard: None,
-                    comm: Comm::Recv {
-                        from: "p1".into(),
-                        var: "x".into(),
-                    },
-                    body: vec![CspStmt::recv("p2", "y")],
+        vec![CspStmt::Alt(vec![
+            AltBranch {
+                guard: None,
+                comm: Comm::Recv {
+                    from: "p1".into(),
+                    var: "x".into(),
                 },
-                AltBranch {
-                    guard: None,
-                    comm: Comm::Recv {
-                        from: "p2".into(),
-                        var: "y".into(),
-                    },
-                    body: vec![CspStmt::recv("p1", "x")],
+                body: vec![CspStmt::recv("p2", "y")],
+            },
+            AltBranch {
+                guard: None,
+                comm: Comm::Recv {
+                    from: "p2".into(),
+                    var: "y".into(),
                 },
-            ]),
-        ],
+                body: vec![CspStmt::recv("p1", "x")],
+            },
+        ])],
     )
     .local("x", 0i64)
     .local("y", 0i64);
     let prog = CspProgram::new()
         .process(merger)
-        .process(CspProcess::new("p1", vec![CspStmt::send("m", Expr::int(1))]))
-        .process(CspProcess::new("p2", vec![CspStmt::send("m", Expr::int(2))]));
+        .process(CspProcess::new(
+            "p1",
+            vec![CspStmt::send("m", Expr::int(1))],
+        ))
+        .process(CspProcess::new(
+            "p2",
+            vec![CspStmt::send("m", Expr::int(2))],
+        ));
     let sys = CspSystem::new(prog);
     // {p1's OutReq, p2's OutReq} → m's InEnd.
     let sources = vec![

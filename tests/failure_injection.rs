@@ -44,7 +44,11 @@ fn no_wait_rw_monitor_violates_mutex() {
             &[],
             vec![Stmt::assign("readernum", Expr::int(-1))],
         )
-        .entry("EndWrite", &[], vec![Stmt::assign("readernum", Expr::int(0))]);
+        .entry(
+            "EndWrite",
+            &[],
+            vec![Stmt::assign("readernum", Expr::int(0))],
+        );
     let mut prog = MonitorProgram::new(broken)
         .shared_var("data", 0i64)
         .user_class("Read", &[])
@@ -195,7 +199,10 @@ fn off_by_one_ada_guard_violates_capacity() {
                 vec![AdaStmt::assign("out", Expr::var("slot0"))],
                 vec![AdaStmt::assign("out", Expr::var("slot1"))],
             ),
-            AdaStmt::assign("outx", Expr::var("outx").add(Expr::int(1)).rem(Expr::int(2))),
+            AdaStmt::assign(
+                "outx",
+                Expr::var("outx").add(Expr::int(1)).rem(Expr::int(2)),
+            ),
             AdaStmt::assign("count", Expr::var("count").sub(Expr::int(1))),
             AdaStmt::assign("takes", Expr::var("takes").add(Expr::int(1))),
         ],
@@ -203,7 +210,9 @@ fn off_by_one_ada_guard_violates_capacity() {
     let buffer = AdaTask::new(
         "buffer",
         vec![AdaStmt::While(
-            Expr::var("puts").lt(Expr::int(n)).or(Expr::var("takes").lt(Expr::int(n))),
+            Expr::var("puts")
+                .lt(Expr::int(n))
+                .or(Expr::var("takes").lt(Expr::int(n))),
             vec![AdaStmt::Select(vec![
                 SelectBranch {
                     // BUG: admits up to 2 items though the spec says 1.
@@ -279,8 +288,8 @@ fn take_before_put_deadlocks() {
                 Stmt::assign("taken", Expr::var("slot")),
             ],
         );
-    let prog = MonitorProgram::new(monitor)
-        .process(ProcessDef::new("consumer", vec![call("Take")]));
+    let prog =
+        MonitorProgram::new(monitor).process(ProcessDef::new("consumer", vec![call("Take")]));
     let sys = MonitorSystem::new(prog);
     assert!(assert_no_deadlock(&sys, &Explorer::default()).is_err());
 }

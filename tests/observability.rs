@@ -1,0 +1,135 @@
+//! Instrumentation integration: verifying the §9 Readers/Writers monitor
+//! with a [`gem::obs::StatsProbe`] attached must report the exact run
+//! count the verifier saw, nonzero restriction-evaluation counters from
+//! the deep layers, and — because exploration is deterministic — a report
+//! that is byte-identical across runs once timing fields are zeroed.
+
+use std::sync::Arc;
+
+use gem::lang::monitor::readers_writers_monitor;
+use gem::obs::StatsProbe;
+use gem::problems::readers_writers::{rw_correspondence, rw_program, rw_spec, RwVariant};
+use gem::verify::{verify_system, VerifyOptions};
+
+fn verify_rw_with_probe(probe: Arc<StatsProbe>) -> gem::verify::VerifyOutcome {
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    verify_system(
+        &sys,
+        &spec,
+        &corr,
+        |state| sys.computation(state).expect("acyclic"),
+        &VerifyOptions {
+            probe,
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("projection")
+}
+
+#[test]
+fn readers_writers_probe_reports_exact_counts() {
+    let probe = Arc::new(StatsProbe::new());
+    let outcome = verify_rw_with_probe(probe.clone());
+    assert!(outcome.ok(), "{outcome}");
+    assert!(outcome.exhaustive());
+
+    // The probe's run counter must agree exactly with the verifier.
+    assert_eq!(probe.counter("explore.runs"), outcome.runs as u64);
+    assert!(probe.counter("explore.steps") > 0);
+
+    // Deep layers report through the ambient probe: every run checks
+    // every restriction of the mutual-exclusion spec at least once.
+    let report = probe.report();
+    let restriction_evals = probe.counter("restriction.evals");
+    assert!(
+        restriction_evals >= outcome.runs as u64,
+        "expected >= {} restriction evals, got {restriction_evals}\n{}",
+        outcome.runs,
+        report.to_json()
+    );
+    let per_restriction: Vec<_> = report
+        .counters
+        .keys()
+        .filter(|k| {
+            k.starts_with("restriction.") && k.ends_with(".evals") && *k != "restriction.evals"
+        })
+        .collect();
+    assert!(
+        !per_restriction.is_empty(),
+        "expected per-restriction counters\n{}",
+        report.to_json()
+    );
+    for name in per_restriction {
+        assert!(report.counters[name] > 0, "{name} is zero");
+    }
+
+    // Per-restriction check timers exist alongside the counters.
+    assert!(
+        report.timers.keys().any(|k| k.starts_with("restriction.")),
+        "expected restriction timers\n{}",
+        report.to_json()
+    );
+
+    // Deadlocks are reported even when zero, so reports are comparable.
+    assert!(report.counters.contains_key("verify.deadlocks"));
+    assert_eq!(probe.counter("verify.deadlocks"), outcome.deadlocks as u64);
+
+    // The logic and core layers were exercised too.
+    assert!(probe.counter("logic.eval.calls") > 0);
+    assert!(probe.counter("core.closure.built") > 0);
+    assert!(probe.counter("project.projections") >= outcome.runs as u64);
+
+    // No truncation counters for an exhaustive sweep.
+    assert!(report
+        .counters
+        .keys()
+        .all(|k| !k.starts_with("explore.truncation.")));
+}
+
+#[test]
+fn reports_are_deterministic_modulo_timings() {
+    let first = Arc::new(StatsProbe::new());
+    let second = Arc::new(StatsProbe::new());
+    verify_rw_with_probe(first.clone());
+    verify_rw_with_probe(second.clone());
+    let a = first.report().without_timings().to_json();
+    let b = second.report().without_timings().to_json();
+    assert_eq!(
+        a, b,
+        "deterministic workload must produce identical reports"
+    );
+    // Sanity: the stripped report still carries the counter sections.
+    assert!(a.contains("\"explore.runs\""));
+}
+
+#[test]
+fn span_timings_recorded() {
+    let probe = Arc::new(StatsProbe::new());
+    verify_rw_with_probe(probe.clone());
+    let report = probe.report();
+    let verify_span = report.timers.get("verify").expect("verify span");
+    assert_eq!(verify_span.count, 1);
+    assert!(verify_span.total_ns > 0);
+}
+
+#[test]
+fn noop_probe_leaves_ambient_inactive() {
+    // The default options use a NoopProbe; the ambient layer must stay
+    // uninstalled so deep layers keep their fast path.
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let outcome = verify_system(
+        &sys,
+        &spec,
+        &corr,
+        |state| sys.computation(state).expect("acyclic"),
+        &VerifyOptions::default(),
+    )
+    .expect("projection");
+    assert!(outcome.ok());
+    assert!(!gem::obs::ambient::active());
+    assert!(!VerifyOptions::default().probe.enabled());
+}

@@ -83,13 +83,37 @@ fn e4_one_slot_three_substrates() {
     let problem = one_slot::one_slot_spec();
     let m = one_slot::monitor_solution(&items);
     let mc = one_slot::monitor_correspondence(&m, &problem);
-    assert!(verify_system(&m, &problem, &mc, |s| m.computation(s).unwrap(), &VerifyOptions::default()).unwrap().ok());
+    assert!(verify_system(
+        &m,
+        &problem,
+        &mc,
+        |s| m.computation(s).unwrap(),
+        &VerifyOptions::default()
+    )
+    .unwrap()
+    .ok());
     let c = one_slot::csp_solution(&items);
     let cc = one_slot::csp_correspondence(&c, &problem);
-    assert!(verify_system(&c, &problem, &cc, |s| c.computation(s).unwrap(), &VerifyOptions::default()).unwrap().ok());
+    assert!(verify_system(
+        &c,
+        &problem,
+        &cc,
+        |s| c.computation(s).unwrap(),
+        &VerifyOptions::default()
+    )
+    .unwrap()
+    .ok());
     let a = one_slot::ada_solution(&items);
     let ac = one_slot::ada_correspondence(&a, &problem);
-    assert!(verify_system(&a, &problem, &ac, |s| a.computation(s).unwrap(), &VerifyOptions::default()).unwrap().ok());
+    assert!(verify_system(
+        &a,
+        &problem,
+        &ac,
+        |s| a.computation(s).unwrap(),
+        &VerifyOptions::default()
+    )
+    .unwrap()
+    .ok());
 }
 
 /// E5 — the Bounded Buffer solved in Monitor, CSP, and ADA.
@@ -100,13 +124,37 @@ fn e5_bounded_three_substrates() {
     let problem = bounded::bounded_spec(items.len(), cap);
     let m = bounded::monitor_solution(&items, cap);
     let mc = bounded::monitor_correspondence(&m, &problem, cap);
-    assert!(verify_system(&m, &problem, &mc, |s| m.computation(s).unwrap(), &VerifyOptions::default()).unwrap().ok());
+    assert!(verify_system(
+        &m,
+        &problem,
+        &mc,
+        |s| m.computation(s).unwrap(),
+        &VerifyOptions::default()
+    )
+    .unwrap()
+    .ok());
     let c = bounded::csp_solution(&items, cap);
     let cc = bounded::csp_correspondence(&c, &problem, cap);
-    assert!(verify_system(&c, &problem, &cc, |s| c.computation(s).unwrap(), &VerifyOptions::default()).unwrap().ok());
+    assert!(verify_system(
+        &c,
+        &problem,
+        &cc,
+        |s| c.computation(s).unwrap(),
+        &VerifyOptions::default()
+    )
+    .unwrap()
+    .ok());
     let a = bounded::ada_solution(&items, cap);
     let ac = bounded::ada_correspondence(&a, &problem, cap);
-    assert!(verify_system(&a, &problem, &ac, |s| a.computation(s).unwrap(), &VerifyOptions::default()).unwrap().ok());
+    assert!(verify_system(
+        &a,
+        &problem,
+        &ac,
+        |s| a.computation(s).unwrap(),
+        &VerifyOptions::default()
+    )
+    .unwrap()
+    .ok());
 }
 
 /// E6 — the five Readers/Writers variants distinguish the two schedulers.
@@ -190,14 +238,14 @@ fn e9_csp_simultaneity() {
     let prog = CspProgram::new()
         .process(CspProcess::new(
             "a",
-            vec![CspStmt::send("b", Expr::int(1)), CspStmt::send("b", Expr::int(2))],
+            vec![
+                CspStmt::send("b", Expr::int(1)),
+                CspStmt::send("b", Expr::int(2)),
+            ],
         ))
         .process(
-            CspProcess::new(
-                "b",
-                vec![CspStmt::recv("a", "x"), CspStmt::recv("a", "x")],
-            )
-            .local("x", 0i64),
+            CspProcess::new("b", vec![CspStmt::recv("a", "x"), CspStmt::recv("a", "x")])
+                .local("x", 0i64),
         );
     let sys = CspSystem::new(prog);
     let restrictions = csp_restrictions(&sys);
@@ -250,7 +298,10 @@ fn large_instance_bounded_verification() {
         |s| sys.computation(s).unwrap(),
         &VerifyOptions {
             explorer: Explorer::with_max_runs(300),
-            strategy: Strategy::RandomLinearizations { count: 20, seed: 42 },
+            strategy: Strategy::RandomLinearizations {
+                count: 20,
+                seed: 42,
+            },
             ..VerifyOptions::default()
         },
     )
@@ -269,7 +320,10 @@ fn strategies_agree_on_mutex() {
     let corr = rw_correspondence(&sys, &problem, false);
     for strategy in [
         Strategy::Linearizations { limit: 50_000 },
-        Strategy::RandomLinearizations { count: 50, seed: 11 },
+        Strategy::RandomLinearizations {
+            count: 50,
+            seed: 11,
+        },
         Strategy::GreedySteps,
     ] {
         let outcome = verify_system(

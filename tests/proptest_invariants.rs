@@ -7,7 +7,7 @@ use std::ops::ControlFlow;
 use proptest::prelude::*;
 
 use gem::core::{
-    check_legality, for_each_history, for_each_linearization, ComputationBuilder, Computation,
+    check_legality, for_each_history, for_each_linearization, Computation, ComputationBuilder,
     DenseBitSet, EventId, History, HistorySequence, Structure,
 };
 use gem::logic::{holds_on_computation, EventSel, Formula};

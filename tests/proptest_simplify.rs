@@ -8,11 +8,9 @@ use std::ops::ControlFlow;
 use proptest::prelude::*;
 
 use gem::core::{
-    for_each_history, ComputationBuilder, Computation, EventId, HistorySequence, Structure,
+    for_each_history, Computation, ComputationBuilder, EventId, HistorySequence, Structure,
 };
-use gem::logic::{
-    formula_size, holds_on_history, holds_on_sequence, simplify, EventSel, Formula,
-};
+use gem::logic::{formula_size, holds_on_history, holds_on_sequence, simplify, EventSel, Formula};
 
 fn small_computation() -> Computation {
     let mut s = Structure::new();

@@ -1,7 +1,7 @@
 //! Semantics of the temporal operators over valid history sequences —
 //! the §7 definitions exercised on nested and mixed formulas.
 
-use gem::core::{ComputationBuilder, Computation, EventId, HistorySequence, Structure};
+use gem::core::{Computation, ComputationBuilder, EventId, HistorySequence, Structure};
 use gem::logic::{check, holds_on_sequence, EventSel, Formula, Strategy};
 
 /// Chain p1 -> p2 on one element, independent q1 on another.
@@ -68,7 +68,11 @@ fn until_like_pattern_via_primitives() {
     let f = Formula::occurred(e[1])
         .implies(Formula::occurred(e[0]))
         .henceforth();
-    assert!(check(&f, &c, Strategy::Linearizations { limit: 100 }).unwrap().holds);
+    assert!(
+        check(&f, &c, Strategy::Linearizations { limit: 100 })
+            .unwrap()
+            .holds
+    );
     // The converse is refutable with a counterexample.
     let g = Formula::occurred(e[0])
         .implies(Formula::occurred(e[1]))
@@ -92,7 +96,11 @@ fn quantified_temporal_mixture() {
         EventSel::of_class(act),
         Formula::occurred("x").eventually(),
     );
-    assert!(check(&f, &c, Strategy::Linearizations { limit: 100 }).unwrap().holds);
+    assert!(
+        check(&f, &c, Strategy::Linearizations { limit: 100 })
+            .unwrap()
+            .holds
+    );
     // And ∃x ◻(occurred(x) ⊃ new(x)): an event that stays maximal — q1
     // (nothing follows it) or p2; true.
     let g = Formula::exists(
@@ -102,7 +110,11 @@ fn quantified_temporal_mixture() {
             .implies(Formula::is_new("x"))
             .henceforth(),
     );
-    assert!(check(&g, &c, Strategy::Linearizations { limit: 100 }).unwrap().holds);
+    assert!(
+        check(&g, &c, Strategy::Linearizations { limit: 100 })
+            .unwrap()
+            .holds
+    );
 }
 
 #[test]
@@ -112,8 +124,12 @@ fn step_sequences_and_linearizations_agree_on_safety() {
     // and coarse-step semantics (every coarse history is some ideal, and
     // ideals are covered by linearizations).
     for f in [
-        Formula::occurred(e[1]).implies(Formula::occurred(e[0])).henceforth(),
-        Formula::occurred(e[0]).implies(Formula::occurred(e[2])).henceforth(),
+        Formula::occurred(e[1])
+            .implies(Formula::occurred(e[0]))
+            .henceforth(),
+        Formula::occurred(e[0])
+            .implies(Formula::occurred(e[2]))
+            .henceforth(),
     ] {
         let lin = check(&f, &c, Strategy::Linearizations { limit: 1000 }).unwrap();
         let stp = check(&f, &c, Strategy::StepSequences { limit: 10_000 }).unwrap();
