@@ -1,0 +1,56 @@
+//! F5 — parallel exploration: wall-clock speedup of
+//! `Explorer::par_for_each_run` over serial DFS as the worker count
+//! grows, on the 2R+2W Readers/Writers monitor (the F4 workload, plus a
+//! deeper multi-round instance).
+//!
+//! Series reported:
+//! * `jobs/<N>` — 2R+2W control-only program at a fixed 50k-run budget,
+//!   explored with `jobs = N` (N = 1 is the serial baseline).
+//! * `rounds2_jobs/<N>` — 2R+2W with two transactions per process (the
+//!   `rw_rounds_program` instance), 50k-run budget.
+//!
+//! The parallel explorer commits results in serial DFS order, so every
+//! series computes the identical run multiset — the bench measures pure
+//! scheduling overhead and speedup. On a single-core host all series
+//! degenerate to roughly serial cost plus pool overhead; the speedup
+//! claim needs a multi-core runner (see EXPERIMENTS.md F5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_lang::monitor::readers_writers_monitor;
+use gem_lang::Explorer;
+use gem_problems::readers_writers::{rw_program, rw_rounds_program};
+use std::ops::ControlFlow;
+
+fn bench_par_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_par_scaling");
+    let flat = rw_program(readers_writers_monitor(), 2, 2, false);
+    let deep = rw_rounds_program(readers_writers_monitor(), 2, 2, 2);
+    for jobs in [1usize, 2, 4] {
+        let explorer = Explorer {
+            jobs,
+            ..Explorer::with_max_runs(50_000)
+        };
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, _| {
+            b.iter(|| {
+                explorer
+                    .par_for_each_run(&flat, |_, _| ControlFlow::Continue(()))
+                    .runs
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rounds2_jobs", jobs), &jobs, |b, _| {
+            b.iter(|| {
+                explorer
+                    .par_for_each_run(&deep, |_, _| ControlFlow::Continue(()))
+                    .runs
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_par_explore
+}
+criterion_main!(benches);

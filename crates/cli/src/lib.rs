@@ -45,8 +45,8 @@ use gem_lang::monitor::SignalSemantics;
 use gem_lang::{Explorer, System};
 use gem_obs::{FanoutProbe, HeartbeatProbe, NoopProbe, Probe, Span, StatsProbe, TraceProbe};
 use gem_problems::readers_writers::{
-    mesa_safe_readers_writers_monitor, rw_correspondence, rw_program_with_semantics, rw_spec,
-    writers_priority_monitor, RwVariant,
+    mesa_safe_readers_writers_monitor, rw_correspondence, rw_program_with_semantics,
+    rw_rounds_program, rw_spec, writers_priority_monitor, RwVariant,
 };
 use gem_problems::{bounded, db_update, life, one_slot};
 use gem_spec::{render_specification, Specification};
@@ -217,6 +217,7 @@ fn instance(problem: &str, p: &Params) -> Result<Instance, CliError> {
         "rw" => {
             let readers = p.usize("readers", 1)?;
             let writers = p.usize("writers", 2)?;
+            let rounds = p.usize("rounds", 1)?;
             let with_data = p.bool("data", false)?;
             let variant = parse_rw_variant(p.str("variant", "readers"))?;
             let monitor = match p.str("monitor", "readers") {
@@ -230,7 +231,19 @@ fn instance(problem: &str, p: &Params) -> Result<Instance, CliError> {
                 "mesa" => SignalSemantics::Mesa,
                 other => return Err(err(format!("unknown semantics {other:?}"))),
             };
-            let sys = rw_program_with_semantics(monitor, readers, writers, with_data, semantics);
+            let sys = if rounds > 1 {
+                // Multi-round transactions are control-only: the bigger
+                // instance exists for schedule-space scale, not data flow.
+                if with_data {
+                    return Err(err("rounds > 1 requires data=false"));
+                }
+                if semantics != SignalSemantics::Hoare {
+                    return Err(err("rounds > 1 requires semantics=hoare"));
+                }
+                rw_rounds_program(monitor, readers, writers, rounds)
+            } else {
+                rw_program_with_semantics(monitor, readers, writers, with_data, semantics)
+            };
             let spec = rw_spec(readers + writers, with_data, variant);
             let corr = rw_correspondence(&sys, &spec, with_data);
             Ok(Instance::Monitor { sys, spec, corr })
@@ -297,19 +310,20 @@ pub const PROBLEMS: [&str; 6] = [
     "philosophers",
 ];
 
-/// Observability flags, stripped from the raw argument list before
-/// command dispatch.
+/// Observability and exploration flags, stripped from the raw argument
+/// list before command dispatch.
 #[derive(Clone, Debug, Default)]
 struct ObsFlags {
     stats: bool,
     stats_json: Option<String>,
     trace: Option<String>,
     heartbeat: Option<f64>,
+    jobs: Option<usize>,
 }
 
-/// Splits `--stats` / `--stats-json` / `--trace` / `--heartbeat` (either
-/// `--flag value` or `--flag=value`) out of `args`, leaving positional
-/// arguments and `key=value` parameters untouched.
+/// Splits `--stats` / `--stats-json` / `--trace` / `--heartbeat` /
+/// `--jobs` (either `--flag value` or `--flag=value`) out of `args`,
+/// leaving positional arguments and `key=value` parameters untouched.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
     let mut flags = ObsFlags::default();
     let mut rest = Vec::new();
@@ -337,6 +351,13 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                 flags.stats = true;
             }
             "--stats-json" => flags.stats_json = Some(value("--stats-json")?),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let jobs: usize = v
+                    .parse()
+                    .map_err(|_| err(format!("--jobs must be a thread count, got {v:?}")))?;
+                flags.jobs = Some(jobs);
+            }
             "--trace" => flags.trace = Some(value("--trace")?),
             "--heartbeat" => {
                 let v = value("--heartbeat")?;
@@ -435,7 +456,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let obs = obs_setup(&flags)?;
     let result = {
         let _total = Span::enter(obs.probe.as_ref(), "total");
-        dispatch(&args, &obs.probe)
+        dispatch(&args, &obs.probe, flags.jobs.unwrap_or(1))
     };
     // Reports are emitted even when the command failed: a truncated or
     // failing sweep's counters are exactly what one wants to inspect.
@@ -464,7 +485,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     result
 }
 
-fn dispatch(args: &[String], probe: &Arc<dyn Probe>) -> Result<String, CliError> {
+fn dispatch(args: &[String], probe: &Arc<dyn Probe>, jobs: usize) -> Result<String, CliError> {
     let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     match cmd.as_str() {
         "list" => Ok(PROBLEMS.join("\n")),
@@ -485,7 +506,10 @@ fn dispatch(args: &[String], probe: &Arc<dyn Probe>) -> Result<String, CliError>
                 }
                 "verify" => {
                     let options = |max_runs: usize| VerifyOptions {
-                        explorer: Explorer::with_max_runs(max_runs),
+                        explorer: Explorer {
+                            jobs,
+                            ..Explorer::with_max_runs(max_runs)
+                        },
                         probe: probe.clone(),
                         ..VerifyOptions::default()
                     };
@@ -526,25 +550,32 @@ fn dispatch(args: &[String], probe: &Arc<dyn Probe>) -> Result<String, CliError>
                     Ok(format_outcome(&outcome))
                 }
                 "explore" => {
-                    fn explore<S: System>(
+                    fn explore<S>(
                         sys: &S,
                         max_runs: usize,
                         probe: &Arc<dyn Probe>,
-                    ) -> String {
+                        jobs: usize,
+                    ) -> String
+                    where
+                        S: System + Sync,
+                        S::State: Send,
+                        S::Action: Send,
+                    {
                         let _ambient = probe
                             .enabled()
                             .then(|| gem_obs::ambient::install(probe.clone()));
                         let mut deadlocks = 0usize;
-                        let stats = Explorer::with_max_runs(max_runs).for_each_run_probed(
-                            sys,
-                            probe.as_ref(),
-                            |state, _| {
+                        let explorer = Explorer {
+                            jobs,
+                            ..Explorer::with_max_runs(max_runs)
+                        };
+                        let stats =
+                            explorer.par_for_each_run_probed(sys, probe.as_ref(), |state, _| {
                                 if !sys.is_complete(state) {
                                     deadlocks += 1;
                                 }
                                 ControlFlow::Continue(())
-                            },
-                        );
+                            });
                         probe.add("verify.deadlocks", deadlocks as u64);
                         format!(
                             "schedules: {}{}  steps: {}  deadlocks: {deadlocks}",
@@ -558,16 +589,23 @@ fn dispatch(args: &[String], probe: &Arc<dyn Probe>) -> Result<String, CliError>
                         )
                     }
                     Ok(match &inst {
-                        Instance::Monitor { sys, .. } => explore(sys, 1_000_000, probe),
-                        Instance::Csp { sys, max_runs, .. } => explore(sys, *max_runs, probe),
-                        Instance::Ada { sys, max_runs, .. } => explore(sys, *max_runs, probe),
+                        Instance::Monitor { sys, .. } => explore(sys, 1_000_000, probe, jobs),
+                        Instance::Csp { sys, max_runs, .. } => explore(sys, *max_runs, probe, jobs),
+                        Instance::Ada { sys, max_runs, .. } => explore(sys, *max_runs, probe, jobs),
                     })
                 }
                 "deadlock" => {
                     // Deadlock is a state property, so control-state
                     // pruning is sound — and necessary, since DFS order
                     // visits near-sequential schedules first.
-                    fn hunt<S: System>(sys: &S) -> String {
+                    fn hunt<S>(sys: &S) -> String
+                    where
+                        S: System + Sync,
+                        S::State: Send,
+                        S::Action: Send,
+                    {
+                        // The parallel explorer falls back to this serial
+                        // path for pruned searches, so `jobs` is moot.
                         let explorer = Explorer {
                             prune: true,
                             ..Explorer::default()
@@ -632,9 +670,12 @@ pub fn usage() -> String {
      \x20 --stats-json <path>        write the run report as deterministic JSON\n\
      \x20 --trace <path>             stream probe events as JSON lines\n\
      \x20 --heartbeat <secs>         progress line interval (default 5, 0 = off)\n\
+     \x20 --jobs <n>                 explorer worker threads (default 1, 0 = auto);\n\
+     \x20                            results are identical for every n\n\
      problems: one-slot, bounded, rw, db-update, life, philosophers\n\
      examples:\n\
      \x20 gem verify rw readers=1 writers=2 variant=readers\n\
+     \x20 gem explore rw readers=2 writers=2 rounds=2 --jobs 4\n\
      \x20 gem verify bounded items=4 cap=2 substrate=csp --stats\n\
      \x20 gem render rw data=true"
         .to_owned()

@@ -150,6 +150,15 @@ pub struct Explorer {
     /// If true, prune states already seen (by [`System::control_key`]);
     /// sound only for state properties, not trace properties.
     pub prune: bool,
+    /// Worker threads for [`Explorer::par_for_each_run`]: `1` explores
+    /// serially on the calling thread, `0` uses the machine's available
+    /// parallelism. Ignored by the always-serial [`Explorer::for_each_run`].
+    pub jobs: usize,
+    /// Depth at which [`Explorer::par_for_each_run`] splits the DFS
+    /// frontier into subtree work items. Larger values produce more,
+    /// smaller work items (better load balance, more splitting overhead);
+    /// `0` degenerates to a single work item (serial via one worker).
+    pub split_depth: usize,
 }
 
 impl Default for Explorer {
@@ -159,6 +168,8 @@ impl Default for Explorer {
             max_steps: usize::MAX,
             max_depth: 10_000,
             prune: false,
+            jobs: 1,
+            split_depth: 3,
         }
     }
 }
@@ -210,22 +221,7 @@ impl Explorer {
             &mut visit,
         );
         if probe.enabled() {
-            // Final flush: steps of a truncated tail run, pruning totals,
-            // the depth high-water mark, and the truncation cause.
-            probe.add("explore.steps", (stats.steps - flushed_steps) as u64);
-            probe.add("explore.prune.hits", stats.prune_hits as u64);
-            probe.add("explore.prune.misses", stats.prune_misses as u64);
-            probe.gauge_max("explore.depth_high_water", stats.max_depth_seen as u64);
-            if let Some(reason) = stats.truncation {
-                probe.add(
-                    match reason {
-                        TruncationReason::RunLimit => "explore.truncation.run_limit",
-                        TruncationReason::StepLimit => "explore.truncation.step_limit",
-                        TruncationReason::DepthLimit => "explore.truncation.depth_limit",
-                    },
-                    1,
-                );
-            }
+            flush_final(probe, &stats, flushed_steps);
         }
         stats
     }
@@ -242,14 +238,6 @@ impl Explorer {
         flushed_steps: &mut usize,
         visit: &mut impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
-        if stats.runs >= self.max_runs {
-            stats.truncation = Some(TruncationReason::RunLimit);
-            return ControlFlow::Break(());
-        }
-        if stats.steps >= self.max_steps {
-            stats.truncation = Some(TruncationReason::StepLimit);
-            return ControlFlow::Break(());
-        }
         if self.prune {
             if let Some(key) = sys.control_key(&state) {
                 if !seen.insert(key) {
@@ -258,6 +246,15 @@ impl Explorer {
                 }
                 stats.prune_misses += 1;
             }
+        }
+        // The run cap is checked at node entry (every node leads to at
+        // least one more maximal run), but the step cap is checked just
+        // before each edge application below: a space with exactly
+        // `max_runs` runs or `max_steps` steps is exhausted, not
+        // truncated.
+        if stats.runs >= self.max_runs {
+            stats.truncation = Some(TruncationReason::RunLimit);
+            return ControlFlow::Break(());
         }
         let actions = sys.enabled(&state);
         if actions.is_empty() || path.len() >= self.max_depth {
@@ -272,13 +269,15 @@ impl Explorer {
             if probe.enabled() {
                 // Batched flush: one counter update per maximal run keeps
                 // the instrumented hot path within noise of the bare one.
-                probe.add("explore.runs", 1);
-                probe.add("explore.steps", (stats.steps - *flushed_steps) as u64);
-                *flushed_steps = stats.steps;
+                flush_run(probe, stats, flushed_steps);
             }
             return visit(&state, path);
         }
         for action in actions {
+            if stats.steps >= self.max_steps {
+                stats.truncation = Some(TruncationReason::StepLimit);
+                return ControlFlow::Break(());
+            }
             let mut next = state.clone();
             sys.apply(&mut next, &action);
             stats.steps += 1;
@@ -308,12 +307,49 @@ impl Explorer {
     }
 }
 
+/// Per-run probe flush: one `explore.runs` increment and the step delta
+/// accumulated since the previous flush. Shared by the serial DFS and the
+/// parallel committer so both emit byte-identical counter sequences.
+pub(crate) fn flush_run(probe: &dyn Probe, stats: &ExploreStats, flushed_steps: &mut usize) {
+    probe.add("explore.runs", 1);
+    probe.add("explore.steps", (stats.steps - *flushed_steps) as u64);
+    *flushed_steps = stats.steps;
+}
+
+/// Final flush: steps of a truncated tail run, pruning totals (emitted
+/// even when zero so reports are comparable), the depth high-water mark,
+/// and the truncation cause.
+pub(crate) fn flush_final(probe: &dyn Probe, stats: &ExploreStats, flushed_steps: usize) {
+    probe.add("explore.steps", (stats.steps - flushed_steps) as u64);
+    probe.add("explore.prune.hits", stats.prune_hits as u64);
+    probe.add("explore.prune.misses", stats.prune_misses as u64);
+    probe.gauge_max("explore.depth_high_water", stats.max_depth_seen as u64);
+    if let Some(reason) = stats.truncation {
+        probe.add(
+            match reason {
+                TruncationReason::RunLimit => "explore.truncation.run_limit",
+                TruncationReason::StepLimit => "explore.truncation.step_limit",
+                TruncationReason::DepthLimit => "explore.truncation.depth_limit",
+            },
+            1,
+        );
+    }
+}
+
 /// Searches all runs for a deadlock: a terminal state that is not
 /// complete. Returns the action sequence leading to the first deadlock
-/// found, or `None` if every explored run completes.
-pub fn find_deadlock<S: System>(sys: &S, explorer: &Explorer) -> Option<Vec<S::Action>> {
+/// found, or `None` if every explored run completes. Honours
+/// [`Explorer::jobs`]: with more than one job the parallel explorer is
+/// used, and the witness is identical to the serial one (first deadlock
+/// in DFS order).
+pub fn find_deadlock<S>(sys: &S, explorer: &Explorer) -> Option<Vec<S::Action>>
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
     let mut witness = None;
-    explorer.for_each_run(sys, |state, path| {
+    explorer.par_for_each_run(sys, |state, path| {
         if !sys.is_complete(state) {
             witness = Some(path.to_vec());
             ControlFlow::Break(())
@@ -405,6 +441,44 @@ mod tests {
         assert!(stats.steps >= 40, "{stats}");
         // Full space is 90 runs; the cap must have cut it short.
         assert!(stats.runs < 90);
+    }
+
+    #[test]
+    fn exact_run_budget_is_exhaustive() {
+        // A space with exactly `max_runs` maximal runs is exhausted, not
+        // truncated: the bound never bites.
+        let sys = Counters { n: 2, stuck: false };
+        let stats = Explorer::with_max_runs(6).for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.runs, 6);
+        assert_eq!(stats.truncation, None, "{stats}");
+        // One fewer and the limit genuinely cuts work off.
+        let stats = Explorer::with_max_runs(5).for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.runs, 5);
+        assert_eq!(stats.truncation, Some(TruncationReason::RunLimit));
+    }
+
+    #[test]
+    fn exact_step_budget_is_exhaustive() {
+        let sys = Counters { n: 2, stuck: false };
+        let total = Explorer::default()
+            .for_each_run(&sys, |_, _| ControlFlow::Continue(()))
+            .steps;
+        let exact = Explorer {
+            max_steps: total,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(exact.steps, total);
+        assert_eq!(exact.runs, 6);
+        assert_eq!(exact.truncation, None, "{exact}");
+        let short = Explorer {
+            max_steps: total - 1,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(short.steps, total - 1);
+        assert_eq!(short.truncation, Some(TruncationReason::StepLimit));
+        assert!(short.runs < 6);
     }
 
     #[test]

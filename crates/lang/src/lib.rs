@@ -19,6 +19,7 @@
 
 mod ast;
 mod explore;
+mod par;
 
 pub mod ada;
 pub mod csp;

@@ -1,0 +1,721 @@
+//! Parallel schedule exploration with serial-identical results.
+//!
+//! [`Explorer::par_for_each_run`] splits the DFS frontier at
+//! [`Explorer::split_depth`] into subtree work items and drains them with
+//! a `std::thread` work pool of [`Explorer::jobs`] workers. Equivalence
+//! with the serial oracle is by construction — an *ordered commit*
+//! protocol:
+//!
+//! * The calling thread walks the schedule trie down to the split depth
+//!   in DFS order, so work items are indexed by the lexicographic
+//!   position of their subtree root, and records how many trie edges it
+//!   applied between consecutive items (each item's `lead`).
+//! * Workers claim items in index order, explore each subtree
+//!   speculatively with purely *local* budgets, and stream every maximal
+//!   run — terminal state, full action path, and the count of subtree
+//!   edges since the previous run — over a bounded per-item channel.
+//! * The calling thread *commits* items strictly in index order,
+//!   replaying the serial explorer's accounting edge for edge: step and
+//!   run budgets, truncation causes, the depth high-water mark, per-run
+//!   probe flushes, and the visitor itself all execute on the calling
+//!   thread in exactly the order the serial DFS would produce them.
+//!
+//! Consequences: the visited run multiset (and order), [`ExploreStats`],
+//! early-abort behaviour, and the probe counter sequence are identical to
+//! [`Explorer::for_each_run`] for every `jobs`/`split_depth` setting, and
+//! the visitor needs no `Send`/`Sync` bound. Speculative work past a
+//! global budget is cut short by a cancellation flag plus channel
+//! hang-up. State pruning (`prune: true`) needs a shared seen-set whose
+//! hit pattern is schedule-order-dependent, so it falls back to the
+//! serial path.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Mutex;
+
+use gem_obs::{ambient, NoopProbe, Probe};
+
+use crate::explore::{flush_final, flush_run, ExploreStats, Explorer, System, TruncationReason};
+
+/// Worker stacks match the serial caller's headroom: the subtree DFS
+/// recurses up to `max_depth` frames (10k by default).
+const WORKER_STACK: usize = 32 * 1024 * 1024;
+
+/// Per-item channel bound: backpressure that caps speculative memory at
+/// roughly `jobs × ITEM_CHANNEL_CAP` in-flight runs.
+const ITEM_CHANNEL_CAP: usize = 128;
+
+/// One frontier subtree, identified by its DFS (lexicographic) position.
+struct WorkItem<S: System> {
+    /// State at the subtree root.
+    state: S::State,
+    /// Actions from the system's initial state to the subtree root.
+    prefix: Vec<S::Action>,
+    /// Trie edges the frontier walk applied since emitting the previous
+    /// item; the committer replays them as budget debits before this
+    /// item's runs.
+    lead: usize,
+}
+
+/// Worker → committer message for one item's stream.
+enum Msg<S: System> {
+    /// One maximal run of the subtree, in subtree DFS order.
+    Leaf {
+        /// Subtree edges applied since the previous leaf (or since the
+        /// subtree root, for the first leaf).
+        pre: usize,
+        /// True if the run was cut at [`Explorer::max_depth`] while
+        /// actions were still enabled.
+        depth_limited: bool,
+        /// Full action path from the initial state.
+        path: Vec<S::Action>,
+        /// Terminal state of the run.
+        state: S::State,
+    },
+    /// End of the item's stream.
+    Tail {
+        /// Edges applied after the last leaf (speculative overshoot of a
+        /// local budget; zero when the subtree was exhausted).
+        post: usize,
+        /// False if a local budget stopped the worker with unexplored
+        /// edges remaining in the subtree.
+        finished: bool,
+    },
+}
+
+/// Collects the work items by walking the trie down to the split depth in
+/// DFS order. Every edge applied during the walk is charged to exactly
+/// one item's `lead`, so the committer's replayed edge sequence equals
+/// the serial explorer's.
+fn build_frontier<S: System>(explorer: &Explorer, sys: &S) -> Vec<WorkItem<S>> {
+    let mut items = Vec::new();
+    let mut path = Vec::new();
+    let mut edges = 0usize;
+    frontier_dfs(
+        explorer,
+        sys,
+        sys.initial(),
+        &mut path,
+        &mut edges,
+        &mut items,
+    );
+    items
+}
+
+fn frontier_dfs<S: System>(
+    explorer: &Explorer,
+    sys: &S,
+    state: S::State,
+    path: &mut Vec<S::Action>,
+    edges: &mut usize,
+    items: &mut Vec<WorkItem<S>>,
+) {
+    if path.len() < explorer.split_depth && path.len() < explorer.max_depth {
+        let actions = sys.enabled(&state);
+        if !actions.is_empty() {
+            for action in actions {
+                let mut next = state.clone();
+                sys.apply(&mut next, &action);
+                *edges += 1;
+                path.push(action);
+                frontier_dfs(explorer, sys, next, path, edges, items);
+                path.pop();
+            }
+            return;
+        }
+    }
+    items.push(WorkItem {
+        state,
+        prefix: path.clone(),
+        lead: std::mem::take(edges),
+    });
+}
+
+/// Why a worker's subtree walk ended early.
+enum Stop {
+    /// A local budget fired; the subtree has unexplored edges.
+    Truncated,
+    /// Cancelled or the committer hung up; send nothing further.
+    Abort,
+}
+
+/// Per-item worker state: local budgets counted from the subtree root.
+/// Local caps equal the global caps, so a worker always streams at least
+/// as many runs as the committer's global replay can consume.
+struct Worker<'a, S: System> {
+    explorer: &'a Explorer,
+    sys: &'a S,
+    cancel: &'a AtomicBool,
+    tx: SyncSender<Msg<S>>,
+    runs: usize,
+    steps: usize,
+    pending_edges: usize,
+}
+
+impl<S: System> Worker<'_, S> {
+    fn run_item(mut self, item: WorkItem<S>) {
+        let mut path = item.prefix;
+        let finished = match self.subtree(item.state, &mut path) {
+            ControlFlow::Continue(()) => true,
+            ControlFlow::Break(Stop::Truncated) => false,
+            ControlFlow::Break(Stop::Abort) => return,
+        };
+        let _ = self.tx.send(Msg::Tail {
+            post: self.pending_edges,
+            finished,
+        });
+    }
+
+    /// Mirrors the serial `Explorer::dfs` exactly (minus pruning, which
+    /// forces the serial path): run check at node entry, step check
+    /// before each edge application, leaves streamed in DFS order.
+    fn subtree(&mut self, state: S::State, path: &mut Vec<S::Action>) -> ControlFlow<Stop> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return ControlFlow::Break(Stop::Abort);
+        }
+        if self.runs >= self.explorer.max_runs {
+            return ControlFlow::Break(Stop::Truncated);
+        }
+        let actions = self.sys.enabled(&state);
+        if actions.is_empty() || path.len() >= self.explorer.max_depth {
+            let depth_limited = path.len() >= self.explorer.max_depth && !actions.is_empty();
+            let msg = Msg::Leaf {
+                pre: std::mem::take(&mut self.pending_edges),
+                depth_limited,
+                path: path.clone(),
+                state,
+            };
+            if self.tx.send(msg).is_err() {
+                return ControlFlow::Break(Stop::Abort);
+            }
+            self.runs += 1;
+            return ControlFlow::Continue(());
+        }
+        for action in actions {
+            if self.steps >= self.explorer.max_steps {
+                return ControlFlow::Break(Stop::Truncated);
+            }
+            let mut next = state.clone();
+            self.sys.apply(&mut next, &action);
+            self.steps += 1;
+            self.pending_edges += 1;
+            path.push(action);
+            let flow = self.subtree(next, path);
+            path.pop();
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Replays one trie edge in the committer: step check before the edge is
+/// charged, run check at entry to the node it leads into — the exact
+/// serial order.
+fn consume_edge(explorer: &Explorer, stats: &mut ExploreStats) -> ControlFlow<()> {
+    if stats.steps >= explorer.max_steps {
+        stats.truncation = Some(TruncationReason::StepLimit);
+        return ControlFlow::Break(());
+    }
+    stats.steps += 1;
+    if stats.runs >= explorer.max_runs {
+        stats.truncation = Some(TruncationReason::RunLimit);
+        return ControlFlow::Break(());
+    }
+    ControlFlow::Continue(())
+}
+
+impl Explorer {
+    /// Resolves [`Explorer::jobs`]: `0` means the machine's available
+    /// parallelism (at least 1).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        }
+    }
+
+    /// Parallel [`Explorer::for_each_run`]: visits the identical run
+    /// multiset, in the identical (serial DFS) order, with identical
+    /// [`ExploreStats`] and early-abort behaviour, using
+    /// [`Explorer::jobs`] worker threads. With `jobs == 1` (the default)
+    /// this *is* the serial explorer. See the `par` module source for
+    /// the ordered-commit protocol.
+    pub fn par_for_each_run<S>(
+        &self,
+        sys: &S,
+        visit: impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
+    ) -> ExploreStats
+    where
+        S: System + Sync,
+        S::State: Send,
+        S::Action: Send,
+    {
+        self.par_for_each_run_probed(sys, &NoopProbe, visit)
+    }
+
+    /// Parallel [`Explorer::for_each_run_probed`]. `probe` receives the
+    /// exact per-run counter sequence of the serial explorer: workers
+    /// stream structural data only, while all accounting, probe flushes,
+    /// and visitor calls happen on the calling thread in serial DFS
+    /// order. Each worker additionally re-installs the calling thread's
+    /// ambient probe (captured via `gem_obs::ambient::snapshot`), so
+    /// system-internal instrumentation fans into the same sink.
+    pub fn par_for_each_run_probed<S>(
+        &self,
+        sys: &S,
+        probe: &dyn Probe,
+        mut visit: impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
+    ) -> ExploreStats
+    where
+        S: System + Sync,
+        S::State: Send,
+        S::Action: Send,
+    {
+        let jobs = self.effective_jobs();
+        // Pruning shares a seen-set across the whole schedule order;
+        // a zero run budget never reaches a worker. Both take the serial
+        // path, as does a frontier too small to share.
+        if jobs <= 1 || self.prune || self.max_runs == 0 {
+            return self.for_each_run_probed(sys, probe, visit);
+        }
+        let items = build_frontier(self, sys);
+        if items.len() <= 1 {
+            return self.for_each_run_probed(sys, probe, visit);
+        }
+
+        let leads: Vec<usize> = items.iter().map(|item| item.lead).collect();
+        let slots: Vec<Mutex<Option<WorkItem<S>>>> = items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        let mut senders = Vec::with_capacity(slots.len());
+        let mut receivers = Vec::with_capacity(slots.len());
+        for _ in 0..slots.len() {
+            let (tx, rx) = mpsc::sync_channel::<Msg<S>>(ITEM_CHANNEL_CAP);
+            senders.push(Mutex::new(Some(tx)));
+            receivers.push(rx);
+        }
+        let next = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        let ambient_probe = ambient::snapshot();
+        let workers = jobs.min(slots.len());
+
+        let mut stats = ExploreStats::default();
+        let mut flushed_steps = 0usize;
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                let senders = &senders;
+                let next = &next;
+                let cancel = &cancel;
+                let ambient_probe = ambient_probe.clone();
+                std::thread::Builder::new()
+                    .name(format!("gem-explore-{w}"))
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(scope, move || {
+                        let _ambient = ambient_probe.map(ambient::install);
+                        loop {
+                            if cancel.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= slots.len() {
+                                break;
+                            }
+                            let item = slots[idx]
+                                .lock()
+                                .unwrap()
+                                .take()
+                                .expect("item claimed once");
+                            let tx = senders[idx]
+                                .lock()
+                                .unwrap()
+                                .take()
+                                .expect("sender claimed once");
+                            Worker {
+                                explorer: self,
+                                sys,
+                                cancel,
+                                tx,
+                                runs: 0,
+                                steps: 0,
+                                pending_edges: 0,
+                            }
+                            .run_item(item);
+                        }
+                    })
+                    .expect("spawn explore worker");
+            }
+
+            // Ordered commit: the calling thread drains item streams in
+            // index order and replays serial accounting.
+            let mut last_unfinished = false;
+            let mut stopped = false;
+            'items: for (idx, rx) in receivers.into_iter().enumerate() {
+                last_unfinished = false;
+                for _ in 0..leads[idx] {
+                    if consume_edge(self, &mut stats).is_break() {
+                        stopped = true;
+                        break 'items;
+                    }
+                }
+                loop {
+                    match rx.recv() {
+                        Ok(Msg::Leaf {
+                            pre,
+                            depth_limited,
+                            path,
+                            state,
+                        }) => {
+                            for _ in 0..pre {
+                                if consume_edge(self, &mut stats).is_break() {
+                                    stopped = true;
+                                    break 'items;
+                                }
+                            }
+                            if depth_limited {
+                                stats.depth_limited_runs += 1;
+                                if stats.truncation.is_none() {
+                                    stats.truncation = Some(TruncationReason::DepthLimit);
+                                }
+                            }
+                            stats.runs += 1;
+                            stats.max_depth_seen = stats.max_depth_seen.max(path.len());
+                            if probe.enabled() {
+                                flush_run(probe, &stats, &mut flushed_steps);
+                            }
+                            if visit(&state, &path).is_break() {
+                                stopped = true;
+                                break 'items;
+                            }
+                        }
+                        Ok(Msg::Tail { post, finished }) => {
+                            for _ in 0..post {
+                                if consume_edge(self, &mut stats).is_break() {
+                                    stopped = true;
+                                    break 'items;
+                                }
+                            }
+                            last_unfinished = !finished;
+                            continue 'items;
+                        }
+                        // A worker died mid-item (visitor-independent
+                        // panic in `System` code); stop committing — the
+                        // scope join below re-raises the panic.
+                        Err(_) => {
+                            stopped = true;
+                            break 'items;
+                        }
+                    }
+                }
+            }
+            if !stopped && last_unfinished {
+                // The last worker stopped on a local budget with edges
+                // left in its subtree: serial would attempt exactly one
+                // more edge there before its own bound fires.
+                let _ = consume_edge(self, &mut stats);
+            }
+            cancel.store(true, Ordering::Relaxed);
+            // Unconsumed receivers were dropped by the loop, so blocked
+            // workers fail their next send and exit promptly.
+        });
+
+        if probe.enabled() {
+            flush_final(probe, &stats, flushed_steps);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::find_deadlock;
+
+    /// Asymmetric toy system: counter `i` steps to `i + 1`, so subtree
+    /// sizes differ wildly across the frontier — a stress for the
+    /// lead/pre/post edge accounting.
+    struct Ragged {
+        n: usize,
+        stuck: bool,
+    }
+
+    impl System for Ragged {
+        type State = Vec<u8>;
+        type Action = usize;
+
+        fn initial(&self) -> Vec<u8> {
+            vec![0; self.n]
+        }
+
+        fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+            if self.stuck && state.iter().enumerate().any(|(i, &c)| usize::from(c) > i) {
+                return Vec::new();
+            }
+            (0..self.n)
+                .filter(|&i| usize::from(state[i]) < i + 1)
+                .collect()
+        }
+
+        fn apply(&self, state: &mut Vec<u8>, &i: &usize) {
+            state[i] += 1;
+        }
+
+        fn is_complete(&self, state: &Vec<u8>) -> bool {
+            state
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| usize::from(c) == i + 1)
+        }
+    }
+
+    /// Runs serial and parallel exploration and asserts identical stats
+    /// and identical visited (state, path) sequences.
+    fn assert_equiv(explorer: &Explorer, sys: &Ragged) {
+        let mut serial_seen: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
+        let serial = explorer.for_each_run(sys, |s, p| {
+            serial_seen.push((s.clone(), p.to_vec()));
+            ControlFlow::Continue(())
+        });
+        let mut par_seen: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
+        let par = explorer.par_for_each_run(sys, |s, p| {
+            par_seen.push((s.clone(), p.to_vec()));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(serial, par, "stats diverge for {explorer:?}");
+        assert_eq!(serial_seen, par_seen, "runs diverge for {explorer:?}");
+    }
+
+    #[test]
+    fn exhaustive_equivalence_across_jobs_and_splits() {
+        let sys = Ragged { n: 3, stuck: false };
+        for jobs in [2, 3, 4] {
+            for split_depth in [0, 1, 2, 3, 5] {
+                assert_equiv(
+                    &Explorer {
+                        jobs,
+                        split_depth,
+                        ..Explorer::default()
+                    },
+                    &sys,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_equivalence_run_and_step_limits() {
+        let sys = Ragged { n: 3, stuck: false };
+        let total = Explorer::default().for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        // Sweep budgets across the whole range, including the exact
+        // budget (no truncation) and off-by-one around it.
+        for max_runs in 1..=total.runs + 1 {
+            assert_equiv(
+                &Explorer {
+                    max_runs,
+                    jobs: 4,
+                    split_depth: 2,
+                    ..Explorer::default()
+                },
+                &sys,
+            );
+        }
+        for max_steps in [1, 2, 3, 5, total.steps - 1, total.steps, total.steps + 1] {
+            assert_equiv(
+                &Explorer {
+                    max_steps,
+                    jobs: 4,
+                    split_depth: 2,
+                    ..Explorer::default()
+                },
+                &sys,
+            );
+        }
+    }
+
+    #[test]
+    fn depth_limited_equivalence() {
+        let sys = Ragged { n: 3, stuck: false };
+        for max_depth in [1, 2, 3, 4] {
+            assert_equiv(
+                &Explorer {
+                    max_depth,
+                    jobs: 4,
+                    split_depth: 2,
+                    ..Explorer::default()
+                },
+                &sys,
+            );
+        }
+    }
+
+    #[test]
+    fn combined_budgets_equivalence() {
+        let sys = Ragged { n: 3, stuck: false };
+        for (max_runs, max_steps, max_depth) in
+            [(7, usize::MAX, 4), (100, 17, 10_000), (5, 9, 3), (1, 1, 1)]
+        {
+            assert_equiv(
+                &Explorer {
+                    max_runs,
+                    max_steps,
+                    max_depth,
+                    jobs: 2,
+                    split_depth: 1,
+                    ..Explorer::default()
+                },
+                &sys,
+            );
+        }
+    }
+
+    #[test]
+    fn early_break_stops_parallel_search() {
+        let sys = Ragged { n: 3, stuck: false };
+        let mut count = 0;
+        let stats = Explorer {
+            jobs: 4,
+            split_depth: 2,
+            ..Explorer::default()
+        }
+        .par_for_each_run(&sys, |_, _| {
+            count += 1;
+            if count == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(count, 3);
+        assert_eq!(stats.runs, 3);
+        assert_eq!(stats.truncation, None);
+    }
+
+    #[test]
+    fn parallel_deadlock_witness_matches_serial() {
+        let sys = Ragged { n: 3, stuck: true };
+        let serial = find_deadlock(&sys, &Explorer::default());
+        let par = find_deadlock(
+            &sys,
+            &Explorer {
+                jobs: 4,
+                split_depth: 2,
+                ..Explorer::default()
+            },
+        );
+        assert!(serial.is_some());
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn probe_counter_sequence_matches_serial() {
+        use gem_obs::StatsProbe;
+        let sys = Ragged { n: 3, stuck: false };
+        for max_steps in [usize::MAX, 25] {
+            let explorer = Explorer {
+                max_steps,
+                ..Explorer::default()
+            };
+            let serial_probe = StatsProbe::new();
+            explorer.for_each_run_probed(&sys, &serial_probe, |_, _| ControlFlow::Continue(()));
+            let par_probe = StatsProbe::new();
+            Explorer {
+                jobs: 4,
+                split_depth: 2,
+                ..explorer
+            }
+            .par_for_each_run_probed(
+                &sys,
+                &par_probe,
+                |_, _| ControlFlow::Continue(()),
+            );
+            assert_eq!(
+                serial_probe.report().to_json(),
+                par_probe.report().to_json()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        let explorer = Explorer {
+            jobs: 0,
+            ..Explorer::default()
+        };
+        assert!(explorer.effective_jobs() >= 1);
+        // And exploration still works through the auto-resolved pool.
+        let sys = Ragged { n: 2, stuck: false };
+        let serial = Explorer::default().for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        let par = explorer.par_for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn prune_falls_back_to_serial() {
+        // Ragged has no control key, but the fallback must not change
+        // results either way.
+        let sys = Ragged { n: 3, stuck: false };
+        let explorer = Explorer {
+            prune: true,
+            jobs: 4,
+            ..Explorer::default()
+        };
+        let serial = Explorer {
+            jobs: 1,
+            ..explorer
+        }
+        .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        let par = explorer.par_for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn ambient_probe_is_inherited_by_workers() {
+        use gem_obs::StatsProbe;
+        use std::sync::Arc;
+
+        /// A system that reports through the ambient probe from inside
+        /// `apply` — i.e. from worker threads in parallel mode.
+        struct Chatty;
+        impl System for Chatty {
+            type State = Vec<u8>;
+            type Action = usize;
+            fn initial(&self) -> Vec<u8> {
+                vec![0; 2]
+            }
+            fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+                (0..2).filter(|&i| state[i] < 2).collect()
+            }
+            fn apply(&self, state: &mut Vec<u8>, &i: &usize) {
+                ambient::add("chatty.applies", 1);
+                state[i] += 1;
+            }
+            fn is_complete(&self, state: &Vec<u8>) -> bool {
+                state.iter().all(|&c| c == 2)
+            }
+        }
+
+        let probe = Arc::new(StatsProbe::new());
+        let _guard = ambient::install(probe.clone());
+        Explorer {
+            jobs: 4,
+            split_depth: 1,
+            ..Explorer::default()
+        }
+        .par_for_each_run(&Chatty, |_, _| ControlFlow::Continue(()));
+        // Exhaustive, uncancelled exploration applies every trie edge
+        // exactly once across the frontier walk and all workers.
+        let serial_probe = Arc::new(StatsProbe::new());
+        {
+            let _g = ambient::install(serial_probe.clone());
+            Explorer::default().for_each_run(&Chatty, |_, _| ControlFlow::Continue(()));
+        }
+        assert_eq!(
+            probe.counter("chatty.applies"),
+            serial_probe.counter("chatty.applies")
+        );
+    }
+}

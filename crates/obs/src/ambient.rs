@@ -55,6 +55,17 @@ pub fn active() -> bool {
     INSTALLED.load(Ordering::Relaxed) != 0
 }
 
+/// The probe currently installed on *this* thread, if any. Worker pools
+/// capture this on the coordinating thread and re-[`install`] it on each
+/// worker, so deep-layer emissions fan into the same sink regardless of
+/// which thread runs the work.
+pub fn snapshot() -> Option<Arc<dyn Probe>> {
+    if !active() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
 #[inline]
 fn with_current(f: impl FnOnce(&dyn Probe)) {
     if !active() {
@@ -114,6 +125,16 @@ mod tests {
         assert_eq!(r.counters.get("after"), None);
         assert_eq!(r.gauges["depth"], 5);
         assert_eq!(r.timers["t"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_sees_innermost_install() {
+        assert!(snapshot().is_none());
+        let outer = Arc::new(StatsProbe::new());
+        let _g = install(outer.clone());
+        let snap = snapshot().expect("installed");
+        snap.add("via-snapshot", 7);
+        assert_eq!(outer.counter("via-snapshot"), 7);
     }
 
     #[test]

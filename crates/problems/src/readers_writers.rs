@@ -532,6 +532,46 @@ pub fn rw_program_with_semantics(
     MonitorSystem::new(prog)
 }
 
+/// A control-only readers/writers program where every process performs
+/// `rounds` complete transactions (`StartRead;EndRead` or
+/// `StartWrite;EndWrite` pairs) instead of one. The schedule space grows
+/// roughly as the multinomial of `2 × rounds × processes` actions —
+/// the workload knob for the parallel-exploration scaling bench (F5) and
+/// for any experiment that needs a deep, wide schedule trie from a small
+/// process count.
+pub fn rw_rounds_program(
+    monitor: MonitorDef,
+    readers: usize,
+    writers: usize,
+    rounds: usize,
+) -> MonitorSystem {
+    let call = |entry: &str| ScriptStep::Call {
+        entry: entry.into(),
+        args: vec![],
+    };
+    let mut prog = MonitorProgram::new(monitor);
+    let mut pid = 0;
+    for _ in 0..readers {
+        let mut script = Vec::with_capacity(2 * rounds);
+        for _ in 0..rounds {
+            script.push(call("StartRead"));
+            script.push(call("EndRead"));
+        }
+        prog = prog.process(ProcessDef::new(format!("u{pid}"), script));
+        pid += 1;
+    }
+    for _ in 0..writers {
+        let mut script = Vec::with_capacity(2 * rounds);
+        for _ in 0..rounds {
+            script.push(call("StartWrite"));
+            script.push(call("EndWrite"));
+        }
+        prog = prog.process(ProcessDef::new(format!("u{pid}"), script));
+        pid += 1;
+    }
+    MonitorSystem::new(prog)
+}
+
 /// The §9 significant-object correspondence for a readers/writers monitor
 /// program. Mirrors the paper's table:
 ///
@@ -835,6 +875,35 @@ mod tests {
             SignalSemantics::Mesa,
         );
         assert!(assert_no_deadlock(&sys, &Explorer::default()).is_ok());
+    }
+
+    #[test]
+    fn rounds_program_multiplies_schedules_and_stays_correct() {
+        // One round is the plain control-only program; more rounds blow
+        // the schedule space up but still satisfy mutual exclusion.
+        let sys1 = rw_rounds_program(readers_writers_monitor(), 1, 1, 1);
+        let sys2 = rw_rounds_program(readers_writers_monitor(), 1, 1, 2);
+        use std::ops::ControlFlow;
+        let runs = |sys: &MonitorSystem| {
+            Explorer::default()
+                .for_each_run(sys, |_, _| ControlFlow::Continue(()))
+                .runs
+        };
+        let (r1, r2) = (runs(&sys1), runs(&sys2));
+        assert!(r2 > r1, "rounds=2 must enlarge the space: {r1} vs {r2}");
+
+        let problem = rw_spec(2, false, RwVariant::MutexOnly);
+        let corr = rw_correspondence(&sys2, &problem, false);
+        let outcome = verify_system(
+            &sys2,
+            &problem,
+            &corr,
+            |s| sys2.computation(s).expect("acyclic"),
+            &VerifyOptions::default(),
+        )
+        .expect("correspondence consistent");
+        assert!(outcome.ok(), "{outcome}");
+        assert!(outcome.exhaustive());
     }
 
     #[test]

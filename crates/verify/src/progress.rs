@@ -42,17 +42,24 @@ impl LivenessOutcome {
 }
 
 /// Checks a (typically `◇…`) formula against every run's computation
-/// under the given strategy.
-pub fn eventually_on_all_runs<S: System>(
+/// under the given strategy. Runs are enumerated with
+/// [`Explorer::par_for_each_run`], so `explorer.jobs > 1` parallelises
+/// the sweep without changing the reported run indices.
+pub fn eventually_on_all_runs<S>(
     sys: &S,
     formula: &Formula,
     extract: impl Fn(&S::State) -> Computation,
     explorer: &Explorer,
     strategy: Strategy,
-) -> LivenessOutcome {
+) -> LivenessOutcome
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
     let mut runs = 0usize;
     let mut failing_runs = Vec::new();
-    let stats = explorer.for_each_run(sys, |state, _| {
+    let stats = explorer.par_for_each_run(sys, |state, _| {
         let c = extract(state);
         match check(formula, &c, strategy) {
             Ok(report) if report.holds => {}
@@ -75,11 +82,17 @@ pub fn eventually_on_all_runs<S: System>(
 /// Asserts the system is deadlock-free within the explorer's bounds.
 ///
 /// Returns `Ok(runs_explored)` or the action trace of the first deadlock
-/// rendered with `Debug`.
-pub fn assert_no_deadlock<S: System>(sys: &S, explorer: &Explorer) -> Result<usize, String> {
+/// rendered with `Debug`. The witness is the first deadlock in serial
+/// DFS order regardless of `explorer.jobs`.
+pub fn assert_no_deadlock<S>(sys: &S, explorer: &Explorer) -> Result<usize, String>
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
     let mut runs = 0usize;
     let mut witness: Option<String> = None;
-    explorer.for_each_run(sys, |state, path| {
+    explorer.par_for_each_run(sys, |state, path| {
         runs += 1;
         if sys.is_complete(state) {
             ControlFlow::Continue(())

@@ -128,6 +128,12 @@ impl Default for VerifyOptions {
 /// run's computation with `extract`, projects through `corr`, and checks
 /// `problem`'s restrictions.
 ///
+/// Schedules are explored with [`Explorer::par_for_each_run_probed`]:
+/// serial on the calling thread for `explorer.jobs == 1` (the default),
+/// otherwise a worker pool whose ordered-commit protocol guarantees the
+/// outcome — run order, first failure, counterexample schedules, and
+/// probe totals — is identical to the serial sweep.
+///
 /// # Errors
 ///
 /// Returns [`ProjectError`] if the correspondence is inconsistent with a
@@ -135,13 +141,18 @@ impl Default for VerifyOptions {
 /// verdict). Malformed restriction formulas also surface as an error
 /// string via the panic-free path: they are reported as failures with the
 /// evaluation error in `detail`.
-pub fn verify_system<S: System>(
+pub fn verify_system<S>(
     sys: &S,
     problem: &Specification,
     corr: &Correspondence,
     extract: impl Fn(&S::State) -> Computation,
     options: &VerifyOptions,
-) -> Result<VerifyOutcome, ProjectError> {
+) -> Result<VerifyOutcome, ProjectError>
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
     let mut runs = 0usize;
     let mut deadlocks = 0usize;
     let mut failures: Vec<RunFailure> = Vec::new();
@@ -158,7 +169,7 @@ pub fn verify_system<S: System>(
 
     let stats = options
         .explorer
-        .for_each_run_probed(sys, probe, |state, _path| {
+        .par_for_each_run_probed(sys, probe, |state, _path| {
             runs += 1;
             if !sys.is_complete(state) {
                 deadlocks += 1;

@@ -1,0 +1,326 @@
+//! Differential harness: the parallel explorer must be observationally
+//! identical to the serial DFS oracle on every substrate.
+//!
+//! For Monitor, CSP, and ADA systems — the bounded buffer and
+//! readers/writers instances — the parallel explorer is checked to yield
+//! the exact multiset (in fact, the exact sequence) of maximal runs as
+//! `Explorer::for_each_run`, with equal `ExploreStats`, across
+//! `jobs ∈ {1, 2, 4}` (plus `GEM_TEST_JOBS`, which CI sets to exercise a
+//! wider pool) and split depths `{0, 1, 3}`, including under
+//! `max_runs`/`max_steps`/`max_depth` truncation. Verification outcomes —
+//! first failure, counterexample schedules, witnesses — are compared as
+//! whole values.
+
+use std::ops::ControlFlow;
+
+use gem::lang::monitor::readers_writers_monitor;
+use gem::lang::{find_deadlock, ExploreStats, Explorer, System};
+use gem::problems::bounded;
+use gem::problems::readers_writers::{
+    rw_correspondence, rw_program, rw_rounds_program, rw_spec, RwVariant,
+};
+use gem::verify::{verify_system, VerifyOptions};
+
+/// Worker counts to sweep: the satellite set {1, 2, 4} plus whatever CI
+/// injects through `GEM_TEST_JOBS`.
+fn job_counts() -> Vec<usize> {
+    let mut jobs = vec![1, 2, 4];
+    if let Ok(v) = std::env::var("GEM_TEST_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if !jobs.contains(&n) {
+                jobs.push(n);
+            }
+        }
+    }
+    jobs
+}
+
+const SPLIT_DEPTHS: [usize; 3] = [0, 1, 3];
+
+/// Serial-vs-parallel differential check on one system: the run sequence
+/// (terminal paths, rendered through `Debug` since actions are not `Eq`)
+/// and the full `ExploreStats` must match for every jobs × split-depth
+/// combination. Returns the serial stats for workload sanity checks.
+fn assert_equiv<S>(explorer: Explorer, sys: &S, what: &str) -> ExploreStats
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let mut serial_runs: Vec<String> = Vec::new();
+    let serial = explorer.for_each_run(sys, |_, path| {
+        serial_runs.push(format!("{path:?}"));
+        ControlFlow::Continue(())
+    });
+    for jobs in job_counts() {
+        for split_depth in SPLIT_DEPTHS {
+            let par_explorer = Explorer {
+                jobs,
+                split_depth,
+                ..explorer
+            };
+            let mut par_runs: Vec<String> = Vec::new();
+            let par = par_explorer.par_for_each_run(sys, |_, path| {
+                par_runs.push(format!("{path:?}"));
+                ControlFlow::Continue(())
+            });
+            assert_eq!(
+                serial, par,
+                "{what}: stats diverge at jobs={jobs} split_depth={split_depth}"
+            );
+            // The committer preserves serial DFS order, so not just the
+            // multiset but the sequence must match. Compare sorted too,
+            // so a failure distinguishes "different runs" from
+            // "reordered runs".
+            if serial_runs != par_runs {
+                let mut a = serial_runs.clone();
+                let mut b = par_runs.clone();
+                a.sort();
+                b.sort();
+                assert_eq!(
+                    a, b,
+                    "{what}: run *multiset* diverges at jobs={jobs} split_depth={split_depth}"
+                );
+                panic!(
+                    "{what}: run multiset matches but order diverges at \
+                     jobs={jobs} split_depth={split_depth}"
+                );
+            }
+        }
+    }
+    serial
+}
+
+/// Exhaustive and truncated sweeps for one system.
+fn assert_equiv_with_budgets<S>(sys: &S, what: &str)
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let full = assert_equiv(Explorer::default(), sys, what);
+    assert!(full.runs > 1, "{what}: workload too trivial ({full})");
+
+    // Truncation by run budget: an odd cap that bites mid-frontier, the
+    // exact budget (which must not truncate), and cap 1.
+    for max_runs in [1, full.runs / 2 + 1, full.runs] {
+        let stats = assert_equiv(
+            Explorer {
+                max_runs,
+                ..Explorer::default()
+            },
+            sys,
+            &format!("{what} [max_runs={max_runs}]"),
+        );
+        assert_eq!(stats.truncated(), max_runs < full.runs, "{what}: {stats}");
+    }
+
+    // Truncation by step budget.
+    for max_steps in [3, full.steps / 2 + 1, full.steps] {
+        let stats = assert_equiv(
+            Explorer {
+                max_steps,
+                ..Explorer::default()
+            },
+            sys,
+            &format!("{what} [max_steps={max_steps}]"),
+        );
+        assert_eq!(stats.truncated(), max_steps < full.steps, "{what}: {stats}");
+    }
+
+    // Truncation by depth: runs are cut while actions remain enabled.
+    let depth = full.max_depth_seen;
+    for max_depth in [depth / 2, depth.saturating_sub(1)] {
+        assert_equiv(
+            Explorer {
+                max_depth,
+                ..Explorer::default()
+            },
+            sys,
+            &format!("{what} [max_depth={max_depth}]"),
+        );
+    }
+}
+
+#[test]
+fn monitor_readers_writers_equivalence() {
+    let sys = rw_program(readers_writers_monitor(), 1, 2, false);
+    assert_equiv_with_budgets(&sys, "monitor rw 1r2w");
+}
+
+#[test]
+fn monitor_rounds_instance_equivalence() {
+    let sys = rw_rounds_program(readers_writers_monitor(), 1, 1, 2);
+    assert_equiv_with_budgets(&sys, "monitor rw 1r1w rounds=2");
+}
+
+#[test]
+fn monitor_bounded_buffer_equivalence() {
+    let sys = bounded::monitor_solution(&[1, 2, 3], 2);
+    assert_equiv_with_budgets(&sys, "monitor bounded buffer");
+}
+
+#[test]
+fn csp_bounded_buffer_equivalence() {
+    let sys = bounded::csp_solution(&[1, 2, 3], 2);
+    assert_equiv_with_budgets(&sys, "csp bounded buffer");
+}
+
+#[test]
+fn ada_bounded_buffer_equivalence() {
+    let sys = bounded::ada_solution(&[1, 2, 3], 2);
+    assert_equiv_with_budgets(&sys, "ada bounded buffer");
+}
+
+#[test]
+fn verify_outcome_identical_on_failing_instance() {
+    // The readers-priority monitor violates writers-priority on 1R+2W:
+    // the outcome carries real counterexamples whose run indices and
+    // failure details must survive parallelisation byte for byte.
+    let sys = rw_program(readers_writers_monitor(), 1, 2, false);
+    let spec = rw_spec(3, false, RwVariant::WritersPriority);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let outcome_at = |jobs: usize| {
+        verify_system(
+            &sys,
+            &spec,
+            &corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &VerifyOptions {
+                explorer: Explorer {
+                    jobs,
+                    split_depth: 3,
+                    ..Explorer::default()
+                },
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("correspondence consistent")
+    };
+    let serial = outcome_at(1);
+    assert!(!serial.ok(), "expected a failing instance: {serial}");
+    assert!(!serial.failures.is_empty());
+    for jobs in job_counts() {
+        let par = outcome_at(jobs);
+        assert_eq!(serial, par, "VerifyOutcome diverges at jobs={jobs}");
+    }
+}
+
+#[test]
+fn verify_outcome_identical_on_passing_instance_with_truncation() {
+    let sys = rw_program(readers_writers_monitor(), 2, 1, false);
+    let spec = rw_spec(3, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let outcome_at = |jobs: usize, max_runs: usize| {
+        verify_system(
+            &sys,
+            &spec,
+            &corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &VerifyOptions {
+                explorer: Explorer {
+                    jobs,
+                    ..Explorer::with_max_runs(max_runs)
+                },
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("correspondence consistent")
+    };
+    let exhaustive = outcome_at(1, usize::MAX);
+    for max_runs in [7, exhaustive.runs, usize::MAX] {
+        let serial = outcome_at(1, max_runs);
+        for jobs in job_counts() {
+            assert_eq!(
+                serial,
+                outcome_at(jobs, max_runs),
+                "VerifyOutcome diverges at jobs={jobs} max_runs={max_runs}"
+            );
+        }
+    }
+}
+
+/// Drops the measured fields from a serialized stats report, keeping
+/// timer names and entry counts: `"name" {"count": 3, "total_ns": …}`
+/// becomes `"name" {"count": 3`. Everything else — counters, gauges,
+/// meta — is left byte-for-byte intact (the file-level analogue of
+/// `Report::without_timings`).
+fn strip_timings(json: &str) -> String {
+    json.lines()
+        .map(|line| match line.find(", \"total_ns\":") {
+            Some(cut) if line.starts_with("    \"") => &line[..cut],
+            _ => line,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn cli_stats_json_identical_across_jobs() {
+    // The full CLI path: `gem verify rw … --jobs N --stats-json <file>`
+    // must print the same verdict and write the same report (modulo
+    // timing measurements) for every worker count. `--jobs` is stripped
+    // before dispatch, so it never leaks into the report's meta section.
+    let dir = std::env::temp_dir().join(format!("gem-par-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run_at = |jobs: usize| {
+        let path = dir.join(format!("stats-jobs{jobs}.json"));
+        let args: Vec<String> = [
+            "verify",
+            "rw",
+            "readers=1",
+            "writers=2",
+            "--jobs",
+            &jobs.to_string(),
+            "--stats-json",
+            path.to_str().expect("utf-8 temp path"),
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let stdout = gem_cli::run(&args).expect("cli run");
+        let report = std::fs::read_to_string(&path).expect("stats file written");
+        (stdout, report)
+    };
+    let (serial_out, serial_json) = run_at(1);
+    assert!(
+        serial_json.contains("\"explore.runs\""),
+        "report carries explorer counters:\n{serial_json}"
+    );
+    for jobs in job_counts() {
+        let (par_out, par_json) = run_at(jobs);
+        assert_eq!(serial_out, par_out, "stdout diverges at --jobs {jobs}");
+        assert_eq!(
+            strip_timings(&serial_json),
+            strip_timings(&par_json),
+            "stats report diverges at --jobs {jobs}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deadlock_witness_identical() {
+    // Two naive-order philosophers deadlock (both grab their left fork);
+    // the witness schedule must be the serial DFS-first one at any job
+    // count.
+    use gem::problems::philosophers::{philosophers_program, ForkOrder};
+    let sys = philosophers_program(2, 1, ForkOrder::Naive);
+    let serial = find_deadlock(&sys, &Explorer::default());
+    let serial_rendered = serial.as_ref().map(|p| format!("{p:?}"));
+    for jobs in job_counts() {
+        let par = find_deadlock(
+            &sys,
+            &Explorer {
+                jobs,
+                split_depth: 3,
+                ..Explorer::default()
+            },
+        );
+        assert_eq!(
+            serial_rendered,
+            par.as_ref().map(|p| format!("{p:?}")),
+            "deadlock witness diverges at jobs={jobs}"
+        );
+    }
+}
