@@ -1,13 +1,51 @@
 //! E4–E5 — buffer verification benches: One-Slot and Bounded Buffer,
-//! each on all three language substrates (Monitor, CSP, ADA).
+//! each on all three language substrates (Monitor, CSP, ADA). The
+//! `bounded_*_dedup` series (F6) runs the same sweep with
+//! `Explorer::dedup_computations` — identical outcome, each distinct
+//! computation checked once (see `docs/PERFORMANCE.md`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gem_core::Computation;
+use gem_lang::{Explorer, System};
 use gem_problems::{bounded, one_slot};
-use gem_verify::{verify_system, VerifyOptions};
+use gem_spec::Specification;
+use gem_verify::{verify_system, Correspondence, VerifyOptions};
 
 const ITEMS: &[i64] = &[10, 20, 30];
 const BITEMS: &[i64] = &[1, 2, 3, 4];
 const CAP: usize = 2;
+
+fn bench_one<S>(
+    c: &mut Criterion,
+    name: &str,
+    sys: &S,
+    problem: &Specification,
+    corr: &Correspondence,
+    extract: impl Fn(&S::State) -> Computation + Copy,
+    dedup: bool,
+) where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let options = VerifyOptions {
+        explorer: Explorer {
+            dedup_computations: dedup,
+            ..Explorer::default()
+        },
+        ..VerifyOptions::default()
+    };
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            verify_system(sys, problem, corr, extract, &options)
+                .map(|o| {
+                    assert!(o.ok());
+                    o.runs
+                })
+                .unwrap()
+        });
+    });
+}
 
 fn bench_buffers(c: &mut Criterion) {
     // E4: One-Slot Buffer.
@@ -15,116 +53,77 @@ fn bench_buffers(c: &mut Criterion) {
         let problem = one_slot::one_slot_spec();
         let sys = one_slot::monitor_solution(ITEMS);
         let corr = one_slot::monitor_correspondence(&sys, &problem);
-        c.bench_function("buffer_verify/one_slot_monitor", |b| {
-            b.iter(|| {
-                verify_system(
-                    &sys,
-                    &problem,
-                    &corr,
-                    |s| sys.computation(s).unwrap(),
-                    &VerifyOptions::default(),
-                )
-                .map(|o| {
-                    assert!(o.ok());
-                    o.runs
-                })
-                .unwrap()
-            });
-        });
+        bench_one(
+            c,
+            "buffer_verify/one_slot_monitor",
+            &sys,
+            &problem,
+            &corr,
+            |s| sys.computation(s).unwrap(),
+            false,
+        );
         let sys = one_slot::csp_solution(ITEMS);
         let corr = one_slot::csp_correspondence(&sys, &problem);
-        c.bench_function("buffer_verify/one_slot_csp", |b| {
-            b.iter(|| {
-                verify_system(
-                    &sys,
-                    &problem,
-                    &corr,
-                    |s| sys.computation(s).unwrap(),
-                    &VerifyOptions::default(),
-                )
-                .map(|o| {
-                    assert!(o.ok());
-                    o.runs
-                })
-                .unwrap()
-            });
-        });
+        bench_one(
+            c,
+            "buffer_verify/one_slot_csp",
+            &sys,
+            &problem,
+            &corr,
+            |s| sys.computation(s).unwrap(),
+            false,
+        );
         let sys = one_slot::ada_solution(ITEMS);
         let corr = one_slot::ada_correspondence(&sys, &problem);
-        c.bench_function("buffer_verify/one_slot_ada", |b| {
-            b.iter(|| {
-                verify_system(
-                    &sys,
-                    &problem,
-                    &corr,
-                    |s| sys.computation(s).unwrap(),
-                    &VerifyOptions::default(),
-                )
-                .map(|o| {
-                    assert!(o.ok());
-                    o.runs
-                })
-                .unwrap()
-            });
-        });
+        bench_one(
+            c,
+            "buffer_verify/one_slot_ada",
+            &sys,
+            &problem,
+            &corr,
+            |s| sys.computation(s).unwrap(),
+            false,
+        );
     }
-    // E5: Bounded Buffer, capacity 2.
+    // E5: Bounded Buffer, capacity 2 — plus the F6 dedup ablation.
     {
         let problem = bounded::bounded_spec(BITEMS.len(), CAP);
-        let sys = bounded::monitor_solution(BITEMS, CAP);
-        let corr = bounded::monitor_correspondence(&sys, &problem, CAP);
-        c.bench_function("buffer_verify/bounded_monitor", |b| {
-            b.iter(|| {
-                verify_system(
-                    &sys,
-                    &problem,
-                    &corr,
-                    |s| sys.computation(s).unwrap(),
-                    &VerifyOptions::default(),
-                )
-                .map(|o| {
-                    assert!(o.ok());
-                    o.runs
-                })
-                .unwrap()
-            });
-        });
-        let sys = bounded::csp_solution(BITEMS, CAP);
-        let corr = bounded::csp_correspondence(&sys, &problem, CAP);
-        c.bench_function("buffer_verify/bounded_csp", |b| {
-            b.iter(|| {
-                verify_system(
-                    &sys,
-                    &problem,
-                    &corr,
-                    |s| sys.computation(s).unwrap(),
-                    &VerifyOptions::default(),
-                )
-                .map(|o| {
-                    assert!(o.ok());
-                    o.runs
-                })
-                .unwrap()
-            });
-        });
-        let sys = bounded::ada_solution(BITEMS, CAP);
-        let corr = bounded::ada_correspondence(&sys, &problem, CAP);
-        c.bench_function("buffer_verify/bounded_ada", |b| {
-            b.iter(|| {
-                verify_system(
-                    &sys,
-                    &problem,
-                    &corr,
-                    |s| sys.computation(s).unwrap(),
-                    &VerifyOptions::default(),
-                )
-                .map(|o| {
-                    assert!(o.ok());
-                    o.runs
-                })
-                .unwrap()
-            });
-        });
+        for dedup in [false, true] {
+            let suffix = if dedup { "_dedup" } else { "" };
+            let sys = bounded::monitor_solution(BITEMS, CAP);
+            let corr = bounded::monitor_correspondence(&sys, &problem, CAP);
+            bench_one(
+                c,
+                &format!("buffer_verify/bounded_monitor{suffix}"),
+                &sys,
+                &problem,
+                &corr,
+                |s| sys.computation(s).unwrap(),
+                dedup,
+            );
+            let sys = bounded::csp_solution(BITEMS, CAP);
+            let corr = bounded::csp_correspondence(&sys, &problem, CAP);
+            bench_one(
+                c,
+                &format!("buffer_verify/bounded_csp{suffix}"),
+                &sys,
+                &problem,
+                &corr,
+                |s| sys.computation(s).unwrap(),
+                dedup,
+            );
+            let sys = bounded::ada_solution(BITEMS, CAP);
+            let corr = bounded::ada_correspondence(&sys, &problem, CAP);
+            bench_one(
+                c,
+                &format!("buffer_verify/bounded_ada{suffix}"),
+                &sys,
+                &problem,
+                &corr,
+                |s| sys.computation(s).unwrap(),
+                dedup,
+            );
+        }
     }
 }
 

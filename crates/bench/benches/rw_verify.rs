@@ -7,6 +7,9 @@
 //! * `writers_priority_monitor_2r1w` — E6: the writers-priority monitor
 //!   against its own spec.
 //! * `entries_sequential_2r1w` — E1: total ordering of monitor events.
+//! * `*_dedup` — F6: the same sweeps with
+//!   `Explorer::dedup_computations`, checking each distinct computation
+//!   once (identical outcome, see `docs/PERFORMANCE.md`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gem_lang::monitor::{entries_sequential, readers_writers_monitor};
@@ -17,6 +20,7 @@ use gem_problems::readers_writers::{
 use gem_verify::{verify_system, VerifyOptions};
 use std::ops::ControlFlow;
 
+#[allow(clippy::too_many_arguments)] // bench table row, not an API
 fn verify_bench(
     c: &mut Criterion,
     name: &str,
@@ -25,10 +29,18 @@ fn verify_bench(
     writers: usize,
     with_data: bool,
     variant: RwVariant,
+    dedup: bool,
 ) {
     let sys = rw_program(monitor, readers, writers, with_data);
     let problem = rw_spec(readers + writers, with_data, variant);
     let corr = rw_correspondence(&sys, &problem, with_data);
+    let options = VerifyOptions {
+        explorer: Explorer {
+            dedup_computations: dedup,
+            ..Explorer::default()
+        },
+        ..VerifyOptions::default()
+    };
     c.bench_function(name, |b| {
         b.iter(|| {
             let outcome = verify_system(
@@ -36,7 +48,7 @@ fn verify_bench(
                 &problem,
                 &corr,
                 |s| sys.computation(s).expect("acyclic"),
-                &VerifyOptions::default(),
+                &options,
             )
             .expect("consistent");
             assert!(outcome.ok(), "{outcome}");
@@ -46,33 +58,39 @@ fn verify_bench(
 }
 
 fn bench_rw(c: &mut Criterion) {
-    verify_bench(
-        c,
-        "rw_verify/mutex_with_data_1r1w",
-        readers_writers_monitor(),
-        1,
-        1,
-        true,
-        RwVariant::MutexOnly,
-    );
-    verify_bench(
-        c,
-        "rw_verify/readers_priority_1r2w",
-        readers_writers_monitor(),
-        1,
-        2,
-        false,
-        RwVariant::ReadersPriority,
-    );
-    verify_bench(
-        c,
-        "rw_verify/writers_priority_monitor_2r1w",
-        writers_priority_monitor(),
-        2,
-        1,
-        false,
-        RwVariant::WritersPriority,
-    );
+    for dedup in [false, true] {
+        let suffix = if dedup { "_dedup" } else { "" };
+        verify_bench(
+            c,
+            &format!("rw_verify/mutex_with_data_1r1w{suffix}"),
+            readers_writers_monitor(),
+            1,
+            1,
+            true,
+            RwVariant::MutexOnly,
+            dedup,
+        );
+        verify_bench(
+            c,
+            &format!("rw_verify/readers_priority_1r2w{suffix}"),
+            readers_writers_monitor(),
+            1,
+            2,
+            false,
+            RwVariant::ReadersPriority,
+            dedup,
+        );
+        verify_bench(
+            c,
+            &format!("rw_verify/writers_priority_monitor_2r1w{suffix}"),
+            writers_priority_monitor(),
+            2,
+            1,
+            false,
+            RwVariant::WritersPriority,
+            dedup,
+        );
+    }
     // E1: sequential execution of monitor entries, over all schedules.
     let sys = rw_program(readers_writers_monitor(), 2, 1, false);
     c.bench_function("rw_verify/entries_sequential_2r1w", |b| {

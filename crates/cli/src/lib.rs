@@ -27,6 +27,10 @@
 //! * `--trace <path>` — stream every probe event as JSONL
 //! * `--heartbeat <secs>` — progress line cadence on stderr (default 5;
 //!   0 disables)
+//! * `--jobs <n>` — explorer worker threads (default 1, 0 = auto)
+//! * `--dedup` — deduplicate trace-equivalent computations in
+//!   `verify`/`explore` sweeps (same results, less checking work; see
+//!   `docs/PERFORMANCE.md`)
 //!
 //! The command dispatch lives in this library so it can be tested; the
 //! `gem` binary is a thin wrapper.
@@ -319,11 +323,13 @@ struct ObsFlags {
     trace: Option<String>,
     heartbeat: Option<f64>,
     jobs: Option<usize>,
+    dedup: bool,
 }
 
 /// Splits `--stats` / `--stats-json` / `--trace` / `--heartbeat` /
-/// `--jobs` (either `--flag value` or `--flag=value`) out of `args`,
-/// leaving positional arguments and `key=value` parameters untouched.
+/// `--jobs` / `--dedup` (either `--flag value` or `--flag=value`) out of
+/// `args`, leaving positional arguments and `key=value` parameters
+/// untouched.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
     let mut flags = ObsFlags::default();
     let mut rest = Vec::new();
@@ -357,6 +363,12 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                     .parse()
                     .map_err(|_| err(format!("--jobs must be a thread count, got {v:?}")))?;
                 flags.jobs = Some(jobs);
+            }
+            "--dedup" => {
+                if inline.is_some() {
+                    return Err(err("--dedup takes no value"));
+                }
+                flags.dedup = true;
             }
             "--trace" => flags.trace = Some(value("--trace")?),
             "--heartbeat" => {
@@ -456,7 +468,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let obs = obs_setup(&flags)?;
     let result = {
         let _total = Span::enter(obs.probe.as_ref(), "total");
-        dispatch(&args, &obs.probe, flags.jobs.unwrap_or(1))
+        dispatch(&args, &obs.probe, flags.jobs.unwrap_or(1), flags.dedup)
     };
     // Reports are emitted even when the command failed: a truncated or
     // failing sweep's counters are exactly what one wants to inspect.
@@ -485,7 +497,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     result
 }
 
-fn dispatch(args: &[String], probe: &Arc<dyn Probe>, jobs: usize) -> Result<String, CliError> {
+fn dispatch(
+    args: &[String],
+    probe: &Arc<dyn Probe>,
+    jobs: usize,
+    dedup: bool,
+) -> Result<String, CliError> {
     let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     match cmd.as_str() {
         "list" => Ok(PROBLEMS.join("\n")),
@@ -508,6 +525,7 @@ fn dispatch(args: &[String], probe: &Arc<dyn Probe>, jobs: usize) -> Result<Stri
                     let options = |max_runs: usize| VerifyOptions {
                         explorer: Explorer {
                             jobs,
+                            dedup_computations: dedup,
                             ..Explorer::with_max_runs(max_runs)
                         },
                         probe: probe.clone(),
@@ -552,9 +570,11 @@ fn dispatch(args: &[String], probe: &Arc<dyn Probe>, jobs: usize) -> Result<Stri
                 "explore" => {
                     fn explore<S>(
                         sys: &S,
+                        extract: impl Fn(&S::State) -> gem_core::Computation,
                         max_runs: usize,
                         probe: &Arc<dyn Probe>,
                         jobs: usize,
+                        dedup: bool,
                     ) -> String
                     where
                         S: System + Sync,
@@ -565,20 +585,38 @@ fn dispatch(args: &[String], probe: &Arc<dyn Probe>, jobs: usize) -> Result<Stri
                             .enabled()
                             .then(|| gem_obs::ambient::install(probe.clone()));
                         let mut deadlocks = 0usize;
+                        let mut seen = std::collections::HashSet::new();
+                        let (mut hits, mut misses) = (0u64, 0u64);
                         let explorer = Explorer {
                             jobs,
+                            dedup_computations: dedup,
                             ..Explorer::with_max_runs(max_runs)
                         };
-                        let stats =
+                        let mut stats =
                             explorer.par_for_each_run_probed(sys, probe.as_ref(), |state, _| {
                                 if !sys.is_complete(state) {
                                     deadlocks += 1;
                                 }
+                                if dedup {
+                                    if seen.insert(gem_verify::canonical_key(&extract(state))) {
+                                        misses += 1;
+                                    } else {
+                                        hits += 1;
+                                    }
+                                }
                                 ControlFlow::Continue(())
                             });
                         probe.add("verify.deadlocks", deadlocks as u64);
+                        let mut dedup_note = String::new();
+                        if dedup {
+                            stats.dedup_hits = hits as usize;
+                            stats.dedup_misses = misses as usize;
+                            probe.add("explore.dedup.hits", hits);
+                            probe.add("explore.dedup.misses", misses);
+                            dedup_note = format!("  distinct computations: {}", seen.len());
+                        }
                         format!(
-                            "schedules: {}{}  steps: {}  deadlocks: {deadlocks}",
+                            "schedules: {}{}  steps: {}  deadlocks: {deadlocks}{dedup_note}",
                             stats.runs,
                             if stats.truncated() {
                                 "+ (truncated)"
@@ -589,9 +627,30 @@ fn dispatch(args: &[String], probe: &Arc<dyn Probe>, jobs: usize) -> Result<Stri
                         )
                     }
                     Ok(match &inst {
-                        Instance::Monitor { sys, .. } => explore(sys, 1_000_000, probe, jobs),
-                        Instance::Csp { sys, max_runs, .. } => explore(sys, *max_runs, probe, jobs),
-                        Instance::Ada { sys, max_runs, .. } => explore(sys, *max_runs, probe, jobs),
+                        Instance::Monitor { sys, .. } => explore(
+                            sys,
+                            |s| sys.computation(s).expect("acyclic"),
+                            1_000_000,
+                            probe,
+                            jobs,
+                            dedup,
+                        ),
+                        Instance::Csp { sys, max_runs, .. } => explore(
+                            sys,
+                            |s| sys.computation(s).expect("acyclic"),
+                            *max_runs,
+                            probe,
+                            jobs,
+                            dedup,
+                        ),
+                        Instance::Ada { sys, max_runs, .. } => explore(
+                            sys,
+                            |s| sys.computation(s).expect("acyclic"),
+                            *max_runs,
+                            probe,
+                            jobs,
+                            dedup,
+                        ),
                     })
                 }
                 "deadlock" => {
@@ -672,6 +731,9 @@ pub fn usage() -> String {
      \x20 --heartbeat <secs>         progress line interval (default 5, 0 = off)\n\
      \x20 --jobs <n>                 explorer worker threads (default 1, 0 = auto);\n\
      \x20                            results are identical for every n\n\
+     \x20 --dedup                    check each distinct computation once and\n\
+     \x20                            replay the verdict on trace-equivalent runs;\n\
+     \x20                            results are identical with or without it\n\
      problems: one-slot, bounded, rw, db-update, life, philosophers\n\
      examples:\n\
      \x20 gem verify rw readers=1 writers=2 variant=readers\n\
@@ -838,5 +900,31 @@ mod tests {
         assert!(runv(&["verify", "one-slot", "--heartbeat", "abc"]).is_err());
         assert!(runv(&["verify", "one-slot", "--heartbeat", "-1"]).is_err());
         assert!(runv(&["verify", "one-slot", "--stats=yes"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--dedup=yes"]).is_err());
+    }
+
+    #[test]
+    fn dedup_flag_preserves_verdicts() {
+        let plain = runv(&["verify", "one-slot", "items=2"]).unwrap();
+        let deduped = runv(&["verify", "one-slot", "items=2", "--dedup"]).unwrap();
+        assert_eq!(plain, deduped);
+        let plain = runv(&["verify", "rw", "readers=1", "writers=2", "variant=writers"]).unwrap();
+        let deduped = runv(&[
+            "verify",
+            "rw",
+            "readers=1",
+            "writers=2",
+            "variant=writers",
+            "--dedup",
+        ])
+        .unwrap();
+        assert_eq!(plain, deduped);
+        assert!(deduped.contains("FAILS"), "{deduped}");
+    }
+
+    #[test]
+    fn explore_dedup_counts_distinct_computations() {
+        let out = runv(&["explore", "rw", "readers=1", "writers=1", "--dedup"]).unwrap();
+        assert!(out.contains("distinct computations:"), "{out}");
     }
 }

@@ -12,7 +12,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::order::{Closure, CycleError};
+use crate::order::{topo_from_edges, Closure, CycleError, IncrementalOrder};
 use crate::{ClassId, ElementId, Event, EventId, Structure, ThreadTag, Value};
 
 /// Errors arising while building a computation.
@@ -81,10 +81,33 @@ impl From<CycleError> for BuildError {
 pub struct ComputationBuilder {
     structure: Arc<Structure>,
     events: Vec<Event>,
-    element_counts: Vec<u32>,
+    element_events: Vec<Vec<EventId>>,
     enables: Vec<(EventId, EventId)>,
     precedences: Vec<(EventId, EventId)>,
     memberships: Vec<Membership>,
+    /// Reachability maintained edge-by-edge so sealing needs no O(n·m)
+    /// closure rebuild (the explore→seal hot path, DESIGN.md §4).
+    order: IncrementalOrder,
+    /// Events that received a *fresh* thread tag, in push order — the undo
+    /// journal for [`ComputationBuilder::truncate_to`].
+    tag_log: Vec<EventId>,
+}
+
+/// A snapshot of a builder's growth point, taken with
+/// [`ComputationBuilder::mark`] and restored with
+/// [`ComputationBuilder::truncate_to`].
+///
+/// Exploration grows a computation along a schedule and rolls it back when
+/// backtracking; a mark plus truncate is O(rolled-back suffix) instead of
+/// the full-builder clone per branch it replaces.
+#[derive(Clone, Debug)]
+pub struct BuilderMark {
+    events: usize,
+    enables: usize,
+    precedences: usize,
+    memberships: usize,
+    tags: usize,
+    cycle: Option<CycleError>,
 }
 
 /// A dynamic group-structure change (§5): the event `event` adds `member`
@@ -105,14 +128,16 @@ impl ComputationBuilder {
     /// Creates a builder over `structure`.
     pub fn new(structure: impl Into<Arc<Structure>>) -> Self {
         let structure = structure.into();
-        let element_counts = vec![0; structure.element_count()];
+        let element_events = vec![Vec::new(); structure.element_count()];
         Self {
             structure,
             events: Vec::new(),
-            element_counts,
+            element_events,
             enables: Vec::new(),
             precedences: Vec::new(),
             memberships: Vec::new(),
+            order: IncrementalOrder::new(),
+            tag_log: Vec::new(),
         }
     }
 
@@ -145,8 +170,10 @@ impl ComputationBuilder {
             return Err(BuildError::UnknownClass(class));
         }
         let id = EventId::from_raw(self.events.len() as u32);
-        let seq = self.element_counts[element.index()];
-        self.element_counts[element.index()] += 1;
+        let chain = &self.element_events[element.index()];
+        let seq = chain.len() as u32;
+        let prev = chain.last().copied();
+        self.element_events[element.index()].push(id);
         self.events.push(Event {
             id,
             element,
@@ -155,6 +182,11 @@ impl ComputationBuilder {
             params,
             threads: Vec::new(),
         });
+        self.order.push_node();
+        if let Some(prev) = prev {
+            // Consecutive occurrences at one element are ordered (§5).
+            self.order.add_edge(prev, id);
+        }
         Ok(id)
     }
 
@@ -172,6 +204,7 @@ impl ComputationBuilder {
             return Err(BuildError::UnknownEvent(to));
         }
         self.enables.push((from, to));
+        self.order.add_edge(from, to);
         Ok(())
     }
 
@@ -199,6 +232,7 @@ impl ComputationBuilder {
             return Err(BuildError::UnknownEvent(after));
         }
         self.precedences.push((before, after));
+        self.order.add_edge(before, after);
         Ok(())
     }
 
@@ -244,6 +278,7 @@ impl ComputationBuilder {
             .ok_or(BuildError::UnknownEvent(event))?;
         if !ev.threads.contains(&tag) {
             ev.threads.push(tag);
+            self.tag_log.push(event);
         }
         Ok(())
     }
@@ -251,6 +286,143 @@ impl ComputationBuilder {
     /// Number of events added so far.
     pub fn event_count(&self) -> usize {
         self.events.len()
+    }
+
+    /// Snapshots the current growth point for a later
+    /// [`ComputationBuilder::truncate_to`].
+    pub fn mark(&self) -> BuilderMark {
+        BuilderMark {
+            events: self.events.len(),
+            enables: self.enables.len(),
+            precedences: self.precedences.len(),
+            memberships: self.memberships.len(),
+            tags: self.tag_log.len(),
+            cycle: self.order.cycle().cloned(),
+        }
+    }
+
+    /// Rolls the builder back to `mark`, undoing every event, edge,
+    /// membership, and thread tag added since.
+    ///
+    /// The incremental order rolls back by column masking when every edge
+    /// added since the mark points *at* a post-mark event — which is always
+    /// the case for simulation-grown computations, where each step's edges
+    /// all target the event it just emitted. Retroactive edges between
+    /// pre-mark events trigger a full rebuild from the surviving edges
+    /// instead, so the rollback is correct for arbitrary builders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder is shorter than the mark (marks only roll
+    /// *back*).
+    pub fn truncate_to(&mut self, mark: &BuilderMark) {
+        assert!(
+            mark.events <= self.events.len()
+                && mark.enables <= self.enables.len()
+                && mark.precedences <= self.precedences.len()
+                && mark.memberships <= self.memberships.len()
+                && mark.tags <= self.tag_log.len(),
+            "mark is ahead of the builder"
+        );
+        while self.tag_log.len() > mark.tags {
+            let ev = self.tag_log.pop().expect("checked above");
+            // Tags on rolled-back events vanish with the event itself.
+            if ev.index() < mark.events {
+                self.events[ev.index()].threads.pop();
+            }
+        }
+        for ev in self.events[mark.events..].iter().rev() {
+            let popped = self.element_events[ev.element.index()].pop();
+            debug_assert_eq!(popped, Some(ev.id), "element chains append-only");
+        }
+        let fast = self.enables[mark.enables..]
+            .iter()
+            .chain(&self.precedences[mark.precedences..])
+            .all(|&(_, to)| to.index() >= mark.events);
+        self.events.truncate(mark.events);
+        self.enables.truncate(mark.enables);
+        self.precedences.truncate(mark.precedences);
+        self.memberships.truncate(mark.memberships);
+        if fast {
+            self.order.truncate_to(mark.events, mark.cycle.clone());
+        } else {
+            let mut edges = self.enables.clone();
+            edges.extend_from_slice(&self.precedences);
+            for evs in &self.element_events {
+                for pair in evs.windows(2) {
+                    edges.push((pair[0], pair[1]));
+                }
+            }
+            self.order = IncrementalOrder::from_edges(mark.events, &edges);
+            self.order.set_cycle(mark.cycle.clone());
+        }
+    }
+
+    /// The direct edge set feeding the temporal order, in the canonical
+    /// order: enables, then precedences, then per-element occurrence
+    /// chains.
+    fn order_edges(&self) -> Vec<(EventId, EventId)> {
+        let mut edges = self.enables.clone();
+        edges.extend(self.precedences.iter().copied());
+        for evs in &self.element_events {
+            for pair in evs.windows(2) {
+                edges.push((pair[0], pair[1]));
+            }
+        }
+        edges
+    }
+
+    /// Computes the temporal order from the incrementally-maintained rows:
+    /// one Kahn pass for the topological order / cycle report, then a
+    /// straight copy of the reachability rows — no per-row union sweep.
+    fn build_closure(&self) -> Result<Closure, BuildError> {
+        let n = self.events.len();
+        let edges = self.order_edges();
+        match topo_from_edges(n, &edges) {
+            Ok((topo, _)) => {
+                debug_assert!(
+                    self.order.cycle().is_none(),
+                    "incremental order latched a cycle on an acyclic edge set"
+                );
+                let (succ, pred) = self.order.closure_rows();
+                Ok(Closure::from_parts(succ, pred, topo))
+            }
+            Err(cycle) => {
+                debug_assert!(
+                    self.order.cycle().is_some(),
+                    "incremental order missed a cycle"
+                );
+                Err(cycle.into())
+            }
+        }
+    }
+
+    fn assemble(
+        structure: Arc<Structure>,
+        events: Vec<Event>,
+        element_events: Vec<Vec<EventId>>,
+        enables: &[(EventId, EventId)],
+        memberships: Vec<Membership>,
+        closure: Closure,
+    ) -> Computation {
+        let n = events.len();
+        let mut enables_out: Vec<Vec<EventId>> = vec![Vec::new(); n];
+        let mut enables_in: Vec<Vec<EventId>> = vec![Vec::new(); n];
+        for &(a, b) in enables {
+            if !enables_out[a.index()].contains(&b) {
+                enables_out[a.index()].push(b);
+                enables_in[b.index()].push(a);
+            }
+        }
+        Computation {
+            structure,
+            events,
+            enables_out,
+            enables_in,
+            element_events,
+            closure,
+            memberships,
+        }
     }
 
     /// Seals the builder: computes the temporal order and checks that it is
@@ -261,39 +433,36 @@ impl ComputationBuilder {
     /// Returns [`BuildError::Cyclic`] if the union of the enable relation
     /// and the element order is cyclic.
     pub fn seal(self) -> Result<Computation, BuildError> {
-        let n = self.events.len();
-        // Element order contributes consecutive-occurrence edges; its
-        // transitive closure is recovered by the overall closure.
-        let mut element_events: Vec<Vec<EventId>> =
-            vec![Vec::new(); self.structure.element_count()];
-        for ev in &self.events {
-            element_events[ev.element.index()].push(ev.id);
-        }
-        let mut edges = self.enables.clone();
-        edges.extend(self.precedences.iter().copied());
-        for evs in &element_events {
-            for pair in evs.windows(2) {
-                edges.push((pair[0], pair[1]));
-            }
-        }
-        let closure = Closure::from_edges(n, &edges)?;
-        let mut enables_out: Vec<Vec<EventId>> = vec![Vec::new(); n];
-        let mut enables_in: Vec<Vec<EventId>> = vec![Vec::new(); n];
-        for &(a, b) in &self.enables {
-            if !enables_out[a.index()].contains(&b) {
-                enables_out[a.index()].push(b);
-                enables_in[b.index()].push(a);
-            }
-        }
-        Ok(Computation {
-            structure: self.structure,
-            events: self.events,
-            enables_out,
-            enables_in,
-            element_events,
+        let closure = self.build_closure()?;
+        Ok(Self::assemble(
+            self.structure,
+            self.events,
+            self.element_events,
+            &self.enables,
+            self.memberships,
             closure,
-            memberships: self.memberships,
-        })
+        ))
+    }
+
+    /// Seals without consuming the builder: the sealed [`Computation`]
+    /// copies the event records, but the builder stays usable — this is
+    /// what lets exploration extract a computation per run from one shared,
+    /// rolled-back builder instead of cloning the whole trace first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Cyclic`] if the union of the enable relation
+    /// and the element order is cyclic.
+    pub fn seal_ref(&self) -> Result<Computation, BuildError> {
+        let closure = self.build_closure()?;
+        Ok(Self::assemble(
+            Arc::clone(&self.structure),
+            self.events.clone(),
+            self.element_events.clone(),
+            &self.enables,
+            self.memberships.clone(),
+            closure,
+        ))
     }
 }
 
@@ -689,6 +858,99 @@ mod tests {
             b2.add_precedence(EventId::from_raw(0), EventId::from_raw(1)),
             Err(BuildError::UnknownEvent(_))
         ));
+    }
+
+    #[test]
+    fn seal_ref_equals_seal() {
+        let (s, var, assign, getval) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![Value::Int(1)]).unwrap();
+        let g1 = b.add_event(var, getval, vec![Value::Int(1)]).unwrap();
+        b.enable(a1, g1).unwrap();
+        let by_ref = b.seal_ref().unwrap();
+        let owned = b.seal().unwrap();
+        assert_eq!(by_ref.events(), owned.events());
+        assert_eq!(
+            by_ref.enable_edges().collect::<Vec<_>>(),
+            owned.enable_edges().collect::<Vec<_>>()
+        );
+        assert_eq!(by_ref.closure(), owned.closure());
+    }
+
+    #[test]
+    fn mark_and_truncate_roll_back_growth() {
+        let (s, var, assign, getval) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![Value::Int(1)]).unwrap();
+        let before = b.seal_ref().unwrap();
+        let mark = b.mark();
+        let g1 = b.add_event(var, getval, vec![]).unwrap();
+        b.enable(a1, g1).unwrap();
+        let tag = crate::ThreadTag::new(crate::ThreadTypeId::from_raw(0), 7);
+        b.tag_thread(a1, tag).unwrap();
+        b.truncate_to(&mark);
+        assert_eq!(b.event_count(), 1);
+        let after = b.seal_ref().unwrap();
+        assert_eq!(after.events(), before.events());
+        assert_eq!(after.closure(), before.closure());
+        assert!(after.event(a1).threads().is_empty(), "tag rolled back");
+        // The builder keeps growing correctly after a rollback.
+        let g2 = b.add_event(var, getval, vec![]).unwrap();
+        b.enable(a1, g2).unwrap();
+        let c = b.seal().unwrap();
+        assert!(c.temporally_precedes(a1, g2));
+        assert!(c.enables(a1, g2));
+        assert_eq!(c.event(g2).seq(), 1);
+    }
+
+    #[test]
+    fn truncate_handles_retro_edges_via_rebuild() {
+        // A post-mark precedence between two *pre-mark* events exercises
+        // the rebuild fallback (column masking alone cannot undo it).
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let p = s.add_element("P", &[act]).unwrap();
+        let q = s.add_element("Q", &[act]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(p, act, vec![]).unwrap();
+        let e2 = b.add_event(q, act, vec![]).unwrap();
+        let mark = b.mark();
+        b.add_precedence(e1, e2).unwrap();
+        assert!(b.seal_ref().unwrap().temporally_precedes(e1, e2));
+        b.truncate_to(&mark);
+        let c = b.seal_ref().unwrap();
+        assert!(c.concurrent(e1, e2), "retro precedence rolled back");
+    }
+
+    #[test]
+    fn truncate_restores_cycle_state() {
+        let (s, var, assign, _) = var_structure();
+        let mut b = ComputationBuilder::new(s);
+        let a1 = b.add_event(var, assign, vec![]).unwrap();
+        let mark = b.mark();
+        let a2 = b.add_event(var, assign, vec![]).unwrap();
+        b.enable(a2, a1).unwrap(); // cycle with the element order
+        assert!(matches!(b.seal_ref(), Err(BuildError::Cyclic(_))));
+        b.truncate_to(&mark);
+        assert!(b.seal_ref().is_ok(), "cycle rolled back with its edges");
+        assert_eq!(b.event_count(), 1);
+        let _ = a2;
+    }
+
+    #[test]
+    fn membership_rolls_back() {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).unwrap();
+        let el = s.add_element("P", &[act]).unwrap();
+        let g = s.add_group("G", &[]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let e1 = b.add_event(el, act, vec![]).unwrap();
+        let mark = b.mark();
+        b.add_membership_event(e1, g, crate::NodeRef::Element(el))
+            .unwrap();
+        assert_eq!(b.seal_ref().unwrap().memberships().len(), 1);
+        b.truncate_to(&mark);
+        assert!(b.seal_ref().unwrap().memberships().is_empty());
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod structure;
 mod value;
 
 pub use bitset::{DenseBitSet, Iter as BitSetIter};
-pub use computation::{BuildError, Computation, ComputationBuilder, Membership};
+pub use computation::{BuildError, BuilderMark, Computation, ComputationBuilder, Membership};
 pub use dot::to_dot;
 pub use event::Event;
 pub use history::{
@@ -77,6 +77,6 @@ pub use history::{
 };
 pub use ids::{ClassId, ElementId, EventId, GroupId, ThreadTag, ThreadTypeId};
 pub use legality::{check_legality, is_legal, Violation};
-pub use order::{Closure, CycleError, DfsReachability};
+pub use order::{Closure, CycleError, DfsReachability, IncrementalOrder};
 pub use structure::{ClassInfo, ElementInfo, GroupInfo, NodeRef, Structure, StructureError};
 pub use value::Value;

@@ -59,34 +59,7 @@ impl Closure {
     /// self-loop), since the temporal order must be irreflexive and
     /// transitive.
     pub fn from_edges(n: usize, edges: &[(EventId, EventId)]) -> Result<Self, CycleError> {
-        let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut indegree = vec![0u32; n];
-        for &(a, b) in edges {
-            debug_assert!(a.index() < n && b.index() < n, "edge endpoint out of range");
-            out[a.index()].push(b.as_raw());
-            indegree[b.index()] += 1;
-        }
-        // Kahn's algorithm for topological order + cycle detection.
-        let mut stack: Vec<u32> = (0..n as u32)
-            .filter(|&i| indegree[i as usize] == 0)
-            .collect();
-        let mut topo = Vec::with_capacity(n);
-        while let Some(v) = stack.pop() {
-            topo.push(EventId::from_raw(v));
-            for &w in &out[v as usize] {
-                indegree[w as usize] -= 1;
-                if indegree[w as usize] == 0 {
-                    stack.push(w);
-                }
-            }
-        }
-        if topo.len() != n {
-            let on_cycle = (0..n)
-                .find(|&i| indegree[i] > 0)
-                .map(|i| EventId::from_raw(i as u32))
-                .unwrap_or_else(|| EventId::from_raw(0));
-            return Err(CycleError { on_cycle });
-        }
+        let (topo, out) = topo_from_edges(n, edges)?;
         // succ rows in reverse topological order: row(v) = ∪ (row(w) ∪ {w}).
         let mut succ = vec![DenseBitSet::new(n); n];
         for &v in topo.iter().rev() {
@@ -104,12 +77,24 @@ impl Closure {
                 pred[j].insert(i);
             }
         }
+        Ok(Self::from_parts(succ, pred, topo))
+    }
+
+    /// Assembles a closure from already-computed reachability rows and a
+    /// topological order, emitting the same probes as [`Closure::from_edges`].
+    /// Rows come either from the reverse-topo sweep above or from an
+    /// [`IncrementalOrder`] maintained while the computation was built.
+    pub(crate) fn from_parts(
+        succ: Vec<DenseBitSet>,
+        pred: Vec<DenseBitSet>,
+        topo: Vec<EventId>,
+    ) -> Self {
         let closure = Self { succ, pred, topo };
         if gem_obs::ambient::active() {
             gem_obs::ambient::add("core.closure.built", 1);
             gem_obs::ambient::add("core.closure.edges", closure.pair_count() as u64);
         }
-        Ok(closure)
+        closure
     }
 
     /// Number of events covered by this closure.
@@ -154,11 +139,244 @@ impl Closure {
     }
 }
 
+/// Kahn's algorithm over `edges`: a topological order of `0..n` plus the
+/// adjacency lists, or the same [`CycleError`] the closure build reports.
+pub(crate) fn topo_from_edges(
+    n: usize,
+    edges: &[(EventId, EventId)],
+) -> Result<(Vec<EventId>, Vec<Vec<u32>>), CycleError> {
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut indegree = vec![0u32; n];
+    for &(a, b) in edges {
+        debug_assert!(a.index() < n && b.index() < n, "edge endpoint out of range");
+        out[a.index()].push(b.as_raw());
+        indegree[b.index()] += 1;
+    }
+    let mut stack: Vec<u32> = (0..n as u32)
+        .filter(|&i| indegree[i as usize] == 0)
+        .collect();
+    let mut topo = Vec::with_capacity(n);
+    while let Some(v) = stack.pop() {
+        topo.push(EventId::from_raw(v));
+        for &w in &out[v as usize] {
+            indegree[w as usize] -= 1;
+            if indegree[w as usize] == 0 {
+                stack.push(w);
+            }
+        }
+    }
+    if topo.len() != n {
+        let on_cycle = (0..n)
+            .find(|&i| indegree[i] > 0)
+            .map(|i| EventId::from_raw(i as u32))
+            .unwrap_or_else(|| EventId::from_raw(0));
+        return Err(CycleError { on_cycle });
+    }
+    Ok((topo, out))
+}
+
+const WORD_BITS: usize = 64;
+
+/// Incrementally-maintained reachability over a growing event set.
+///
+/// The [`ComputationBuilder`](crate::ComputationBuilder) keeps one of these
+/// alive across the whole run: every `add_event`/`enable`/`add_precedence`
+/// updates the pred/succ rows in place (Italiano-style: on a fresh edge
+/// `a → b`, every predecessor of `a` gains every successor of `b`), so
+/// sealing no longer pays a from-scratch O(n·m) closure rebuild — it only
+/// converts the rows it already has. Cycle detection is preserved: an edge
+/// closing a cycle is *not* applied; instead the order latches a
+/// [`CycleError`] and ignores all further edges, which `seal` reports.
+///
+/// Rows are raw `u64` word vectors (not [`DenseBitSet`]) so capacity can
+/// grow geometrically without per-event reallocation and so exploration can
+/// roll rows back cheaply via [`IncrementalOrder::truncate_to`].
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalOrder {
+    len: usize,
+    /// Allocated words per row (`≥ len.div_ceil(64)`, grows by doubling).
+    words: usize,
+    succ: Vec<Vec<u64>>,
+    pred: Vec<Vec<u64>>,
+    cycle: Option<CycleError>,
+}
+
+impl IncrementalOrder {
+    /// An empty order over zero events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds from scratch: `n` nodes, then `edges` in order. Used as the
+    /// rollback fallback when a truncation would remove edges between
+    /// surviving events.
+    pub fn from_edges<'a, I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = &'a (EventId, EventId)>,
+    {
+        let mut order = Self::new();
+        for _ in 0..n {
+            order.push_node();
+        }
+        for &(a, b) in edges {
+            order.add_edge(a, b);
+        }
+        order
+    }
+
+    /// Number of nodes (events) tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The latched cycle, if any edge so far closed one.
+    pub fn cycle(&self) -> Option<&CycleError> {
+        self.cycle.as_ref()
+    }
+
+    /// Appends a new node with no edges; its id is the previous `len()`.
+    pub fn push_node(&mut self) {
+        let needed = (self.len + 1).div_ceil(WORD_BITS);
+        if needed > self.words {
+            let new_words = needed.max(self.words * 2);
+            for row in self.succ.iter_mut().chain(self.pred.iter_mut()) {
+                row.resize(new_words, 0);
+            }
+            self.words = new_words;
+        }
+        self.succ.push(vec![0; self.words]);
+        self.pred.push(vec![0; self.words]);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn row_contains(row: &[u64], i: usize) -> bool {
+        row[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Adds the edge `a → b`, updating all reachability rows.
+    ///
+    /// A self-loop or back edge latches a [`CycleError`] (returned from
+    /// [`IncrementalOrder::cycle`]) and freezes the rows: once cyclic, later
+    /// edges are ignored, mirroring how `Closure::from_edges` rejects the
+    /// whole edge set.
+    pub fn add_edge(&mut self, a: EventId, b: EventId) {
+        if self.cycle.is_some() {
+            return;
+        }
+        let (ai, bi) = (a.index(), b.index());
+        debug_assert!(ai < self.len && bi < self.len, "edge endpoint out of range");
+        if a == b || Self::row_contains(&self.pred[ai], bi) {
+            self.cycle = Some(CycleError { on_cycle: a });
+            return;
+        }
+        if Self::row_contains(&self.succ[ai], bi) {
+            return; // already implied
+        }
+        // P = {a} ∪ pred(a), S = {b} ∪ succ(b); then succ(p) ∪= S for p ∈ P
+        // and pred(s) ∪= P for s ∈ S.
+        let mut p_row = self.pred[ai].clone();
+        p_row[ai / WORD_BITS] |= 1u64 << (ai % WORD_BITS);
+        let mut s_row = self.succ[bi].clone();
+        s_row[bi / WORD_BITS] |= 1u64 << (bi % WORD_BITS);
+        for (w, &word) in p_row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let p = w * WORD_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for (dst, &src) in self.succ[p].iter_mut().zip(&s_row) {
+                    *dst |= src;
+                }
+            }
+        }
+        for (w, &word) in s_row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let s = w * WORD_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for (dst, &src) in self.pred[s].iter_mut().zip(&p_row) {
+                    *dst |= src;
+                }
+            }
+        }
+    }
+
+    /// True if `a ⇒ b` under the edges applied so far. Meaningless once
+    /// [`IncrementalOrder::cycle`] is latched (rows are frozen).
+    pub fn precedes(&self, a: EventId, b: EventId) -> bool {
+        Self::row_contains(&self.succ[a.index()], b.index())
+    }
+
+    /// Rolls back to the first `n` nodes, keeping row allocations.
+    ///
+    /// Sound only if every edge added since node `n` existed pointed *at* a
+    /// node `≥ n` (then masking those columns removes exactly the rolled-back
+    /// edges' contributions). The builder checks that invariant and falls
+    /// back to [`IncrementalOrder::from_edges`] when it fails; `cycle` is
+    /// restored by the caller from its mark.
+    pub fn truncate_to(&mut self, n: usize, cycle: Option<CycleError>) {
+        debug_assert!(n <= self.len);
+        self.succ.truncate(n);
+        self.pred.truncate(n);
+        let full_words = n / WORD_BITS;
+        let rem = n % WORD_BITS;
+        for row in self.succ.iter_mut().chain(self.pred.iter_mut()) {
+            for word in row.iter_mut().skip(full_words + 1) {
+                *word = 0;
+            }
+            if let Some(word) = row.get_mut(full_words) {
+                *word &= if rem == 0 { 0 } else { (1u64 << rem) - 1 };
+            }
+        }
+        self.len = n;
+        self.cycle = cycle;
+    }
+
+    /// Overrides the latched cycle (used by the builder's rollback rebuild
+    /// to restore the exact witness its mark recorded).
+    pub(crate) fn set_cycle(&mut self, cycle: Option<CycleError>) {
+        self.cycle = cycle;
+    }
+
+    /// Converts the rows into [`DenseBitSet`] form for [`Closure`],
+    /// trimming each row to exactly `len` capacity.
+    pub(crate) fn closure_rows(&self) -> (Vec<DenseBitSet>, Vec<DenseBitSet>) {
+        let n = self.len;
+        let exact = n.div_ceil(WORD_BITS);
+        let to_sets = |rows: &[Vec<u64>]| {
+            rows.iter()
+                .map(|row| {
+                    let mut words = row.clone();
+                    words.truncate(exact);
+                    DenseBitSet::from_words(words, n)
+                })
+                .collect()
+        };
+        (to_sets(&self.succ), to_sets(&self.pred))
+    }
+}
+
 /// On-demand reachability by DFS over direct edges — the ablation
 /// counterpart of [`Closure`] (no precomputation, O(V+E) per query).
 #[derive(Clone, Debug)]
 pub struct DfsReachability {
     out: Vec<Vec<u32>>,
+    /// Epoch-stamped visited marks + DFS stack, reused across queries so a
+    /// query allocates nothing after the first (`RefCell`: queries take
+    /// `&self`).
+    scratch: std::cell::RefCell<DfsScratch>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct DfsScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
 }
 
 impl DfsReachability {
@@ -171,21 +389,48 @@ impl DfsReachability {
         for &(a, b) in edges {
             out[a.index()].push(b.as_raw());
         }
-        Self { out }
+        Self {
+            out,
+            scratch: std::cell::RefCell::new(DfsScratch {
+                stamp: vec![0; n],
+                epoch: 0,
+                stack: Vec::new(),
+            }),
+        }
     }
 
     /// True if `b` is reachable from `a` by one or more direct edges.
+    ///
+    /// Direct edges short-circuit without touching the scratch state; longer
+    /// paths run an iterative DFS over the reusable stamp buffer.
     pub fn precedes(&self, a: EventId, b: EventId) -> bool {
-        let n = self.out.len();
-        let mut seen = DenseBitSet::new(n);
-        let mut stack = vec![a.as_raw()];
-        while let Some(v) = stack.pop() {
+        let target = b.as_raw();
+        let direct = &self.out[a.index()];
+        if direct.contains(&target) {
+            return true;
+        }
+        if direct.is_empty() {
+            return false;
+        }
+        let scratch = &mut *self.scratch.borrow_mut();
+        scratch.epoch = scratch.epoch.wrapping_add(1);
+        if scratch.epoch == 0 {
+            scratch.stamp.fill(0);
+            scratch.epoch = 1;
+        }
+        let epoch = scratch.epoch;
+        scratch.stack.clear();
+        scratch.stack.push(a.as_raw());
+        scratch.stamp[a.index()] = epoch;
+        while let Some(v) = scratch.stack.pop() {
             for &w in &self.out[v as usize] {
-                if w == b.as_raw() {
+                if w == target {
+                    scratch.stack.clear();
                     return true;
                 }
-                if seen.insert(w as usize) {
-                    stack.push(w);
+                if scratch.stamp[w as usize] != epoch {
+                    scratch.stamp[w as usize] = epoch;
+                    scratch.stack.push(w);
                 }
             }
         }
@@ -291,6 +536,132 @@ mod tests {
                     "mismatch at ({i}, {j})"
                 );
             }
+        }
+    }
+
+    fn incremental_from(n: usize, edges: &[(EventId, EventId)]) -> IncrementalOrder {
+        IncrementalOrder::from_edges(n, edges)
+    }
+
+    #[test]
+    fn incremental_matches_closure_on_random_dags() {
+        let n = 40;
+        let mut edges = Vec::new();
+        let mut seed = 0xdeadbeefdeadbeefu64;
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if seed >> 61 == 0 {
+                    edges.push((e(i), e(j)));
+                }
+            }
+        }
+        let c = Closure::from_edges(n, &edges).unwrap();
+        let inc = incremental_from(n, &edges);
+        assert!(inc.cycle().is_none());
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                assert_eq!(
+                    c.precedes(e(i), e(j)),
+                    inc.precedes(e(i), e(j)),
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_latches_cycle() {
+        let inc = incremental_from(3, &[(e(0), e(1)), (e(1), e(2)), (e(2), e(0))]);
+        assert!(inc.cycle().is_some());
+        let inc = incremental_from(1, &[(e(0), e(0))]);
+        assert_eq!(inc.cycle().unwrap().on_cycle, e(0));
+        // Interleaved push/add keeps detecting cycles across growth.
+        let mut inc = IncrementalOrder::new();
+        for _ in 0..70 {
+            inc.push_node();
+        }
+        inc.add_edge(e(0), e(65));
+        inc.add_edge(e(65), e(69));
+        assert!(inc.precedes(e(0), e(69)));
+        inc.add_edge(e(69), e(0));
+        assert!(inc.cycle().is_some());
+        // Frozen: further edges are ignored.
+        inc.add_edge(e(1), e(2));
+        assert!(!inc.precedes(e(1), e(2)));
+    }
+
+    #[test]
+    fn incremental_truncate_rolls_back_suffix_edges() {
+        // Edges into the suffix only — the fast-rollback shape exploration
+        // produces (every new edge targets the newest event).
+        let mut inc = IncrementalOrder::new();
+        for _ in 0..3 {
+            inc.push_node();
+        }
+        inc.add_edge(e(0), e(1));
+        inc.add_edge(e(1), e(2));
+        let mark = inc.len();
+        for _ in 0..130 {
+            inc.push_node();
+        }
+        inc.add_edge(e(2), e(100));
+        inc.add_edge(e(0), e(132));
+        assert!(inc.precedes(e(0), e(100)));
+        inc.truncate_to(mark, None);
+        assert_eq!(inc.len(), 3);
+        assert!(inc.precedes(e(0), e(2)));
+        assert!(inc.precedes(e(1), e(2)));
+        let c = Closure::from_edges(3, &[(e(0), e(1)), (e(1), e(2))]).unwrap();
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                assert_eq!(c.precedes(e(i), e(j)), inc.precedes(e(i), e(j)));
+            }
+        }
+        // Regrowing after a truncate works on the masked rows.
+        inc.push_node();
+        inc.add_edge(e(2), e(3));
+        assert!(inc.precedes(e(0), e(3)));
+    }
+
+    #[test]
+    fn incremental_truncate_restores_cycle_mark() {
+        let mut inc = incremental_from(2, &[(e(0), e(1))]);
+        let mark = inc.len();
+        inc.push_node();
+        inc.add_edge(e(1), e(2));
+        inc.add_edge(e(2), e(0)); // closes a cycle through the suffix
+        assert!(inc.cycle().is_some());
+        inc.truncate_to(mark, None);
+        assert!(inc.cycle().is_none());
+        assert!(inc.precedes(e(0), e(1)));
+        assert!(!inc.precedes(e(1), e(0)));
+    }
+
+    #[test]
+    fn incremental_closure_rows_roundtrip() {
+        let edges = [(e(0), e(1)), (e(0), e(2)), (e(1), e(3)), (e(2), e(3))];
+        let inc = incremental_from(4, &edges);
+        let (succ, pred) = inc.closure_rows();
+        let c = Closure::from_edges(4, &edges).unwrap();
+        for i in 0..4u32 {
+            assert_eq!(&succ[i as usize], c.successors(e(i)));
+            assert_eq!(&pred[i as usize], c.predecessors(e(i)));
+        }
+    }
+
+    #[test]
+    fn dfs_reuses_scratch_across_queries() {
+        let edges = [(e(0), e(1)), (e(1), e(2)), (e(3), e(4))];
+        let d = DfsReachability::from_edges(5, &edges);
+        for _ in 0..3 {
+            assert!(d.precedes(e(0), e(2)));
+            assert!(d.precedes(e(0), e(1)), "direct edge fast path");
+            assert!(!d.precedes(e(2), e(0)));
+            assert!(!d.precedes(e(0), e(4)));
+            assert!(d.precedes(e(3), e(4)));
         }
     }
 

@@ -24,8 +24,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use gem_core::{
-    BuildError, ClassId, Computation, ComputationBuilder, ElementId, EventId, NodeRef, Structure,
-    Value,
+    BuildError, BuilderMark, ClassId, Computation, ComputationBuilder, ElementId, EventId, NodeRef,
+    Structure, Value,
 };
 
 use crate::ada::def::{AcceptArm, AdaProgram, AdaStmt, SelectBranch};
@@ -83,6 +83,16 @@ pub struct AdaState {
     builder: ComputationBuilder,
     tasks: Vec<TaskState>,
     /// Entry queues: `(task, entry) → FIFO of queued calls`.
+    queues: BTreeMap<(usize, String), VecDeque<QueuedCall>>,
+}
+
+/// Rollback record for the exploration fast path: task control state and
+/// entry queues are snapshotted wholesale, while the accumulated trace rolls
+/// back through a [`BuilderMark`].
+#[derive(Clone, Debug)]
+pub struct AdaCheckpoint {
+    mark: BuilderMark,
+    tasks: Vec<TaskState>,
     queues: BTreeMap<(usize, String), VecDeque<QueuedCall>>,
 }
 
@@ -287,7 +297,7 @@ impl AdaSystem {
     ///
     /// Returns [`BuildError`] only on a simulator bug (cyclic trace).
     pub fn computation(&self, state: &AdaState) -> Result<Computation, BuildError> {
-        state.builder.clone().seal()
+        state.builder.seal_ref()
     }
 
     fn emit(
@@ -405,6 +415,7 @@ impl AdaSystem {
 impl System for AdaSystem {
     type State = AdaState;
     type Action = AdaAction;
+    type Checkpoint = AdaCheckpoint;
 
     fn initial(&self) -> AdaState {
         let mut state = AdaState {
@@ -591,6 +602,20 @@ impl System for AdaSystem {
             }
         }
         Some(h.finish())
+    }
+
+    fn checkpoint(&self, state: &AdaState) -> Option<AdaCheckpoint> {
+        Some(AdaCheckpoint {
+            mark: state.builder.mark(),
+            tasks: state.tasks.clone(),
+            queues: state.queues.clone(),
+        })
+    }
+
+    fn undo(&self, state: &mut AdaState, cp: AdaCheckpoint) {
+        state.builder.truncate_to(&cp.mark);
+        state.tasks = cp.tasks;
+        state.queues = cp.queues;
     }
 }
 

@@ -28,8 +28,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use gem_core::{
-    BuildError, ClassId, Computation, ComputationBuilder, ElementId, EventId, NodeRef, Structure,
-    Value,
+    BuildError, BuilderMark, ClassId, Computation, ComputationBuilder, ElementId, EventId, NodeRef,
+    Structure, Value,
 };
 
 use crate::ast::VarStore;
@@ -86,6 +86,15 @@ struct ProcState {
 #[derive(Clone, Debug)]
 pub struct CspState {
     builder: ComputationBuilder,
+    procs: Vec<ProcState>,
+}
+
+/// Rollback record for the exploration fast path: the per-process control
+/// state is snapshotted wholesale, while the accumulated trace rolls back
+/// through a [`BuilderMark`].
+#[derive(Clone, Debug)]
+pub struct CspCheckpoint {
+    mark: BuilderMark,
     procs: Vec<ProcState>,
 }
 
@@ -246,7 +255,7 @@ impl CspSystem {
     ///
     /// Returns [`BuildError`] only on a simulator bug (cyclic trace).
     pub fn computation(&self, state: &CspState) -> Result<Computation, BuildError> {
-        state.builder.clone().seal()
+        state.builder.seal_ref()
     }
 
     fn emit(
@@ -408,6 +417,7 @@ impl CspSystem {
 impl System for CspSystem {
     type State = CspState;
     type Action = CspAction;
+    type Checkpoint = CspCheckpoint;
 
     fn initial(&self) -> CspState {
         let mut state = CspState {
@@ -540,6 +550,18 @@ impl System for CspSystem {
             }
         }
         Some(h.finish())
+    }
+
+    fn checkpoint(&self, state: &CspState) -> Option<CspCheckpoint> {
+        Some(CspCheckpoint {
+            mark: state.builder.mark(),
+            procs: state.procs.clone(),
+        })
+    }
+
+    fn undo(&self, state: &mut CspState, cp: CspCheckpoint) {
+        state.builder.truncate_to(&cp.mark);
+        state.procs = cp.procs;
     }
 }
 

@@ -13,6 +13,19 @@
 //! schedules reaching the same control state must still both be checked.
 //! A state-hash pruning mode is available for pure state properties such
 //! as deadlock-freedom (the ablation of DESIGN.md §4).
+//!
+//! Two opt-in fast paths cut the cost of the default full sweep without
+//! giving up its guarantees. Systems that implement
+//! [`System::checkpoint`]/[`System::undo`] let the DFS mutate one shared
+//! state along the schedule and roll it back on backtrack, instead of
+//! cloning the whole accumulated trace per edge. And
+//! [`Explorer::dedup_computations`] lets *computation-aware* drivers (the
+//! verify layer, the CLI) skip re-checking a run whose sealed computation
+//! was already seen: unlike control-state pruning this is sound for trace
+//! properties, because two schedules sealing to the same computation
+//! satisfy exactly the same restrictions (the Mazurkiewicz-trace view —
+//! see docs/PERFORMANCE.md). Every run is still *enumerated* (run counts
+//! and probe reports are unchanged); only the per-run check is skipped.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -27,6 +40,10 @@ pub trait System {
     type State: Clone;
     /// One scheduler choice.
     type Action: Clone + std::fmt::Debug;
+    /// Undo journal entry for the opt-in apply/undo fast path: whatever
+    /// [`System::undo`] needs to roll one [`System::apply`] back. Systems
+    /// without the fast path use `()`.
+    type Checkpoint;
 
     /// The initial state.
     fn initial(&self) -> Self::State;
@@ -48,6 +65,28 @@ pub trait System {
     /// for this system.
     fn control_key(&self, _state: &Self::State) -> Option<u64> {
         None
+    }
+
+    /// Snapshots whatever one [`System::apply`] is about to change, so
+    /// [`System::undo`] can restore it. Returning `Some` opts the system
+    /// into the exploration fast path that mutates a single shared state
+    /// along the schedule instead of cloning the accumulated trace per
+    /// DFS edge; `None` (the default) keeps the clone-per-edge path.
+    ///
+    /// The contract: for every state `s` and enabled action `a`,
+    /// `checkpoint(s)` then `apply(s, a)` then `undo(s, cp)` must leave
+    /// `s` observably identical to the original (same `enabled`,
+    /// `is_complete`, `control_key`, and extracted computation).
+    fn checkpoint(&self, _state: &Self::State) -> Option<Self::Checkpoint> {
+        None
+    }
+
+    /// Rolls back the single [`System::apply`] performed since
+    /// `checkpoint` was taken. Only called with a checkpoint this system
+    /// returned, so systems that never return `Some` can leave the
+    /// default (which panics).
+    fn undo(&self, _state: &mut Self::State, _checkpoint: Self::Checkpoint) {
+        unreachable!("System::undo called without System::checkpoint support")
     }
 }
 
@@ -102,6 +141,12 @@ pub struct ExploreStats {
     pub prune_hits: usize,
     /// States admitted by control-key pruning (seen for the first time).
     pub prune_misses: usize,
+    /// Runs whose sealed computation was already seen, so the per-run
+    /// check was skipped (computation-level deduplication; filled in by
+    /// computation-aware drivers such as the verify layer and the CLI).
+    pub dedup_hits: usize,
+    /// Runs whose sealed computation was seen for the first time.
+    pub dedup_misses: usize,
 }
 
 impl ExploreStats {
@@ -124,6 +169,14 @@ impl fmt::Display for ExploreStats {
                 ", pruned {}/{}",
                 self.prune_hits,
                 self.prune_hits + self.prune_misses
+            )?;
+        }
+        if self.dedup_hits > 0 || self.dedup_misses > 0 {
+            write!(
+                f,
+                ", {} of {} computation(s) deduped",
+                self.dedup_hits,
+                self.dedup_hits + self.dedup_misses
             )?;
         }
         if self.depth_limited_runs > 0 {
@@ -159,6 +212,14 @@ pub struct Explorer {
     /// smaller work items (better load balance, more splitting overhead);
     /// `0` degenerates to a single work item (serial via one worker).
     pub split_depth: usize,
+    /// If true, computation-aware drivers (the verify layer, the CLI)
+    /// skip the per-run property check when the run's sealed computation
+    /// has already been seen under another schedule. Sound for trace
+    /// properties — equal computations satisfy equal restrictions — where
+    /// [`Explorer::prune`] is not. Runs are still enumerated; only the
+    /// check is skipped. Ignored by the raw `for_each_run` family, which
+    /// never extracts computations.
+    pub dedup_computations: bool,
 }
 
 impl Default for Explorer {
@@ -170,6 +231,7 @@ impl Default for Explorer {
             prune: false,
             jobs: 1,
             split_depth: 3,
+            dedup_computations: false,
         }
     }
 }
@@ -209,10 +271,10 @@ impl Explorer {
         let mut seen: HashSet<u64> = HashSet::new();
         let mut path: Vec<S::Action> = Vec::new();
         let mut flushed_steps = 0usize;
-        let state = sys.initial();
+        let mut state = sys.initial();
         let _ = self.dfs(
             sys,
-            state,
+            &mut state,
             &mut path,
             &mut stats,
             &mut seen,
@@ -230,7 +292,7 @@ impl Explorer {
     fn dfs<S: System>(
         &self,
         sys: &S,
-        state: S::State,
+        state: &mut S::State,
         path: &mut Vec<S::Action>,
         stats: &mut ExploreStats,
         seen: &mut HashSet<u64>,
@@ -239,7 +301,7 @@ impl Explorer {
         visit: &mut impl FnMut(&S::State, &[S::Action]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         if self.prune {
-            if let Some(key) = sys.control_key(&state) {
+            if let Some(key) = sys.control_key(state) {
                 if !seen.insert(key) {
                     stats.prune_hits += 1;
                     return ControlFlow::Continue(());
@@ -256,7 +318,7 @@ impl Explorer {
             stats.truncation = Some(TruncationReason::RunLimit);
             return ControlFlow::Break(());
         }
-        let actions = sys.enabled(&state);
+        let actions = sys.enabled(state);
         if actions.is_empty() || path.len() >= self.max_depth {
             if path.len() >= self.max_depth && !actions.is_empty() {
                 stats.depth_limited_runs += 1;
@@ -271,19 +333,42 @@ impl Explorer {
                 // the instrumented hot path within noise of the bare one.
                 flush_run(probe, stats, flushed_steps);
             }
-            return visit(&state, path);
+            return visit(state, path);
         }
         for action in actions {
             if stats.steps >= self.max_steps {
                 stats.truncation = Some(TruncationReason::StepLimit);
                 return ControlFlow::Break(());
             }
-            let mut next = state.clone();
-            sys.apply(&mut next, &action);
-            stats.steps += 1;
-            path.push(action);
-            let flow = self.dfs(sys, next, path, stats, seen, probe, flushed_steps, visit);
-            path.pop();
+            let flow = if let Some(cp) = sys.checkpoint(state) {
+                // Fast path: mutate the one shared state down the edge and
+                // roll it back afterwards — no clone of the accumulated
+                // trace.
+                sys.apply(state, &action);
+                stats.steps += 1;
+                path.push(action);
+                let flow = self.dfs(sys, state, path, stats, seen, probe, flushed_steps, visit);
+                path.pop();
+                sys.undo(state, cp);
+                flow
+            } else {
+                let mut next = state.clone();
+                sys.apply(&mut next, &action);
+                stats.steps += 1;
+                path.push(action);
+                let flow = self.dfs(
+                    sys,
+                    &mut next,
+                    path,
+                    stats,
+                    seen,
+                    probe,
+                    flushed_steps,
+                    visit,
+                );
+                path.pop();
+                flow
+            };
             flow?;
         }
         ControlFlow::Continue(())
@@ -292,16 +377,49 @@ impl Explorer {
     /// Runs one random schedule to completion (or the depth bound),
     /// returning the terminal state and the actions taken.
     pub fn random_run<S: System>(&self, sys: &S, rng: &mut impl Rng) -> (S::State, Vec<S::Action>) {
+        self.random_run_probed(sys, rng, &NoopProbe)
+    }
+
+    /// [`Explorer::random_run`] with instrumentation: reports the sampled
+    /// run through `probe` with the same counter keys as the exhaustive
+    /// DFS (`explore.runs`, `explore.steps`, prune totals, the depth
+    /// high-water mark, and a depth-limit truncation cause when the run
+    /// was cut off with actions still enabled) — so sampled and
+    /// exhaustive runs are comparable in JSON reports.
+    pub fn random_run_probed<S: System>(
+        &self,
+        sys: &S,
+        rng: &mut impl Rng,
+        probe: &dyn Probe,
+    ) -> (S::State, Vec<S::Action>) {
         let mut state = sys.initial();
         let mut path = Vec::new();
-        while path.len() < self.max_depth {
+        let mut depth_limited = false;
+        loop {
             let actions = sys.enabled(&state);
             if actions.is_empty() {
+                break;
+            }
+            if path.len() >= self.max_depth {
+                depth_limited = true;
                 break;
             }
             let action = actions[rng.gen_range(0..actions.len())].clone();
             sys.apply(&mut state, &action);
             path.push(action);
+        }
+        if probe.enabled() {
+            let stats = ExploreStats {
+                runs: 1,
+                steps: path.len(),
+                truncation: depth_limited.then_some(TruncationReason::DepthLimit),
+                depth_limited_runs: usize::from(depth_limited),
+                max_depth_seen: path.len(),
+                ..ExploreStats::default()
+            };
+            let mut flushed_steps = 0;
+            flush_run(probe, &stats, &mut flushed_steps);
+            flush_final(probe, &stats, flushed_steps);
         }
         (state, path)
     }
@@ -373,6 +491,7 @@ mod tests {
     impl System for Counters {
         type State = Vec<u8>;
         type Action = usize;
+        type Checkpoint = ();
 
         fn initial(&self) -> Vec<u8> {
             vec![0; self.n]
@@ -600,6 +719,101 @@ mod tests {
             .for_each_run(&sys, |_, _| ControlFlow::Continue(()))
             .steps;
         assert!(pruned_steps <= full_steps);
+    }
+
+    /// `Counters` with the apply/undo fast path enabled: the checkpoint
+    /// snapshots the whole (tiny) state, so the undo DFS must enumerate
+    /// exactly what the clone-per-edge DFS does.
+    struct UndoCounters(Counters);
+
+    impl System for UndoCounters {
+        type State = Vec<u8>;
+        type Action = usize;
+        type Checkpoint = Vec<u8>;
+
+        fn initial(&self) -> Vec<u8> {
+            self.0.initial()
+        }
+        fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+            self.0.enabled(state)
+        }
+        fn apply(&self, state: &mut Vec<u8>, action: &usize) {
+            self.0.apply(state, action);
+        }
+        fn is_complete(&self, state: &Vec<u8>) -> bool {
+            self.0.is_complete(state)
+        }
+        fn control_key(&self, state: &Vec<u8>) -> Option<u64> {
+            self.0.control_key(state)
+        }
+        fn checkpoint(&self, state: &Vec<u8>) -> Option<Vec<u8>> {
+            Some(state.clone())
+        }
+        fn undo(&self, state: &mut Vec<u8>, checkpoint: Vec<u8>) {
+            *state = checkpoint;
+        }
+    }
+
+    #[test]
+    fn undo_fast_path_enumerates_identically() {
+        let plain = Counters { n: 3, stuck: false };
+        let undo = UndoCounters(Counters { n: 3, stuck: false });
+        for explorer in [
+            Explorer::default(),
+            Explorer::with_max_runs(7),
+            Explorer {
+                max_steps: 40,
+                ..Explorer::default()
+            },
+            Explorer {
+                max_depth: 3,
+                ..Explorer::default()
+            },
+            Explorer {
+                prune: true,
+                ..Explorer::default()
+            },
+        ] {
+            let mut a = Vec::new();
+            let sa = explorer.for_each_run(&plain, |state, path| {
+                a.push((state.clone(), path.to_vec()));
+                ControlFlow::Continue(())
+            });
+            let mut b = Vec::new();
+            let sb = explorer.for_each_run(&undo, |state, path| {
+                b.push((state.clone(), path.to_vec()));
+                ControlFlow::Continue(())
+            });
+            assert_eq!(a, b, "{explorer:?}");
+            assert_eq!(sa, sb, "{explorer:?}");
+        }
+    }
+
+    #[test]
+    fn random_run_probed_reports_like_dfs() {
+        use gem_obs::StatsProbe;
+        use rand::SeedableRng;
+        let sys = Counters { n: 2, stuck: false };
+        let probe = StatsProbe::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (_, path) = Explorer::default().random_run_probed(&sys, &mut rng, &probe);
+        let report = probe.report();
+        assert_eq!(report.counters["explore.runs"], 1);
+        assert_eq!(report.counters["explore.steps"], path.len() as u64);
+        assert_eq!(report.counters["explore.prune.hits"], 0);
+        assert_eq!(report.counters["explore.prune.misses"], 0);
+        assert_eq!(report.gauges["explore.depth_high_water"], path.len() as u64);
+        // A depth-capped sample is flagged exactly like a depth-limited run.
+        let probe = StatsProbe::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let capped = Explorer {
+            max_depth: 1,
+            ..Explorer::default()
+        };
+        let (_, path) = capped.random_run_probed(&sys, &mut rng, &probe);
+        assert_eq!(path.len(), 1);
+        let report = probe.report();
+        assert_eq!(report.counters["explore.truncation.depth_limit"], 1);
     }
 
     #[test]

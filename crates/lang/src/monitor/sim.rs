@@ -33,7 +33,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use gem_core::{
-    BuildError, ClassId, Computation, ComputationBuilder, ElementId, EventId, Structure, Value,
+    BuildError, BuilderMark, ClassId, Computation, ComputationBuilder, ElementId, EventId,
+    Structure, Value,
 };
 
 use crate::ast::VarStore;
@@ -118,6 +119,22 @@ pub struct MonitorState {
     lock: Option<usize>,
     /// Last initialization event inside the monitor; enables the first
     /// acquisition (the monitor cannot run before it is initialized).
+    init_done: Option<EventId>,
+    urgent: Vec<usize>,
+    queues: BTreeMap<String, VecDeque<usize>>,
+}
+
+/// Rollback record for the exploration fast path
+/// ([`System::checkpoint`]/[`System::undo`]): the small control state is
+/// snapshotted wholesale, while the monotonically-growing computation
+/// trace — the expensive part of a [`MonitorState`] clone — rolls back
+/// through a [`BuilderMark`].
+#[derive(Clone, Debug)]
+pub struct MonitorCheckpoint {
+    mark: BuilderMark,
+    vars: VarStore,
+    procs: Vec<ProcRuntime>,
+    lock: Option<usize>,
     init_done: Option<EventId>,
     urgent: Vec<usize>,
     queues: BTreeMap<String, VecDeque<usize>>,
@@ -375,7 +392,7 @@ impl MonitorSystem {
     /// Returns [`BuildError`] if the trace is cyclic — which would indicate
     /// a simulator bug, as emitted edges always point forward in time.
     pub fn computation(&self, state: &MonitorState) -> Result<Computation, BuildError> {
-        state.builder.clone().seal()
+        state.builder.seal_ref()
     }
 
     fn emit(
@@ -638,6 +655,7 @@ impl MonitorSystem {
 impl System for MonitorSystem {
     type State = MonitorState;
     type Action = MonitorAction;
+    type Checkpoint = MonitorCheckpoint;
 
     fn initial(&self) -> MonitorState {
         let mut state = MonitorState {
@@ -899,6 +917,28 @@ impl System for MonitorSystem {
         state.urgent.hash(&mut h);
         format!("{:?}", state.queues).hash(&mut h);
         Some(h.finish())
+    }
+
+    fn checkpoint(&self, state: &MonitorState) -> Option<MonitorCheckpoint> {
+        Some(MonitorCheckpoint {
+            mark: state.builder.mark(),
+            vars: state.vars.clone(),
+            procs: state.procs.clone(),
+            lock: state.lock,
+            init_done: state.init_done,
+            urgent: state.urgent.clone(),
+            queues: state.queues.clone(),
+        })
+    }
+
+    fn undo(&self, state: &mut MonitorState, cp: MonitorCheckpoint) {
+        state.builder.truncate_to(&cp.mark);
+        state.vars = cp.vars;
+        state.procs = cp.procs;
+        state.lock = cp.lock;
+        state.init_done = cp.init_done;
+        state.urgent = cp.urgent;
+        state.queues = cp.queues;
     }
 }
 

@@ -156,7 +156,8 @@ struct Worker<'a, S: System> {
 impl<S: System> Worker<'_, S> {
     fn run_item(mut self, item: WorkItem<S>) {
         let mut path = item.prefix;
-        let finished = match self.subtree(item.state, &mut path) {
+        let mut state = item.state;
+        let finished = match self.subtree(&mut state, &mut path) {
             ControlFlow::Continue(()) => true,
             ControlFlow::Break(Stop::Truncated) => false,
             ControlFlow::Break(Stop::Abort) => return,
@@ -169,22 +170,25 @@ impl<S: System> Worker<'_, S> {
 
     /// Mirrors the serial `Explorer::dfs` exactly (minus pruning, which
     /// forces the serial path): run check at node entry, step check
-    /// before each edge application, leaves streamed in DFS order.
-    fn subtree(&mut self, state: S::State, path: &mut Vec<S::Action>) -> ControlFlow<Stop> {
+    /// before each edge application, leaves streamed in DFS order. Like
+    /// the serial DFS, checkpoint-capable systems walk one shared state
+    /// with apply/undo (one clone per *leaf* for the streamed message)
+    /// instead of one clone per edge.
+    fn subtree(&mut self, state: &mut S::State, path: &mut Vec<S::Action>) -> ControlFlow<Stop> {
         if self.cancel.load(Ordering::Relaxed) {
             return ControlFlow::Break(Stop::Abort);
         }
         if self.runs >= self.explorer.max_runs {
             return ControlFlow::Break(Stop::Truncated);
         }
-        let actions = self.sys.enabled(&state);
+        let actions = self.sys.enabled(state);
         if actions.is_empty() || path.len() >= self.explorer.max_depth {
             let depth_limited = path.len() >= self.explorer.max_depth && !actions.is_empty();
             let msg = Msg::Leaf {
                 pre: std::mem::take(&mut self.pending_edges),
                 depth_limited,
                 path: path.clone(),
-                state,
+                state: state.clone(),
             };
             if self.tx.send(msg).is_err() {
                 return ControlFlow::Break(Stop::Abort);
@@ -196,13 +200,25 @@ impl<S: System> Worker<'_, S> {
             if self.steps >= self.explorer.max_steps {
                 return ControlFlow::Break(Stop::Truncated);
             }
-            let mut next = state.clone();
-            self.sys.apply(&mut next, &action);
-            self.steps += 1;
-            self.pending_edges += 1;
-            path.push(action);
-            let flow = self.subtree(next, path);
-            path.pop();
+            let flow = if let Some(cp) = self.sys.checkpoint(state) {
+                self.sys.apply(state, &action);
+                self.steps += 1;
+                self.pending_edges += 1;
+                path.push(action);
+                let flow = self.subtree(state, path);
+                path.pop();
+                self.sys.undo(state, cp);
+                flow
+            } else {
+                let mut next = state.clone();
+                self.sys.apply(&mut next, &action);
+                self.steps += 1;
+                self.pending_edges += 1;
+                path.push(action);
+                let flow = self.subtree(&mut next, path);
+                path.pop();
+                flow
+            };
             flow?;
         }
         ControlFlow::Continue(())
@@ -446,6 +462,7 @@ mod tests {
     impl System for Ragged {
         type State = Vec<u8>;
         type Action = usize;
+        type Checkpoint = ();
 
         fn initial(&self) -> Vec<u8> {
             vec![0; self.n]
@@ -683,6 +700,7 @@ mod tests {
         impl System for Chatty {
             type State = Vec<u8>;
             type Action = usize;
+            type Checkpoint = ();
             fn initial(&self) -> Vec<u8> {
                 vec![0; 2]
             }

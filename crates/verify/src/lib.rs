@@ -56,9 +56,11 @@
 #![warn(missing_docs)]
 
 mod correspondence;
+pub mod dedup;
 mod progress;
 mod sat;
 
 pub use correspondence::{project, Correspondence, Pair, ProjectError};
+pub use dedup::{canonical_key, CanonicalKey};
 pub use progress::{assert_no_deadlock, eventually_on_all_runs, LivenessOutcome};
 pub use sat::{verify_system, RunFailure, VerifyOptions, VerifyOutcome};

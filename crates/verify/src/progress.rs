@@ -12,11 +12,14 @@
 //!   names do occur ([`eventually_on_all_runs`]): the `◇`-check of a
 //!   formula over each run's computation.
 
+use std::collections::HashMap;
 use std::ops::ControlFlow;
 
 use gem_core::Computation;
 use gem_lang::{Explorer, System, TruncationReason};
 use gem_logic::{check, Formula, Strategy};
+
+use crate::dedup::{canonical_key, CanonicalKey};
 
 /// Result of a liveness sweep over all runs.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -45,6 +48,11 @@ impl LivenessOutcome {
 /// under the given strategy. Runs are enumerated with
 /// [`Explorer::par_for_each_run`], so `explorer.jobs > 1` parallelises
 /// the sweep without changing the reported run indices.
+///
+/// With [`Explorer::dedup_computations`] set, trace-equivalent runs are
+/// checked once and the verdict replayed (see [`crate::dedup`]); the
+/// outcome is unchanged, and hits/misses are reported on the ambient
+/// probe as `progress.dedup.hits` / `progress.dedup.misses`.
 pub fn eventually_on_all_runs<S>(
     sys: &S,
     formula: &Formula,
@@ -59,19 +67,40 @@ where
 {
     let mut runs = 0usize;
     let mut failing_runs = Vec::new();
+    let dedup = explorer.dedup_computations;
+    let mut verdicts: HashMap<CanonicalKey, bool> = HashMap::new();
+    let (mut dedup_hits, mut dedup_misses) = (0u64, 0u64);
     let stats = explorer.par_for_each_run(sys, |state, _| {
         let c = extract(state);
-        match check(formula, &c, strategy) {
-            Ok(report) if report.holds => {}
-            _ => {
-                gem_obs::ambient::add("progress.failing_runs", 1);
-                failing_runs.push(runs);
+        let key = dedup.then(|| canonical_key(&c));
+        let holds = match key.as_ref().and_then(|k| verdicts.get(k)) {
+            Some(&cached) => {
+                dedup_hits += 1;
+                cached
             }
+            None => {
+                if dedup {
+                    dedup_misses += 1;
+                }
+                let fresh = matches!(check(formula, &c, strategy), Ok(report) if report.holds);
+                if let Some(k) = key {
+                    verdicts.insert(k, fresh);
+                }
+                fresh
+            }
+        };
+        if !holds {
+            gem_obs::ambient::add("progress.failing_runs", 1);
+            failing_runs.push(runs);
         }
         runs += 1;
         ControlFlow::Continue(())
     });
     gem_obs::ambient::add("progress.liveness_sweeps", 1);
+    if dedup {
+        gem_obs::ambient::add("progress.dedup.hits", dedup_hits);
+        gem_obs::ambient::add("progress.dedup.misses", dedup_misses);
+    }
     LivenessOutcome {
         runs,
         failing_runs,
@@ -84,6 +113,11 @@ where
 /// Returns `Ok(runs_explored)` or the action trace of the first deadlock
 /// rendered with `Debug`. The witness is the first deadlock in serial
 /// DFS order regardless of `explorer.jobs`.
+///
+/// Deadlock is a property of the terminal *state* (incomplete with no
+/// enabled action), not of the sealed computation, so this sweep ignores
+/// [`Explorer::dedup_computations`] — there is no computation-level check
+/// to deduplicate.
 pub fn assert_no_deadlock<S>(sys: &S, explorer: &Explorer) -> Result<usize, String>
 where
     S: System + Sync,

@@ -8,6 +8,7 @@
 //! problem specification. Deadlocked runs (terminal but incomplete) are
 //! reported separately — the paper's "lack of deadlock" claims.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::sync::Arc;
@@ -19,6 +20,13 @@ use gem_obs::{NoopProbe, Probe, Span};
 use gem_spec::Specification;
 
 use crate::correspondence::{project, Correspondence, ProjectError};
+use crate::dedup::{canonical_key, CanonicalKey};
+
+/// Verdict of checking one computation: `None` if it satisfies the
+/// specification, otherwise the violated names plus the failure detail.
+/// A pure function of the computation, which is what makes caching it per
+/// canonical key sound.
+type CheckVerdict = Option<(Vec<String>, String)>;
 
 /// One failing run.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -134,6 +142,14 @@ impl Default for VerifyOptions {
 /// outcome — run order, first failure, counterexample schedules, and
 /// probe totals — is identical to the serial sweep.
 ///
+/// With [`Explorer::dedup_computations`] set, trace-equivalent runs (runs
+/// sealing to the same computation, see [`crate::dedup`]) are checked once
+/// and their verdict replayed on later sightings. Every run is still
+/// enumerated and counted, so the returned [`VerifyOutcome`] is identical
+/// with deduplication on or off; only the redundant projection and
+/// restriction-checking work is skipped. Cache hits/misses are reported on
+/// the probe as `verify.dedup.hits` / `verify.dedup.misses`.
+///
 /// # Errors
 ///
 /// Returns [`ProjectError`] if the correspondence is inconsistent with a
@@ -158,6 +174,46 @@ where
     let mut failures: Vec<RunFailure> = Vec::new();
     let mut project_error: Option<ProjectError> = None;
 
+    let dedup = options.explorer.dedup_computations;
+    let mut verdicts: HashMap<CanonicalKey, CheckVerdict> = HashMap::new();
+    let (mut dedup_hits, mut dedup_misses) = (0u64, 0u64);
+
+    // Checks one computation against the specification. Pure in the
+    // computation, so the verdict is cacheable per canonical key.
+    let evaluate = |program_comp: &Computation| -> Result<CheckVerdict, ProjectError> {
+        let mut violated = Vec::new();
+        let mut detail = String::new();
+        if options.check_program_legality {
+            let legality = gem_core::check_legality(program_comp);
+            if !legality.is_empty() {
+                violated.push("program-legality".to_owned());
+                detail = legality[0].describe(program_comp);
+            }
+        }
+        let projected = project(program_comp, problem.structure_arc(), corr)?;
+        match problem.check(&projected, options.strategy) {
+            Ok(report) => {
+                if !report.legality.is_empty() {
+                    violated.push("projection-legality".to_owned());
+                    if detail.is_empty() {
+                        detail = report.legality[0].describe(&projected);
+                    }
+                }
+                for name in report.failed() {
+                    violated.push(name.to_owned());
+                }
+                if detail.is_empty() && !violated.is_empty() {
+                    detail = report.to_string();
+                }
+            }
+            Err(e) => {
+                violated.push("evaluation-error".to_owned());
+                detail = e.to_string();
+            }
+        }
+        Ok((!violated.is_empty()).then_some((violated, detail)))
+    };
+
     let probe = options.probe.as_ref();
     // Deep layers (restriction checking, formula evaluation, closure and
     // history construction) report through the ambient probe. Installed
@@ -172,46 +228,36 @@ where
         .par_for_each_run_probed(sys, probe, |state, _path| {
             runs += 1;
             if !sys.is_complete(state) {
+                // Deadlock is judged on the *state* (terminal but
+                // incomplete), not the computation, so it is counted per
+                // run and never deduplicated.
                 deadlocks += 1;
             }
             let program_comp = extract(state);
-            let mut violated = Vec::new();
-            let mut detail = String::new();
-            if options.check_program_legality {
-                let legality = gem_core::check_legality(&program_comp);
-                if !legality.is_empty() {
-                    violated.push("program-legality".to_owned());
-                    detail = legality[0].describe(&program_comp);
+            let key = dedup.then(|| canonical_key(&program_comp));
+            let verdict = match key.as_ref().and_then(|k| verdicts.get(k)) {
+                Some(cached) => {
+                    dedup_hits += 1;
+                    cached.clone()
                 }
-            }
-            let projected = match project(&program_comp, problem.structure_arc(), corr) {
-                Ok(p) => p,
-                Err(e) => {
-                    project_error = Some(e);
-                    return ControlFlow::Break(());
+                None => {
+                    if dedup {
+                        dedup_misses += 1;
+                    }
+                    let fresh = match evaluate(&program_comp) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            project_error = Some(e);
+                            return ControlFlow::Break(());
+                        }
+                    };
+                    if let Some(k) = key {
+                        verdicts.insert(k, fresh.clone());
+                    }
+                    fresh
                 }
             };
-            match problem.check(&projected, options.strategy) {
-                Ok(report) => {
-                    if !report.legality.is_empty() {
-                        violated.push("projection-legality".to_owned());
-                        if detail.is_empty() {
-                            detail = report.legality[0].describe(&projected);
-                        }
-                    }
-                    for name in report.failed() {
-                        violated.push(name.to_owned());
-                    }
-                    if detail.is_empty() && !violated.is_empty() {
-                        detail = report.to_string();
-                    }
-                }
-                Err(e) => {
-                    violated.push("evaluation-error".to_owned());
-                    detail = e.to_string();
-                }
-            }
-            if !violated.is_empty() {
+            if let Some((violated, detail)) = verdict {
                 if failures.is_empty() {
                     probe.gauge_set("verify.first_failure_run", (runs - 1) as u64);
                 }
@@ -231,6 +277,12 @@ where
     // One post-sweep flush so the counter is present (possibly zero) in
     // every report.
     probe.add("verify.deadlocks", deadlocks as u64);
+    // Dedup counters are emitted only when the feature is on, so reports
+    // from non-dedup sweeps are unchanged.
+    if dedup {
+        probe.add("verify.dedup.hits", dedup_hits);
+        probe.add("verify.dedup.misses", dedup_misses);
+    }
 
     if let Some(e) = project_error {
         return Err(e);

@@ -19,7 +19,8 @@ use gem::problems::bounded;
 use gem::problems::readers_writers::{
     rw_correspondence, rw_program, rw_rounds_program, rw_spec, RwVariant,
 };
-use gem::verify::{verify_system, VerifyOptions};
+use gem::spec::Specification;
+use gem::verify::{verify_system, Correspondence, VerifyOptions};
 
 /// Worker counts to sweep: the satellite set {1, 2, 4} plus whatever CI
 /// injects through `GEM_TEST_JOBS`.
@@ -33,6 +34,13 @@ fn job_counts() -> Vec<usize> {
         }
     }
     jobs
+}
+
+/// True when CI asks the verify sweeps to run with computation-level
+/// deduplication (`GEM_TEST_DEDUP=1`). Dedup must never change an
+/// outcome, so enabling it across the whole suite is itself a test.
+fn dedup_env() -> bool {
+    std::env::var("GEM_TEST_DEDUP").is_ok_and(|v| v.trim() == "1")
 }
 
 const SPLIT_DEPTHS: [usize; 3] = [0, 1, 3];
@@ -190,6 +198,7 @@ fn verify_outcome_identical_on_failing_instance() {
                 explorer: Explorer {
                     jobs,
                     split_depth: 3,
+                    dedup_computations: dedup_env(),
                     ..Explorer::default()
                 },
                 ..VerifyOptions::default()
@@ -220,6 +229,7 @@ fn verify_outcome_identical_on_passing_instance_with_truncation() {
             &VerifyOptions {
                 explorer: Explorer {
                     jobs,
+                    dedup_computations: dedup_env(),
                     ..Explorer::with_max_runs(max_runs)
                 },
                 ..VerifyOptions::default()
@@ -238,6 +248,112 @@ fn verify_outcome_identical_on_passing_instance_with_truncation() {
             );
         }
     }
+}
+
+/// Computation-dedup differential on one system: the whole
+/// [`gem::verify::VerifyOutcome`] — run counts, deadlocks, every failure's
+/// index/names/detail, truncation — must be identical with dedup on and
+/// off, at every worker count. This is the soundness witness for
+/// `Explorer::dedup_computations`: it skips redundant *checking*, never
+/// runs.
+fn assert_dedup_equiv<S>(
+    sys: &S,
+    spec: &Specification,
+    corr: &Correspondence,
+    extract: impl Fn(&S::State) -> gem::core::Computation + Copy,
+    what: &str,
+) where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let outcome_at = |jobs: usize, dedup: bool| {
+        verify_system(
+            sys,
+            spec,
+            corr,
+            extract,
+            &VerifyOptions {
+                explorer: Explorer {
+                    jobs,
+                    split_depth: 3,
+                    dedup_computations: dedup,
+                    ..Explorer::default()
+                },
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("correspondence consistent")
+    };
+    let baseline = outcome_at(1, false);
+    for jobs in [1, 4] {
+        for dedup in [false, true] {
+            assert_eq!(
+                baseline,
+                outcome_at(jobs, dedup),
+                "{what}: VerifyOutcome diverges at jobs={jobs} dedup={dedup}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dedup_outcome_identical_monitor_bounded() {
+    let sys = bounded::monitor_solution(&[1, 2, 3], 2);
+    let spec = bounded::bounded_spec(3, 2);
+    let corr = bounded::monitor_correspondence(&sys, &spec, 2);
+    assert_dedup_equiv(
+        &sys,
+        &spec,
+        &corr,
+        |s| sys.computation(s).expect("acyclic"),
+        "monitor bounded buffer",
+    );
+}
+
+#[test]
+fn dedup_outcome_identical_csp_bounded() {
+    let sys = bounded::csp_solution(&[1, 2, 3], 2);
+    let spec = bounded::bounded_spec(3, 2);
+    let corr = bounded::csp_correspondence(&sys, &spec, 2);
+    assert_dedup_equiv(
+        &sys,
+        &spec,
+        &corr,
+        |s| sys.computation(s).expect("acyclic"),
+        "csp bounded buffer",
+    );
+}
+
+#[test]
+fn dedup_outcome_identical_ada_bounded() {
+    let sys = bounded::ada_solution(&[1, 2, 3], 2);
+    let spec = bounded::bounded_spec(3, 2);
+    let corr = bounded::ada_correspondence(&sys, &spec, 2);
+    assert_dedup_equiv(
+        &sys,
+        &spec,
+        &corr,
+        |s| sys.computation(s).expect("acyclic"),
+        "ada bounded buffer",
+    );
+}
+
+#[test]
+fn dedup_outcome_identical_on_failing_instance() {
+    // A failing sweep is the sharp case: cached verdicts must replay the
+    // first failure at the same run index with the same detail string,
+    // and the max_failures early exit must fire at the same point.
+    let sys = rw_program(readers_writers_monitor(), 1, 2, false);
+    let spec = rw_spec(3, false, RwVariant::WritersPriority);
+    let corr = rw_correspondence(&sys, &spec, false);
+    assert_dedup_equiv(
+        &sys,
+        &spec,
+        &corr,
+        |s| sys.computation(s).expect("acyclic"),
+        "monitor rw 1r2w vs writers-priority",
+    );
 }
 
 /// Drops the measured fields from a serialized stats report, keeping

@@ -7,8 +7,9 @@ use std::ops::ControlFlow;
 use proptest::prelude::*;
 
 use gem::core::{
-    check_legality, for_each_history, for_each_linearization, Computation, ComputationBuilder,
-    DenseBitSet, EventId, History, HistorySequence, Structure,
+    check_legality, for_each_history, for_each_linearization, Closure, Computation,
+    ComputationBuilder, DenseBitSet, EventId, History, HistorySequence, IncrementalOrder,
+    Structure,
 };
 use gem::logic::{holds_on_computation, EventSel, Formula};
 
@@ -63,6 +64,115 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// The incremental reachability index agrees with the batch closure
+    /// build on arbitrary edge sets: same pairwise reachability when the
+    /// edges are acyclic, and cycle rejection in exactly the same cases
+    /// (including self-loops).
+    #[test]
+    fn incremental_order_matches_batch_closure(
+        (n, edges) in (1usize..=20).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec((0..n, 0..n), 0..n * 3))
+        })
+    ) {
+        let e = |i: usize| EventId::from_raw(i as u32);
+        let edge_ids: Vec<(EventId, EventId)> =
+            edges.iter().map(|&(a, b)| (e(a), e(b))).collect();
+        let mut inc = IncrementalOrder::new();
+        for _ in 0..n {
+            inc.push_node();
+        }
+        for &(a, b) in &edge_ids {
+            inc.add_edge(a, b);
+        }
+        match Closure::from_edges(n, &edge_ids) {
+            Ok(closure) => {
+                prop_assert!(inc.cycle().is_none(),
+                    "incremental latched a cycle on an acyclic edge set");
+                for a in 0..n {
+                    for b in 0..n {
+                        prop_assert_eq!(
+                            inc.precedes(e(a), e(b)),
+                            closure.precedes(e(a), e(b)),
+                            "reachability diverges at ({}, {})", a, b
+                        );
+                    }
+                }
+            }
+            Err(_) => prop_assert!(inc.cycle().is_some(),
+                "batch build rejected a cycle the incremental path missed"),
+        }
+    }
+
+    /// Rolling a builder back to a mark erases the rolled-back suffix
+    /// completely: sealing afterwards gives exactly what a builder that
+    /// never saw the suffix gives — same events, enables, temporal order,
+    /// and the same cycle verdict. This is the contract the exploration
+    /// undo fast path rests on.
+    #[test]
+    fn builder_truncate_equals_never_built(
+        (n_el, assignments, edges, split) in (1usize..=3).prop_flat_map(|n_el| {
+            (1usize..=10).prop_flat_map(move |n_ev| {
+                let assignments = proptest::collection::vec(0..n_el, n_ev);
+                // Unconstrained direction: suffix edges may point backwards
+                // (exercising the rebuild path) or even create cycles the
+                // rollback must forget.
+                let edges = proptest::collection::vec((0..n_ev, 0..n_ev), 0..n_ev * 2);
+                (Just(n_el), assignments, edges, 0..=n_ev * 2)
+            })
+        })
+    ) {
+        let mut s = Structure::new();
+        let act = s.add_class("Act", &[]).expect("class");
+        let els: Vec<_> = (0..n_el)
+            .map(|i| s.add_element(format!("P{i}"), &[act]).expect("element"))
+            .collect();
+        let s = std::sync::Arc::new(s);
+        let split = split.min(edges.len());
+
+        // Builder A sees everything, then rolls the suffix back.
+        let mut a = ComputationBuilder::new(s.clone());
+        let ids_a: Vec<_> = assignments
+            .iter()
+            .map(|&el| a.add_event(els[el], act, vec![]).expect("event"))
+            .collect();
+        for &(x, y) in &edges[..split] {
+            a.enable(ids_a[x], ids_a[y]).expect("edge");
+        }
+        let mark = a.mark();
+        for &(x, y) in &edges[split..] {
+            a.enable(ids_a[x], ids_a[y]).expect("edge");
+        }
+        a.truncate_to(&mark);
+
+        // Builder B never sees the suffix.
+        let mut b = ComputationBuilder::new(s);
+        let ids_b: Vec<_> = assignments
+            .iter()
+            .map(|&el| b.add_event(els[el], act, vec![]).expect("event"))
+            .collect();
+        for &(x, y) in &edges[..split] {
+            b.enable(ids_b[x], ids_b[y]).expect("edge");
+        }
+
+        match (a.seal_ref(), b.seal_ref()) {
+            (Ok(ca), Ok(cb)) => {
+                prop_assert_eq!(ca.event_count(), cb.event_count());
+                for x in ca.event_ids() {
+                    for y in ca.event_ids() {
+                        prop_assert_eq!(ca.enables(x, y), cb.enables(x, y));
+                        prop_assert_eq!(
+                            ca.temporally_precedes(x, y),
+                            cb.temporally_precedes(x, y)
+                        );
+                    }
+                }
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(format!("{ea}"), format!("{eb}")),
+            (ra, rb) => prop_assert!(false,
+                "seal verdicts diverge after rollback: {:?} vs {:?}", ra.is_ok(), rb.is_ok()),
         }
     }
 
@@ -287,6 +397,7 @@ struct TableSystem {
 impl gem::lang::System for TableSystem {
     type State = Vec<u8>;
     type Action = u8;
+    type Checkpoint = ();
 
     fn initial(&self) -> Vec<u8> {
         Vec::new()
