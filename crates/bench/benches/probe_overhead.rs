@@ -1,0 +1,76 @@
+//! Probe hot-path overhead guard (ISSUE 4).
+//!
+//! The instrumentation layer promises that an uninstrumented run pays
+//! only a disabled-probe check. This bench pins that promise so a
+//! regression shows up in the perf trajectory:
+//!
+//! * `noop_add/1000` — 1000 counter increments through `&dyn Probe` on
+//!   [`NoopProbe`]: should stay in the few-ns-per-call range.
+//! * `recorder_add/1000` — the same through the flight-recorder ring,
+//!   the cost `--artifacts` opts into.
+//! * `sweep_noop` / `sweep_recorder` — a small full exploration sweep
+//!   under each probe; the delta is the real-world recorder overhead.
+
+use std::ops::ControlFlow;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_lang::monitor::{readers_writers_monitor, SignalSemantics};
+use gem_lang::Explorer;
+use gem_obs::{NoopProbe, Probe, RecorderProbe};
+use gem_problems::readers_writers::rw_program_with_semantics;
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_overhead");
+
+    let noop: &dyn Probe = &NoopProbe;
+    group.bench_with_input(BenchmarkId::new("noop_add", 1000), &1000u32, |b, &n| {
+        b.iter(|| {
+            for i in 0..n {
+                if noop.enabled() {
+                    noop.add("bench.counter", u64::from(i));
+                }
+            }
+        });
+    });
+
+    let recorder = RecorderProbe::new(256);
+    let rec: &dyn Probe = &recorder;
+    group.bench_with_input(BenchmarkId::new("recorder_add", 1000), &1000u32, |b, &n| {
+        b.iter(|| {
+            for i in 0..n {
+                if rec.enabled() {
+                    rec.add("bench.counter", u64::from(i));
+                }
+            }
+        });
+    });
+
+    let sys = rw_program_with_semantics(
+        readers_writers_monitor(),
+        1,
+        1,
+        false,
+        SignalSemantics::Hoare,
+    );
+    group.bench_function("sweep_noop", |b| {
+        b.iter(|| {
+            Explorer::default()
+                .par_for_each_run_probed(&sys, &NoopProbe, |_, _| ControlFlow::Continue(()))
+        });
+    });
+    let sweep_recorder = RecorderProbe::new(256);
+    group.bench_function("sweep_recorder", |b| {
+        b.iter(|| {
+            Explorer::default()
+                .par_for_each_run_probed(&sys, &sweep_recorder, |_, _| ControlFlow::Continue(()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_probe_overhead
+}
+criterion_main!(benches);

@@ -6,6 +6,8 @@
 //! gem explore <problem>          count schedules / deadlocks
 //! gem dot <problem>              emit one schedule's computation as Graphviz
 //! gem list                       list the available problems
+//! gem replay <dir>               reproduce a recorded counterexample artifact
+//! gem bench-diff <old> <new>     compare two benchmark reports, gate regressions
 //! ```
 //!
 //! Problems (with optional `key=value` parameters after the name):
@@ -31,6 +33,10 @@
 //! * `--dedup` — deduplicate trace-equivalent computations in
 //!   `verify`/`explore` sweeps (same results, less checking work; see
 //!   `docs/PERFORMANCE.md`)
+//! * `--artifacts <dir>` — on `verify`, dump the first failing or
+//!   deadlocked run as a self-contained counterexample artifact directory
+//!   (schedule, computation, blame, highlighted dot), and arm a flight
+//!   recorder that dumps `<dir>/crash.json` if the process panics
 //!
 //! The command dispatch lives in this library so it can be tested; the
 //! `gem` binary is a thin wrapper.
@@ -41,20 +47,28 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::ControlFlow;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 use gem_lang::monitor::readers_writers_monitor;
 use gem_lang::monitor::SignalSemantics;
 use gem_lang::{Explorer, System};
-use gem_obs::{FanoutProbe, HeartbeatProbe, NoopProbe, Probe, Span, StatsProbe, TraceProbe};
+use gem_obs::json::JsonValue;
+use gem_obs::{
+    install_crash_sink, write_atomic, FanoutProbe, HeartbeatProbe, NoopProbe, Probe, RecorderProbe,
+    Span, StatsProbe, TraceProbe,
+};
 use gem_problems::readers_writers::{
     mesa_safe_readers_writers_monitor, rw_correspondence, rw_program_with_semantics,
     rw_rounds_program, rw_spec, writers_priority_monitor, RwVariant,
 };
 use gem_problems::{bounded, db_update, life, one_slot};
 use gem_spec::{render_specification, Specification};
-use gem_verify::{verify_system, Correspondence, VerifyOptions, VerifyOutcome};
+use gem_verify::{
+    check_computation, verify_system, ArtifactSink, Correspondence, RunFailure, VerifyOptions,
+    VerifyOutcome,
+};
 
 /// A CLI usage or execution error.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -104,6 +118,15 @@ impl Params {
 
     fn str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.0.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    fn f64(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("{key} must be a number, got {v:?}"))),
+        }
     }
 
     fn bool(&self, key: &str, default: bool) -> Result<bool, CliError> {
@@ -324,12 +347,13 @@ struct ObsFlags {
     heartbeat: Option<f64>,
     jobs: Option<usize>,
     dedup: bool,
+    artifacts: Option<String>,
 }
 
 /// Splits `--stats` / `--stats-json` / `--trace` / `--heartbeat` /
-/// `--jobs` / `--dedup` (either `--flag value` or `--flag=value`) out of
-/// `args`, leaving positional arguments and `key=value` parameters
-/// untouched.
+/// `--jobs` / `--dedup` / `--artifacts` (either `--flag value` or
+/// `--flag=value`) out of `args`, leaving positional arguments and
+/// `key=value` parameters untouched.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
     let mut flags = ObsFlags::default();
     let mut rest = Vec::new();
@@ -371,6 +395,7 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                 flags.dedup = true;
             }
             "--trace" => flags.trace = Some(value("--trace")?),
+            "--artifacts" => flags.artifacts = Some(value("--artifacts")?),
             "--heartbeat" => {
                 let v = value("--heartbeat")?;
                 let secs: f64 = v
@@ -398,7 +423,11 @@ struct ObsSetup {
     probe: Arc<dyn Probe>,
     stats_sink: Option<Arc<StatsProbe>>,
     trace_sink: Option<Arc<TraceProbe>>,
+    heartbeat_sink: Option<Arc<HeartbeatProbe>>,
 }
+
+/// Probe events kept per thread by the `--artifacts` flight recorder.
+const RECORDER_CAPACITY: usize = 256;
 
 fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
     let stats_sink = if flags.stats || flags.stats_json.is_some() {
@@ -415,6 +444,8 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
         None => None,
     };
     let heartbeat_secs = flags.heartbeat.unwrap_or(5.0);
+    let heartbeat_sink = (heartbeat_secs > 0.0)
+        .then(|| Arc::new(HeartbeatProbe::new(Duration::from_secs_f64(heartbeat_secs))));
     let mut sinks: Vec<Arc<dyn Probe>> = Vec::new();
     if let Some(s) = &stats_sink {
         sinks.push(s.clone());
@@ -422,10 +453,18 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
     if let Some(t) = &trace_sink {
         sinks.push(t.clone());
     }
-    if heartbeat_secs > 0.0 {
-        sinks.push(Arc::new(HeartbeatProbe::new(Duration::from_secs_f64(
-            heartbeat_secs,
-        ))));
+    if let Some(h) = &heartbeat_sink {
+        sinks.push(h.clone());
+    }
+    // With an artifact directory, arm the flight recorder: the last
+    // RECORDER_CAPACITY probe events per thread plus live span stacks are
+    // dumped to <dir>/crash.json if the process panics mid-sweep.
+    if let Some(dir) = &flags.artifacts {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| err(format!("cannot create artifact dir {dir:?}: {e}")))?;
+        let recorder = Arc::new(RecorderProbe::new(RECORDER_CAPACITY));
+        install_crash_sink(recorder.clone(), Path::new(dir).join("crash.json"));
+        sinks.push(recorder);
     }
     let probe: Arc<dyn Probe> = match sinks.len() {
         0 => Arc::new(NoopProbe),
@@ -436,6 +475,7 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
         probe,
         stats_sink,
         trace_sink,
+        heartbeat_sink,
     })
 }
 
@@ -468,8 +508,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let obs = obs_setup(&flags)?;
     let result = {
         let _total = Span::enter(obs.probe.as_ref(), "total");
-        dispatch(&args, &obs.probe, flags.jobs.unwrap_or(1), flags.dedup)
+        dispatch(&args, &obs, &flags)
     };
+    // The final heartbeat summary always flushes at end-of-sweep, even if
+    // the rate limiter swallowed every periodic line.
+    if let Some(hb) = &obs.heartbeat_sink {
+        hb.finish();
+    }
     // Reports are emitted even when the command failed: a truncated or
     // failing sweep's counters are exactly what one wants to inspect.
     if let Some(stats) = &obs.stats_sink {
@@ -487,7 +532,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             eprintln!("{report}");
         }
         if let Some(path) = &flags.stats_json {
-            std::fs::write(path, report.to_json())
+            // Atomic so a concurrent reader (CI collector, file watcher)
+            // never observes a truncated report.
+            write_atomic(Path::new(path), &report.to_json())
                 .map_err(|e| err(format!("cannot write stats to {path:?}: {e}")))?;
         }
     }
@@ -497,20 +544,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     result
 }
 
-fn dispatch(
-    args: &[String],
-    probe: &Arc<dyn Probe>,
-    jobs: usize,
-    dedup: bool,
-) -> Result<String, CliError> {
+fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String, CliError> {
+    let probe = &obs.probe;
+    let jobs = flags.jobs.unwrap_or(1);
+    let dedup = flags.dedup;
     let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     match cmd.as_str() {
         "list" => Ok(PROBLEMS.join("\n")),
+        "replay" => {
+            let dir = rest
+                .first()
+                .ok_or_else(|| err("replay needs an artifact directory"))?;
+            replay_cmd(Path::new(dir))
+        }
+        "bench-diff" => bench_diff_cmd(rest),
         "render" | "verify" | "explore" | "dot" | "deadlock" => {
-            let (problem, params) = rest
+            let (problem, raw_params) = rest
                 .split_first()
                 .ok_or_else(|| err(format!("{cmd} needs a problem name; try `gem list`")))?;
-            let params = Params::parse(params)?;
+            let params = Params::parse(raw_params)?;
             let inst = instance(problem, &params)?;
             match cmd.as_str() {
                 "render" => {
@@ -522,6 +574,13 @@ fn dispatch(
                     Ok(render_specification(spec))
                 }
                 "verify" => {
+                    // `meta.json` records exactly what `gem replay` needs
+                    // to rebuild this instance.
+                    let sink = flags.artifacts.as_ref().map(|dir| {
+                        ArtifactSink::new(dir)
+                            .meta("problem", problem.as_str())
+                            .meta("params", raw_params.join(" "))
+                    });
                     let options = |max_runs: usize| VerifyOptions {
                         explorer: Explorer {
                             jobs,
@@ -529,6 +588,7 @@ fn dispatch(
                             ..Explorer::with_max_runs(max_runs)
                         },
                         probe: probe.clone(),
+                        artifacts: sink.clone(),
                         ..VerifyOptions::default()
                     };
                     let outcome = match &inst {
@@ -565,7 +625,11 @@ fn dispatch(
                         ),
                     }
                     .map_err(|e| err(format!("projection failed: {e}")))?;
-                    Ok(format_outcome(&outcome))
+                    let mut out = format_outcome(&outcome);
+                    if let Some(dir) = &flags.artifacts {
+                        out.push_str(&format!("\nartifacts: {dir}"));
+                    }
+                    Ok(out)
                 }
                 "explore" => {
                     fn explore<S>(
@@ -714,6 +778,294 @@ fn dispatch(
     }
 }
 
+fn artifact_json(dir: &Path, name: &str) -> Result<JsonValue, CliError> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+    gem_obs::json::parse(&text).map_err(|e| err(format!("{}: {e}", path.display())))
+}
+
+fn schedule_from_json(v: &JsonValue, file: &str) -> Result<Vec<(usize, String)>, CliError> {
+    let steps = v
+        .get("steps")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| err(format!("{file}: missing \"steps\" array")))?;
+    let mut out = Vec::with_capacity(steps.len());
+    for (i, s) in steps.iter().enumerate() {
+        let index = s
+            .get("index")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| err(format!("{file}: step {i} has no \"index\"")))?;
+        let action = s
+            .get("action")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err(format!("{file}: step {i} has no \"action\"")))?;
+        out.push((index as usize, action.to_owned()));
+    }
+    Ok(out)
+}
+
+fn outcome_from_json(v: &JsonValue, file: &str) -> Result<VerifyOutcome, CliError> {
+    let miss = |k: &str| err(format!("{file}: missing field {k:?}"));
+    let runs = v
+        .get("runs")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| miss("runs"))? as usize;
+    let deadlocks = v
+        .get("deadlocks")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| miss("deadlocks"))? as usize;
+    let mut failures = Vec::new();
+    for f in v
+        .get("failures")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| miss("failures"))?
+    {
+        let run = f
+            .get("run")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| miss("failures[].run"))? as usize;
+        let violated = f
+            .get("violated")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| miss("failures[].violated"))?
+            .iter()
+            .filter_map(JsonValue::as_str)
+            .map(str::to_owned)
+            .collect();
+        let detail = f
+            .get("detail")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        failures.push(RunFailure {
+            run,
+            violated,
+            detail,
+        });
+    }
+    Ok(VerifyOutcome {
+        runs,
+        deadlocks,
+        failures,
+        truncation: None,
+    })
+}
+
+/// Replays a recorded schedule on a freshly-built system: every step must
+/// match the recorded action's `Debug` text, so a drifted problem build
+/// diverges loudly rather than silently checking a different run.
+fn replay_run<S: System>(
+    sys: &S,
+    spec: &Specification,
+    corr: &Correspondence,
+    extract: impl Fn(&S::State) -> gem_core::Computation,
+    steps: &[(usize, String)],
+) -> Result<VerifyOutcome, CliError> {
+    let mut state = sys.initial();
+    for (i, (index, recorded)) in steps.iter().enumerate() {
+        let enabled = sys.enabled(&state);
+        let action = enabled.get(*index).cloned().ok_or_else(|| {
+            err(format!(
+                "replay step {i}: index {index} out of range ({} action(s) enabled)",
+                enabled.len()
+            ))
+        })?;
+        let actual = format!("{action:?}");
+        if actual != *recorded {
+            return Err(err(format!(
+                "replay step {i}: recorded action {recorded:?}, but index {index} is {actual:?}"
+            )));
+        }
+        sys.apply(&mut state, &action);
+    }
+    let deadlocked = !sys.is_complete(&state);
+    let defaults = VerifyOptions::default();
+    let check = check_computation(
+        &extract(&state),
+        spec,
+        corr,
+        defaults.strategy,
+        defaults.check_program_legality,
+    )
+    .map_err(|e| err(format!("projection failed during replay: {e}")))?;
+    Ok(VerifyOutcome {
+        runs: 1,
+        deadlocks: usize::from(deadlocked),
+        failures: check
+            .verdict
+            .map(|(violated, detail)| {
+                vec![RunFailure {
+                    run: 0,
+                    violated,
+                    detail,
+                }]
+            })
+            .unwrap_or_default(),
+        truncation: None,
+    })
+}
+
+fn replay_cmd(dir: &Path) -> Result<String, CliError> {
+    let meta = artifact_json(dir, "meta.json")?;
+    let problem = meta
+        .get("problem")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("meta.json: missing \"problem\" (was the artifact written by `gem verify --artifacts`?)"))?;
+    let params_args: Vec<String> = meta
+        .get("params")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    let params = Params::parse(&params_args)?;
+    let schedule = schedule_from_json(&artifact_json(dir, "schedule.json")?, "schedule.json")?;
+    let outcome_doc = artifact_json(dir, "outcome.json")?;
+    let expected = outcome_doc
+        .get("replay")
+        .filter(|v| !matches!(v, JsonValue::Null))
+        .ok_or_else(|| {
+            err("outcome.json has no replay section (clean sweep — nothing to reproduce)")
+        })?;
+    let expected = outcome_from_json(expected, "outcome.json#replay")?;
+    let inst = instance(problem, &params)?;
+    let got = match &inst {
+        Instance::Monitor { sys, spec, corr } => replay_run(
+            sys,
+            spec,
+            corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &schedule,
+        )?,
+        Instance::Csp {
+            sys, spec, corr, ..
+        } => replay_run(
+            sys,
+            spec,
+            corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &schedule,
+        )?,
+        Instance::Ada {
+            sys, spec, corr, ..
+        } => replay_run(
+            sys,
+            spec,
+            corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &schedule,
+        )?,
+    };
+    if got == expected {
+        Ok(format!("REPRODUCED: {got}"))
+    } else {
+        Err(err(format!(
+            "DIVERGED\nexpected: {expected}\n     got: {got}"
+        )))
+    }
+}
+
+/// Flattens a benchmark JSON file into `metric -> mean ns`. Accepts both
+/// gem-obs reports (criterion-shim output, `"timers"` section) and the
+/// committed `BENCH_*.json` trajectory files (their `"after"` section is
+/// the baseline).
+fn bench_metrics(v: &JsonValue, file: &str) -> Result<BTreeMap<String, f64>, CliError> {
+    let mut out = BTreeMap::new();
+    if let Some(timers) = v.get("timers").and_then(JsonValue::as_obj) {
+        for (name, t) in timers {
+            if let Some(mean) = t.get("mean_ns").and_then(JsonValue::as_f64) {
+                out.insert(name.clone(), mean);
+            }
+        }
+    } else if let Some(after) = v.get("after").and_then(JsonValue::as_obj) {
+        for (_bench, metrics) in after {
+            if let Some(metrics) = metrics.as_obj() {
+                for (name, ns) in metrics {
+                    if let Some(ns) = ns.as_f64() {
+                        out.insert(name.clone(), ns);
+                    }
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(err(format!(
+            "{file}: no timer metrics found (expected a gem-obs report with \"timers\" \
+             or a BENCH trajectory with \"after\")"
+        )));
+    }
+    Ok(out)
+}
+
+fn bench_diff_cmd(rest: &[String]) -> Result<String, CliError> {
+    let usage = "bench-diff needs two report files: \
+                 gem bench-diff <baseline.json> <current.json> [threshold=25]";
+    let (old_path, rest) = rest.split_first().ok_or_else(|| err(usage))?;
+    let (new_path, rest) = rest.split_first().ok_or_else(|| err(usage))?;
+    let threshold = Params::parse(rest)?.f64("threshold", 25.0)?;
+    let load = |path: &str| -> Result<BTreeMap<String, f64>, CliError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let v = gem_obs::json::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
+        bench_metrics(&v, path)
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let mut table = format!(
+        "{:<48} {:>14} {:>14} {:>9}\n",
+        "metric", "baseline_ns", "current_ns", "delta"
+    );
+    let mut regressions = Vec::new();
+    let mut shared = 0usize;
+    for (name, old_ns) in &old {
+        match new.get(name) {
+            None => table.push_str(&format!(
+                "{name:<48} {old_ns:>14.0} {:>14} {:>9}\n",
+                "-", "gone"
+            )),
+            Some(new_ns) => {
+                shared += 1;
+                let delta = if *old_ns > 0.0 {
+                    (new_ns - old_ns) / old_ns * 100.0
+                } else {
+                    0.0
+                };
+                table.push_str(&format!(
+                    "{name:<48} {old_ns:>14.0} {new_ns:>14.0} {delta:>+8.1}%\n"
+                ));
+                if delta > threshold {
+                    regressions.push(format!("{name}: {delta:+.1}% (limit +{threshold:.0}%)"));
+                }
+            }
+        }
+    }
+    for (name, new_ns) in &new {
+        if !old.contains_key(name) {
+            table.push_str(&format!(
+                "{name:<48} {:>14} {new_ns:>14.0} {:>9}\n",
+                "-", "new"
+            ));
+        }
+    }
+    if shared == 0 {
+        return Err(err(format!(
+            "{table}no shared metrics between {old_path} and {new_path} — nothing to gate"
+        )));
+    }
+    if regressions.is_empty() {
+        Ok(format!(
+            "{table}no regression beyond +{threshold:.0}% across {shared} shared metric(s)"
+        ))
+    } else {
+        Err(err(format!(
+            "{table}REGRESSION: {} metric(s) slower than +{threshold:.0}%:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        )))
+    }
+}
+
 /// The usage string.
 pub fn usage() -> String {
     "usage: gem <command> [problem] [key=value ...] [flags]\n\
@@ -724,6 +1076,11 @@ pub fn usage() -> String {
      \x20 explore <problem> [params] count schedules and deadlocks\n\
      \x20 deadlock <problem> [params] hunt for a deadlock (pruned search)\n\
      \x20 dot <problem> [params]     emit one computation as Graphviz dot\n\
+     \x20 replay <dir>               re-run a counterexample artifact's schedule\n\
+     \x20                            and check it reproduces the recorded outcome\n\
+     \x20 bench-diff <old> <new> [threshold=25]\n\
+     \x20                            compare two bench/report JSON files; exits\n\
+     \x20                            nonzero past the regression threshold\n\
      flags (allowed anywhere on the command line):\n\
      \x20 --stats                    print an instrumentation table to stderr\n\
      \x20 --stats-json <path>        write the run report as deterministic JSON\n\
@@ -734,6 +1091,9 @@ pub fn usage() -> String {
      \x20 --dedup                    check each distinct computation once and\n\
      \x20                            replay the verdict on trace-equivalent runs;\n\
      \x20                            results are identical with or without it\n\
+     \x20 --artifacts <dir>          dump the first failing/deadlocked run as a\n\
+     \x20                            self-contained counterexample directory and\n\
+     \x20                            arm a crash-dump flight recorder\n\
      problems: one-slot, bounded, rw, db-update, life, philosophers\n\
      examples:\n\
      \x20 gem verify rw readers=1 writers=2 variant=readers\n\

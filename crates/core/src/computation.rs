@@ -526,6 +526,19 @@ impl Computation {
         &self.events
     }
 
+    /// Human-readable label for `id` in the paper's `El.Class^seq`
+    /// notation (e.g. `Reader1.StartRead^0`); used by counterexample
+    /// descriptions, dot export, and blame reports.
+    pub fn event_label(&self, id: EventId) -> String {
+        let ev = self.event(id);
+        format!(
+            "{}.{}^{}",
+            self.structure.element_info(ev.element).name(),
+            self.structure.class_info(ev.class).name(),
+            ev.seq
+        )
+    }
+
     /// Iterates over the ids of all events.
     pub fn event_ids(&self) -> impl Iterator<Item = EventId> + '_ {
         (0..self.events.len()).map(|i| EventId::from_raw(i as u32))

@@ -3,7 +3,24 @@
 
 use std::fmt::Write as _;
 
-use crate::Computation;
+use crate::{Computation, EventId};
+
+/// Rendering options for [`to_dot_with`].
+///
+/// The defaults reproduce [`to_dot`]: every event, no emphasis.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Events to emphasize (filled red, thick border) — typically the
+    /// witness events blamed for a restriction failure, or the stuck
+    /// frontier of a deadlock.
+    pub highlight: Vec<EventId>,
+    /// Restrict the rendering to the *causal slice*: the highlighted
+    /// events plus their temporal past (closure predecessors). Since
+    /// histories are downward-closed, this is exactly the smallest
+    /// history containing the blamed events — the prefix of the valid
+    /// history sequence that suffices to replay the violation.
+    pub slice: bool,
+}
 
 /// Renders `computation` in Graphviz `dot` syntax.
 ///
@@ -27,24 +44,57 @@ use crate::Computation;
 /// # }
 /// ```
 pub fn to_dot(computation: &Computation) -> String {
+    to_dot_with(computation, &DotOptions::default())
+}
+
+/// [`to_dot`] with blamed-event highlighting and an optional causal
+/// slice view (see [`DotOptions`]).
+pub fn to_dot_with(computation: &Computation, options: &DotOptions) -> String {
     let s = computation.structure();
+    // The set of events rendered: everything, or the past cone of the
+    // highlighted events when slicing.
+    let included: Option<Vec<bool>> = if options.slice && !options.highlight.is_empty() {
+        let mut keep = vec![false; computation.event_count()];
+        for &e in &options.highlight {
+            keep[e.index()] = true;
+            for p in computation.closure().predecessors(e).iter() {
+                keep[p] = true;
+            }
+        }
+        Some(keep)
+    } else {
+        None
+    };
+    let keeps = |e: EventId| included.as_ref().is_none_or(|k| k[e.index()]);
+    let highlighted = |e: EventId| options.highlight.contains(&e);
+
     let mut out = String::from("digraph gem {\n  rankdir=TB;\n  node [shape=box];\n");
+    if included.is_some() {
+        out.push_str("  label=\"causal slice (past cone of blamed events)\";\n");
+    }
     for el in s.elements() {
-        let events = computation.events_at(el);
+        let events: Vec<EventId> = computation
+            .events_at(el)
+            .iter()
+            .copied()
+            .filter(|&e| keeps(e))
+            .collect();
         if events.is_empty() {
             continue;
         }
         let _ = writeln!(out, "  subgraph cluster_{} {{", el.index());
         let _ = writeln!(out, "    label={:?};", s.element_info(el).name());
-        for &e in events {
-            let ev = computation.event(e);
+        for &e in &events {
+            let attrs = if highlighted(e) {
+                " style=filled fillcolor=\"#ffd6d6\" color=\"#aa0000\" penwidth=2"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
-                "    {} [label=\"{}.{}^{}\"];",
+                "    {} [label=\"{}\"{attrs}];",
                 e.index(),
-                s.element_info(el).name(),
-                s.class_info(ev.class()).name(),
-                ev.seq()
+                computation.event_label(e),
             );
         }
         for pair in events.windows(2) {
@@ -58,7 +108,9 @@ pub fn to_dot(computation: &Computation) -> String {
         out.push_str("  }\n");
     }
     for (a, b) in computation.enable_edges() {
-        let _ = writeln!(out, "  {} -> {};", a.index(), b.index());
+        if keeps(a) && keeps(b) {
+            let _ = writeln!(out, "  {} -> {};", a.index(), b.index());
+        }
     }
     out.push_str("}\n");
     out
@@ -68,6 +120,24 @@ pub fn to_dot(computation: &Computation) -> String {
 mod tests {
     use super::*;
     use crate::{ComputationBuilder, Structure};
+
+    fn diamond() -> (Computation, Vec<EventId>) {
+        // P: p0 -> p1 (element order), Q: q0, R: r0; p0 ⊳ q0, q0 ⊳ r0,
+        // p1 outside r0's past.
+        let mut s = Structure::new();
+        let a = s.add_class("A", &[]).unwrap();
+        let p = s.add_element("P", &[a]).unwrap();
+        let q = s.add_element("Q", &[a]).unwrap();
+        let r = s.add_element("R", &[a]).unwrap();
+        let mut b = ComputationBuilder::new(s);
+        let p0 = b.add_event(p, a, vec![]).unwrap();
+        let p1 = b.add_event(p, a, vec![]).unwrap();
+        let q0 = b.add_event(q, a, vec![]).unwrap();
+        let r0 = b.add_event(r, a, vec![]).unwrap();
+        b.enable(p0, q0).unwrap();
+        b.enable(q0, r0).unwrap();
+        (b.seal().unwrap(), vec![p0, p1, q0, r0])
+    }
 
     #[test]
     fn dot_contains_events_and_edges() {
@@ -92,6 +162,7 @@ mod tests {
         );
         assert!(dot.contains("cluster_0"));
         assert!(dot.ends_with("}\n"));
+        assert!(!dot.contains("fillcolor"), "no highlight by default");
     }
 
     #[test]
@@ -102,5 +173,42 @@ mod tests {
         let c = crate::Computation::empty(s);
         let dot = to_dot(&c);
         assert!(!dot.contains("cluster_0"));
+    }
+
+    #[test]
+    fn highlight_marks_only_chosen_events() {
+        let (c, ids) = diamond();
+        let dot = to_dot_with(
+            &c,
+            &DotOptions {
+                highlight: vec![ids[3]],
+                slice: false,
+            },
+        );
+        // All four events still rendered; exactly one filled.
+        for label in ["P.A^0", "P.A^1", "Q.A^0", "R.A^0"] {
+            assert!(dot.contains(label), "{dot}");
+        }
+        assert_eq!(dot.matches("fillcolor").count(), 1, "{dot}");
+    }
+
+    #[test]
+    fn slice_restricts_to_past_cone() {
+        let (c, ids) = diamond();
+        let dot = to_dot_with(
+            &c,
+            &DotOptions {
+                highlight: vec![ids[3]],
+                slice: true,
+            },
+        );
+        // r0's past cone is {p0, q0, r0}; p1 is causally unrelated.
+        assert!(dot.contains("P.A^0"), "{dot}");
+        assert!(dot.contains("Q.A^0"), "{dot}");
+        assert!(dot.contains("R.A^0"), "{dot}");
+        assert!(!dot.contains("P.A^1"), "sliced out: {dot}");
+        assert!(dot.contains("causal slice"), "{dot}");
+        // No dashed P edge survives (only one P event left).
+        assert!(!dot.contains("0 -> 1 [style=dashed]"), "{dot}");
     }
 }

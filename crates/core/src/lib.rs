@@ -69,7 +69,7 @@ mod value;
 
 pub use bitset::{DenseBitSet, Iter as BitSetIter};
 pub use computation::{BuildError, BuilderMark, Computation, ComputationBuilder, Membership};
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_with, DotOptions};
 pub use event::Event;
 pub use history::{
     for_each_history, for_each_linearization, for_each_step_sequence, history_count,

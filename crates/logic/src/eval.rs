@@ -61,11 +61,11 @@ impl std::error::Error for EvalError {}
 
 /// Variable bindings, innermost last.
 #[derive(Clone, Debug, Default)]
-struct Env {
-    bindings: Vec<(String, EventId)>,
+pub(crate) struct Env {
+    pub(crate) bindings: Vec<(String, EventId)>,
     /// Formula nodes visited; flushed to the ambient probe in one batch
     /// per evaluation, so the recursion itself stays probe-free.
-    nodes: u64,
+    pub(crate) nodes: u64,
 }
 
 impl Env {
@@ -185,7 +185,7 @@ fn resolve_value(
     }
 }
 
-fn eval(
+pub(crate) fn eval(
     formula: &Formula,
     computation: &Computation,
     seq: &[History],

@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blame;
 mod eval;
 mod formula;
 mod simplify;
 mod strategy;
 mod term;
 
+pub use blame::{blame_on_computation, blame_on_sequence, Blame, BlameFrame};
 pub use eval::{holds_on_computation, holds_on_history, holds_on_sequence, EvalError};
 pub use formula::{Atom, Formula};
 pub use simplify::{formula_size, simplify};

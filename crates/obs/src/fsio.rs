@@ -1,0 +1,59 @@
+//! Crash-safe file emission.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file which is then renamed over the target, so a concurrent
+/// reader (CI collecting a report, a watcher tailing an artifact
+/// directory) never observes a half-written file.
+///
+/// The temporary name incorporates the process id so two processes
+/// writing the same report race on the rename (last writer wins) rather
+/// than on the bytes.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic: path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp_path)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp_path, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("gem-obs-fsio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, "{\"a\": 1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 1}");
+        write_atomic(&path, "{\"a\": 2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 2}");
+        // No temporary residue.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

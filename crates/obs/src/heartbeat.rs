@@ -1,11 +1,13 @@
 //! Progress heartbeat for long sweeps.
 
+use std::io::Write;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::probe::Probe;
 
-/// Prints a one-line progress report to stderr at a bounded rate.
+/// Prints a one-line progress report (to stderr by default) at a
+/// bounded rate.
 ///
 /// The probe watches increments of a designated *run counter*
 /// (`explore.runs` by convention); every `check_every` increments it
@@ -13,19 +15,36 @@ use crate::probe::Probe;
 /// last beat it prints accumulated runs/steps and the elapsed time. With
 /// the default 5-second interval, short sweeps stay silent and
 /// multi-minute exhaustive sweeps report a few times a minute.
-#[derive(Debug)]
+///
+/// Call [`HeartbeatProbe::finish`] at end-of-sweep: it always flushes a
+/// final summary line (even when the rate limiter would suppress it),
+/// including the computation-dedup hit-rate when dedup counters
+/// (`*.dedup.hits` / `*.dedup.misses`) were observed.
 pub struct HeartbeatProbe {
     run_counter: &'static str,
     step_counter: &'static str,
     interval: Duration,
     check_every: u64,
     state: Mutex<HeartbeatState>,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for HeartbeatProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeartbeatProbe")
+            .field("run_counter", &self.run_counter)
+            .field("interval", &self.interval)
+            .field("check_every", &self.check_every)
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug)]
 struct HeartbeatState {
     runs: u64,
     steps: u64,
+    dedup_hits: u64,
+    dedup_misses: u64,
     since_check: u64,
     started: Instant,
     last_beat: Instant,
@@ -44,10 +63,13 @@ impl HeartbeatProbe {
             state: Mutex::new(HeartbeatState {
                 runs: 0,
                 steps: 0,
+                dedup_hits: 0,
+                dedup_misses: 0,
                 since_check: 0,
                 started: now,
                 last_beat: now,
             }),
+            out: Mutex::new(Box::new(std::io::stderr())),
         }
     }
 
@@ -59,17 +81,48 @@ impl HeartbeatProbe {
         self
     }
 
-    fn beat(state: &mut HeartbeatState) {
+    /// Redirects heartbeat lines from stderr into `writer` (used by
+    /// tests to assert on output).
+    #[must_use]
+    pub fn writer(self, writer: impl Write + Send + 'static) -> Self {
+        *self.out.lock().expect("heartbeat poisoned") = Box::new(writer);
+        self
+    }
+
+    fn emit(&self, state: &HeartbeatState, done: bool) {
         let elapsed = state.started.elapsed().as_secs_f64();
         let rate = if elapsed > 0.0 {
             state.runs as f64 / elapsed
         } else {
             0.0
         };
-        eprintln!(
-            "[gem] {} run(s), {} step(s), {elapsed:.1}s elapsed ({rate:.0} runs/s)",
+        let prefix = if done { "[gem] done:" } else { "[gem]" };
+        let mut line = format!(
+            "{prefix} {} run(s), {} step(s), {elapsed:.1}s elapsed ({rate:.0} runs/s)",
             state.runs, state.steps
         );
+        let dedup_total = state.dedup_hits + state.dedup_misses;
+        if done && dedup_total > 0 {
+            line.push_str(&format!(
+                ", dedup hit-rate {:.0}% ({}/{dedup_total})",
+                state.dedup_hits as f64 * 100.0 / dedup_total as f64,
+                state.dedup_hits
+            ));
+        }
+        let mut out = self.out.lock().expect("heartbeat poisoned");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    /// Flushes the final summary line unconditionally (rate limiter
+    /// bypassed). Silent only when nothing was ever counted, so
+    /// heartbeat-enabled commands that don't sweep stay quiet.
+    pub fn finish(&self) {
+        let mut state = self.state.lock().expect("heartbeat poisoned");
+        if state.runs == 0 && state.steps == 0 {
+            return;
+        }
+        self.emit(&state, true);
         state.last_beat = Instant::now();
     }
 }
@@ -81,6 +134,16 @@ impl Probe for HeartbeatProbe {
             state.steps += delta;
             return;
         }
+        if name.ends_with(".dedup.hits") {
+            let mut state = self.state.lock().expect("heartbeat poisoned");
+            state.dedup_hits += delta;
+            return;
+        }
+        if name.ends_with(".dedup.misses") {
+            let mut state = self.state.lock().expect("heartbeat poisoned");
+            state.dedup_misses += delta;
+            return;
+        }
         if name != self.run_counter {
             return;
         }
@@ -90,7 +153,8 @@ impl Probe for HeartbeatProbe {
         if state.since_check >= self.check_every {
             state.since_check = 0;
             if state.last_beat.elapsed() >= self.interval {
-                Self::beat(&mut state);
+                self.emit(&state, false);
+                state.last_beat = Instant::now();
             }
         }
     }
@@ -99,30 +163,94 @@ impl Probe for HeartbeatProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
 
     #[test]
     fn counts_runs_and_steps_without_printing_early() {
         // A long interval: the heartbeat only accumulates.
-        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).check_every(10);
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600))
+            .check_every(10)
+            .writer(buf.clone());
         for _ in 0..25 {
             hb.add("explore.runs", 1);
             hb.add("explore.steps", 3);
         }
         hb.add("unrelated", 99);
-        let state = hb.state.lock().unwrap();
-        assert_eq!(state.runs, 25);
-        assert_eq!(state.steps, 75);
-        // 25 runs with check_every=10: clock checked twice, never beat.
-        assert_eq!(state.since_check, 5);
+        {
+            let state = hb.state.lock().unwrap();
+            assert_eq!(state.runs, 25);
+            assert_eq!(state.steps, 75);
+            // 25 runs with check_every=10: clock checked twice, never beat.
+            assert_eq!(state.since_check, 5);
+        }
+        assert!(buf.text().is_empty(), "rate limiter suppresses output");
     }
 
     #[test]
     fn zero_interval_beats_on_check() {
-        let hb = HeartbeatProbe::new(Duration::ZERO).check_every(5);
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::ZERO)
+            .check_every(5)
+            .writer(buf.clone());
         for _ in 0..5 {
             hb.add("explore.runs", 1);
         }
         let state = hb.state.lock().unwrap();
         assert_eq!(state.since_check, 0, "check fired");
+        drop(state);
+        assert!(buf.text().contains("5 run(s)"), "{}", buf.text());
+    }
+
+    #[test]
+    fn finish_flushes_despite_rate_limiter() {
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).writer(buf.clone());
+        for _ in 0..3 {
+            hb.add("explore.runs", 1);
+            hb.add("explore.steps", 4);
+        }
+        assert!(buf.text().is_empty(), "suppressed before finish");
+        hb.finish();
+        let text = buf.text();
+        assert!(text.contains("[gem] done: 3 run(s), 12 step(s)"), "{text}");
+        assert!(!text.contains("dedup"), "no dedup counters seen: {text}");
+    }
+
+    #[test]
+    fn finish_reports_dedup_hit_rate() {
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).writer(buf.clone());
+        hb.add("explore.runs", 8);
+        hb.add("verify.dedup.hits", 6);
+        hb.add("verify.dedup.misses", 2);
+        hb.finish();
+        let text = buf.text();
+        assert!(text.contains("dedup hit-rate 75% (6/8)"), "{text}");
+    }
+
+    #[test]
+    fn finish_is_silent_when_nothing_happened() {
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::ZERO).writer(buf.clone());
+        hb.finish();
+        assert!(buf.text().is_empty(), "{}", buf.text());
     }
 }

@@ -22,10 +22,18 @@
 //!   silent.
 //! * [`Report`] — deterministic JSON (`BTreeMap`-ordered keys) so two
 //!   runs of the same workload diff cleanly: only timer values change.
+//! * [`RecorderProbe`] — a flight recorder: bounded per-thread rings of
+//!   recent events plus span stacks, dumped to a crash artifact by a
+//!   panic hook ([`install_crash_sink`]) so sweeps that die mid-flight
+//!   stay diagnosable.
 //! * [`ambient`] — a thread-local probe slot for layers too deep to
 //!   thread a probe argument through (formula evaluation, closure
 //!   construction, history materialization). Inactive cost is one atomic
 //!   load.
+//! * [`json`] — serde-free JSON emission + parsing used by reports,
+//!   forensic artifacts, and `gem bench-diff`.
+//! * [`write_atomic`] — temp-file + rename emission so CI never reads a
+//!   half-written report.
 //!
 //! Counter names are dot-separated paths (`explore.runs`,
 //! `restriction.<name>.evals`); see `docs/OBSERVABILITY.md` for the
@@ -35,11 +43,19 @@
 #![warn(missing_docs)]
 
 pub mod ambient;
+mod fsio;
 mod heartbeat;
-mod json;
+pub mod json;
 mod probe;
+mod recorder;
 mod report;
+mod tid;
 
+pub use fsio::write_atomic;
 pub use heartbeat::HeartbeatProbe;
 pub use probe::{FanoutProbe, NoopProbe, Probe, Span, StatsProbe, TraceProbe};
+pub use recorder::{
+    clear_crash_sink, install_crash_sink, RecordedEvent, RecorderProbe, ThreadDump,
+};
 pub use report::{Report, TimerStat};
+pub use tid::thread_ordinal;

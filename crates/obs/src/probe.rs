@@ -183,10 +183,12 @@ impl Probe for StatsProbe {
 }
 
 /// Writes one JSONL event per probe call to a writer (typically a file):
-/// `{"us":<since-start>,"ev":"counter","k":"explore.runs","v":1}` and
-/// `{"us":…,"ev":"enter"/"exit","k":"verify.run","ns":…}`.
+/// `{"us":<since-start>,"tid":<thread>,"ev":"counter","k":"explore.runs","v":1}`
+/// and `{"us":…,"tid":…,"ev":"enter"/"exit","k":"verify.run","ns":…}`.
 ///
-/// Offsets are microseconds since probe construction. The stream is
+/// Offsets are microseconds since probe construction. `tid` is the
+/// emitting thread's [`crate::thread_ordinal`], so traces merged from a
+/// `--jobs N` run partition cleanly by worker. The stream is
 /// line-buffered via `BufWriter` and flushed on drop.
 pub struct TraceProbe {
     out: Mutex<BufWriter<Box<dyn Write + Send>>>,
@@ -219,8 +221,11 @@ impl TraceProbe {
 
     fn line(&self, ev: &str, key: &str, fields: &[(&str, u64)]) {
         let us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let tid = crate::tid::thread_ordinal();
         let mut line = String::with_capacity(64);
-        line.push_str(&format!("{{\"us\":{us},\"ev\":\"{ev}\",\"k\":"));
+        line.push_str(&format!(
+            "{{\"us\":{us},\"tid\":{tid},\"ev\":\"{ev}\",\"k\":"
+        ));
         push_json_str(&mut line, key);
         for (name, value) in fields {
             line.push_str(&format!(",\"{name}\":{value}"));
@@ -405,6 +410,8 @@ mod tests {
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4, "counter + enter + exit + time: {text}");
+        let tid_field = format!("\"tid\":{}", crate::tid::thread_ordinal());
+        assert!(lines.iter().all(|l| l.contains(&tid_field)), "{text}");
         assert!(lines[0].contains("\"ev\":\"counter\""), "{text}");
         assert!(lines[0].contains("\"k\":\"explore.runs\""), "{text}");
         assert!(lines[1].contains("\"ev\":\"enter\""), "{text}");

@@ -1,0 +1,389 @@
+//! Flight recorder: a bounded per-thread ring of recent probe events,
+//! dumped to a crash artifact when the process panics mid-sweep.
+//!
+//! A sweep that dies at run 40 000 under `--jobs 8` is otherwise
+//! undiagnosable: stats are aggregated away and a full trace of 40k runs
+//! is too expensive to keep on by default. [`RecorderProbe`] keeps only
+//! the last *N* events **per thread** plus each thread's current span
+//! stack, so the crash artifact shows what every worker was doing at the
+//! moment of death.
+//!
+//! ## Contention model
+//!
+//! Each thread records into its own ring; the ring is found through a
+//! thread-local cache, so the shared registry mutex is touched only on a
+//! thread's *first* event. The per-ring mutex is uncontended in steady
+//! state (only the owning thread locks it; a dump locks rings one at a
+//! time), so the hot path is: one thread-local read, one uncontended
+//! lock, one `VecDeque` push. The crate forbids `unsafe`, which rules
+//! out a true atomic ring buffer; an uncontended `Mutex` lock is a
+//! single CAS and close enough for a recorder that is off (`NoopProbe`)
+//! unless `--artifacts` asks for forensics.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+use crate::json::{push_json_key, push_json_str};
+use crate::probe::Probe;
+use crate::tid::thread_ordinal;
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread cache mapping recorder id -> this thread's ring.
+    static RING_CACHE: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One recent probe event, as kept in a thread's ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Global sequence number (per recorder), for cross-thread ordering.
+    pub seq: u64,
+    /// Event kind: `count`, `gauge`, `gauge_max`, `time`, `enter`, `exit`.
+    pub kind: &'static str,
+    /// The counter/gauge/timer/span name.
+    pub key: String,
+    /// Delta, value, or nanoseconds (0 for `enter`).
+    pub value: u64,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    events: VecDeque<RecordedEvent>,
+    spans: Vec<String>,
+}
+
+#[derive(Debug)]
+struct ThreadRing {
+    tid: u64,
+    state: Mutex<RingState>,
+}
+
+/// Everything one thread had in flight when a dump was taken.
+#[derive(Clone, Debug)]
+pub struct ThreadDump {
+    /// The thread's [`thread_ordinal`].
+    pub tid: u64,
+    /// Currently open spans, outermost first.
+    pub spans: Vec<String>,
+    /// The last events recorded on this thread, oldest first.
+    pub events: Vec<RecordedEvent>,
+}
+
+/// A probe that keeps the last `capacity` events per thread.
+///
+/// Pair with [`install_crash_sink`] to get a `crash.json` artifact when
+/// a panic escapes the sweep.
+pub struct RecorderProbe {
+    id: u64,
+    capacity: usize,
+    seq: AtomicU64,
+    registry: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+impl std::fmt::Debug for RecorderProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecorderProbe")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RecorderProbe {
+    /// A recorder keeping the most recent `capacity` events per thread
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            registry: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn ring(&self) -> Arc<ThreadRing> {
+        RING_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return ring.clone();
+            }
+            let ring = Arc::new(ThreadRing {
+                tid: thread_ordinal(),
+                state: Mutex::new(RingState::default()),
+            });
+            self.registry
+                .lock()
+                .expect("recorder registry poisoned")
+                .push(ring.clone());
+            cache.push((self.id, ring.clone()));
+            ring
+        })
+    }
+
+    fn record(&self, kind: &'static str, key: &str, value: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ring = self.ring();
+        let mut state = ring.state.lock().expect("recorder ring poisoned");
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+        }
+        state.events.push_back(RecordedEvent {
+            seq,
+            kind,
+            key: key.to_owned(),
+            value,
+        });
+        match kind {
+            "enter" => state.spans.push(key.to_owned()),
+            "exit" if state.spans.last().map(String::as_str) == Some(key) => {
+                state.spans.pop();
+            }
+            _ => {}
+        }
+    }
+
+    /// Snapshot of every thread's ring and span stack, sorted by thread
+    /// ordinal. Callable from any thread (including a panic hook).
+    pub fn dump(&self) -> Vec<ThreadDump> {
+        let registry = self.registry.lock().expect("recorder registry poisoned");
+        let mut dumps: Vec<ThreadDump> = registry
+            .iter()
+            .map(|ring| {
+                let state = ring.state.lock().expect("recorder ring poisoned");
+                ThreadDump {
+                    tid: ring.tid,
+                    spans: state.spans.clone(),
+                    events: state.events.iter().cloned().collect(),
+                }
+            })
+            .collect();
+        dumps.sort_by_key(|d| d.tid);
+        dumps
+    }
+
+    /// The dump as a JSON document, optionally annotated with the panic
+    /// message/location that triggered it.
+    pub fn dump_json(&self, panic_note: Option<(&str, &str)>) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  ");
+        push_json_key(&mut out, "kind");
+        out.push_str(" \"flight_recorder\",\n  ");
+        if let Some((message, location)) = panic_note {
+            push_json_key(&mut out, "panic");
+            out.push_str(" {");
+            push_json_key(&mut out, "message");
+            out.push(' ');
+            push_json_str(&mut out, message);
+            out.push_str(", ");
+            push_json_key(&mut out, "location");
+            out.push(' ');
+            push_json_str(&mut out, location);
+            out.push_str("},\n  ");
+        }
+        push_json_key(&mut out, "capacity_per_thread");
+        out.push_str(&format!(" {},\n  ", self.capacity));
+        push_json_key(&mut out, "threads");
+        out.push_str(" [");
+        let dumps = self.dump();
+        let mut first_thread = true;
+        for d in &dumps {
+            if !first_thread {
+                out.push(',');
+            }
+            first_thread = false;
+            out.push_str("\n    {");
+            push_json_key(&mut out, "tid");
+            out.push_str(&format!(" {}, ", d.tid));
+            push_json_key(&mut out, "span_stack");
+            out.push_str(" [");
+            for (i, s) in d.spans.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_json_str(&mut out, s);
+            }
+            out.push_str("], ");
+            push_json_key(&mut out, "events");
+            out.push_str(" [");
+            for (i, e) in d.events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {");
+                push_json_key(&mut out, "seq");
+                out.push_str(&format!(" {}, ", e.seq));
+                push_json_key(&mut out, "kind");
+                out.push(' ');
+                push_json_str(&mut out, e.kind);
+                out.push_str(", ");
+                push_json_key(&mut out, "k");
+                out.push(' ');
+                push_json_str(&mut out, &e.key);
+                out.push_str(", ");
+                push_json_key(&mut out, "v");
+                out.push_str(&format!(" {}}}", e.value));
+            }
+            if !d.events.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !dumps.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl Probe for RecorderProbe {
+    fn add(&self, name: &str, delta: u64) {
+        self.record("count", name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: u64) {
+        self.record("gauge", name, value);
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        self.record("gauge_max", name, value);
+    }
+
+    fn time_ns(&self, name: &str, nanos: u64) {
+        self.record("time", name, nanos);
+    }
+
+    fn span_enter(&self, name: &str) {
+        self.record("enter", name, 0);
+    }
+
+    fn span_exit(&self, name: &str, nanos: u64) {
+        self.record("exit", name, nanos);
+    }
+}
+
+/// The recorder + target path the process-wide panic hook writes to.
+static CRASH_SINK: Mutex<Option<(Arc<RecorderProbe>, PathBuf)>> = Mutex::new(None);
+static HOOK_INSTALL: Once = Once::new();
+
+/// Arms the process-wide panic hook to dump `recorder` to `path`
+/// (atomically, as JSON) when a panic occurs. The hook chains to the
+/// previously installed hook, so normal panic reporting is unaffected.
+///
+/// The hook itself is installed once per process; calling this again
+/// retargets it at a different recorder/path (last call wins).
+pub fn install_crash_sink(recorder: Arc<RecorderProbe>, path: PathBuf) {
+    *CRASH_SINK.lock().expect("crash sink poisoned") = Some((recorder, path));
+    HOOK_INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Ignore a poisoned sink: a panic while holding the sink
+            // lock must not abort via a double panic.
+            if let Ok(sink) = CRASH_SINK.lock() {
+                if let Some((recorder, path)) = sink.as_ref() {
+                    let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                        (*s).to_owned()
+                    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "<non-string panic payload>".to_owned()
+                    };
+                    let location = info
+                        .location()
+                        .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+                        .unwrap_or_else(|| "<unknown>".to_owned());
+                    let json = recorder.dump_json(Some((&message, &location)));
+                    let _ = crate::fsio::write_atomic(path, &json);
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Disarms the crash sink (the hook stays installed but writes nothing).
+pub fn clear_crash_sink() {
+    *CRASH_SINK.lock().expect("crash sink poisoned") = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Span;
+
+    #[test]
+    fn ring_keeps_last_n_and_span_stack() {
+        let rec = RecorderProbe::new(3);
+        for i in 0..10 {
+            rec.add("explore.runs", i);
+        }
+        rec.span_enter("verify.run");
+        rec.span_enter("spec.check");
+        let dumps = rec.dump();
+        let mine = dumps
+            .iter()
+            .find(|d| d.tid == thread_ordinal())
+            .expect("own thread present");
+        assert_eq!(mine.events.len(), 3, "capacity bound");
+        assert_eq!(mine.spans, vec!["verify.run", "spec.check"]);
+        // Oldest-first and contiguous at the tail of the stream.
+        let seqs: Vec<u64> = mine.events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+        rec.span_exit("spec.check", 5);
+        let dumps = rec.dump();
+        let mine = dumps.iter().find(|d| d.tid == thread_ordinal()).unwrap();
+        assert_eq!(mine.spans, vec!["verify.run"]);
+    }
+
+    #[test]
+    fn records_per_thread() {
+        let rec = Arc::new(RecorderProbe::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let rec = rec.clone();
+            handles.push(std::thread::spawn(move || {
+                let _s = Span::enter(rec.as_ref(), "worker");
+                rec.add("explore.steps", 1);
+                thread_ordinal()
+            }));
+        }
+        let tids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let dumps = rec.dump();
+        for tid in tids {
+            let d = dumps.iter().find(|d| d.tid == tid).expect("worker ring");
+            assert!(d.events.iter().any(|e| e.key == "explore.steps"));
+            assert!(d.spans.is_empty(), "span exited before join");
+        }
+    }
+
+    #[test]
+    fn dump_json_is_parseable() {
+        let rec = RecorderProbe::new(4);
+        rec.add("a.b", 2);
+        rec.span_enter("s");
+        let json = rec.dump_json(Some(("boom", "src/lib.rs:1:1")));
+        let v = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("panic").unwrap().get("message").unwrap().as_str(),
+            Some("boom")
+        );
+        let threads = v.get("threads").unwrap().as_arr().unwrap();
+        assert!(!threads.is_empty());
+        let t0 = threads
+            .iter()
+            .find(|t| {
+                t.get("events")
+                    .unwrap()
+                    .as_arr()
+                    .unwrap()
+                    .iter()
+                    .any(|e| e.get("k").unwrap().as_str() == Some("a.b"))
+            })
+            .expect("recording thread present");
+        let spans = t0.get("span_stack").unwrap().as_arr().unwrap();
+        assert_eq!(spans[0].as_str(), Some("s"));
+    }
+}

@@ -125,6 +125,67 @@ impl Report {
         out
     }
 
+    /// Parses a document produced by [`Report::to_json`] back into a
+    /// `Report`. Unknown top-level keys are ignored; the derived
+    /// `mean_ns` field is recomputed rather than read.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        use crate::json::{parse, JsonValue};
+        let doc = parse(text)?;
+        let obj = doc.as_obj().ok_or("report: top level is not an object")?;
+        let mut report = Report::new();
+        let u64_map = |v: &JsonValue, section: &str| -> Result<BTreeMap<String, u64>, String> {
+            let mut map = BTreeMap::new();
+            for (k, val) in v
+                .as_obj()
+                .ok_or(format!("report: {section} is not an object"))?
+            {
+                let n = val
+                    .as_u64()
+                    .ok_or(format!("report: {section}.{k} is not a u64"))?;
+                map.insert(k.clone(), n);
+            }
+            Ok(map)
+        };
+        for (key, value) in obj {
+            match key.as_str() {
+                "counters" => report.counters = u64_map(value, "counters")?,
+                "gauges" => report.gauges = u64_map(value, "gauges")?,
+                "meta" => {
+                    for (k, v) in value.as_obj().ok_or("report: meta is not an object")? {
+                        let s = v
+                            .as_str()
+                            .ok_or(format!("report: meta.{k} is not a string"))?;
+                        report.meta.insert(k.clone(), s.to_owned());
+                    }
+                }
+                "timers" => {
+                    for (k, t) in value.as_obj().ok_or("report: timers is not an object")? {
+                        let field = |name: &str| -> Result<u64, String> {
+                            t.get(name)
+                                .and_then(JsonValue::as_u64)
+                                .ok_or(format!("report: timers.{k}.{name} missing or not a u64"))
+                        };
+                        report.timers.insert(
+                            k.clone(),
+                            TimerStat {
+                                count: field("count")?,
+                                total_ns: field("total_ns")?,
+                                min_ns: field("min_ns")?,
+                                max_ns: field("max_ns")?,
+                            },
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+
     /// The report with every timer value zeroed — byte-identical across
     /// runs of a deterministic workload; used by tests asserting report
     /// determinism "modulo timing fields".
@@ -255,6 +316,15 @@ mod tests {
         b.timers.get_mut("total").unwrap().record(1);
         assert_ne!(a.to_json(), b.to_json());
         assert_eq!(a.without_timings().to_json(), b.without_timings().to_json());
+    }
+
+    #[test]
+    fn json_roundtrips_through_from_json() {
+        let r = sample();
+        let parsed = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), r.to_json());
+        assert!(Report::from_json("{\"counters\": {\"x\": \"y\"}}").is_err());
     }
 
     #[test]

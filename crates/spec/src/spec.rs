@@ -10,8 +10,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use gem_core::{check_legality, Computation, Structure, Violation};
-use gem_logic::{check, CheckReport, EvalError, Formula, Strategy};
+use gem_core::{check_legality, Computation, History, Structure, Violation};
+use gem_logic::{
+    blame_on_computation, blame_on_sequence, check, Blame, CheckReport, EvalError, Formula,
+    Strategy,
+};
 
 use crate::thread::{infer_threads, ThreadSpec};
 use crate::types::Restriction;
@@ -141,6 +144,60 @@ impl Specification {
             });
         }
         Ok(SpecReport { legality, results })
+    }
+
+    /// Blames each failed restriction in `report`: re-runs the evaluator
+    /// along the falsification path of the recorded counterexample
+    /// sequence (or the complete computation for restrictions without
+    /// one), against the same thread-tagged target [`Specification::check`]
+    /// evaluated. Restrictions whose blame cannot be derived (evaluation
+    /// error, or the formula actually holds on the recorded sequence) are
+    /// skipped — `check` already surfaced those as errors.
+    pub fn blame_failures(
+        &self,
+        computation: &Computation,
+        report: &SpecReport,
+    ) -> Vec<(String, Blame)> {
+        let needs_tags = !self.threads.is_empty()
+            && computation.events().iter().all(|e| {
+                e.threads()
+                    .iter()
+                    .all(|t| self.threads.iter().all(|s| s.ty != t.thread_type()))
+            });
+        let tagged;
+        let target: &Computation = if needs_tags {
+            tagged = self.assign_threads(computation);
+            &tagged
+        } else {
+            computation
+        };
+        let mut out = Vec::new();
+        for r in &report.results {
+            if r.report.holds {
+                continue;
+            }
+            let Some(formula) = self.restriction(&r.name) else {
+                continue;
+            };
+            let blamed = match &r.report.counterexample {
+                Some(cex) => {
+                    let seq: Result<Vec<History>, _> = cex
+                        .histories
+                        .iter()
+                        .map(|events| History::from_events(target, events.iter().copied()))
+                        .collect();
+                    match seq {
+                        Ok(seq) if !seq.is_empty() => blame_on_sequence(formula, target, &seq),
+                        _ => blame_on_computation(formula, target),
+                    }
+                }
+                None => blame_on_computation(formula, target),
+            };
+            if let Ok(Some(b)) = blamed {
+                out.push((r.name.clone(), b));
+            }
+        }
+        out
     }
 }
 

@@ -57,10 +57,14 @@
 
 mod correspondence;
 pub mod dedup;
+pub mod forensics;
 mod progress;
 mod sat;
 
 pub use correspondence::{project, Correspondence, Pair, ProjectError};
 pub use dedup::{canonical_key, CanonicalKey};
+pub use forensics::{computation_json, derive_schedule, outcome_path, ArtifactSink};
 pub use progress::{assert_no_deadlock, eventually_on_all_runs, LivenessOutcome};
-pub use sat::{verify_system, RunFailure, VerifyOptions, VerifyOutcome};
+pub use sat::{
+    check_computation, verify_system, RunCheck, RunFailure, VerifyOptions, VerifyOutcome,
+};

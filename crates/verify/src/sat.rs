@@ -17,16 +17,90 @@ use gem_core::Computation;
 use gem_lang::{Explorer, System, TruncationReason};
 use gem_logic::Strategy;
 use gem_obs::{NoopProbe, Probe, Span};
-use gem_spec::Specification;
+use gem_spec::{SpecReport, Specification};
 
 use crate::correspondence::{project, Correspondence, ProjectError};
 use crate::dedup::{canonical_key, CanonicalKey};
+use crate::forensics::{self, ArtifactRecord, ArtifactSink};
 
 /// Verdict of checking one computation: `None` if it satisfies the
 /// specification, otherwise the violated names plus the failure detail.
 /// A pure function of the computation, which is what makes caching it per
 /// canonical key sound.
 type CheckVerdict = Option<(Vec<String>, String)>;
+
+/// Full result of checking one program computation against a problem —
+/// the verdict plus the intermediate products forensics needs (the
+/// projected computation and the per-restriction report for blame).
+#[derive(Clone, Debug)]
+pub struct RunCheck {
+    /// `None` if the run satisfies the specification, otherwise the
+    /// violated names plus a human-readable detail.
+    pub verdict: CheckVerdict,
+    /// The program computation projected onto the significant objects.
+    pub projected: Computation,
+    /// The problem specification's report on the projected computation,
+    /// or `None` if a restriction formula failed to evaluate (that error
+    /// is then the verdict).
+    pub spec_report: Option<SpecReport>,
+}
+
+/// Checks one program computation against `problem`: optional program
+/// legality, projection through `corr`, then every restriction. Pure in
+/// the computation — [`verify_system`] caches the verdict per canonical
+/// key under deduplication, and `gem replay` re-runs it on a recorded
+/// schedule to reproduce a verdict.
+///
+/// # Errors
+///
+/// Returns [`ProjectError`] if the correspondence is inconsistent with
+/// the computation. Restriction evaluation errors are a *verdict*
+/// (`evaluation-error`), not an `Err`.
+pub fn check_computation(
+    program_comp: &Computation,
+    problem: &Specification,
+    corr: &Correspondence,
+    strategy: Strategy,
+    check_program_legality: bool,
+) -> Result<RunCheck, ProjectError> {
+    let mut violated = Vec::new();
+    let mut detail = String::new();
+    if check_program_legality {
+        let legality = gem_core::check_legality(program_comp);
+        if !legality.is_empty() {
+            violated.push("program-legality".to_owned());
+            detail = legality[0].describe(program_comp);
+        }
+    }
+    let projected = project(program_comp, problem.structure_arc(), corr)?;
+    let spec_report = match problem.check(&projected, strategy) {
+        Ok(report) => {
+            if !report.legality.is_empty() {
+                violated.push("projection-legality".to_owned());
+                if detail.is_empty() {
+                    detail = report.legality[0].describe(&projected);
+                }
+            }
+            for name in report.failed() {
+                violated.push(name.to_owned());
+            }
+            if detail.is_empty() && !violated.is_empty() {
+                detail = report.to_string();
+            }
+            Some(report)
+        }
+        Err(e) => {
+            violated.push("evaluation-error".to_owned());
+            detail = e.to_string();
+            None
+        }
+    };
+    Ok(RunCheck {
+        verdict: (!violated.is_empty()).then_some((violated, detail)),
+        projected,
+        spec_report,
+    })
+}
 
 /// One failing run.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -106,6 +180,11 @@ pub struct VerifyOptions {
     /// is also installed as the ambient probe for the duration of the
     /// sweep, so the logic/core layers report into it.
     pub probe: Arc<dyn Probe>,
+    /// When set, the first failing or deadlocked run is dumped as a
+    /// self-contained counterexample artifact directory (schedule,
+    /// computation, blame, dot renderings), and `outcome.json` records
+    /// the sweep outcome — see [`crate::forensics`].
+    pub artifacts: Option<ArtifactSink>,
 }
 
 impl fmt::Debug for VerifyOptions {
@@ -116,6 +195,7 @@ impl fmt::Debug for VerifyOptions {
             .field("max_failures", &self.max_failures)
             .field("check_program_legality", &self.check_program_legality)
             .field("probe_enabled", &self.probe.enabled())
+            .field("artifacts", &self.artifacts.as_ref().map(|s| &s.dir))
             .finish()
     }
 }
@@ -128,6 +208,7 @@ impl Default for VerifyOptions {
             max_failures: 3,
             check_program_legality: true,
             probe: Arc::new(NoopProbe),
+            artifacts: None,
         }
     }
 }
@@ -177,41 +258,18 @@ where
     let dedup = options.explorer.dedup_computations;
     let mut verdicts: HashMap<CanonicalKey, CheckVerdict> = HashMap::new();
     let (mut dedup_hits, mut dedup_misses) = (0u64, 0u64);
+    let mut artifact_record: Option<ArtifactRecord> = None;
 
     // Checks one computation against the specification. Pure in the
     // computation, so the verdict is cacheable per canonical key.
-    let evaluate = |program_comp: &Computation| -> Result<CheckVerdict, ProjectError> {
-        let mut violated = Vec::new();
-        let mut detail = String::new();
-        if options.check_program_legality {
-            let legality = gem_core::check_legality(program_comp);
-            if !legality.is_empty() {
-                violated.push("program-legality".to_owned());
-                detail = legality[0].describe(program_comp);
-            }
-        }
-        let projected = project(program_comp, problem.structure_arc(), corr)?;
-        match problem.check(&projected, options.strategy) {
-            Ok(report) => {
-                if !report.legality.is_empty() {
-                    violated.push("projection-legality".to_owned());
-                    if detail.is_empty() {
-                        detail = report.legality[0].describe(&projected);
-                    }
-                }
-                for name in report.failed() {
-                    violated.push(name.to_owned());
-                }
-                if detail.is_empty() && !violated.is_empty() {
-                    detail = report.to_string();
-                }
-            }
-            Err(e) => {
-                violated.push("evaluation-error".to_owned());
-                detail = e.to_string();
-            }
-        }
-        Ok((!violated.is_empty()).then_some((violated, detail)))
+    let evaluate = |program_comp: &Computation| -> Result<RunCheck, ProjectError> {
+        check_computation(
+            program_comp,
+            problem,
+            corr,
+            options.strategy,
+            options.check_program_legality,
+        )
     };
 
     let probe = options.probe.as_ref();
@@ -225,9 +283,10 @@ where
 
     let stats = options
         .explorer
-        .par_for_each_run_probed(sys, probe, |state, _path| {
+        .par_for_each_run_probed(sys, probe, |state, path| {
             runs += 1;
-            if !sys.is_complete(state) {
+            let deadlocked = !sys.is_complete(state);
+            if deadlocked {
                 // Deadlock is judged on the *state* (terminal but
                 // incomplete), not the computation, so it is counted per
                 // run and never deduplicated.
@@ -235,6 +294,7 @@ where
             }
             let program_comp = extract(state);
             let key = dedup.then(|| canonical_key(&program_comp));
+            let mut fresh_check: Option<RunCheck> = None;
             let verdict = match key.as_ref().and_then(|k| verdicts.get(k)) {
                 Some(cached) => {
                     dedup_hits += 1;
@@ -244,19 +304,61 @@ where
                     if dedup {
                         dedup_misses += 1;
                     }
-                    let fresh = match evaluate(&program_comp) {
+                    let check = match evaluate(&program_comp) {
                         Ok(v) => v,
                         Err(e) => {
                             project_error = Some(e);
                             return ControlFlow::Break(());
                         }
                     };
+                    let fresh = check.verdict.clone();
                     if let Some(k) = key {
                         verdicts.insert(k, fresh.clone());
                     }
+                    fresh_check = Some(check);
                     fresh
                 }
             };
+            // First failing or deadlocked run with a sink configured:
+            // dump the counterexample artifact. A dedup cache hit has no
+            // RunCheck in hand, so recompute it — this happens at most
+            // once per sweep and only on the failure path.
+            if let Some(sink) = &options.artifacts {
+                if artifact_record.is_none() && (deadlocked || verdict.is_some()) {
+                    let check = match fresh_check.take() {
+                        Some(c) => Some(c),
+                        None => evaluate(&program_comp).ok(),
+                    };
+                    if let Some(check) = check {
+                        let run = runs - 1;
+                        let written = forensics::write_run_artifact(
+                            sink,
+                            sys,
+                            path,
+                            run,
+                            deadlocked,
+                            &program_comp,
+                            &check,
+                            problem,
+                        );
+                        match written {
+                            Ok(()) => {
+                                probe.add("verify.artifacts.written", 1);
+                                artifact_record = Some(ArtifactRecord {
+                                    run,
+                                    deadlock: deadlocked,
+                                    failure: verdict.clone().map(|(violated, detail)| RunFailure {
+                                        run,
+                                        violated,
+                                        detail,
+                                    }),
+                                });
+                            }
+                            Err(_) => probe.add("verify.artifacts.errors", 1),
+                        }
+                    }
+                }
+            }
             if let Some((violated, detail)) = verdict {
                 if failures.is_empty() {
                     probe.gauge_set("verify.first_failure_run", (runs - 1) as u64);
@@ -287,12 +389,22 @@ where
     if let Some(e) = project_error {
         return Err(e);
     }
-    Ok(VerifyOutcome {
+    let outcome = VerifyOutcome {
         runs,
         deadlocks,
         failures,
         truncation: stats.truncation,
-    })
+    };
+    // `outcome.json` is written whenever a sink is configured — also for
+    // clean sweeps, so a collector can tell "passed" from "crashed
+    // before finishing".
+    if let Some(sink) = &options.artifacts {
+        match forensics::write_outcome(sink, &outcome, artifact_record.as_ref()) {
+            Ok(()) => probe.add("verify.artifacts.written", 1),
+            Err(_) => probe.add("verify.artifacts.errors", 1),
+        }
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -402,6 +514,63 @@ mod tests {
             .violated
             .contains(&"begin-then-done".to_owned()));
         assert!(outcome.to_string().contains("failing"));
+    }
+
+    #[test]
+    fn failing_sweep_writes_artifact_dir() {
+        let sys = counter_system(1);
+        let problem = ticket_problem();
+        let ps = problem.structure();
+        let ctl = ps.element("ctl").unwrap();
+        let td = ps.class("TDone").unwrap();
+        let corr = Correspondence::new().map(
+            EventSel::of_class(sys.class("Begin")).at(sys.entry_element("Inc")),
+            ctl,
+            td,
+        );
+        let dir =
+            std::env::temp_dir().join(format!("gem-sat-artifact-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let outcome = verify_system(
+            &sys,
+            &problem,
+            &corr,
+            |state| sys.computation(state).unwrap(),
+            &VerifyOptions {
+                artifacts: Some(ArtifactSink::new(&dir).meta("problem", "ticket")),
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!outcome.ok());
+        for name in [
+            "meta.json",
+            "schedule.json",
+            "computation.json",
+            "blame.json",
+            "counterexample.dot",
+            "counterexample_slice.dot",
+            "outcome.json",
+        ] {
+            assert!(dir.join(name).exists(), "missing artifact file {name}");
+        }
+        // Every JSON artifact must parse, and the outcome record must
+        // carry the replay expectation for the captured run.
+        for name in [
+            "meta.json",
+            "schedule.json",
+            "computation.json",
+            "blame.json",
+        ] {
+            let text = std::fs::read_to_string(dir.join(name)).unwrap();
+            gem_obs::json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        let text = std::fs::read_to_string(dir.join("outcome.json")).unwrap();
+        let parsed = gem_obs::json::parse(&text).unwrap();
+        let replay = parsed.get("replay").expect("replay section");
+        assert_eq!(replay.get("runs").and_then(|v| v.as_u64()), Some(1));
+        assert!(parsed.get("artifact").and_then(|a| a.get("run")).is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

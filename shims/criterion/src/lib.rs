@@ -13,7 +13,10 @@
 //! timings to a [`gem_obs::Report`] and writes
 //! `target/gem-bench-reports/<benchmark-binary>.json` (override the
 //! directory with `GEM_BENCH_REPORT_DIR`), so bench runs populate the
-//! same machine-readable perf trajectory as `gem --stats-json`.
+//! same machine-readable perf trajectory as `gem --stats-json`. Reports
+//! are written atomically, so a concurrent reader never sees a torn
+//! file. Setting `GEM_BENCH_QUICK=1` clamps sample counts and time
+//! budgets to a smoke-test scale for CI gates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -87,6 +90,10 @@ impl Bencher<'_> {
     }
 }
 
+/// Budgets applied by `GEM_BENCH_QUICK` (see [`Criterion::apply_cli_args`]).
+const QUICK_MEASUREMENT: Duration = Duration::from_millis(50);
+const QUICK_WARM_UP: Duration = Duration::from_millis(10);
+
 #[derive(Clone, Debug)]
 struct Config {
     sample_size: usize,
@@ -145,6 +152,15 @@ impl Criterion {
             } else if !a.starts_with('-') && self.filter.is_none() {
                 self.filter = Some(a);
             }
+        }
+        // GEM_BENCH_QUICK clamps every budget so a full `cargo bench`
+        // sweep finishes in seconds — a smoke/regression-gate mode, not a
+        // measurement mode. Set by CI; numbers are NOT comparable to
+        // committed BENCH baselines.
+        if std::env::var_os("GEM_BENCH_QUICK").is_some() {
+            self.config.sample_size = self.config.sample_size.min(3);
+            self.config.measurement_time = self.config.measurement_time.min(QUICK_MEASUREMENT);
+            self.config.warm_up_time = self.config.warm_up_time.min(QUICK_WARM_UP);
         }
     }
 
@@ -233,7 +249,9 @@ impl Criterion {
         });
         let path = std::path::Path::new(&dir).join(format!("{name}.json"));
         if std::fs::create_dir_all(&dir).is_ok() {
-            match std::fs::write(&path, self.report.to_json()) {
+            // Atomic so `gem bench-diff` can never read a half-written
+            // report from a concurrent bench run.
+            match gem_obs::write_atomic(&path, &self.report.to_json()) {
                 Ok(()) => println!("report: {}", path.display()),
                 Err(e) => eprintln!("criterion shim: cannot write {}: {e}", path.display()),
             }
