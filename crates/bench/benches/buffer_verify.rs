@@ -2,7 +2,11 @@
 //! each on all three language substrates (Monitor, CSP, ADA). The
 //! `bounded_*_dedup` series (F6) runs the same sweep with
 //! `Explorer::dedup_computations` — identical outcome, each distinct
-//! computation checked once (see `docs/PERFORMANCE.md`).
+//! computation checked once (see `docs/PERFORMANCE.md`). The
+//! `bounded_*_por` series (F7) runs it with sleep-set partial-order
+//! reduction (`Explorer::reduce`): substrates whose oracle finds
+//! commuting actions explore fewer schedules, the rest are exact
+//! no-ops.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gem_core::Computation;
@@ -15,6 +19,7 @@ const ITEMS: &[i64] = &[10, 20, 30];
 const BITEMS: &[i64] = &[1, 2, 3, 4];
 const CAP: usize = 2;
 
+#[allow(clippy::too_many_arguments)]
 fn bench_one<S>(
     c: &mut Criterion,
     name: &str,
@@ -23,6 +28,7 @@ fn bench_one<S>(
     corr: &Correspondence,
     extract: impl Fn(&S::State) -> Computation + Copy,
     dedup: bool,
+    reduce: bool,
 ) where
     S: System + Sync,
     S::State: Send,
@@ -31,6 +37,7 @@ fn bench_one<S>(
     let options = VerifyOptions {
         explorer: Explorer {
             dedup_computations: dedup,
+            reduce,
             ..Explorer::default()
         },
         ..VerifyOptions::default()
@@ -61,6 +68,7 @@ fn bench_buffers(c: &mut Criterion) {
             &corr,
             |s| sys.computation(s).unwrap(),
             false,
+            false,
         );
         let sys = one_slot::csp_solution(ITEMS);
         let corr = one_slot::csp_correspondence(&sys, &problem);
@@ -71,6 +79,7 @@ fn bench_buffers(c: &mut Criterion) {
             &problem,
             &corr,
             |s| sys.computation(s).unwrap(),
+            false,
             false,
         );
         let sys = one_slot::ada_solution(ITEMS);
@@ -83,13 +92,18 @@ fn bench_buffers(c: &mut Criterion) {
             &corr,
             |s| sys.computation(s).unwrap(),
             false,
+            false,
         );
     }
-    // E5: Bounded Buffer, capacity 2 — plus the F6 dedup ablation.
+    // E5: Bounded Buffer, capacity 2 — plus the F6 dedup and F7 POR
+    // ablations.
     {
         let problem = bounded::bounded_spec(BITEMS.len(), CAP);
-        for dedup in [false, true] {
-            let suffix = if dedup { "_dedup" } else { "" };
+        for (suffix, dedup, reduce) in [
+            ("", false, false),
+            ("_dedup", true, false),
+            ("_por", false, true),
+        ] {
             let sys = bounded::monitor_solution(BITEMS, CAP);
             let corr = bounded::monitor_correspondence(&sys, &problem, CAP);
             bench_one(
@@ -100,6 +114,7 @@ fn bench_buffers(c: &mut Criterion) {
                 &corr,
                 |s| sys.computation(s).unwrap(),
                 dedup,
+                reduce,
             );
             let sys = bounded::csp_solution(BITEMS, CAP);
             let corr = bounded::csp_correspondence(&sys, &problem, CAP);
@@ -111,6 +126,7 @@ fn bench_buffers(c: &mut Criterion) {
                 &corr,
                 |s| sys.computation(s).unwrap(),
                 dedup,
+                reduce,
             );
             let sys = bounded::ada_solution(BITEMS, CAP);
             let corr = bounded::ada_correspondence(&sys, &problem, CAP);
@@ -122,6 +138,7 @@ fn bench_buffers(c: &mut Criterion) {
                 &corr,
                 |s| sys.computation(s).unwrap(),
                 dedup,
+                reduce,
             );
         }
     }

@@ -10,6 +10,11 @@
 //! * `*_dedup` — F6: the same sweeps with
 //!   `Explorer::dedup_computations`, checking each distinct computation
 //!   once (identical outcome, see `docs/PERFORMANCE.md`).
+//! * `*_por` / `*_por_dedup` — F7: sleep-set partial-order reduction
+//!   (`Explorer::reduce`), exploring roughly one schedule per
+//!   computation — alone and combined with dedup. Control-only
+//!   instances (no shared-data steps) admit no reduction and serve as
+//!   the no-op baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gem_lang::monitor::{entries_sequential, readers_writers_monitor};
@@ -30,6 +35,7 @@ fn verify_bench(
     with_data: bool,
     variant: RwVariant,
     dedup: bool,
+    reduce: bool,
 ) {
     let sys = rw_program(monitor, readers, writers, with_data);
     let problem = rw_spec(readers + writers, with_data, variant);
@@ -37,6 +43,7 @@ fn verify_bench(
     let options = VerifyOptions {
         explorer: Explorer {
             dedup_computations: dedup,
+            reduce,
             ..Explorer::default()
         },
         ..VerifyOptions::default()
@@ -58,8 +65,15 @@ fn verify_bench(
 }
 
 fn bench_rw(c: &mut Criterion) {
-    for dedup in [false, true] {
-        let suffix = if dedup { "_dedup" } else { "" };
+    // (suffix, dedup, reduce): the plain sweep, F6 dedup, F7 sleep-set
+    // POR, and the two combined.
+    const MODES: [(&str, bool, bool); 4] = [
+        ("", false, false),
+        ("_dedup", true, false),
+        ("_por", false, true),
+        ("_por_dedup", true, true),
+    ];
+    for (suffix, dedup, reduce) in MODES {
         verify_bench(
             c,
             &format!("rw_verify/mutex_with_data_1r1w{suffix}"),
@@ -69,6 +83,7 @@ fn bench_rw(c: &mut Criterion) {
             true,
             RwVariant::MutexOnly,
             dedup,
+            reduce,
         );
         verify_bench(
             c,
@@ -79,6 +94,7 @@ fn bench_rw(c: &mut Criterion) {
             false,
             RwVariant::ReadersPriority,
             dedup,
+            reduce,
         );
         verify_bench(
             c,
@@ -89,6 +105,7 @@ fn bench_rw(c: &mut Criterion) {
             false,
             RwVariant::WritersPriority,
             dedup,
+            reduce,
         );
     }
     // E1: sequential execution of monitor entries, over all schedules.

@@ -30,6 +30,8 @@
 //! * `--heartbeat <secs>` — progress line cadence on stderr (default 5;
 //!   0 disables)
 //! * `--jobs <n>` — explorer worker threads (default 1, 0 = auto)
+//! * `--por` — sleep-set partial-order reduction (one schedule per
+//!   computation, same verdict)
 //! * `--dedup` — deduplicate trace-equivalent computations in
 //!   `verify`/`explore` sweeps (same results, less checking work; see
 //!   `docs/PERFORMANCE.md`)
@@ -347,12 +349,13 @@ struct ObsFlags {
     heartbeat: Option<f64>,
     jobs: Option<usize>,
     dedup: bool,
+    por: bool,
     artifacts: Option<String>,
 }
 
 /// Splits `--stats` / `--stats-json` / `--trace` / `--heartbeat` /
-/// `--jobs` / `--dedup` / `--artifacts` (either `--flag value` or
-/// `--flag=value`) out of `args`, leaving positional arguments and
+/// `--jobs` / `--dedup` / `--por` / `--artifacts` (either `--flag value`
+/// or `--flag=value`) out of `args`, leaving positional arguments and
 /// `key=value` parameters untouched.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
     let mut flags = ObsFlags::default();
@@ -393,6 +396,12 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                     return Err(err("--dedup takes no value"));
                 }
                 flags.dedup = true;
+            }
+            "--por" => {
+                if inline.is_some() {
+                    return Err(err("--por takes no value"));
+                }
+                flags.por = true;
             }
             "--trace" => flags.trace = Some(value("--trace")?),
             "--artifacts" => flags.artifacts = Some(value("--artifacts")?),
@@ -576,14 +585,23 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                 "verify" => {
                     // `meta.json` records exactly what `gem replay` needs
                     // to rebuild this instance.
+                    // The recorded schedule is exact either way, but
+                    // under `--por` it is one sleep-set *representative*
+                    // of its computation, not necessarily the first
+                    // failing schedule of the unreduced sweep — `gem
+                    // replay` surfaces the flags so a diverging
+                    // reproduction can be read in context.
                     let sink = flags.artifacts.as_ref().map(|dir| {
                         ArtifactSink::new(dir)
                             .meta("problem", problem.as_str())
                             .meta("params", raw_params.join(" "))
+                            .meta("por", if flags.por { "true" } else { "false" })
+                            .meta("dedup", if dedup { "true" } else { "false" })
                     });
                     let options = |max_runs: usize| VerifyOptions {
                         explorer: Explorer {
                             jobs,
+                            reduce: flags.por,
                             dedup_computations: dedup,
                             ..Explorer::with_max_runs(max_runs)
                         },
@@ -639,6 +657,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                         probe: &Arc<dyn Probe>,
                         jobs: usize,
                         dedup: bool,
+                        reduce: bool,
                     ) -> String
                     where
                         S: System + Sync,
@@ -653,6 +672,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                         let (mut hits, mut misses) = (0u64, 0u64);
                         let explorer = Explorer {
                             jobs,
+                            reduce,
                             dedup_computations: dedup,
                             ..Explorer::with_max_runs(max_runs)
                         };
@@ -679,8 +699,13 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                             probe.add("explore.dedup.misses", misses);
                             dedup_note = format!("  distinct computations: {}", seen.len());
                         }
+                        let por_note = if reduce {
+                            format!("  slept branches: {}", stats.sleep_skipped)
+                        } else {
+                            String::new()
+                        };
                         format!(
-                            "schedules: {}{}  steps: {}  deadlocks: {deadlocks}{dedup_note}",
+                            "schedules: {}{}  steps: {}  deadlocks: {deadlocks}{dedup_note}{por_note}",
                             stats.runs,
                             if stats.truncated() {
                                 "+ (truncated)"
@@ -698,6 +723,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                             probe,
                             jobs,
                             dedup,
+                            flags.por,
                         ),
                         Instance::Csp { sys, max_runs, .. } => explore(
                             sys,
@@ -706,6 +732,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                             probe,
                             jobs,
                             dedup,
+                            flags.por,
                         ),
                         Instance::Ada { sys, max_runs, .. } => explore(
                             sys,
@@ -714,6 +741,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                             probe,
                             jobs,
                             dedup,
+                            flags.por,
                         ),
                     })
                 }
@@ -957,11 +985,20 @@ fn replay_cmd(dir: &Path) -> Result<String, CliError> {
             &schedule,
         )?,
     };
+    // A schedule recorded under `--por` is a sleep-set representative of
+    // its computation. Replaying it is exact all the same, but the note
+    // tells the reader the run index context: it need not be the first
+    // failing schedule of an unreduced sweep.
+    let por_note = if meta.get("por").and_then(JsonValue::as_str) == Some("true") {
+        "\nnote: schedule is a --por sleep-set representative"
+    } else {
+        ""
+    };
     if got == expected {
-        Ok(format!("REPRODUCED: {got}"))
+        Ok(format!("REPRODUCED: {got}{por_note}"))
     } else {
         Err(err(format!(
-            "DIVERGED\nexpected: {expected}\n     got: {got}"
+            "DIVERGED\nexpected: {expected}\n     got: {got}{por_note}"
         )))
     }
 }
@@ -1091,6 +1128,9 @@ pub fn usage() -> String {
      \x20 --dedup                    check each distinct computation once and\n\
      \x20                            replay the verdict on trace-equivalent runs;\n\
      \x20                            results are identical with or without it\n\
+     \x20 --por                      sleep-set partial-order reduction: explore\n\
+     \x20                            roughly one schedule per computation; the\n\
+     \x20                            verify/explore verdict is unchanged\n\
      \x20 --artifacts <dir>          dump the first failing/deadlocked run as a\n\
      \x20                            self-contained counterexample directory and\n\
      \x20                            arm a crash-dump flight recorder\n\

@@ -617,9 +617,63 @@ impl System for AdaSystem {
         state.tasks = cp.tasks;
         state.queues = cp.queues;
     }
+
+    /// Independence oracle for sleep-set POR.
+    ///
+    /// * Two call issues commute iff they target different `(callee,
+    ///   entry)` queues: same target means both emit `Call` on the same
+    ///   entry element (FIFO order and element order both observable).
+    /// * A call issue commutes with a rendezvous iff it targets a
+    ///   different queue. The issuer is never a rendezvous participant:
+    ///   it is `ReadyToCall`, while the rendezvous's caller is `InCall`
+    ///   and its callee `AtAccept`. Issuing into the same queue would
+    ///   reorder that entry element's events against `Accept`/`Complete`.
+    /// * Two rendezvous commute iff their callees differ (the same callee
+    ///   consumes its accept state in either one). Their callers are
+    ///   automatically distinct — a task has at most one outstanding call
+    ///   — so all four participants touch disjoint elements and task
+    ///   states, and `run` never modifies entry queues.
+    fn independent(&self, state: &AdaState, a: &AdaAction, b: &AdaAction) -> bool {
+        match (a, b) {
+            (AdaAction::IssueCall(t1), AdaAction::IssueCall(t2)) => {
+                if t1 == t2 {
+                    return false;
+                }
+                match (
+                    self.pending_call_target(state, *t1),
+                    self.pending_call_target(state, *t2),
+                ) {
+                    (Some(ta), Some(tb)) => ta != tb,
+                    _ => false,
+                }
+            }
+            (AdaAction::IssueCall(t), AdaAction::Rendezvous { tid, entry })
+            | (AdaAction::Rendezvous { tid, entry }, AdaAction::IssueCall(t)) => {
+                match self.pending_call_target(state, *t) {
+                    Some((callee, e)) => callee != *tid || e != entry.as_str(),
+                    None => false,
+                }
+            }
+            (AdaAction::Rendezvous { tid: t1, .. }, AdaAction::Rendezvous { tid: t2, .. }) => {
+                t1 != t2
+            }
+        }
+    }
 }
 
 impl AdaSystem {
+    /// The `(callee index, entry name)` a `ReadyToCall` task's pending
+    /// call targets, peeked from the re-queued call statement at the
+    /// front of its top frame.
+    fn pending_call_target<'a>(&self, state: &'a AdaState, tid: usize) -> Option<(usize, &'a str)> {
+        match state.tasks[tid].frames.last()?.front()? {
+            AdaStmt::EntryCall { task, entry, .. } => {
+                Some((self.program.task_index(task)?, entry.as_str()))
+            }
+            _ => None,
+        }
+    }
+
     /// Runs rendezvous-body statements (local only) of `tid` until its
     /// body frame is exhausted, leaving outer frames untouched.
     fn run_body(&self, state: &mut AdaState, tid: usize) {

@@ -226,6 +226,23 @@ impl Expr {
         Expr::Neg(Box::new(self))
     }
 
+    /// Collects every variable name the expression reads into `out`.
+    /// Used by the substrate independence oracles to compute conservative
+    /// read footprints for partial-order reduction.
+    pub fn collect_vars(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.collect_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
     /// Evaluates the expression in `env`.
     ///
     /// # Errors

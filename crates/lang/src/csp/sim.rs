@@ -563,6 +563,21 @@ impl System for CspSystem {
         state.builder.truncate_to(&cp.mark);
         state.procs = cp.procs;
     }
+
+    /// Independence oracle for sleep-set POR: two exchanges commute iff
+    /// their endpoint sets are disjoint. An exchange touches exactly its
+    /// two participants — their `<p>.out`/`<p>.in`/`<p>.var.*` elements,
+    /// offer sets, and continuations — so disjoint endpoints mean
+    /// disjoint state and disjoint element footprints, while a shared
+    /// endpoint consumes that process's offer set (each exchange disables
+    /// the other). Offer *indices* stay valid across an independent
+    /// exchange because untouched processes keep their offer vectors.
+    fn independent(&self, _state: &CspState, a: &CspAction, b: &CspAction) -> bool {
+        a.sender != b.sender
+            && a.sender != b.receiver
+            && a.receiver != b.sender
+            && a.receiver != b.receiver
+    }
 }
 
 impl CspState {

@@ -26,6 +26,16 @@
 //! satisfy exactly the same restrictions (the Mazurkiewicz-trace view —
 //! see docs/PERFORMANCE.md). Every run is still *enumerated* (run counts
 //! and probe reports are unchanged); only the per-run check is skipped.
+//!
+//! A third opt-in, [`Explorer::reduce`], goes further than dedup: instead
+//! of enumerating every schedule and skipping the check for repeats, it
+//! uses classic *sleep sets* (Godefroid) over the substrate's
+//! [`System::independent`] oracle to avoid *exploring* redundant
+//! interleavings at all — roughly one representative schedule per sealed
+//! computation. Sound for the same reason dedup is (equal computations
+//! satisfy equal restrictions), but run counts shrink: [`ExploreStats`]
+//! reports the representatives explored (`por_runs`) and the branches
+//! pruned (`sleep_skipped`).
 
 use std::collections::HashSet;
 use std::fmt;
@@ -38,8 +48,9 @@ use rand::Rng;
 pub trait System {
     /// Full system state, including the event trace being accumulated.
     type State: Clone;
-    /// One scheduler choice.
-    type Action: Clone + std::fmt::Debug;
+    /// One scheduler choice. `PartialEq` is required so sleep sets can
+    /// match actions across sibling branches of the DFS.
+    type Action: Clone + PartialEq + std::fmt::Debug;
     /// Undo journal entry for the opt-in apply/undo fast path: whatever
     /// [`System::undo`] needs to roll one [`System::apply`] back. Systems
     /// without the fast path use `()`.
@@ -87,6 +98,24 @@ pub trait System {
     /// default (which panics).
     fn undo(&self, _state: &mut Self::State, _checkpoint: Self::Checkpoint) {
         unreachable!("System::undo called without System::checkpoint support")
+    }
+
+    /// Independence oracle for partial-order reduction
+    /// ([`Explorer::reduce`]). Must return `true` only if `a` and `b` are
+    /// both enabled in `state` and *commute there*: neither disables the
+    /// other, and executing `a·b` and `b·a` from `state` yields the same
+    /// state and computations with equal canonical keys (equivalently:
+    /// the two orders emit the same per-element event sequences). The
+    /// explorer only calls this with two distinct actions both enabled in
+    /// `state`.
+    ///
+    /// Claiming independence for a dependent pair is **unsound** (runs
+    /// whose computations are genuinely distinct get pruned); answering
+    /// `false` is always safe. The default is maximally conservative —
+    /// nothing commutes — which makes [`Explorer::reduce`] a no-op for
+    /// systems that do not implement the oracle.
+    fn independent(&self, _state: &Self::State, _a: &Self::Action, _b: &Self::Action) -> bool {
+        false
     }
 }
 
@@ -147,6 +176,16 @@ pub struct ExploreStats {
     pub dedup_hits: usize,
     /// Runs whose sealed computation was seen for the first time.
     pub dedup_misses: usize,
+    /// Enabled actions skipped because they were in the sleep set
+    /// (branches pruned by partial-order reduction; always zero unless
+    /// [`Explorer::reduce`] is on and the system's oracle claims some
+    /// independence).
+    pub sleep_skipped: usize,
+    /// Maximal runs visited while [`Explorer::reduce`] was on — each one
+    /// a representative linearization of its computation. Equal to `runs`
+    /// under reduction, zero otherwise; kept separate so mixed reports
+    /// stay unambiguous.
+    pub por_runs: usize,
 }
 
 impl ExploreStats {
@@ -177,6 +216,13 @@ impl fmt::Display for ExploreStats {
                 ", {} of {} computation(s) deduped",
                 self.dedup_hits,
                 self.dedup_hits + self.dedup_misses
+            )?;
+        }
+        if self.sleep_skipped > 0 || self.por_runs > 0 {
+            write!(
+                f,
+                ", POR: {} representative(s), {} branch(es) slept",
+                self.por_runs, self.sleep_skipped
             )?;
         }
         if self.depth_limited_runs > 0 {
@@ -220,6 +266,15 @@ pub struct Explorer {
     /// check is skipped. Ignored by the raw `for_each_run` family, which
     /// never extracts computations.
     pub dedup_computations: bool,
+    /// If true, apply sleep-set partial-order reduction: branches whose
+    /// action is in the sleep set (already covered, up to commutations
+    /// certified by [`System::independent`], by an earlier sibling) are
+    /// not explored at all. Sound for computation-level verdicts — every
+    /// sealed computation still gets at least one representative run —
+    /// but run counts and representative schedules change, so drivers
+    /// comparing raw run sequences should leave it off. A no-op (beyond
+    /// bookkeeping) for systems with the conservative default oracle.
+    pub reduce: bool,
 }
 
 impl Default for Explorer {
@@ -232,6 +287,7 @@ impl Default for Explorer {
             jobs: 1,
             split_depth: 3,
             dedup_computations: false,
+            reduce: false,
         }
     }
 }
@@ -276,6 +332,7 @@ impl Explorer {
             sys,
             &mut state,
             &mut path,
+            Vec::new(),
             &mut stats,
             &mut seen,
             probe,
@@ -294,6 +351,7 @@ impl Explorer {
         sys: &S,
         state: &mut S::State,
         path: &mut Vec<S::Action>,
+        sleep: Vec<S::Action>,
         stats: &mut ExploreStats,
         seen: &mut HashSet<u64>,
         probe: &dyn Probe,
@@ -313,7 +371,9 @@ impl Explorer {
         // least one more maximal run), but the step cap is checked just
         // before each edge application below: a space with exactly
         // `max_runs` runs or `max_steps` steps is exhausted, not
-        // truncated.
+        // truncated. (Under `reduce` a fully-slept node yields no run, so
+        // an exact run budget may be flagged as truncated spuriously —
+        // the safe direction.)
         if stats.runs >= self.max_runs {
             stats.truncation = Some(TruncationReason::RunLimit);
             return ControlFlow::Break(());
@@ -327,6 +387,9 @@ impl Explorer {
                 }
             }
             stats.runs += 1;
+            if self.reduce {
+                stats.por_runs += 1;
+            }
             stats.max_depth_seen = stats.max_depth_seen.max(path.len());
             if probe.enabled() {
                 // Batched flush: one counter update per maximal run keeps
@@ -335,11 +398,48 @@ impl Explorer {
             }
             return visit(state, path);
         }
-        for action in actions {
+        // Sleep-set partition: actions in the sleep set were already
+        // explored (up to independent commutations) by an earlier sibling
+        // branch, so skipping them here loses no computation. Incoming
+        // entries are filtered to the still-enabled actions first — a
+        // slept action that got disabled on the way down can no longer
+        // occur and keeping it would only slow the membership tests.
+        let (awake, mut cur_sleep) = if self.reduce {
+            let cur_sleep: Vec<S::Action> =
+                sleep.into_iter().filter(|b| actions.contains(b)).collect();
+            let awake: Vec<S::Action> = actions
+                .iter()
+                .filter(|a| !cur_sleep.contains(a))
+                .cloned()
+                .collect();
+            stats.sleep_skipped += actions.len() - awake.len();
+            if awake.is_empty() {
+                // Every continuation is covered elsewhere: prune the whole
+                // node without counting a run.
+                return ControlFlow::Continue(());
+            }
+            (awake, cur_sleep)
+        } else {
+            (actions, Vec::new())
+        };
+        for action in awake {
             if stats.steps >= self.max_steps {
                 stats.truncation = Some(TruncationReason::StepLimit);
                 return ControlFlow::Break(());
             }
+            // The child's sleep set keeps only entries that commute with
+            // the action being taken — computed against the *pre-apply*
+            // state (the state where both are enabled), before the
+            // checkpoint fast path mutates it in place.
+            let child_sleep: Vec<S::Action> = if self.reduce {
+                cur_sleep
+                    .iter()
+                    .filter(|b| sys.independent(state, &action, b))
+                    .cloned()
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let flow = if let Some(cp) = sys.checkpoint(state) {
                 // Fast path: mutate the one shared state down the edge and
                 // roll it back afterwards — no clone of the accumulated
@@ -347,9 +447,22 @@ impl Explorer {
                 sys.apply(state, &action);
                 stats.steps += 1;
                 path.push(action);
-                let flow = self.dfs(sys, state, path, stats, seen, probe, flushed_steps, visit);
-                path.pop();
+                let flow = self.dfs(
+                    sys,
+                    state,
+                    path,
+                    child_sleep,
+                    stats,
+                    seen,
+                    probe,
+                    flushed_steps,
+                    visit,
+                );
+                let action = path.pop().expect("path underflow");
                 sys.undo(state, cp);
+                if self.reduce {
+                    cur_sleep.push(action);
+                }
                 flow
             } else {
                 let mut next = state.clone();
@@ -360,13 +473,17 @@ impl Explorer {
                     sys,
                     &mut next,
                     path,
+                    child_sleep,
                     stats,
                     seen,
                     probe,
                     flushed_steps,
                     visit,
                 );
-                path.pop();
+                let action = path.pop().expect("path underflow");
+                if self.reduce {
+                    cur_sleep.push(action);
+                }
                 flow
             };
             flow?;
@@ -441,6 +558,8 @@ pub(crate) fn flush_final(probe: &dyn Probe, stats: &ExploreStats, flushed_steps
     probe.add("explore.steps", (stats.steps - flushed_steps) as u64);
     probe.add("explore.prune.hits", stats.prune_hits as u64);
     probe.add("explore.prune.misses", stats.prune_misses as u64);
+    probe.add("explore.sleep_skipped", stats.sleep_skipped as u64);
+    probe.add("explore.por_runs", stats.por_runs as u64);
     probe.gauge_max("explore.depth_high_water", stats.max_depth_seen as u64);
     if let Some(reason) = stats.truncation {
         probe.add(
@@ -488,6 +607,7 @@ mod tests {
         stuck: bool,
     }
 
+    // POR: conservative — exercises the default (no-reduction) oracle.
     impl System for Counters {
         type State = Vec<u8>;
         type Action = usize;
@@ -726,6 +846,7 @@ mod tests {
     /// exactly what the clone-per-edge DFS does.
     struct UndoCounters(Counters);
 
+    // POR: conservative — exercises the default (no-reduction) oracle.
     impl System for UndoCounters {
         type State = Vec<u8>;
         type Action = usize;
@@ -814,6 +935,146 @@ mod tests {
         assert_eq!(path.len(), 1);
         let report = probe.report();
         assert_eq!(report.counters["explore.truncation.depth_limit"], 1);
+    }
+
+    /// `Counters` with a full independence oracle: distinct counters
+    /// never interact, so every interleaving of a complete run belongs to
+    /// one Mazurkiewicz trace.
+    struct PorCounters(Counters);
+
+    impl System for PorCounters {
+        type State = Vec<u8>;
+        type Action = usize;
+        type Checkpoint = ();
+
+        fn initial(&self) -> Vec<u8> {
+            self.0.initial()
+        }
+        fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+            self.0.enabled(state)
+        }
+        fn apply(&self, state: &mut Vec<u8>, action: &usize) {
+            self.0.apply(state, action);
+        }
+        fn is_complete(&self, state: &Vec<u8>) -> bool {
+            self.0.is_complete(state)
+        }
+        fn independent(&self, _state: &Vec<u8>, a: &usize, b: &usize) -> bool {
+            // Steps of distinct counters commute; two steps of the same
+            // counter are the same action (each index is enabled at most
+            // once per state) and never reach here.
+            a != b
+        }
+    }
+
+    #[test]
+    fn sleep_sets_explore_one_run_per_trace() {
+        // All actions commute, so the whole schedule space is a single
+        // trace: sleep sets must collapse it to exactly one run.
+        for n in [2, 3] {
+            let sys = PorCounters(Counters { n, stuck: false });
+            let full = Explorer::default().for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+            let reduced = Explorer {
+                reduce: true,
+                ..Explorer::default()
+            }
+            .for_each_run(&sys, |s, path| {
+                assert!(sys.is_complete(s));
+                assert_eq!(path.len(), 2 * n);
+                ControlFlow::Continue(())
+            });
+            assert_eq!(reduced.runs, 1, "n={n}");
+            assert_eq!(reduced.por_runs, 1, "n={n}");
+            assert!(reduced.sleep_skipped > 0, "n={n}");
+            assert!(reduced.steps < full.steps, "n={n}");
+            assert_eq!(reduced.truncation, None, "n={n}");
+            assert_eq!(full.por_runs, 0);
+            assert_eq!(full.sleep_skipped, 0);
+        }
+    }
+
+    #[test]
+    fn reduce_with_conservative_oracle_is_identity() {
+        // A system with the default oracle claims nothing commutes, so
+        // reduction must visit exactly the full run sequence.
+        let sys = Counters { n: 2, stuck: false };
+        let mut full_runs = Vec::new();
+        let full = Explorer::default().for_each_run(&sys, |s, p| {
+            full_runs.push((s.clone(), p.to_vec()));
+            ControlFlow::Continue(())
+        });
+        let mut reduced_runs = Vec::new();
+        let reduced = Explorer {
+            reduce: true,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |s, p| {
+            reduced_runs.push((s.clone(), p.to_vec()));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(full_runs, reduced_runs);
+        assert_eq!(reduced.runs, full.runs);
+        assert_eq!(reduced.sleep_skipped, 0);
+        assert_eq!(reduced.por_runs, full.runs);
+    }
+
+    #[test]
+    fn reduced_runs_are_a_subsequence_of_the_full_sweep() {
+        // Sleep sets only ever skip branches, so the reduced run list is
+        // a subsequence of the full DFS run list (same relative order).
+        // Use the deadlocking variant so distinct traces exist.
+        let sys = PorCounters(Counters { n: 2, stuck: true });
+        let mut full = Vec::new();
+        Explorer::default().for_each_run(&sys, |_, p| {
+            full.push(p.to_vec());
+            ControlFlow::Continue(())
+        });
+        let mut reduced = Vec::new();
+        Explorer {
+            reduce: true,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |_, p| {
+            reduced.push(p.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert!(!reduced.is_empty());
+        assert!(reduced.len() < full.len());
+        let mut it = full.iter();
+        for r in &reduced {
+            assert!(it.any(|f| f == r), "{r:?} missing from full sweep");
+        }
+    }
+
+    #[test]
+    fn probed_reduction_reports_sleep_counters() {
+        use gem_obs::StatsProbe;
+        let sys = PorCounters(Counters { n: 3, stuck: false });
+        let probe = StatsProbe::new();
+        let stats = Explorer {
+            reduce: true,
+            ..Explorer::default()
+        }
+        .for_each_run_probed(&sys, &probe, |_, _| ControlFlow::Continue(()));
+        let report = probe.report();
+        assert_eq!(
+            report.counters["explore.sleep_skipped"],
+            stats.sleep_skipped as u64
+        );
+        assert_eq!(report.counters["explore.por_runs"], stats.por_runs as u64);
+        assert_eq!(report.counters["explore.runs"], stats.runs as u64);
+    }
+
+    #[test]
+    fn por_stats_display_mentions_reduction() {
+        let sys = PorCounters(Counters { n: 2, stuck: false });
+        let stats = Explorer {
+            reduce: true,
+            ..Explorer::default()
+        }
+        .for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        let text = stats.to_string();
+        assert!(text.contains("POR: 1 representative(s)"), "{text}");
     }
 
     #[test]

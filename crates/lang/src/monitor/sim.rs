@@ -28,7 +28,7 @@
 //! | `<m>.init` | `Init()` |
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -74,6 +74,73 @@ pub struct MonitorSystem {
     entry_els: Vec<ElementId>,
     var_els: BTreeMap<String, ElementId>,
     cond_els: BTreeMap<String, ElementId>,
+    /// Commutativity class of every script step, per (process, position):
+    /// the independence oracle's lookup table, precomputed so the hot
+    /// path never re-inspects script text.
+    step_class: Vec<Vec<StepClass>>,
+    /// Variables read anywhere in any entry body (IF/WHILE conditions and
+    /// assignment right-hand sides, all branches). A global union — one
+    /// entry's execution can run other entries' continuations through
+    /// signal chains, so per-entry footprints would be unsound.
+    entry_reads: BTreeSet<String>,
+    /// Variables assigned anywhere in any entry body (same global union).
+    entry_writes: BTreeSet<String>,
+}
+
+/// Commutativity class of one script step, for the independence oracle.
+/// `Call` arguments and `Event` parameters are pre-evaluated [`Value`]s,
+/// so neither reads any variable.
+#[derive(Clone, Debug)]
+enum StepClass {
+    /// Entry request: emits on the caller's element *and* the lock.
+    Call,
+    /// Local event on the caller's own element only.
+    Event,
+    /// `Getval` of one variable (reads it, emits at its element).
+    Read(String),
+    /// `Assign` of one variable; `reads` is the value expression's
+    /// read footprint.
+    Write {
+        var: String,
+        reads: BTreeSet<String>,
+    },
+}
+
+/// Commutativity class of one enabled [`MonitorAction`], resolved against
+/// the current state.
+enum ActionClass<'a> {
+    /// `Enter`/`Resume`: runs monitor code under the lock.
+    Entry,
+    /// `Step`: performs the process's next script step.
+    Step(&'a StepClass),
+}
+
+/// Accumulates the variable read/write footprint of entry-body statements
+/// (recursing through all branches; `WAIT`/`SIGNAL`/`IF queue` name
+/// conditions, not variables).
+fn stmt_footprint(stmts: &[Stmt], reads: &mut BTreeSet<String>, writes: &mut BTreeSet<String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(var, expr) => {
+                writes.insert(var.clone());
+                expr.collect_vars(reads);
+            }
+            Stmt::If(cond, then_branch, else_branch) => {
+                cond.collect_vars(reads);
+                stmt_footprint(then_branch, reads, writes);
+                stmt_footprint(else_branch, reads, writes);
+            }
+            Stmt::While(cond, body) => {
+                cond.collect_vars(reads);
+                stmt_footprint(body, reads, writes);
+            }
+            Stmt::Wait(_) | Stmt::Signal(_) => {}
+            Stmt::IfQueue(_, then_branch, else_branch) => {
+                stmt_footprint(then_branch, reads, writes);
+                stmt_footprint(else_branch, reads, writes);
+            }
+        }
+    }
 }
 
 /// Status of a user process between scheduler actions.
@@ -280,6 +347,35 @@ impl MonitorSystem {
             }
         }
 
+        // Precompute the independence oracle's lookup tables.
+        let step_class: Vec<Vec<StepClass>> = program
+            .processes
+            .iter()
+            .map(|p| {
+                p.script
+                    .iter()
+                    .map(|step| match step {
+                        ScriptStep::Call { .. } => StepClass::Call,
+                        ScriptStep::Event { .. } => StepClass::Event,
+                        ScriptStep::ReadShared { var } => StepClass::Read(var.clone()),
+                        ScriptStep::WriteShared { var, value } => {
+                            let mut reads = BTreeSet::new();
+                            value.collect_vars(&mut reads);
+                            StepClass::Write {
+                                var: var.clone(),
+                                reads,
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut entry_reads = BTreeSet::new();
+        let mut entry_writes = BTreeSet::new();
+        for entry in &program.monitor.entries {
+            stmt_footprint(&entry.body, &mut entry_reads, &mut entry_writes);
+        }
+
         Self {
             program,
             structure: Arc::new(s),
@@ -291,6 +387,9 @@ impl MonitorSystem {
             entry_els,
             var_els,
             cond_els,
+            step_class,
+            entry_reads,
+            entry_writes,
         }
     }
 
@@ -575,6 +674,61 @@ impl MonitorSystem {
                     let branch = if nonempty { then_branch } else { else_branch };
                     state.procs[pid].frames.push(branch.into_iter().collect());
                 }
+            }
+        }
+    }
+
+    /// Resolves the commutativity class of `action` in `state`: monitor
+    /// code (`Enter`/`Resume`) or the script step a `Step` will perform.
+    fn action_class<'a>(&'a self, state: &MonitorState, action: &MonitorAction) -> ActionClass<'a> {
+        match *action {
+            MonitorAction::Enter(_) | MonitorAction::Resume(_) => ActionClass::Entry,
+            MonitorAction::Step(pid) => {
+                ActionClass::Step(&self.step_class[pid][state.procs[pid].script_pos])
+            }
+        }
+    }
+
+    /// Whether monitor code (an entry execution, including any signal
+    /// chain) commutes with the given script step. Entry code emits on
+    /// the lock, entry, condition, and monitor-variable elements plus the
+    /// acting processes' own user elements — never on another *enabled*
+    /// process's element — so the only conflicts are lock traffic and
+    /// variable footprint overlap.
+    fn entry_commutes_with(&self, s: &StepClass) -> bool {
+        match s {
+            // A call emits `Req` on the lock element: its order against
+            // the entry's `Acquire`/`Release` is part of the computation.
+            StepClass::Call => false,
+            StepClass::Event => true,
+            // Entry reads are silent (no event), so a `Getval` commutes
+            // unless the entry can change the value it observes.
+            StepClass::Read(v) => !self.entry_writes.contains(v),
+            StepClass::Write { var, reads } => {
+                !self.entry_writes.contains(var)
+                    && !self.entry_reads.contains(var)
+                    && reads.iter().all(|r| !self.entry_writes.contains(r))
+            }
+        }
+    }
+
+    /// Whether two script steps of *distinct* processes commute. Calls
+    /// and local events carry pre-evaluated values and emit only on the
+    /// acting process's own element (plus, for calls, the lock — handled
+    /// by the `(Call, Call)` arm); shared accesses conflict exactly on
+    /// variable overlap.
+    fn steps_commute(s: &StepClass, t: &StepClass) -> bool {
+        use StepClass::*;
+        match (s, t) {
+            // Request order on the lock element is observable.
+            (Call, Call) => false,
+            (Call | Event, _) | (_, Call | Event) => true,
+            // Same variable ⇒ same element ⇒ the per-element event order
+            // (and hence the canonical key) would change.
+            (Read(v), Read(w)) => v != w,
+            (Read(v), Write { var, .. }) | (Write { var, .. }, Read(v)) => v != var,
+            (Write { var: v1, reads: r1 }, Write { var: v2, reads: r2 }) => {
+                v1 != v2 && !r1.contains(v2.as_str()) && !r2.contains(v1.as_str())
             }
         }
     }
@@ -939,6 +1093,28 @@ impl System for MonitorSystem {
         state.init_done = cp.init_done;
         state.urgent = cp.urgent;
         state.queues = cp.queues;
+    }
+
+    /// Independence oracle for sleep-set POR. Each process contributes at
+    /// most one enabled action per state, so the two actions always
+    /// belong to distinct processes; they commute when their
+    /// commutativity classes touch disjoint elements and variables (see
+    /// [`MonitorSystem::entry_commutes_with`] /
+    /// [`MonitorSystem::steps_commute`]).
+    fn independent(&self, state: &MonitorState, a: &MonitorAction, b: &MonitorAction) -> bool {
+        let pid = |action: &MonitorAction| match *action {
+            MonitorAction::Step(p) | MonitorAction::Enter(p) | MonitorAction::Resume(p) => p,
+        };
+        if pid(a) == pid(b) {
+            return false;
+        }
+        match (self.action_class(state, a), self.action_class(state, b)) {
+            // Two monitor executions serialize on the lock element.
+            (ActionClass::Entry, ActionClass::Entry) => false,
+            (ActionClass::Entry, ActionClass::Step(s))
+            | (ActionClass::Step(s), ActionClass::Entry) => self.entry_commutes_with(s),
+            (ActionClass::Step(s), ActionClass::Step(t)) => Self::steps_commute(s, t),
+        }
     }
 }
 

@@ -8,12 +8,16 @@
 //!
 //! * The calling thread walks the schedule trie down to the split depth
 //!   in DFS order, so work items are indexed by the lexicographic
-//!   position of their subtree root, and records how many trie edges it
-//!   applied between consecutive items (each item's `lead`).
+//!   position of their subtree root, and records the accounting ops
+//!   (trie edges and, under [`Explorer::reduce`], sleep-set skips) it
+//!   performed between consecutive items (each item's `lead`). Under
+//!   reduction each item also carries the sleep set inherited at its
+//!   subtree root, so workers resume the sleep-set discipline exactly
+//!   where the frontier walk left off.
 //! * Workers claim items in index order, explore each subtree
 //!   speculatively with purely *local* budgets, and stream every maximal
-//!   run — terminal state, full action path, and the count of subtree
-//!   edges since the previous run — over a bounded per-item channel.
+//!   run — terminal state, full action path, and the ops performed
+//!   since the previous run — over a bounded per-item channel.
 //! * The calling thread *commits* items strictly in index order,
 //!   replaying the serial explorer's accounting edge for edge: step and
 //!   run budgets, truncation causes, the depth high-water mark, per-run
@@ -46,25 +50,50 @@ const WORKER_STACK: usize = 32 * 1024 * 1024;
 /// roughly `jobs × ITEM_CHANNEL_CAP` in-flight runs.
 const ITEM_CHANNEL_CAP: usize = 128;
 
+/// One run-length-encoded slice of the serial explorer's accounting
+/// stream: trie edges (step debit plus run check each) and sleep-set
+/// skips (a `sleep_skipped` credit, never a budget event). Workers and
+/// the frontier walk record these; the committer replays them in order.
+#[derive(Clone, Copy, Debug)]
+enum ReplayOp {
+    /// `n` consecutive trie edges.
+    Edges(usize),
+    /// `n` enabled actions skipped by the sleep set at one node.
+    Skips(usize),
+}
+
+/// Appends `op` to an op stream, merging into the previous op when both
+/// are the same kind (keeps streams short without reordering anything).
+fn push_op(ops: &mut Vec<ReplayOp>, op: ReplayOp) {
+    match (ops.last_mut(), op) {
+        (Some(ReplayOp::Edges(n)), ReplayOp::Edges(m)) => *n += m,
+        (Some(ReplayOp::Skips(n)), ReplayOp::Skips(m)) => *n += m,
+        (_, op) => ops.push(op),
+    }
+}
+
 /// One frontier subtree, identified by its DFS (lexicographic) position.
 struct WorkItem<S: System> {
     /// State at the subtree root.
     state: S::State,
     /// Actions from the system's initial state to the subtree root.
     prefix: Vec<S::Action>,
-    /// Trie edges the frontier walk applied since emitting the previous
-    /// item; the committer replays them as budget debits before this
-    /// item's runs.
-    lead: usize,
+    /// Accounting ops the frontier walk performed since emitting the
+    /// previous item; the committer replays them before this item's runs.
+    lead: Vec<ReplayOp>,
+    /// Sleep set inherited at the subtree root (empty unless
+    /// [`Explorer::reduce`]). Unfiltered: the worker's own node-entry
+    /// partition intersects it with the enabled set.
+    sleep: Vec<S::Action>,
 }
 
 /// Worker → committer message for one item's stream.
 enum Msg<S: System> {
     /// One maximal run of the subtree, in subtree DFS order.
     Leaf {
-        /// Subtree edges applied since the previous leaf (or since the
-        /// subtree root, for the first leaf).
-        pre: usize,
+        /// Accounting ops since the previous leaf (or since the subtree
+        /// root, for the first leaf).
+        pre: Vec<ReplayOp>,
         /// True if the run was cut at [`Explorer::max_depth`] while
         /// actions were still enabled.
         depth_limited: bool,
@@ -75,9 +104,10 @@ enum Msg<S: System> {
     },
     /// End of the item's stream.
     Tail {
-        /// Edges applied after the last leaf (speculative overshoot of a
-        /// local budget; zero when the subtree was exhausted).
-        post: usize,
+        /// Accounting ops after the last leaf (speculative overshoot of a
+        /// local budget, or trailing fully-slept nodes; empty when the
+        /// subtree was exhausted without either).
+        post: Vec<ReplayOp>,
         /// False if a local budget stopped the worker with unexplored
         /// edges remaining in the subtree.
         finished: bool,
@@ -85,22 +115,25 @@ enum Msg<S: System> {
 }
 
 /// Collects the work items by walking the trie down to the split depth in
-/// DFS order. Every edge applied during the walk is charged to exactly
-/// one item's `lead`, so the committer's replayed edge sequence equals
-/// the serial explorer's.
-fn build_frontier<S: System>(explorer: &Explorer, sys: &S) -> Vec<WorkItem<S>> {
+/// DFS order, plus the trailing ops performed after the last item (under
+/// reduction a subtree can be pruned entirely, leaving edges and skips
+/// with no following item). Every op of the walk is charged to exactly
+/// one item's `lead` or to the tail, so the committer's replayed sequence
+/// equals the serial explorer's.
+fn build_frontier<S: System>(explorer: &Explorer, sys: &S) -> (Vec<WorkItem<S>>, Vec<ReplayOp>) {
     let mut items = Vec::new();
     let mut path = Vec::new();
-    let mut edges = 0usize;
+    let mut ops = Vec::new();
     frontier_dfs(
         explorer,
         sys,
         sys.initial(),
         &mut path,
-        &mut edges,
+        Vec::new(),
+        &mut ops,
         &mut items,
     );
-    items
+    (items, ops)
 }
 
 fn frontier_dfs<S: System>(
@@ -108,19 +141,54 @@ fn frontier_dfs<S: System>(
     sys: &S,
     state: S::State,
     path: &mut Vec<S::Action>,
-    edges: &mut usize,
+    sleep: Vec<S::Action>,
+    ops: &mut Vec<ReplayOp>,
     items: &mut Vec<WorkItem<S>>,
 ) {
     if path.len() < explorer.split_depth && path.len() < explorer.max_depth {
         let actions = sys.enabled(&state);
         if !actions.is_empty() {
-            for action in actions {
+            // Sleep-set partition, mirroring the serial DFS node entry.
+            let (awake, mut cur_sleep) = if explorer.reduce {
+                let cur_sleep: Vec<S::Action> =
+                    sleep.into_iter().filter(|b| actions.contains(b)).collect();
+                let awake: Vec<S::Action> = actions
+                    .iter()
+                    .filter(|a| !cur_sleep.contains(a))
+                    .cloned()
+                    .collect();
+                let skipped = actions.len() - awake.len();
+                if skipped > 0 {
+                    push_op(ops, ReplayOp::Skips(skipped));
+                }
+                if awake.is_empty() {
+                    // Fully-slept node: no item, no run — the charged
+                    // skips ride with the next item (or the tail).
+                    return;
+                }
+                (awake, cur_sleep)
+            } else {
+                (actions, Vec::new())
+            };
+            for action in awake {
+                let child_sleep: Vec<S::Action> = if explorer.reduce {
+                    cur_sleep
+                        .iter()
+                        .filter(|b| sys.independent(&state, &action, b))
+                        .cloned()
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let mut next = state.clone();
                 sys.apply(&mut next, &action);
-                *edges += 1;
+                push_op(ops, ReplayOp::Edges(1));
                 path.push(action);
-                frontier_dfs(explorer, sys, next, path, edges, items);
-                path.pop();
+                frontier_dfs(explorer, sys, next, path, child_sleep, ops, items);
+                let action = path.pop().expect("path underflow");
+                if explorer.reduce {
+                    cur_sleep.push(action);
+                }
             }
             return;
         }
@@ -128,7 +196,8 @@ fn frontier_dfs<S: System>(
     items.push(WorkItem {
         state,
         prefix: path.clone(),
-        lead: std::mem::take(edges),
+        lead: std::mem::take(ops),
+        sleep,
     });
 }
 
@@ -150,31 +219,40 @@ struct Worker<'a, S: System> {
     tx: SyncSender<Msg<S>>,
     runs: usize,
     steps: usize,
-    pending_edges: usize,
+    pending_ops: Vec<ReplayOp>,
 }
 
 impl<S: System> Worker<'_, S> {
     fn run_item(mut self, item: WorkItem<S>) {
         let mut path = item.prefix;
         let mut state = item.state;
-        let finished = match self.subtree(&mut state, &mut path) {
+        let finished = match self.subtree(&mut state, &mut path, item.sleep) {
             ControlFlow::Continue(()) => true,
             ControlFlow::Break(Stop::Truncated) => false,
             ControlFlow::Break(Stop::Abort) => return,
         };
         let _ = self.tx.send(Msg::Tail {
-            post: self.pending_edges,
+            post: std::mem::take(&mut self.pending_ops),
             finished,
         });
     }
 
+    fn charge(&mut self, op: ReplayOp) {
+        push_op(&mut self.pending_ops, op);
+    }
+
     /// Mirrors the serial `Explorer::dfs` exactly (minus pruning, which
-    /// forces the serial path): run check at node entry, step check
-    /// before each edge application, leaves streamed in DFS order. Like
-    /// the serial DFS, checkpoint-capable systems walk one shared state
-    /// with apply/undo (one clone per *leaf* for the streamed message)
-    /// instead of one clone per edge.
-    fn subtree(&mut self, state: &mut S::State, path: &mut Vec<S::Action>) -> ControlFlow<Stop> {
+    /// forces the serial path): run check at node entry, sleep-set
+    /// partition, step check before each edge application, leaves
+    /// streamed in DFS order. Like the serial DFS, checkpoint-capable
+    /// systems walk one shared state with apply/undo (one clone per
+    /// *leaf* for the streamed message) instead of one clone per edge.
+    fn subtree(
+        &mut self,
+        state: &mut S::State,
+        path: &mut Vec<S::Action>,
+        sleep: Vec<S::Action>,
+    ) -> ControlFlow<Stop> {
         if self.cancel.load(Ordering::Relaxed) {
             return ControlFlow::Break(Stop::Abort);
         }
@@ -185,7 +263,7 @@ impl<S: System> Worker<'_, S> {
         if actions.is_empty() || path.len() >= self.explorer.max_depth {
             let depth_limited = path.len() >= self.explorer.max_depth && !actions.is_empty();
             let msg = Msg::Leaf {
-                pre: std::mem::take(&mut self.pending_edges),
+                pre: std::mem::take(&mut self.pending_ops),
                 depth_limited,
                 path: path.clone(),
                 state: state.clone(),
@@ -196,27 +274,63 @@ impl<S: System> Worker<'_, S> {
             self.runs += 1;
             return ControlFlow::Continue(());
         }
-        for action in actions {
+        let (awake, mut cur_sleep) = if self.explorer.reduce {
+            let cur_sleep: Vec<S::Action> =
+                sleep.into_iter().filter(|b| actions.contains(b)).collect();
+            let awake: Vec<S::Action> = actions
+                .iter()
+                .filter(|a| !cur_sleep.contains(a))
+                .cloned()
+                .collect();
+            let skipped = actions.len() - awake.len();
+            if skipped > 0 {
+                self.charge(ReplayOp::Skips(skipped));
+            }
+            if awake.is_empty() {
+                return ControlFlow::Continue(());
+            }
+            (awake, cur_sleep)
+        } else {
+            (actions, Vec::new())
+        };
+        for action in awake {
             if self.steps >= self.explorer.max_steps {
                 return ControlFlow::Break(Stop::Truncated);
             }
+            // Child sleep against the pre-apply state, exactly like the
+            // serial DFS (see there for why).
+            let child_sleep: Vec<S::Action> = if self.explorer.reduce {
+                cur_sleep
+                    .iter()
+                    .filter(|b| self.sys.independent(state, &action, b))
+                    .cloned()
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let flow = if let Some(cp) = self.sys.checkpoint(state) {
                 self.sys.apply(state, &action);
                 self.steps += 1;
-                self.pending_edges += 1;
+                self.charge(ReplayOp::Edges(1));
                 path.push(action);
-                let flow = self.subtree(state, path);
-                path.pop();
+                let flow = self.subtree(state, path, child_sleep);
+                let action = path.pop().expect("path underflow");
                 self.sys.undo(state, cp);
+                if self.explorer.reduce {
+                    cur_sleep.push(action);
+                }
                 flow
             } else {
                 let mut next = state.clone();
                 self.sys.apply(&mut next, &action);
                 self.steps += 1;
-                self.pending_edges += 1;
+                self.charge(ReplayOp::Edges(1));
                 path.push(action);
-                let flow = self.subtree(&mut next, path);
-                path.pop();
+                let flow = self.subtree(&mut next, path, child_sleep);
+                let action = path.pop().expect("path underflow");
+                if self.explorer.reduce {
+                    cur_sleep.push(action);
+                }
                 flow
             };
             flow?;
@@ -237,6 +351,24 @@ fn consume_edge(explorer: &Explorer, stats: &mut ExploreStats) -> ControlFlow<()
     if stats.runs >= explorer.max_runs {
         stats.truncation = Some(TruncationReason::RunLimit);
         return ControlFlow::Break(());
+    }
+    ControlFlow::Continue(())
+}
+
+/// Replays an op stream: edges debit budgets (and may fire a bound, which
+/// stops the replay exactly where serial would have stopped — any trailing
+/// ops belong to nodes serial never reached); skips only credit
+/// `sleep_skipped`, never a budget event, matching the serial partition.
+fn consume_ops(explorer: &Explorer, stats: &mut ExploreStats, ops: &[ReplayOp]) -> ControlFlow<()> {
+    for op in ops {
+        match *op {
+            ReplayOp::Edges(n) => {
+                for _ in 0..n {
+                    consume_edge(explorer, stats)?;
+                }
+            }
+            ReplayOp::Skips(n) => stats.sleep_skipped += n,
+        }
     }
     ControlFlow::Continue(())
 }
@@ -296,12 +428,15 @@ impl Explorer {
         if jobs <= 1 || self.prune || self.max_runs == 0 {
             return self.for_each_run_probed(sys, probe, visit);
         }
-        let items = build_frontier(self, sys);
+        let (mut items, tail_ops) = build_frontier(self, sys);
         if items.len() <= 1 {
             return self.for_each_run_probed(sys, probe, visit);
         }
 
-        let leads: Vec<usize> = items.iter().map(|item| item.lead).collect();
+        let leads: Vec<Vec<ReplayOp>> = items
+            .iter_mut()
+            .map(|item| std::mem::take(&mut item.lead))
+            .collect();
         let slots: Vec<Mutex<Option<WorkItem<S>>>> = items
             .into_iter()
             .map(|item| Mutex::new(Some(item)))
@@ -358,7 +493,7 @@ impl Explorer {
                                 tx,
                                 runs: 0,
                                 steps: 0,
-                                pending_edges: 0,
+                                pending_ops: Vec::new(),
                             }
                             .run_item(item);
                         }
@@ -372,11 +507,9 @@ impl Explorer {
             let mut stopped = false;
             'items: for (idx, rx) in receivers.into_iter().enumerate() {
                 last_unfinished = false;
-                for _ in 0..leads[idx] {
-                    if consume_edge(self, &mut stats).is_break() {
-                        stopped = true;
-                        break 'items;
-                    }
+                if consume_ops(self, &mut stats, &leads[idx]).is_break() {
+                    stopped = true;
+                    break 'items;
                 }
                 loop {
                     match rx.recv() {
@@ -386,11 +519,9 @@ impl Explorer {
                             path,
                             state,
                         }) => {
-                            for _ in 0..pre {
-                                if consume_edge(self, &mut stats).is_break() {
-                                    stopped = true;
-                                    break 'items;
-                                }
+                            if consume_ops(self, &mut stats, &pre).is_break() {
+                                stopped = true;
+                                break 'items;
                             }
                             if depth_limited {
                                 stats.depth_limited_runs += 1;
@@ -399,6 +530,9 @@ impl Explorer {
                                 }
                             }
                             stats.runs += 1;
+                            if self.reduce {
+                                stats.por_runs += 1;
+                            }
                             stats.max_depth_seen = stats.max_depth_seen.max(path.len());
                             if probe.enabled() {
                                 flush_run(probe, &stats, &mut flushed_steps);
@@ -409,11 +543,9 @@ impl Explorer {
                             }
                         }
                         Ok(Msg::Tail { post, finished }) => {
-                            for _ in 0..post {
-                                if consume_edge(self, &mut stats).is_break() {
-                                    stopped = true;
-                                    break 'items;
-                                }
+                            if consume_ops(self, &mut stats, &post).is_break() {
+                                stopped = true;
+                                break 'items;
                             }
                             last_unfinished = !finished;
                             continue 'items;
@@ -433,6 +565,13 @@ impl Explorer {
                 // left in its subtree: serial would attempt exactly one
                 // more edge there before its own bound fires.
                 let _ = consume_edge(self, &mut stats);
+            } else if !stopped {
+                // Ops the frontier walk performed after the last item —
+                // edges into (and skips at) trailing fully-slept nodes
+                // that produced no work item. Serial walks them after the
+                // last run; a truncated or aborted commit never gets
+                // there.
+                let _ = consume_ops(self, &mut stats, &tail_ops);
             }
             cancel.store(true, Ordering::Relaxed);
             // Unconsumed receivers were dropped by the loop, so blocked
@@ -459,6 +598,7 @@ mod tests {
         stuck: bool,
     }
 
+    // POR: conservative — the POR differentials use `PorRagged` below.
     impl System for Ragged {
         type State = Vec<u8>;
         type Action = usize;
@@ -489,9 +629,42 @@ mod tests {
         }
     }
 
+    /// `Ragged` with an independence oracle claiming distinct counters
+    /// commute. In the `stuck` variant that claim is *unsound* for the
+    /// system's semantics (one counter's step can disable another's), but
+    /// the serial-vs-parallel differential only needs both sides to
+    /// honour the same oracle — an adversarial stress for the op-stream
+    /// replay, since fully-slept nodes then appear mid-frontier.
+    struct PorRagged(Ragged);
+
+    impl System for PorRagged {
+        type State = Vec<u8>;
+        type Action = usize;
+        type Checkpoint = ();
+
+        fn initial(&self) -> Vec<u8> {
+            self.0.initial()
+        }
+        fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+            self.0.enabled(state)
+        }
+        fn apply(&self, state: &mut Vec<u8>, action: &usize) {
+            self.0.apply(state, action);
+        }
+        fn is_complete(&self, state: &Vec<u8>) -> bool {
+            self.0.is_complete(state)
+        }
+        fn independent(&self, _state: &Vec<u8>, a: &usize, b: &usize) -> bool {
+            a != b
+        }
+    }
+
     /// Runs serial and parallel exploration and asserts identical stats
     /// and identical visited (state, path) sequences.
-    fn assert_equiv(explorer: &Explorer, sys: &Ragged) {
+    fn assert_equiv<S>(explorer: &Explorer, sys: &S)
+    where
+        S: System<State = Vec<u8>, Action = usize> + Sync,
+    {
         let mut serial_seen: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
         let serial = explorer.for_each_run(sys, |s, p| {
             serial_seen.push((s.clone(), p.to_vec()));
@@ -587,6 +760,94 @@ mod tests {
                 &sys,
             );
         }
+    }
+
+    #[test]
+    fn por_equivalence_across_jobs_and_splits() {
+        for stuck in [false, true] {
+            let sys = PorRagged(Ragged { n: 3, stuck });
+            for jobs in [2, 4] {
+                for split_depth in [0, 1, 2, 3, 5] {
+                    assert_equiv(
+                        &Explorer {
+                            reduce: true,
+                            jobs,
+                            split_depth,
+                            ..Explorer::default()
+                        },
+                        &sys,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn por_truncated_equivalence() {
+        let sys = PorRagged(Ragged { n: 3, stuck: true });
+        let reduce = Explorer {
+            reduce: true,
+            ..Explorer::default()
+        };
+        let total = reduce.for_each_run(&sys, |_, _| ControlFlow::Continue(()));
+        assert!(total.sleep_skipped > 0, "{total:?}");
+        for max_runs in 1..=total.runs + 1 {
+            assert_equiv(
+                &Explorer {
+                    max_runs,
+                    jobs: 4,
+                    split_depth: 2,
+                    ..reduce
+                },
+                &sys,
+            );
+        }
+        for max_steps in [1, 2, 3, 5, total.steps - 1, total.steps, total.steps + 1] {
+            assert_equiv(
+                &Explorer {
+                    max_steps,
+                    jobs: 4,
+                    split_depth: 2,
+                    ..reduce
+                },
+                &sys,
+            );
+        }
+        for max_depth in [1, 2, 3, 4] {
+            assert_equiv(
+                &Explorer {
+                    max_depth,
+                    jobs: 4,
+                    split_depth: 2,
+                    ..reduce
+                },
+                &sys,
+            );
+        }
+    }
+
+    #[test]
+    fn por_probe_counter_sequence_matches_serial() {
+        use gem_obs::StatsProbe;
+        let sys = PorRagged(Ragged { n: 3, stuck: false });
+        let explorer = Explorer {
+            reduce: true,
+            ..Explorer::default()
+        };
+        let serial_probe = StatsProbe::new();
+        explorer.for_each_run_probed(&sys, &serial_probe, |_, _| ControlFlow::Continue(()));
+        let par_probe = StatsProbe::new();
+        Explorer {
+            jobs: 4,
+            split_depth: 2,
+            ..explorer
+        }
+        .par_for_each_run_probed(&sys, &par_probe, |_, _| ControlFlow::Continue(()));
+        assert_eq!(
+            serial_probe.report().to_json(),
+            par_probe.report().to_json()
+        );
+        assert!(serial_probe.counter("explore.sleep_skipped") > 0);
     }
 
     #[test]
@@ -697,6 +958,7 @@ mod tests {
         /// A system that reports through the ambient probe from inside
         /// `apply` — i.e. from worker threads in parallel mode.
         struct Chatty;
+        // POR: conservative — probe-inheritance toy, no oracle needed.
         impl System for Chatty {
             type State = Vec<u8>;
             type Action = usize;

@@ -51,5 +51,7 @@ pub use blame::{blame_on_computation, blame_on_sequence, Blame, BlameFrame};
 pub use eval::{holds_on_computation, holds_on_history, holds_on_sequence, EvalError};
 pub use formula::{Atom, Formula};
 pub use simplify::{formula_size, simplify};
-pub use strategy::{check, random_linearization, CheckReport, Counterexample, Strategy};
+pub use strategy::{
+    check, check_many, random_linearization, CheckReport, Counterexample, MultiCheck, Strategy,
+};
 pub use term::{CmpOp, EventSel, EventTerm, ParamRef, ValueTerm};

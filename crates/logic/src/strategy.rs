@@ -277,6 +277,197 @@ pub fn check(
     }
 }
 
+/// Per-formula outcome of [`check_many`].
+#[derive(Debug)]
+pub struct MultiCheck {
+    /// The report (or error), exactly as [`check`] would have produced it.
+    pub report: Result<CheckReport, EvalError>,
+    /// Nanoseconds this formula spent in evaluation, for per-restriction
+    /// timing attribution. Tracked only while an ambient probe is active;
+    /// 0 otherwise.
+    pub eval_ns: u64,
+}
+
+/// Checks several formulas against *one shared enumeration* of history
+/// sequences.
+///
+/// [`check`]ing each restriction separately re-enumerates the same
+/// linearizations and rebuilds the same prefix histories once per
+/// formula; on check-dominated sweeps that enumeration is the hot path.
+/// This variant walks the sequence space once, constructs each
+/// [`HistorySequence`] once, and evaluates every still-undecided formula
+/// on it. Each returned report is identical to what a standalone
+/// [`check`] call would produce: the enumeration order is deterministic,
+/// a formula stops counting at its first failing sequence, and a passing
+/// formula sees the full enumeration.
+///
+/// Sharing applies to [`Strategy::Linearizations`] and
+/// [`Strategy::StepSequences`] when every formula is temporal; any other
+/// input falls back to per-formula [`check`] calls (still with faithful
+/// reports — only the sharing is lost).
+pub fn check_many(
+    formulas: &[&Formula],
+    computation: &Computation,
+    strategy: Strategy,
+) -> Vec<MultiCheck> {
+    let sharable = formulas.len() > 1
+        && formulas.iter().all(|f| f.is_temporal())
+        && matches!(
+            strategy,
+            Strategy::Linearizations { .. } | Strategy::StepSequences { .. }
+        );
+    if !sharable {
+        return formulas
+            .iter()
+            .map(|f| MultiCheck {
+                report: check(f, computation, strategy),
+                eval_ns: 0,
+            })
+            .collect();
+    }
+
+    let probing = gem_obs::ambient::active();
+    let n = formulas.len();
+    // A decided formula stops participating: either (sequences counted at
+    // the failure, counterexample) or an evaluation error.
+    let mut failures: Vec<Option<(usize, Counterexample)>> = vec![None; n];
+    let mut errors: Vec<Option<EvalError>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut eval_ns = vec![0u64; n];
+    let mut undecided = n;
+    let mut checked = 0usize;
+
+    // `◻ p` with an immediate (non-temporal) `p` — the shape of every
+    // safety pattern (`mutual_exclusion`, `priority` bodies, …) — holds
+    // on a sequence iff `p` holds at each of its histories, and `p`'s
+    // verdict at a history is independent of the sequence around it. The
+    // same few downsets recur across exponentially many sequences, so
+    // those verdicts are memoized per history: the verdict, failing
+    // sequence index, and counterexample stay byte-identical while the
+    // evaluator runs once per *distinct history* instead of once per
+    // sequence position.
+    let body_if_safety: Vec<Option<&Formula>> = formulas
+        .iter()
+        .map(|f| match f {
+            Formula::Henceforth(inner) if !inner.is_temporal() => Some(inner.as_ref()),
+            _ => None,
+        })
+        .collect();
+    let mut memo: Vec<std::collections::HashMap<History, bool>> =
+        std::iter::repeat_with(std::collections::HashMap::new)
+            .take(n)
+            .collect();
+
+    // Evaluates formula `i` on the current sequence: `seq()` materializes
+    // the histories (cheap for step sequences, a prefix build for
+    // linearizations); safety formulas walk `histories()` one at a time
+    // through the memo instead.
+    enum SeqVerdict {
+        Holds,
+        Fails,
+        Error(EvalError),
+    }
+    let mut eval_formula =
+        |i: usize, f: &Formula, body: Option<&Formula>, histories: &[History]| -> SeqVerdict {
+            let started = probing.then(std::time::Instant::now);
+            let verdict = match body {
+                Some(p) => {
+                    let mut verdict = SeqVerdict::Holds;
+                    for h in histories {
+                        let cached = memo[i].get(h).copied();
+                        let v = match cached {
+                            Some(v) => v,
+                            None => match crate::holds_on_history(p, computation, h) {
+                                Ok(v) => {
+                                    memo[i].insert(h.clone(), v);
+                                    v
+                                }
+                                Err(e) => {
+                                    verdict = SeqVerdict::Error(e);
+                                    break;
+                                }
+                            },
+                        };
+                        if !v {
+                            verdict = SeqVerdict::Fails;
+                            break;
+                        }
+                    }
+                    verdict
+                }
+                None => match holds_on_sequence(f, computation, histories) {
+                    Ok(true) => SeqVerdict::Holds,
+                    Ok(false) => SeqVerdict::Fails,
+                    Err(e) => SeqVerdict::Error(e),
+                },
+            };
+            if let Some(started) = started {
+                eval_ns[i] += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+            verdict
+        };
+
+    let mut on_sequence = |histories: &[History]| {
+        checked += 1;
+        for (i, f) in formulas.iter().enumerate() {
+            if failures[i].is_some() || errors[i].is_some() {
+                continue;
+            }
+            match eval_formula(i, f, body_if_safety[i], histories) {
+                SeqVerdict::Holds => {}
+                SeqVerdict::Fails => {
+                    failures[i] = Some((checked, Counterexample::from_histories(histories)));
+                    undecided -= 1;
+                }
+                SeqVerdict::Error(e) => {
+                    errors[i] = Some(e);
+                    undecided -= 1;
+                }
+            }
+        }
+        if undecided == 0 {
+            std::ops::ControlFlow::Break(())
+        } else {
+            std::ops::ControlFlow::Continue(())
+        }
+    };
+
+    let (visited, limit) = match strategy {
+        Strategy::Linearizations { limit } => (
+            for_each_linearization(computation, limit, |order| {
+                let seq = HistorySequence::from_linearization(computation, order);
+                on_sequence(seq.histories())
+            }),
+            limit,
+        ),
+        Strategy::StepSequences { limit } => (
+            for_each_step_sequence(computation, limit, |seq| on_sequence(seq)),
+            limit,
+        ),
+        _ => unreachable!("sharable is limited to the enumerating strategies"),
+    };
+
+    (0..n)
+        .map(|i| {
+            let report = if let Some(e) = errors[i].take() {
+                Err(e)
+            } else if let Some((at, cex)) = failures[i].take() {
+                Ok(CheckReport {
+                    holds: false,
+                    sequences_checked: at,
+                    exhaustive: true,
+                    counterexample: Some(cex),
+                })
+            } else {
+                Ok(CheckReport::passing(checked, visited < limit))
+            };
+            MultiCheck {
+                report,
+                eval_ns: eval_ns[i],
+            }
+        })
+        .collect()
+}
+
 /// Draws one uniform-at-random-ish linearization (random frontier choice at
 /// each step).
 pub fn random_linearization(computation: &Computation, rng: &mut impl Rng) -> Vec<EventId> {
@@ -367,6 +558,61 @@ mod tests {
         let steps = check(&f, &c, Strategy::StepSequences { limit: 10_000 }).unwrap();
         assert!(!steps.holds, "a simultaneous step never separates them");
         assert!(steps.counterexample.is_some());
+    }
+
+    #[test]
+    fn check_many_matches_individual_checks() {
+        let (c, e) = two_chains();
+        // A mix of verdicts: a holding safety formula, a failing one, and
+        // a holding liveness formula — over both enumerating strategies.
+        let holds_safety = Formula::occurred(e[1])
+            .implies(Formula::occurred(e[0]))
+            .henceforth();
+        let fails = Formula::occurred(e[0])
+            .implies(Formula::occurred(e[2]))
+            .henceforth();
+        let holds_liveness = Formula::occurred(e[3]).eventually();
+        let formulas = [&holds_safety, &fails, &holds_liveness];
+        for strategy in [
+            Strategy::Linearizations { limit: 100 },
+            Strategy::StepSequences { limit: 10_000 },
+            // Non-sharing strategies exercise the fallback path.
+            Strategy::GreedySteps,
+            Strategy::Complete,
+        ] {
+            let many = check_many(&formulas, &c, strategy);
+            for (f, outcome) in formulas.iter().zip(many) {
+                let solo = check(f, &c, strategy).unwrap();
+                let got = outcome.report.expect("well-formed formula");
+                assert_eq!(solo.holds, got.holds, "{strategy:?}");
+                assert_eq!(
+                    solo.sequences_checked, got.sequences_checked,
+                    "{strategy:?}"
+                );
+                assert_eq!(solo.exhaustive, got.exhaustive, "{strategy:?}");
+                assert_eq!(solo.counterexample, got.counterexample, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_many_stops_enumerating_once_all_formulas_fail() {
+        let (c, e) = two_chains();
+        // Both fail on the very first linearization: enumeration must not
+        // visit the remaining sequences.
+        let f1 = Formula::occurred(e[0])
+            .implies(Formula::occurred(e[2]))
+            .henceforth();
+        let f2 = Formula::occurred(e[1])
+            .implies(Formula::occurred(e[3]))
+            .henceforth();
+        let many = check_many(&[&f1, &f2], &c, Strategy::Linearizations { limit: 100 });
+        for outcome in many {
+            let report = outcome.report.unwrap();
+            assert!(!report.holds);
+            assert_eq!(report.sequences_checked, 1);
+            assert!(report.exhaustive);
+        }
     }
 
     #[test]

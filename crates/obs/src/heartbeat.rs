@@ -19,7 +19,8 @@ use crate::probe::Probe;
 /// Call [`HeartbeatProbe::finish`] at end-of-sweep: it always flushes a
 /// final summary line (even when the rate limiter would suppress it),
 /// including the computation-dedup hit-rate when dedup counters
-/// (`*.dedup.hits` / `*.dedup.misses`) were observed.
+/// (`*.dedup.hits` / `*.dedup.misses`) were observed and the sleep-set
+/// reduction summary when `explore.sleep_skipped` was nonzero.
 pub struct HeartbeatProbe {
     run_counter: &'static str,
     step_counter: &'static str,
@@ -45,6 +46,8 @@ struct HeartbeatState {
     steps: u64,
     dedup_hits: u64,
     dedup_misses: u64,
+    sleep_skipped: u64,
+    por_runs: u64,
     since_check: u64,
     started: Instant,
     last_beat: Instant,
@@ -65,6 +68,8 @@ impl HeartbeatProbe {
                 steps: 0,
                 dedup_hits: 0,
                 dedup_misses: 0,
+                sleep_skipped: 0,
+                por_runs: 0,
                 since_check: 0,
                 started: now,
                 last_beat: now,
@@ -109,6 +114,12 @@ impl HeartbeatProbe {
                 state.dedup_hits
             ));
         }
+        if done && state.sleep_skipped > 0 {
+            line.push_str(&format!(
+                ", POR: {} representative(s), {} branch(es) slept",
+                state.por_runs, state.sleep_skipped
+            ));
+        }
         let mut out = self.out.lock().expect("heartbeat poisoned");
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
@@ -142,6 +153,16 @@ impl Probe for HeartbeatProbe {
         if name.ends_with(".dedup.misses") {
             let mut state = self.state.lock().expect("heartbeat poisoned");
             state.dedup_misses += delta;
+            return;
+        }
+        if name == "explore.sleep_skipped" {
+            let mut state = self.state.lock().expect("heartbeat poisoned");
+            state.sleep_skipped += delta;
+            return;
+        }
+        if name == "explore.por_runs" {
+            let mut state = self.state.lock().expect("heartbeat poisoned");
+            state.por_runs += delta;
             return;
         }
         if name != self.run_counter {
@@ -244,6 +265,35 @@ mod tests {
         hb.finish();
         let text = buf.text();
         assert!(text.contains("dedup hit-rate 75% (6/8)"), "{text}");
+    }
+
+    #[test]
+    fn finish_reports_sleep_set_reduction() {
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).writer(buf.clone());
+        hb.add("explore.runs", 4);
+        hb.add("explore.por_runs", 4);
+        hb.add("explore.sleep_skipped", 11);
+        hb.finish();
+        let text = buf.text();
+        assert!(
+            text.contains("POR: 4 representative(s), 11 branch(es) slept"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn finish_omits_por_when_nothing_was_slept() {
+        // Zero-valued POR counters are emitted on every probed sweep;
+        // the summary must stay quiet about them.
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).writer(buf.clone());
+        hb.add("explore.runs", 4);
+        hb.add("explore.por_runs", 0);
+        hb.add("explore.sleep_skipped", 0);
+        hb.finish();
+        let text = buf.text();
+        assert!(!text.contains("POR"), "{text}");
     }
 
     #[test]

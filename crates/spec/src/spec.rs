@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use gem_core::{check_legality, Computation, History, Structure, Violation};
 use gem_logic::{
-    blame_on_computation, blame_on_sequence, check, Blame, CheckReport, EvalError, Formula,
-    Strategy,
+    blame_on_computation, blame_on_sequence, check, check_many, Blame, CheckReport, EvalError,
+    Formula, MultiCheck, Strategy,
 };
 
 use crate::thread::{infer_threads, ThreadSpec};
@@ -116,21 +116,60 @@ impl Specification {
 
         let legality = check_legality(target);
         let probing = gem_obs::ambient::active();
+
+        // Temporal restrictions share one enumeration of history
+        // sequences (`check_many`): re-enumerating identical
+        // linearizations once per restriction dominates check-bound
+        // sweeps. Reports are identical to per-restriction `check` calls.
+        let temporal: Vec<usize> = (0..self.restrictions.len())
+            .filter(|&i| self.restrictions[i].formula.is_temporal())
+            .collect();
+        let share = temporal.len() > 1
+            && matches!(
+                strategy,
+                Strategy::Linearizations { .. } | Strategy::StepSequences { .. }
+            );
+        let mut batched: Vec<Option<MultiCheck>> = if share {
+            let formulas: Vec<&Formula> = temporal
+                .iter()
+                .map(|&i| &self.restrictions[i].formula)
+                .collect();
+            check_many(&formulas, target, strategy)
+                .into_iter()
+                .map(Some)
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let mut results = Vec::with_capacity(self.restrictions.len());
-        for r in &self.restrictions {
-            let effective = if r.formula.is_temporal() {
-                strategy
-            } else {
-                Strategy::Complete
-            };
+        for (i, r) in self.restrictions.iter().enumerate() {
             let started = if probing {
                 Some(std::time::Instant::now())
             } else {
                 None
             };
-            let report = check(&r.formula, target, effective)?;
+            let (report, batched_ns) = match temporal.iter().position(|&t| t == i) {
+                Some(slot) if !batched.is_empty() => {
+                    let outcome = batched[slot].take().expect("each slot consumed once");
+                    (outcome.report?, Some(outcome.eval_ns))
+                }
+                _ => {
+                    let effective = if r.formula.is_temporal() {
+                        strategy
+                    } else {
+                        Strategy::Complete
+                    };
+                    (check(&r.formula, target, effective)?, None)
+                }
+            };
             if let Some(started) = started {
-                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                // Batched restrictions report their attributed evaluation
+                // time; the shared enumeration cost is deliberately
+                // uncounted (it no longer belongs to any one restriction).
+                let ns = batched_ns.unwrap_or_else(|| {
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
                 gem_obs::ambient::add("restriction.evals", 1);
                 gem_obs::ambient::add(&format!("restriction.{}.evals", r.name), 1);
                 gem_obs::ambient::time_ns(&format!("restriction.{}.check", r.name), ns);

@@ -43,6 +43,24 @@ fn dedup_env() -> bool {
     std::env::var("GEM_TEST_DEDUP").is_ok_and(|v| v.trim() == "1")
 }
 
+/// True when CI forces sleep-set partial-order reduction across the suite
+/// (`GEM_TEST_POR=1`). Serial and parallel exploration must stay
+/// observationally identical *with reduction on* too — both sides of
+/// every differential here honour the flag, so the whole file doubles as
+/// a POR × parallelism equivalence matrix under that leg.
+fn por_env() -> bool {
+    std::env::var("GEM_TEST_POR").is_ok_and(|v| v.trim() == "1")
+}
+
+/// Baseline explorer for the sweeps: default bounds, with reduction
+/// switched by `GEM_TEST_POR`.
+fn base_explorer() -> Explorer {
+    Explorer {
+        reduce: por_env(),
+        ..Explorer::default()
+    }
+}
+
 const SPLIT_DEPTHS: [usize; 3] = [0, 1, 3];
 
 /// Serial-vs-parallel differential check on one system: the run sequence
@@ -106,8 +124,14 @@ where
     S::State: Send,
     S::Action: Send,
 {
-    let full = assert_equiv(Explorer::default(), sys, what);
-    assert!(full.runs > 1, "{what}: workload too trivial ({full})");
+    let full = assert_equiv(base_explorer(), sys, what);
+    // Under GEM_TEST_POR=1 a sweep may legitimately collapse to a single
+    // sleep-set representative (the CSP bounded buffer does); the
+    // serial-vs-parallel comparison stays meaningful regardless.
+    assert!(
+        full.runs > 1 || por_env(),
+        "{what}: workload too trivial ({full})"
+    );
 
     // Truncation by run budget: an odd cap that bites mid-frontier, the
     // exact budget (which must not truncate), and cap 1.
@@ -115,12 +139,21 @@ where
         let stats = assert_equiv(
             Explorer {
                 max_runs,
-                ..Explorer::default()
+                ..base_explorer()
             },
             sys,
             &format!("{what} [max_runs={max_runs}]"),
         );
-        assert_eq!(stats.truncated(), max_runs < full.runs, "{what}: {stats}");
+        if por_env() && max_runs == full.runs {
+            // Documented `Explorer::reduce` corner: an exact run budget
+            // may flag a spurious RunLimit if the DFS still has
+            // fully-slept nodes to visit after the last representative.
+            // Serial/parallel agreement (asserted above) is the real
+            // invariant; here only the run count is pinned.
+            assert_eq!(stats.runs, full.runs, "{what}: {stats}");
+        } else {
+            assert_eq!(stats.truncated(), max_runs < full.runs, "{what}: {stats}");
+        }
     }
 
     // Truncation by step budget.
@@ -128,7 +161,7 @@ where
         let stats = assert_equiv(
             Explorer {
                 max_steps,
-                ..Explorer::default()
+                ..base_explorer()
             },
             sys,
             &format!("{what} [max_steps={max_steps}]"),
@@ -142,7 +175,7 @@ where
         assert_equiv(
             Explorer {
                 max_depth,
-                ..Explorer::default()
+                ..base_explorer()
             },
             sys,
             &format!("{what} [max_depth={max_depth}]"),
@@ -198,6 +231,7 @@ fn verify_outcome_identical_on_failing_instance() {
                 explorer: Explorer {
                     jobs,
                     split_depth: 3,
+                    reduce: por_env(),
                     dedup_computations: dedup_env(),
                     ..Explorer::default()
                 },
@@ -229,6 +263,7 @@ fn verify_outcome_identical_on_passing_instance_with_truncation() {
             &VerifyOptions {
                 explorer: Explorer {
                     jobs,
+                    reduce: por_env(),
                     dedup_computations: dedup_env(),
                     ..Explorer::with_max_runs(max_runs)
                 },
@@ -277,6 +312,7 @@ fn assert_dedup_equiv<S>(
                 explorer: Explorer {
                     jobs,
                     split_depth: 3,
+                    reduce: por_env(),
                     dedup_computations: dedup,
                     ..Explorer::default()
                 },
@@ -422,7 +458,7 @@ fn deadlock_witness_identical() {
     // count.
     use gem::problems::philosophers::{philosophers_program, ForkOrder};
     let sys = philosophers_program(2, 1, ForkOrder::Naive);
-    let serial = find_deadlock(&sys, &Explorer::default());
+    let serial = find_deadlock(&sys, &base_explorer());
     let serial_rendered = serial.as_ref().map(|p| format!("{p:?}"));
     for jobs in job_counts() {
         let par = find_deadlock(
@@ -430,7 +466,7 @@ fn deadlock_witness_identical() {
             &Explorer {
                 jobs,
                 split_depth: 3,
-                ..Explorer::default()
+                ..base_explorer()
             },
         );
         assert_eq!(

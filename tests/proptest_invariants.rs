@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 use gem::core::{
     check_legality, for_each_history, for_each_linearization, Closure, Computation,
@@ -394,6 +395,8 @@ struct TableSystem {
     fanout: Vec<Vec<u8>>,
 }
 
+// POR: conservative — branch labels are arbitrary table indices with no
+// commutation structure, so the default never-independent oracle stands.
 impl gem::lang::System for TableSystem {
     type State = Vec<u8>;
     type Action = u8;
@@ -539,6 +542,117 @@ proptest! {
             serial_probe.counter("explore.steps")
         );
         prop_assert_eq!(par_probe.report().to_json(), serial_probe.report().to_json());
+    }
+}
+
+/// Sanity check of a substrate's independence oracle at one reachable
+/// state: every pair of enabled actions the oracle claims independent
+/// must actually commute there — symmetrically, without disabling each
+/// other, reaching observationally equal states (`enabled`,
+/// `is_complete`) whose computations share a canonical key. This is the
+/// exact contract `Explorer::reduce` relies on for soundness.
+fn check_oracle_diamond<S: gem::lang::System>(
+    sys: &S,
+    picks: &[usize],
+    extract: impl Fn(&S::State) -> gem::core::Computation,
+) -> Result<(), TestCaseError> {
+    use gem::verify::canonical_key;
+    let mut state = sys.initial();
+    for &pick in picks {
+        let enabled = sys.enabled(&state);
+        if enabled.is_empty() {
+            break;
+        }
+        let action = enabled[pick % enabled.len()].clone();
+        sys.apply(&mut state, &action);
+    }
+    let enabled = sys.enabled(&state);
+    for a in &enabled {
+        for b in &enabled {
+            if a == b || !sys.independent(&state, a, b) {
+                continue;
+            }
+            prop_assert!(
+                sys.independent(&state, b, a),
+                "oracle asymmetric on {a:?} / {b:?}"
+            );
+            let mut ab = state.clone();
+            sys.apply(&mut ab, a);
+            prop_assert!(
+                sys.enabled(&ab).contains(b),
+                "{a:?} disables supposedly independent {b:?}"
+            );
+            sys.apply(&mut ab, b);
+            let mut ba = state.clone();
+            sys.apply(&mut ba, b);
+            prop_assert!(
+                sys.enabled(&ba).contains(a),
+                "{b:?} disables supposedly independent {a:?}"
+            );
+            sys.apply(&mut ba, a);
+            prop_assert_eq!(
+                sys.enabled(&ab),
+                sys.enabled(&ba),
+                "enabled sets diverge after {:?}·{:?} vs {:?}·{:?}",
+                a,
+                b,
+                b,
+                a
+            );
+            prop_assert_eq!(sys.is_complete(&ab), sys.is_complete(&ba));
+            prop_assert_eq!(
+                canonical_key(&extract(&ab)),
+                canonical_key(&extract(&ba)),
+                "canonical keys diverge after {:?}·{:?} vs {:?}·{:?}",
+                a,
+                b,
+                b,
+                a
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Monitor oracle diamond property on the readers/writers program.
+    #[test]
+    fn monitor_independence_oracle_commutes(
+        picks in proptest::collection::vec(0usize..64, 0..40),
+    ) {
+        use gem::lang::monitor::readers_writers_monitor;
+        use gem::problems::readers_writers::rw_program;
+        let sys = rw_program(readers_writers_monitor(), 1, 2, false);
+        check_oracle_diamond(&sys, &picks, |s| sys.computation(s).expect("acyclic"))?;
+    }
+
+    /// Monitor oracle diamond property on the bounded buffer.
+    #[test]
+    fn monitor_bounded_independence_oracle_commutes(
+        picks in proptest::collection::vec(0usize..64, 0..40),
+    ) {
+        let sys = gem::problems::bounded::monitor_solution(&[1, 2, 3], 2);
+        check_oracle_diamond(&sys, &picks, |s| sys.computation(s).expect("acyclic"))?;
+    }
+
+    /// CSP oracle diamond property on the bounded buffer.
+    #[test]
+    fn csp_independence_oracle_commutes(
+        picks in proptest::collection::vec(0usize..64, 0..40),
+    ) {
+        let sys = gem::problems::bounded::csp_solution(&[1, 2, 3], 2);
+        check_oracle_diamond(&sys, &picks, |s| sys.computation(s).expect("acyclic"))?;
+    }
+
+    /// ADA oracle diamond property on the bounded buffer.
+    #[test]
+    fn ada_independence_oracle_commutes(
+        picks in proptest::collection::vec(0usize..64, 0..40),
+    ) {
+        let sys = gem::problems::bounded::ada_solution(&[1, 2, 3], 2);
+        check_oracle_diamond(&sys, &picks, |s| sys.computation(s).expect("acyclic"))?;
     }
 }
 
