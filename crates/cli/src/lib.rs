@@ -4,6 +4,7 @@
 //! gem render <problem>           print the specification in paper notation
 //! gem verify <problem>           run PROG sat P over all schedules
 //! gem explore <problem>          count schedules / deadlocks
+//! gem profile <problem>          verify + phase-attribution table + verdicts
 //! gem dot <problem>              emit one schedule's computation as Graphviz
 //! gem list                       list the available problems
 //! gem replay <dir>               reproduce a recorded counterexample artifact
@@ -39,6 +40,14 @@
 //!   deadlocked run as a self-contained counterexample artifact directory
 //!   (schedule, computation, blame, highlighted dot), and arm a flight
 //!   recorder that dumps `<dir>/crash.json` if the process panics
+//! * `--recorder-cap <n>` — flight-recorder events kept per thread
+//!   (default 256; also settable via `GEM_RECORDER_CAP`)
+//! * `--trace-out <path>` — write a Chrome-trace (`chrome://tracing` /
+//!   Perfetto) JSON of timer spans and counter totals
+//! * `--explain` — append reduction cost/benefit verdicts (dedup
+//!   measured/predicted, POR attribution) after the command output
+//! * `--json <path>` — on `bench-diff`, also write the comparison as
+//!   machine-readable JSON
 //!
 //! The command dispatch lives in this library so it can be tested; the
 //! `gem` binary is a thin wrapper.
@@ -58,7 +67,8 @@ use gem_lang::monitor::SignalSemantics;
 use gem_lang::{Explorer, System};
 use gem_obs::json::JsonValue;
 use gem_obs::{
-    install_crash_sink, write_atomic, FanoutProbe, HeartbeatProbe, NoopProbe, Probe, RecorderProbe,
+    fingerprint_words, install_crash_sink, write_atomic, ChromeTraceProbe, CollapseEstimator,
+    FanoutProbe, HeartbeatProbe, KnuthEstimator, NoopProbe, PhaseProfile, Probe, RecorderProbe,
     Span, StatsProbe, TraceProbe,
 };
 use gem_problems::readers_writers::{
@@ -68,8 +78,8 @@ use gem_problems::readers_writers::{
 use gem_problems::{bounded, db_update, life, one_slot};
 use gem_spec::{render_specification, Specification};
 use gem_verify::{
-    check_computation, verify_system, ArtifactSink, Correspondence, RunFailure, VerifyOptions,
-    VerifyOutcome,
+    canonical_key, check_computation, verify_system, ArtifactSink, Correspondence, ProjectError,
+    RunFailure, VerifyOptions, VerifyOutcome,
 };
 
 /// A CLI usage or execution error.
@@ -346,15 +356,20 @@ struct ObsFlags {
     stats: bool,
     stats_json: Option<String>,
     trace: Option<String>,
+    trace_out: Option<String>,
     heartbeat: Option<f64>,
     jobs: Option<usize>,
     dedup: bool,
     por: bool,
+    explain: bool,
     artifacts: Option<String>,
+    recorder_cap: Option<usize>,
+    json_out: Option<String>,
 }
 
-/// Splits `--stats` / `--stats-json` / `--trace` / `--heartbeat` /
-/// `--jobs` / `--dedup` / `--por` / `--artifacts` (either `--flag value`
+/// Splits `--stats` / `--stats-json` / `--trace` / `--trace-out` /
+/// `--heartbeat` / `--jobs` / `--dedup` / `--por` / `--explain` /
+/// `--artifacts` / `--recorder-cap` / `--json` (either `--flag value`
 /// or `--flag=value`) out of `args`, leaving positional arguments and
 /// `key=value` parameters untouched.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
@@ -403,8 +418,23 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                 }
                 flags.por = true;
             }
+            "--explain" => {
+                if inline.is_some() {
+                    return Err(err("--explain takes no value"));
+                }
+                flags.explain = true;
+            }
             "--trace" => flags.trace = Some(value("--trace")?),
+            "--trace-out" => flags.trace_out = Some(value("--trace-out")?),
             "--artifacts" => flags.artifacts = Some(value("--artifacts")?),
+            "--recorder-cap" => {
+                let v = value("--recorder-cap")?;
+                let cap: usize = v.parse().map_err(|_| {
+                    err(format!("--recorder-cap must be an event count, got {v:?}"))
+                })?;
+                flags.recorder_cap = Some(cap);
+            }
+            "--json" => flags.json_out = Some(value("--json")?),
             "--heartbeat" => {
                 let v = value("--heartbeat")?;
                 let secs: f64 = v
@@ -432,14 +462,34 @@ struct ObsSetup {
     probe: Arc<dyn Probe>,
     stats_sink: Option<Arc<StatsProbe>>,
     trace_sink: Option<Arc<TraceProbe>>,
+    chrome_sink: Option<Arc<ChromeTraceProbe>>,
     heartbeat_sink: Option<Arc<HeartbeatProbe>>,
 }
 
-/// Probe events kept per thread by the `--artifacts` flight recorder.
+/// Probe events kept per thread by the `--artifacts` flight recorder
+/// (override with `--recorder-cap` or `GEM_RECORDER_CAP`).
 const RECORDER_CAPACITY: usize = 256;
 
+/// Resolves the flight-recorder ring capacity: `--recorder-cap` wins,
+/// then the `GEM_RECORDER_CAP` environment variable, then the default.
+fn recorder_capacity(flags: &ObsFlags) -> Result<usize, CliError> {
+    if let Some(cap) = flags.recorder_cap {
+        return Ok(cap);
+    }
+    match std::env::var("GEM_RECORDER_CAP") {
+        Ok(v) => v.parse().map_err(|_| {
+            err(format!(
+                "GEM_RECORDER_CAP must be an event count, got {v:?}"
+            ))
+        }),
+        Err(_) => Ok(RECORDER_CAPACITY),
+    }
+}
+
 fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
-    let stats_sink = if flags.stats || flags.stats_json.is_some() {
+    // `--explain` derives its verdicts from the aggregated report, so it
+    // implies a stats sink even without `--stats`.
+    let stats_sink = if flags.stats || flags.stats_json.is_some() || flags.explain {
         Some(Arc::new(StatsProbe::new()))
     } else {
         None
@@ -452,6 +502,10 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
         }
         None => None,
     };
+    let chrome_sink = flags
+        .trace_out
+        .as_ref()
+        .map(|_| Arc::new(ChromeTraceProbe::new()));
     let heartbeat_secs = flags.heartbeat.unwrap_or(5.0);
     let heartbeat_sink = (heartbeat_secs > 0.0)
         .then(|| Arc::new(HeartbeatProbe::new(Duration::from_secs_f64(heartbeat_secs))));
@@ -462,16 +516,19 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
     if let Some(t) = &trace_sink {
         sinks.push(t.clone());
     }
+    if let Some(c) = &chrome_sink {
+        sinks.push(c.clone());
+    }
     if let Some(h) = &heartbeat_sink {
         sinks.push(h.clone());
     }
     // With an artifact directory, arm the flight recorder: the last
-    // RECORDER_CAPACITY probe events per thread plus live span stacks are
+    // `--recorder-cap` probe events per thread plus live span stacks are
     // dumped to <dir>/crash.json if the process panics mid-sweep.
     if let Some(dir) = &flags.artifacts {
         std::fs::create_dir_all(dir)
             .map_err(|e| err(format!("cannot create artifact dir {dir:?}: {e}")))?;
-        let recorder = Arc::new(RecorderProbe::new(RECORDER_CAPACITY));
+        let recorder = Arc::new(RecorderProbe::new(recorder_capacity(flags)?));
         install_crash_sink(recorder.clone(), Path::new(dir).join("crash.json"));
         sinks.push(recorder);
     }
@@ -484,6 +541,7 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
         probe,
         stats_sink,
         trace_sink,
+        chrome_sink,
         heartbeat_sink,
     })
 }
@@ -515,7 +573,7 @@ fn format_outcome(outcome: &VerifyOutcome) -> String {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, flags) = split_flags(args)?;
     let obs = obs_setup(&flags)?;
-    let result = {
+    let mut result = {
         let _total = Span::enter(obs.probe.as_ref(), "total");
         dispatch(&args, &obs, &flags)
     };
@@ -537,6 +595,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         if args.len() > 2 {
             report.meta.insert("params".to_owned(), args[2..].join(" "));
         }
+        report.meta.insert(
+            "gem_version".to_owned(),
+            env!("CARGO_PKG_VERSION").to_owned(),
+        );
+        // The config section makes the report self-describing: which
+        // exploration/reduction switches produced these numbers.
+        let flag = |b: bool| if b { "true" } else { "false" }.to_owned();
+        report
+            .config
+            .insert("jobs".to_owned(), flags.jobs.unwrap_or(1).to_string());
+        report.config.insert("dedup".to_owned(), flag(flags.dedup));
+        report.config.insert("por".to_owned(), flag(flags.por));
+        report.config.insert(
+            "heartbeat_secs".to_owned(),
+            flags.heartbeat.unwrap_or(5.0).to_string(),
+        );
+        if flags.artifacts.is_some() {
+            report.config.insert(
+                "recorder_cap".to_owned(),
+                recorder_capacity(&flags)?.to_string(),
+            );
+        }
         if flags.stats {
             eprintln!("{report}");
         }
@@ -546,9 +626,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             write_atomic(Path::new(path), &report.to_json())
                 .map_err(|e| err(format!("cannot write stats to {path:?}: {e}")))?;
         }
+        if flags.explain {
+            if let Ok(out) = &mut result {
+                for line in gem_obs::explain(&report) {
+                    out.push('\n');
+                    out.push_str(&line);
+                }
+            }
+        }
     }
     if let Some(trace) = &obs.trace_sink {
         trace.flush();
+    }
+    if let (Some(chrome), Some(path)) = (&obs.chrome_sink, &flags.trace_out) {
+        chrome
+            .write_to(Path::new(path))
+            .map_err(|e| err(format!("cannot write Chrome trace to {path:?}: {e}")))?;
+        if chrome.dropped() > 0 {
+            eprintln!(
+                "trace-out: {} event(s) dropped past the buffer cap",
+                chrome.dropped()
+            );
+        }
     }
     result
 }
@@ -566,8 +665,8 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                 .ok_or_else(|| err("replay needs an artifact directory"))?;
             replay_cmd(Path::new(dir))
         }
-        "bench-diff" => bench_diff_cmd(rest),
-        "render" | "verify" | "explore" | "dot" | "deadlock" => {
+        "bench-diff" => bench_diff_cmd(rest, flags.json_out.as_deref()),
+        "render" | "verify" | "profile" | "explore" | "dot" | "deadlock" => {
             let (problem, raw_params) = rest
                 .split_first()
                 .ok_or_else(|| err(format!("{cmd} needs a problem name; try `gem list`")))?;
@@ -609,43 +708,127 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                         artifacts: sink.clone(),
                         ..VerifyOptions::default()
                     };
+                    // Under `--explain`, sample the run tree first so the
+                    // report carries search-space estimates (and the
+                    // heartbeat can show % explored / ETA).
+                    let estimates = flags.explain;
                     let outcome = match &inst {
-                        Instance::Monitor { sys, spec, corr } => verify_system(
+                        Instance::Monitor { sys, spec, corr } => verify_with_estimates(
                             sys,
                             spec,
                             corr,
                             |s| sys.computation(s).expect("acyclic"),
                             &options(1_000_000),
+                            estimates,
                         ),
                         Instance::Csp {
                             sys,
                             spec,
                             corr,
                             max_runs,
-                        } => verify_system(
+                        } => verify_with_estimates(
                             sys,
                             spec,
                             corr,
                             |s| sys.computation(s).expect("acyclic"),
                             &options(*max_runs),
+                            estimates,
                         ),
                         Instance::Ada {
                             sys,
                             spec,
                             corr,
                             max_runs,
-                        } => verify_system(
+                        } => verify_with_estimates(
                             sys,
                             spec,
                             corr,
                             |s| sys.computation(s).expect("acyclic"),
                             &options(*max_runs),
+                            estimates,
                         ),
                     }
                     .map_err(|e| err(format!("projection failed: {e}")))?;
                     let mut out = format_outcome(&outcome);
                     if let Some(dir) = &flags.artifacts {
                         out.push_str(&format!("\nartifacts: {dir}"));
+                    }
+                    Ok(out)
+                }
+                "profile" => {
+                    // A dedicated stats sink so the phase table can be
+                    // rendered regardless of `--stats*`; the session's
+                    // probe still sees everything through the fanout.
+                    let stats = Arc::new(StatsProbe::new());
+                    let combined: Arc<dyn Probe> = if probe.enabled() {
+                        Arc::new(FanoutProbe::new(vec![
+                            stats.clone() as Arc<dyn Probe>,
+                            probe.clone(),
+                        ]))
+                    } else {
+                        stats.clone()
+                    };
+                    let options = |max_runs: usize| VerifyOptions {
+                        explorer: Explorer {
+                            jobs,
+                            reduce: flags.por,
+                            dedup_computations: dedup,
+                            ..Explorer::with_max_runs(max_runs)
+                        },
+                        probe: combined.clone(),
+                        ..VerifyOptions::default()
+                    };
+                    let outcome = match &inst {
+                        Instance::Monitor { sys, spec, corr } => verify_with_estimates(
+                            sys,
+                            spec,
+                            corr,
+                            |s| sys.computation(s).expect("acyclic"),
+                            &options(1_000_000),
+                            true,
+                        ),
+                        Instance::Csp {
+                            sys,
+                            spec,
+                            corr,
+                            max_runs,
+                        } => verify_with_estimates(
+                            sys,
+                            spec,
+                            corr,
+                            |s| sys.computation(s).expect("acyclic"),
+                            &options(*max_runs),
+                            true,
+                        ),
+                        Instance::Ada {
+                            sys,
+                            spec,
+                            corr,
+                            max_runs,
+                        } => verify_with_estimates(
+                            sys,
+                            spec,
+                            corr,
+                            |s| sys.computation(s).expect("acyclic"),
+                            &options(*max_runs),
+                            true,
+                        ),
+                    }
+                    .map_err(|e| err(format!("projection failed: {e}")))?;
+                    let report = stats.report();
+                    let mut out = format_outcome(&outcome);
+                    out.push_str("\n\n");
+                    match PhaseProfile::from_report(&report) {
+                        Some(profile) => out.push_str(&profile.render()),
+                        None => out.push_str("no phase timers recorded\n"),
+                    }
+                    let verdicts = gem_obs::explain(&report);
+                    if !verdicts.is_empty() {
+                        out.push('\n');
+                        for line in verdicts {
+                            out.push_str(&line);
+                            out.push('\n');
+                        }
                     }
                     Ok(out)
                 }
@@ -804,6 +987,100 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command {other:?}\n{}", usage()))),
     }
+}
+
+/// Random root-to-leaf walks taken by the pre-sweep estimators.
+const ESTIMATE_SAMPLES: u64 = 64;
+/// How many sampled computations are also checked, to price a check.
+const ESTIMATE_CHECKS: usize = 6;
+
+/// Samples the run tree before a sweep and posts search-space estimates
+/// on the probe:
+///
+/// * `estimate.total_runs` (gauge) — Knuth weighted-backtrack estimate
+///   of the number of maximal runs; the heartbeat turns it into
+///   `% explored` / ETA.
+/// * `estimate.distinct_computations` (gauge) — capture-recapture
+///   estimate of the distinct canonical keys (the collapse ratio).
+/// * `estimate.canonical_key` / `estimate.check` (timers) — sampled
+///   per-run hashing and checking costs, which price the predicted
+///   dedup verdict in `--explain` when dedup is off.
+fn estimate_instance<S, F>(
+    sys: &S,
+    extract: &F,
+    spec: &Specification,
+    corr: &Correspondence,
+    explorer: &Explorer,
+    probe: &dyn Probe,
+) where
+    S: System,
+    F: Fn(&S::State) -> gem_core::Computation,
+{
+    let elapsed_ns = |t: std::time::Instant| -> u64 {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    };
+    let defaults = VerifyOptions::default();
+    let mut knuth = KnuthEstimator::new();
+    let mut collapse = CollapseEstimator::new();
+    let mut checks = 0usize;
+    for seed in 0..ESTIMATE_SAMPLES {
+        let sample = explorer.sample_run(sys, seed);
+        knuth.record(sample.tree_product);
+        let comp = extract(&sample.state);
+        let started = std::time::Instant::now();
+        let key = canonical_key(&comp);
+        probe.time_ns("estimate.canonical_key", elapsed_ns(started));
+        collapse.record(fingerprint_words(&key));
+        if checks < ESTIMATE_CHECKS {
+            checks += 1;
+            let started = std::time::Instant::now();
+            let _ = check_computation(
+                &comp,
+                spec,
+                corr,
+                defaults.strategy,
+                defaults.check_program_legality,
+            );
+            probe.time_ns("estimate.check", elapsed_ns(started));
+        }
+    }
+    probe.add("estimate.samples", ESTIMATE_SAMPLES);
+    if let Some(runs) = knuth.estimate_runs() {
+        probe.gauge_set("estimate.total_runs", runs);
+    }
+    if let Some(distinct) = collapse.estimate() {
+        probe.gauge_set("estimate.distinct_computations", distinct);
+    }
+}
+
+/// Runs [`estimate_instance`] (when asked and the probe is live) and then
+/// the verification sweep. Sampling happens *before* the `verify` span
+/// opens, so the phase table still partitions the sweep's wall time.
+fn verify_with_estimates<S, F>(
+    sys: &S,
+    spec: &Specification,
+    corr: &Correspondence,
+    extract: F,
+    options: &VerifyOptions,
+    estimates: bool,
+) -> Result<VerifyOutcome, ProjectError>
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+    F: Fn(&S::State) -> gem_core::Computation,
+{
+    if estimates && options.probe.enabled() {
+        estimate_instance(
+            sys,
+            &extract,
+            spec,
+            corr,
+            &options.explorer,
+            options.probe.as_ref(),
+        );
+    }
+    verify_system(sys, spec, corr, &extract, options)
 }
 
 fn artifact_json(dir: &Path, name: &str) -> Result<JsonValue, CliError> {
@@ -1035,9 +1312,48 @@ fn bench_metrics(v: &JsonValue, file: &str) -> Result<BTreeMap<String, f64>, Cli
     Ok(out)
 }
 
-fn bench_diff_cmd(rest: &[String]) -> Result<String, CliError> {
+/// Serialises a bench-diff comparison as deterministic JSON (metrics in
+/// `BTreeMap` order) for CI consumption.
+fn bench_diff_json(
+    threshold: f64,
+    old: &BTreeMap<String, f64>,
+    new: &BTreeMap<String, f64>,
+    regressions: &[String],
+) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"threshold_pct\": {threshold},\n"));
+    out.push_str(&format!("  \"regressions\": {},\n", regressions.len()));
+    out.push_str("  \"metrics\": {\n");
+    let mut first = true;
+    for (name, old_ns) in old {
+        let Some(new_ns) = new.get(name) else {
+            continue;
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let delta = if *old_ns > 0.0 {
+            (new_ns - old_ns) / old_ns * 100.0
+        } else {
+            0.0
+        };
+        let mut entry = String::new();
+        gem_obs::json::push_json_str(&mut entry, name);
+        out.push_str(&format!(
+            "    {entry}: {{\"baseline_ns\": {old_ns:.0}, \"current_ns\": {new_ns:.0}, \
+             \"delta_pct\": {delta:.2}, \"regressed\": {}}}",
+            delta > threshold
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+fn bench_diff_cmd(rest: &[String], json_out: Option<&str>) -> Result<String, CliError> {
     let usage = "bench-diff needs two report files: \
-                 gem bench-diff <baseline.json> <current.json> [threshold=25]";
+                 gem bench-diff <baseline.json> <current.json> [threshold=25] [--json <path>]";
     let (old_path, rest) = rest.split_first().ok_or_else(|| err(usage))?;
     let (new_path, rest) = rest.split_first().ok_or_else(|| err(usage))?;
     let threshold = Params::parse(rest)?.f64("threshold", 25.0)?;
@@ -1090,6 +1406,15 @@ fn bench_diff_cmd(rest: &[String]) -> Result<String, CliError> {
             "{table}no shared metrics between {old_path} and {new_path} — nothing to gate"
         )));
     }
+    // The machine-readable summary is written in the regression case too
+    // — a failing gate is exactly when CI wants the numbers.
+    if let Some(path) = json_out {
+        write_atomic(
+            Path::new(path),
+            &bench_diff_json(threshold, &old, &new, &regressions),
+        )
+        .map_err(|e| err(format!("cannot write bench-diff JSON to {path:?}: {e}")))?;
+    }
     if regressions.is_empty() {
         Ok(format!(
             "{table}no regression beyond +{threshold:.0}% across {shared} shared metric(s)"
@@ -1111,6 +1436,8 @@ pub fn usage() -> String {
      \x20 render <problem> [params]  print the GEM specification\n\
      \x20 verify <problem> [params]  check PROG sat P over all schedules\n\
      \x20 explore <problem> [params] count schedules and deadlocks\n\
+     \x20 profile <problem> [params] verify + phase-attribution table, search-\n\
+     \x20                            space estimates, reduction verdicts\n\
      \x20 deadlock <problem> [params] hunt for a deadlock (pruned search)\n\
      \x20 dot <problem> [params]     emit one computation as Graphviz dot\n\
      \x20 replay <dir>               re-run a counterexample artifact's schedule\n\
@@ -1122,6 +1449,10 @@ pub fn usage() -> String {
      \x20 --stats                    print an instrumentation table to stderr\n\
      \x20 --stats-json <path>        write the run report as deterministic JSON\n\
      \x20 --trace <path>             stream probe events as JSON lines\n\
+     \x20 --trace-out <path>         write a Chrome-trace JSON (chrome://tracing,\n\
+     \x20                            Perfetto) of timer spans and counter totals\n\
+     \x20 --explain                  append reduction cost/benefit verdicts\n\
+     \x20                            (dedup measured/predicted, POR attribution)\n\
      \x20 --heartbeat <secs>         progress line interval (default 5, 0 = off)\n\
      \x20 --jobs <n>                 explorer worker threads (default 1, 0 = auto);\n\
      \x20                            results are identical for every n\n\
@@ -1134,6 +1465,10 @@ pub fn usage() -> String {
      \x20 --artifacts <dir>          dump the first failing/deadlocked run as a\n\
      \x20                            self-contained counterexample directory and\n\
      \x20                            arm a crash-dump flight recorder\n\
+     \x20 --recorder-cap <n>         flight-recorder events kept per thread\n\
+     \x20                            (default 256; env GEM_RECORDER_CAP)\n\
+     \x20 --json <path>              on bench-diff, also write the comparison\n\
+     \x20                            as machine-readable JSON\n\
      problems: one-slot, bounded, rw, db-update, life, philosophers\n\
      examples:\n\
      \x20 gem verify rw readers=1 writers=2 variant=readers\n\
@@ -1326,5 +1661,144 @@ mod tests {
     fn explore_dedup_counts_distinct_computations() {
         let out = runv(&["explore", "rw", "readers=1", "writers=1", "--dedup"]).unwrap();
         assert!(out.contains("distinct computations:"), "{out}");
+    }
+
+    #[test]
+    fn profile_renders_phase_table_and_verdicts() {
+        let out = runv(&["profile", "one-slot", "items=2", "--heartbeat", "0"]).unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("phase.explore"), "{out}");
+        assert!(out.contains("phase.seal"), "{out}");
+        assert!(out.contains("phase.check"), "{out}");
+        assert!(out.contains("accounted"), "{out}");
+        assert!(out.contains("wall (verify)"), "{out}");
+        // No dedup: the sampler's collapse ratio yields a *predicted*
+        // dedup verdict.
+        assert!(out.contains("dedup predicted"), "{out}");
+    }
+
+    #[test]
+    fn profile_with_dedup_reports_measured_verdict() {
+        let out = runv(&[
+            "profile",
+            "one-slot",
+            "items=2",
+            "--dedup",
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("phase.canonical_key"), "{out}");
+        assert!(out.contains("phase.dedup_lookup"), "{out}");
+        assert!(out.contains("dedup measured"), "{out}");
+    }
+
+    #[test]
+    fn explain_flag_appends_verdicts_to_verify() {
+        let out = runv(&[
+            "verify",
+            "one-slot",
+            "items=2",
+            "--dedup",
+            "--explain",
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("dedup measured"), "{out}");
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace() {
+        let dir = std::env::temp_dir().join("gem-cli-test-chrome");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path_s = path.to_str().unwrap().to_owned();
+        runv(&[
+            "verify",
+            "one-slot",
+            "items=2",
+            "--trace-out",
+            &path_s,
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\": ["), "{trace}");
+        assert!(trace.contains("\"ph\": \"X\""), "duration events: {trace}");
+        assert!(trace.contains("\"ph\": \"C\""), "counter events: {trace}");
+        gem_obs::json::parse(&trace).expect("valid JSON");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_diff_json_flag_writes_machine_summary() {
+        let dir = std::env::temp_dir().join("gem-cli-test-bench-diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("report.json");
+        let out_json = dir.join("diff.json");
+        std::fs::write(
+            &report,
+            "{\"timers\": {\"verify\": {\"count\": 1, \"total_ns\": 100, \
+             \"min_ns\": 100, \"max_ns\": 100, \"mean_ns\": 100}}}",
+        )
+        .unwrap();
+        let report_s = report.to_str().unwrap().to_owned();
+        let out_s = out_json.to_str().unwrap().to_owned();
+        runv(&["bench-diff", &report_s, &report_s, "--json", &out_s]).unwrap();
+        let text = std::fs::read_to_string(&out_json).unwrap();
+        let parsed = gem_obs::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("regressions").and_then(JsonValue::as_u64),
+            Some(0)
+        );
+        assert!(parsed
+            .get("metrics")
+            .and_then(|m| m.get("verify"))
+            .is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorder_cap_flag_validated() {
+        assert!(runv(&["verify", "one-slot", "--recorder-cap", "abc"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--explain=yes"]).is_err());
+    }
+
+    #[test]
+    fn stats_json_has_config_section() {
+        let dir = std::env::temp_dir().join("gem-cli-test-config");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let path_s = path.to_str().unwrap().to_owned();
+        runv(&[
+            "verify",
+            "one-slot",
+            "items=2",
+            "--dedup",
+            "--jobs",
+            "2",
+            "--stats-json",
+            &path_s,
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let report = gem_obs::Report::from_json(&json).unwrap();
+        assert_eq!(report.config.get("dedup").map(String::as_str), Some("true"));
+        assert_eq!(report.config.get("jobs").map(String::as_str), Some("2"));
+        assert_eq!(report.config.get("por").map(String::as_str), Some("false"));
+        assert_eq!(
+            report.meta.get("gem_version").map(String::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(
+            report.wall_time_ns().unwrap_or(0) > 0,
+            "total span recorded"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -376,6 +376,7 @@ impl ComputationBuilder {
     /// one Kahn pass for the topological order / cycle report, then a
     /// straight copy of the reachability rows — no per-row union sweep.
     fn build_closure(&self) -> Result<Closure, BuildError> {
+        let started = gem_obs::ambient::active().then(std::time::Instant::now);
         let n = self.events.len();
         let edges = self.order_edges();
         match topo_from_edges(n, &edges) {
@@ -385,7 +386,14 @@ impl ComputationBuilder {
                     "incremental order latched a cycle on an acyclic edge set"
                 );
                 let (succ, pred) = self.order.closure_rows();
-                Ok(Closure::from_parts(succ, pred, topo))
+                let closure = Closure::from_parts(succ, pred, topo);
+                if let Some(started) = started {
+                    gem_obs::ambient::time_ns(
+                        "phase.closure",
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                }
+                Ok(closure)
             }
             Err(cycle) => {
                 debug_assert!(

@@ -59,6 +59,7 @@ impl Closure {
     /// self-loop), since the temporal order must be irreflexive and
     /// transitive.
     pub fn from_edges(n: usize, edges: &[(EventId, EventId)]) -> Result<Self, CycleError> {
+        let started = gem_obs::ambient::active().then(std::time::Instant::now);
         let (topo, out) = topo_from_edges(n, edges)?;
         // succ rows in reverse topological order: row(v) = ∪ (row(w) ∪ {w}).
         let mut succ = vec![DenseBitSet::new(n); n];
@@ -77,7 +78,14 @@ impl Closure {
                 pred[j].insert(i);
             }
         }
-        Ok(Self::from_parts(succ, pred, topo))
+        let closure = Self::from_parts(succ, pred, topo);
+        if let Some(started) = started {
+            gem_obs::ambient::time_ns(
+                "phase.closure",
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        Ok(closure)
     }
 
     /// Assembles a closure from already-computed reachability rows and a

@@ -181,6 +181,13 @@ pub struct ExploreStats {
     /// [`Explorer::reduce`] is on and the system's oracle claims some
     /// independence).
     pub sleep_skipped: usize,
+    /// Independence-oracle queries answered "independent" while
+    /// filtering child sleep sets (zero unless [`Explorer::reduce`]).
+    /// The grant rate is the per-instance signal for how much structure
+    /// the oracle certifies — a denial-heavy instance cannot reduce.
+    pub oracle_grants: usize,
+    /// Independence-oracle queries answered "dependent".
+    pub oracle_denials: usize,
     /// Maximal runs visited while [`Explorer::reduce`] was on — each one
     /// a representative linearization of its computation. Equal to `runs`
     /// under reduction, zero otherwise; kept separate so mixed reports
@@ -223,6 +230,14 @@ impl fmt::Display for ExploreStats {
                 f,
                 ", POR: {} representative(s), {} branch(es) slept",
                 self.por_runs, self.sleep_skipped
+            )?;
+        }
+        if self.oracle_grants + self.oracle_denials > 0 {
+            write!(
+                f,
+                ", oracle {}/{} independent",
+                self.oracle_grants,
+                self.oracle_grants + self.oracle_denials
             )?;
         }
         if self.depth_limited_runs > 0 {
@@ -430,13 +445,20 @@ impl Explorer {
             // The child's sleep set keeps only entries that commute with
             // the action being taken — computed against the *pre-apply*
             // state (the state where both are enabled), before the
-            // checkpoint fast path mutates it in place.
+            // checkpoint fast path mutates it in place. Each oracle
+            // answer is attributed so reduction payoff is explainable
+            // per instance.
             let child_sleep: Vec<S::Action> = if self.reduce {
-                cur_sleep
-                    .iter()
-                    .filter(|b| sys.independent(state, &action, b))
-                    .cloned()
-                    .collect()
+                let mut granted = Vec::with_capacity(cur_sleep.len());
+                for b in &cur_sleep {
+                    if sys.independent(state, &action, b) {
+                        stats.oracle_grants += 1;
+                        granted.push(b.clone());
+                    } else {
+                        stats.oracle_denials += 1;
+                    }
+                }
+                granted
             } else {
                 Vec::new()
             };
@@ -540,6 +562,61 @@ impl Explorer {
         }
         (state, path)
     }
+
+    /// Walks one uniformly random root-to-leaf schedule — a *Knuth
+    /// probe* — recording the product of the branching factors (number
+    /// of enabled actions) seen along the way. Over uniformly random
+    /// descents the expectation of that product is exactly the number of
+    /// maximal runs, so feeding `tree_product` from repeated samples
+    /// into `gem_obs::KnuthEstimator` estimates the run-tree size
+    /// without enumerating it; the terminal state and path feed the
+    /// capture-recapture computation-collapse estimator.
+    ///
+    /// Deterministic in `seed` (a private SplitMix64 stream, independent
+    /// of the `rand` shim), and emits nothing through any probe: callers
+    /// sample *before* a sweep without perturbing its report.
+    pub fn sample_run<S: System>(&self, sys: &S, seed: u64) -> RunSample<S> {
+        let mut rng = gem_obs::estimate::SplitMix64::new(seed);
+        let mut state = sys.initial();
+        let mut path = Vec::new();
+        let mut tree_product = 1.0f64;
+        let mut depth_limited = false;
+        loop {
+            let actions = sys.enabled(&state);
+            if actions.is_empty() {
+                break;
+            }
+            if path.len() >= self.max_depth {
+                depth_limited = true;
+                break;
+            }
+            tree_product *= actions.len() as f64;
+            let action = actions[rng.below(actions.len())].clone();
+            sys.apply(&mut state, &action);
+            path.push(action);
+        }
+        RunSample {
+            state,
+            path,
+            tree_product,
+            depth_limited,
+        }
+    }
+}
+
+/// One sampled schedule ([`Explorer::sample_run`]) with the data the
+/// search-space estimators need.
+pub struct RunSample<S: System> {
+    /// Terminal (or depth-capped) state of the sampled schedule.
+    pub state: S::State,
+    /// The actions taken, in order.
+    pub path: Vec<S::Action>,
+    /// Product of the branching factors along the path — one unbiased
+    /// Knuth sample of the number of maximal runs.
+    pub tree_product: f64,
+    /// True if the walk was cut at [`Explorer::max_depth`] with actions
+    /// still enabled (the product then underestimates).
+    pub depth_limited: bool,
 }
 
 /// Per-run probe flush: one `explore.runs` increment and the step delta
@@ -560,6 +637,8 @@ pub(crate) fn flush_final(probe: &dyn Probe, stats: &ExploreStats, flushed_steps
     probe.add("explore.prune.misses", stats.prune_misses as u64);
     probe.add("explore.sleep_skipped", stats.sleep_skipped as u64);
     probe.add("explore.por_runs", stats.por_runs as u64);
+    probe.add("explore.oracle.grants", stats.oracle_grants as u64);
+    probe.add("explore.oracle.denials", stats.oracle_denials as u64);
     probe.gauge_max("explore.depth_high_water", stats.max_depth_seen as u64);
     if let Some(reason) = stats.truncation {
         probe.add(
@@ -990,7 +1069,44 @@ mod tests {
             assert_eq!(reduced.truncation, None, "n={n}");
             assert_eq!(full.por_runs, 0);
             assert_eq!(full.sleep_skipped, 0);
+            // A fully-independent system grants every oracle query.
+            assert!(reduced.oracle_grants > 0, "n={n}");
+            assert_eq!(reduced.oracle_denials, 0, "n={n}");
+            assert_eq!(full.oracle_grants, 0);
         }
+    }
+
+    #[test]
+    fn sample_run_is_deterministic_and_estimates_run_count() {
+        let sys = Counters { n: 2, stuck: false };
+        let explorer = Explorer::default();
+        // Determinism in the seed.
+        let a = explorer.sample_run(&sys, 7);
+        let b = explorer.sample_run(&sys, 7);
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.tree_product, b.tree_product);
+        assert!(!a.depth_limited);
+        assert!(sys.is_complete(&a.state));
+        // The mean branching product over many probes approaches the
+        // true run count (6 for two 2-step counters).
+        let mut est = gem_obs::KnuthEstimator::new();
+        for seed in 0..500 {
+            est.record(explorer.sample_run(&sys, seed).tree_product);
+        }
+        let mean = est.estimate().unwrap();
+        assert!((5.0..=7.0).contains(&mean), "mean {mean} for true 6");
+    }
+
+    #[test]
+    fn sample_run_respects_depth_cap() {
+        let sys = Counters { n: 2, stuck: false };
+        let capped = Explorer {
+            max_depth: 1,
+            ..Explorer::default()
+        };
+        let s = capped.sample_run(&sys, 1);
+        assert_eq!(s.path.len(), 1);
+        assert!(s.depth_limited);
     }
 
     #[test]

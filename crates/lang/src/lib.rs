@@ -26,4 +26,4 @@ pub mod csp;
 pub mod monitor;
 
 pub use ast::{BinOp, Expr, RuntimeError, VarStore};
-pub use explore::{find_deadlock, ExploreStats, Explorer, System, TruncationReason};
+pub use explore::{find_deadlock, ExploreStats, Explorer, RunSample, System, TruncationReason};

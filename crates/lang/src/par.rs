@@ -60,16 +60,66 @@ enum ReplayOp {
     Edges(usize),
     /// `n` enabled actions skipped by the sleep set at one node.
     Skips(usize),
+    /// One trie edge whose child-sleep filter made independence-oracle
+    /// queries. Kept separate from [`ReplayOp::Edges`] (and never
+    /// merged) because the serial DFS counts an edge's oracle answers
+    /// *after* that edge's step-cap check — a truncated replay must not
+    /// attribute queries for edges the serial search never attempted.
+    OracleEdge {
+        /// Queries answered "independent" at this edge.
+        grants: u32,
+        /// Queries answered "dependent" at this edge.
+        denials: u32,
+    },
 }
 
 /// Appends `op` to an op stream, merging into the previous op when both
 /// are the same kind (keeps streams short without reordering anything).
+/// `OracleEdge` ops never merge: each carries per-edge counts that must
+/// replay at their own step-cap boundary.
 fn push_op(ops: &mut Vec<ReplayOp>, op: ReplayOp) {
     match (ops.last_mut(), op) {
         (Some(ReplayOp::Edges(n)), ReplayOp::Edges(m)) => *n += m,
         (Some(ReplayOp::Skips(n)), ReplayOp::Skips(m)) => *n += m,
         (_, op) => ops.push(op),
     }
+}
+
+/// Records one trie edge whose child-sleep filter was just computed:
+/// a plain edge when no oracle queries were made, an [`ReplayOp::OracleEdge`]
+/// carrying the per-edge answer counts otherwise.
+fn edge_op(grants: usize, denials: usize) -> ReplayOp {
+    if grants + denials == 0 {
+        ReplayOp::Edges(1)
+    } else {
+        ReplayOp::OracleEdge {
+            grants: grants as u32,
+            denials: denials as u32,
+        }
+    }
+}
+
+/// Child-sleep filter shared by the frontier walk and the workers:
+/// keeps the sleep entries independent of `action` at `state` (the
+/// pre-apply state, exactly like the serial DFS), returning the
+/// grant/denial counts for op-stream attribution.
+fn filter_sleep<S: System>(
+    sys: &S,
+    state: &S::State,
+    action: &S::Action,
+    cur_sleep: &[S::Action],
+) -> (Vec<S::Action>, usize, usize) {
+    let mut granted = Vec::with_capacity(cur_sleep.len());
+    let (mut grants, mut denials) = (0, 0);
+    for b in cur_sleep {
+        if sys.independent(state, action, b) {
+            grants += 1;
+            granted.push(b.clone());
+        } else {
+            denials += 1;
+        }
+    }
+    (granted, grants, denials)
 }
 
 /// One frontier subtree, identified by its DFS (lexicographic) position.
@@ -171,18 +221,14 @@ fn frontier_dfs<S: System>(
                 (actions, Vec::new())
             };
             for action in awake {
-                let child_sleep: Vec<S::Action> = if explorer.reduce {
-                    cur_sleep
-                        .iter()
-                        .filter(|b| sys.independent(&state, &action, b))
-                        .cloned()
-                        .collect()
+                let (child_sleep, grants, denials) = if explorer.reduce {
+                    filter_sleep(sys, &state, &action, &cur_sleep)
                 } else {
-                    Vec::new()
+                    (Vec::new(), 0, 0)
                 };
                 let mut next = state.clone();
                 sys.apply(&mut next, &action);
-                push_op(ops, ReplayOp::Edges(1));
+                push_op(ops, edge_op(grants, denials));
                 path.push(action);
                 frontier_dfs(explorer, sys, next, path, child_sleep, ops, items);
                 let action = path.pop().expect("path underflow");
@@ -299,19 +345,15 @@ impl<S: System> Worker<'_, S> {
             }
             // Child sleep against the pre-apply state, exactly like the
             // serial DFS (see there for why).
-            let child_sleep: Vec<S::Action> = if self.explorer.reduce {
-                cur_sleep
-                    .iter()
-                    .filter(|b| self.sys.independent(state, &action, b))
-                    .cloned()
-                    .collect()
+            let (child_sleep, grants, denials) = if self.explorer.reduce {
+                filter_sleep(self.sys, state, &action, &cur_sleep)
             } else {
-                Vec::new()
+                (Vec::new(), 0, 0)
             };
             let flow = if let Some(cp) = self.sys.checkpoint(state) {
                 self.sys.apply(state, &action);
                 self.steps += 1;
-                self.charge(ReplayOp::Edges(1));
+                self.charge(edge_op(grants, denials));
                 path.push(action);
                 let flow = self.subtree(state, path, child_sleep);
                 let action = path.pop().expect("path underflow");
@@ -324,7 +366,7 @@ impl<S: System> Worker<'_, S> {
                 let mut next = state.clone();
                 self.sys.apply(&mut next, &action);
                 self.steps += 1;
-                self.charge(ReplayOp::Edges(1));
+                self.charge(edge_op(grants, denials));
                 path.push(action);
                 let flow = self.subtree(&mut next, path, child_sleep);
                 let action = path.pop().expect("path underflow");
@@ -340,13 +382,25 @@ impl<S: System> Worker<'_, S> {
 }
 
 /// Replays one trie edge in the committer: step check before the edge is
-/// charged, run check at entry to the node it leads into — the exact
-/// serial order.
+/// charged, then the edge's oracle answers (serial counts them between
+/// the step check and the application), run check at entry to the node
+/// it leads into — the exact serial order.
 fn consume_edge(explorer: &Explorer, stats: &mut ExploreStats) -> ControlFlow<()> {
+    consume_oracle_edge(explorer, stats, 0, 0)
+}
+
+fn consume_oracle_edge(
+    explorer: &Explorer,
+    stats: &mut ExploreStats,
+    grants: u32,
+    denials: u32,
+) -> ControlFlow<()> {
     if stats.steps >= explorer.max_steps {
         stats.truncation = Some(TruncationReason::StepLimit);
         return ControlFlow::Break(());
     }
+    stats.oracle_grants += grants as usize;
+    stats.oracle_denials += denials as usize;
     stats.steps += 1;
     if stats.runs >= explorer.max_runs {
         stats.truncation = Some(TruncationReason::RunLimit);
@@ -368,6 +422,9 @@ fn consume_ops(explorer: &Explorer, stats: &mut ExploreStats, ops: &[ReplayOp]) 
                 }
             }
             ReplayOp::Skips(n) => stats.sleep_skipped += n,
+            ReplayOp::OracleEdge { grants, denials } => {
+                consume_oracle_edge(explorer, stats, grants, denials)?;
+            }
         }
     }
     ControlFlow::Continue(())
@@ -848,6 +905,18 @@ mod tests {
             par_probe.report().to_json()
         );
         assert!(serial_probe.counter("explore.sleep_skipped") > 0);
+        assert!(
+            serial_probe.counter("explore.oracle.grants") > 0,
+            "PorRagged's oracle grants across distinct counters"
+        );
+        assert_eq!(
+            par_probe.counter("explore.oracle.grants"),
+            serial_probe.counter("explore.oracle.grants")
+        );
+        assert_eq!(
+            par_probe.counter("explore.oracle.denials"),
+            serial_probe.counter("explore.oracle.denials")
+        );
     }
 
     #[test]

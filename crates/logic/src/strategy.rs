@@ -446,6 +446,12 @@ pub fn check_many(
         _ => unreachable!("sharable is limited to the enumerating strategies"),
     };
 
+    if probing {
+        gem_obs::ambient::add("logic.check_many.calls", 1);
+        gem_obs::ambient::add("logic.check_many.formulas", n as u64);
+        gem_obs::ambient::add("logic.check_many.sequences", checked as u64);
+    }
+
     (0..n)
         .map(|i| {
             let report = if let Some(e) = errors[i].take() {

@@ -48,6 +48,7 @@ struct HeartbeatState {
     dedup_misses: u64,
     sleep_skipped: u64,
     por_runs: u64,
+    est_total_runs: u64,
     since_check: u64,
     started: Instant,
     last_beat: Instant,
@@ -70,6 +71,7 @@ impl HeartbeatProbe {
                 dedup_misses: 0,
                 sleep_skipped: 0,
                 por_runs: 0,
+                est_total_runs: 0,
                 since_check: 0,
                 started: now,
                 last_beat: now,
@@ -106,6 +108,19 @@ impl HeartbeatProbe {
             "{prefix} {} run(s), {} step(s), {elapsed:.1}s elapsed ({rate:.0} runs/s)",
             state.runs, state.steps
         );
+        // A pre-sweep Knuth estimate (`estimate.total_runs` gauge) turns
+        // the raw run count into progress: % explored and an ETA at the
+        // current rate. Suppressed on the final line — actuals say it
+        // better — and capped at 99% so the estimate never claims a
+        // finish it cannot know.
+        if !done && state.est_total_runs > 0 && state.runs > 0 {
+            let pct = (state.runs as f64 * 100.0 / state.est_total_runs as f64).min(99.0);
+            line.push_str(&format!(", ~{pct:.0}% explored (est)"));
+            if rate > 0.0 && state.est_total_runs > state.runs {
+                let eta = (state.est_total_runs - state.runs) as f64 / rate;
+                line.push_str(&format!(", ETA ~{eta:.0}s"));
+            }
+        }
         let dedup_total = state.dedup_hits + state.dedup_misses;
         if done && dedup_total > 0 {
             line.push_str(&format!(
@@ -139,6 +154,13 @@ impl HeartbeatProbe {
 }
 
 impl Probe for HeartbeatProbe {
+    fn gauge_set(&self, name: &str, value: u64) {
+        if name == "estimate.total_runs" {
+            let mut state = self.state.lock().expect("heartbeat poisoned");
+            state.est_total_runs = value;
+        }
+    }
+
     fn add(&self, name: &str, delta: u64) {
         if name == self.step_counter {
             let mut state = self.state.lock().expect("heartbeat poisoned");
@@ -294,6 +316,27 @@ mod tests {
         hb.finish();
         let text = buf.text();
         assert!(!text.contains("POR"), "{text}");
+    }
+
+    #[test]
+    fn estimate_gauge_adds_progress_and_eta() {
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::ZERO)
+            .check_every(5)
+            .writer(buf.clone());
+        hb.gauge_set("estimate.total_runs", 100);
+        for _ in 0..5 {
+            hb.add("explore.runs", 1);
+        }
+        let text = buf.text();
+        assert!(text.contains("~5% explored (est)"), "{text}");
+        assert!(text.contains("ETA ~"), "{text}");
+        // The final summary reports actuals, not the estimate.
+        hb.finish();
+        let last = buf.text();
+        let done_line = last.lines().last().unwrap();
+        assert!(done_line.starts_with("[gem] done:"), "{done_line}");
+        assert!(!done_line.contains("explored (est)"), "{done_line}");
     }
 
     #[test]

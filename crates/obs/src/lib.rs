@@ -22,6 +22,14 @@
 //!   silent.
 //! * [`Report`] — deterministic JSON (`BTreeMap`-ordered keys) so two
 //!   runs of the same workload diff cleanly: only timer values change.
+//! * [`ChromeTraceProbe`] — collects timestamped duration/counter events
+//!   for Chrome-trace (`chrome://tracing` / Perfetto) export
+//!   (`--trace-out`).
+//! * [`estimate`] — search-space estimators: Knuth weighted-backtrack
+//!   run-tree size and Chapman capture-recapture distinct-computation
+//!   counts, fed by sampled runs.
+//! * [`profile`] — per-phase wall-time attribution ([`PhaseProfile`])
+//!   and reduction cost/benefit verdicts ([`explain`]) over a report.
 //! * [`RecorderProbe`] — a flight recorder: bounded per-thread rings of
 //!   recent events plus span stacks, dumped to a crash artifact by a
 //!   panic hook ([`install_crash_sink`]) so sweeps that die mid-flight
@@ -43,17 +51,23 @@
 #![warn(missing_docs)]
 
 pub mod ambient;
+mod chrome;
+pub mod estimate;
 mod fsio;
 mod heartbeat;
 pub mod json;
 mod probe;
+pub mod profile;
 mod recorder;
 mod report;
 mod tid;
 
+pub use chrome::{chrome_trace_json, ChromeEvent, ChromeTraceProbe};
+pub use estimate::{chapman_estimate, fingerprint_words, CollapseEstimator, KnuthEstimator};
 pub use fsio::write_atomic;
 pub use heartbeat::HeartbeatProbe;
 pub use probe::{FanoutProbe, NoopProbe, Probe, Span, StatsProbe, TraceProbe};
+pub use profile::{explain, PhaseProfile, PhaseRow};
 pub use recorder::{
     clear_crash_sink, install_crash_sink, RecordedEvent, RecorderProbe, ThreadDump,
 };

@@ -130,6 +130,7 @@ impl StatsProbe {
             gauges: inner.gauges.clone(),
             timers: inner.timers.clone(),
             meta: BTreeMap::new(),
+            config: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,392 @@
+//! Phase attribution and reduction cost/benefit verdicts.
+//!
+//! `verify_system` times each pipeline phase into `phase.*` timers
+//! (exploration residual, computation sealing, canonical-key hashing,
+//! dedup cache lookup, restriction checking). [`PhaseProfile`] folds a
+//! [`Report`] into a table whose top-level rows partition the `verify`
+//! span — they sum to (approximately) wall time by construction, because
+//! `phase.explore` is computed as the sweep residual — and [`explain`]
+//! turns the same counters into cost/benefit verdicts: was `--dedup`
+//! worth its hashing? what did the independence oracle grant? what did
+//! sleep sets actually skip?
+
+use crate::report::Report;
+
+/// Timer keys that partition the `verify` span. Order is presentation
+/// order (pipeline order, not alphabetical).
+pub const TOP_PHASES: [&str; 5] = [
+    "phase.explore",
+    "phase.seal",
+    "phase.canonical_key",
+    "phase.dedup_lookup",
+    "phase.check",
+];
+
+/// Sub-phases: timers nested inside a top-level phase, displayed
+/// indented and excluded from the partition sum.
+pub const SUB_PHASES: [(&str, &str); 1] = [("phase.closure", "phase.seal")];
+
+/// One row of the phase table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseRow {
+    /// Timer key (`phase.check`, …).
+    pub name: String,
+    /// Total nanoseconds attributed to the phase.
+    pub total_ns: u64,
+    /// Number of samples folded into the total.
+    pub count: u64,
+    /// Share of wall time, in percent.
+    pub pct_of_wall: f64,
+    /// True for sub-phases nested inside another row (not summed).
+    pub nested: bool,
+}
+
+/// A per-phase decomposition of one sweep's wall time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseProfile {
+    /// The wall-clock reference: the `verify` span when present, else
+    /// the `total` span.
+    pub wall_ns: u64,
+    /// Which timer supplied `wall_ns` (`"verify"` or `"total"`).
+    pub wall_source: &'static str,
+    /// Phase rows in pipeline order (sub-phases follow their parent).
+    pub rows: Vec<PhaseRow>,
+    /// Sum of top-level (non-nested) rows.
+    pub accounted_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Extracts the profile from a report. `None` when the report has
+    /// neither a `verify` nor a `total` span, or no `phase.*` timers at
+    /// all (nothing to attribute).
+    pub fn from_report(report: &Report) -> Option<PhaseProfile> {
+        let (wall_source, wall) = if let Some(t) = report.timers.get("verify") {
+            ("verify", t.total_ns)
+        } else {
+            ("total", report.timers.get("total")?.total_ns)
+        };
+        if wall == 0 {
+            return None;
+        }
+        let pct = |ns: u64| ns as f64 * 100.0 / wall as f64;
+        let mut rows = Vec::new();
+        let mut accounted = 0u64;
+        for name in TOP_PHASES {
+            let Some(t) = report.timers.get(name) else {
+                continue;
+            };
+            accounted += t.total_ns;
+            rows.push(PhaseRow {
+                name: name.to_owned(),
+                total_ns: t.total_ns,
+                count: t.count,
+                pct_of_wall: pct(t.total_ns),
+                nested: false,
+            });
+            for (sub, parent) in SUB_PHASES {
+                if parent != name {
+                    continue;
+                }
+                if let Some(s) = report.timers.get(sub) {
+                    rows.push(PhaseRow {
+                        name: sub.to_owned(),
+                        total_ns: s.total_ns,
+                        count: s.count,
+                        pct_of_wall: pct(s.total_ns),
+                        nested: true,
+                    });
+                }
+            }
+        }
+        if rows.is_empty() {
+            return None;
+        }
+        Some(PhaseProfile {
+            wall_ns: wall,
+            wall_source,
+            rows,
+            accounted_ns: accounted,
+        })
+    }
+
+    /// Renders the aligned table (stderr-style human output).
+    pub fn render(&self) -> String {
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len() + if r.nested { 2 } else { 0 })
+            .max()
+            .unwrap_or(8)
+            .max("accounted".len());
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:width$}  {:>12}  {:>10}  {:>8}\n",
+            "phase", "total", "samples", "% wall"
+        ));
+        for r in &self.rows {
+            let label = if r.nested {
+                format!("  {}", r.name)
+            } else {
+                r.name.clone()
+            };
+            let marker = if r.nested { " (within parent)" } else { "" };
+            out.push_str(&format!(
+                "{label:width$}  {:>12}  {:>10}  {:>7.1}%{marker}\n",
+                format_ns(r.total_ns),
+                r.count,
+                r.pct_of_wall
+            ));
+        }
+        out.push_str(&format!(
+            "{:width$}  {:>12}  {:>10}  {:>7.1}%\n",
+            "accounted",
+            format_ns(self.accounted_ns),
+            "",
+            self.accounted_ns as f64 * 100.0 / self.wall_ns as f64
+        ));
+        out.push_str(&format!(
+            "{:width$}  {:>12}\n",
+            format!("wall ({})", self.wall_source),
+            format_ns(self.wall_ns)
+        ));
+        out
+    }
+}
+
+/// Cost/benefit verdict lines for the reductions that were (or could
+/// be) applied, derived purely from the report's counters and timers:
+///
+/// * **dedup measured** — when `verify.dedup.*` counters exist: hashing
+///   plus lookup cost versus checking time saved (`hits ×` mean check).
+/// * **dedup predicted** — when dedup was off but the sampling
+///   estimators ran: predicted hit-rate from the collapse ratio, costed
+///   with the sampled per-run key/check times.
+/// * **POR** — sleep-set skip attribution and independence-oracle
+///   grant rate.
+pub fn explain(report: &Report) -> Vec<String> {
+    let mut out = Vec::new();
+    let c = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    let t_total = |name: &str| report.timers.get(name).map(|t| t.total_ns).unwrap_or(0);
+    let t_mean = |name: &str| report.timers.get(name).map(|t| t.mean_ns()).unwrap_or(0);
+    let wall = report
+        .timers
+        .get("verify")
+        .or_else(|| report.timers.get("total"))
+        .map(|t| t.total_ns)
+        .unwrap_or(0);
+    let pct_of_wall = |ns: u64| {
+        if wall == 0 {
+            0.0
+        } else {
+            ns as f64 * 100.0 / wall as f64
+        }
+    };
+
+    let hits = c("verify.dedup.hits");
+    let misses = c("verify.dedup.misses");
+    if hits + misses > 0 {
+        // Dedup ran: measured verdict. Cost is everything dedup added
+        // (hashing + lookups); benefit is the checks the hits skipped,
+        // priced at the mean cost of the checks that did run.
+        let cost = t_total("phase.canonical_key") + t_total("phase.dedup_lookup");
+        let saved = hits.saturating_mul(t_mean("phase.check"));
+        let total = hits + misses;
+        let verdict = if saved > cost { "WIN" } else { "LOSS" };
+        out.push(format!(
+            "dedup measured {verdict}: hit-rate {:.0}% ({hits}/{total}), \
+             hash+lookup cost {} ({:.0}% of wall), est. checking saved {}",
+            hits as f64 * 100.0 / total as f64,
+            format_ns(cost),
+            pct_of_wall(cost),
+            format_ns(saved),
+        ));
+    } else if report.gauges.contains_key("estimate.distinct_computations") {
+        // Dedup off, but the sampler measured the collapse ratio and
+        // per-run key/check costs — predict.
+        let est_runs = report
+            .gauges
+            .get("estimate.total_runs")
+            .copied()
+            .unwrap_or(0);
+        let est_distinct = report.gauges["estimate.distinct_computations"].max(1);
+        if est_runs > 0 {
+            let hit_rate = 1.0 - (est_distinct.min(est_runs) as f64 / est_runs as f64);
+            let key_ns = t_mean("estimate.canonical_key");
+            let check_ns = t_mean("estimate.check");
+            let cost = (est_runs as f64) * (key_ns as f64);
+            let saved = (est_runs as f64) * hit_rate * (check_ns as f64);
+            let verdict = if saved > cost { "WIN" } else { "LOSS" };
+            out.push(format!(
+                "dedup predicted {verdict}: est. {est_runs} run(s) collapse to \
+                 ~{est_distinct} computation(s) (hit-rate {:.0}%), est. hashing \
+                 cost {} vs. checking saved {}",
+                hit_rate * 100.0,
+                format_ns(cost as u64),
+                format_ns(saved as u64),
+            ));
+        }
+    }
+
+    let grants = c("explore.oracle.grants");
+    let denials = c("explore.oracle.denials");
+    let slept = c("explore.sleep_skipped");
+    let por_runs = c("explore.por_runs");
+    if grants + denials > 0 || slept > 0 {
+        let queries = grants + denials;
+        let mut line = format!("POR: {por_runs} representative run(s), {slept} branch(es) slept");
+        if queries > 0 {
+            line.push_str(&format!(
+                "; independence oracle granted {:.0}% of {queries} quer{}",
+                grants as f64 * 100.0 / queries as f64,
+                if queries == 1 { "y" } else { "ies" }
+            ));
+        }
+        if slept == 0 {
+            line.push_str(" — no reduction on this instance");
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Renders nanoseconds with a readable unit (mirrors the report table).
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TimerStat;
+
+    fn timer(count: u64, total_ns: u64) -> TimerStat {
+        TimerStat {
+            count,
+            total_ns,
+            min_ns: 0,
+            max_ns: total_ns,
+        }
+    }
+
+    fn phased_report() -> Report {
+        let mut r = Report::new();
+        r.timers.insert("verify".into(), timer(1, 1_000_000));
+        r.timers.insert("phase.explore".into(), timer(1, 400_000));
+        r.timers.insert("phase.seal".into(), timer(10, 200_000));
+        r.timers.insert("phase.closure".into(), timer(10, 50_000));
+        r.timers
+            .insert("phase.canonical_key".into(), timer(10, 100_000));
+        r.timers
+            .insert("phase.dedup_lookup".into(), timer(10, 20_000));
+        r.timers.insert("phase.check".into(), timer(4, 250_000));
+        r
+    }
+
+    #[test]
+    fn profile_partitions_wall() {
+        let p = PhaseProfile::from_report(&phased_report()).unwrap();
+        assert_eq!(p.wall_ns, 1_000_000);
+        assert_eq!(p.wall_source, "verify");
+        // Top-level rows sum, sub-phase excluded from the sum.
+        assert_eq!(p.accounted_ns, 970_000);
+        let closure = p.rows.iter().find(|r| r.name == "phase.closure").unwrap();
+        assert!(closure.nested);
+        // Sub-phase renders right after its parent.
+        let seal_ix = p.rows.iter().position(|r| r.name == "phase.seal").unwrap();
+        assert_eq!(p.rows[seal_ix + 1].name, "phase.closure");
+        let table = p.render();
+        assert!(table.contains("phase.check"), "{table}");
+        assert!(table.contains("wall (verify)"), "{table}");
+        assert!(table.contains("accounted"), "{table}");
+    }
+
+    #[test]
+    fn profile_none_without_wall_or_phases() {
+        assert!(PhaseProfile::from_report(&Report::new()).is_none());
+        let mut r = Report::new();
+        r.timers.insert("verify".into(), timer(1, 10));
+        assert!(PhaseProfile::from_report(&r).is_none(), "no phase timers");
+    }
+
+    #[test]
+    fn explain_measured_dedup_win_and_loss() {
+        // WIN: many hits, cheap hashing, expensive checks.
+        let mut r = phased_report();
+        r.counters.insert("verify.dedup.hits".into(), 788);
+        r.counters.insert("verify.dedup.misses".into(), 24);
+        r.timers.insert("phase.check".into(), timer(24, 240_000));
+        let lines = explain(&r);
+        assert!(
+            lines.iter().any(|l| l.contains("dedup measured WIN")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("hit-rate 97%")),
+            "{lines:?}"
+        );
+
+        // LOSS: low hit-rate, hashing dwarfs the skipped checks.
+        let mut r = phased_report();
+        r.counters.insert("verify.dedup.hits".into(), 10);
+        r.counters.insert("verify.dedup.misses".into(), 990);
+        r.timers
+            .insert("phase.canonical_key".into(), timer(1000, 500_000));
+        r.timers.insert("phase.check".into(), timer(990, 99_000));
+        let lines = explain(&r);
+        assert!(
+            lines.iter().any(|l| l.contains("dedup measured LOSS")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn explain_predicted_dedup_from_estimates() {
+        let mut r = phased_report();
+        r.gauges.insert("estimate.total_runs".into(), 800);
+        r.gauges.insert("estimate.distinct_computations".into(), 25);
+        r.timers
+            .insert("estimate.canonical_key".into(), timer(16, 16_000));
+        r.timers
+            .insert("estimate.check".into(), timer(16, 1_600_000));
+        let lines = explain(&r);
+        assert!(
+            lines.iter().any(|l| l.contains("dedup predicted WIN")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn explain_por_attribution() {
+        let mut r = Report::new();
+        r.counters.insert("explore.oracle.grants".into(), 75);
+        r.counters.insert("explore.oracle.denials".into(), 25);
+        r.counters.insert("explore.sleep_skipped".into(), 40);
+        r.counters.insert("explore.por_runs".into(), 24);
+        let lines = explain(&r);
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(
+            lines[0].contains("24 representative run(s)"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("40 branch(es) slept"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("granted 75% of 100 queries"),
+            "{}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn explain_empty_report_is_silent() {
+        assert!(explain(&Report::new()).is_empty());
+    }
+}

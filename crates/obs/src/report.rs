@@ -54,6 +54,11 @@ pub struct Report {
     pub timers: BTreeMap<String, TimerStat>,
     /// Free-form context (command line, problem name, parameters).
     pub meta: BTreeMap<String, String>,
+    /// The run's effective configuration (problem id, jobs/dedup/por
+    /// flags, bounds) — makes the report self-describing so artifacts
+    /// need no filename conventions. Serialized only when non-empty,
+    /// so configuration-free reports keep their historical shape.
+    pub config: BTreeMap<String, String>,
 }
 
 impl Report {
@@ -74,6 +79,22 @@ impl Report {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
         out.push_str("  ");
+        if !self.config.is_empty() {
+            push_json_key(&mut out, "config");
+            out.push_str(" {");
+            let mut first = true;
+            for (k, v) in &self.config {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("\n    ");
+                push_json_key(&mut out, k);
+                out.push(' ');
+                push_json_str(&mut out, v);
+            }
+            out.push_str("\n  },\n  ");
+        }
         push_json_key(&mut out, "counters");
         out.push_str(" {");
         push_u64_map(&mut out, &self.counters);
@@ -152,6 +173,14 @@ impl Report {
         };
         for (key, value) in obj {
             match key.as_str() {
+                "config" => {
+                    for (k, v) in value.as_obj().ok_or("report: config is not an object")? {
+                        let s = v
+                            .as_str()
+                            .ok_or(format!("report: config.{k} is not a string"))?;
+                        report.config.insert(k.clone(), s.to_owned());
+                    }
+                }
                 "counters" => report.counters = u64_map(value, "counters")?,
                 "gauges" => report.gauges = u64_map(value, "gauges")?,
                 "meta" => {
@@ -232,6 +261,11 @@ impl fmt::Display for Report {
         if !self.meta.is_empty() {
             for (k, v) in &self.meta {
                 writeln!(f, "# {k}: {v}")?;
+            }
+        }
+        if !self.config.is_empty() {
+            for (k, v) in &self.config {
+                writeln!(f, "# config {k}: {v}")?;
             }
         }
         if !self.counters.is_empty() {
@@ -325,6 +359,34 @@ mod tests {
         assert_eq!(parsed, r);
         assert_eq!(parsed.to_json(), r.to_json());
         assert!(Report::from_json("{\"counters\": {\"x\": \"y\"}}").is_err());
+    }
+
+    #[test]
+    fn config_section_roundtrips_and_is_elided_when_empty() {
+        let plain = sample();
+        assert!(
+            !plain.to_json().contains("\"config\""),
+            "empty config keeps the historical shape"
+        );
+        let mut r = sample();
+        r.config.insert("problem".into(), "rw".into());
+        r.config.insert("dedup".into(), "true".into());
+        let json = r.to_json();
+        assert!(json.contains("\"config\""), "{json}");
+        assert!(
+            json.find("\"config\"").unwrap() < json.find("\"counters\"").unwrap(),
+            "config leads the document: {json}"
+        );
+        assert!(json.contains("\"dedup\""), "{json}");
+        let parsed = Report::from_json(&json).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), json);
+        // Old readers (pre-config) ignore the section; new readers
+        // tolerate its absence.
+        assert!(Report::from_json(&plain.to_json())
+            .unwrap()
+            .config
+            .is_empty());
     }
 
     #[test]

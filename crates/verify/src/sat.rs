@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::sync::Arc;
+use std::time::Instant;
 
 use gem_core::Computation;
 use gem_lang::{Explorer, System, TruncationReason};
@@ -281,6 +282,18 @@ where
         .then(|| gem_obs::ambient::install(options.probe.clone()));
     let _total = Span::enter(probe, "verify");
 
+    // Phase attribution (see `gem_obs::profile`): each per-run stage is
+    // timed with a manual clock read gated on `probe.enabled()`, and the
+    // time the sweep spends *outside* those stages — schedule
+    // enumeration, state stepping, backtracking — is emitted afterwards
+    // as the `phase.explore` residual, so the phase timers partition the
+    // `verify` span.
+    let probing = probe.enabled();
+    let sweep_started = probing.then(Instant::now);
+    let mut phased_ns = 0u64;
+    let elapsed_ns =
+        |t: Instant| -> u64 { u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX) };
+
     let stats = options
         .explorer
         .par_for_each_run_probed(sys, probe, |state, path| {
@@ -292,18 +305,48 @@ where
                 // run and never deduplicated.
                 deadlocks += 1;
             }
+            let seal_started = probing.then(Instant::now);
             let program_comp = extract(state);
-            let key = dedup.then(|| canonical_key(&program_comp));
+            if let Some(t) = seal_started {
+                let ns = elapsed_ns(t);
+                phased_ns += ns;
+                probe.time_ns("phase.seal", ns);
+            }
+            let key = if dedup {
+                let key_started = probing.then(Instant::now);
+                let k = canonical_key(&program_comp);
+                if let Some(t) = key_started {
+                    let ns = elapsed_ns(t);
+                    phased_ns += ns;
+                    probe.time_ns("phase.canonical_key", ns);
+                }
+                Some(k)
+            } else {
+                None
+            };
+            let cached = if dedup {
+                let lookup_started = probing.then(Instant::now);
+                let c = key.as_ref().and_then(|k| verdicts.get(k)).cloned();
+                if let Some(t) = lookup_started {
+                    let ns = elapsed_ns(t);
+                    phased_ns += ns;
+                    probe.time_ns("phase.dedup_lookup", ns);
+                }
+                c
+            } else {
+                None
+            };
             let mut fresh_check: Option<RunCheck> = None;
-            let verdict = match key.as_ref().and_then(|k| verdicts.get(k)) {
+            let verdict = match cached {
                 Some(cached) => {
                     dedup_hits += 1;
-                    cached.clone()
+                    cached
                 }
                 None => {
                     if dedup {
                         dedup_misses += 1;
                     }
+                    let check_started = probing.then(Instant::now);
                     let check = match evaluate(&program_comp) {
                         Ok(v) => v,
                         Err(e) => {
@@ -311,6 +354,11 @@ where
                             return ControlFlow::Break(());
                         }
                     };
+                    if let Some(t) = check_started {
+                        let ns = elapsed_ns(t);
+                        phased_ns += ns;
+                        probe.time_ns("phase.check", ns);
+                    }
                     let fresh = check.verdict.clone();
                     if let Some(k) = key {
                         verdicts.insert(k, fresh.clone());
@@ -376,6 +424,15 @@ where
             ControlFlow::Continue(())
         });
 
+    // Everything the sweep spent outside the timed stages is exploration:
+    // schedule enumeration, state stepping, backtracking, sleep-set
+    // bookkeeping.
+    if let Some(started) = sweep_started {
+        probe.time_ns(
+            "phase.explore",
+            elapsed_ns(started).saturating_sub(phased_ns),
+        );
+    }
     // One post-sweep flush so the counter is present (possibly zero) in
     // every report.
     probe.add("verify.deadlocks", deadlocks as u64);

@@ -115,6 +115,180 @@ fn span_timings_recorded() {
 }
 
 #[test]
+fn chrome_trace_serialisation_matches_golden() {
+    // `chrome_trace_json` is a pure function of its event list with a
+    // deliberately rigid field order; a fixed event mix — durations,
+    // a running-total counter, a name needing JSON escapes — must
+    // serialise byte-for-byte to the checked-in golden.
+    use gem::obs::{chrome_trace_json, ChromeEvent};
+    let ev = |name: &str, cat: &str, ts_us: u64, dur_us: u64, tid: u64| ChromeEvent {
+        name: name.into(),
+        cat: cat.into(),
+        ts_us,
+        dur_us,
+        tid,
+        counter: None,
+    };
+    let events = vec![
+        ev("verify", "verify", 0, 1500, 0),
+        ev("phase.explore", "phase", 0, 700, 0),
+        ev("phase.seal", "phase", 700, 300, 0),
+        ev("phase.check", "phase", 1000, 500, 2),
+        ChromeEvent {
+            name: "explore.runs".into(),
+            cat: "explore".into(),
+            ts_us: 1200,
+            dur_us: 0,
+            tid: 0,
+            counter: Some(812),
+        },
+        ev("note \"quoted\"\tkey", "note \"quoted\"\tkey", 1400, 1, 1),
+    ];
+    let got = chrome_trace_json(&events);
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace.json");
+    let want = std::fs::read_to_string(&golden).expect("golden file");
+    assert_eq!(
+        got, want,
+        "Chrome-trace serialisation drifted from tests/golden/chrome_trace.json"
+    );
+}
+
+#[test]
+fn chrome_trace_of_probed_verify_partitions_the_wall() {
+    // A real dedup verify through a ChromeTraceProbe: every top-level
+    // phase must appear as a complete duration event, the per-phase
+    // durations must sum to at most the verify span, and the final
+    // `explore.runs` running total must agree with the verifier.
+    use gem::lang::Explorer;
+    use gem::obs::ChromeTraceProbe;
+    let probe = Arc::new(ChromeTraceProbe::new());
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let outcome = verify_system(
+        &sys,
+        &spec,
+        &corr,
+        |state| sys.computation(state).expect("acyclic"),
+        &VerifyOptions {
+            probe: probe.clone(),
+            explorer: Explorer {
+                dedup_computations: true,
+                ..Explorer::default()
+            },
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("projection");
+    assert!(outcome.ok(), "{outcome}");
+    let events = probe.events();
+    assert_eq!(probe.dropped(), 0);
+
+    let dur_of = |name: &str| -> u64 {
+        events
+            .iter()
+            .filter(|e| e.name == name && e.counter.is_none())
+            .map(|e| e.dur_us)
+            .sum()
+    };
+    for phase in gem::obs::profile::TOP_PHASES {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == phase && e.counter.is_none()),
+            "missing duration events for {phase}"
+        );
+        assert_eq!(
+            events.iter().find(|e| e.name == phase).unwrap().cat,
+            "phase"
+        );
+    }
+    let verify_dur = dur_of("verify");
+    assert!(verify_dur > 0, "verify span must be recorded");
+    let accounted: u64 = gem::obs::profile::TOP_PHASES
+        .iter()
+        .map(|p| dur_of(p))
+        .sum();
+    assert!(
+        accounted <= verify_dur,
+        "phases overflow the verify span: {accounted}us > {verify_dur}us"
+    );
+
+    let final_runs = events
+        .iter()
+        .filter(|e| e.name == "explore.runs")
+        .filter_map(|e| e.counter)
+        .next_back()
+        .expect("explore.runs counter events");
+    assert_eq!(final_runs, outcome.runs as u64);
+
+    let json = probe.to_json();
+    assert!(json.starts_with("{\"traceEvents\": [\n"));
+    assert!(json.ends_with("\n]}\n"));
+}
+
+#[test]
+fn phase_profile_accounts_for_the_wall_and_explains_dedup() {
+    // The §9 Readers/Writers monitor under dedup: the aggregated phase
+    // profile must attribute (almost) the whole verify span to the five
+    // top-level phases, and the explain pass must produce a *measured*
+    // dedup verdict from the hit counters.
+    use gem::lang::Explorer;
+    use gem::obs::PhaseProfile;
+    let probe = Arc::new(StatsProbe::new());
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let outcome = verify_system(
+        &sys,
+        &spec,
+        &corr,
+        |state| sys.computation(state).expect("acyclic"),
+        &VerifyOptions {
+            probe: probe.clone(),
+            explorer: Explorer {
+                dedup_computations: true,
+                ..Explorer::default()
+            },
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("projection");
+    assert!(outcome.ok(), "{outcome}");
+    let report = probe.report();
+    let profile = PhaseProfile::from_report(&report).expect("phase timers recorded");
+    assert!(profile.wall_ns > 0);
+    assert!(
+        profile.accounted_ns <= profile.wall_ns,
+        "accounted {} > wall {}",
+        profile.accounted_ns,
+        profile.wall_ns
+    );
+    // The residual-attribution design makes the partition tight: the
+    // five phases cover the sweep, so well over half the wall must be
+    // accounted for even on a tiny instance.
+    assert!(
+        profile.accounted_ns * 2 > profile.wall_ns,
+        "accounted {} vs wall {} — phases lost the sweep",
+        profile.accounted_ns,
+        profile.wall_ns
+    );
+    let rendered = profile.render();
+    for phase in gem::obs::profile::TOP_PHASES {
+        assert!(
+            rendered.contains(phase),
+            "render missing {phase}:\n{rendered}"
+        );
+    }
+    let verdicts = gem::obs::explain(&report);
+    assert!(
+        verdicts.iter().any(|v| v.contains("dedup measured")),
+        "expected a measured dedup verdict, got {verdicts:?}"
+    );
+}
+
+#[test]
 fn noop_probe_leaves_ambient_inactive() {
     // The default options use a NoopProbe; the ambient layer must stay
     // uninstalled so deep layers keep their fast path.

@@ -407,12 +407,22 @@ fn strip_timings(json: &str) -> String {
         .join("\n")
 }
 
+/// Drops the one config line that *should* differ across the sweep: the
+/// self-describing report records the worker count it ran with, which is
+/// exactly the parameter this differential varies on purpose.
+fn strip_jobs_config(json: &str) -> String {
+    json.lines()
+        .filter(|line| !line.trim_start().starts_with("\"jobs\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[test]
 fn cli_stats_json_identical_across_jobs() {
     // The full CLI path: `gem verify rw … --jobs N --stats-json <file>`
     // must print the same verdict and write the same report (modulo
-    // timing measurements) for every worker count. `--jobs` is stripped
-    // before dispatch, so it never leaks into the report's meta section.
+    // timing measurements and the config block's own record of the
+    // worker count) for every worker count.
     let dir = std::env::temp_dir().join(format!("gem-par-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     let run_at = |jobs: usize| {
@@ -443,12 +453,65 @@ fn cli_stats_json_identical_across_jobs() {
         let (par_out, par_json) = run_at(jobs);
         assert_eq!(serial_out, par_out, "stdout diverges at --jobs {jobs}");
         assert_eq!(
-            strip_timings(&serial_json),
-            strip_timings(&par_json),
+            strip_jobs_config(&strip_timings(&serial_json)),
+            strip_jobs_config(&strip_timings(&par_json)),
             "stats report diverges at --jobs {jobs}"
         );
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn phase_profile_aggregation_identical_across_jobs() {
+    // Phase attribution must survive parallelisation: a dedup verify
+    // probed through a StatsProbe has to aggregate the *same* phase
+    // timer sample counts (and all counters/gauges) at every worker
+    // count — only the measured nanoseconds may differ. This is the
+    // profiler-level analogue of `cli_stats_json_identical_across_jobs`.
+    use gem::obs::StatsProbe;
+    use std::sync::Arc;
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let report_at = |jobs: usize| {
+        let probe = Arc::new(StatsProbe::new());
+        let outcome = verify_system(
+            &sys,
+            &spec,
+            &corr,
+            |s| sys.computation(s).expect("acyclic"),
+            &VerifyOptions {
+                probe: probe.clone(),
+                explorer: Explorer {
+                    jobs,
+                    split_depth: 3,
+                    reduce: por_env(),
+                    dedup_computations: true,
+                    ..Explorer::default()
+                },
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("projection");
+        assert!(outcome.ok(), "{outcome}");
+        probe.report()
+    };
+    let serial = report_at(1);
+    for phase in gem::obs::profile::TOP_PHASES {
+        assert!(
+            serial.timers.contains_key(phase),
+            "serial report missing {phase} timer"
+        );
+    }
+    let serial_stripped = serial.without_timings().to_json();
+    for jobs in job_counts() {
+        let par = report_at(jobs);
+        assert_eq!(
+            serial_stripped,
+            par.without_timings().to_json(),
+            "phase aggregation diverges at jobs={jobs}"
+        );
+    }
 }
 
 #[test]

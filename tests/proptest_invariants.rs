@@ -685,3 +685,65 @@ proptest! {
         prop_assert_eq!(via_sequences, via_histories);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Knuth's weighted-backtrack estimator is unbiased on the real run
+    /// trees: on fully-enumerable bounded-buffer instances every
+    /// `Explorer::sample_run` probe must (a) replay exactly — its
+    /// `tree_product` is the product of the enabled-action counts along
+    /// its own path and the path is a maximal run — and (b) feed a
+    /// `KnuthEstimator` whose deterministic seed-sweep mean lands within
+    /// 2× of the exact run count from the exhaustive sweep. The seeds
+    /// are fixed, so the statistical bound is reproducible, not flaky.
+    #[test]
+    fn knuth_probe_unbiased_on_enumerable_trees(
+        items in 1usize..=3,
+        cap in 1usize..=2,
+    ) {
+        use gem::lang::{Explorer, System};
+        use gem::obs::KnuthEstimator;
+        let values = [1i64, 2, 3];
+        let sys = gem::problems::bounded::monitor_solution(&values[..items], cap);
+        let explorer = Explorer::default();
+        let mut exact = 0usize;
+        explorer.for_each_run(&sys, |_, _| {
+            exact += 1;
+            ControlFlow::Continue(())
+        });
+        prop_assert!(exact > 0);
+
+        let mut est = KnuthEstimator::new();
+        for seed in 0..256u64 {
+            let sample = explorer.sample_run(&sys, seed);
+            prop_assert!(!sample.depth_limited, "tiny instance hit the depth cap");
+
+            // Replay: the recorded product is exactly the branching
+            // product along the sampled path, every action was enabled
+            // when taken, and the walk stopped only at a terminal state.
+            let mut state = sys.initial();
+            let mut product = 1.0f64;
+            for action in &sample.path {
+                let enabled = sys.enabled(&state);
+                prop_assert!(
+                    enabled.iter().any(|a| format!("{a:?}") == format!("{action:?}")),
+                    "sampled action {action:?} not enabled"
+                );
+                product *= enabled.len() as f64;
+                sys.apply(&mut state, action);
+            }
+            prop_assert!(sys.enabled(&state).is_empty(), "sampled run not maximal");
+            prop_assert!((product - sample.tree_product).abs() < 1e-9);
+
+            est.record(sample.tree_product);
+        }
+        prop_assert_eq!(est.samples(), 256);
+        let mean = est.estimate().expect("samples recorded");
+        let exact = exact as f64;
+        prop_assert!(
+            mean >= exact / 2.0 && mean <= exact * 2.0,
+            "Knuth estimate {} vs exact {} run(s)", mean, exact
+        );
+    }
+}
