@@ -77,9 +77,10 @@ use gem_problems::readers_writers::{
 };
 use gem_problems::{bounded, db_update, life, one_slot};
 use gem_spec::{render_specification, Specification};
+use gem_verify::auto::{self, StrategyDecision};
 use gem_verify::{
-    canonical_key, check_computation, verify_system, ArtifactSink, Correspondence, ProjectError,
-    RunFailure, VerifyOptions, VerifyOutcome,
+    canonical_key, check_computation, sample_evidence, verify_system, ArtifactSink, Correspondence,
+    ProjectError, RunFailure, VerifyOptions, VerifyOutcome,
 };
 
 /// A CLI usage or execution error.
@@ -361,10 +362,14 @@ struct ObsFlags {
     jobs: Option<usize>,
     dedup: bool,
     por: bool,
+    auto: bool,
     explain: bool,
     artifacts: Option<String>,
     recorder_cap: Option<usize>,
     json_out: Option<String>,
+    /// Filled in by `verify --auto`: the sampled decision, carried back
+    /// so the stats report's config section can record it.
+    strategy: Option<StrategyDecision>,
 }
 
 /// Splits `--stats` / `--stats-json` / `--trace` / `--trace-out` /
@@ -417,6 +422,12 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                     return Err(err("--por takes no value"));
                 }
                 flags.por = true;
+            }
+            "--auto" => {
+                if inline.is_some() {
+                    return Err(err("--auto takes no value"));
+                }
+                flags.auto = true;
             }
             "--explain" => {
                 if inline.is_some() {
@@ -571,11 +582,11 @@ fn format_outcome(outcome: &VerifyOutcome) -> String {
 /// Returns [`CliError`] for unknown commands/problems, bad parameters, or
 /// unwritable stats/trace files.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let (args, flags) = split_flags(args)?;
+    let (args, mut flags) = split_flags(args)?;
     let obs = obs_setup(&flags)?;
     let mut result = {
         let _total = Span::enter(obs.probe.as_ref(), "total");
-        dispatch(&args, &obs, &flags)
+        dispatch(&args, &obs, &mut flags)
     };
     // The final heartbeat summary always flushes at end-of-sweep, even if
     // the rate limiter swallowed every periodic line.
@@ -607,6 +618,49 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             .insert("jobs".to_owned(), flags.jobs.unwrap_or(1).to_string());
         report.config.insert("dedup".to_owned(), flag(flags.dedup));
         report.config.insert("por".to_owned(), flag(flags.por));
+        report.config.insert("auto".to_owned(), flag(flags.auto));
+        // `verify --auto` records its decision and the full estimator
+        // evidence, so a strategy choice is always auditable from the
+        // stats report alone.
+        if let Some(d) = &flags.strategy {
+            let e = &d.evidence;
+            report
+                .config
+                .insert("strategy".to_owned(), d.strategy.name().to_owned());
+            report
+                .config
+                .insert("strategy.reason".to_owned(), d.reason.clone());
+            report
+                .config
+                .insert("strategy.samples".to_owned(), e.samples.to_string());
+            report
+                .config
+                .insert("strategy.est_runs".to_owned(), format!("{:.0}", e.est_runs));
+            report.config.insert(
+                "strategy.est_distinct".to_owned(),
+                e.est_distinct.to_string(),
+            );
+            report.config.insert(
+                "strategy.collapse_ratio".to_owned(),
+                format!("{:.2}", e.collapse_ratio),
+            );
+            report.config.insert(
+                "strategy.oracle_grants".to_owned(),
+                e.oracle_grants.to_string(),
+            );
+            report.config.insert(
+                "strategy.oracle_queries".to_owned(),
+                e.oracle_queries.to_string(),
+            );
+            // The measured per-run key/check costs are timing data, so
+            // they live in the `timers` section (`auto.key` /
+            // `auto.check`, recorded by `auto_decide`) rather than
+            // here: `config` stays byte-identical across runs.
+            report.config.insert(
+                "strategy.depth_limited".to_owned(),
+                e.depth_limited.to_string(),
+            );
+        }
         report.config.insert(
             "heartbeat_secs".to_owned(),
             flags.heartbeat.unwrap_or(5.0).to_string(),
@@ -632,6 +686,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     out.push('\n');
                     out.push_str(&line);
                 }
+                if let Some(d) = &flags.strategy {
+                    out.push('\n');
+                    out.push_str(&format!("auto: chose {} — {}", d.strategy.name(), d.reason));
+                }
             }
         }
     }
@@ -652,7 +710,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     result
 }
 
-fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String, CliError> {
+fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<String, CliError> {
     let probe = &obs.probe;
     let jobs = flags.jobs.unwrap_or(1);
     let dedup = flags.dedup;
@@ -682,6 +740,44 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                     Ok(render_specification(spec))
                 }
                 "verify" => {
+                    // `--auto`: sample the instance first and pick the
+                    // reduction strategy from the evidence, overriding
+                    // any explicit `--dedup`/`--por`. The decision is
+                    // carried back on `flags` so the stats report's
+                    // config section records it.
+                    if flags.auto {
+                        let decision = match &inst {
+                            Instance::Monitor { sys, spec, corr } => auto_decide(
+                                sys,
+                                spec,
+                                corr,
+                                |s| sys.computation(s).expect("acyclic"),
+                                probe.as_ref(),
+                            ),
+                            Instance::Csp {
+                                sys, spec, corr, ..
+                            } => auto_decide(
+                                sys,
+                                spec,
+                                corr,
+                                |s| sys.computation(s).expect("acyclic"),
+                                probe.as_ref(),
+                            ),
+                            Instance::Ada {
+                                sys, spec, corr, ..
+                            } => auto_decide(
+                                sys,
+                                spec,
+                                corr,
+                                |s| sys.computation(s).expect("acyclic"),
+                                probe.as_ref(),
+                            ),
+                        };
+                        flags.dedup = decision.strategy == auto::Strategy::Dedup;
+                        flags.por = decision.strategy == auto::Strategy::Por;
+                        flags.strategy = Some(decision);
+                    }
+                    let dedup = flags.dedup;
                     // `meta.json` records exactly what `gem replay` needs
                     // to rebuild this instance.
                     // The recorded schedule is exact either way, but
@@ -750,6 +846,9 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                     }
                     .map_err(|e| err(format!("projection failed: {e}")))?;
                     let mut out = format_outcome(&outcome);
+                    if let Some(d) = &flags.strategy {
+                        out.push_str(&format!("\nstrategy: {} (auto)", d.strategy.name()));
+                    }
                     if let Some(dir) = &flags.artifacts {
                         out.push_str(&format!("\nartifacts: {dir}"));
                     }
@@ -851,7 +950,13 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                             .enabled()
                             .then(|| gem_obs::ambient::install(probe.clone()));
                         let mut deadlocks = 0usize;
-                        let mut seen = std::collections::HashSet::new();
+                        // Fingerprint-bucketed exact dedup, mirroring
+                        // verify_system: the free rolling hash indexes,
+                        // the closure-free confirmation key decides.
+                        let mut seen: std::collections::HashMap<
+                            u64,
+                            Vec<gem_verify::CanonicalKey>,
+                        > = std::collections::HashMap::new();
                         let (mut hits, mut misses) = (0u64, 0u64);
                         let explorer = Explorer {
                             jobs,
@@ -865,10 +970,14 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                                     deadlocks += 1;
                                 }
                                 if dedup {
-                                    if seen.insert(gem_verify::canonical_key(&extract(state))) {
-                                        misses += 1;
-                                    } else {
+                                    let comp = extract(state);
+                                    let bucket = seen.entry(comp.fingerprint()).or_default();
+                                    let key = gem_verify::confirm_key(&comp);
+                                    if bucket.contains(&key) {
                                         hits += 1;
+                                    } else {
+                                        bucket.push(key);
+                                        misses += 1;
                                     }
                                 }
                                 ControlFlow::Continue(())
@@ -880,7 +989,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
                             stats.dedup_misses = misses as usize;
                             probe.add("explore.dedup.hits", hits);
                             probe.add("explore.dedup.misses", misses);
-                            dedup_note = format!("  distinct computations: {}", seen.len());
+                            dedup_note = format!("  distinct computations: {misses}");
                         }
                         let por_note = if reduce {
                             format!("  slept branches: {}", stats.sleep_skipped)
@@ -987,6 +1096,52 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &ObsFlags) -> Result<String,
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command {other:?}\n{}", usage()))),
     }
+}
+
+/// Samples the instance and picks the exploration strategy for
+/// `verify --auto` ([`gem_verify::auto`]), posting the evidence on the
+/// probe (`auto.*` counters, gauges, and the `auto.key` / `auto.check`
+/// cost timers) so heartbeats and stats reports see what the decision
+/// was based on. Sampling happens before the `verify` span opens and
+/// emits nothing into the phase timers.
+fn auto_decide<S, F>(
+    sys: &S,
+    spec: &Specification,
+    corr: &Correspondence,
+    extract: F,
+    probe: &dyn Probe,
+) -> StrategyDecision
+where
+    S: System,
+    F: Fn(&S::State) -> gem_core::Computation,
+{
+    let defaults = VerifyOptions::default();
+    let evidence = sample_evidence(
+        &defaults.explorer,
+        sys,
+        extract,
+        |comp| {
+            let _ = check_computation(
+                comp,
+                spec,
+                corr,
+                defaults.strategy,
+                defaults.check_program_legality,
+            );
+        },
+        auto::AUTO_SAMPLES,
+        auto::AUTO_CHECKS,
+    );
+    probe.add("auto.samples", evidence.samples as u64);
+    probe.add("auto.oracle_grants", evidence.oracle_grants);
+    probe.add("auto.oracle_queries", evidence.oracle_queries);
+    probe.gauge_set("auto.est_runs", evidence.est_runs.round() as u64);
+    probe.gauge_set("auto.est_distinct", evidence.est_distinct);
+    // Measured costs go to the timer section (the one section report
+    // determinism is defined modulo), not to gauges or config.
+    probe.time_ns("auto.key", evidence.key_ns);
+    probe.time_ns("auto.check", evidence.check_ns);
+    auto::choose(evidence)
 }
 
 /// Random root-to-leaf walks taken by the pre-sweep estimators.
@@ -1353,10 +1508,25 @@ fn bench_diff_json(
 
 fn bench_diff_cmd(rest: &[String], json_out: Option<&str>) -> Result<String, CliError> {
     let usage = "bench-diff needs two report files: \
-                 gem bench-diff <baseline.json> <current.json> [threshold=25] [--json <path>]";
+                 gem bench-diff <baseline.json> <current.json> [threshold=25] \
+                 [limit:<metric>=<pct> ...] [--json <path>]";
     let (old_path, rest) = rest.split_first().ok_or_else(|| err(usage))?;
     let (new_path, rest) = rest.split_first().ok_or_else(|| err(usage))?;
-    let threshold = Params::parse(rest)?.f64("threshold", 25.0)?;
+    let params = Params::parse(rest)?;
+    let threshold = params.f64("threshold", 25.0)?;
+    // Per-metric overrides tighten (or relax) the global threshold for
+    // named series — e.g. `limit:rw_verify/readers_priority_1r2w_dedup=50`
+    // keeps a once-regressing series on a shorter leash than the noise
+    // allowance the rest of the table gets.
+    let mut limits: BTreeMap<String, f64> = BTreeMap::new();
+    for (k, v) in &params.0 {
+        if let Some(metric) = k.strip_prefix("limit:") {
+            let pct = v
+                .parse()
+                .map_err(|_| err(format!("{k} must be a number, got {v:?}")))?;
+            limits.insert(metric.to_owned(), pct);
+        }
+    }
     let load = |path: &str| -> Result<BTreeMap<String, f64>, CliError> {
         let text =
             std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
@@ -1387,8 +1557,9 @@ fn bench_diff_cmd(rest: &[String], json_out: Option<&str>) -> Result<String, Cli
                 table.push_str(&format!(
                     "{name:<48} {old_ns:>14.0} {new_ns:>14.0} {delta:>+8.1}%\n"
                 ));
-                if delta > threshold {
-                    regressions.push(format!("{name}: {delta:+.1}% (limit +{threshold:.0}%)"));
+                let limit = limits.get(name).copied().unwrap_or(threshold);
+                if delta > limit {
+                    regressions.push(format!("{name}: {delta:+.1}% (limit +{limit:.0}%)"));
                 }
             }
         }
@@ -1421,7 +1592,7 @@ fn bench_diff_cmd(rest: &[String], json_out: Option<&str>) -> Result<String, Cli
         ))
     } else {
         Err(err(format!(
-            "{table}REGRESSION: {} metric(s) slower than +{threshold:.0}%:\n  {}",
+            "{table}REGRESSION: {} metric(s) past their limit (default +{threshold:.0}%):\n  {}",
             regressions.len(),
             regressions.join("\n  ")
         )))
@@ -1442,7 +1613,7 @@ pub fn usage() -> String {
      \x20 dot <problem> [params]     emit one computation as Graphviz dot\n\
      \x20 replay <dir>               re-run a counterexample artifact's schedule\n\
      \x20                            and check it reproduces the recorded outcome\n\
-     \x20 bench-diff <old> <new> [threshold=25]\n\
+     \x20 bench-diff <old> <new> [threshold=25] [limit:<metric>=<pct> ...]\n\
      \x20                            compare two bench/report JSON files; exits\n\
      \x20                            nonzero past the regression threshold\n\
      flags (allowed anywhere on the command line):\n\
@@ -1462,6 +1633,10 @@ pub fn usage() -> String {
      \x20 --por                      sleep-set partial-order reduction: explore\n\
      \x20                            roughly one schedule per computation; the\n\
      \x20                            verify/explore verdict is unchanged\n\
+     \x20 --auto                     on verify: sample the instance and pick\n\
+     \x20                            plain/dedup/por from the estimated collapse\n\
+     \x20                            ratio and oracle grant rate (overrides\n\
+     \x20                            --dedup/--por; decision in --stats-json)\n\
      \x20 --artifacts <dir>          dump the first failing/deadlocked run as a\n\
      \x20                            self-contained counterexample directory and\n\
      \x20                            arm a crash-dump flight recorder\n\
@@ -1636,6 +1811,7 @@ mod tests {
         assert!(runv(&["verify", "one-slot", "--heartbeat", "-1"]).is_err());
         assert!(runv(&["verify", "one-slot", "--stats=yes"]).is_err());
         assert!(runv(&["verify", "one-slot", "--dedup=yes"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--auto=yes"]).is_err());
     }
 
     #[test]
@@ -1800,5 +1976,82 @@ mod tests {
             "total span recorded"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn auto_records_strategy_and_matches_explicit_flags() {
+        let dir = std::env::temp_dir().join("gem-cli-test-auto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto-stats.json");
+        let path_s = path.to_str().unwrap().to_owned();
+        let out = runv(&[
+            "verify",
+            "bounded",
+            "items=3",
+            "cap=2",
+            "--auto",
+            "--stats-json",
+            &path_s,
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("strategy:"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let report = gem_obs::Report::from_json(&json).unwrap();
+        // The decision and its estimator evidence are recorded.
+        let strategy = report.config.get("strategy").expect("config.strategy");
+        assert!(["plain", "dedup", "por"].contains(&strategy.as_str()));
+        for key in [
+            "strategy.reason",
+            "strategy.samples",
+            "strategy.est_runs",
+            "strategy.est_distinct",
+            "strategy.collapse_ratio",
+            "strategy.oracle_grants",
+            "strategy.oracle_queries",
+        ] {
+            assert!(report.config.contains_key(key), "missing {key}");
+        }
+        // Measured sampling costs are timing data: timers, not config.
+        for timer in ["auto.key", "auto.check"] {
+            assert!(report.timers.contains_key(timer), "missing timer {timer}");
+        }
+        // The bounded monitor is the known dedup-LOSS instance (every
+        // run a distinct computation, BENCH: dedup 3.4× slower): auto
+        // must not pick dedup here.
+        assert_ne!(
+            strategy,
+            "dedup",
+            "{:?}",
+            report.config.get("strategy.reason")
+        );
+        assert_eq!(
+            report.config.get("dedup").map(String::as_str),
+            Some("false")
+        );
+        // The chosen flag set reproduces the exact explicit-flag verdict.
+        let explicit = match strategy.as_str() {
+            "por" => runv(&["verify", "bounded", "items=3", "cap=2", "--por"]).unwrap(),
+            _ => runv(&["verify", "bounded", "items=3", "cap=2"]).unwrap(),
+        };
+        assert!(out.starts_with(&explicit), "{out}\nvs\n{explicit}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn auto_with_explain_shows_decision_reason() {
+        let out = runv(&[
+            "verify",
+            "one-slot",
+            "items=2",
+            "--auto",
+            "--stats",
+            "--explain",
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("auto: chose "), "{out}");
     }
 }

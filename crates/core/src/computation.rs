@@ -47,6 +47,64 @@ impl From<CycleError> for BuildError {
     }
 }
 
+// Domain tags keeping the fingerprint's item kinds in disjoint hash
+// families (an enable edge can never collide with a precedence over the
+// same endpoints, etc.).
+const FP_EVENT: u64 = 1;
+const FP_ENABLE: u64 = 2;
+const FP_PRECEDENCE: u64 = 3;
+const FP_MEMBERSHIP: u64 = 4;
+const FP_THREAD: u64 = 5;
+
+/// SplitMix64 finalizer: spreads one word over all 64 bits so the
+/// commutative sum in [`ComputationBuilder`] keeps distinct item
+/// multisets apart.
+fn fp_mix(z: u64) -> u64 {
+    let z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes one fingerprint item — a short, domain-tagged word sequence —
+/// into a single well-mixed word. Items combine by wrapping addition,
+/// which is what makes the rolling fingerprint schedule-independent: two
+/// schedules produce the same *set* of items in different orders.
+fn fp_item(words: &[u64]) -> u64 {
+    let mut h = 0x517c_c1b7_2722_0a95;
+    for &w in words {
+        h = fp_mix(h ^ w);
+    }
+    h
+}
+
+/// Serialises a parameter value into fingerprint words (same variant-tag
+/// scheme as the exact canonical key, so distinct values never alias).
+fn fp_value(words: &mut Vec<u64>, v: &Value) {
+    match v {
+        Value::Unit => words.push(0),
+        Value::Bool(b) => words.extend([1, u64::from(*b)]),
+        Value::Int(i) => words.extend([2, *i as u64]),
+        Value::Str(s) => {
+            words.extend([3, s.len() as u64]);
+            words.extend(s.bytes().map(u64::from));
+        }
+        Value::Pair(a, b) => {
+            words.push(4);
+            fp_value(words, a);
+            fp_value(words, b);
+        }
+    }
+}
+
+/// The schedule-independent coordinate of an event: its element and its
+/// occurrence number there, packed into one word. Event *ids* are
+/// insertion-ordered (schedule-dependent), so fingerprint items must
+/// never mention them.
+fn fp_coord(element: ElementId, seq: u32) -> u64 {
+    (u64::from(element.as_raw()) << 32) | u64::from(seq)
+}
+
 /// Incremental constructor for [`Computation`].
 ///
 /// # Examples
@@ -91,6 +149,14 @@ pub struct ComputationBuilder {
     /// Events that received a *fresh* thread tag, in push order — the undo
     /// journal for [`ComputationBuilder::truncate_to`].
     tag_log: Vec<EventId>,
+    /// Rolling schedule-independent fingerprint: the wrapping sum of one
+    /// well-mixed hash per event, enable edge, precedence, membership, and
+    /// thread tag, each expressed in `(element, seq)` coordinates. Updated
+    /// in O(item) on insertion and restored exactly by
+    /// [`ComputationBuilder::truncate_to`], so the explore→seal hot path
+    /// gets a computation digest for free; see
+    /// [`Computation::fingerprint`] for the contract.
+    fp: u64,
 }
 
 /// A snapshot of a builder's growth point, taken with
@@ -108,6 +174,7 @@ pub struct BuilderMark {
     memberships: usize,
     tags: usize,
     cycle: Option<CycleError>,
+    fp: u64,
 }
 
 /// A dynamic group-structure change (§5): the event `event` adds `member`
@@ -138,6 +205,7 @@ impl ComputationBuilder {
             memberships: Vec::new(),
             order: IncrementalOrder::new(),
             tag_log: Vec::new(),
+            fp: 0,
         }
     }
 
@@ -173,6 +241,13 @@ impl ComputationBuilder {
         let chain = &self.element_events[element.index()];
         let seq = chain.len() as u32;
         let prev = chain.last().copied();
+        let mut words = Vec::with_capacity(4 + 2 * params.len());
+        words.extend([FP_EVENT, fp_coord(element, seq), u64::from(class.as_raw())]);
+        words.push(params.len() as u64);
+        for p in &params {
+            fp_value(&mut words, p);
+        }
+        self.fp = self.fp.wrapping_add(fp_item(&words));
         self.element_events[element.index()].push(id);
         self.events.push(Event {
             id,
@@ -203,9 +278,27 @@ impl ComputationBuilder {
         if to.index() >= self.events.len() {
             return Err(BuildError::UnknownEvent(to));
         }
+        // Duplicate edges collapse at assembly, so only the first sighting
+        // may contribute to the fingerprint — otherwise two schedules
+        // emitting the same edge set with different multiplicities would
+        // fingerprint the same computation differently.
+        if !self.enables.contains(&(from, to)) {
+            self.fp = self.fp.wrapping_add(fp_item(&[
+                FP_ENABLE,
+                self.event_fp_coord(from),
+                self.event_fp_coord(to),
+            ]));
+        }
         self.enables.push((from, to));
         self.order.add_edge(from, to);
         Ok(())
+    }
+
+    /// The `(element, seq)` fingerprint coordinate of an already-added
+    /// event.
+    fn event_fp_coord(&self, e: EventId) -> u64 {
+        let ev = &self.events[e.index()];
+        fp_coord(ev.element, ev.seq)
     }
 
     /// Records a pure temporal-precedence constraint `before ⇒ after`
@@ -230,6 +323,13 @@ impl ComputationBuilder {
         }
         if after.index() >= self.events.len() {
             return Err(BuildError::UnknownEvent(after));
+        }
+        if !self.precedences.contains(&(before, after)) {
+            self.fp = self.fp.wrapping_add(fp_item(&[
+                FP_PRECEDENCE,
+                self.event_fp_coord(before),
+                self.event_fp_coord(after),
+            ]));
         }
         self.precedences.push((before, after));
         self.order.add_edge(before, after);
@@ -258,6 +358,17 @@ impl ComputationBuilder {
         if event.index() >= self.events.len() {
             return Err(BuildError::UnknownEvent(event));
         }
+        let (kind, raw) = match member {
+            crate::NodeRef::Element(el) => (0u64, el.as_raw()),
+            crate::NodeRef::Group(g) => (1u64, g.as_raw()),
+        };
+        self.fp = self.fp.wrapping_add(fp_item(&[
+            FP_MEMBERSHIP,
+            self.event_fp_coord(event),
+            u64::from(group.as_raw()),
+            kind,
+            u64::from(raw),
+        ]));
         self.memberships.push(Membership {
             event,
             group,
@@ -278,7 +389,14 @@ impl ComputationBuilder {
             .ok_or(BuildError::UnknownEvent(event))?;
         if !ev.threads.contains(&tag) {
             ev.threads.push(tag);
+            let item = fp_item(&[
+                FP_THREAD,
+                fp_coord(ev.element, ev.seq),
+                u64::from(tag.thread_type().as_raw()),
+                u64::from(tag.instance()),
+            ]);
             self.tag_log.push(event);
+            self.fp = self.fp.wrapping_add(item);
         }
         Ok(())
     }
@@ -298,7 +416,15 @@ impl ComputationBuilder {
             memberships: self.memberships.len(),
             tags: self.tag_log.len(),
             cycle: self.order.cycle().cloned(),
+            fp: self.fp,
         }
+    }
+
+    /// The rolling schedule-independent fingerprint of the computation
+    /// built so far — the value [`Computation::fingerprint`] will carry
+    /// after sealing. Maintained incrementally, so reading it is free.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Rolls the builder back to `mark`, undoing every event, edge,
@@ -343,6 +469,7 @@ impl ComputationBuilder {
         self.enables.truncate(mark.enables);
         self.precedences.truncate(mark.precedences);
         self.memberships.truncate(mark.memberships);
+        self.fp = mark.fp;
         if fast {
             self.order.truncate_to(mark.events, mark.cycle.clone());
         } else {
@@ -405,13 +532,16 @@ impl ComputationBuilder {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal seal plumbing, one caller
     fn assemble(
         structure: Arc<Structure>,
         events: Vec<Event>,
         element_events: Vec<Vec<EventId>>,
         enables: &[(EventId, EventId)],
+        precedences: &[(EventId, EventId)],
         memberships: Vec<Membership>,
         closure: Closure,
+        fp: u64,
     ) -> Computation {
         let n = events.len();
         let mut enables_out: Vec<Vec<EventId>> = vec![Vec::new(); n];
@@ -422,14 +552,22 @@ impl ComputationBuilder {
                 enables_in[b.index()].push(a);
             }
         }
+        let mut precedences_out: Vec<(EventId, EventId)> = Vec::with_capacity(precedences.len());
+        for &p in precedences {
+            if !precedences_out.contains(&p) {
+                precedences_out.push(p);
+            }
+        }
         Computation {
             structure,
             events,
             enables_out,
             enables_in,
             element_events,
+            precedences: precedences_out,
             closure,
             memberships,
+            fp,
         }
     }
 
@@ -447,8 +585,10 @@ impl ComputationBuilder {
             self.events,
             self.element_events,
             &self.enables,
+            &self.precedences,
             self.memberships,
             closure,
+            self.fp,
         ))
     }
 
@@ -468,8 +608,10 @@ impl ComputationBuilder {
             self.events.clone(),
             self.element_events.clone(),
             &self.enables,
+            &self.precedences,
             self.memberships.clone(),
             closure,
+            self.fp,
         ))
     }
 }
@@ -488,8 +630,10 @@ pub struct Computation {
     enables_out: Vec<Vec<EventId>>,
     enables_in: Vec<Vec<EventId>>,
     element_events: Vec<Vec<EventId>>,
+    precedences: Vec<(EventId, EventId)>,
     closure: Closure,
     memberships: Vec<Membership>,
+    fp: u64,
 }
 
 impl Computation {
@@ -593,6 +737,29 @@ impl Computation {
             .flat_map(|(i, outs)| outs.iter().map(move |&b| (EventId::from_raw(i as u32), b)))
     }
 
+    /// The explicit temporal-precedence pairs recorded with
+    /// [`ComputationBuilder::add_precedence`], deduplicated, in insertion
+    /// order. They are already folded into [`Computation::closure`];
+    /// exposing them lets schedule-independent keys serialise the
+    /// computation's *generators* exactly without walking the closure.
+    pub fn precedence_edges(&self) -> &[(EventId, EventId)] {
+        &self.precedences
+    }
+
+    /// A schedule-independent 64-bit fingerprint of this computation,
+    /// maintained incrementally during construction (so reading it costs
+    /// nothing). It hashes exactly the generators the canonical key
+    /// serialises — events with classes, parameters, and thread tags in
+    /// `(element, seq)` coordinates, the enable-edge set, the
+    /// precedence-edge set, and the memberships — so two schedules
+    /// sealing to the same computation always agree on it. Distinct
+    /// computations collide only with hash probability; callers needing
+    /// exactness must confirm a fingerprint match with an exact key
+    /// comparison (see `gem_verify`'s dedup module).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
     /// True if `a ⇒ₑ b`: same element and `a` occurs earlier (§5 — partial,
     /// irreflexive, transitive; total within an element).
     pub fn element_precedes(&self, a: EventId, b: EventId) -> bool {
@@ -672,9 +839,26 @@ impl Computation {
     /// by tags.
     pub fn retagged(&self, mut tags: impl FnMut(EventId) -> Vec<ThreadTag>) -> Computation {
         let mut copy = self.clone();
+        let mut fp_delta = 0u64;
         for ev in &mut copy.events {
+            let coord = fp_coord(ev.element, ev.seq);
+            let tag_item = |t: &ThreadTag| {
+                fp_item(&[
+                    FP_THREAD,
+                    coord,
+                    u64::from(t.thread_type().as_raw()),
+                    u64::from(t.instance()),
+                ])
+            };
+            for t in &ev.threads {
+                fp_delta = fp_delta.wrapping_sub(tag_item(t));
+            }
             ev.threads = tags(ev.id);
+            for t in &ev.threads {
+                fp_delta = fp_delta.wrapping_add(tag_item(t));
+            }
         }
+        copy.fp = copy.fp.wrapping_add(fp_delta);
         copy
     }
 
@@ -972,6 +1156,151 @@ mod tests {
         assert_eq!(b.seal_ref().unwrap().memberships().len(), 1);
         b.truncate_to(&mark);
         assert!(b.seal_ref().unwrap().memberships().is_empty());
+    }
+
+    fn two_element_structure() -> (Structure, ElementId, ElementId, ClassId) {
+        let mut s = Structure::new();
+        let step = s.add_class("Step", &["n"]).unwrap();
+        let p = s.add_element("P", &[step]).unwrap();
+        let q = s.add_element("Q", &[step]).unwrap();
+        (s, p, q, step)
+    }
+
+    #[test]
+    fn fingerprint_is_schedule_independent() {
+        let (s, p, q, step) = two_element_structure();
+        let s = Arc::new(s);
+        let mut b1 = ComputationBuilder::new(Arc::clone(&s));
+        let p0 = b1.add_event(p, step, vec![Value::Int(1)]).unwrap();
+        let q0 = b1.add_event(q, step, vec![Value::Int(2)]).unwrap();
+        let _p1 = b1.add_event(p, step, vec![Value::Int(3)]).unwrap();
+        b1.enable(p0, q0).unwrap();
+        // Same events and edges, interleaved differently.
+        let mut b2 = ComputationBuilder::new(Arc::clone(&s));
+        let p0 = b2.add_event(p, step, vec![Value::Int(1)]).unwrap();
+        let _p1 = b2.add_event(p, step, vec![Value::Int(3)]).unwrap();
+        let q0 = b2.add_event(q, step, vec![Value::Int(2)]).unwrap();
+        b2.enable(p0, q0).unwrap();
+        assert_eq!(b1.fingerprint(), b2.fingerprint());
+        assert_eq!(
+            b1.seal().unwrap().fingerprint(),
+            b2.seal().unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_duplicate_edges() {
+        let (s, p, q, step) = two_element_structure();
+        let s = Arc::new(s);
+        let build = |dup: bool| {
+            let mut b = ComputationBuilder::new(Arc::clone(&s));
+            let p0 = b.add_event(p, step, vec![]).unwrap();
+            let q0 = b.add_event(q, step, vec![]).unwrap();
+            b.enable(p0, q0).unwrap();
+            if dup {
+                b.enable(p0, q0).unwrap();
+            }
+            b.seal().unwrap().fingerprint()
+        };
+        // Duplicate edges collapse in the sealed computation, so the
+        // fingerprint must not see the multiplicity.
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn fingerprint_restored_by_truncate() {
+        let (s, p, q, step) = two_element_structure();
+        let mut b = ComputationBuilder::new(s);
+        let p0 = b.add_event(p, step, vec![Value::Int(1)]).unwrap();
+        let before = b.fingerprint();
+        let mark = b.mark();
+        let q0 = b.add_event(q, step, vec![Value::Int(2)]).unwrap();
+        b.enable(p0, q0).unwrap();
+        b.add_precedence(p0, q0).unwrap();
+        b.tag_thread(
+            p0,
+            crate::ThreadTag::new(crate::ThreadTypeId::from_raw(0), 1),
+        )
+        .unwrap();
+        assert_ne!(b.fingerprint(), before);
+        b.truncate_to(&mark);
+        assert_eq!(b.fingerprint(), before);
+        // Regrowing the same suffix reproduces the same fingerprint.
+        let q0 = b.add_event(q, step, vec![Value::Int(2)]).unwrap();
+        b.enable(p0, q0).unwrap();
+        let fp1 = b.fingerprint();
+        let mark2 = b.mark();
+        b.truncate_to(&mark2);
+        assert_eq!(b.fingerprint(), fp1);
+    }
+
+    #[test]
+    fn fingerprint_separates_data_edges_and_tags() {
+        let (s, p, q, step) = two_element_structure();
+        let s = Arc::new(s);
+        let build = |param: i64, edge: bool, prec: bool, tag: bool| {
+            let mut b = ComputationBuilder::new(Arc::clone(&s));
+            let p0 = b.add_event(p, step, vec![Value::Int(param)]).unwrap();
+            let q0 = b.add_event(q, step, vec![Value::Int(0)]).unwrap();
+            if edge {
+                b.enable(p0, q0).unwrap();
+            }
+            if prec {
+                b.add_precedence(p0, q0).unwrap();
+            }
+            if tag {
+                b.tag_thread(
+                    p0,
+                    crate::ThreadTag::new(crate::ThreadTypeId::from_raw(0), 1),
+                )
+                .unwrap();
+            }
+            b.seal().unwrap().fingerprint()
+        };
+        let base = build(1, false, false, false);
+        assert_ne!(base, build(2, false, false, false), "params");
+        assert_ne!(base, build(1, true, false, false), "enables");
+        assert_ne!(base, build(1, false, true, false), "precedences");
+        assert_ne!(base, build(1, false, false, true), "thread tags");
+        assert_ne!(
+            build(1, true, false, false),
+            build(1, false, true, false),
+            "enable vs precedence over the same endpoints"
+        );
+    }
+
+    #[test]
+    fn retagged_adjusts_fingerprint() {
+        let (s, p, _, step) = two_element_structure();
+        let mut b = ComputationBuilder::new(s);
+        let p0 = b.add_event(p, step, vec![]).unwrap();
+        let tag = crate::ThreadTag::new(crate::ThreadTypeId::from_raw(0), 3);
+        let untagged = b.seal_ref().unwrap();
+        b.tag_thread(p0, tag).unwrap();
+        let tagged = b.seal().unwrap();
+        assert_ne!(untagged.fingerprint(), tagged.fingerprint());
+        // Retagging to the same tag set reproduces the built fingerprint;
+        // stripping the tags recovers the untagged one.
+        assert_eq!(
+            untagged.retagged(|_| vec![tag]).fingerprint(),
+            tagged.fingerprint()
+        );
+        assert_eq!(
+            tagged.retagged(|_| Vec::new()).fingerprint(),
+            untagged.fingerprint()
+        );
+    }
+
+    #[test]
+    fn precedence_edges_exposed_and_deduplicated() {
+        let (s, p, q, step) = two_element_structure();
+        let mut b = ComputationBuilder::new(s);
+        let p0 = b.add_event(p, step, vec![]).unwrap();
+        let q0 = b.add_event(q, step, vec![]).unwrap();
+        b.add_precedence(p0, q0).unwrap();
+        b.add_precedence(p0, q0).unwrap();
+        let c = b.seal().unwrap();
+        assert_eq!(c.precedence_edges(), &[(p0, q0)]);
     }
 
     #[test]

@@ -78,13 +78,15 @@ pub struct MonitorSystem {
     /// the independence oracle's lookup table, precomputed so the hot
     /// path never re-inspects script text.
     step_class: Vec<Vec<StepClass>>,
-    /// Variables read anywhere in any entry body (IF/WHILE conditions and
-    /// assignment right-hand sides, all branches). A global union — one
-    /// entry's execution can run other entries' continuations through
-    /// signal chains, so per-entry footprints would be unsound.
-    entry_reads: BTreeSet<String>,
-    /// Variables assigned anywhere in any entry body (same global union).
-    entry_writes: BTreeSet<String>,
+    /// Per-entry variable footprint `(reads, writes)` of each entry body
+    /// (IF/WHILE conditions and assignment right-hand sides for reads,
+    /// all branches for both), indexed by entry index. The independence
+    /// oracle unions the footprints of exactly the entries a monitor
+    /// action can execute — the acting entry plus, under Hoare
+    /// semantics, any parked continuation a signal chain can run — so
+    /// entries over disjoint variables commute with unrelated script
+    /// steps instead of conflicting through a global union.
+    entry_footprints: Vec<(BTreeSet<String>, BTreeSet<String>)>,
 }
 
 /// Commutativity class of one script step, for the independence oracle.
@@ -370,11 +372,17 @@ impl MonitorSystem {
                     .collect()
             })
             .collect();
-        let mut entry_reads = BTreeSet::new();
-        let mut entry_writes = BTreeSet::new();
-        for entry in &program.monitor.entries {
-            stmt_footprint(&entry.body, &mut entry_reads, &mut entry_writes);
-        }
+        let entry_footprints: Vec<(BTreeSet<String>, BTreeSet<String>)> = program
+            .monitor
+            .entries
+            .iter()
+            .map(|entry| {
+                let mut reads = BTreeSet::new();
+                let mut writes = BTreeSet::new();
+                stmt_footprint(&entry.body, &mut reads, &mut writes);
+                (reads, writes)
+            })
+            .collect();
 
         Self {
             program,
@@ -388,8 +396,7 @@ impl MonitorSystem {
             var_els,
             cond_els,
             step_class,
-            entry_reads,
-            entry_writes,
+            entry_footprints,
         }
     }
 
@@ -689,13 +696,58 @@ impl MonitorSystem {
         }
     }
 
+    /// Entry indices whose bodies the monitor action `action` can execute
+    /// within one scheduler action: the acting process's entry plus,
+    /// under Hoare semantics, every parked continuation a signal chain or
+    /// urgent-stack pop could run before the action returns (processes
+    /// `Waiting` on a condition or parked `Urgent`). Under Mesa
+    /// signal-and-continue, no other process's code runs within the
+    /// action, so only the acting entry is involved.
+    fn involved_entries(&self, state: &MonitorState, action: &MonitorAction) -> Vec<usize> {
+        let mut entries = Vec::new();
+        match *action {
+            MonitorAction::Enter(pid) => {
+                // The entry index is not in `ProcRuntime::entry` yet (that
+                // is set by `apply`); resolve it from the call step.
+                if let ScriptStep::Call { ref entry, .. } =
+                    self.program.processes[pid].script[state.procs[pid].script_pos]
+                {
+                    entries.push(
+                        self.program
+                            .monitor
+                            .entry_index(entry)
+                            .expect("validated at construction"),
+                    );
+                }
+            }
+            MonitorAction::Resume(pid) => entries.extend(state.procs[pid].entry),
+            MonitorAction::Step(_) => {}
+        }
+        if self.program.semantics == SignalSemantics::Hoare {
+            for proc in &state.procs {
+                if matches!(proc.status, Status::Waiting | Status::Urgent) {
+                    entries.extend(proc.entry);
+                }
+            }
+        }
+        entries
+    }
+
     /// Whether monitor code (an entry execution, including any signal
     /// chain) commutes with the given script step. Entry code emits on
     /// the lock, entry, condition, and monitor-variable elements plus the
     /// acting processes' own user elements — never on another *enabled*
     /// process's element — so the only conflicts are lock traffic and
-    /// variable footprint overlap.
-    fn entry_commutes_with(&self, s: &StepClass) -> bool {
+    /// variable footprint overlap. The footprint is the union over
+    /// exactly the entries `action` can run in `state`
+    /// ([`MonitorSystem::involved_entries`]), so entries over disjoint
+    /// variables commute with unrelated shared accesses.
+    fn entry_commutes_with(
+        &self,
+        state: &MonitorState,
+        action: &MonitorAction,
+        s: &StepClass,
+    ) -> bool {
         match s {
             // A call emits `Req` on the lock element: its order against
             // the entry's `Acquire`/`Release` is part of the computation.
@@ -703,11 +755,17 @@ impl MonitorSystem {
             StepClass::Event => true,
             // Entry reads are silent (no event), so a `Getval` commutes
             // unless the entry can change the value it observes.
-            StepClass::Read(v) => !self.entry_writes.contains(v),
+            StepClass::Read(v) => self
+                .involved_entries(state, action)
+                .iter()
+                .all(|&e| !self.entry_footprints[e].1.contains(v)),
             StepClass::Write { var, reads } => {
-                !self.entry_writes.contains(var)
-                    && !self.entry_reads.contains(var)
-                    && reads.iter().all(|r| !self.entry_writes.contains(r))
+                self.involved_entries(state, action).iter().all(|&e| {
+                    let (entry_reads, entry_writes) = &self.entry_footprints[e];
+                    !entry_writes.contains(var)
+                        && !entry_reads.contains(var)
+                        && reads.iter().all(|r| !entry_writes.contains(r))
+                })
             }
         }
     }
@@ -1111,8 +1169,8 @@ impl System for MonitorSystem {
         match (self.action_class(state, a), self.action_class(state, b)) {
             // Two monitor executions serialize on the lock element.
             (ActionClass::Entry, ActionClass::Entry) => false,
-            (ActionClass::Entry, ActionClass::Step(s))
-            | (ActionClass::Step(s), ActionClass::Entry) => self.entry_commutes_with(s),
+            (ActionClass::Entry, ActionClass::Step(s)) => self.entry_commutes_with(state, a, s),
+            (ActionClass::Step(s), ActionClass::Entry) => self.entry_commutes_with(state, b, s),
             (ActionClass::Step(s), ActionClass::Step(t)) => Self::steps_commute(s, t),
         }
     }

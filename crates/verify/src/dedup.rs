@@ -25,7 +25,7 @@
 //! Keys are only meaningful between computations over the same structure;
 //! the per-sweep caches in this crate never mix structures.
 
-use gem_core::{Computation, EventId, NodeRef, Value};
+use gem_core::{Computation, ElementId, EventId, NodeRef, Value};
 
 /// A schedule-independent fingerprint of a computation: an exact,
 /// length-prefixed numeric serialisation (not a hash — no collisions), so
@@ -135,6 +135,91 @@ pub fn canonical_key(comp: &Computation) -> CanonicalKey {
     key
 }
 
+/// Returns the cheap exact *confirmation key* of `comp`: the
+/// [`canonical_key`] serialisation with the O(n²) temporal-order section
+/// replaced by the computation's *generators* — the sorted precedence
+/// pairs ([`Computation::precedence_edges`]). The temporal order is, by
+/// construction, the transitive closure of the enable relation, the
+/// per-element occurrence chains, and the precedence pairs, all of which
+/// this key serialises exactly; so **equal confirmation keys imply equal
+/// canonical keys** and therefore identical verdicts. (The converse can
+/// fail only when a *redundant* precedence edge restates an ordering the
+/// closure already implies — then two canonically-equal computations get
+/// distinct confirmation keys and a dedup cache merely re-checks one of
+/// them, which costs time but never changes an outcome. The simulators
+/// in `gem-lang` emit no precedence edges at all, so for their output
+/// the two keys induce the same equivalence classes.)
+///
+/// Cost is O(n + m) in the event and edge counts: the `(element, seq)`
+/// ranking falls out of concatenating the per-element chains in element
+/// order, with no sort and no closure walk. Paired with
+/// [`Computation::fingerprint`] as a bucket index, this is what retires
+/// `phase.canonical_key` from the per-run dedup budget.
+pub fn confirm_key(comp: &Computation) -> CanonicalKey {
+    let n = comp.event_count();
+    // Concatenating the element chains in element-id order enumerates
+    // events exactly in (element, seq) order — the same ranking
+    // `canonical_key` obtains by sorting.
+    let mut rank = vec![0u32; n];
+    let mut order: Vec<EventId> = Vec::with_capacity(n);
+    for el in 0..comp.structure().element_count() {
+        for &e in comp.events_at(ElementId::from_raw(el as u32)) {
+            rank[e.index()] = order.len() as u32;
+            order.push(e);
+        }
+    }
+
+    let mut key: Vec<u64> = Vec::with_capacity(6 * n + 16);
+    key.push(n as u64);
+    for &e in &order {
+        let ev = comp.event(e);
+        key.push(u64::from(ev.class().as_raw()));
+        key.push(ev.params().len() as u64);
+        for p in ev.params() {
+            push_value(&mut key, p);
+        }
+        key.push(ev.threads().len() as u64);
+        for t in ev.threads() {
+            key.push(pair(t.thread_type().as_raw(), t.instance()));
+        }
+    }
+
+    let mut enables: Vec<u64> = comp
+        .enable_edges()
+        .map(|(from, to)| pair(rank[from.index()], rank[to.index()]))
+        .collect();
+    enables.sort_unstable();
+    key.push(enables.len() as u64);
+    key.append(&mut enables);
+
+    let mut precedences: Vec<u64> = comp
+        .precedence_edges()
+        .iter()
+        .map(|&(before, after)| pair(rank[before.index()], rank[after.index()]))
+        .collect();
+    precedences.sort_unstable();
+    key.push(precedences.len() as u64);
+    key.append(&mut precedences);
+
+    let mut members: Vec<(u32, u32, u64, u32)> = comp
+        .memberships()
+        .iter()
+        .map(|m| {
+            let (tag, raw) = match m.member {
+                NodeRef::Element(el) => (0u64, el.as_raw()),
+                NodeRef::Group(g) => (1u64, g.as_raw()),
+            };
+            (rank[m.event.index()], m.group.as_raw(), tag, raw)
+        })
+        .collect();
+    members.sort_unstable();
+    key.push(members.len() as u64);
+    for (ev, group, tag, raw) in members {
+        key.extend([pair(ev, group), (tag << 32) | u64::from(raw)]);
+    }
+    key
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +302,95 @@ mod tests {
             canonical_key(&build(Value::Int(1), false, true)),
             "precedence"
         );
+    }
+
+    #[test]
+    fn confirm_key_is_schedule_independent() {
+        let s = std::sync::Arc::new(two_element_structure());
+        let cls = s.class("Step").unwrap();
+        let (ea, eb) = (s.element("A").unwrap(), s.element("B").unwrap());
+
+        let mut b1 = ComputationBuilder::new(s.clone());
+        let a0 = b1.add_event(ea, cls, vec![Value::Int(1)]).unwrap();
+        let b0 = b1.add_event(eb, cls, vec![Value::Int(2)]).unwrap();
+        let _a1 = b1.add_event(ea, cls, vec![Value::Int(3)]).unwrap();
+        b1.enable(a0, b0).unwrap();
+        let c1 = b1.seal().unwrap();
+
+        let mut b2 = ComputationBuilder::new(s.clone());
+        let a0 = b2.add_event(ea, cls, vec![Value::Int(1)]).unwrap();
+        let _a1 = b2.add_event(ea, cls, vec![Value::Int(3)]).unwrap();
+        let b0 = b2.add_event(eb, cls, vec![Value::Int(2)]).unwrap();
+        b2.enable(a0, b0).unwrap();
+        let c2 = b2.seal().unwrap();
+
+        assert_eq!(confirm_key(&c1), confirm_key(&c2));
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+    }
+
+    #[test]
+    fn confirm_key_separates_what_canonical_key_separates() {
+        let s = std::sync::Arc::new(two_element_structure());
+        let cls = s.class("Step").unwrap();
+        let (ea, eb) = (s.element("A").unwrap(), s.element("B").unwrap());
+
+        let build = |param: Value, with_edge: bool, with_prec: bool| {
+            let mut b = ComputationBuilder::new(s.clone());
+            let a0 = b.add_event(ea, cls, vec![param]).unwrap();
+            let b0 = b.add_event(eb, cls, vec![Value::Int(0)]).unwrap();
+            if with_edge {
+                b.enable(a0, b0).unwrap();
+            }
+            if with_prec {
+                b.add_precedence(a0, b0).unwrap();
+            }
+            b.seal().unwrap()
+        };
+
+        let base = confirm_key(&build(Value::Int(1), false, false));
+        assert_ne!(base, confirm_key(&build(Value::Int(2), false, false)));
+        assert_ne!(base, confirm_key(&build(Value::Int(1), true, false)));
+        // The confirmation key sees a bare precedence through the
+        // generator list where the canonical key sees it through the
+        // closure.
+        assert_ne!(base, confirm_key(&build(Value::Int(1), false, true)));
+        assert_ne!(
+            confirm_key(&build(Value::Int(1), true, false)),
+            confirm_key(&build(Value::Int(1), false, true)),
+            "enable vs precedence over the same endpoints"
+        );
+    }
+
+    /// The load-bearing soundness fact for fingerprint + confirm dedup:
+    /// on computations without redundant precedence edges (everything the
+    /// simulators produce), confirm-key equality coincides with
+    /// canonical-key equality.
+    #[test]
+    fn confirm_classes_match_canonical_classes_on_simulator_like_output() {
+        let s = std::sync::Arc::new(two_element_structure());
+        let cls = s.class("Step").unwrap();
+        let (ea, eb) = (s.element("A").unwrap(), s.element("B").unwrap());
+        // A small family of builder programs: every pair of distinct
+        // computations must disagree on both keys; identical rebuilds
+        // must agree on both.
+        let builds: Vec<Computation> = (0..4)
+            .map(|variant| {
+                let mut b = ComputationBuilder::new(s.clone());
+                let a0 = b.add_event(ea, cls, vec![Value::Int(variant)]).unwrap();
+                let b0 = b.add_event(eb, cls, vec![Value::Int(1)]).unwrap();
+                if variant % 2 == 0 {
+                    b.enable(a0, b0).unwrap();
+                }
+                b.seal().unwrap()
+            })
+            .collect();
+        for (i, x) in builds.iter().enumerate() {
+            for y in &builds[i..] {
+                assert_eq!(
+                    canonical_key(x) == canonical_key(y),
+                    confirm_key(x) == confirm_key(y),
+                );
+            }
+        }
     }
 }

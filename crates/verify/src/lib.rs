@@ -55,14 +55,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auto;
 mod correspondence;
 pub mod dedup;
 pub mod forensics;
 mod progress;
 mod sat;
 
+pub use auto::{sample_evidence, StrategyDecision, StrategyEvidence};
 pub use correspondence::{project, Correspondence, Pair, ProjectError};
-pub use dedup::{canonical_key, CanonicalKey};
+pub use dedup::{canonical_key, confirm_key, CanonicalKey};
 pub use forensics::{computation_json, derive_schedule, outcome_path, ArtifactSink};
 pub use progress::{assert_no_deadlock, eventually_on_all_runs, LivenessOutcome};
 pub use sat::{

@@ -21,7 +21,7 @@ use gem_obs::{NoopProbe, Probe, Span};
 use gem_spec::{SpecReport, Specification};
 
 use crate::correspondence::{project, Correspondence, ProjectError};
-use crate::dedup::{canonical_key, CanonicalKey};
+use crate::dedup::{confirm_key, CanonicalKey};
 use crate::forensics::{self, ArtifactRecord, ArtifactSink};
 
 /// Verdict of checking one computation: `None` if it satisfies the
@@ -257,7 +257,12 @@ where
     let mut project_error: Option<ProjectError> = None;
 
     let dedup = options.explorer.dedup_computations;
-    let mut verdicts: HashMap<CanonicalKey, CheckVerdict> = HashMap::new();
+    // Verdict cache indexed by the builder-maintained incremental
+    // fingerprint (free to read per run). Each bucket holds the exact
+    // closure-free confirmation keys that hashed there, so a fingerprint
+    // collision degrades to a linear exact compare — dedup stays exact,
+    // never probabilistic.
+    let mut verdicts: HashMap<u64, Vec<(CanonicalKey, CheckVerdict)>> = HashMap::new();
     let (mut dedup_hits, mut dedup_misses) = (0u64, 0u64);
     let mut artifact_record: Option<ArtifactRecord> = None;
 
@@ -312,9 +317,13 @@ where
                 phased_ns += ns;
                 probe.time_ns("phase.seal", ns);
             }
+            // The rolling fingerprint is maintained by the builder during
+            // exploration, so reading it here is free; the exact
+            // confirmation key (closure-free, O(events + edges)) is what
+            // the per-run `phase.canonical_key` timer now measures.
             let key = if dedup {
                 let key_started = probing.then(Instant::now);
-                let k = canonical_key(&program_comp);
+                let k = (program_comp.fingerprint(), confirm_key(&program_comp));
                 if let Some(t) = key_started {
                     let ns = elapsed_ns(t);
                     phased_ns += ns;
@@ -326,7 +335,13 @@ where
             };
             let cached = if dedup {
                 let lookup_started = probing.then(Instant::now);
-                let c = key.as_ref().and_then(|k| verdicts.get(k)).cloned();
+                let c = key.as_ref().and_then(|(fp, k)| {
+                    verdicts
+                        .get(fp)?
+                        .iter()
+                        .find(|(existing, _)| existing == k)
+                        .map(|(_, v)| v.clone())
+                });
                 if let Some(t) = lookup_started {
                     let ns = elapsed_ns(t);
                     phased_ns += ns;
@@ -360,8 +375,8 @@ where
                         probe.time_ns("phase.check", ns);
                     }
                     let fresh = check.verdict.clone();
-                    if let Some(k) = key {
-                        verdicts.insert(k, fresh.clone());
+                    if let Some((fp, k)) = key {
+                        verdicts.entry(fp).or_default().push((k, fresh.clone()));
                     }
                     fresh_check = Some(check);
                     fresh

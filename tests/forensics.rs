@@ -318,6 +318,24 @@ fn bench_diff_gates_regressions() {
     .unwrap();
     assert!(ok.contains("no regression"), "{ok}");
 
+    // A per-metric `limit:` override tightens the gate for one series
+    // below the global threshold: +5% on g/fast now trips while g/slow
+    // rides the generous global allowance.
+    let err = runv(&[
+        "bench-diff",
+        old_s,
+        new_s,
+        "threshold=150",
+        "limit:g/fast=2",
+        "--heartbeat",
+        "0",
+    ])
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("g/fast"), "{msg}");
+    assert!(msg.contains("limit +2%"), "{msg}");
+    assert!(!msg.contains("g/slow: "), "g/slow within global: {msg}");
+
     // The committed BENCH baseline compares clean against itself.
     let bench = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_explore.json");
     let bench_s = bench.to_str().unwrap();

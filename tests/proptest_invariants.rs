@@ -656,6 +656,124 @@ proptest! {
     }
 }
 
+/// Builds a small monitor program from raw opcode streams: entries over
+/// two monitor variables and two conditions (assignments, signals,
+/// waits, guarded branches), processes mixing entry calls, local events,
+/// and shared-variable traffic. This is exactly the mix the per-entry
+/// footprint oracle must judge — entries touching one variable against
+/// script steps touching another, with Hoare signal chains able to run
+/// parked continuations of *other* entries within one action.
+fn random_monitor_system(
+    hoare: bool,
+    entry_ops: &[Vec<u8>],
+    script_ops: &[Vec<u8>],
+) -> gem::lang::monitor::MonitorSystem {
+    use gem::lang::monitor::{
+        MonitorDef, MonitorProgram, MonitorSystem, ProcessDef, ScriptStep, SignalSemantics, Stmt,
+    };
+    use gem::lang::Expr;
+    let mvar = |op: u8| {
+        if (op / 4).is_multiple_of(2) {
+            "m0"
+        } else {
+            "m1"
+        }
+    };
+    let cond = |op: u8| {
+        if (op / 8).is_multiple_of(2) {
+            "c0"
+        } else {
+            "c1"
+        }
+    };
+    let svar = |op: u8| {
+        if (op / 4).is_multiple_of(2) {
+            "s0"
+        } else {
+            "s1"
+        }
+    };
+    let mut def = MonitorDef::new("Rand")
+        .var("m0", 0i64)
+        .var("m1", 0i64)
+        .condition("c0")
+        .condition("c1");
+    for (i, ops) in entry_ops.iter().enumerate() {
+        let body = ops
+            .iter()
+            .map(|&op| match op % 4 {
+                0 => Stmt::assign(mvar(op), Expr::var(mvar(op)).add(Expr::int(1))),
+                1 => Stmt::signal(cond(op)),
+                2 => Stmt::if_then(
+                    Expr::var(mvar(op)).lt(Expr::int(2)),
+                    vec![Stmt::assign(mvar(op), Expr::int(0))],
+                ),
+                // Waits are rare by construction (one opcode in four) so
+                // most sampled prefixes stay live.
+                _ => Stmt::wait(cond(op)),
+            })
+            .collect();
+        def = def.entry(format!("E{i}"), &[], body);
+    }
+    let n_entries = entry_ops.len();
+    let mut program = MonitorProgram::new(def)
+        .with_semantics(if hoare {
+            SignalSemantics::Hoare
+        } else {
+            SignalSemantics::Mesa
+        })
+        .shared_var("s0", 0i64)
+        .shared_var("s1", 0i64)
+        .user_class("Tick", &[]);
+    for (p, ops) in script_ops.iter().enumerate() {
+        let script = ops
+            .iter()
+            .map(|&op| match op % 4 {
+                0 => ScriptStep::Call {
+                    entry: format!("E{}", (op as usize / 4) % n_entries),
+                    args: vec![],
+                },
+                1 => ScriptStep::Event {
+                    class: "Tick".into(),
+                    params: vec![],
+                },
+                2 => ScriptStep::ReadShared {
+                    var: svar(op).into(),
+                },
+                _ => ScriptStep::WriteShared {
+                    var: svar(op).into(),
+                    value: Expr::int(i64::from(op)),
+                },
+            })
+            .collect();
+        program = program.process(ProcessDef::new(format!("p{p}"), script));
+    }
+    MonitorSystem::new(program)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The strengthened per-entry footprint oracle satisfies the
+    /// commute-diamond property on *randomized* monitor programs, under
+    /// both signal semantics. Every pair of enabled actions the oracle
+    /// calls independent at any state along a random schedule must
+    /// commute to the same canonical computation — the exact soundness
+    /// contract sleep-set POR relies on.
+    #[test]
+    fn random_monitor_independence_oracle_commutes(
+        hoare in (0u8..2).prop_map(|b| b == 1),
+        entry_ops in proptest::collection::vec(
+            proptest::collection::vec(0u8..32, 1..5), 1..4),
+        script_ops in proptest::collection::vec(
+            proptest::collection::vec(0u8..32, 1..6), 2..4),
+        picks in proptest::collection::vec(0usize..64, 0..30),
+    ) {
+        let sys = random_monitor_system(hoare, &entry_ops, &script_ops);
+        check_oracle_diamond(&sys, &picks, |s| sys.computation(s).expect("acyclic"))?;
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
