@@ -10,7 +10,11 @@
 //! picker: sample the instance, choose, sweep under the chosen flags —
 //! the deterministic one-off decision is made outside the measured
 //! loop, and the series must land within 10% of the best hand-picked
-//! mode.
+//! mode. The `bounded_*_incr` series (F8) pins incremental restriction
+//! checking on (`IncrCheck::On`); the unsuffixed series run the default
+//! `IncrCheck::Auto`, which already rides the incremental path on these
+//! specs, so the F8 win shows up in the plain series' trajectory and
+//! `_incr` vs plain isolates the mode-pinning delta (expected ≈0).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gem_core::Computation;
@@ -19,7 +23,7 @@ use gem_problems::{bounded, one_slot};
 use gem_spec::Specification;
 use gem_verify::auto::{self, Strategy};
 use gem_verify::{
-    check_computation, sample_evidence, verify_system, Correspondence, VerifyOptions,
+    check_computation, sample_evidence, verify_system, Correspondence, IncrCheck, VerifyOptions,
 };
 
 const ITEMS: &[i64] = &[10, 20, 30];
@@ -36,6 +40,7 @@ fn bench_one<S>(
     extract: impl Fn(&S::State) -> Computation + Copy,
     dedup: bool,
     reduce: bool,
+    incr: IncrCheck,
 ) where
     S: System + Sync,
     S::State: Send,
@@ -47,6 +52,7 @@ fn bench_one<S>(
             reduce,
             ..Explorer::default()
         },
+        incr_check: incr,
         ..VerifyOptions::default()
     };
     c.bench_function(name, |b| {
@@ -102,6 +108,7 @@ fn bench_auto<S>(
         extract,
         decision.strategy == Strategy::Dedup,
         decision.strategy == Strategy::Por,
+        IncrCheck::Auto,
     );
 }
 
@@ -120,6 +127,7 @@ fn bench_buffers(c: &mut Criterion) {
             |s| sys.computation(s).unwrap(),
             false,
             false,
+            IncrCheck::Auto,
         );
         let sys = one_slot::csp_solution(ITEMS);
         let corr = one_slot::csp_correspondence(&sys, &problem);
@@ -132,6 +140,7 @@ fn bench_buffers(c: &mut Criterion) {
             |s| sys.computation(s).unwrap(),
             false,
             false,
+            IncrCheck::Auto,
         );
         let sys = one_slot::ada_solution(ITEMS);
         let corr = one_slot::ada_correspondence(&sys, &problem);
@@ -144,16 +153,18 @@ fn bench_buffers(c: &mut Criterion) {
             |s| sys.computation(s).unwrap(),
             false,
             false,
+            IncrCheck::Auto,
         );
     }
     // E5: Bounded Buffer, capacity 2 — plus the F6 dedup and F7 POR
     // ablations.
     {
         let problem = bounded::bounded_spec(BITEMS.len(), CAP);
-        for (suffix, dedup, reduce) in [
-            ("", false, false),
-            ("_dedup", true, false),
-            ("_por", false, true),
+        for (suffix, dedup, reduce, incr) in [
+            ("", false, false, IncrCheck::Auto),
+            ("_dedup", true, false, IncrCheck::Auto),
+            ("_por", false, true, IncrCheck::Auto),
+            ("_incr", false, false, IncrCheck::On),
         ] {
             let sys = bounded::monitor_solution(BITEMS, CAP);
             let corr = bounded::monitor_correspondence(&sys, &problem, CAP);
@@ -166,6 +177,7 @@ fn bench_buffers(c: &mut Criterion) {
                 |s| sys.computation(s).unwrap(),
                 dedup,
                 reduce,
+                incr,
             );
             let sys = bounded::csp_solution(BITEMS, CAP);
             let corr = bounded::csp_correspondence(&sys, &problem, CAP);
@@ -178,6 +190,7 @@ fn bench_buffers(c: &mut Criterion) {
                 |s| sys.computation(s).unwrap(),
                 dedup,
                 reduce,
+                incr,
             );
             let sys = bounded::ada_solution(BITEMS, CAP);
             let corr = bounded::ada_correspondence(&sys, &problem, CAP);
@@ -190,6 +203,7 @@ fn bench_buffers(c: &mut Criterion) {
                 |s| sys.computation(s).unwrap(),
                 dedup,
                 reduce,
+                incr,
             );
         }
         // The picker, on the substrate where dedup is a known 3.4×

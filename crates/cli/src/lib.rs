@@ -36,6 +36,9 @@
 //! * `--dedup` — deduplicate trace-equivalent computations in
 //!   `verify`/`explore` sweeps (same results, less checking work; see
 //!   `docs/PERFORMANCE.md`)
+//! * `--incr-check auto|on|off` — incremental restriction checking along
+//!   the DFS tree (default `auto`; same verdicts in every mode, see
+//!   `docs/PERFORMANCE.md` §6)
 //! * `--artifacts <dir>` — on `verify`, dump the first failing or
 //!   deadlocked run as a self-contained counterexample artifact directory
 //!   (schedule, computation, blame, highlighted dot), and arm a flight
@@ -45,7 +48,8 @@
 //! * `--trace-out <path>` — write a Chrome-trace (`chrome://tracing` /
 //!   Perfetto) JSON of timer spans and counter totals
 //! * `--explain` — append reduction cost/benefit verdicts (dedup
-//!   measured/predicted, POR attribution) after the command output
+//!   measured/predicted, POR attribution, incremental-check coverage)
+//!   after the command output
 //! * `--json <path>` — on `bench-diff`, also write the comparison as
 //!   machine-readable JSON
 //!
@@ -80,7 +84,7 @@ use gem_spec::{render_specification, Specification};
 use gem_verify::auto::{self, StrategyDecision};
 use gem_verify::{
     canonical_key, check_computation, sample_evidence, verify_system, ArtifactSink, Correspondence,
-    ProjectError, RunFailure, VerifyOptions, VerifyOutcome,
+    IncrCheck, ProjectError, RunFailure, VerifyOptions, VerifyOutcome,
 };
 
 /// A CLI usage or execution error.
@@ -363,6 +367,7 @@ struct ObsFlags {
     dedup: bool,
     por: bool,
     auto: bool,
+    incr_check: IncrCheck,
     explain: bool,
     artifacts: Option<String>,
     recorder_cap: Option<usize>,
@@ -373,8 +378,8 @@ struct ObsFlags {
 }
 
 /// Splits `--stats` / `--stats-json` / `--trace` / `--trace-out` /
-/// `--heartbeat` / `--jobs` / `--dedup` / `--por` / `--explain` /
-/// `--artifacts` / `--recorder-cap` / `--json` (either `--flag value`
+/// `--heartbeat` / `--jobs` / `--dedup` / `--por` / `--incr-check` /
+/// `--explain` / `--artifacts` / `--recorder-cap` / `--json` (either `--flag value`
 /// or `--flag=value`) out of `args`, leaving positional arguments and
 /// `key=value` parameters untouched.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
@@ -434,6 +439,19 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                     return Err(err("--explain takes no value"));
                 }
                 flags.explain = true;
+            }
+            "--incr-check" => {
+                let v = value("--incr-check")?;
+                flags.incr_check = match v.as_str() {
+                    "auto" => IncrCheck::Auto,
+                    "on" => IncrCheck::On,
+                    "off" => IncrCheck::Off,
+                    other => {
+                        return Err(err(format!(
+                            "--incr-check must be auto, on, or off, got {other:?}"
+                        )))
+                    }
+                };
             }
             "--trace" => flags.trace = Some(value("--trace")?),
             "--trace-out" => flags.trace_out = Some(value("--trace-out")?),
@@ -619,6 +637,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         report.config.insert("dedup".to_owned(), flag(flags.dedup));
         report.config.insert("por".to_owned(), flag(flags.por));
         report.config.insert("auto".to_owned(), flag(flags.auto));
+        report.config.insert(
+            "incr_check".to_owned(),
+            match flags.incr_check {
+                IncrCheck::Auto => "auto",
+                IncrCheck::On => "on",
+                IncrCheck::Off => "off",
+            }
+            .to_owned(),
+        );
         // `verify --auto` records its decision and the full estimator
         // evidence, so a strategy choice is always auditable from the
         // stats report alone.
@@ -659,6 +686,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             report.config.insert(
                 "strategy.depth_limited".to_owned(),
                 e.depth_limited.to_string(),
+            );
+            report.config.insert(
+                "strategy.incr_supported".to_owned(),
+                e.incr_supported.to_string(),
             );
         }
         report.config.insert(
@@ -802,6 +833,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
                         },
                         probe: probe.clone(),
                         artifacts: sink.clone(),
+                        incr_check: flags.incr_check,
                         ..VerifyOptions::default()
                     };
                     // Under `--explain`, sample the run tree first so the
@@ -875,6 +907,7 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
                             ..Explorer::with_max_runs(max_runs)
                         },
                         probe: combined.clone(),
+                        incr_check: flags.incr_check,
                         ..VerifyOptions::default()
                     };
                     let outcome = match &inst {
@@ -921,6 +954,13 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
                         Some(profile) => out.push_str(&profile.render()),
                         None => out.push_str("no phase timers recorded\n"),
                     }
+                    let spec = match &inst {
+                        Instance::Monitor { spec, .. }
+                        | Instance::Csp { spec, .. }
+                        | Instance::Ada { spec, .. } => spec,
+                    };
+                    out.push('\n');
+                    out.push_str(&restriction_breakdown(spec, &report));
                     let verdicts = gem_obs::explain(&report);
                     if !verdicts.is_empty() {
                         out.push('\n');
@@ -1098,6 +1138,79 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
     }
 }
 
+/// Renders nanoseconds with a readable unit for the breakdown table.
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the per-restriction check breakdown for `gem profile`: each
+/// formula's index and name, its rendered notation, the batch-check time
+/// it consumed (`logic.check.by_restriction.*` series), and whether the
+/// incremental checker covered it or why it fell back to batch checking.
+/// With incremental checking active on a clean sweep the batch columns
+/// collapse to zero — that collapse *is* the speedup being attributed.
+fn restriction_breakdown(spec: &Specification, report: &gem_obs::Report) -> String {
+    let wall = report
+        .timers
+        .get("verify")
+        .or_else(|| report.timers.get("total"))
+        .map(|t| t.total_ns)
+        .unwrap_or(0);
+    let s = spec.structure();
+    let mut out = String::from("check breakdown by restriction:\n");
+    for (i, r) in spec.restrictions().iter().enumerate() {
+        let evals = report
+            .counters
+            .get(&format!("logic.check.by_restriction.{i}.evals"))
+            .copied()
+            .unwrap_or(0);
+        let ns = report
+            .timers
+            .get(&format!("logic.check.by_restriction.{i}.ns"))
+            .map(|t| t.total_ns)
+            .unwrap_or(0);
+        let tag =
+            if report
+                .counters
+                .get(&format!("logic.incr.restriction.{}.incremental", r.name))
+                .copied()
+                .unwrap_or(0)
+                > 0
+            {
+                "incremental".to_owned()
+            } else if let Some(reason) = report.counters.keys().find_map(|k| {
+                k.strip_prefix(&format!("logic.incr.restriction.{}.fallback.", r.name))
+            }) {
+                format!("fallback: {reason}")
+            } else {
+                "batch".to_owned()
+            };
+        let pct = if wall > 0 {
+            ns as f64 * 100.0 / wall as f64
+        } else {
+            0.0
+        };
+        let mut rendered = r.formula.render(s);
+        if rendered.chars().count() > 64 {
+            rendered = rendered.chars().take(63).collect::<String>() + "…";
+        }
+        out.push_str(&format!(
+            "  #{i} {} [{tag}] {evals} batch eval(s), {} ({pct:.1}% of wall)\n      {rendered}\n",
+            r.name,
+            human_ns(ns),
+        ));
+    }
+    out
+}
+
 /// Samples the instance and picks the exploration strategy for
 /// `verify --auto` ([`gem_verify::auto`]), posting the evidence on the
 /// probe (`auto.*` counters, gauges, and the `auto.key` / `auto.check`
@@ -1116,7 +1229,7 @@ where
     F: Fn(&S::State) -> gem_core::Computation,
 {
     let defaults = VerifyOptions::default();
-    let evidence = sample_evidence(
+    let mut evidence = sample_evidence(
         &defaults.explorer,
         sys,
         extract,
@@ -1132,6 +1245,13 @@ where
         auto::AUTO_SAMPLES,
         auto::AUTO_CHECKS,
     );
+    // When the spec compiles for incremental checking, the sweep's clean
+    // leaves skip batch checks entirely — the chooser must not credit
+    // dedup with savings the incremental path already banks.
+    evidence.incr_supported =
+        !gem_verify::IncrChecker::new(spec, corr, defaults.check_program_legality)
+            .global_fallback();
+    probe.add("auto.incr_supported", u64::from(evidence.incr_supported));
     probe.add("auto.samples", evidence.samples as u64);
     probe.add("auto.oracle_grants", evidence.oracle_grants);
     probe.add("auto.oracle_queries", evidence.oracle_queries);
@@ -1623,7 +1743,8 @@ pub fn usage() -> String {
      \x20 --trace-out <path>         write a Chrome-trace JSON (chrome://tracing,\n\
      \x20                            Perfetto) of timer spans and counter totals\n\
      \x20 --explain                  append reduction cost/benefit verdicts\n\
-     \x20                            (dedup measured/predicted, POR attribution)\n\
+     \x20                            (dedup measured/predicted, POR attribution,\n\
+     \x20                            incremental-check coverage)\n\
      \x20 --heartbeat <secs>         progress line interval (default 5, 0 = off)\n\
      \x20 --jobs <n>                 explorer worker threads (default 1, 0 = auto);\n\
      \x20                            results are identical for every n\n\
@@ -1633,6 +1754,10 @@ pub fn usage() -> String {
      \x20 --por                      sleep-set partial-order reduction: explore\n\
      \x20                            roughly one schedule per computation; the\n\
      \x20                            verify/explore verdict is unchanged\n\
+     \x20 --incr-check <mode>        incremental restriction checking along the\n\
+     \x20                            DFS tree: auto (default; on when the spec\n\
+     \x20                            is in the supported fragment), on, off;\n\
+     \x20                            verdicts identical in every mode\n\
      \x20 --auto                     on verify: sample the instance and pick\n\
      \x20                            plain/dedup/por from the estimated collapse\n\
      \x20                            ratio and oracle grant rate (overrides\n\
@@ -1775,7 +1900,15 @@ mod tests {
         assert!(json.contains("\"explore.steps\""), "{json}");
         assert!(json.contains("\"explore.prune.hits\""), "{json}");
         assert!(json.contains("\"verify.deadlocks\""), "{json}");
-        assert!(json.contains("\"restriction.evals\""), "{json}");
+        // One-slot's restrictions are all in the incremental fragment, so
+        // the default `--incr-check auto` sweep reports incremental
+        // counters instead of batch `restriction.evals`.
+        assert!(
+            json.contains("\"logic.incr.restrictions.compiled\""),
+            "{json}"
+        );
+        assert!(json.contains("\"logic.incr.leaf_clean\""), "{json}");
+        assert!(!json.contains("\"restriction.evals\""), "{json}");
         assert!(json.contains("\"total\""), "{json}"); // wall-time span
         assert!(json.contains("\"command\": \"verify\""), "{json}");
         std::fs::remove_file(&path).ok();
@@ -1841,16 +1974,46 @@ mod tests {
 
     #[test]
     fn profile_renders_phase_table_and_verdicts() {
-        let out = runv(&["profile", "one-slot", "items=2", "--heartbeat", "0"]).unwrap();
+        // `--incr-check off` keeps the whole batch pipeline live so every
+        // batch phase shows up in the table.
+        let out = runv(&[
+            "profile",
+            "one-slot",
+            "items=2",
+            "--incr-check",
+            "off",
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
         assert!(out.contains("HOLDS"), "{out}");
         assert!(out.contains("phase.explore"), "{out}");
         assert!(out.contains("phase.seal"), "{out}");
         assert!(out.contains("phase.check"), "{out}");
         assert!(out.contains("accounted"), "{out}");
         assert!(out.contains("wall (verify)"), "{out}");
+        // The per-restriction breakdown attributes the batch evals.
+        assert!(out.contains("check breakdown by restriction:"), "{out}");
+        assert!(out.contains("#0 "), "{out}");
+        assert!(out.contains("[batch]"), "{out}");
         // No dedup: the sampler's collapse ratio yields a *predicted*
         // dedup verdict.
         assert!(out.contains("dedup predicted"), "{out}");
+    }
+
+    #[test]
+    fn profile_with_incremental_collapses_check_phase() {
+        // Default `--incr-check auto` on an in-fragment spec: the batch
+        // check phase disappears, phase.check_incr takes over, and the
+        // breakdown tags every restriction incremental with zero batch
+        // evals — the collapse the speedup comes from.
+        let out = runv(&["profile", "one-slot", "items=2", "--heartbeat", "0"]).unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("phase.check_incr"), "{out}");
+        assert!(!out.contains("phase.seal"), "{out}");
+        assert!(out.contains("[incremental] 0 batch eval(s)"), "{out}");
+        assert!(out.contains("incremental check: "), "{out}");
+        assert!(out.contains("proven clean"), "{out}");
     }
 
     #[test]
@@ -1860,6 +2023,10 @@ mod tests {
             "one-slot",
             "items=2",
             "--dedup",
+            // Clean leaves bypass the dedup cache entirely, so measuring
+            // the cache requires the batch pipeline.
+            "--incr-check",
+            "off",
             "--heartbeat",
             "0",
         ])
@@ -1877,12 +2044,82 @@ mod tests {
             "items=2",
             "--dedup",
             "--explain",
+            // Dedup-cache traffic (the measured verdict's input) only
+            // exists when leaves reach the batch pipeline.
+            "--incr-check",
+            "off",
             "--heartbeat",
             "0",
         ])
         .unwrap();
         assert!(out.contains("HOLDS"), "{out}");
         assert!(out.contains("dedup measured"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_incremental_verdict_by_default() {
+        let out = runv(&[
+            "verify",
+            "one-slot",
+            "items=2",
+            "--explain",
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("incremental check: "), "{out}");
+        assert!(out.contains("proven clean"), "{out}");
+    }
+
+    #[test]
+    fn incr_check_flag_validated_and_recorded() {
+        assert!(runv(&["verify", "one-slot", "--incr-check", "bogus"]).is_err());
+        assert!(runv(&["verify", "one-slot", "--incr-check"]).is_err());
+        let dir = std::env::temp_dir().join("gem-cli-test-incr-flag");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let path_s = path.to_str().unwrap().to_owned();
+        let with_mode = |mode: &str| {
+            runv(&[
+                "verify",
+                "one-slot",
+                "items=2",
+                "--incr-check",
+                mode,
+                "--stats-json",
+                &path_s,
+                "--heartbeat",
+                "0",
+            ])
+            .unwrap();
+            let json = std::fs::read_to_string(&path).unwrap();
+            let report = gem_obs::Report::from_json(&json).unwrap();
+            report.config.get("incr_check").cloned()
+        };
+        assert_eq!(with_mode("off").as_deref(), Some("off"));
+        assert_eq!(with_mode("on").as_deref(), Some("on"));
+        assert_eq!(with_mode("auto").as_deref(), Some("auto"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incr_check_modes_agree_on_verdicts() {
+        // The stdout contract: every mode prints byte-identical output,
+        // on holding and failing instances alike.
+        for problem in [
+            vec!["verify", "one-slot", "items=2"],
+            vec!["verify", "rw", "readers=1", "writers=2", "variant=writers"],
+        ] {
+            let run_mode = |mode: &str| {
+                let mut args = problem.clone();
+                args.extend(["--incr-check", mode]);
+                runv(&args).unwrap()
+            };
+            let auto = run_mode("auto");
+            assert_eq!(auto, run_mode("on"), "{problem:?}");
+            assert_eq!(auto, run_mode("off"), "{problem:?}");
+        }
     }
 
     #[test]

@@ -406,6 +406,49 @@ impl ComputationBuilder {
         self.events.len()
     }
 
+    /// The events added so far, in emission order (index = raw event id).
+    ///
+    /// Together with [`ComputationBuilder::enable_journal`] and
+    /// [`ComputationBuilder::order_precedes`] this lets incremental
+    /// observers (e.g. prefix-sharing restriction checkers) read the
+    /// computation-under-construction without sealing it.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The enable edges in insertion order (the builder's undo journal;
+    /// may contain duplicates that [`Computation::enables`] would drop).
+    pub fn enable_journal(&self) -> &[(EventId, EventId)] {
+        &self.enables
+    }
+
+    /// The explicit precedence edges in insertion order.
+    pub fn precedence_journal(&self) -> &[(EventId, EventId)] {
+        &self.precedences
+    }
+
+    /// The membership events added so far.
+    pub fn memberships(&self) -> &[Membership] {
+        &self.memberships
+    }
+
+    /// Number of fresh thread tags recorded so far.
+    pub fn tag_count(&self) -> usize {
+        self.tag_log.len()
+    }
+
+    /// True if `a` temporally precedes `b` in the computation built so
+    /// far (transitive closure of enables ∪ explicit precedences ∪ the
+    /// per-element order), per the incrementally maintained reachability.
+    ///
+    /// For simulation-grown computations — where every edge targets the
+    /// newest event — the order between two already-added events never
+    /// changes as the builder grows, so this answer is final as soon as
+    /// both events exist.
+    pub fn order_precedes(&self, a: EventId, b: EventId) -> bool {
+        self.order.precedes(a, b)
+    }
+
     /// Snapshots the current growth point for a later
     /// [`ComputationBuilder::truncate_to`].
     pub fn mark(&self) -> BuilderMark {

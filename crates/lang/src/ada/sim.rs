@@ -633,6 +633,10 @@ impl System for AdaSystem {
     ///   automatically distinct — a task has at most one outstanding call
     ///   — so all four participants touch disjoint elements and task
     ///   states, and `run` never modifies entry queues.
+    fn trace_builder<'a>(&self, state: &'a AdaState) -> Option<&'a ComputationBuilder> {
+        Some(&state.builder)
+    }
+
     fn independent(&self, state: &AdaState, a: &AdaAction, b: &AdaAction) -> bool {
         match (a, b) {
             (AdaAction::IssueCall(t1), AdaAction::IssueCall(t2)) => {

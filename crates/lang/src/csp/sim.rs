@@ -572,6 +572,10 @@ impl System for CspSystem {
     /// endpoint consumes that process's offer set (each exchange disables
     /// the other). Offer *indices* stay valid across an independent
     /// exchange because untouched processes keep their offer vectors.
+    fn trace_builder<'a>(&self, state: &'a CspState) -> Option<&'a ComputationBuilder> {
+        Some(&state.builder)
+    }
+
     fn independent(&self, _state: &CspState, a: &CspAction, b: &CspAction) -> bool {
         a.sender != b.sender
             && a.sender != b.receiver

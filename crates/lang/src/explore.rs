@@ -117,6 +117,20 @@ pub trait System {
     fn independent(&self, _state: &Self::State, _a: &Self::Action, _b: &Self::Action) -> bool {
         false
     }
+
+    /// The computation builder accumulating `state`'s event trace, if
+    /// this system grows its trace in a [`gem_core::ComputationBuilder`]
+    /// whose edges always target the newest event. Exposing it lets
+    /// incremental observers (prefix-sharing restriction checkers, see
+    /// `gem_verify`) read the computation-under-construction and its undo
+    /// journals without sealing; `None` (the default) keeps such
+    /// observers on their batch path.
+    fn trace_builder<'a>(
+        &self,
+        _state: &'a Self::State,
+    ) -> Option<&'a gem_core::ComputationBuilder> {
+        None
+    }
 }
 
 /// Why an exploration stopped short of the full schedule space.

@@ -1159,6 +1159,12 @@ impl System for MonitorSystem {
     /// commutativity classes touch disjoint elements and variables (see
     /// [`MonitorSystem::entry_commutes_with`] /
     /// [`MonitorSystem::steps_commute`]).
+    fn trace_builder<'a>(&self, state: &'a MonitorState) -> Option<&'a ComputationBuilder> {
+        // Every edge the simulation emits targets the event it just
+        // added, so the builder satisfies the monotone-journal contract.
+        Some(&state.builder)
+    }
+
     fn independent(&self, state: &MonitorState, a: &MonitorAction, b: &MonitorAction) -> bool {
         let pid = |action: &MonitorAction| match *action {
             MonitorAction::Step(p) | MonitorAction::Enter(p) | MonitorAction::Resume(p) => p,

@@ -43,6 +43,7 @@
 mod blame;
 mod eval;
 mod formula;
+pub mod incr;
 mod simplify;
 mod strategy;
 mod term;

@@ -1,8 +1,9 @@
 //! Phase attribution and reduction cost/benefit verdicts.
 //!
 //! `verify_system` times each pipeline phase into `phase.*` timers
-//! (exploration residual, computation sealing, canonical-key hashing,
-//! dedup cache lookup, restriction checking). [`PhaseProfile`] folds a
+//! (exploration residual, incremental leaf checking, computation
+//! sealing, canonical-key hashing, dedup cache lookup, restriction
+//! checking). [`PhaseProfile`] folds a
 //! [`Report`] into a table whose top-level rows partition the `verify`
 //! span — they sum to (approximately) wall time by construction, because
 //! `phase.explore` is computed as the sweep residual — and [`explain`]
@@ -14,8 +15,9 @@ use crate::report::Report;
 
 /// Timer keys that partition the `verify` span. Order is presentation
 /// order (pipeline order, not alphabetical).
-pub const TOP_PHASES: [&str; 5] = [
+pub const TOP_PHASES: [&str; 6] = [
     "phase.explore",
+    "phase.check_incr",
     "phase.seal",
     "phase.canonical_key",
     "phase.dedup_lookup",
@@ -161,6 +163,9 @@ impl PhaseProfile {
 /// * **dedup predicted** — when dedup was off but the sampling
 ///   estimators ran: predicted hit-rate from the collapse ratio, costed
 ///   with the sampled per-run key/check times.
+/// * **incremental check** — when `logic.incr.*` counters exist: how
+///   many leaves the prefix-sharing checker proved clean (skipping the
+///   seal/check pipeline entirely), replay/reuse volume, and its cost.
 /// * **POR** — sleep-set skip attribution and independence-oracle
 ///   grant rate.
 pub fn explain(report: &Report) -> Vec<String> {
@@ -225,6 +230,31 @@ pub fn explain(report: &Report) -> Vec<String> {
                 format_ns(saved as u64),
             ));
         }
+    }
+
+    let inc_clean = c("logic.incr.leaf_clean");
+    let inc_fallback = c("logic.incr.leaf_fallback");
+    if inc_clean + inc_fallback > 0 {
+        let total = inc_clean + inc_fallback;
+        let cost = t_total("phase.check_incr");
+        let mut line = format!(
+            "incremental check: {inc_clean}/{total} leaf(s) proven clean \
+             ({:.0}%), {} event(s) replayed, {} reused, cost {} ({:.0}% of wall)",
+            inc_clean as f64 * 100.0 / total as f64,
+            c("logic.incr.events_replayed"),
+            c("logic.incr.events_reused"),
+            format_ns(cost),
+            pct_of_wall(cost),
+        );
+        if inc_fallback > 0 {
+            line.push_str(&format!("; {inc_fallback} fell back to batch checking"));
+        }
+        out.push(line);
+    } else if c("logic.incr.restrictions.fallback") > 0 {
+        out.push(format!(
+            "incremental check disabled: {} restriction(s) outside the supported fragment",
+            c("logic.incr.restrictions.fallback")
+        ));
     }
 
     let grants = c("explore.oracle.grants");
@@ -382,6 +412,38 @@ mod tests {
             lines[0].contains("granted 75% of 100 queries"),
             "{}",
             lines[0]
+        );
+    }
+
+    #[test]
+    fn explain_incremental_check_verdicts() {
+        let mut r = phased_report();
+        r.counters.insert("logic.incr.leaf_clean".into(), 22);
+        r.counters.insert("logic.incr.leaf_fallback".into(), 2);
+        r.counters.insert("logic.incr.events_replayed".into(), 685);
+        r.counters.insert("logic.incr.events_reused".into(), 259);
+        r.timers
+            .insert("phase.check_incr".into(), timer(24, 50_000));
+        let lines = explain(&r);
+        let line = lines
+            .iter()
+            .find(|l| l.starts_with("incremental check:"))
+            .expect("incremental verdict");
+        assert!(line.contains("22/24 leaf(s) proven clean (92%)"), "{line}");
+        assert!(line.contains("685 event(s) replayed, 259 reused"), "{line}");
+        assert!(line.contains("2 fell back to batch checking"), "{line}");
+
+        // Globally unsupported spec: no per-leaf counters, but the
+        // construction-time fallback tally still explains the absence.
+        let mut r = phased_report();
+        r.counters
+            .insert("logic.incr.restrictions.fallback".into(), 3);
+        let lines = explain(&r);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("incremental check disabled: 3 restriction(s)")),
+            "{lines:?}"
         );
     }
 

@@ -173,6 +173,12 @@ impl Specification {
                 gem_obs::ambient::add("restriction.evals", 1);
                 gem_obs::ambient::add(&format!("restriction.{}.evals", r.name), 1);
                 gem_obs::ambient::time_ns(&format!("restriction.{}.check", r.name), ns);
+                // Index-keyed twins of the name-keyed series: the formula
+                // index is stable across renames and lets consumers (the
+                // `gem profile` breakdown) join counters to the spec's
+                // restriction list positionally.
+                gem_obs::ambient::add(&format!("logic.check.by_restriction.{i}.evals"), 1);
+                gem_obs::ambient::time_ns(&format!("logic.check.by_restriction.{i}.ns"), ns);
                 if !report.holds {
                     gem_obs::ambient::add(&format!("restriction.{}.violations", r.name), 1);
                 }

@@ -69,6 +69,13 @@ pub struct StrategyEvidence {
     pub check_ns: u64,
     /// True if any probe hit the depth bound (estimates then undershoot).
     pub depth_limited: bool,
+    /// True when the spec is in the incremental checker's fragment
+    /// ([`crate::IncrChecker::global_fallback`] is false): per-run batch
+    /// checks then cost ~nothing for clean leaves, which voids dedup's
+    /// saving. [`sample_evidence`] cannot know this (it never sees the
+    /// spec), so it reports `false`; callers with the spec in hand set it
+    /// before [`choose`].
+    pub incr_supported: bool,
 }
 
 /// The exploration strategy `choose` picks for one instance.
@@ -112,8 +119,9 @@ pub struct StrategyDecision {
 /// grants, dedup is a pure time trade: it saves the full check on every
 /// duplicate run and pays the confirmation key on *every* run, so it is
 /// chosen only when the estimated saving clears [`WIN_MARGIN`]×
-/// overhead. Otherwise plain enumeration — the reductions must *win*,
-/// not break even.
+/// overhead — and never when `incr_supported` says incremental checking
+/// already skips those batch checks. Otherwise plain enumeration — the
+/// reductions must *win*, not break even.
 pub fn choose(evidence: StrategyEvidence) -> StrategyDecision {
     if evidence.oracle_grants > 0 {
         let reason = format!(
@@ -122,6 +130,21 @@ pub fn choose(evidence: StrategyEvidence) -> StrategyDecision {
         );
         return StrategyDecision {
             strategy: Strategy::Por,
+            evidence,
+            reason,
+        };
+    }
+    // Dedup's entire benefit is the batch check it skips on duplicate
+    // runs. With incremental checking covering the spec, clean leaves
+    // skip that check anyway — keying every run would be pure overhead.
+    if evidence.incr_supported {
+        let reason = format!(
+            "no oracle grants; incremental checking covers the spec \
+             (collapse {:.1}× moot: clean leaves skip batch checks already)",
+            evidence.collapse_ratio
+        );
+        return StrategyDecision {
+            strategy: Strategy::Plain,
             evidence,
             reason,
         };
@@ -269,6 +292,7 @@ pub fn sample_evidence<S: System>(
         key_ns: mean(key_ns_total, samples as u64),
         check_ns: mean(check_ns_total, u64::from(checks_done)),
         depth_limited,
+        incr_supported: false,
     }
 }
 
@@ -293,6 +317,7 @@ mod tests {
             key_ns,
             check_ns,
             depth_limited: false,
+            incr_supported: false,
         }
     }
 
@@ -333,6 +358,23 @@ mod tests {
         // Doubling the check cost clears the margin.
         let d = choose(evidence(1_000.0, 500, 0, 1_000, 6_000));
         assert_eq!(d.strategy, Strategy::Dedup);
+    }
+
+    #[test]
+    fn incr_support_vetoes_dedup_but_not_por() {
+        // The dedup-WIN profile from high_collapse_cheap_keys_picks_dedup
+        // flips to plain once incremental checking covers the spec: the
+        // skipped batch checks dedup would save are already skipped.
+        let mut e = evidence(10_000.0, 10, 0, 1_000, 100_000);
+        e.incr_supported = true;
+        let d = choose(e);
+        assert_eq!(d.strategy, Strategy::Plain);
+        assert!(d.reason.contains("incremental"), "{}", d.reason);
+        // POR prunes exploration itself, which incremental checking does
+        // not touch — grants still win.
+        let mut e = evidence(10_000.0, 10, 5, 1_000, 100_000);
+        e.incr_supported = true;
+        assert_eq!(choose(e).strategy, Strategy::Por);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod auto;
 mod correspondence;
 pub mod dedup;
 pub mod forensics;
+pub mod incr;
 mod progress;
 mod sat;
 
@@ -66,6 +67,7 @@ pub use auto::{sample_evidence, StrategyDecision, StrategyEvidence};
 pub use correspondence::{project, Correspondence, Pair, ProjectError};
 pub use dedup::{canonical_key, confirm_key, CanonicalKey};
 pub use forensics::{computation_json, derive_schedule, outcome_path, ArtifactSink};
+pub use incr::{IncrCheck, IncrChecker, LeafStatus};
 pub use progress::{assert_no_deadlock, eventually_on_all_runs, LivenessOutcome};
 pub use sat::{
     check_computation, verify_system, RunCheck, RunFailure, VerifyOptions, VerifyOutcome,

@@ -23,6 +23,7 @@ use gem_spec::{SpecReport, Specification};
 use crate::correspondence::{project, Correspondence, ProjectError};
 use crate::dedup::{confirm_key, CanonicalKey};
 use crate::forensics::{self, ArtifactRecord, ArtifactSink};
+use crate::incr::{IncrCheck, IncrChecker, LeafStatus};
 
 /// Verdict of checking one computation: `None` if it satisfies the
 /// specification, otherwise the violated names plus the failure detail.
@@ -176,6 +177,13 @@ pub struct VerifyOptions {
     pub max_failures: usize,
     /// Also require the *program* computation itself to be GEM-legal.
     pub check_program_legality: bool,
+    /// Prefix-sharing incremental restriction checking along the DFS
+    /// tree (see [`crate::incr`]): leaves proven clean skip the whole
+    /// seal → project → check pipeline. Verdicts, failures, and
+    /// artifacts are identical in every mode; only the `logic.*`,
+    /// `restriction.*`, `project.*`, phase-timer, and dedup counters
+    /// reflect the skipped work.
+    pub incr_check: IncrCheck,
     /// Instrumentation sink. The default [`NoopProbe`] costs one enabled
     /// check per run; see `gem_obs::StatsProbe` for aggregation. The probe
     /// is also installed as the ambient probe for the duration of the
@@ -195,6 +203,7 @@ impl fmt::Debug for VerifyOptions {
             .field("strategy", &self.strategy)
             .field("max_failures", &self.max_failures)
             .field("check_program_legality", &self.check_program_legality)
+            .field("incr_check", &self.incr_check)
             .field("probe_enabled", &self.probe.enabled())
             .field("artifacts", &self.artifacts.as_ref().map(|s| &s.dir))
             .finish()
@@ -208,6 +217,7 @@ impl Default for VerifyOptions {
             strategy: Strategy::Linearizations { limit: 20_000 },
             max_failures: 3,
             check_program_legality: true,
+            incr_check: IncrCheck::default(),
             probe: Arc::new(NoopProbe),
             artifacts: None,
         }
@@ -299,6 +309,15 @@ where
     let elapsed_ns =
         |t: Instant| -> u64 { u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX) };
 
+    // Prefix-sharing incremental checker (see `crate::incr`): compiled
+    // once per sweep (after the ambient install, so the per-restriction
+    // fallback decisions land in the stats), synchronised per leaf. In
+    // `Auto` mode a globally-fallen-back compilation drops the per-leaf
+    // work entirely.
+    let mut incr_checker = (options.incr_check != IncrCheck::Off)
+        .then(|| IncrChecker::new(problem, corr, options.check_program_legality))
+        .filter(|c| options.incr_check == IncrCheck::On || !c.global_fallback());
+
     let stats = options
         .explorer
         .par_for_each_run_probed(sys, probe, |state, path| {
@@ -309,6 +328,25 @@ where
                 // incomplete), not the computation, so it is counted per
                 // run and never deduplicated.
                 deadlocks += 1;
+            }
+            // A leaf the incremental checker proves clean needs no seal,
+            // no projection, and no batch check. Deadlocked leaves always
+            // take the batch path so deadlock artifacts and forensics are
+            // untouched; violating or unsupported leaves fall back and
+            // the batch verdict is adopted wholesale.
+            if let Some(chk) = incr_checker.as_mut() {
+                if let Some(builder) = sys.trace_builder(state) {
+                    let incr_started = probing.then(Instant::now);
+                    let status = chk.sync_to(builder);
+                    if let Some(t) = incr_started {
+                        let ns = elapsed_ns(t);
+                        phased_ns += ns;
+                        probe.time_ns("phase.check_incr", ns);
+                    }
+                    if status == LeafStatus::Clean && !deadlocked {
+                        return ControlFlow::Continue(());
+                    }
+                }
             }
             let seal_started = probing.then(Instant::now);
             let program_comp = extract(state);
@@ -390,7 +428,21 @@ where
                 if artifact_record.is_none() && (deadlocked || verdict.is_some()) {
                     let check = match fresh_check.take() {
                         Some(c) => Some(c),
-                        None => evaluate(&program_comp).ok(),
+                        None => {
+                            // Re-check under the `phase.check` timer: the
+                            // restriction-level timers inside `evaluate`
+                            // accumulate either way, so leaving this call
+                            // unattributed would let the per-restriction
+                            // breakdown exceed its parent phase.
+                            let recheck_started = probing.then(Instant::now);
+                            let c = evaluate(&program_comp).ok();
+                            if let Some(t) = recheck_started {
+                                let ns = elapsed_ns(t);
+                                phased_ns += ns;
+                                probe.time_ns("phase.check", ns);
+                            }
+                            c
+                        }
                     };
                     if let Some(check) = check {
                         let run = runs - 1;

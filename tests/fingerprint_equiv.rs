@@ -221,6 +221,10 @@ where
         &VerifyOptions {
             explorer: *explorer,
             probe: stats.clone(),
+            // This suite pins down the dedup cache itself; the
+            // incremental checker legitimately bypasses it on clean
+            // leaves, which would zero the hit/miss counters under test.
+            incr_check: gem::verify::IncrCheck::Off,
             ..VerifyOptions::default()
         },
     )

@@ -237,6 +237,10 @@ fn panic_mid_sweep_dumps_flight_recorder() {
             },
             &VerifyOptions {
                 probe: recorder.clone(),
+                // The induced panic lives in `extract`, which the
+                // incremental checker would legitimately skip on clean
+                // leaves — this test needs every run to reach it.
+                incr_check: gem::verify::IncrCheck::Off,
                 ..VerifyOptions::default()
             },
         )

@@ -1,0 +1,431 @@
+//! Differential harness: incremental restriction checking must be
+//! observationally invisible.
+//!
+//! `--incr-check on|auto` replaces the per-leaf seal→project→check
+//! pipeline with a prefix-sharing incremental evaluator for leaves it
+//! can prove clean — but verdicts, failure details, deadlock counts,
+//! blame artifacts, and the exploration-level counters of `--stats-json`
+//! must be byte-identical to `--incr-check off` across every substrate
+//! (monitor, CSP, ADA), worker count, and reduction strategy, on holding,
+//! failing, and deadlocking instances alike. Only the work-reflecting
+//! namespaces (`logic.*`, `restriction.*`, `project.*`, `core.*`,
+//! `verify.dedup.*`, phase timers) may differ: that skipped work *is*
+//! the optimisation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gem::core::Computation;
+use gem::lang::monitor::readers_writers_monitor;
+use gem::lang::{Explorer, System};
+use gem::obs::StatsProbe;
+use gem::problems::readers_writers::{
+    rw_correspondence, rw_program, rw_spec, writers_priority_monitor, RwVariant,
+};
+use gem::problems::{bounded, one_slot, philosophers};
+use gem::spec::Specification;
+use gem::verify::{verify_system, Correspondence, IncrCheck, VerifyOptions, VerifyOutcome};
+
+/// One probed sweep with the given knobs.
+#[allow(clippy::too_many_arguments)] // differential-matrix row, not an API
+fn sweep<S>(
+    sys: &S,
+    spec: &Specification,
+    corr: &Correspondence,
+    extract: impl Fn(&S::State) -> Computation,
+    jobs: usize,
+    dedup: bool,
+    por: bool,
+    incr: IncrCheck,
+) -> (VerifyOutcome, gem::obs::Report)
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let probe = Arc::new(StatsProbe::new());
+    let outcome = verify_system(
+        sys,
+        spec,
+        corr,
+        extract,
+        &VerifyOptions {
+            probe: probe.clone(),
+            explorer: Explorer {
+                jobs,
+                split_depth: 3,
+                reduce: por,
+                dedup_computations: dedup,
+                ..Explorer::default()
+            },
+            incr_check: incr,
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("projection");
+    (outcome, probe.report())
+}
+
+/// The counters that must be invariant under the incremental fast path:
+/// everything the explorer reports, plus the deadlock tally. The
+/// checking-layer namespaces legitimately shrink when leaves are proven
+/// clean without batch work.
+fn curated(report: &gem::obs::Report) -> BTreeMap<String, u64> {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("explore.") || *k == "verify.deadlocks")
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// True when CI widens this suite's matrix (`GEM_TEST_INCR=1`): the
+/// strategy grid gains the combined dedup+por mode and the worker sweep
+/// gains jobs=2. Mirrors `GEM_TEST_JOBS` / `GEM_TEST_DEDUP` /
+/// `GEM_TEST_POR` / `GEM_TEST_AUTO`.
+fn incr_env() -> bool {
+    std::env::var("GEM_TEST_INCR").is_ok_and(|v| v.trim() == "1")
+}
+
+/// Asserts every incr mode agrees with `Off` on outcome and curated
+/// counters, across the reduction strategies and worker counts given.
+fn assert_modes_agree<S>(
+    sys: &S,
+    spec: &Specification,
+    corr: &Correspondence,
+    extract: impl Fn(&S::State) -> Computation + Copy,
+    what: &str,
+    jobs_list: &[usize],
+) where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let mut strategies = vec![(false, false), (true, false), (false, true)];
+    let mut jobs_sweep = jobs_list.to_vec();
+    if incr_env() {
+        strategies.push((true, true));
+        if jobs_list.len() > 1 && !jobs_sweep.contains(&2) {
+            jobs_sweep.push(2);
+        }
+    }
+    for (dedup, por) in strategies {
+        for &jobs in &jobs_sweep {
+            let (base_out, base_rep) =
+                sweep(sys, spec, corr, extract, jobs, dedup, por, IncrCheck::Off);
+            for incr in [IncrCheck::Auto, IncrCheck::On] {
+                let (out, rep) = sweep(sys, spec, corr, extract, jobs, dedup, por, incr);
+                assert_eq!(
+                    base_out, out,
+                    "{what}: outcome diverges at jobs={jobs} dedup={dedup} por={por} {incr:?}"
+                );
+                assert_eq!(
+                    curated(&base_rep),
+                    curated(&rep),
+                    "{what}: counters diverge at jobs={jobs} dedup={dedup} por={por} {incr:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn monitor_holding_instance_agrees() {
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    assert_modes_agree(&sys, &spec, &corr, extract, "rw 1r1w mutex", &[1, 4]);
+    // Sanity: the instance really is in the incremental fragment, so the
+    // equivalence above exercised the fast path, not a silent fallback.
+    let (outcome, rep) = sweep(
+        &sys,
+        &spec,
+        &corr,
+        extract,
+        1,
+        false,
+        false,
+        IncrCheck::Auto,
+    );
+    assert!(outcome.ok());
+    assert_eq!(
+        rep.counters.get("logic.incr.leaf_clean").copied(),
+        Some(outcome.runs as u64),
+        "{:?}",
+        rep.counters
+    );
+}
+
+#[test]
+fn monitor_failing_instance_agrees() {
+    // Readers-priority monitor checked against the writers-priority spec:
+    // the sweep FAILS, and the failure list (run indices, violated
+    // restriction names, rendered details) must be identical in every
+    // mode — incr-flagged leaves adopt the batch verdict wholesale.
+    let sys = rw_program(readers_writers_monitor(), 1, 2, false);
+    let spec = rw_spec(3, false, RwVariant::WritersPriority);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    assert_modes_agree(&sys, &spec, &corr, extract, "rw 1r2w writers", &[1, 4]);
+    let (outcome, _) = sweep(
+        &sys,
+        &spec,
+        &corr,
+        extract,
+        1,
+        false,
+        false,
+        IncrCheck::Auto,
+    );
+    assert!(!outcome.ok(), "{outcome}");
+    assert!(!outcome.failures.is_empty());
+}
+
+#[test]
+fn monitor_violation_detected_incrementally_still_matches_batch() {
+    // The writers-priority monitor *satisfies* writers-priority; flip the
+    // spec to readers-priority so the temporal box restrictions violate
+    // mid-run — the incremental checker flags them (not just fallback),
+    // and the final report must still be the batch pipeline's.
+    let sys = rw_program(writers_priority_monitor(), 2, 1, false);
+    let spec = rw_spec(3, false, RwVariant::ReadersPriority);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    assert_modes_agree(
+        &sys,
+        &spec,
+        &corr,
+        extract,
+        "rw 2r1w readers-on-writers",
+        &[1, 4],
+    );
+}
+
+#[test]
+fn csp_substrate_agrees() {
+    let items: Vec<i64> = vec![1, 2];
+    let spec = bounded::bounded_spec(items.len(), 1);
+    let sys = bounded::csp_solution(&items, 1);
+    let corr = bounded::csp_correspondence(&sys, &spec, 1);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    assert_modes_agree(&sys, &spec, &corr, extract, "bounded csp", &[1, 4]);
+}
+
+#[test]
+fn ada_substrate_agrees() {
+    let items: Vec<i64> = vec![10, 20];
+    let spec = one_slot::one_slot_spec();
+    let sys = one_slot::ada_solution(&items);
+    let corr = one_slot::ada_correspondence(&sys, &spec);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    assert_modes_agree(&sys, &spec, &corr, extract, "one-slot ada", &[1, 4]);
+}
+
+#[test]
+fn deadlocking_instance_agrees() {
+    // Naive-order philosophers deadlock; deadlocked leaves always take
+    // the batch path (their projections feed deadlock artifacts), while
+    // complete clean leaves still ride the incremental one.
+    let sys = philosophers::philosophers_program(2, 1, philosophers::ForkOrder::Naive);
+    let spec = philosophers::philosophers_spec(2);
+    let corr = philosophers::philosophers_correspondence(&sys, &spec, 2);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    assert_modes_agree(&sys, &spec, &corr, extract, "philosophers naive", &[1, 4]);
+    let (outcome, rep) = sweep(
+        &sys,
+        &spec,
+        &corr,
+        extract,
+        1,
+        false,
+        false,
+        IncrCheck::Auto,
+    );
+    assert!(outcome.deadlocks > 0, "{outcome}");
+    assert!(
+        rep.counters
+            .get("logic.incr.leaf_clean")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "clean leaves must still use the fast path: {:?}",
+        rep.counters
+    );
+}
+
+#[test]
+fn forced_fallback_formula_agrees_and_is_reported() {
+    // The Progress variant adds eventual-service liveness restrictions
+    // whose temporal shape the incremental fragment excludes: the whole
+    // sweep falls back globally, per-restriction reasons land in the
+    // report, and the outcome still matches `Off` exactly.
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::Progress);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    assert_modes_agree(&sys, &spec, &corr, extract, "rw progress (fallback)", &[1]);
+    // `On` forces per-leaf accounting even under global fallback, so the
+    // fallback decision is visible per restriction.
+    let (outcome, rep) = sweep(&sys, &spec, &corr, extract, 1, false, false, IncrCheck::On);
+    assert!(outcome.ok(), "{outcome}");
+    assert!(
+        rep.counters
+            .keys()
+            .any(|k| k.starts_with("logic.incr.restriction.") && k.contains(".fallback.")),
+        "expected per-restriction fallback reasons: {:?}",
+        rep.counters
+    );
+    assert_eq!(
+        rep.counters.get("logic.incr.leaf_clean").copied(),
+        None,
+        "global fallback must not prove any leaf clean"
+    );
+    // Auto skips the per-leaf machinery entirely under global fallback.
+    let (_, rep) = sweep(
+        &sys,
+        &spec,
+        &corr,
+        extract,
+        1,
+        false,
+        false,
+        IncrCheck::Auto,
+    );
+    assert_eq!(rep.counters.get("logic.incr.syncs").copied(), None);
+}
+
+#[test]
+fn incr_counters_identical_across_jobs() {
+    // The committer delivers worker leaf states to the single checker in
+    // serial DFS index order, so not just the verdict but the incremental
+    // counters themselves (syncs, replay/reuse volume, per-restriction
+    // tallies) must be byte-identical at every worker count.
+    let sys = rw_program(readers_writers_monitor(), 1, 2, false);
+    let spec = rw_spec(3, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let extract = |s: &_| sys.computation(s).expect("acyclic");
+    let incr_counters = |jobs: usize| -> BTreeMap<String, u64> {
+        let (outcome, rep) = sweep(
+            &sys,
+            &spec,
+            &corr,
+            extract,
+            jobs,
+            false,
+            false,
+            IncrCheck::On,
+        );
+        assert!(outcome.ok(), "{outcome}");
+        rep.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("logic.incr."))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    };
+    let serial = incr_counters(1);
+    assert!(serial.get("logic.incr.syncs").copied().unwrap_or(0) > 0);
+    for jobs in [2, 4] {
+        assert_eq!(serial, incr_counters(jobs), "diverges at jobs={jobs}");
+    }
+}
+
+#[test]
+fn cli_artifacts_and_stats_agree_across_modes() {
+    // Full CLI path on the failing instance with artifacts: stdout, every
+    // counterexample artifact file, and the stats report (minus timers
+    // and the work-reflecting namespaces) must match `--incr-check off`.
+    let dir = std::env::temp_dir().join(format!("gem-incr-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run_mode = |mode: &str| -> (String, String, BTreeMap<String, String>) {
+        let art = dir.join(format!("artifacts-{mode}"));
+        let stats = dir.join(format!("stats-{mode}.json"));
+        let args: Vec<String> = [
+            "verify",
+            "rw",
+            "readers=1",
+            "writers=2",
+            "variant=writers",
+            "--incr-check",
+            mode,
+            "--artifacts",
+            art.to_str().expect("utf-8"),
+            "--stats-json",
+            stats.to_str().expect("utf-8"),
+            "--heartbeat",
+            "0",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        // Artifact paths differ per mode; normalise them out of stdout.
+        let stdout = gem_cli::run(&args)
+            .expect("cli run")
+            .replace(art.to_str().expect("utf-8"), "<artifacts>");
+        let report =
+            gem::obs::Report::from_json(&std::fs::read_to_string(&stats).expect("stats written"))
+                .expect("valid report");
+        let kept: BTreeMap<String, u64> = report
+            .counters
+            .iter()
+            .filter(|(k, _)| {
+                !k.starts_with("logic.")
+                    && !k.starts_with("restriction.")
+                    && !k.starts_with("project.")
+                    && !k.starts_with("core.")
+                    && !k.starts_with("verify.dedup.")
+            })
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let mut files = BTreeMap::new();
+        for entry in std::fs::read_dir(&art).expect("artifact dir") {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            files.insert(
+                name,
+                std::fs::read_to_string(entry.path()).expect("artifact file"),
+            );
+        }
+        (stdout, format!("{kept:?}"), files)
+    };
+    let (off_out, off_counters, off_files) = run_mode("off");
+    for mode in ["auto", "on"] {
+        let (out, counters, files) = run_mode(mode);
+        assert_eq!(off_out, out, "stdout diverges in mode {mode}");
+        assert_eq!(off_counters, counters, "counters diverge in mode {mode}");
+        assert_eq!(
+            off_files.keys().collect::<Vec<_>>(),
+            files.keys().collect::<Vec<_>>(),
+            "artifact file set diverges in mode {mode}"
+        );
+        for (name, body) in &off_files {
+            assert_eq!(
+                body, &files[name],
+                "artifact {name} diverges in mode {mode}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_auto_strategy_agrees_across_modes() {
+    // `--auto` picks the strategy before the sweep; whatever it picks,
+    // the verdict line must not depend on the incr mode.
+    let base = [
+        "verify",
+        "one-slot",
+        "items=2",
+        "--auto",
+        "--heartbeat",
+        "0",
+    ];
+    let run_mode = |mode: &str| {
+        let mut args: Vec<String> = base.iter().map(|s| (*s).to_owned()).collect();
+        args.extend(["--incr-check".to_owned(), mode.to_owned()]);
+        gem_cli::run(&args).expect("cli run")
+    };
+    let off = run_mode("off");
+    assert_eq!(off, run_mode("auto"));
+    assert_eq!(off, run_mode("on"));
+}

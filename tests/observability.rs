@@ -22,6 +22,11 @@ fn verify_rw_with_probe(probe: Arc<StatsProbe>) -> gem::verify::VerifyOutcome {
         |state| sys.computation(state).expect("acyclic"),
         &VerifyOptions {
             probe,
+            // This suite pins down the *batch* pipeline's counters
+            // (restriction.evals, per-restriction timers, projections);
+            // the incremental checker legitimately skips all of that
+            // for clean leaves, so keep it out of the way here.
+            incr_check: gem::verify::IncrCheck::Off,
             ..VerifyOptions::default()
         },
     )
@@ -177,6 +182,9 @@ fn chrome_trace_of_probed_verify_partitions_the_wall() {
                 dedup_computations: true,
                 ..Explorer::default()
             },
+            // Batch phases (seal/key/lookup/check) must all fire; the
+            // incremental fast path would skip them for clean leaves.
+            incr_check: gem::verify::IncrCheck::Off,
             ..VerifyOptions::default()
         },
     )
@@ -193,6 +201,9 @@ fn chrome_trace_of_probed_verify_partitions_the_wall() {
             .sum()
     };
     for phase in gem::obs::profile::TOP_PHASES {
+        if phase == "phase.check_incr" {
+            continue; // only recorded when incremental checking is on
+        }
         assert!(
             events
                 .iter()
@@ -231,7 +242,7 @@ fn chrome_trace_of_probed_verify_partitions_the_wall() {
 #[test]
 fn phase_profile_accounts_for_the_wall_and_explains_dedup() {
     // The §9 Readers/Writers monitor under dedup: the aggregated phase
-    // profile must attribute (almost) the whole verify span to the five
+    // profile must attribute (almost) the whole verify span to the
     // top-level phases, and the explain pass must produce a *measured*
     // dedup verdict from the hit counters.
     use gem::lang::Explorer;
@@ -251,6 +262,9 @@ fn phase_profile_accounts_for_the_wall_and_explains_dedup() {
                 dedup_computations: true,
                 ..Explorer::default()
             },
+            // The dedup verdict needs real cache traffic and the render
+            // check wants every batch phase present.
+            incr_check: gem::verify::IncrCheck::Off,
             ..VerifyOptions::default()
         },
     )
@@ -276,6 +290,9 @@ fn phase_profile_accounts_for_the_wall_and_explains_dedup() {
     );
     let rendered = profile.render();
     for phase in gem::obs::profile::TOP_PHASES {
+        if phase == "phase.check_incr" {
+            continue; // only recorded when incremental checking is on
+        }
         assert!(
             rendered.contains(phase),
             "render missing {phase}:\n{rendered}"
@@ -285,6 +302,74 @@ fn phase_profile_accounts_for_the_wall_and_explains_dedup() {
     assert!(
         verdicts.iter().any(|v| v.contains("dedup measured")),
         "expected a measured dedup verdict, got {verdicts:?}"
+    );
+}
+
+#[test]
+fn phase_partition_holds_with_incremental_checking_on() {
+    // With the incremental checker active every clean leaf skips the
+    // seal/key/check pipeline, so `phase.check_incr` takes over as the
+    // dominant per-leaf phase. The timer-partition invariant must still
+    // hold (accounted <= wall), the new phase must join the profile,
+    // and the explain pass must report the incremental verdict.
+    use gem::obs::PhaseProfile;
+    let probe = Arc::new(StatsProbe::new());
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let outcome = verify_system(
+        &sys,
+        &spec,
+        &corr,
+        |state| sys.computation(state).expect("acyclic"),
+        &VerifyOptions {
+            probe: probe.clone(),
+            incr_check: gem::verify::IncrCheck::On,
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("projection");
+    assert!(outcome.ok(), "{outcome}");
+    let report = probe.report();
+
+    // Every run of this instance is proven clean incrementally, so the
+    // batch counters vanish while the incremental ones take over.
+    assert_eq!(probe.counter("logic.incr.leaf_clean"), outcome.runs as u64);
+    assert_eq!(probe.counter("logic.incr.leaf_fallback"), 0);
+    assert_eq!(probe.counter("restriction.evals"), 0);
+    assert!(probe.counter("logic.incr.bindings_checked") > 0);
+    assert!(probe.counter("logic.incr.events_replayed") > 0);
+    assert!(
+        probe.counter("logic.incr.events_reused") > 0,
+        "DFS siblings must share a prefix on this instance"
+    );
+
+    // phase.check_incr participates in the partition and the partition
+    // invariant survives the fast path.
+    let incr_timer = report.timers.get("phase.check_incr").expect("incr timer");
+    assert_eq!(incr_timer.count, outcome.runs as u64);
+    let profile = PhaseProfile::from_report(&report).expect("phase timers recorded");
+    assert!(
+        profile.accounted_ns <= profile.wall_ns,
+        "accounted {} > wall {}",
+        profile.accounted_ns,
+        profile.wall_ns
+    );
+    assert!(
+        profile
+            .rows
+            .iter()
+            .any(|r| r.name == "phase.check_incr" && !r.nested),
+        "phase.check_incr missing from profile:\n{}",
+        profile.render()
+    );
+
+    let verdicts = gem::obs::explain(&report);
+    assert!(
+        verdicts
+            .iter()
+            .any(|v| v.starts_with("incremental check:") && v.contains("proven clean")),
+        "expected an incremental verdict, got {verdicts:?}"
     );
 }
 
