@@ -6,6 +6,9 @@
 //!
 //! * `noop_add/1000` — 1000 counter increments through `&dyn Probe` on
 //!   [`NoopProbe`]: should stay in the few-ns-per-call range.
+//! * `noop_record/1000` / `stats_record/1000` — 1000 histogram samples
+//!   through `Probe::record`, disabled and into a live [`StatsProbe`]:
+//!   the log-bucket hot path must stay within noise of a counter add.
 //! * `recorder_add/1000` — the same through the flight-recorder ring,
 //!   the cost `--artifacts` opts into.
 //! * `sweep_noop` / `sweep_recorder` — a small full exploration sweep
@@ -16,7 +19,7 @@ use std::ops::ControlFlow;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gem_lang::monitor::{readers_writers_monitor, SignalSemantics};
 use gem_lang::Explorer;
-use gem_obs::{NoopProbe, Probe, RecorderProbe};
+use gem_obs::{NoopProbe, Probe, RecorderProbe, StatsProbe};
 use gem_problems::readers_writers::rw_program_with_semantics;
 
 fn bench_probe_overhead(c: &mut Criterion) {
@@ -28,6 +31,28 @@ fn bench_probe_overhead(c: &mut Criterion) {
             for i in 0..n {
                 if noop.enabled() {
                     noop.add("bench.counter", u64::from(i));
+                }
+            }
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("noop_record", 1000), &1000u32, |b, &n| {
+        b.iter(|| {
+            for i in 0..n {
+                if noop.enabled() {
+                    noop.record("bench.hist", u64::from(i));
+                }
+            }
+        });
+    });
+
+    let stats = StatsProbe::new();
+    let stats_dyn: &dyn Probe = &stats;
+    group.bench_with_input(BenchmarkId::new("stats_record", 1000), &1000u32, |b, &n| {
+        b.iter(|| {
+            for i in 0..n {
+                if stats_dyn.enabled() {
+                    stats_dyn.record("bench.hist", u64::from(i));
                 }
             }
         });

@@ -5,10 +5,12 @@
 //! gem verify <problem>           run PROG sat P over all schedules
 //! gem explore <problem>          count schedules / deadlocks
 //! gem profile <problem>          verify + phase-attribution table + verdicts
+//! gem top <problem>              verify with a live sweep dashboard on stderr
 //! gem dot <problem>              emit one schedule's computation as Graphviz
 //! gem list                       list the available problems
 //! gem replay <dir>               reproduce a recorded counterexample artifact
 //! gem bench-diff <old> <new>     compare two benchmark reports, gate regressions
+//! gem metrics-lint <file>        validate an OpenMetrics exposition file
 //! ```
 //!
 //! Problems (with optional `key=value` parameters after the name):
@@ -47,6 +49,9 @@
 //!   (default 256; also settable via `GEM_RECORDER_CAP`)
 //! * `--trace-out <path>` — write a Chrome-trace (`chrome://tracing` /
 //!   Perfetto) JSON of timer spans and counter totals
+//! * `--metrics-out <path>` — sample cumulative counters/gauges once a
+//!   second during the sweep and write an OpenMetrics text exposition
+//!   (plus a `<path>.json` time-series) when the command finishes
 //! * `--explain` — append reduction cost/benefit verdicts (dedup
 //!   measured/predicted, POR attribution, incremental-check coverage)
 //!   after the command output
@@ -73,7 +78,7 @@ use gem_obs::json::JsonValue;
 use gem_obs::{
     fingerprint_words, install_crash_sink, write_atomic, ChromeTraceProbe, CollapseEstimator,
     FanoutProbe, HeartbeatProbe, KnuthEstimator, NoopProbe, PhaseProfile, Probe, RecorderProbe,
-    Span, StatsProbe, TraceProbe,
+    SeriesProbe, Span, StatsProbe, TraceProbe,
 };
 use gem_problems::readers_writers::{
     mesa_safe_readers_writers_monitor, rw_correspondence, rw_program_with_semantics,
@@ -362,6 +367,7 @@ struct ObsFlags {
     stats_json: Option<String>,
     trace: Option<String>,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
     heartbeat: Option<f64>,
     jobs: Option<usize>,
     dedup: bool,
@@ -455,6 +461,7 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
             }
             "--trace" => flags.trace = Some(value("--trace")?),
             "--trace-out" => flags.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => flags.metrics_out = Some(value("--metrics-out")?),
             "--artifacts" => flags.artifacts = Some(value("--artifacts")?),
             "--recorder-cap" => {
                 let v = value("--recorder-cap")?;
@@ -493,7 +500,13 @@ struct ObsSetup {
     trace_sink: Option<Arc<TraceProbe>>,
     chrome_sink: Option<Arc<ChromeTraceProbe>>,
     heartbeat_sink: Option<Arc<HeartbeatProbe>>,
+    series_sink: Option<Arc<SeriesProbe>>,
 }
+
+/// Cadence of `--metrics-out` snapshots. Fixed rather than configurable:
+/// the ring holds over an hour of history at this rate, and the final
+/// unconditional snapshot covers sweeps faster than one interval.
+const METRICS_INTERVAL: Duration = Duration::from_secs(1);
 
 /// Probe events kept per thread by the `--artifacts` flight recorder
 /// (override with `--recorder-cap` or `GEM_RECORDER_CAP`).
@@ -538,6 +551,10 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
     let heartbeat_secs = flags.heartbeat.unwrap_or(5.0);
     let heartbeat_sink = (heartbeat_secs > 0.0)
         .then(|| Arc::new(HeartbeatProbe::new(Duration::from_secs_f64(heartbeat_secs))));
+    let series_sink = flags
+        .metrics_out
+        .as_ref()
+        .map(|_| Arc::new(SeriesProbe::new(METRICS_INTERVAL)));
     let mut sinks: Vec<Arc<dyn Probe>> = Vec::new();
     if let Some(s) = &stats_sink {
         sinks.push(s.clone());
@@ -550,6 +567,9 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
     }
     if let Some(h) = &heartbeat_sink {
         sinks.push(h.clone());
+    }
+    if let Some(s) = &series_sink {
+        sinks.push(s.clone());
     }
     // With an artifact directory, arm the flight recorder: the last
     // `--recorder-cap` probe events per thread plus live span stacks are
@@ -572,6 +592,7 @@ fn obs_setup(flags: &ObsFlags) -> Result<ObsSetup, CliError> {
         trace_sink,
         chrome_sink,
         heartbeat_sink,
+        series_sink,
     })
 }
 
@@ -738,6 +759,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             );
         }
     }
+    if let (Some(series), Some(path)) = (&obs.series_sink, &flags.metrics_out) {
+        // The final snapshot is unconditional, so together with the
+        // construction-time baseline every export has >= 2 snapshots —
+        // enough for the lint's monotonicity check to bite.
+        series.finish();
+        let snaps = series.snapshots();
+        write_atomic(Path::new(path), &gem_obs::render_openmetrics(&snaps))
+            .map_err(|e| err(format!("cannot write metrics to {path:?}: {e}")))?;
+        // The same series as a JSON time-series document, for consumers
+        // that would rather not parse the text exposition.
+        let json_path = format!("{path}.json");
+        write_atomic(
+            Path::new(&json_path),
+            &gem_obs::series_json(series.interval(), &snaps),
+        )
+        .map_err(|e| err(format!("cannot write metrics to {json_path:?}: {e}")))?;
+        if series.dropped() > 0 {
+            eprintln!(
+                "metrics-out: {} old snapshot(s) fell off the ring",
+                series.dropped()
+            );
+        }
+    }
     result
 }
 
@@ -755,7 +799,19 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
             replay_cmd(Path::new(dir))
         }
         "bench-diff" => bench_diff_cmd(rest, flags.json_out.as_deref()),
-        "render" | "verify" | "profile" | "explore" | "dot" | "deadlock" => {
+        "metrics-lint" => {
+            let path = rest.first().ok_or_else(|| {
+                err("metrics-lint needs an OpenMetrics file: gem metrics-lint <file>")
+            })?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            let s = gem_obs::lint_openmetrics(&text).map_err(|e| err(format!("{path}: {e}")))?;
+            Ok(format!(
+                "{path}: OK — {} family(ies), {} sample(s), {} snapshot(s)",
+                s.families, s.samples, s.snapshots
+            ))
+        }
+        "render" | "verify" | "profile" | "top" | "explore" | "dot" | "deadlock" => {
             let (problem, raw_params) = rest
                 .split_first()
                 .ok_or_else(|| err(format!("{cmd} needs a problem name; try `gem list`")))?;
@@ -961,6 +1017,13 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
                     };
                     out.push('\n');
                     out.push_str(&restriction_breakdown(spec, &report));
+                    // Only present when the parallel explorer actually
+                    // ran with telemetry, i.e. `--jobs > 1` split work
+                    // beyond the frontier.
+                    if let Some(table) = worker_table(&report) {
+                        out.push('\n');
+                        out.push_str(&table);
+                    }
                     let verdicts = gem_obs::explain(&report);
                     if !verdicts.is_empty() {
                         out.push('\n');
@@ -969,6 +1032,100 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
                             out.push('\n');
                         }
                     }
+                    Ok(out)
+                }
+                "top" => {
+                    // Live single-screen dashboard: a ticker thread
+                    // repaints runs/steps rates, progress toward the
+                    // sampled search-space estimate, worker utilization
+                    // and phase shares on stderr while the verify sweep
+                    // runs on this thread. The final frame plus the
+                    // verdict is the stdout result, so `gem top` stays
+                    // scriptable.
+                    let stats = Arc::new(StatsProbe::new());
+                    let combined: Arc<dyn Probe> = if probe.enabled() {
+                        Arc::new(FanoutProbe::new(vec![
+                            stats.clone() as Arc<dyn Probe>,
+                            probe.clone(),
+                        ]))
+                    } else {
+                        stats.clone()
+                    };
+                    let options = |max_runs: usize| VerifyOptions {
+                        explorer: Explorer {
+                            jobs,
+                            reduce: flags.por,
+                            dedup_computations: dedup,
+                            ..Explorer::with_max_runs(max_runs)
+                        },
+                        probe: combined.clone(),
+                        incr_check: flags.incr_check,
+                        ..VerifyOptions::default()
+                    };
+                    // Repaint on the heartbeat cadence (default 1s here:
+                    // a dashboard wants to move), 0 still disables.
+                    let refresh = flags.heartbeat.unwrap_or(1.0);
+                    let started = std::time::Instant::now();
+                    let done = std::sync::atomic::AtomicBool::new(false);
+                    let outcome = std::thread::scope(|scope| {
+                        if refresh > 0.0 {
+                            scope.spawn(|| {
+                                let tick = Duration::from_millis(50);
+                                let mut since = Duration::ZERO;
+                                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                                    std::thread::sleep(tick);
+                                    since += tick;
+                                    if since.as_secs_f64() >= refresh {
+                                        since = Duration::ZERO;
+                                        let frame = render_top(&stats.report(), started.elapsed());
+                                        eprint!("\x1b[2J\x1b[H{frame}");
+                                    }
+                                }
+                            });
+                        }
+                        let outcome = match &inst {
+                            Instance::Monitor { sys, spec, corr } => verify_with_estimates(
+                                sys,
+                                spec,
+                                corr,
+                                |s| sys.computation(s).expect("acyclic"),
+                                &options(1_000_000),
+                                true,
+                            ),
+                            Instance::Csp {
+                                sys,
+                                spec,
+                                corr,
+                                max_runs,
+                            } => verify_with_estimates(
+                                sys,
+                                spec,
+                                corr,
+                                |s| sys.computation(s).expect("acyclic"),
+                                &options(*max_runs),
+                                true,
+                            ),
+                            Instance::Ada {
+                                sys,
+                                spec,
+                                corr,
+                                max_runs,
+                            } => verify_with_estimates(
+                                sys,
+                                spec,
+                                corr,
+                                |s| sys.computation(s).expect("acyclic"),
+                                &options(*max_runs),
+                                true,
+                            ),
+                        };
+                        done.store(true, std::sync::atomic::Ordering::Release);
+                        outcome
+                    })
+                    .map_err(|e| err(format!("projection failed: {e}")))?;
+                    let mut out = render_top(&stats.report(), started.elapsed());
+                    out.push('\n');
+                    out.push_str(&format_outcome(&outcome));
                     Ok(out)
                 }
                 "explore" => {
@@ -1149,6 +1306,111 @@ fn human_ns(ns: u64) -> String {
     } else {
         format!("{ns}ns")
     }
+}
+
+/// One worker's attribution totals, parsed back out of the
+/// `worker.<k>.*` counters the ordered-commit pool emits.
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerRow {
+    items: u64,
+    leaves: u64,
+    steps: u64,
+    busy_ns: u64,
+    idle_ns: u64,
+}
+
+fn worker_rows(report: &gem_obs::Report) -> BTreeMap<usize, WorkerRow> {
+    let mut rows: BTreeMap<usize, WorkerRow> = BTreeMap::new();
+    for (name, &v) in &report.counters {
+        let Some(rest) = name.strip_prefix("worker.") else {
+            continue;
+        };
+        let Some((ordinal, field)) = rest.split_once('.') else {
+            continue;
+        };
+        let Ok(k) = ordinal.parse::<usize>() else {
+            continue;
+        };
+        let row = rows.entry(k).or_default();
+        match field {
+            "items" => row.items = v,
+            "leaves" => row.leaves = v,
+            "steps" => row.steps = v,
+            "busy_ns" => row.busy_ns = v,
+            "idle_ns" => row.idle_ns = v,
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Renders the per-worker utilization table (`gem profile` / `gem top`
+/// with `--jobs > 1`). Utilization is busy / (busy + idle); a worker's
+/// idle time is commit lag — blocked sends while the in-order committer
+/// drains earlier work items.
+fn worker_table(report: &gem_obs::Report) -> Option<String> {
+    let rows = worker_rows(report);
+    if rows.is_empty() {
+        return None;
+    }
+    let mut out = format!(
+        "{:<8} {:>7} {:>9} {:>9} {:>11} {:>11} {:>5}\n",
+        "worker", "items", "leaves", "steps", "busy", "idle", "util"
+    );
+    for (k, r) in &rows {
+        let denom = r.busy_ns + r.idle_ns;
+        let util = if denom > 0 {
+            r.busy_ns as f64 / denom as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<8} {:>7} {:>9} {:>9} {:>11} {:>11} {util:>4.0}%\n",
+            format!("w{k}"),
+            r.items,
+            r.leaves,
+            r.steps,
+            human_ns(r.busy_ns),
+            human_ns(r.idle_ns)
+        ));
+    }
+    Some(out)
+}
+
+/// Renders one `gem top` frame: sweep totals with rates, progress toward
+/// the sampled search-space estimate (the `estimate.total_runs` gauge),
+/// the per-worker utilization table, and phase shares — all pure
+/// functions of the live stats report.
+fn render_top(report: &gem_obs::Report, elapsed: Duration) -> String {
+    let runs = report.counters.get("explore.runs").copied().unwrap_or(0);
+    let steps = report.counters.get("explore.steps").copied().unwrap_or(0);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let mut out = format!(
+        "gem top — {:.1}s elapsed\nruns: {runs} ({:.0}/s)  steps: {steps} ({:.0}/s)\n",
+        elapsed.as_secs_f64(),
+        runs as f64 / secs,
+        steps as f64 / secs,
+    );
+    if let Some(&total) = report.gauges.get("estimate.total_runs") {
+        if total > 0 {
+            let pct = (runs as f64 / total as f64 * 100.0).min(100.0);
+            out.push_str(&format!("progress: {pct:.1}% of ~{total} estimated run(s)"));
+            if runs > 0 && total > runs {
+                let eta_ns = (total - runs) as f64 / (runs as f64 / secs) * 1e9;
+                out.push_str(&format!("  eta: {}", human_ns(eta_ns as u64)));
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(table) = worker_table(report) {
+        out.push('\n');
+        out.push_str(&table);
+    }
+    if let Some(profile) = PhaseProfile::from_report(report) {
+        out.push('\n');
+        out.push_str(&profile.render());
+    }
+    out
 }
 
 /// Renders the per-restriction check breakdown for `gem profile`: each
@@ -1729,6 +1991,9 @@ pub fn usage() -> String {
      \x20 explore <problem> [params] count schedules and deadlocks\n\
      \x20 profile <problem> [params] verify + phase-attribution table, search-\n\
      \x20                            space estimates, reduction verdicts\n\
+     \x20 top <problem> [params]     verify with a live dashboard on stderr:\n\
+     \x20                            run/step rates, progress + ETA, worker\n\
+     \x20                            utilization, phase shares\n\
      \x20 deadlock <problem> [params] hunt for a deadlock (pruned search)\n\
      \x20 dot <problem> [params]     emit one computation as Graphviz dot\n\
      \x20 replay <dir>               re-run a counterexample artifact's schedule\n\
@@ -1736,12 +2001,17 @@ pub fn usage() -> String {
      \x20 bench-diff <old> <new> [threshold=25] [limit:<metric>=<pct> ...]\n\
      \x20                            compare two bench/report JSON files; exits\n\
      \x20                            nonzero past the regression threshold\n\
+     \x20 metrics-lint <file>        validate an OpenMetrics exposition file\n\
+     \x20                            (as written by --metrics-out)\n\
      flags (allowed anywhere on the command line):\n\
      \x20 --stats                    print an instrumentation table to stderr\n\
      \x20 --stats-json <path>        write the run report as deterministic JSON\n\
      \x20 --trace <path>             stream probe events as JSON lines\n\
      \x20 --trace-out <path>         write a Chrome-trace JSON (chrome://tracing,\n\
      \x20                            Perfetto) of timer spans and counter totals\n\
+     \x20 --metrics-out <path>       sample counters/gauges once a second and\n\
+     \x20                            write an OpenMetrics exposition (plus a\n\
+     \x20                            <path>.json time-series) at the end\n\
      \x20 --explain                  append reduction cost/benefit verdicts\n\
      \x20                            (dedup measured/predicted, POR attribution,\n\
      \x20                            incremental-check coverage)\n\
@@ -2274,6 +2544,93 @@ mod tests {
         };
         assert!(out.starts_with(&explicit), "{out}\nvs\n{explicit}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_out_writes_lintable_exposition() {
+        let dir = std::env::temp_dir().join("gem-cli-test-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.om");
+        let path_s = path.to_str().unwrap().to_owned();
+        runv(&[
+            "verify",
+            "one-slot",
+            "items=2",
+            "--jobs",
+            "2",
+            "--metrics-out",
+            &path_s,
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = gem_obs::lint_openmetrics(&text).unwrap();
+        assert!(summary.snapshots >= 2, "{summary:?}");
+        assert!(text.contains("gem_explore_runs_total"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        // The lint subcommand accepts the same file.
+        let out = runv(&["metrics-lint", &path_s]).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        // The JSON time-series rides along.
+        let json = std::fs::read_to_string(format!("{path_s}.json")).unwrap();
+        let parsed = gem_obs::json::parse(&json).expect("valid JSON");
+        assert!(parsed.get("interval_ms").is_some(), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_lint_rejects_bad_files() {
+        assert!(runv(&["metrics-lint"]).is_err());
+        assert!(runv(&["metrics-lint", "/nonexistent/gem-metrics.om"]).is_err());
+        let dir = std::env::temp_dir().join("gem-cli-test-metrics-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.om");
+        std::fs::write(&path, "gem_x_total 1 0.000\n").unwrap();
+        assert!(runv(&["metrics-lint", path.to_str().unwrap()]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_renders_dashboard_with_worker_table() {
+        let out = runv(&[
+            "top",
+            "one-slot",
+            "items=2",
+            "--jobs",
+            "2",
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("gem top"), "{out}");
+        assert!(out.contains("runs: "), "{out}");
+        assert!(out.contains("HOLDS"), "{out}");
+        // --jobs 2 split work beyond the frontier, so the worker
+        // utilization table is present.
+        assert!(out.contains("worker"), "{out}");
+        assert!(out.contains("util"), "{out}");
+        assert!(out.contains("w0"), "{out}");
+    }
+
+    #[test]
+    fn profile_with_jobs_appends_worker_table() {
+        let out = runv(&[
+            "profile",
+            "one-slot",
+            "items=2",
+            "--jobs",
+            "2",
+            "--heartbeat",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("phase."), "{out}");
+        assert!(out.contains("util"), "{out}");
+        assert!(out.contains("w0"), "{out}");
+        // Serial profile has no worker attribution, hence no table.
+        let serial = runv(&["profile", "one-slot", "items=2", "--heartbeat", "0"]).unwrap();
+        assert!(!serial.contains("util"), "{serial}");
     }
 
     #[test]

@@ -462,10 +462,12 @@ impl System for AdaSystem {
                 _ => {}
             }
         }
+        crate::explore::record_enabled_width(actions.len());
         actions
     }
 
     fn apply(&self, state: &mut AdaState, action: &AdaAction) {
+        let t0 = crate::explore::apply_timer();
         match action {
             AdaAction::IssueCall(tid) => {
                 let tid = *tid;
@@ -575,6 +577,7 @@ impl System for AdaSystem {
                 self.run(state, tid);
             }
         }
+        crate::explore::record_apply_ns(t0);
     }
 
     fn is_complete(&self, state: &AdaState) -> bool {
@@ -613,7 +616,9 @@ impl System for AdaSystem {
     }
 
     fn undo(&self, state: &mut AdaState, cp: AdaCheckpoint) {
+        let before = state.builder.event_count();
         state.builder.truncate_to(&cp.mark);
+        crate::explore::record_undo_depth(before - state.builder.event_count());
         state.tasks = cp.tasks;
         state.queues = cp.queues;
     }

@@ -474,10 +474,12 @@ impl System for CspSystem {
                 }
             }
         }
+        crate::explore::record_enabled_width(actions.len());
         actions
     }
 
     fn apply(&self, state: &mut CspState, action: &CspAction) {
+        let t0 = crate::explore::apply_timer();
         let (p, q) = (action.sender, action.receiver);
         let PStatus::Blocked(p_offers) =
             std::mem::replace(&mut state.procs[p].status, PStatus::Done)
@@ -524,6 +526,7 @@ impl System for CspSystem {
         }
         self.run(state, p);
         self.run(state, q);
+        crate::explore::record_apply_ns(t0);
     }
 
     fn is_complete(&self, state: &CspState) -> bool {
@@ -560,7 +563,9 @@ impl System for CspSystem {
     }
 
     fn undo(&self, state: &mut CspState, cp: CspCheckpoint) {
+        let before = state.builder.event_count();
         state.builder.truncate_to(&cp.mark);
+        crate::explore::record_undo_depth(before - state.builder.event_count());
         state.procs = cp.procs;
     }
 

@@ -40,9 +40,49 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
-use gem_obs::{NoopProbe, Probe};
+use gem_obs::{ambient, NoopProbe, Probe};
 use rand::Rng;
+
+/// Records one `enabled`-scan width sample (`explore.step.enabled_width`)
+/// on the ambient probe. Substrate simulators call this from
+/// [`System::enabled`] for non-empty scans only, so the histogram counts
+/// exactly one sample per branching node regardless of `jobs` (the
+/// parallel frontier walk re-scans dead-end nodes it hands to workers;
+/// skipping empty scans keeps those from double-counting).
+pub(crate) fn record_enabled_width(n: usize) {
+    if n > 0 {
+        ambient::record("explore.step.enabled_width", n as u64);
+    }
+}
+
+/// Starts an apply-cost measurement, timestamping only when an ambient
+/// probe is installed somewhere (one relaxed atomic load otherwise).
+pub(crate) fn apply_timer() -> Option<Instant> {
+    ambient::active().then(Instant::now)
+}
+
+/// Finishes an apply-cost measurement started by [`apply_timer`]: one
+/// `explore.step.apply_ns` histogram sample per applied edge.
+pub(crate) fn record_apply_ns(t0: Option<Instant>) {
+    if let Some(t0) = t0 {
+        ambient::record(
+            "explore.step.apply_ns",
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+}
+
+/// Records one checkpoint-rewind depth sample
+/// (`explore.step.undo_depth`): how many trace events a [`System::undo`]
+/// rolled back. Serial sweeps undo every edge; parallel sweeps only undo
+/// inside worker subtrees (the frontier walk clones instead), so sample
+/// counts are invariant across `jobs ≥ 2` at a fixed split depth but
+/// lower than serial by the frontier edge count.
+pub(crate) fn record_undo_depth(events_truncated: usize) {
+    ambient::record("explore.step.undo_depth", events_truncated as u64);
+}
 
 /// A concurrent system driven by scheduler choices.
 pub trait System {

@@ -956,11 +956,13 @@ impl System for MonitorSystem {
                 _ => {}
             }
         }
+        crate::explore::record_enabled_width(actions.len());
         actions
     }
 
     fn apply(&self, state: &mut MonitorState, action: &MonitorAction) {
         debug_assert!(state.lock.is_none(), "lock is free between actions");
+        let t0 = crate::explore::apply_timer();
         match *action {
             MonitorAction::Step(pid) => {
                 let step = self.program.processes[pid].script[state.procs[pid].script_pos].clone();
@@ -1107,6 +1109,7 @@ impl System for MonitorSystem {
                 self.run(state, pid);
             }
         }
+        crate::explore::record_apply_ns(t0);
     }
 
     fn is_complete(&self, state: &MonitorState) -> bool {
@@ -1144,7 +1147,9 @@ impl System for MonitorSystem {
     }
 
     fn undo(&self, state: &mut MonitorState, cp: MonitorCheckpoint) {
+        let before = state.builder.event_count();
         state.builder.truncate_to(&cp.mark);
+        crate::explore::record_undo_depth(before - state.builder.event_count());
         state.vars = cp.vars;
         state.procs = cp.procs;
         state.lock = cp.lock;

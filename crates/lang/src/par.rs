@@ -36,9 +36,10 @@
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use gem_obs::{ambient, NoopProbe, Probe};
+use gem_obs::{ambient, set_thread_label, NoopProbe, Probe};
 
 use crate::explore::{flush_final, flush_run, ExploreStats, Explorer, System, TruncationReason};
 
@@ -122,6 +123,106 @@ fn filter_sleep<S: System>(
     (granted, grants, denials)
 }
 
+/// One deferred gauge write from worker-side system code (see
+/// [`DeferGauges`]).
+#[derive(Clone, Debug)]
+enum GaugeOp {
+    /// `gauge_set(name, value)`.
+    Set(String, u64),
+    /// `gauge_max(name, value)`.
+    Max(String, u64),
+}
+
+/// Worker-side ambient wrapper fixing gauge fan-in semantics. Counters,
+/// timers, and histogram samples forward straight through — they are
+/// commutative totals, so arrival order cannot change the aggregate.
+/// Gauge writes are order-dependent (`gauge_set` is last-write-wins), so
+/// racing them from concurrently-exploring workers would make the final
+/// value depend on thread scheduling. Instead each worker defers its
+/// gauge writes and ships them with the item's tail; the committer
+/// replays them in item-commit (serial DFS) order, so on completed
+/// sweeps `gauge_set` resolves to last-commit-wins in DFS order and
+/// `gauge_max` to the max across workers — the serial outcome whenever
+/// the DFS-final write lies inside a committed subtree (frontier-walk
+/// writes replay eagerly, before any worker's, since they happen on the
+/// calling thread during [`build_frontier`]). Either way the result is a
+/// deterministic function of the schedule trie, never of thread timing.
+struct DeferGauges {
+    inner: Arc<dyn Probe>,
+    deferred: Mutex<Vec<GaugeOp>>,
+}
+
+impl DeferGauges {
+    fn new(inner: Arc<dyn Probe>) -> Self {
+        Self {
+            inner,
+            deferred: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes the gauge writes deferred since the last drain. Called at
+    /// each item boundary on the owning worker thread.
+    fn drain(&self) -> Vec<GaugeOp> {
+        std::mem::take(&mut *self.deferred.lock().expect("gauge defer poisoned"))
+    }
+}
+
+impl Probe for DeferGauges {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+    fn add(&self, name: &str, delta: u64) {
+        self.inner.add(name, delta);
+    }
+    fn time_ns(&self, name: &str, nanos: u64) {
+        self.inner.time_ns(name, nanos);
+    }
+    fn record(&self, name: &str, value: u64) {
+        self.inner.record(name, value);
+    }
+    fn span_enter(&self, name: &str) {
+        self.inner.span_enter(name);
+    }
+    fn span_exit(&self, name: &str, nanos: u64) {
+        self.inner.span_exit(name, nanos);
+    }
+    fn gauge_set(&self, name: &str, value: u64) {
+        self.deferred
+            .lock()
+            .expect("gauge defer poisoned")
+            .push(GaugeOp::Set(name.to_owned(), value));
+    }
+    fn gauge_max(&self, name: &str, value: u64) {
+        self.deferred
+            .lock()
+            .expect("gauge defer poisoned")
+            .push(GaugeOp::Max(name.to_owned(), value));
+    }
+}
+
+/// Per-item worker telemetry, shipped with the item's tail and emitted
+/// by the committer under `worker.<k>.*` probe keys. Collected only when
+/// the explicit probe is enabled, so the Noop path pays nothing.
+struct ItemTelemetry {
+    /// Stable pool ordinal of the worker that ran the item (the `k` in
+    /// `worker.<k>.*` and the `worker-<k>` trace lane).
+    worker: usize,
+    /// Trie edges applied in the subtree, speculation included — on
+    /// exhaustive uncancelled sweeps these sum (with
+    /// `explore.frontier.steps`) to the serial `explore.steps`.
+    steps: u64,
+    /// Maximal runs streamed — on exhaustive uncancelled sweeps these
+    /// sum to the serial `explore.runs`.
+    leaves: u64,
+    /// Nanoseconds spent exploring (item wall time minus send blocks).
+    busy_ns: u64,
+    /// Nanoseconds blocked sending leaves to the committer.
+    idle_ns: u64,
+    /// Per-leaf send-block durations, folded into the
+    /// `worker.<k>.commit_lag_ns` histogram at commit.
+    lag_ns: Vec<u64>,
+}
+
 /// One frontier subtree, identified by its DFS (lexicographic) position.
 struct WorkItem<S: System> {
     /// State at the subtree root.
@@ -161,6 +262,12 @@ enum Msg<S: System> {
         /// False if a local budget stopped the worker with unexplored
         /// edges remaining in the subtree.
         finished: bool,
+        /// Worker attribution for the item (`None` when the probe is
+        /// disabled).
+        telemetry: Option<ItemTelemetry>,
+        /// Gauge writes deferred by [`DeferGauges`], replayed by the
+        /// committer in item order (empty without an ambient probe).
+        gauges: Vec<GaugeOp>,
     },
 }
 
@@ -266,10 +373,20 @@ struct Worker<'a, S: System> {
     runs: usize,
     steps: usize,
     pending_ops: Vec<ReplayOp>,
+    /// Stable pool ordinal, for `worker.<k>.*` attribution.
+    worker: usize,
+    /// True when the explicit probe is enabled: collect per-item
+    /// telemetry (timestamps and commit-lag samples).
+    telemetry: bool,
+    /// Nanoseconds this item's leaf sends blocked on the committer.
+    idle_ns: u64,
+    /// Per-leaf send-block durations for the commit-lag histogram.
+    lag_ns: Vec<u64>,
 }
 
 impl<S: System> Worker<'_, S> {
-    fn run_item(mut self, item: WorkItem<S>) {
+    fn run_item(mut self, item: WorkItem<S>, defer: Option<&DeferGauges>) {
+        let started = self.telemetry.then(Instant::now);
         let mut path = item.prefix;
         let mut state = item.state;
         let finished = match self.subtree(&mut state, &mut path, item.sleep) {
@@ -277,9 +394,28 @@ impl<S: System> Worker<'_, S> {
             ControlFlow::Break(Stop::Truncated) => false,
             ControlFlow::Break(Stop::Abort) => return,
         };
+        let telemetry = started.map(|t0| {
+            let total = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // One duration slice per work item, emitted from the worker
+            // thread itself so trace sinks can draw per-worker lanes
+            // (gaps between slices are idle/commit-lag time). Timers are
+            // outside the report determinism contract, so this par-only
+            // key never enters serial-vs-parallel comparisons.
+            ambient::time_ns("worker.item", total);
+            ItemTelemetry {
+                worker: self.worker,
+                steps: self.steps as u64,
+                leaves: self.runs as u64,
+                busy_ns: total.saturating_sub(self.idle_ns),
+                idle_ns: self.idle_ns,
+                lag_ns: std::mem::take(&mut self.lag_ns),
+            }
+        });
         let _ = self.tx.send(Msg::Tail {
             post: std::mem::take(&mut self.pending_ops),
             finished,
+            telemetry,
+            gauges: defer.map(DeferGauges::drain).unwrap_or_default(),
         });
     }
 
@@ -314,7 +450,17 @@ impl<S: System> Worker<'_, S> {
                 path: path.clone(),
                 state: state.clone(),
             };
-            if self.tx.send(msg).is_err() {
+            if self.telemetry {
+                // Commit lag: how long this leaf blocked on the bounded
+                // channel waiting for the committer to catch up.
+                let t0 = Instant::now();
+                if self.tx.send(msg).is_err() {
+                    return ControlFlow::Break(Stop::Abort);
+                }
+                let lag = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.idle_ns = self.idle_ns.saturating_add(lag);
+                self.lag_ns.push(lag);
+            } else if self.tx.send(msg).is_err() {
                 return ControlFlow::Break(Stop::Abort);
             }
             self.runs += 1;
@@ -430,6 +576,37 @@ fn consume_ops(explorer: &Explorer, stats: &mut ExploreStats, ops: &[ReplayOp]) 
     ControlFlow::Continue(())
 }
 
+/// Trie edges in an op stream, for frontier-walk step attribution
+/// (`explore.frontier.steps`). Skips are not edges.
+fn op_edges(ops: &[ReplayOp]) -> u64 {
+    ops.iter()
+        .map(|op| match *op {
+            ReplayOp::Edges(n) => n as u64,
+            ReplayOp::Skips(_) => 0,
+            ReplayOp::OracleEdge { .. } => 1,
+        })
+        .sum()
+}
+
+/// Emits one item's worker attribution at commit: `worker.<k>.*`
+/// counters plus per-leaf commit-lag histogram samples. On exhaustive
+/// uncancelled sweeps `Σ worker.<k>.steps + explore.frontier.steps`
+/// equals the serial `explore.steps` and `Σ worker.<k>.leaves` equals
+/// the serial `explore.runs`; truncated or aborted commits may leave
+/// speculative worker steps uncommitted or tails unreceived.
+fn emit_telemetry(probe: &dyn Probe, t: &ItemTelemetry) {
+    let k = t.worker;
+    probe.add(&format!("worker.{k}.items"), 1);
+    probe.add(&format!("worker.{k}.steps"), t.steps);
+    probe.add(&format!("worker.{k}.leaves"), t.leaves);
+    probe.add(&format!("worker.{k}.busy_ns"), t.busy_ns);
+    probe.add(&format!("worker.{k}.idle_ns"), t.idle_ns);
+    let key = format!("worker.{k}.commit_lag_ns");
+    for &v in &t.lag_ns {
+        probe.record(&key, v);
+    }
+}
+
 impl Explorer {
     /// Resolves [`Explorer::jobs`]: `0` means the machine's available
     /// parallelism (at least 1).
@@ -509,9 +686,21 @@ impl Explorer {
         let cancel = AtomicBool::new(false);
         let ambient_probe = ambient::snapshot();
         let workers = jobs.min(slots.len());
+        let telemetry = probe.enabled();
 
         let mut stats = ExploreStats::default();
         let mut flushed_steps = 0usize;
+
+        if telemetry {
+            // Frontier-walk attribution: edges the calling thread applied
+            // before any worker ran. Together with `worker.<k>.steps`
+            // these partition the serial `explore.steps` on exhaustive
+            // uncancelled sweeps.
+            let frontier_steps =
+                leads.iter().map(|ops| op_edges(ops)).sum::<u64>() + op_edges(&tail_ops);
+            probe.add("explore.frontier.steps", frontier_steps);
+            probe.add("explore.frontier.items", slots.len() as u64);
+        }
 
         std::thread::scope(|scope| {
             for w in 0..workers {
@@ -524,7 +713,13 @@ impl Explorer {
                     .name(format!("gem-explore-{w}"))
                     .stack_size(WORKER_STACK)
                     .spawn_scoped(scope, move || {
-                        let _ambient = ambient_probe.map(ambient::install);
+                        set_thread_label(format!("worker-{w}"));
+                        // Wrap the inherited ambient probe so gauge
+                        // writes defer to the committer (see
+                        // `DeferGauges`); everything else fans straight
+                        // into the same sink.
+                        let defer = ambient_probe.map(|p| Arc::new(DeferGauges::new(p)));
+                        let _ambient = defer.clone().map(|d| ambient::install(d as Arc<dyn Probe>));
                         loop {
                             if cancel.load(Ordering::Relaxed) {
                                 break;
@@ -551,8 +746,12 @@ impl Explorer {
                                 runs: 0,
                                 steps: 0,
                                 pending_ops: Vec::new(),
+                                worker: w,
+                                telemetry,
+                                idle_ns: 0,
+                                lag_ns: Vec::new(),
                             }
-                            .run_item(item);
+                            .run_item(item, defer.as_deref());
                         }
                     })
                     .expect("spawn explore worker");
@@ -599,7 +798,24 @@ impl Explorer {
                                 break 'items;
                             }
                         }
-                        Ok(Msg::Tail { post, finished }) => {
+                        Ok(Msg::Tail {
+                            post,
+                            finished,
+                            telemetry,
+                            gauges,
+                        }) => {
+                            // Deferred gauge writes replay here, in item
+                            // order, into the same ambient sink worker
+                            // system code targeted.
+                            for op in gauges {
+                                match op {
+                                    GaugeOp::Set(name, v) => ambient::gauge_set(&name, v),
+                                    GaugeOp::Max(name, v) => ambient::gauge_max(&name, v),
+                                }
+                            }
+                            if let Some(t) = &telemetry {
+                                emit_telemetry(probe, t);
+                            }
                             if consume_ops(self, &mut stats, &post).is_break() {
                                 stopped = true;
                                 break 'items;
@@ -883,6 +1099,26 @@ mod tests {
         }
     }
 
+    /// Drops the parallel-only attribution (`worker.<k>.*` counters and
+    /// histograms, `explore.frontier.*`) a parallel report carries on
+    /// top of the serial-identical counter sequence.
+    fn strip_attribution(report: &mut gem_obs::Report) {
+        report
+            .counters
+            .retain(|k, _| !k.starts_with("worker.") && !k.starts_with("explore.frontier."));
+        report.hists.retain(|k, _| !k.starts_with("worker."));
+    }
+
+    /// Sums `worker.<k>.<suffix>` counters across all workers.
+    fn worker_sum(report: &gem_obs::Report, suffix: &str) -> u64 {
+        report
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("worker.") && k.ends_with(suffix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
     #[test]
     fn por_probe_counter_sequence_matches_serial() {
         use gem_obs::StatsProbe;
@@ -900,10 +1136,20 @@ mod tests {
             ..explorer
         }
         .par_for_each_run_probed(&sys, &par_probe, |_, _| ControlFlow::Continue(()));
+        let serial_report = serial_probe.report();
+        let mut par_report = par_probe.report();
+        // Exhaustive uncancelled sweep: the attribution partitions the
+        // serial totals exactly.
         assert_eq!(
-            serial_probe.report().to_json(),
-            par_probe.report().to_json()
+            worker_sum(&par_report, ".leaves"),
+            serial_report.counters["explore.runs"]
         );
+        assert_eq!(
+            par_report.counters["explore.frontier.steps"] + worker_sum(&par_report, ".steps"),
+            serial_report.counters["explore.steps"]
+        );
+        strip_attribution(&mut par_report);
+        assert_eq!(serial_report.to_json(), par_report.to_json());
         assert!(serial_probe.counter("explore.sleep_skipped") > 0);
         assert!(
             serial_probe.counter("explore.oracle.grants") > 0,
@@ -979,10 +1225,32 @@ mod tests {
                 &par_probe,
                 |_, _| ControlFlow::Continue(()),
             );
-            assert_eq!(
-                serial_probe.report().to_json(),
-                par_probe.report().to_json()
-            );
+            let serial_report = serial_probe.report();
+            let mut par_report = par_probe.report();
+            if max_steps == usize::MAX {
+                // Exhaustive: worker leaves/steps partition the serial
+                // totals (truncated sweeps leave speculation
+                // uncommitted, so no sum identity there).
+                assert_eq!(
+                    worker_sum(&par_report, ".leaves"),
+                    serial_report.counters["explore.runs"]
+                );
+                assert_eq!(
+                    par_report.counters["explore.frontier.steps"]
+                        + worker_sum(&par_report, ".steps"),
+                    serial_report.counters["explore.steps"]
+                );
+                assert!(
+                    par_report
+                        .hists
+                        .keys()
+                        .any(|k| k.ends_with(".commit_lag_ns")),
+                    "leaf sends record a commit-lag histogram: {:?}",
+                    par_report.hists.keys().collect::<Vec<_>>()
+                );
+            }
+            strip_attribution(&mut par_report);
+            assert_eq!(serial_report.to_json(), par_report.to_json());
         }
     }
 
@@ -1065,6 +1333,109 @@ mod tests {
         assert_eq!(
             probe.counter("chatty.applies"),
             serial_probe.counter("chatty.applies")
+        );
+    }
+
+    #[test]
+    fn worker_gauge_writes_commit_in_dfs_order() {
+        use gem_obs::StatsProbe;
+        use std::sync::Arc;
+
+        /// Reports order-sensitive gauges from inside `apply` — the
+        /// racy-fan-in case `DeferGauges` exists for.
+        struct Gaugey;
+        // POR: conservative — gauge fan-in toy, no oracle needed.
+        impl System for Gaugey {
+            type State = Vec<u8>;
+            type Action = usize;
+            type Checkpoint = ();
+            fn initial(&self) -> Vec<u8> {
+                vec![0; 3]
+            }
+            fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+                (0..3).filter(|&i| state[i] < 2).collect()
+            }
+            fn apply(&self, state: &mut Vec<u8>, &i: &usize) {
+                state[i] += 1;
+                ambient::gauge_set("gaugey.last_action", i as u64);
+                ambient::gauge_max("gaugey.max_action", i as u64);
+            }
+            fn is_complete(&self, state: &Vec<u8>) -> bool {
+                state.iter().all(|&c| c == 2)
+            }
+        }
+
+        let serial_probe = Arc::new(StatsProbe::new());
+        {
+            let _g = ambient::install(serial_probe.clone());
+            Explorer::default().for_each_run(&Gaugey, |_, _| ControlFlow::Continue(()));
+        }
+        let serial = serial_probe.report();
+        for (jobs, split_depth) in [(2, 1), (4, 2), (3, 3)] {
+            let par_probe = Arc::new(StatsProbe::new());
+            {
+                let _g = ambient::install(par_probe.clone());
+                Explorer {
+                    jobs,
+                    split_depth,
+                    ..Explorer::default()
+                }
+                .par_for_each_run(&Gaugey, |_, _| ControlFlow::Continue(()));
+            }
+            let par = par_probe.report();
+            // Deferred replay in commit order makes both gauges
+            // scheduling-independent and serial-identical.
+            assert_eq!(
+                par.gauges["gaugey.last_action"], serial.gauges["gaugey.last_action"],
+                "gauge_set must be last-commit-wins in DFS order (jobs={jobs})"
+            );
+            assert_eq!(
+                par.gauges["gaugey.max_action"], serial.gauges["gaugey.max_action"],
+                "gauge_max must be the max across workers (jobs={jobs})"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_label_their_trace_lanes() {
+        use gem_obs::ChromeTraceProbe;
+        use std::sync::Arc;
+
+        /// Emits a timer from inside `apply` so worker threads show up
+        /// in the trace.
+        struct Timed;
+        // POR: conservative — trace-label toy, no oracle needed.
+        impl System for Timed {
+            type State = Vec<u8>;
+            type Action = usize;
+            type Checkpoint = ();
+            fn initial(&self) -> Vec<u8> {
+                vec![0; 2]
+            }
+            fn enabled(&self, state: &Vec<u8>) -> Vec<usize> {
+                (0..2).filter(|&i| state[i] < 2).collect()
+            }
+            fn apply(&self, state: &mut Vec<u8>, &i: &usize) {
+                ambient::time_ns("timed.apply", 10);
+                state[i] += 1;
+            }
+            fn is_complete(&self, state: &Vec<u8>) -> bool {
+                state.iter().all(|&c| c == 2)
+            }
+        }
+
+        let chrome = Arc::new(ChromeTraceProbe::new());
+        let _g = ambient::install(chrome.clone());
+        Explorer {
+            jobs: 2,
+            split_depth: 1,
+            ..Explorer::default()
+        }
+        .par_for_each_run(&Timed, |_, _| ControlFlow::Continue(()));
+        let labels = chrome.labels();
+        assert!(
+            labels.values().any(|l| l.starts_with("worker-")),
+            "worker lanes carry worker-<k> labels: {labels:?}"
         );
     }
 }

@@ -102,6 +102,12 @@ pub fn time_ns(name: &str, nanos: u64) {
     with_current(|p| p.time_ns(name, nanos));
 }
 
+/// Folds one sample into histogram `name` on the ambient probe, if any.
+#[inline]
+pub fn record(name: &str, value: u64) {
+    with_current(|p| p.record(name, value));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +123,7 @@ mod tests {
             add("during", 2);
             gauge_max("depth", 5);
             time_ns("t", 100);
+            record("h", 9);
         }
         add("after", 3); // discarded again
         let r = stats.report();
@@ -125,6 +132,7 @@ mod tests {
         assert_eq!(r.counters.get("after"), None);
         assert_eq!(r.gauges["depth"], 5);
         assert_eq!(r.timers["t"].count, 1);
+        assert_eq!(r.hists["h"].count(), 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! per line, so the export of a fixed event list is byte-stable and can
 //! be golden-file tested (`tests/observability.rs`).
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::Mutex;
@@ -18,7 +19,7 @@ use std::time::Instant;
 
 use crate::json::push_json_str;
 use crate::probe::Probe;
-use crate::tid::thread_ordinal;
+use crate::tid::{thread_label, thread_ordinal};
 
 /// One event in a Chrome trace: a completed duration (`dur_us > 0` or
 /// `counter == None`) or a counter sample.
@@ -42,12 +43,37 @@ pub struct ChromeEvent {
 /// Serialises `events` in Chrome Trace Event Format with a fixed field
 /// order — a pure function of its input, so goldens are stable.
 pub fn chrome_trace_json(events: &[ChromeEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 64);
+    chrome_trace_json_with_labels(events, &BTreeMap::new())
+}
+
+/// [`chrome_trace_json`] plus `"ph": "M"` thread-name metadata events
+/// for the labelled tids, so worker lanes render as `worker-<k>` (the
+/// stable pool ordinal) instead of raw thread ordinals. With no labels
+/// the output is byte-identical to [`chrome_trace_json`].
+pub fn chrome_trace_json_with_labels(
+    events: &[ChromeEvent],
+    labels: &BTreeMap<u64, String>,
+) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + labels.len() * 80 + 64);
     out.push_str("{\"traceEvents\": [\n");
-    for (i, ev) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for (tid, label) in labels {
+        if !first {
             out.push_str(",\n");
         }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"name\": \"thread_name\", \"cat\": \"__metadata\", \"ph\": \"M\", \
+             \"ts\": 0, \"pid\": 1, \"tid\": {tid}, \"args\": {{\"name\": "
+        ));
+        push_json_str(&mut out, label);
+        out.push_str("}}");
+    }
+    for ev in events.iter() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
         out.push_str("  {\"name\": ");
         push_json_str(&mut out, &ev.name);
         out.push_str(", \"cat\": ");
@@ -93,8 +119,21 @@ pub struct ChromeTraceProbe {
 #[derive(Default)]
 struct ChromeInner {
     events: Vec<ChromeEvent>,
-    counter_totals: std::collections::BTreeMap<String, u64>,
+    counter_totals: BTreeMap<String, u64>,
+    /// tid -> lane label, captured from [`thread_label`] the first time
+    /// a labelled thread emits an event.
+    labels: BTreeMap<u64, String>,
     dropped: u64,
+}
+
+impl ChromeInner {
+    fn note_label(&mut self, tid: u64) {
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.labels.entry(tid) {
+            if let Some(label) = thread_label() {
+                slot.insert(label);
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for ChromeTraceProbe {
@@ -132,6 +171,7 @@ impl ChromeTraceProbe {
 
     fn push(&self, ev: ChromeEvent) {
         let mut inner = self.inner.lock().expect("chrome trace poisoned");
+        inner.note_label(ev.tid);
         if inner.events.len() >= self.max_events {
             inner.dropped += 1;
             return;
@@ -153,9 +193,23 @@ impl ChromeTraceProbe {
         self.inner.lock().expect("chrome trace poisoned").dropped
     }
 
-    /// Serialises the collected events ([`chrome_trace_json`]).
+    /// The lane labels captured so far (`tid -> label`).
+    pub fn labels(&self) -> BTreeMap<u64, String> {
+        self.inner
+            .lock()
+            .expect("chrome trace poisoned")
+            .labels
+            .clone()
+    }
+
+    /// Serialises the collected events with thread-name metadata for
+    /// labelled lanes ([`chrome_trace_json_with_labels`]).
     pub fn to_json(&self) -> String {
-        chrome_trace_json(&self.events())
+        let (events, labels) = {
+            let inner = self.inner.lock().expect("chrome trace poisoned");
+            (inner.events.clone(), inner.labels.clone())
+        };
+        chrome_trace_json_with_labels(&events, &labels)
     }
 
     /// Writes the trace to `path` atomically.
@@ -172,6 +226,7 @@ impl Probe for ChromeTraceProbe {
     fn add(&self, name: &str, delta: u64) {
         let ts_us = self.now_us();
         let mut inner = self.inner.lock().expect("chrome trace poisoned");
+        inner.note_label(thread_ordinal());
         let total = {
             let slot = inner.counter_totals.entry(name.to_owned()).or_insert(0);
             *slot = slot.saturating_add(delta);
@@ -202,6 +257,13 @@ impl Probe for ChromeTraceProbe {
             tid: thread_ordinal(),
             counter: None,
         });
+    }
+
+    fn record(&self, name: &str, value: u64) {
+        // Chrome traces have no histogram event; chart the running total
+        // of the samples as a counter track instead (and capture the
+        // emitting thread's lane label on the way).
+        self.add(name, value);
     }
 }
 
@@ -255,6 +317,36 @@ mod tests {
         assert_eq!(events[2].counter, Some(3), "running total");
         assert_eq!(events[2].cat, "explore");
         assert_eq!(p.dropped(), 0);
+    }
+
+    #[test]
+    fn labelled_threads_render_thread_name_metadata() {
+        let p = std::sync::Arc::new(ChromeTraceProbe::new());
+        let worker = p.clone();
+        let tid = std::thread::spawn(move || {
+            crate::tid::set_thread_label("worker-0");
+            worker.time_ns("phase.explore", 2_000);
+            thread_ordinal()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(p.labels().get(&tid).map(String::as_str), Some("worker-0"));
+        let json = p.to_json();
+        assert!(json.contains("\"ph\": \"M\""), "{json}");
+        assert!(json.contains("\"name\": \"thread_name\""), "{json}");
+        assert!(json.contains("\"name\": \"worker-0\""), "{json}");
+        assert!(
+            json.contains(&format!(
+                "\"tid\": {tid}, \"args\": {{\"name\": \"worker-0\"}}"
+            )),
+            "{json}"
+        );
+        crate::json::parse(&json).expect("valid JSON");
+        // Without labels the serialisation is unchanged (golden-stable).
+        assert_eq!(
+            chrome_trace_json(&p.events()),
+            chrome_trace_json_with_labels(&p.events(), &BTreeMap::new())
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ struct HeartbeatState {
     dedup_misses: u64,
     sleep_skipped: u64,
     por_runs: u64,
+    incr_leaf_clean: u64,
     est_total_runs: u64,
     since_check: u64,
     started: Instant,
@@ -71,6 +72,7 @@ impl HeartbeatProbe {
                 dedup_misses: 0,
                 sleep_skipped: 0,
                 por_runs: 0,
+                incr_leaf_clean: 0,
                 est_total_runs: 0,
                 since_check: 0,
                 started: now,
@@ -129,6 +131,17 @@ impl HeartbeatProbe {
                 state.dedup_hits
             ));
         }
+        // Incremental checking's fast path mirrors dedup's: the share of
+        // leaves proven clean along the DFS (skipping seal/project/check
+        // entirely), over the runs the sweep completed.
+        if done && state.incr_leaf_clean > 0 && state.runs > 0 {
+            line.push_str(&format!(
+                ", incr clean-leaf rate {:.0}% ({}/{})",
+                state.incr_leaf_clean as f64 * 100.0 / state.runs as f64,
+                state.incr_leaf_clean,
+                state.runs
+            ));
+        }
         if done && state.sleep_skipped > 0 {
             line.push_str(&format!(
                 ", POR: {} representative(s), {} branch(es) slept",
@@ -185,6 +198,11 @@ impl Probe for HeartbeatProbe {
         if name == "explore.por_runs" {
             let mut state = self.state.lock().expect("heartbeat poisoned");
             state.por_runs += delta;
+            return;
+        }
+        if name == "logic.incr.leaf_clean" {
+            let mut state = self.state.lock().expect("heartbeat poisoned");
+            state.incr_leaf_clean += delta;
             return;
         }
         if name != self.run_counter {
@@ -287,6 +305,38 @@ mod tests {
         hb.finish();
         let text = buf.text();
         assert!(text.contains("dedup hit-rate 75% (6/8)"), "{text}");
+    }
+
+    #[test]
+    fn finish_reports_incr_clean_leaf_rate() {
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).writer(buf.clone());
+        hb.add("explore.runs", 8);
+        hb.add("logic.incr.leaf_clean", 6);
+        hb.finish();
+        let text = buf.text();
+        assert!(text.contains("incr clean-leaf rate 75% (6/8)"), "{text}");
+        // Both fast paths report side by side when both are active.
+        let buf2 = SharedBuf::default();
+        let hb2 = HeartbeatProbe::new(Duration::from_secs(3600)).writer(buf2.clone());
+        hb2.add("explore.runs", 4);
+        hb2.add("verify.dedup.hits", 1);
+        hb2.add("verify.dedup.misses", 3);
+        hb2.add("logic.incr.leaf_clean", 4);
+        hb2.finish();
+        let text2 = buf2.text();
+        assert!(text2.contains("dedup hit-rate 25% (1/4)"), "{text2}");
+        assert!(text2.contains("incr clean-leaf rate 100% (4/4)"), "{text2}");
+    }
+
+    #[test]
+    fn finish_omits_incr_rate_when_nothing_proved_clean() {
+        let buf = SharedBuf::default();
+        let hb = HeartbeatProbe::new(Duration::from_secs(3600)).writer(buf.clone());
+        hb.add("explore.runs", 4);
+        hb.add("logic.incr.leaf_clean", 0);
+        hb.finish();
+        assert!(!buf.text().contains("incr clean-leaf"), "{}", buf.text());
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //! * [`ChromeTraceProbe`] — collects timestamped duration/counter events
 //!   for Chrome-trace (`chrome://tracing` / Perfetto) export
 //!   (`--trace-out`).
+//! * [`Histogram`] — fixed-size log-bucket (power-of-two) histograms
+//!   behind [`Probe::record`], with p50/p90/p99/max summaries in the
+//!   report's `hists` section.
+//! * [`SeriesProbe`] — periodic counter/gauge snapshots into a bounded
+//!   ring, exported as a `metrics.json` time-series and an OpenMetrics
+//!   text endpoint-file ([`render_openmetrics`] / [`lint_openmetrics`],
+//!   CLI `--metrics-out`).
 //! * [`estimate`] — search-space estimators: Knuth weighted-backtrack
 //!   run-tree size and Chapman capture-recapture distinct-computation
 //!   counts, fed by sampled runs.
@@ -55,21 +62,27 @@ mod chrome;
 pub mod estimate;
 mod fsio;
 mod heartbeat;
+mod hist;
 pub mod json;
+mod openmetrics;
 mod probe;
 pub mod profile;
 mod recorder;
 mod report;
+mod series;
 mod tid;
 
 pub use chrome::{chrome_trace_json, ChromeEvent, ChromeTraceProbe};
 pub use estimate::{chapman_estimate, fingerprint_words, CollapseEstimator, KnuthEstimator};
 pub use fsio::write_atomic;
 pub use heartbeat::HeartbeatProbe;
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use openmetrics::{lint_openmetrics, render_openmetrics, OpenMetricsSummary};
 pub use probe::{FanoutProbe, NoopProbe, Probe, Span, StatsProbe, TraceProbe};
 pub use profile::{explain, PhaseProfile, PhaseRow};
 pub use recorder::{
     clear_crash_sink, install_crash_sink, RecordedEvent, RecorderProbe, ThreadDump,
 };
 pub use report::{Report, TimerStat};
-pub use tid::thread_ordinal;
+pub use series::{series_json, SeriesProbe, SeriesSnapshot};
+pub use tid::{set_thread_label, thread_label, thread_ordinal};

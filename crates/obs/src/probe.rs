@@ -6,6 +6,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::hist::Histogram;
 use crate::json::push_json_str;
 use crate::report::{Report, TimerStat};
 
@@ -43,6 +44,15 @@ pub trait Probe: Send + Sync {
     /// Records one duration under the timer `name`.
     fn time_ns(&self, name: &str, nanos: u64) {
         let _ = (name, nanos);
+    }
+
+    /// Folds one sample into the log-bucket histogram `name`
+    /// ([`crate::Histogram`]). By convention names ending in `_ns`
+    /// record durations (and are neutralized by
+    /// `Report::without_timings`); anything else records sizes, widths,
+    /// or depths.
+    fn record(&self, name: &str, value: u64) {
+        let _ = (name, value);
     }
 
     /// Marks entry into the span `name` (spans nest; exits arrive in
@@ -106,6 +116,7 @@ struct StatsInner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     timers: BTreeMap<String, TimerStat>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 /// In-memory aggregation: counters summed, gauges kept, timers
@@ -129,6 +140,7 @@ impl StatsProbe {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
             timers: inner.timers.clone(),
+            hists: inner.hists.clone(),
             meta: BTreeMap::new(),
             config: BTreeMap::new(),
         }
@@ -138,6 +150,12 @@ impl StatsProbe {
     pub fn counter(&self, name: &str) -> u64 {
         let inner = self.inner.lock().expect("stats probe poisoned");
         inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of one histogram (empty when never recorded).
+    pub fn hist(&self, name: &str) -> Histogram {
+        let inner = self.inner.lock().expect("stats probe poisoned");
+        inner.hists.get(name).cloned().unwrap_or_default()
     }
 }
 
@@ -174,6 +192,15 @@ impl Probe for StatsProbe {
             .entry(name.to_owned())
             .or_default()
             .record(nanos);
+    }
+
+    fn record(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("stats probe poisoned");
+        inner
+            .hists
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
     }
 
     fn span_exit(&self, name: &str, nanos: u64) {
@@ -266,6 +293,10 @@ impl Probe for TraceProbe {
         self.line("time", name, &[("ns", nanos)]);
     }
 
+    fn record(&self, name: &str, value: u64) {
+        self.line("record", name, &[("v", value)]);
+    }
+
     fn span_enter(&self, name: &str) {
         self.line("enter", name, &[]);
     }
@@ -323,6 +354,12 @@ impl Probe for FanoutProbe {
         }
     }
 
+    fn record(&self, name: &str, value: u64) {
+        for s in &self.sinks {
+            s.record(name, value);
+        }
+    }
+
     fn span_enter(&self, name: &str) {
         for s in &self.sinks {
             s.span_enter(name);
@@ -366,6 +403,31 @@ mod tests {
         assert_eq!(r.timers["check"].total_ns, 40);
         assert_eq!(p.counter("runs"), 5);
         assert_eq!(p.counter("missing"), 0);
+    }
+
+    #[test]
+    fn stats_record_builds_histograms() {
+        let p = StatsProbe::new();
+        p.record("apply_ns", 100);
+        p.record("apply_ns", 900);
+        p.record("width", 3);
+        let r = p.report();
+        assert_eq!(r.hists["apply_ns"].count(), 2);
+        assert_eq!(r.hists["apply_ns"].sum(), 1000);
+        assert_eq!(r.hists["width"].max(), 3);
+        assert_eq!(p.hist("apply_ns").count(), 2);
+        assert!(p.hist("missing").is_empty());
+    }
+
+    #[test]
+    fn record_fans_out() {
+        let a = Arc::new(StatsProbe::new());
+        let b = Arc::new(StatsProbe::new());
+        let f = FanoutProbe::new(vec![a.clone() as Arc<dyn Probe>, b.clone()]);
+        f.record("lag", 5);
+        assert_eq!(a.hist("lag").count(), 1);
+        assert_eq!(b.hist("lag").count(), 1);
+        NoopProbe.record("lag", 5); // must not panic
     }
 
     #[test]

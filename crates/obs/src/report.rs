@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::hist::Histogram;
 use crate::json::{push_json_key, push_json_str};
 
 /// Summary of a timer/span: count and total/min/max durations.
@@ -50,8 +51,14 @@ pub struct Report {
     pub counters: BTreeMap<String, u64>,
     /// Last-write / high-water gauges (`explore.depth_high_water`, …).
     pub gauges: BTreeMap<String, u64>,
-    /// Timer/span summaries. The only nondeterministic section.
+    /// Timer/span summaries. Nondeterministic (like `_ns` hists).
     pub timers: BTreeMap<String, TimerStat>,
+    /// Log-bucket histograms ([`Probe::record`](crate::Probe::record)).
+    /// Keys ending in `_ns` hold durations and are nondeterministic;
+    /// everything else (widths, depths) is deterministic. Serialized
+    /// only when non-empty, so histogram-free reports keep their
+    /// historical shape.
+    pub hists: BTreeMap<String, Histogram>,
     /// Free-form context (command line, problem name, parameters).
     pub meta: BTreeMap<String, String>,
     /// The run's effective configuration (problem id, jobs/dedup/por
@@ -103,6 +110,40 @@ impl Report {
         out.push_str(" {");
         push_u64_map(&mut out, &self.gauges);
         out.push_str("},\n  ");
+        if !self.hists.is_empty() {
+            push_json_key(&mut out, "hists");
+            out.push_str(" {");
+            let mut first = true;
+            for (k, h) in &self.hists {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("\n    ");
+                push_json_key(&mut out, k);
+                out.push_str(&format!(
+                    " {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                ));
+                let mut first_bucket = true;
+                for (i, n) in h.nonzero_buckets() {
+                    if !first_bucket {
+                        out.push_str(", ");
+                    }
+                    first_bucket = false;
+                    out.push_str(&format!("[{i}, {n}]"));
+                }
+                out.push_str("]}");
+            }
+            out.push_str("\n  },\n  ");
+        }
         push_json_key(&mut out, "meta");
         out.push_str(" {");
         let mut first = true;
@@ -191,6 +232,39 @@ impl Report {
                         report.meta.insert(k.clone(), s.to_owned());
                     }
                 }
+                "hists" => {
+                    for (k, h) in value.as_obj().ok_or("report: hists is not an object")? {
+                        let field = |name: &str| -> Result<u64, String> {
+                            h.get(name)
+                                .and_then(JsonValue::as_u64)
+                                .ok_or(format!("report: hists.{k}.{name} missing or not a u64"))
+                        };
+                        let mut buckets = Vec::new();
+                        for pair in h
+                            .get("buckets")
+                            .and_then(JsonValue::as_arr)
+                            .ok_or(format!("report: hists.{k}.buckets missing or not an array"))?
+                        {
+                            let entry = pair
+                                .as_arr()
+                                .filter(|p| p.len() == 2)
+                                .and_then(|p| Some((p[0].as_u64()?, p[1].as_u64()?)))
+                                .ok_or(format!(
+                                    "report: hists.{k}.buckets entry is not an [index, count] pair"
+                                ))?;
+                            buckets.push((entry.0 as usize, entry.1));
+                        }
+                        let hist = Histogram::from_parts(
+                            field("count")?,
+                            field("sum")?,
+                            field("min")?,
+                            field("max")?,
+                            &buckets,
+                        )
+                        .map_err(|e| format!("report: hists.{k}: {e}"))?;
+                        report.hists.insert(k.clone(), hist);
+                    }
+                }
                 "timers" => {
                     for (k, t) in value.as_obj().ok_or("report: timers is not an object")? {
                         let field = |name: &str| -> Result<u64, String> {
@@ -217,7 +291,9 @@ impl Report {
 
     /// The report with every timer value zeroed — byte-identical across
     /// runs of a deterministic workload; used by tests asserting report
-    /// determinism "modulo timing fields".
+    /// determinism "modulo timing fields". Duration-valued histograms
+    /// (keys ending `_ns`) keep their counts but lose their samples;
+    /// size/width/depth histograms are deterministic and kept whole.
     pub fn without_timings(&self) -> Report {
         let mut r = self.clone();
         for stat in r.timers.values_mut() {
@@ -225,6 +301,11 @@ impl Report {
                 count: stat.count,
                 ..TimerStat::default()
             };
+        }
+        for (name, hist) in r.hists.iter_mut() {
+            if name.ends_with("_ns") {
+                *hist = hist.without_values();
+            }
         }
         r
     }
@@ -254,6 +335,7 @@ impl fmt::Display for Report {
             .keys()
             .chain(self.gauges.keys())
             .chain(self.timers.keys())
+            .chain(self.hists.keys())
             .map(String::len)
             .max()
             .unwrap_or(0)
@@ -278,6 +360,20 @@ impl fmt::Display for Report {
             writeln!(f, "gauges:")?;
             for (k, v) in &self.gauges {
                 writeln!(f, "  {k:width$}  {v:>12}")?;
+            }
+        }
+        if !self.hists.is_empty() {
+            writeln!(f, "hists:")?;
+            for (k, h) in &self.hists {
+                writeln!(
+                    f,
+                    "  {k:width$}  x{:<8} p50/p90/p99 {}/{}/{} max {}",
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.max(),
+                )?;
             }
         }
         if !self.timers.is_empty() {
@@ -387,6 +483,58 @@ mod tests {
             .unwrap()
             .config
             .is_empty());
+    }
+
+    #[test]
+    fn hists_section_roundtrips_and_is_elided_when_empty() {
+        let plain = sample();
+        assert!(
+            !plain.to_json().contains("\"hists\""),
+            "empty hists keeps the historical shape"
+        );
+        let mut r = sample();
+        let mut lag = Histogram::new();
+        for v in [10, 10, 900] {
+            lag.record(v);
+        }
+        r.hists.insert("worker.0.commit_lag_ns".into(), lag);
+        let mut width = Histogram::new();
+        width.record(2);
+        r.hists.insert("explore.step.enabled_width".into(), width);
+        let json = r.to_json();
+        assert!(json.contains("\"hists\""), "{json}");
+        assert!(json.contains("\"p50\": 15"), "bucket upper bound: {json}");
+        assert!(json.contains("\"p99\": 900"), "clamped to max: {json}");
+        assert!(json.contains("\"buckets\": [[4, 2], [10, 1]]"), "{json}");
+        let parsed = Report::from_json(&json).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), json);
+        // Old readers ignore the section; new readers tolerate absence.
+        assert!(Report::from_json(&plain.to_json())
+            .unwrap()
+            .hists
+            .is_empty());
+        assert!(Report::from_json("{\"hists\": {\"x\": {\"count\": 1}}}").is_err());
+    }
+
+    #[test]
+    fn without_timings_neutralizes_only_duration_hists() {
+        let mut a = sample();
+        let mut b = sample();
+        for (r, ns) in [(&mut a, 100), (&mut b, 70_000)] {
+            let mut h = Histogram::new();
+            h.record(ns);
+            r.hists.insert("explore.step.apply_ns".into(), h);
+            let mut w = Histogram::new();
+            w.record(3);
+            r.hists.insert("explore.step.enabled_width".into(), w);
+        }
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(a.without_timings().to_json(), b.without_timings().to_json());
+        let stripped = a.without_timings();
+        assert_eq!(stripped.hists["explore.step.apply_ns"].count(), 1);
+        assert_eq!(stripped.hists["explore.step.apply_ns"].sum(), 0);
+        assert_eq!(stripped.hists["explore.step.enabled_width"].max(), 3);
     }
 
     #[test]

@@ -374,6 +374,101 @@ fn phase_partition_holds_with_incremental_checking_on() {
 }
 
 #[test]
+fn openmetrics_serialisation_matches_golden() {
+    // `render_openmetrics` is a pure function of the snapshot series
+    // with rigid family/sample ordering; a fixed mix — a plain counter,
+    // a worker-labelled family, a gauge, a key appearing mid-series —
+    // must serialise byte-for-byte to the checked-in golden, and that
+    // golden must pass the format's own linter.
+    use gem::obs::{lint_openmetrics, render_openmetrics, SeriesSnapshot};
+    use std::collections::BTreeMap;
+    let snaps = vec![
+        SeriesSnapshot {
+            at_ms: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        },
+        SeriesSnapshot {
+            at_ms: 1000,
+            counters: BTreeMap::from([
+                ("explore.runs".to_owned(), 7),
+                ("worker.0.steps".to_owned(), 12),
+                ("worker.1.steps".to_owned(), 9),
+            ]),
+            gauges: BTreeMap::from([("estimate.total_runs".to_owned(), 40)]),
+        },
+        SeriesSnapshot {
+            at_ms: 2500,
+            counters: BTreeMap::from([
+                ("explore.runs".to_owned(), 21),
+                ("verify.deadlocks".to_owned(), 1),
+                ("worker.0.steps".to_owned(), 30),
+                ("worker.1.steps".to_owned(), 28),
+            ]),
+            gauges: BTreeMap::from([
+                ("estimate.total_runs".to_owned(), 40),
+                ("explore.depth".to_owned(), 6),
+            ]),
+        },
+    ];
+    let got = render_openmetrics(&snaps);
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/openmetrics.om");
+    let want = std::fs::read_to_string(&golden).expect("golden file");
+    assert_eq!(
+        got, want,
+        "OpenMetrics serialisation drifted from tests/golden/openmetrics.om"
+    );
+    let summary = lint_openmetrics(&got).expect("golden must lint clean");
+    assert_eq!(summary.snapshots, 3);
+    assert!(summary.families >= 5, "{summary:?}");
+}
+
+#[test]
+fn probed_parallel_verify_feeds_a_lintable_series() {
+    // End-to-end: a SeriesProbe riding a parallel verify must yield an
+    // exposition that lints clean, with the worker-labelled families
+    // present and the final explore.runs total agreeing with the
+    // verifier.
+    use gem::lang::Explorer;
+    use gem::obs::{lint_openmetrics, render_openmetrics, SeriesProbe};
+    use std::time::Duration;
+    let probe = Arc::new(SeriesProbe::new(Duration::from_secs(3600)));
+    let sys = rw_program(readers_writers_monitor(), 1, 1, false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr = rw_correspondence(&sys, &spec, false);
+    let outcome = verify_system(
+        &sys,
+        &spec,
+        &corr,
+        |state| sys.computation(state).expect("acyclic"),
+        &VerifyOptions {
+            probe: probe.clone(),
+            explorer: Explorer {
+                jobs: 4,
+                split_depth: 3,
+                ..Explorer::default()
+            },
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("projection");
+    assert!(outcome.ok(), "{outcome}");
+    probe.finish();
+    let snaps = probe.snapshots();
+    assert!(snaps.len() >= 2, "baseline + final");
+    let last = snaps.last().expect("final snapshot");
+    assert_eq!(last.counters["explore.runs"], outcome.runs as u64);
+    let text = render_openmetrics(&snaps);
+    let summary = lint_openmetrics(&text).expect("exposition must lint clean");
+    assert!(summary.snapshots >= 2, "{summary:?}");
+    assert!(
+        text.contains("gem_worker_leaves_total{worker=\"0\"}"),
+        "worker-labelled families missing:\n{text}"
+    );
+}
+
+#[test]
 fn noop_probe_leaves_ambient_inactive() {
     // The default options use a NoopProbe; the ambient layer must stay
     // uninstalled so deep layers keep their fast path.

@@ -392,37 +392,82 @@ fn dedup_outcome_identical_on_failing_instance() {
     );
 }
 
-/// Drops the measured fields from a serialized stats report, keeping
-/// timer names and entry counts: `"name" {"count": 3, "total_ns": …}`
-/// becomes `"name" {"count": 3`. Everything else — counters, gauges,
-/// meta — is left byte-for-byte intact (the file-level analogue of
-/// `Report::without_timings`).
-fn strip_timings(json: &str) -> String {
-    json.lines()
-        .map(|line| match line.find(", \"total_ns\":") {
-            Some(cut) if line.starts_with("    \"") => &line[..cut],
-            _ => line,
-        })
-        .collect::<Vec<_>>()
-        .join("\n")
+/// Removes the deliberately jobs-dependent attribution telemetry from a
+/// report: `worker.<k>.*` counters and histograms, the
+/// frontier-vs-worker step split, and the undo-depth histogram (the
+/// frontier walk clones instead of undoing, so its sample count differs
+/// from serial). `explore.step.enabled_width` stays — it is a
+/// deterministic, jobs-invariant histogram, so it participates in the
+/// byte-comparison; `explore.step.apply_ns` stays too because
+/// `without_timings` reduces `_ns` histograms to their (jobs-invariant)
+/// sample counts.
+fn strip_attribution(report: &mut gem::obs::Report) {
+    report
+        .counters
+        .retain(|k, _| !k.starts_with("worker.") && !k.starts_with("explore.frontier."));
+    report
+        .hists
+        .retain(|k, _| !k.starts_with("worker.") && k != "explore.step.undo_depth");
+    report.timers.retain(|k, _| !k.starts_with("worker."));
 }
 
-/// Drops the one config line that *should* differ across the sweep: the
-/// self-describing report records the worker count it ran with, which is
-/// exactly the parameter this differential varies on purpose.
-fn strip_jobs_config(json: &str) -> String {
-    json.lines()
-        .filter(|line| !line.trim_start().starts_with("\"jobs\":"))
-        .collect::<Vec<_>>()
-        .join("\n")
+/// Sums one `worker.<k>.<suffix>` counter family across workers.
+fn worker_sum(report: &gem::obs::Report, suffix: &str) -> u64 {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("worker.") && k.ends_with(suffix))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+/// The worker-attribution sum identities on an exhaustive sweep: every
+/// leaf is claimed by exactly one worker, and every DFS edge is walked
+/// exactly once — by the frontier builder or by one worker.
+fn assert_attribution_sums(report: &gem::obs::Report, what: &str) {
+    let runs = report.counters["explore.runs"];
+    let steps = report.counters["explore.steps"];
+    assert_eq!(
+        worker_sum(report, ".leaves"),
+        runs,
+        "{what}: worker leaves must sum to explore.runs"
+    );
+    let frontier_steps = report
+        .counters
+        .get("explore.frontier.steps")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(
+        frontier_steps + worker_sum(report, ".steps"),
+        steps,
+        "{what}: frontier + worker steps must sum to explore.steps"
+    );
+    assert!(
+        report
+            .hists
+            .keys()
+            .any(|k| k.starts_with("worker.") && k.ends_with(".commit_lag_ns")),
+        "{what}: commit-lag histograms missing"
+    );
+}
+
+/// Strips the attribution telemetry and the config line that *should*
+/// differ (the report records the worker count it ran with — exactly the
+/// parameter the differential varies), then drops measured timings.
+fn comparable_json(mut report: gem::obs::Report) -> String {
+    strip_attribution(&mut report);
+    report.config.remove("jobs");
+    report.without_timings().to_json()
 }
 
 #[test]
 fn cli_stats_json_identical_across_jobs() {
     // The full CLI path: `gem verify rw … --jobs N --stats-json <file>`
-    // must print the same verdict and write the same report (modulo
-    // timing measurements and the config block's own record of the
-    // worker count) for every worker count.
+    // must print the same verdict and aggregate the same report for
+    // every worker count — modulo timing measurements, the config
+    // block's record of the worker count, and the per-worker
+    // attribution telemetry, which is *about* the worker split and is
+    // held to its sum identities instead of byte equality.
     let dir = std::env::temp_dir().join(format!("gem-par-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     let run_at = |jobs: usize| {
@@ -441,20 +486,36 @@ fn cli_stats_json_identical_across_jobs() {
         .map(|s| (*s).to_owned())
         .collect();
         let stdout = gem_cli::run(&args).expect("cli run");
-        let report = std::fs::read_to_string(&path).expect("stats file written");
+        let json = std::fs::read_to_string(&path).expect("stats file written");
+        let report = gem::obs::Report::from_json(&json).expect("parseable report");
         (stdout, report)
     };
-    let (serial_out, serial_json) = run_at(1);
+    let (serial_out, serial_report) = run_at(1);
     assert!(
-        serial_json.contains("\"explore.runs\""),
-        "report carries explorer counters:\n{serial_json}"
+        serial_report.counters.contains_key("explore.runs"),
+        "report carries explorer counters"
     );
+    // Step-cost attribution flows in serial sweeps too.
+    for hist in [
+        "explore.step.enabled_width",
+        "explore.step.apply_ns",
+        "explore.step.undo_depth",
+    ] {
+        assert!(
+            serial_report.hists.contains_key(hist),
+            "serial report missing {hist} histogram"
+        );
+    }
+    let serial_comparable = comparable_json(serial_report);
     for jobs in job_counts() {
-        let (par_out, par_json) = run_at(jobs);
+        let (par_out, par_report) = run_at(jobs);
         assert_eq!(serial_out, par_out, "stdout diverges at --jobs {jobs}");
+        if jobs > 1 {
+            assert_attribution_sums(&par_report, &format!("--jobs {jobs}"));
+        }
         assert_eq!(
-            strip_jobs_config(&strip_timings(&serial_json)),
-            strip_jobs_config(&strip_timings(&par_json)),
+            serial_comparable,
+            comparable_json(par_report),
             "stats report diverges at --jobs {jobs}"
         );
     }
@@ -511,12 +572,15 @@ fn phase_profile_aggregation_identical_across_jobs() {
             "serial report missing {phase} timer"
         );
     }
-    let serial_stripped = serial.without_timings().to_json();
+    let serial_stripped = comparable_json(serial);
     for jobs in job_counts() {
         let par = report_at(jobs);
+        if jobs > 1 {
+            assert_attribution_sums(&par, &format!("profile jobs={jobs}"));
+        }
         assert_eq!(
             serial_stripped,
-            par.without_timings().to_json(),
+            comparable_json(par),
             "phase aggregation diverges at jobs={jobs}"
         );
     }
