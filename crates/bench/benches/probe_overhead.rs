@@ -13,12 +13,19 @@
 //!   the cost `--artifacts` opts into.
 //! * `sweep_noop` / `sweep_recorder` — a small full exploration sweep
 //!   under each probe; the delta is the real-world recorder overhead.
+//! * `expr_eval/{interpreted,compiled}` — 1000 evaluations of a mixed
+//!   arithmetic/boolean expression through the tree-walking
+//!   `Expr::eval` over a `VarStore` vs the postfix Code IR over slot
+//!   vectors (ISSUE 10): the per-step win the `--compile` path is built
+//!   on, pinned at micro scale.
 
 use std::ops::ControlFlow;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_core::Value;
+use gem_lang::code::{ExprPool, SlotLayout};
 use gem_lang::monitor::{readers_writers_monitor, SignalSemantics};
-use gem_lang::Explorer;
+use gem_lang::{Explorer, Expr, VarStore};
 use gem_obs::{NoopProbe, Probe, RecorderProbe, StatsProbe};
 use gem_problems::readers_writers::rw_program_with_semantics;
 
@@ -90,6 +97,49 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 .par_for_each_run_probed(&sys, &sweep_recorder, |_, _| ControlFlow::Continue(()))
         });
     });
+
+    // The guard/assignment shape the simulators evaluate per step:
+    // `(rd = 0 && wr = 0) || (n + 1) * 2 > cap`.
+    let expr = Expr::var("rd")
+        .eq(Expr::int(0))
+        .and(Expr::var("wr").eq(Expr::int(0)))
+        .or(Expr::var("n")
+            .add(Expr::int(1))
+            .mul(Expr::int(2))
+            .gt(Expr::var("cap")));
+    let mut store = VarStore::new();
+    for (name, v) in [("rd", 1), ("wr", 0), ("n", 3), ("cap", 8)] {
+        store.set(name, Value::Int(v));
+    }
+    group.bench_with_input(
+        BenchmarkId::new("expr_eval/interpreted", 1000),
+        &1000u32,
+        |b, &n| {
+            b.iter(|| {
+                for _ in 0..n {
+                    expr.eval(&store).expect("well-typed");
+                }
+            });
+        },
+    );
+    let mut locals = SlotLayout::new();
+    for name in ["rd", "wr", "n", "cap"] {
+        locals.intern(name);
+    }
+    let mut pool = ExprPool::new();
+    let id = pool.compile(&expr, &locals, &SlotLayout::new());
+    let lslots: Vec<Option<Value>> = [1, 0, 3, 8].map(|v| Some(Value::Int(v))).to_vec();
+    group.bench_with_input(
+        BenchmarkId::new("expr_eval/compiled", 1000),
+        &1000u32,
+        |b, &n| {
+            b.iter(|| {
+                for _ in 0..n {
+                    pool.eval(id, &[], &lslots).expect("well-typed");
+                }
+            });
+        },
+    );
     group.finish();
 }
 

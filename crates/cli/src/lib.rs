@@ -73,7 +73,7 @@ use std::time::Duration;
 
 use gem_lang::monitor::readers_writers_monitor;
 use gem_lang::monitor::SignalSemantics;
-use gem_lang::{Explorer, System};
+use gem_lang::{CompileMode, Explorer, System};
 use gem_obs::json::JsonValue;
 use gem_obs::{
     fingerprint_words, install_crash_sink, write_atomic, ChromeTraceProbe, CollapseEstimator,
@@ -374,6 +374,7 @@ struct ObsFlags {
     por: bool,
     auto: bool,
     incr_check: IncrCheck,
+    compile: CompileMode,
     explain: bool,
     artifacts: Option<String>,
     recorder_cap: Option<usize>,
@@ -385,7 +386,7 @@ struct ObsFlags {
 
 /// Splits `--stats` / `--stats-json` / `--trace` / `--trace-out` /
 /// `--heartbeat` / `--jobs` / `--dedup` / `--por` / `--incr-check` /
-/// `--explain` / `--artifacts` / `--recorder-cap` / `--json` (either `--flag value`
+/// `--compile` / `--explain` / `--artifacts` / `--recorder-cap` / `--json` (either `--flag value`
 /// or `--flag=value`) out of `args`, leaving positional arguments and
 /// `key=value` parameters untouched.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
@@ -455,6 +456,19 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
                     other => {
                         return Err(err(format!(
                             "--incr-check must be auto, on, or off, got {other:?}"
+                        )))
+                    }
+                };
+            }
+            "--compile" => {
+                let v = value("--compile")?;
+                flags.compile = match v.as_str() {
+                    "auto" => CompileMode::Auto,
+                    "on" => CompileMode::On,
+                    "off" => CompileMode::Off,
+                    other => {
+                        return Err(err(format!(
+                            "--compile must be auto, on, or off, got {other:?}"
                         )))
                     }
                 };
@@ -667,6 +681,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             .to_owned(),
         );
+        report
+            .config
+            .insert("compile".to_owned(), flags.compile.as_str().to_owned());
         // `verify --auto` records its decision and the full estimator
         // evidence, so a strategy choice is always auditable from the
         // stats report alone.
@@ -816,7 +833,37 @@ fn dispatch(args: &[String], obs: &ObsSetup, flags: &mut ObsFlags) -> Result<Str
                 .split_first()
                 .ok_or_else(|| err(format!("{cmd} needs a problem name; try `gem list`")))?;
             let params = Params::parse(raw_params)?;
-            let inst = instance(problem, &params)?;
+            let mut inst = instance(problem, &params)?;
+            // Compiled step execution is the default; `--compile off`
+            // falls back to the tree-walking interpreter (the
+            // differential oracle). Outputs are identical either way.
+            let compile_on = flags.compile.enabled();
+            let code_stats = match &mut inst {
+                Instance::Monitor { sys, .. } => {
+                    sys.set_compile(compile_on);
+                    sys.code_stats()
+                }
+                Instance::Csp { sys, .. } => {
+                    sys.set_compile(compile_on);
+                    sys.code_stats()
+                }
+                Instance::Ada { sys, .. } => {
+                    sys.set_compile(compile_on);
+                    sys.code_stats()
+                }
+            };
+            if compile_on {
+                probe.add("code.exprs", code_stats.exprs);
+                probe.add("code.ops", code_stats.ops);
+                probe.add("code.consts", code_stats.consts);
+                probe.add("code.programs", code_stats.programs);
+                probe.add("code.slots", code_stats.slots);
+                // A measured wall-clock value: recorded as a `_ns`
+                // histogram (one sample), not a counter, so reports
+                // stay deterministic under `without_timings()`.
+                probe.record("explore.compile_ns", code_stats.compile_ns);
+            }
+            let inst = inst;
             match cmd.as_str() {
                 "render" => {
                     let spec = match &inst {
@@ -2028,6 +2075,9 @@ pub fn usage() -> String {
      \x20                            DFS tree: auto (default; on when the spec\n\
      \x20                            is in the supported fragment), on, off;\n\
      \x20                            verdicts identical in every mode\n\
+     \x20 --compile <mode>           step execution: auto (default, compiled\n\
+     \x20                            slot/IR programs), on, off (tree-walking\n\
+     \x20                            interpreter); outputs byte-identical\n\
      \x20 --auto                     on verify: sample the instance and pick\n\
      \x20                            plain/dedup/por from the estimated collapse\n\
      \x20                            ratio and oracle grant rate (overrides\n\

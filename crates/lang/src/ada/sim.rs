@@ -30,7 +30,9 @@ use gem_core::{
 
 use crate::ada::def::{AcceptArm, AdaProgram, AdaStmt, SelectBranch};
 use crate::ast::VarStore;
+use crate::code::{CodeStats, CondKind, ExprId, ExprPool, SlotLayout};
 use crate::explore::System;
+use std::time::Instant;
 
 /// A compiled ADA program ready to execute.
 #[derive(Clone, Debug)]
@@ -46,6 +48,266 @@ pub struct AdaSystem {
     flow_els: Vec<ElementId>,
     entry_els: Vec<BTreeMap<String, ElementId>>,
     var_els: Vec<BTreeMap<String, ElementId>>,
+    /// Compiled per-task programs (built unconditionally; `compiled`
+    /// selects the execution path).
+    code: Arc<AdaCode>,
+    /// Execute compiled programs (default) or the tree-walking
+    /// interpreter (the differential oracle).
+    compiled: bool,
+}
+
+/// Compiled form of an ADA program: slot-resolved task-local scopes,
+/// postfix expression code, flat statement programs with rendezvous-body
+/// regions, and interned task-name values.
+#[derive(Clone, Debug)]
+struct AdaCode {
+    pool: ExprPool,
+    progs: Vec<AProg>,
+    /// `Value::Str(task_name)` per task, cloned into `Call` / `Accept` /
+    /// `Complete` params instead of re-allocating the name per emit.
+    name_values: Vec<Value>,
+    stats: CodeStats,
+}
+
+/// One task body as a flat program.
+#[derive(Clone, Debug)]
+struct AProg {
+    ops: Vec<AOp>,
+    /// Local scope: declared locals plus every accept-arm formal.
+    locals: SlotLayout,
+    /// Initial slot values (declared locals bound, formals unbound).
+    init: Vec<Option<Value>>,
+    /// Every accept arm of the task, indexed by [`AOp::Accept`] /
+    /// [`AOp::Select`].
+    arms: Vec<ArmTpl>,
+}
+
+/// A compiled accept arm: everything a rendezvous needs without touching
+/// the statement tree.
+#[derive(Clone, Debug)]
+struct ArmTpl {
+    entry: String,
+    entry_el: ElementId,
+    /// Slots the queued call's arguments bind to.
+    param_slots: Vec<u32>,
+    /// Start of the body region (runs to [`AOp::EndBody`]).
+    body_pc: u32,
+    /// Where the callee resumes once the rendezvous completes.
+    cont_pc: u32,
+}
+
+/// One flat ADA instruction.
+#[derive(Clone, Debug)]
+enum AOp {
+    /// Evaluate and bind a declared local, emitting `Assign`.
+    Assign {
+        slot: u32,
+        el: ElementId,
+        expr: ExprId,
+    },
+    /// Assignment to an undeclared local: evaluate (surfacing expression
+    /// errors first, like the interpreter), then panic.
+    AssignUnknown {
+        name: String,
+        expr: ExprId,
+    },
+    /// `IF`/`WHILE` condition: fall through when true, jump when false.
+    JumpIfFalse {
+        cond: ExprId,
+        target: u32,
+        kind: CondKind,
+    },
+    Jump(u32),
+    /// An entry call. The pc parks here through `ReadyToCall` and
+    /// `InCall`; the rendezvous advances it when `Returned` fires.
+    Call {
+        callee: usize,
+        entry: String,
+        entry_el: ElementId,
+        args: Vec<ExprId>,
+        /// `[Str(callee_name), Str(entry)]`, the params of both the
+        /// `CallSent` and the `Returned` events.
+        callee_params: [Value; 2],
+    },
+    /// Block on one accept arm.
+    Accept(u32),
+    /// Evaluate guards, block on the open arms.
+    Select(Vec<(Option<ExprId>, u32)>),
+    /// End of a rendezvous-body region.
+    EndBody,
+    /// Task body finished.
+    End,
+}
+
+fn patch_ajump(ops: &mut [AOp], at: usize, to: u32) {
+    match &mut ops[at] {
+        AOp::JumpIfFalse { target, .. } | AOp::Jump(target) => *target = to,
+        other => unreachable!("patching non-jump {other:?}"),
+    }
+}
+
+/// Interns every accept-arm formal of `stmts` into `layout`, so formals
+/// have slots before any expression referencing them compiles.
+fn collect_arm_params(stmts: &[AdaStmt], layout: &mut SlotLayout) {
+    for st in stmts {
+        match st {
+            AdaStmt::Accept(arm) => {
+                for p in &arm.params {
+                    layout.intern(p);
+                }
+                collect_arm_params(&arm.body, layout);
+            }
+            AdaStmt::Select(branches) => {
+                for b in branches {
+                    for p in &b.accept.params {
+                        layout.intern(p);
+                    }
+                    collect_arm_params(&b.accept.body, layout);
+                }
+            }
+            AdaStmt::If(_, a, b) => {
+                collect_arm_params(a, layout);
+                collect_arm_params(b, layout);
+            }
+            AdaStmt::While(_, b) => collect_arm_params(b, layout),
+            AdaStmt::Assign(..) | AdaStmt::EntryCall { .. } => {}
+        }
+    }
+}
+
+/// Compiles one task body into a flat [`AOp`] program.
+struct AdaCompiler<'a> {
+    pool: &'a mut ExprPool,
+    locals: &'a SlotLayout,
+    /// Empty: ADA tasks share no variables.
+    globals: &'a SlotLayout,
+    var_els: &'a BTreeMap<String, ElementId>,
+    entry_els: &'a [BTreeMap<String, ElementId>],
+    program: &'a AdaProgram,
+    tid: usize,
+    ops: Vec<AOp>,
+    arms: Vec<ArmTpl>,
+    /// Arm bodies compiled into regions after `End` (validation already
+    /// rejected nested rendezvous, so this drains in one pass).
+    pending: Vec<(usize, &'a [AdaStmt])>,
+}
+
+impl<'a> AdaCompiler<'a> {
+    fn expr(&mut self, e: &crate::ast::Expr) -> ExprId {
+        self.pool.compile(e, self.locals, self.globals)
+    }
+
+    fn arm(&mut self, arm: &'a AcceptArm, cont_pc: u32) -> u32 {
+        let idx = self.arms.len() as u32;
+        let param_slots = arm
+            .params
+            .iter()
+            .map(|p| self.locals.get(p).expect("formals interned"))
+            .collect();
+        self.arms.push(ArmTpl {
+            entry: arm.entry.clone(),
+            entry_el: self.entry_els[self.tid][&arm.entry],
+            param_slots,
+            body_pc: 0, // patched in finish()
+            cont_pc,
+        });
+        self.pending.push((idx as usize, &arm.body));
+        idx
+    }
+
+    fn compile(&mut self, stmts: &'a [AdaStmt]) {
+        for st in stmts {
+            match st {
+                AdaStmt::Assign(var, expr) => {
+                    let expr = self.expr(expr);
+                    match (self.locals.get(var), self.var_els.get(var)) {
+                        (Some(slot), Some(&el)) => {
+                            self.ops.push(AOp::Assign { slot, el, expr });
+                        }
+                        _ => self.ops.push(AOp::AssignUnknown {
+                            name: var.clone(),
+                            expr,
+                        }),
+                    }
+                }
+                AdaStmt::If(cond, then_branch, else_branch) => {
+                    let cond = self.expr(cond);
+                    let jf = self.ops.len();
+                    self.ops.push(AOp::JumpIfFalse {
+                        cond,
+                        target: 0,
+                        kind: CondKind::If,
+                    });
+                    self.compile(then_branch);
+                    if else_branch.is_empty() {
+                        let end = self.ops.len() as u32;
+                        patch_ajump(&mut self.ops, jf, end);
+                    } else {
+                        let j = self.ops.len();
+                        self.ops.push(AOp::Jump(0));
+                        let else_start = self.ops.len() as u32;
+                        patch_ajump(&mut self.ops, jf, else_start);
+                        self.compile(else_branch);
+                        let end = self.ops.len() as u32;
+                        patch_ajump(&mut self.ops, j, end);
+                    }
+                }
+                AdaStmt::While(cond, body) => {
+                    let head = self.ops.len() as u32;
+                    let cond = self.expr(cond);
+                    let jf = self.ops.len();
+                    self.ops.push(AOp::JumpIfFalse {
+                        cond,
+                        target: 0,
+                        kind: CondKind::While,
+                    });
+                    self.compile(body);
+                    self.ops.push(AOp::Jump(head));
+                    let end = self.ops.len() as u32;
+                    patch_ajump(&mut self.ops, jf, end);
+                }
+                AdaStmt::EntryCall { task, entry, args } => {
+                    let callee = self.program.task_index(task).expect("validated");
+                    let args = args.iter().map(|a| self.expr(a)).collect();
+                    self.ops.push(AOp::Call {
+                        callee,
+                        entry: entry.clone(),
+                        entry_el: self.entry_els[callee][entry],
+                        args,
+                        callee_params: [Value::Str(task.clone()), Value::Str(entry.clone())],
+                    });
+                }
+                AdaStmt::Accept(arm) => {
+                    let cont = self.ops.len() as u32 + 1;
+                    let idx = self.arm(arm, cont);
+                    self.ops.push(AOp::Accept(idx));
+                }
+                AdaStmt::Select(branches) => {
+                    let cont = self.ops.len() as u32 + 1;
+                    let arms = branches
+                        .iter()
+                        .map(|b| {
+                            let guard = b.guard.as_ref().map(|g| self.expr(g));
+                            (guard, self.arm(&b.accept, cont))
+                        })
+                        .collect();
+                    self.ops.push(AOp::Select(arms));
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> (Vec<AOp>, Vec<ArmTpl>) {
+        self.ops.push(AOp::End);
+        let pending = std::mem::take(&mut self.pending);
+        for (idx, body) in pending {
+            let body_pc = self.ops.len() as u32;
+            self.compile(body);
+            self.ops.push(AOp::EndBody);
+            self.arms[idx].body_pc = body_pc;
+        }
+        (self.ops, self.arms)
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -57,6 +319,9 @@ enum TStatus {
     InCall,
     /// Blocked at accept/select with the given open arms.
     AtAccept(Vec<AcceptArm>),
+    /// Compiled mode: blocked at accept/select with the given open arm
+    /// indices into the task's [`AProg::arms`].
+    AtAcceptC(Vec<u32>),
     /// Task body finished.
     Done,
 }
@@ -65,6 +330,10 @@ enum TStatus {
 struct TaskState {
     locals: VarStore,
     frames: Vec<VecDeque<AdaStmt>>,
+    /// Compiled mode: slot-indexed locals (unbound = `None`).
+    lslots: Vec<Option<Value>>,
+    /// Compiled mode: program counter into the task's [`AProg`].
+    pc: u32,
     status: TStatus,
     last: Option<EventId>,
 }
@@ -84,6 +353,10 @@ pub struct AdaState {
     tasks: Vec<TaskState>,
     /// Entry queues: `(task, entry) → FIFO of queued calls`.
     queues: BTreeMap<(usize, String), VecDeque<QueuedCall>>,
+    /// Shared handle to the compiled code, so accessors can translate
+    /// names to slots without the system in hand.
+    code: Arc<AdaCode>,
+    compiled: bool,
 }
 
 /// Rollback record for the exploration fast path: task control state and
@@ -215,6 +488,63 @@ impl AdaSystem {
             check(&program, &t.name, &t.body, false);
         }
 
+        // Compile: slot-resolve each task's locals and flatten its body
+        // (plus rendezvous-body regions) into a jump-threaded program.
+        let t0 = Instant::now();
+        let empty = SlotLayout::new();
+        let mut pool = ExprPool::default();
+        let mut progs = Vec::with_capacity(program.tasks.len());
+        for (tid, t) in program.tasks.iter().enumerate() {
+            let mut locals = SlotLayout::new();
+            for (n, _) in &t.locals {
+                locals.intern(n);
+            }
+            collect_arm_params(&t.body, &mut locals);
+            let mut init = vec![None; locals.len()];
+            for (n, v) in &t.locals {
+                init[locals.get(n).expect("interned") as usize] = Some(v.clone());
+            }
+            let mut c = AdaCompiler {
+                pool: &mut pool,
+                locals: &locals,
+                globals: &empty,
+                var_els: &var_els[tid],
+                entry_els: &entry_els,
+                program: &program,
+                tid,
+                ops: Vec::new(),
+                arms: Vec::new(),
+                pending: Vec::new(),
+            };
+            c.compile(&t.body);
+            let (ops, arms) = c.finish();
+            progs.push(AProg {
+                ops,
+                locals,
+                init,
+                arms,
+            });
+        }
+        let name_values: Vec<Value> = program
+            .tasks
+            .iter()
+            .map(|t| Value::Str(t.name.clone()))
+            .collect();
+        let stats = CodeStats {
+            exprs: pool.expr_count() as u64,
+            ops: (pool.op_count() + progs.iter().map(|p| p.ops.len()).sum::<usize>()) as u64,
+            consts: pool.const_count() as u64,
+            programs: progs.len() as u64,
+            slots: progs.iter().map(|p| p.locals.len()).sum::<usize>() as u64,
+            compile_ns: t0.elapsed().as_nanos() as u64,
+        };
+        let code = Arc::new(AdaCode {
+            pool,
+            progs,
+            name_values,
+            stats,
+        });
+
         Self {
             program,
             structure: Arc::new(s),
@@ -227,7 +557,27 @@ impl AdaSystem {
             flow_els,
             entry_els,
             var_els,
+            code,
+            compiled: true,
         }
+    }
+
+    /// Switch between compiled execution (default) and the tree-walking
+    /// interpreter.
+    pub fn set_compile(&mut self, on: bool) {
+        self.compiled = on;
+    }
+
+    /// Builder-style [`AdaSystem::set_compile`].
+    #[must_use]
+    pub fn with_compile(mut self, on: bool) -> Self {
+        self.set_compile(on);
+        self
+    }
+
+    /// Compilation statistics for this system's [code](crate::code).
+    pub fn code_stats(&self) -> CodeStats {
+        self.code.stats
     }
 
     /// The program being executed.
@@ -410,6 +760,119 @@ impl AdaSystem {
             }
         }
     }
+
+    fn eval_c(&self, state: &AdaState, tid: usize, id: ExprId) -> Value {
+        self.code
+            .pool
+            .eval(id, &[], &state.tasks[tid].lslots)
+            .unwrap_or_else(|e| panic!("ADA runtime error: {e}"))
+    }
+
+    /// Compiled counterpart of [`AdaSystem::run`]: steps the flat program
+    /// until it blocks at a `Call` (pc parked on the op through
+    /// `ReadyToCall` and `InCall`; the rendezvous advances it when
+    /// `Returned` fires) or an `Accept`/`Select`, or hits `End`.
+    fn run_c(&self, state: &mut AdaState, tid: usize) {
+        let prog = &self.code.progs[tid];
+        let mut pc = state.tasks[tid].pc as usize;
+        loop {
+            match &prog.ops[pc] {
+                AOp::Assign { slot, el, expr } => {
+                    let v = self.eval_c(state, tid, *expr);
+                    state.tasks[tid].lslots[*slot as usize] = Some(v.clone());
+                    self.emit(state, tid, *el, self.assign, vec![v], &[]);
+                    pc += 1;
+                }
+                AOp::AssignUnknown { name, expr } => {
+                    // Evaluate first so expression errors surface exactly
+                    // like the interpreter's eval-then-lookup order.
+                    let _ = self.eval_c(state, tid, *expr);
+                    panic!("undeclared local {name:?}");
+                }
+                AOp::JumpIfFalse { cond, target, kind } => {
+                    let b = self
+                        .eval_c(state, tid, *cond)
+                        .as_bool()
+                        .unwrap_or_else(|| panic!("{}", kind.expect_msg()));
+                    pc = if b { pc + 1 } else { *target as usize };
+                }
+                AOp::Jump(t) => pc = *t as usize,
+                AOp::Call { .. } => {
+                    state.tasks[tid].pc = pc as u32;
+                    state.tasks[tid].status = TStatus::ReadyToCall;
+                    return;
+                }
+                AOp::Accept(arm) => {
+                    state.tasks[tid].pc = pc as u32;
+                    state.tasks[tid].status = TStatus::AtAcceptC(vec![*arm]);
+                    return;
+                }
+                AOp::Select(arms) => {
+                    let mut open = Vec::new();
+                    for (guard, idx) in arms {
+                        let is_open = match guard {
+                            None => true,
+                            Some(g) => self
+                                .eval_c(state, tid, *g)
+                                .as_bool()
+                                .expect("guard must be boolean"),
+                        };
+                        if is_open {
+                            open.push(*idx);
+                        }
+                    }
+                    assert!(
+                        !open.is_empty(),
+                        "select with all guards closed (task {:?})",
+                        self.program.tasks[tid].name
+                    );
+                    state.tasks[tid].pc = pc as u32;
+                    state.tasks[tid].status = TStatus::AtAcceptC(open);
+                    return;
+                }
+                AOp::EndBody => unreachable!("EndBody outside a rendezvous"),
+                AOp::End => {
+                    state.tasks[tid].pc = pc as u32;
+                    state.tasks[tid].status = TStatus::Done;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Compiled counterpart of [`AdaSystem::run_body`]: executes a
+    /// rendezvous-body region from `body_pc` to its `EndBody`. Validation
+    /// guarantees the region is local-only.
+    fn run_body_c(&self, state: &mut AdaState, tid: usize, body_pc: u32) {
+        let prog = &self.code.progs[tid];
+        let mut pc = body_pc as usize;
+        loop {
+            match &prog.ops[pc] {
+                AOp::Assign { slot, el, expr } => {
+                    let v = self.eval_c(state, tid, *expr);
+                    state.tasks[tid].lslots[*slot as usize] = Some(v.clone());
+                    self.emit(state, tid, *el, self.assign, vec![v], &[]);
+                    pc += 1;
+                }
+                AOp::AssignUnknown { name, expr } => {
+                    let _ = self.eval_c(state, tid, *expr);
+                    panic!("undeclared local {name:?}");
+                }
+                AOp::JumpIfFalse { cond, target, kind } => {
+                    let b = self
+                        .eval_c(state, tid, *cond)
+                        .as_bool()
+                        .unwrap_or_else(|| panic!("{}", kind.expect_msg()));
+                    pc = if b { pc + 1 } else { *target as usize };
+                }
+                AOp::Jump(t) => pc = *t as usize,
+                AOp::EndBody => return,
+                other => {
+                    unreachable!("validated: rendezvous body is local-only, found {other:?}")
+                }
+            }
+        }
+    }
 }
 
 impl System for AdaSystem {
@@ -424,21 +887,41 @@ impl System for AdaSystem {
                 .program
                 .tasks
                 .iter()
-                .map(|t| TaskState {
-                    locals: t
-                        .locals
-                        .iter()
-                        .map(|(n, v)| (n.clone(), v.clone()))
-                        .collect(),
-                    frames: vec![t.body.iter().cloned().collect()],
+                .enumerate()
+                .map(|(tid, t)| TaskState {
+                    locals: if self.compiled {
+                        VarStore::default()
+                    } else {
+                        t.locals
+                            .iter()
+                            .map(|(n, v)| (n.clone(), v.clone()))
+                            .collect()
+                    },
+                    frames: if self.compiled {
+                        Vec::new()
+                    } else {
+                        vec![t.body.iter().cloned().collect()]
+                    },
+                    lslots: if self.compiled {
+                        self.code.progs[tid].init.clone()
+                    } else {
+                        Vec::new()
+                    },
+                    pc: 0,
                     status: TStatus::Done,
                     last: None,
                 })
                 .collect(),
             queues: BTreeMap::new(),
+            code: Arc::clone(&self.code),
+            compiled: self.compiled,
         };
         for tid in 0..self.program.tasks.len() {
-            self.run(&mut state, tid);
+            if self.compiled {
+                self.run_c(&mut state, tid);
+            } else {
+                self.run(&mut state, tid);
+            }
         }
         state
     }
@@ -459,6 +942,19 @@ impl System for AdaSystem {
                         }
                     }
                 }
+                TStatus::AtAcceptC(open) => {
+                    let arms = &self.code.progs[tid].arms;
+                    for &i in open {
+                        let entry = &arms[i as usize].entry;
+                        let key = (tid, entry.clone());
+                        if state.queues.get(&key).is_some_and(|q| !q.is_empty()) {
+                            actions.push(AdaAction::Rendezvous {
+                                tid,
+                                entry: entry.clone(),
+                            });
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -471,6 +967,50 @@ impl System for AdaSystem {
         match action {
             AdaAction::IssueCall(tid) => {
                 let tid = *tid;
+                if self.compiled {
+                    let pc = state.tasks[tid].pc as usize;
+                    let AOp::Call {
+                        callee,
+                        entry,
+                        entry_el,
+                        args,
+                        callee_params,
+                    } = &self.code.progs[tid].ops[pc]
+                    else {
+                        panic!("IssueCall on a non-call statement");
+                    };
+                    let arg_values: Vec<Value> =
+                        args.iter().map(|&a| self.eval_c(state, tid, a)).collect();
+                    self.emit(
+                        state,
+                        tid,
+                        self.flow_els[tid],
+                        self.call_sent,
+                        callee_params.to_vec(),
+                        &[],
+                    );
+                    let call_ev = self.emit(
+                        state,
+                        tid,
+                        *entry_el,
+                        self.call,
+                        vec![self.code.name_values[tid].clone()],
+                        &[],
+                    );
+                    state
+                        .queues
+                        .entry((*callee, entry.clone()))
+                        .or_default()
+                        .push_back(QueuedCall {
+                            caller: tid,
+                            args: arg_values,
+                            call_event: call_ev,
+                        });
+                    // pc stays parked on the Call op until Returned.
+                    state.tasks[tid].status = TStatus::InCall;
+                    crate::explore::record_apply_ns(t0);
+                    return;
+                }
                 let AdaStmt::EntryCall { task, entry, args } = state.tasks[tid]
                     .frames
                     .last_mut()
@@ -518,6 +1058,69 @@ impl System for AdaSystem {
             }
             AdaAction::Rendezvous { tid, entry } => {
                 let tid = *tid;
+                if self.compiled {
+                    let TStatus::AtAcceptC(open) =
+                        std::mem::replace(&mut state.tasks[tid].status, TStatus::Done)
+                    else {
+                        panic!("Rendezvous on a non-accepting task");
+                    };
+                    let arms = &self.code.progs[tid].arms;
+                    let arm = open
+                        .iter()
+                        .map(|&i| &arms[i as usize])
+                        .find(|a| a.entry == *entry)
+                        .expect("entry among open arms");
+                    let queued = state
+                        .queues
+                        .get_mut(&(tid, entry.clone()))
+                        .and_then(VecDeque::pop_front)
+                        .expect("queue non-empty");
+                    let caller_param = self.code.name_values[queued.caller].clone();
+                    // Accept: enabled by the call and the callee's chain.
+                    self.emit(
+                        state,
+                        tid,
+                        arm.entry_el,
+                        self.accept,
+                        vec![caller_param.clone()],
+                        &[queued.call_event],
+                    );
+                    // Bind formals into slots and run the body region.
+                    for (&slot, v) in arm.param_slots.iter().zip(queued.args.iter()) {
+                        state.tasks[tid].lslots[slot as usize] = Some(v.clone());
+                    }
+                    self.run_body_c(state, tid, arm.body_pc);
+                    let complete_ev = self.emit(
+                        state,
+                        tid,
+                        arm.entry_el,
+                        self.complete,
+                        vec![caller_param],
+                        &[],
+                    );
+                    // Caller resumes: Returned enabled by its Call (chain)
+                    // and the Complete; params come off its parked Call op.
+                    let caller = queued.caller;
+                    let caller_pc = state.tasks[caller].pc as usize;
+                    let AOp::Call { callee_params, .. } = &self.code.progs[caller].ops[caller_pc]
+                    else {
+                        unreachable!("caller parked on its call op");
+                    };
+                    self.emit(
+                        state,
+                        caller,
+                        self.flow_els[caller],
+                        self.returned,
+                        callee_params.to_vec(),
+                        &[complete_ev],
+                    );
+                    state.tasks[caller].pc += 1;
+                    state.tasks[tid].pc = arm.cont_pc;
+                    self.run_c(state, caller);
+                    self.run_c(state, tid);
+                    crate::explore::record_apply_ns(t0);
+                    return;
+                }
                 let TStatus::AtAccept(arms) =
                     std::mem::replace(&mut state.tasks[tid].status, TStatus::Done)
                 else {
@@ -590,11 +1193,18 @@ impl System for AdaSystem {
     fn control_key(&self, state: &AdaState) -> Option<u64> {
         let mut h = DefaultHasher::new();
         for t in &state.tasks {
-            for (n, v) in t.locals.iter() {
-                n.hash(&mut h);
-                format!("{v:?}").hash(&mut h);
+            if self.compiled {
+                // Slot-indexed locals plus pc key control state exactly;
+                // no name or statement-tree hashing in the hot path.
+                format!("{:?}", t.lslots).hash(&mut h);
+                t.pc.hash(&mut h);
+            } else {
+                for (n, v) in t.locals.iter() {
+                    n.hash(&mut h);
+                    format!("{v:?}").hash(&mut h);
+                }
+                format!("{:?}", t.frames).hash(&mut h);
             }
-            format!("{:?}", t.frames).hash(&mut h);
             std::mem::discriminant(&t.status).hash(&mut h);
         }
         for ((tid, e), q) in &state.queues {
@@ -674,7 +1284,17 @@ impl AdaSystem {
     /// The `(callee index, entry name)` a `ReadyToCall` task's pending
     /// call targets, peeked from the re-queued call statement at the
     /// front of its top frame.
-    fn pending_call_target<'a>(&self, state: &'a AdaState, tid: usize) -> Option<(usize, &'a str)> {
+    fn pending_call_target<'a>(
+        &'a self,
+        state: &'a AdaState,
+        tid: usize,
+    ) -> Option<(usize, &'a str)> {
+        if self.compiled {
+            return match &self.code.progs[tid].ops[state.tasks[tid].pc as usize] {
+                AOp::Call { callee, entry, .. } => Some((*callee, entry.as_str())),
+                _ => None,
+            };
+        }
         match state.tasks[tid].frames.last()?.front()? {
             AdaStmt::EntryCall { task, entry, .. } => {
                 Some((self.program.task_index(task)?, entry.as_str()))
@@ -750,7 +1370,12 @@ impl AdaState {
 
     /// A local variable of task `tid`.
     pub fn local(&self, tid: usize, var: &str) -> Option<&Value> {
-        self.tasks[tid].locals.get(var)
+        if self.compiled {
+            let slot = self.code.progs[tid].locals.get(var)?;
+            self.tasks[tid].lslots[slot as usize].as_ref()
+        } else {
+            self.tasks[tid].locals.get(var)
+        }
     }
 }
 
@@ -947,6 +1572,101 @@ mod tests {
         });
         assert!(outcomes.contains(&(Some(Value::Int(1)), Some(Value::Int(2)))));
         assert!(outcomes.contains(&(Some(Value::Int(2)), Some(Value::Int(1)))));
+    }
+
+    /// All (fingerprint, event-count) pairs over every explored run.
+    fn fingerprints(sys: &AdaSystem) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        Explorer::default().for_each_run(sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            out.push((c.fingerprint(), state.event_count()));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let select_server = || {
+            let server = AdaTask::new(
+                "server",
+                vec![AdaStmt::While(
+                    Expr::var("served").lt(Expr::int(2)),
+                    vec![AdaStmt::Select(vec![
+                        SelectBranch {
+                            guard: Some(Expr::var("served").lt(Expr::int(2))),
+                            accept: AcceptArm {
+                                entry: "A".into(),
+                                params: vec!["x".into()],
+                                body: vec![AdaStmt::assign(
+                                    "served",
+                                    Expr::var("served").add(Expr::var("x")),
+                                )],
+                            },
+                        },
+                        SelectBranch {
+                            guard: None,
+                            accept: AcceptArm {
+                                entry: "B".into(),
+                                params: vec![],
+                                body: vec![AdaStmt::assign(
+                                    "served",
+                                    Expr::var("served").add(Expr::int(1)),
+                                )],
+                            },
+                        },
+                    ])],
+                )],
+            )
+            .entry("A")
+            .entry("B")
+            .local("served", 0i64);
+            let ca = AdaTask::new("ca", vec![AdaStmt::call("server", "A", vec![Expr::int(1)])]);
+            let cb = AdaTask::new("cb", vec![AdaStmt::call("server", "B", vec![])]);
+            AdaProgram::new().task(server).task(ca).task(cb)
+        };
+        let fifo = || {
+            let server = AdaTask::new(
+                "server",
+                vec![
+                    AdaStmt::accept_with(
+                        "E",
+                        &["x"],
+                        vec![AdaStmt::assign("first", Expr::var("x"))],
+                    ),
+                    AdaStmt::accept_with(
+                        "E",
+                        &["x"],
+                        vec![AdaStmt::assign("second", Expr::var("x"))],
+                    ),
+                ],
+            )
+            .entry("E")
+            .local("first", 0i64)
+            .local("second", 0i64);
+            let c1 = AdaTask::new("c1", vec![AdaStmt::call("server", "E", vec![Expr::int(1)])]);
+            let c2 = AdaTask::new("c2", vec![AdaStmt::call("server", "E", vec![Expr::int(2)])]);
+            AdaProgram::new().task(server).task(c1).task(c2)
+        };
+        // Deadlocking: the call is never accepted; runs truncate alike.
+        let stuck = || {
+            let server = AdaTask::new("server", vec![]).entry("E");
+            let client = AdaTask::new("client", vec![AdaStmt::call("server", "E", vec![])]);
+            AdaProgram::new().task(server).task(client)
+        };
+        for prog in [put_get_server(), select_server(), fifo(), stuck()] {
+            let compiled = fingerprints(&AdaSystem::new(prog.clone()).with_compile(true));
+            let interpreted = fingerprints(&AdaSystem::new(prog).with_compile(false));
+            assert_eq!(compiled, interpreted);
+            assert!(!compiled.is_empty());
+        }
+    }
+
+    #[test]
+    fn code_stats_populated() {
+        let sys = AdaSystem::new(put_get_server());
+        let stats = sys.code_stats();
+        assert!(stats.programs == 2 && stats.ops > 0 && stats.slots >= 2);
     }
 
     #[test]

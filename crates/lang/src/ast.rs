@@ -278,7 +278,7 @@ impl Expr {
     }
 }
 
-fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+pub(crate) fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
     use BinOp::*;
     let type_err = |a: &Value| {
         Err(RuntimeError::TypeError {

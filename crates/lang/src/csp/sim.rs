@@ -33,8 +33,10 @@ use gem_core::{
 };
 
 use crate::ast::VarStore;
+use crate::code::{CodeStats, CondKind, ExprId, ExprPool, SlotLayout};
 use crate::csp::def::{AltBranch, Comm, CspProgram, CspStmt};
 use crate::explore::System;
+use std::time::Instant;
 
 /// A compiled CSP program ready to execute.
 #[derive(Clone, Debug)]
@@ -49,6 +51,256 @@ pub struct CspSystem {
     out_els: Vec<ElementId>,
     in_els: Vec<ElementId>,
     var_els: Vec<BTreeMap<String, ElementId>>,
+    /// Compiled per-process programs (built unconditionally; `compiled`
+    /// selects the execution path).
+    code: Arc<CspCode>,
+    /// Execute compiled programs (default) or the tree-walking
+    /// interpreter (the differential oracle).
+    compiled: bool,
+}
+
+/// Compiled form of a CSP program: slot-resolved per-process local
+/// scopes, postfix expression code, flat statement programs, and
+/// interned partner-name values.
+#[derive(Clone, Debug)]
+struct CspCode {
+    pool: ExprPool,
+    progs: Vec<CProg>,
+    /// `Value::Str(process_name)` per process, cloned into `OutReq` /
+    /// `InReq` / `OutEnd` / `InEnd` params instead of re-allocating the
+    /// name on every emit (used by both execution modes).
+    name_values: Vec<Value>,
+    stats: CodeStats,
+}
+
+/// One process body as a flat program.
+#[derive(Clone, Debug)]
+struct CProg {
+    ops: Vec<COp>,
+    /// Local scope: declared locals plus every receive-target name (a
+    /// receive may bind an undeclared name, which is then readable).
+    locals: SlotLayout,
+    /// Initial slot values (declared locals bound, receive-only slots
+    /// unbound).
+    init: Vec<Option<Value>>,
+}
+
+/// A compiled communication: everything `publish_offer` needs, plus the
+/// continuation pc to resume at once the offer commits (replacing the
+/// interpreter's cloned branch-body frames).
+#[derive(Clone, Debug)]
+struct CommTpl {
+    is_send: bool,
+    partner: usize,
+    /// Send: the offered expression.
+    expr: Option<ExprId>,
+    /// Receive: the slot to bind.
+    var_slot: Option<u32>,
+    cont_pc: u32,
+}
+
+/// One guarded alternative arm.
+#[derive(Clone, Debug)]
+struct CAltArm {
+    guard: Option<ExprId>,
+    tpl: CommTpl,
+}
+
+/// One flat CSP instruction.
+#[derive(Clone, Debug)]
+enum COp {
+    /// Evaluate and bind a declared local, emitting `Assign`.
+    Assign {
+        slot: u32,
+        el: ElementId,
+        expr: ExprId,
+    },
+    /// Assignment to an undeclared local: evaluate (surfacing expression
+    /// errors first, like the interpreter), then panic.
+    AssignUnknown {
+        name: String,
+        expr: ExprId,
+    },
+    /// `IF`/`WHILE` condition: fall through when true, jump when false.
+    JumpIfFalse {
+        cond: ExprId,
+        target: u32,
+        kind: CondKind,
+    },
+    Jump(u32),
+    /// Block on a single communication offer.
+    Comm(CommTpl),
+    /// Block on the open arms of an alternative.
+    Alt(Vec<CAltArm>),
+    /// Body finished.
+    End,
+}
+
+fn patch_cjump(ops: &mut [COp], at: usize, to: u32) {
+    match &mut ops[at] {
+        COp::JumpIfFalse { target, .. } | COp::Jump(target) => *target = to,
+        other => unreachable!("patching non-jump {other:?}"),
+    }
+}
+
+/// Interns every receive-target variable of `stmts` into `layout`, so
+/// expression compilation sees a complete local scope up front (a read
+/// before the receive binds stays an `UndefinedVariable` at evaluation,
+/// exactly like the interpreter's absent key).
+fn collect_recv_targets(stmts: &[CspStmt], layout: &mut SlotLayout) {
+    for st in stmts {
+        match st {
+            CspStmt::Comm(Comm::Recv { var, .. }) => {
+                layout.intern(var);
+            }
+            CspStmt::Comm(Comm::Send { .. }) | CspStmt::Assign(..) => {}
+            CspStmt::Alt(branches) => {
+                for b in branches {
+                    if let Comm::Recv { var, .. } = &b.comm {
+                        layout.intern(var);
+                    }
+                    collect_recv_targets(&b.body, layout);
+                }
+            }
+            CspStmt::If(_, t, e) => {
+                collect_recv_targets(t, layout);
+                collect_recv_targets(e, layout);
+            }
+            CspStmt::While(_, b) => collect_recv_targets(b, layout),
+        }
+    }
+}
+
+/// Compiles one process body into a flat [`COp`] program.
+struct CspCompiler<'a> {
+    pool: &'a mut ExprPool,
+    locals: &'a SlotLayout,
+    /// Empty: CSP has no shared variables.
+    globals: &'a SlotLayout,
+    var_els: &'a BTreeMap<String, ElementId>,
+    program: &'a CspProgram,
+    ops: Vec<COp>,
+}
+
+impl CspCompiler<'_> {
+    fn expr(&mut self, e: &crate::ast::Expr) -> ExprId {
+        self.pool.compile(e, self.locals, self.globals)
+    }
+
+    fn comm_tpl(&mut self, comm: &Comm, cont_pc: u32) -> CommTpl {
+        match comm {
+            Comm::Send { to, expr } => CommTpl {
+                is_send: true,
+                partner: self.program.process_index(to).expect("validated"),
+                expr: Some(self.expr(expr)),
+                var_slot: None,
+                cont_pc,
+            },
+            Comm::Recv { from, var } => CommTpl {
+                is_send: false,
+                partner: self.program.process_index(from).expect("validated"),
+                expr: None,
+                var_slot: Some(self.locals.get(var).expect("recv targets interned")),
+                cont_pc,
+            },
+        }
+    }
+
+    fn compile(&mut self, stmts: &[CspStmt]) {
+        for st in stmts {
+            match st {
+                CspStmt::Assign(var, expr) => {
+                    let expr = self.expr(expr);
+                    match (self.locals.get(var), self.var_els.get(var)) {
+                        (Some(slot), Some(&el)) => {
+                            self.ops.push(COp::Assign { slot, el, expr });
+                        }
+                        _ => self.ops.push(COp::AssignUnknown {
+                            name: var.clone(),
+                            expr,
+                        }),
+                    }
+                }
+                CspStmt::If(cond, then_branch, else_branch) => {
+                    let cond = self.expr(cond);
+                    let jf = self.ops.len();
+                    self.ops.push(COp::JumpIfFalse {
+                        cond,
+                        target: 0,
+                        kind: CondKind::If,
+                    });
+                    self.compile(then_branch);
+                    if else_branch.is_empty() {
+                        let end = self.ops.len() as u32;
+                        patch_cjump(&mut self.ops, jf, end);
+                    } else {
+                        let j = self.ops.len();
+                        self.ops.push(COp::Jump(0));
+                        let else_start = self.ops.len() as u32;
+                        patch_cjump(&mut self.ops, jf, else_start);
+                        self.compile(else_branch);
+                        let end = self.ops.len() as u32;
+                        patch_cjump(&mut self.ops, j, end);
+                    }
+                }
+                CspStmt::While(cond, body) => {
+                    let head = self.ops.len() as u32;
+                    let cond = self.expr(cond);
+                    let jf = self.ops.len();
+                    self.ops.push(COp::JumpIfFalse {
+                        cond,
+                        target: 0,
+                        kind: CondKind::While,
+                    });
+                    self.compile(body);
+                    self.ops.push(COp::Jump(head));
+                    let end = self.ops.len() as u32;
+                    patch_cjump(&mut self.ops, jf, end);
+                }
+                CspStmt::Comm(c) => {
+                    let at = self.ops.len();
+                    let tpl = self.comm_tpl(c, at as u32 + 1);
+                    self.ops.push(COp::Comm(tpl));
+                }
+                CspStmt::Alt(branches) => {
+                    let alt_idx = self.ops.len();
+                    let arms: Vec<CAltArm> = branches
+                        .iter()
+                        .map(|b| CAltArm {
+                            guard: b.guard.as_ref().map(|g| self.expr(g)),
+                            tpl: self.comm_tpl(&b.comm, 0),
+                        })
+                        .collect();
+                    self.ops.push(COp::Alt(arms));
+                    // Branch-body regions follow the op; each ends with a
+                    // jump to the common continuation. Empty bodies point
+                    // straight at the continuation.
+                    let mut body_starts: Vec<Option<u32>> = Vec::new();
+                    let mut region_jumps = Vec::new();
+                    for b in branches {
+                        if b.body.is_empty() {
+                            body_starts.push(None);
+                            continue;
+                        }
+                        body_starts.push(Some(self.ops.len() as u32));
+                        self.compile(&b.body);
+                        region_jumps.push(self.ops.len());
+                        self.ops.push(COp::Jump(0));
+                    }
+                    let cont = self.ops.len() as u32;
+                    for j in region_jumps {
+                        patch_cjump(&mut self.ops, j, cont);
+                    }
+                    let COp::Alt(arms) = &mut self.ops[alt_idx] else {
+                        unreachable!("alt op at recorded index");
+                    };
+                    for (arm, start) in arms.iter_mut().zip(body_starts) {
+                        arm.tpl.cont_pc = start.unwrap_or(cont);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A published communication offer of a blocked process.
@@ -65,7 +317,12 @@ pub struct Offer {
     /// The request event published for this offer.
     pub req_event: EventId,
     /// Statements to run when this offer commits (alt branch body).
+    /// Empty in compiled mode, which resumes at [`Offer::cont_pc`].
     pub body: Vec<CspStmt>,
+    /// Compiled mode: pc to resume at when this offer commits.
+    pub(crate) cont_pc: u32,
+    /// Compiled mode: receive-target slot instead of [`Offer::var`].
+    pub(crate) var_slot: Option<u32>,
 }
 
 #[derive(Clone, Debug)]
@@ -78,6 +335,10 @@ enum PStatus {
 struct ProcState {
     locals: VarStore,
     frames: Vec<VecDeque<CspStmt>>,
+    /// Compiled mode: slot-indexed locals (unbound = `None`).
+    lslots: Vec<Option<Value>>,
+    /// Compiled mode: program counter into the process's [`CProg`].
+    pc: u32,
     status: PStatus,
     last: Option<EventId>,
 }
@@ -87,6 +348,10 @@ struct ProcState {
 pub struct CspState {
     builder: ComputationBuilder,
     procs: Vec<ProcState>,
+    /// Shared handle to the compiled code, so accessors can translate
+    /// names to slots without the system in hand.
+    code: Arc<CspCode>,
+    compiled: bool,
 }
 
 /// Rollback record for the exploration fast path: the per-process control
@@ -193,6 +458,55 @@ impl CspSystem {
             check_stmts(&program, &p.name, &p.body);
         }
 
+        // Compile: slot-resolve each process's locals and flatten its body
+        // into a jump-threaded program over a shared expression pool.
+        let t0 = Instant::now();
+        let empty = SlotLayout::new();
+        let mut pool = ExprPool::default();
+        let mut progs = Vec::with_capacity(program.processes.len());
+        for (pid, p) in program.processes.iter().enumerate() {
+            let mut locals = SlotLayout::new();
+            for (n, _) in &p.locals {
+                locals.intern(n);
+            }
+            collect_recv_targets(&p.body, &mut locals);
+            let mut init = vec![None; locals.len()];
+            for (n, v) in &p.locals {
+                init[locals.get(n).expect("interned") as usize] = Some(v.clone());
+            }
+            let mut c = CspCompiler {
+                pool: &mut pool,
+                locals: &locals,
+                globals: &empty,
+                var_els: &var_els[pid],
+                program: &program,
+                ops: Vec::new(),
+            };
+            c.compile(&p.body);
+            let mut ops = c.ops;
+            ops.push(COp::End);
+            progs.push(CProg { ops, locals, init });
+        }
+        let name_values: Vec<Value> = program
+            .processes
+            .iter()
+            .map(|p| Value::Str(p.name.clone()))
+            .collect();
+        let stats = CodeStats {
+            exprs: pool.expr_count() as u64,
+            ops: (pool.op_count() + progs.iter().map(|p| p.ops.len()).sum::<usize>()) as u64,
+            consts: pool.const_count() as u64,
+            programs: progs.len() as u64,
+            slots: progs.iter().map(|p| p.locals.len()).sum::<usize>() as u64,
+            compile_ns: t0.elapsed().as_nanos() as u64,
+        };
+        let code = Arc::new(CspCode {
+            pool,
+            progs,
+            name_values,
+            stats,
+        });
+
         Self {
             program,
             structure: Arc::new(s),
@@ -204,7 +518,27 @@ impl CspSystem {
             out_els,
             in_els,
             var_els,
+            code,
+            compiled: true,
         }
+    }
+
+    /// Switch between compiled execution (default) and the tree-walking
+    /// interpreter.
+    pub fn set_compile(&mut self, on: bool) {
+        self.compiled = on;
+    }
+
+    /// Builder-style [`CspSystem::set_compile`].
+    #[must_use]
+    pub fn with_compile(mut self, on: bool) -> Self {
+        self.set_compile(on);
+        self
+    }
+
+    /// Compilation statistics for this system's [code](crate::code).
+    pub fn code_stats(&self) -> CodeStats {
+        self.code.stats
     }
 
     /// The program being executed.
@@ -379,7 +713,7 @@ impl CspSystem {
                     pid,
                     self.out_els[pid],
                     self.out_req,
-                    vec![Value::Str(to.clone())],
+                    vec![self.code.name_values[partner].clone()],
                     &[],
                 );
                 Offer {
@@ -389,6 +723,8 @@ impl CspSystem {
                     var: None,
                     req_event: req,
                     body,
+                    cont_pc: 0,
+                    var_slot: None,
                 }
             }
             Comm::Recv { from, var } => {
@@ -398,7 +734,7 @@ impl CspSystem {
                     pid,
                     self.in_els[pid],
                     self.in_req,
-                    vec![Value::Str(from.clone())],
+                    vec![self.code.name_values[partner].clone()],
                     &[],
                 );
                 Offer {
@@ -408,7 +744,127 @@ impl CspSystem {
                     var: Some(var.clone()),
                     req_event: req,
                     body,
+                    cont_pc: 0,
+                    var_slot: None,
                 }
+            }
+        }
+    }
+
+    fn eval_c(&self, state: &CspState, pid: usize, id: ExprId) -> Value {
+        self.code
+            .pool
+            .eval(id, &[], &state.procs[pid].lslots)
+            .unwrap_or_else(|e| panic!("CSP runtime error: {e}"))
+    }
+
+    /// Compiled counterpart of [`CspSystem::run`]: steps the flat program
+    /// until it blocks at a `Comm`/`Alt` (pc parked on the op; `apply`
+    /// resumes at the committed offer's `cont_pc`) or hits `End`.
+    fn run_c(&self, state: &mut CspState, pid: usize) {
+        let prog = &self.code.progs[pid];
+        let mut pc = state.procs[pid].pc as usize;
+        loop {
+            match &prog.ops[pc] {
+                COp::Assign { slot, el, expr } => {
+                    let v = self.eval_c(state, pid, *expr);
+                    state.procs[pid].lslots[*slot as usize] = Some(v.clone());
+                    self.emit(state, pid, *el, self.assign, vec![v], &[]);
+                    pc += 1;
+                }
+                COp::AssignUnknown { name, expr } => {
+                    // Evaluate first so expression errors surface exactly
+                    // like the interpreter's eval-then-lookup order.
+                    let _ = self.eval_c(state, pid, *expr);
+                    panic!("undeclared local {name:?}");
+                }
+                COp::JumpIfFalse { cond, target, kind } => {
+                    let b = self
+                        .eval_c(state, pid, *cond)
+                        .as_bool()
+                        .unwrap_or_else(|| panic!("{}", kind.expect_msg()));
+                    pc = if b { pc + 1 } else { *target as usize };
+                }
+                COp::Jump(t) => pc = *t as usize,
+                COp::Comm(tpl) => {
+                    let offer = self.publish_offer_c(state, pid, tpl);
+                    state.procs[pid].pc = pc as u32;
+                    state.procs[pid].status = PStatus::Blocked(vec![offer]);
+                    return;
+                }
+                COp::Alt(arms) => {
+                    let mut offers = Vec::new();
+                    for arm in arms {
+                        let open = match arm.guard {
+                            None => true,
+                            Some(g) => self
+                                .eval_c(state, pid, g)
+                                .as_bool()
+                                .expect("guard must be boolean"),
+                        };
+                        if open {
+                            offers.push(self.publish_offer_c(state, pid, &arm.tpl));
+                        }
+                    }
+                    assert!(
+                        !offers.is_empty(),
+                        "alternative with all guards closed (process {:?})",
+                        self.program.processes[pid].name
+                    );
+                    state.procs[pid].pc = pc as u32;
+                    state.procs[pid].status = PStatus::Blocked(offers);
+                    return;
+                }
+                COp::End => {
+                    state.procs[pid].pc = pc as u32;
+                    state.procs[pid].status = PStatus::Done;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Compiled counterpart of [`CspSystem::publish_offer`]: no statement
+    /// clones, no name re-allocation — the offer carries a resume pc.
+    fn publish_offer_c(&self, state: &mut CspState, pid: usize, tpl: &CommTpl) -> Offer {
+        if tpl.is_send {
+            let value = self.eval_c(state, pid, tpl.expr.expect("send offer has expr"));
+            let req = self.emit(
+                state,
+                pid,
+                self.out_els[pid],
+                self.out_req,
+                vec![self.code.name_values[tpl.partner].clone()],
+                &[],
+            );
+            Offer {
+                is_send: true,
+                partner: tpl.partner,
+                value: Some(value),
+                var: None,
+                req_event: req,
+                body: Vec::new(),
+                cont_pc: tpl.cont_pc,
+                var_slot: None,
+            }
+        } else {
+            let req = self.emit(
+                state,
+                pid,
+                self.in_els[pid],
+                self.in_req,
+                vec![self.code.name_values[tpl.partner].clone()],
+                &[],
+            );
+            Offer {
+                is_send: false,
+                partner: tpl.partner,
+                value: None,
+                var: None,
+                req_event: req,
+                body: Vec::new(),
+                cont_pc: tpl.cont_pc,
+                var_slot: tpl.var_slot,
             }
         }
     }
@@ -426,20 +882,40 @@ impl System for CspSystem {
                 .program
                 .processes
                 .iter()
-                .map(|p| ProcState {
-                    locals: p
-                        .locals
-                        .iter()
-                        .map(|(n, v)| (n.clone(), v.clone()))
-                        .collect(),
-                    frames: vec![p.body.iter().cloned().collect()],
+                .enumerate()
+                .map(|(pid, p)| ProcState {
+                    locals: if self.compiled {
+                        VarStore::default()
+                    } else {
+                        p.locals
+                            .iter()
+                            .map(|(n, v)| (n.clone(), v.clone()))
+                            .collect()
+                    },
+                    frames: if self.compiled {
+                        Vec::new()
+                    } else {
+                        vec![p.body.iter().cloned().collect()]
+                    },
+                    lslots: if self.compiled {
+                        self.code.progs[pid].init.clone()
+                    } else {
+                        Vec::new()
+                    },
+                    pc: 0,
                     status: PStatus::Done, // set by run below
                     last: None,
                 })
                 .collect(),
+            code: Arc::clone(&self.code),
+            compiled: self.compiled,
         };
         for pid in 0..self.program.processes.len() {
-            self.run(&mut state, pid);
+            if self.compiled {
+                self.run_c(&mut state, pid);
+            } else {
+                self.run(&mut state, pid);
+            }
         }
         state
     }
@@ -491,11 +967,13 @@ impl System for CspSystem {
         else {
             panic!("receiver not blocked");
         };
-        let so = p_offers[action.send_offer].clone();
-        let ro = q_offers[action.recv_offer].clone();
-        let value = so.value.clone().expect("send offer carries a value");
-        let partner_of_p = self.program.processes[q].name.clone();
-        let partner_of_q = self.program.processes[p].name.clone();
+        // Take the committed offers by index — the rest of each vector
+        // (withdrawn offers) is dropped, never cloned.
+        let mut p_offers = p_offers;
+        let mut q_offers = q_offers;
+        let so = p_offers.swap_remove(action.send_offer);
+        let ro = q_offers.swap_remove(action.recv_offer);
+        let value = so.value.expect("send offer carries a value");
 
         // The exchange: OutEnd enabled by {OutReq (chain), InReq}; InEnd
         // enabled by {InReq (chain), OutReq} — the paper's simultaneity.
@@ -504,7 +982,7 @@ impl System for CspSystem {
             p,
             self.out_els[p],
             self.out_end,
-            vec![value.clone(), Value::Str(partner_of_p)],
+            vec![value.clone(), self.code.name_values[q].clone()],
             &[ro.req_event],
         );
         self.emit(
@@ -512,20 +990,30 @@ impl System for CspSystem {
             q,
             self.in_els[q],
             self.in_end,
-            vec![value.clone(), Value::Str(partner_of_q)],
+            vec![value.clone(), self.code.name_values[p].clone()],
             &[so.req_event],
         );
-        if let Some(var) = &ro.var {
-            state.procs[q].locals.set(var.clone(), value);
+        if self.compiled {
+            if let Some(slot) = ro.var_slot {
+                state.procs[q].lslots[slot as usize] = Some(value);
+            }
+            state.procs[p].pc = so.cont_pc;
+            state.procs[q].pc = ro.cont_pc;
+            self.run_c(state, p);
+            self.run_c(state, q);
+        } else {
+            if let Some(var) = &ro.var {
+                state.procs[q].locals.set(var.clone(), value);
+            }
+            if !so.body.is_empty() {
+                state.procs[p].frames.push(so.body.into_iter().collect());
+            }
+            if !ro.body.is_empty() {
+                state.procs[q].frames.push(ro.body.into_iter().collect());
+            }
+            self.run(state, p);
+            self.run(state, q);
         }
-        if !so.body.is_empty() {
-            state.procs[p].frames.push(so.body.into_iter().collect());
-        }
-        if !ro.body.is_empty() {
-            state.procs[q].frames.push(ro.body.into_iter().collect());
-        }
-        self.run(state, p);
-        self.run(state, q);
         crate::explore::record_apply_ns(t0);
     }
 
@@ -539,11 +1027,18 @@ impl System for CspSystem {
     fn control_key(&self, state: &CspState) -> Option<u64> {
         let mut h = DefaultHasher::new();
         for p in &state.procs {
-            for (n, v) in p.locals.iter() {
-                n.hash(&mut h);
-                format!("{v:?}").hash(&mut h);
+            if self.compiled {
+                // Slot-indexed locals plus pc key control state exactly;
+                // no name or statement-tree hashing in the hot path.
+                format!("{:?}", p.lslots).hash(&mut h);
+                p.pc.hash(&mut h);
+            } else {
+                for (n, v) in p.locals.iter() {
+                    n.hash(&mut h);
+                    format!("{v:?}").hash(&mut h);
+                }
+                format!("{:?}", p.frames).hash(&mut h);
             }
-            format!("{:?}", p.frames).hash(&mut h);
             match &p.status {
                 PStatus::Done => 0u8.hash(&mut h),
                 PStatus::Blocked(offers) => {
@@ -606,7 +1101,12 @@ impl CspState {
 
     /// A local variable of process `pid`.
     pub fn local(&self, pid: usize, var: &str) -> Option<&Value> {
-        self.procs[pid].locals.get(var)
+        if self.compiled {
+            let slot = self.code.progs[pid].locals.get(var)?;
+            self.procs[pid].lslots[slot as usize].as_ref()
+        } else {
+            self.procs[pid].locals.get(var)
+        }
     }
 }
 
@@ -822,6 +1322,99 @@ mod tests {
         fn offers_len(&self, s: &CspState) -> (usize, usize) {
             (s.offers(0).len(), s.offers(1).len())
         }
+    }
+
+    /// All (fingerprint, event-count) pairs over every explored run.
+    fn fingerprints(sys: &CspSystem) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        Explorer::default().for_each_run(sys, |state, _| {
+            let c = sys.computation(state).unwrap();
+            out.push((c.fingerprint(), state.event_count()));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let merger = || {
+            CspProgram::new()
+                .process(
+                    CspProcess::new(
+                        "m",
+                        vec![CspStmt::Alt(vec![
+                            AltBranch {
+                                guard: Some(Expr::var("a").eq(Expr::int(0))),
+                                comm: Comm::Recv {
+                                    from: "p1".into(),
+                                    var: "a".into(),
+                                },
+                                body: vec![CspStmt::recv("p2", "b")],
+                            },
+                            AltBranch {
+                                guard: None,
+                                comm: Comm::Recv {
+                                    from: "p2".into(),
+                                    var: "b".into(),
+                                },
+                                body: vec![CspStmt::recv("p1", "a")],
+                            },
+                        ])],
+                    )
+                    .local("a", 0i64)
+                    .local("b", 0i64),
+                )
+                .process(CspProcess::new(
+                    "p1",
+                    vec![CspStmt::send("m", Expr::int(1))],
+                ))
+                .process(CspProcess::new(
+                    "p2",
+                    vec![CspStmt::send("m", Expr::int(2))],
+                ))
+        };
+        let loops = || {
+            CspProgram::new()
+                .process(
+                    CspProcess::new(
+                        "w",
+                        vec![
+                            CspStmt::While(
+                                Expr::var("i").lt(Expr::int(3)),
+                                vec![CspStmt::assign("i", Expr::var("i").add(Expr::int(1)))],
+                            ),
+                            CspStmt::If(
+                                Expr::var("i").eq(Expr::int(3)),
+                                vec![CspStmt::send("sink", Expr::var("i"))],
+                                vec![CspStmt::send("sink", Expr::int(-1))],
+                            ),
+                        ],
+                    )
+                    .local("i", 0i64),
+                )
+                .process(
+                    CspProcess::new("sink", vec![CspStmt::recv("w", "got")]).local("got", 0i64),
+                )
+        };
+        // Deadlocking mismatch: both runs truncate at the same point.
+        let mismatch = || {
+            CspProgram::new()
+                .process(CspProcess::new("a", vec![CspStmt::recv("b", "x")]).local("x", 0i64))
+                .process(CspProcess::new("b", vec![CspStmt::recv("a", "y")]).local("y", 0i64))
+        };
+        for prog in [ping_pong(), merger(), loops(), mismatch()] {
+            let compiled = fingerprints(&CspSystem::new(prog.clone()).with_compile(true));
+            let interpreted = fingerprints(&CspSystem::new(prog).with_compile(false));
+            assert_eq!(compiled, interpreted);
+            assert!(!compiled.is_empty());
+        }
+    }
+
+    #[test]
+    fn code_stats_populated() {
+        let sys = CspSystem::new(ping_pong());
+        let stats = sys.code_stats();
+        assert!(stats.programs == 2 && stats.ops > 0 && stats.slots == 2);
     }
 
     #[test]

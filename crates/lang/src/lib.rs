@@ -22,8 +22,10 @@ mod explore;
 mod par;
 
 pub mod ada;
+pub mod code;
 pub mod csp;
 pub mod monitor;
 
 pub use ast::{BinOp, Expr, RuntimeError, VarStore};
+pub use code::{CodeStats, CompileMode};
 pub use explore::{find_deadlock, ExploreStats, Explorer, RunSample, System, TruncationReason};

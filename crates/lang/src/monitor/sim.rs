@@ -31,6 +31,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
 
 use gem_core::{
     BuildError, BuilderMark, ClassId, Computation, ComputationBuilder, ElementId, EventId,
@@ -38,6 +39,7 @@ use gem_core::{
 };
 
 use crate::ast::VarStore;
+use crate::code::{CodeStats, CondKind, ExprId, ExprPool, SlotLayout};
 use crate::explore::System;
 use crate::monitor::def::{MonitorProgram, ScriptStep, SignalSemantics, Stmt};
 
@@ -87,6 +89,238 @@ pub struct MonitorSystem {
     /// entries over disjoint variables commute with unrelated script
     /// steps instead of conflicting through a global union.
     entry_footprints: Vec<(BTreeSet<String>, BTreeSet<String>)>,
+    /// Compiled form of every entry body, script step, and expression
+    /// (built unconditionally at construction; `compiled` selects which
+    /// execution path uses it).
+    code: Arc<MonitorCode>,
+    /// Execute compiled programs (`true`, the default) or the
+    /// tree-walking interpreter (the differential oracle).
+    compiled: bool,
+}
+
+/// Everything the compiled execution path needs, built once per system:
+/// slot layouts, postfix expression code, flat entry-body programs with
+/// jump targets, per-step codes, and pre-materialized event parameters.
+#[derive(Clone, Debug)]
+struct MonitorCode {
+    pool: ExprPool,
+    globals: SlotLayout,
+    /// Initial global-scope values in slot order.
+    init_gslots: Vec<Value>,
+    /// Condition names in declaration order (`MOp` indexes into this to
+    /// key the wait queues).
+    conds: Vec<String>,
+    entries: Vec<EntryProg>,
+    /// Per (process, script position) compiled step.
+    steps: Vec<Vec<StepCode>>,
+    /// `[entry][pid]` → `[Str(entry_name), Int(pid)]` event parameters,
+    /// shared by both execution modes so emitted computations stay
+    /// byte-identical.
+    entry_params: Vec<Vec<[Value; 2]>>,
+    /// `[pid]` → `[Str(""), Int(pid)]` for shared-variable accesses
+    /// outside any entry.
+    shared_params: Vec<[Value; 2]>,
+    stats: CodeStats,
+}
+
+/// One entry body as a flat basic-block program.
+#[derive(Clone, Debug)]
+struct EntryProg {
+    ops: Vec<MOp>,
+    /// Local scope: the entry's parameters.
+    params: SlotLayout,
+    /// Slot of each declared parameter, positionally (duplicates share a
+    /// slot; binding in order reproduces last-wins `VarStore` semantics).
+    param_slots: Vec<u32>,
+}
+
+/// One flat monitor-entry instruction. Jump targets replace the
+/// interpreter's cloned `VecDeque` statement frames.
+#[derive(Clone, Debug)]
+enum MOp {
+    /// Evaluate and store to a global slot, emitting `Assign`.
+    Assign {
+        gslot: u32,
+        el: ElementId,
+        expr: ExprId,
+    },
+    /// Assignment to an undeclared variable: evaluate (surfacing any
+    /// expression error first, like the interpreter), then panic.
+    AssignUnknown {
+        name: String,
+        expr: ExprId,
+    },
+    /// `IF`/`WHILE` condition: fall through when true, jump when false.
+    JumpIfFalse {
+        cond: ExprId,
+        target: u32,
+        kind: CondKind,
+    },
+    Jump(u32),
+    /// `WAIT` on condition `conds[cond]` (element precomputed).
+    Wait {
+        cond: u32,
+        el: ElementId,
+    },
+    /// `SIGNAL` on condition `conds[cond]`.
+    Signal {
+        cond: u32,
+        el: ElementId,
+    },
+    /// `IF queue`: fall through when the queue is non-empty.
+    JumpIfQueueEmpty {
+        cond: u32,
+        target: u32,
+    },
+    /// A statement naming an undeclared condition — panics at execution
+    /// with the interpreter's message (`queue_probe` distinguishes the
+    /// `IF queue` probe from `WAIT`/`SIGNAL` element lookup).
+    UnknownCond {
+        name: String,
+        queue_probe: bool,
+    },
+    /// Entry body finished.
+    End,
+}
+
+/// Compiled form of one script step. `Call`/`Event` carry pre-evaluated
+/// values in the program text and need no compilation.
+#[derive(Clone, Copy, Debug)]
+enum StepCode {
+    Call,
+    Event,
+    Read {
+        gslot: u32,
+        el: ElementId,
+    },
+    Write {
+        gslot: u32,
+        el: ElementId,
+        expr: ExprId,
+    },
+}
+
+fn patch_jump(ops: &mut [MOp], at: usize, to: u32) {
+    match &mut ops[at] {
+        MOp::JumpIfFalse { target, .. }
+        | MOp::Jump(target)
+        | MOp::JumpIfQueueEmpty { target, .. } => *target = to,
+        other => unreachable!("patching non-jump {other:?}"),
+    }
+}
+
+/// Compiles entry-body statements into flat [`MOp`] programs.
+struct EntryCompiler<'a> {
+    pool: &'a mut ExprPool,
+    params: &'a SlotLayout,
+    globals: &'a SlotLayout,
+    var_els: &'a BTreeMap<String, ElementId>,
+    conds: &'a [String],
+    cond_els: &'a BTreeMap<String, ElementId>,
+    ops: Vec<MOp>,
+}
+
+impl EntryCompiler<'_> {
+    fn cond(&self, name: &str) -> Option<(u32, ElementId)> {
+        let idx = self.conds.iter().position(|c| c == name)?;
+        Some((idx as u32, self.cond_els[name]))
+    }
+
+    fn expr(&mut self, e: &crate::ast::Expr) -> ExprId {
+        self.pool.compile(e, self.params, self.globals)
+    }
+
+    fn compile(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign(var, expr) => {
+                    let expr = self.expr(expr);
+                    match (self.globals.get(var), self.var_els.get(var)) {
+                        (Some(gslot), Some(&el)) => {
+                            self.ops.push(MOp::Assign { gslot, el, expr });
+                        }
+                        _ => self.ops.push(MOp::AssignUnknown {
+                            name: var.clone(),
+                            expr,
+                        }),
+                    }
+                }
+                Stmt::If(cond, then_branch, else_branch) => {
+                    let cond = self.expr(cond);
+                    let jf = self.ops.len();
+                    self.ops.push(MOp::JumpIfFalse {
+                        cond,
+                        target: 0,
+                        kind: CondKind::If,
+                    });
+                    self.compile(then_branch);
+                    if else_branch.is_empty() {
+                        let end = self.ops.len() as u32;
+                        patch_jump(&mut self.ops, jf, end);
+                    } else {
+                        let j = self.ops.len();
+                        self.ops.push(MOp::Jump(0));
+                        let else_start = self.ops.len() as u32;
+                        patch_jump(&mut self.ops, jf, else_start);
+                        self.compile(else_branch);
+                        let end = self.ops.len() as u32;
+                        patch_jump(&mut self.ops, j, end);
+                    }
+                }
+                Stmt::While(cond, body) => {
+                    let head = self.ops.len() as u32;
+                    let cond = self.expr(cond);
+                    let jf = self.ops.len();
+                    self.ops.push(MOp::JumpIfFalse {
+                        cond,
+                        target: 0,
+                        kind: CondKind::While,
+                    });
+                    self.compile(body);
+                    self.ops.push(MOp::Jump(head));
+                    let end = self.ops.len() as u32;
+                    patch_jump(&mut self.ops, jf, end);
+                }
+                Stmt::Wait(name) => match self.cond(name) {
+                    Some((cond, el)) => self.ops.push(MOp::Wait { cond, el }),
+                    None => self.ops.push(MOp::UnknownCond {
+                        name: name.clone(),
+                        queue_probe: false,
+                    }),
+                },
+                Stmt::Signal(name) => match self.cond(name) {
+                    Some((cond, el)) => self.ops.push(MOp::Signal { cond, el }),
+                    None => self.ops.push(MOp::UnknownCond {
+                        name: name.clone(),
+                        queue_probe: false,
+                    }),
+                },
+                Stmt::IfQueue(name, then_branch, else_branch) => match self.cond(name) {
+                    Some((cond, _)) => {
+                        let jq = self.ops.len();
+                        self.ops.push(MOp::JumpIfQueueEmpty { cond, target: 0 });
+                        self.compile(then_branch);
+                        if else_branch.is_empty() {
+                            let end = self.ops.len() as u32;
+                            patch_jump(&mut self.ops, jq, end);
+                        } else {
+                            let j = self.ops.len();
+                            self.ops.push(MOp::Jump(0));
+                            let else_start = self.ops.len() as u32;
+                            patch_jump(&mut self.ops, jq, else_start);
+                            self.compile(else_branch);
+                            let end = self.ops.len() as u32;
+                            patch_jump(&mut self.ops, j, end);
+                        }
+                    }
+                    None => self.ops.push(MOp::UnknownCond {
+                        name: name.clone(),
+                        queue_probe: true,
+                    }),
+                },
+            }
+        }
+    }
 }
 
 /// Commutativity class of one script step, for the independence oracle.
@@ -169,6 +403,12 @@ struct ProcRuntime {
     frames: Vec<VecDeque<Stmt>>,
     entry: Option<usize>,
     locals: VarStore,
+    /// Compiled mode: entry-parameter slots (`None` = unbound, global
+    /// shows through), replacing `locals`.
+    lslots: Vec<Option<Value>>,
+    /// Compiled mode: program counter into the entry's flat ops,
+    /// replacing `frames`.
+    pc: u32,
     pending_args: Vec<Value>,
     last: Option<EventId>,
     wait_event: Option<EventId>,
@@ -184,6 +424,9 @@ struct ProcRuntime {
 pub struct MonitorState {
     builder: ComputationBuilder,
     vars: VarStore,
+    /// Compiled mode: global scope read/written in place by slot,
+    /// replacing `vars`.
+    gslots: Vec<Value>,
     procs: Vec<ProcRuntime>,
     lock: Option<usize>,
     /// Last initialization event inside the monitor; enables the first
@@ -202,6 +445,7 @@ pub struct MonitorState {
 pub struct MonitorCheckpoint {
     mark: BuilderMark,
     vars: VarStore,
+    gslots: Vec<Value>,
     procs: Vec<ProcRuntime>,
     lock: Option<usize>,
     init_done: Option<EventId>,
@@ -384,6 +628,105 @@ impl MonitorSystem {
             })
             .collect();
 
+        // Compile once: slot layouts, expression IR, flat entry programs.
+        let t0 = Instant::now();
+        let mut pool = ExprPool::new();
+        let mut globals = SlotLayout::new();
+        for (v, _) in &program.monitor.vars {
+            globals.intern(v);
+        }
+        for (v, _) in &program.shared_vars {
+            globals.intern(v);
+        }
+        let mut init_gslots = vec![Value::Int(0); globals.len()];
+        for (v, value) in program.monitor.vars.iter().chain(&program.shared_vars) {
+            init_gslots[globals.get(v).expect("interned above") as usize] = value.clone();
+        }
+        let conds: Vec<String> = program.monitor.conditions.clone();
+        let entries: Vec<EntryProg> = program
+            .monitor
+            .entries
+            .iter()
+            .map(|e| {
+                let mut params = SlotLayout::new();
+                let param_slots: Vec<u32> = e.params.iter().map(|p| params.intern(p)).collect();
+                let mut c = EntryCompiler {
+                    pool: &mut pool,
+                    params: &params,
+                    globals: &globals,
+                    var_els: &var_els,
+                    conds: &conds,
+                    cond_els: &cond_els,
+                    ops: Vec::new(),
+                };
+                c.compile(&e.body);
+                let mut ops = c.ops;
+                ops.push(MOp::End);
+                EntryProg {
+                    ops,
+                    params,
+                    param_slots,
+                }
+            })
+            .collect();
+        let empty_layout = SlotLayout::new();
+        let steps: Vec<Vec<StepCode>> = program
+            .processes
+            .iter()
+            .map(|p| {
+                p.script
+                    .iter()
+                    .map(|step| match step {
+                        ScriptStep::Call { .. } => StepCode::Call,
+                        ScriptStep::Event { .. } => StepCode::Event,
+                        ScriptStep::ReadShared { var } => StepCode::Read {
+                            gslot: globals.get(var).expect("validated above"),
+                            el: var_els[var],
+                        },
+                        ScriptStep::WriteShared { var, value } => StepCode::Write {
+                            gslot: globals.get(var).expect("validated above"),
+                            el: var_els[var],
+                            expr: pool.compile(value, &empty_layout, &globals),
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_procs = program.processes.len();
+        let entry_params: Vec<Vec<[Value; 2]>> = program
+            .monitor
+            .entries
+            .iter()
+            .map(|e| {
+                (0..n_procs)
+                    .map(|pid| [Value::Str(e.name.clone()), Value::Int(pid as i64)])
+                    .collect()
+            })
+            .collect();
+        let shared_params: Vec<[Value; 2]> = (0..n_procs)
+            .map(|pid| [Value::Str(String::new()), Value::Int(pid as i64)])
+            .collect();
+        let stats = CodeStats {
+            exprs: pool.expr_count() as u64,
+            ops: pool.op_count() as u64 + entries.iter().map(|e| e.ops.len() as u64).sum::<u64>(),
+            consts: pool.const_count() as u64,
+            programs: entries.len() as u64,
+            slots: globals.len() as u64
+                + entries.iter().map(|e| e.params.len() as u64).sum::<u64>(),
+            compile_ns: t0.elapsed().as_nanos() as u64,
+        };
+        let code = Arc::new(MonitorCode {
+            pool,
+            globals,
+            init_gslots,
+            conds,
+            entries,
+            steps,
+            entry_params,
+            shared_params,
+            stats,
+        });
+
         Self {
             program,
             structure: Arc::new(s),
@@ -397,6 +740,42 @@ impl MonitorSystem {
             cond_els,
             step_class,
             entry_footprints,
+            code,
+            compiled: true,
+        }
+    }
+
+    /// Selects compiled (slot/IR) or interpreted (tree-walking) step
+    /// execution. Both modes produce byte-identical computations; the
+    /// interpreter is retained as the differential oracle behind
+    /// `--compile=off`.
+    pub fn set_compile(&mut self, on: bool) {
+        self.compiled = on;
+    }
+
+    /// Builder-style [`MonitorSystem::set_compile`].
+    #[must_use]
+    pub fn with_compile(mut self, on: bool) -> Self {
+        self.set_compile(on);
+        self
+    }
+
+    /// Build-time statistics of the compiled code (the `code.*` and
+    /// `explore.compile_ns` observability counters).
+    pub fn code_stats(&self) -> CodeStats {
+        self.code.stats
+    }
+
+    /// Reads monitor/shared variable `name` from `state`, resolving
+    /// through slots in compiled mode and the name-keyed store otherwise.
+    pub fn global<'a>(&self, state: &'a MonitorState, name: &str) -> Option<&'a Value> {
+        if self.compiled {
+            self.code
+                .globals
+                .get(name)
+                .map(|s| &state.gslots[s as usize])
+        } else {
+            state.vars.get(name)
         }
     }
 
@@ -560,13 +939,13 @@ impl MonitorSystem {
                         .eval(&env)
                         .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
                     state.vars.set(var.clone(), v.clone());
-                    let entry_name = self.entry_name(state, pid);
+                    let [p_entry, p_pid] = self.entry_param_pair(state, pid);
                     self.emit(
                         state,
                         Some(pid),
                         self.var_element(&var),
                         self.cls.assign,
-                        vec![v, Value::Str(entry_name), Value::Int(pid as i64)],
+                        vec![v, p_entry, p_pid],
                         &[],
                     );
                 }
@@ -791,16 +1170,167 @@ impl MonitorSystem {
         }
     }
 
-    fn entry_name(&self, state: &MonitorState, pid: usize) -> String {
-        state.procs[pid]
-            .entry
-            .map(|i| self.program.monitor.entries[i].name.clone())
-            .unwrap_or_default()
+    /// The `[entry, pid]` event-parameter pair for `pid`'s current
+    /// context — pre-materialized at build time (inside an entry:
+    /// `[Str(entry_name), Int(pid)]`; outside: `[Str(""), Int(pid)]`).
+    fn entry_param_pair(&self, state: &MonitorState, pid: usize) -> [Value; 2] {
+        match state.procs[pid].entry {
+            Some(i) => self.code.entry_params[i][pid].clone(),
+            None => self.code.shared_params[pid].clone(),
+        }
+    }
+
+    /// Compiled counterpart of [`MonitorSystem::run`]: executes `pid`'s
+    /// flat entry program from its saved `pc` until it waits, hands off
+    /// on a signal, or finishes. Event emission and state transitions
+    /// mirror the interpreter statement for statement.
+    fn run_c(&self, state: &mut MonitorState, pid: usize) {
+        loop {
+            let entry_idx = state.procs[pid].entry.expect("running inside an entry");
+            let prog = &self.code.entries[entry_idx];
+            let pc = state.procs[pid].pc as usize;
+            match &prog.ops[pc] {
+                MOp::Assign { gslot, el, expr } => {
+                    let v = self
+                        .code
+                        .pool
+                        .eval(*expr, &state.gslots, &state.procs[pid].lslots)
+                        .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
+                    state.gslots[*gslot as usize] = v.clone();
+                    let pair = &self.code.entry_params[entry_idx][pid];
+                    self.emit(
+                        state,
+                        Some(pid),
+                        *el,
+                        self.cls.assign,
+                        vec![v, pair[0].clone(), pair[1].clone()],
+                        &[],
+                    );
+                    state.procs[pid].pc = pc as u32 + 1;
+                }
+                MOp::AssignUnknown { name, expr } => {
+                    // Interpreter order: the expression error (if any)
+                    // surfaces before the unknown-variable panic.
+                    let _ = self
+                        .code
+                        .pool
+                        .eval(*expr, &state.gslots, &state.procs[pid].lslots)
+                        .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
+                    panic!("unknown variable {name:?}");
+                }
+                MOp::JumpIfFalse { cond, target, kind } => {
+                    let b = self
+                        .code
+                        .pool
+                        .eval(*cond, &state.gslots, &state.procs[pid].lslots)
+                        .unwrap_or_else(|e| panic!("monitor runtime error: {e}"))
+                        .as_bool()
+                        .unwrap_or_else(|| panic!("{}", kind.expect_msg()));
+                    state.procs[pid].pc = if b { pc as u32 + 1 } else { *target };
+                }
+                MOp::Jump(target) => state.procs[pid].pc = *target,
+                MOp::Wait { cond, el } => {
+                    let wait_ev = self.emit(
+                        state,
+                        Some(pid),
+                        *el,
+                        self.cls.wait,
+                        vec![Value::Int(pid as i64)],
+                        &[],
+                    );
+                    state.procs[pid].wait_event = Some(wait_ev);
+                    self.emit(
+                        state,
+                        Some(pid),
+                        self.lock_el,
+                        self.cls.release,
+                        vec![Value::Int(pid as i64)],
+                        &[],
+                    );
+                    state
+                        .queues
+                        .get_mut(&self.code.conds[*cond as usize])
+                        .expect("known condition")
+                        .push_back(pid);
+                    state.procs[pid].status = Status::Waiting;
+                    // Resume point: the op after the WAIT.
+                    state.procs[pid].pc = pc as u32 + 1;
+                    state.lock = None;
+                    self.pop_urgent(state);
+                    return;
+                }
+                MOp::Signal { cond, el } => {
+                    let sig = self.emit(
+                        state,
+                        Some(pid),
+                        *el,
+                        self.cls.signal,
+                        vec![Value::Int(pid as i64)],
+                        &[],
+                    );
+                    let cond_name = &self.code.conds[*cond as usize];
+                    let waiter = state
+                        .queues
+                        .get_mut(cond_name)
+                        .expect("known condition")
+                        .pop_front();
+                    state.procs[pid].pc = pc as u32 + 1;
+                    if let Some(w) = waiter {
+                        match self.program.semantics {
+                            SignalSemantics::Hoare => {
+                                state.urgent.push(pid);
+                                state.procs[pid].status = Status::Urgent;
+                                state.lock = Some(w);
+                                state.procs[w].status = Status::Ready;
+                                let mut extra = vec![sig];
+                                if let Some(we) = state.procs[w].wait_event.take() {
+                                    extra.push(we);
+                                }
+                                self.emit(
+                                    state,
+                                    Some(w),
+                                    *el,
+                                    self.cls.resume,
+                                    vec![Value::Int(w as i64)],
+                                    &extra,
+                                );
+                                self.run_c(state, w);
+                                return;
+                            }
+                            SignalSemantics::Mesa => {
+                                state.procs[w].status = Status::ReAcquire;
+                                state.procs[w].pending_signal = Some(sig);
+                                state.procs[w].resume_cond = Some(cond_name.clone());
+                            }
+                        }
+                    }
+                }
+                MOp::JumpIfQueueEmpty { cond, target } => {
+                    let nonempty = !state
+                        .queues
+                        .get(&self.code.conds[*cond as usize])
+                        .expect("known condition")
+                        .is_empty();
+                    state.procs[pid].pc = if nonempty { pc as u32 + 1 } else { *target };
+                }
+                MOp::UnknownCond { name, queue_probe } => {
+                    if *queue_probe {
+                        // The interpreter's `queues.get(..).expect(..)`.
+                        panic!("known condition");
+                    }
+                    panic!("unknown condition {name:?}");
+                }
+                MOp::End => {
+                    self.finish_entry(state, pid);
+                    return;
+                }
+            }
+        }
     }
 
     fn finish_entry(&self, state: &mut MonitorState, pid: usize) {
         let entry_idx = state.procs[pid].entry.expect("finishing inside an entry");
-        let entry_name = self.program.monitor.entries[entry_idx].name.clone();
+        let entry_name = self.code.entry_params[entry_idx][pid][0].clone();
         self.emit(
             state,
             Some(pid),
@@ -822,12 +1352,14 @@ impl MonitorSystem {
             Some(pid),
             self.user_els[pid],
             self.cls.ret,
-            vec![Value::Str(entry_name)],
+            vec![entry_name],
             &[],
         );
         let proc = &mut state.procs[pid];
         proc.entry = None;
         proc.locals = VarStore::new();
+        proc.lslots.clear();
+        proc.pc = 0;
         proc.script_pos += 1;
         proc.status = if proc.script_pos >= self.program.processes[pid].script.len() {
             Status::Done
@@ -859,7 +1391,11 @@ impl MonitorSystem {
                 vec![Value::Int(s as i64)],
                 &[],
             );
-            self.run(state, s);
+            if self.compiled {
+                self.run_c(state, s);
+            } else {
+                self.run(state, s);
+            }
         }
     }
 }
@@ -873,6 +1409,11 @@ impl System for MonitorSystem {
         let mut state = MonitorState {
             builder: ComputationBuilder::new(self.structure_arc()),
             vars: VarStore::new(),
+            gslots: if self.compiled {
+                self.code.init_gslots.clone()
+            } else {
+                Vec::new()
+            },
             procs: self
                 .program
                 .processes
@@ -887,6 +1428,8 @@ impl System for MonitorSystem {
                     frames: Vec::new(),
                     entry: None,
                     locals: VarStore::new(),
+                    lslots: Vec::new(),
+                    pc: 0,
                     pending_args: Vec::new(),
                     last: None,
                     wait_event: None,
@@ -915,7 +1458,9 @@ impl System for MonitorSystem {
         let mut last_internal = init_ev;
         let monitor_vars: Vec<(String, Value)> = self.program.monitor.vars.clone();
         for (name, value) in monitor_vars {
-            state.vars.set(name.clone(), value.clone());
+            if !self.compiled {
+                state.vars.set(name.clone(), value.clone());
+            }
             last_internal = self.emit(
                 &mut state,
                 None,
@@ -928,7 +1473,9 @@ impl System for MonitorSystem {
         let mut last_shared = init_ev;
         let shared_vars: Vec<(String, Value)> = self.program.shared_vars.clone();
         for (name, value) in shared_vars {
-            state.vars.set(name.clone(), value.clone());
+            if !self.compiled {
+                state.vars.set(name.clone(), value.clone());
+            }
             last_shared = self.emit(
                 &mut state,
                 None,
@@ -965,8 +1512,8 @@ impl System for MonitorSystem {
         let t0 = crate::explore::apply_timer();
         match *action {
             MonitorAction::Step(pid) => {
-                let step = self.program.processes[pid].script[state.procs[pid].script_pos].clone();
-                match step {
+                let pos = state.procs[pid].script_pos;
+                match &self.program.processes[pid].script[pos] {
                     ScriptStep::Call { entry, args } => {
                         self.emit(
                             state,
@@ -981,45 +1528,71 @@ impl System for MonitorSystem {
                             Some(pid),
                             self.lock_el,
                             self.cls.req,
-                            vec![Value::Str(entry), Value::Int(pid as i64)],
+                            vec![Value::Str(entry.clone()), Value::Int(pid as i64)],
                             &[],
                         );
-                        state.procs[pid].pending_args = args;
+                        state.procs[pid].pending_args = args.clone();
                         state.procs[pid].status = Status::Pending;
                     }
                     ScriptStep::Event { class, params } => {
-                        let cid = self.class(&class);
+                        let cid = self.class(class);
+                        let params = params.clone();
                         self.emit(state, Some(pid), self.user_els[pid], cid, params, &[]);
                         self.advance_script(state, pid);
                     }
                     ScriptStep::ReadShared { var } => {
-                        let value = state
-                            .vars
-                            .get(&var)
-                            .cloned()
-                            .expect("shared variable initialized");
+                        let (value, el) = if self.compiled {
+                            let StepCode::Read { gslot, el } = self.code.steps[pid][pos] else {
+                                unreachable!("step codes mirror the script");
+                            };
+                            (state.gslots[gslot as usize].clone(), el)
+                        } else {
+                            let value = state
+                                .vars
+                                .get(var)
+                                .cloned()
+                                .expect("shared variable initialized");
+                            (value, self.var_element(var))
+                        };
+                        let [p_empty, p_pid] = self.code.shared_params[pid].clone();
                         self.emit(
                             state,
                             Some(pid),
-                            self.var_element(&var),
+                            el,
                             self.cls.getval,
-                            vec![value, Value::Str(String::new()), Value::Int(pid as i64)],
+                            vec![value, p_empty, p_pid],
                             &[],
                         );
                         self.advance_script(state, pid);
                     }
                     ScriptStep::WriteShared { var, value } => {
-                        let env = self.eval_env(state, pid);
-                        let v = value
-                            .eval(&env)
-                            .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
-                        state.vars.set(var.clone(), v.clone());
+                        let (v, el) = if self.compiled {
+                            let StepCode::Write { gslot, el, expr } = self.code.steps[pid][pos]
+                            else {
+                                unreachable!("step codes mirror the script");
+                            };
+                            let v = self
+                                .code
+                                .pool
+                                .eval(expr, &state.gslots, &[])
+                                .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
+                            state.gslots[gslot as usize] = v.clone();
+                            (v, el)
+                        } else {
+                            let env = self.eval_env(state, pid);
+                            let v = value
+                                .eval(&env)
+                                .unwrap_or_else(|e| panic!("monitor runtime error: {e}"));
+                            state.vars.set(var.clone(), v.clone());
+                            (v, self.var_element(var))
+                        };
+                        let [p_empty, p_pid] = self.code.shared_params[pid].clone();
                         self.emit(
                             state,
                             Some(pid),
-                            self.var_element(&var),
+                            el,
                             self.cls.assign,
-                            vec![v, Value::Str(String::new()), Value::Int(pid as i64)],
+                            vec![v, p_empty, p_pid],
                             &[],
                         );
                         self.advance_script(state, pid);
@@ -1060,17 +1633,33 @@ impl System for MonitorSystem {
                     vec![Value::Int(pid as i64)],
                     &[],
                 );
-                let def = &self.program.monitor.entries[entry_idx];
                 let args = std::mem::take(&mut state.procs[pid].pending_args);
-                let mut locals = VarStore::new();
-                for (param, arg) in def.params.iter().zip(args) {
-                    locals.set(param.clone(), arg);
+                if self.compiled {
+                    let prog = &self.code.entries[entry_idx];
+                    let mut lslots = vec![None; prog.params.len()];
+                    // Positional bind; a short args list leaves trailing
+                    // params unbound (the global scope shows through).
+                    for (&slot, arg) in prog.param_slots.iter().zip(args) {
+                        lslots[slot as usize] = Some(arg);
+                    }
+                    let proc = &mut state.procs[pid];
+                    proc.lslots = lslots;
+                    proc.pc = 0;
+                    proc.entry = Some(entry_idx);
+                    proc.status = Status::Ready; // running now
+                    self.run_c(state, pid);
+                } else {
+                    let def = &self.program.monitor.entries[entry_idx];
+                    let mut locals = VarStore::new();
+                    for (param, arg) in def.params.iter().zip(args) {
+                        locals.set(param.clone(), arg);
+                    }
+                    state.procs[pid].locals = locals;
+                    state.procs[pid].entry = Some(entry_idx);
+                    state.procs[pid].frames = vec![def.body.iter().cloned().collect()];
+                    state.procs[pid].status = Status::Ready; // running now
+                    self.run(state, pid);
                 }
-                state.procs[pid].locals = locals;
-                state.procs[pid].entry = Some(entry_idx);
-                state.procs[pid].frames = vec![def.body.iter().cloned().collect()];
-                state.procs[pid].status = Status::Ready; // running now
-                self.run(state, pid);
             }
             MonitorAction::Resume(pid) => {
                 // Mesa re-acquisition: the waiter takes the free lock and
@@ -1106,7 +1695,11 @@ impl System for MonitorSystem {
                     vec![Value::Int(pid as i64)],
                     &extra,
                 );
-                self.run(state, pid);
+                if self.compiled {
+                    self.run_c(state, pid);
+                } else {
+                    self.run(state, pid);
+                }
             }
         }
         crate::explore::record_apply_ns(t0);
@@ -1118,15 +1711,32 @@ impl System for MonitorSystem {
 
     fn control_key(&self, state: &MonitorState) -> Option<u64> {
         let mut h = DefaultHasher::new();
-        for (n, v) in state.vars.iter() {
-            n.hash(&mut h);
-            format!("{v:?}").hash(&mut h);
-        }
-        for p in &state.procs {
-            p.script_pos.hash(&mut h);
-            p.status.hash(&mut h);
-            p.entry.hash(&mut h);
-            format!("{:?}", p.frames).hash(&mut h);
+        if self.compiled {
+            // Slot order is a fixed function of the program, so hashing
+            // slots positionally is as stable as hashing names. This key
+            // only feeds `--prune` visited-set lookups; it need not match
+            // the interpreted mode's key.
+            for v in &state.gslots {
+                format!("{v:?}").hash(&mut h);
+            }
+            for p in &state.procs {
+                p.script_pos.hash(&mut h);
+                p.status.hash(&mut h);
+                p.entry.hash(&mut h);
+                p.pc.hash(&mut h);
+                format!("{:?}", p.lslots).hash(&mut h);
+            }
+        } else {
+            for (n, v) in state.vars.iter() {
+                n.hash(&mut h);
+                format!("{v:?}").hash(&mut h);
+            }
+            for p in &state.procs {
+                p.script_pos.hash(&mut h);
+                p.status.hash(&mut h);
+                p.entry.hash(&mut h);
+                format!("{:?}", p.frames).hash(&mut h);
+            }
         }
         state.lock.hash(&mut h);
         state.urgent.hash(&mut h);
@@ -1138,6 +1748,7 @@ impl System for MonitorSystem {
         Some(MonitorCheckpoint {
             mark: state.builder.mark(),
             vars: state.vars.clone(),
+            gslots: state.gslots.clone(),
             procs: state.procs.clone(),
             lock: state.lock,
             init_done: state.init_done,
@@ -1151,6 +1762,7 @@ impl System for MonitorSystem {
         state.builder.truncate_to(&cp.mark);
         crate::explore::record_undo_depth(before - state.builder.event_count());
         state.vars = cp.vars;
+        state.gslots = cp.gslots;
         state.procs = cp.procs;
         state.lock = cp.lock;
         state.init_done = cp.init_done;
@@ -1235,7 +1847,7 @@ mod tests {
         explorer.for_each_run(&sys, |state, _| {
             runs += 1;
             assert!(sys.is_complete(state));
-            assert_eq!(state.vars.get("count"), Some(&Value::Int(4)));
+            assert_eq!(sys.global(state, "count"), Some(&Value::Int(4)));
             ControlFlow::Continue(())
         });
         assert!(runs > 1, "multiple schedules explored: {runs}");
@@ -1362,7 +1974,7 @@ mod tests {
         let sys = MonitorSystem::new(prog);
         let stats = Explorer::default().for_each_run(&sys, |state, _| {
             assert!(sys.is_complete(state), "RW monitor must not deadlock");
-            assert_eq!(state.vars.get("readernum"), Some(&Value::Int(0)));
+            assert_eq!(sys.global(state, "readernum"), Some(&Value::Int(0)));
             ControlFlow::Continue(())
         });
         assert!(stats.runs >= 2, "read-first and write-first schedules");
@@ -1385,7 +1997,7 @@ mod tests {
         ));
         let sys = MonitorSystem::new(prog);
         Explorer::default().for_each_run(&sys, |state, _| {
-            assert_eq!(state.vars.get("x"), Some(&Value::Int(42)));
+            assert_eq!(sys.global(state, "x"), Some(&Value::Int(42)));
             ControlFlow::Continue(())
         });
     }
@@ -1403,7 +2015,7 @@ mod tests {
         let prog = MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Count")]));
         let sys = MonitorSystem::new(prog);
         Explorer::default().for_each_run(&sys, |state, _| {
-            assert_eq!(state.vars.get("x"), Some(&Value::Int(3)));
+            assert_eq!(sys.global(state, "x"), Some(&Value::Int(3)));
             ControlFlow::Continue(())
         });
     }
@@ -1440,6 +2052,89 @@ mod tests {
         let monitor = MonitorDef::new("M").entry("E", &[], vec![]);
         let prog = MonitorProgram::new(monitor).process(ProcessDef::new("p", vec![call("Nope")]));
         let _ = MonitorSystem::new(prog);
+    }
+
+    /// Per-run event streams must be byte-identical between compiled and
+    /// interpreted execution: same run order, same `Debug` rendering of
+    /// every sealed computation (events, params, edges).
+    #[test]
+    fn compiled_matches_interpreted() {
+        let programs = [
+            counter_program(2, 2),
+            MonitorProgram::new(readers_writers_monitor())
+                .process(ProcessDef::new(
+                    "r0",
+                    vec![call("StartRead"), call("EndRead")],
+                ))
+                .process(ProcessDef::new(
+                    "w0",
+                    vec![call("StartWrite"), call("EndWrite")],
+                )),
+        ];
+        for prog in programs {
+            let mut renders: Vec<Vec<(u64, usize)>> = Vec::new();
+            for on in [true, false] {
+                let sys = MonitorSystem::new(prog.clone()).with_compile(on);
+                let mut runs = Vec::new();
+                Explorer::default().for_each_run(&sys, |state, _| {
+                    let c = sys.computation(state).expect("acyclic");
+                    runs.push((c.fingerprint(), state.event_count()));
+                    ControlFlow::Continue(())
+                });
+                renders.push(runs);
+            }
+            assert_eq!(renders[0], renders[1]);
+        }
+    }
+
+    /// Both modes agree on a waiting/signalling (Hoare handoff) program,
+    /// where the compiled path parks and resumes via `pc` instead of
+    /// statement frames.
+    #[test]
+    fn compiled_matches_interpreted_across_wait_signal() {
+        let make = || {
+            let monitor = MonitorDef::new("Gate")
+                .var("ready", Value::Bool(false))
+                .condition("go")
+                .entry(
+                    "Open",
+                    &[],
+                    vec![Stmt::assign("ready", Expr::bool(true)), Stmt::signal("go")],
+                )
+                .entry(
+                    "Pass",
+                    &[],
+                    vec![Stmt::While(
+                        Expr::var("ready").not(),
+                        vec![Stmt::wait("go")],
+                    )],
+                );
+            MonitorProgram::new(monitor)
+                .process(ProcessDef::new("consumer", vec![call("Pass")]))
+                .process(ProcessDef::new("producer", vec![call("Open")]))
+        };
+        let mut renders: Vec<Vec<(u64, usize)>> = Vec::new();
+        for on in [true, false] {
+            let sys = MonitorSystem::new(make()).with_compile(on);
+            let mut runs = Vec::new();
+            Explorer::default().for_each_run(&sys, |state, _| {
+                let c = sys.computation(state).expect("acyclic");
+                runs.push((c.fingerprint(), state.event_count()));
+                ControlFlow::Continue(())
+            });
+            renders.push(runs);
+        }
+        assert_eq!(renders[0], renders[1]);
+    }
+
+    #[test]
+    fn code_stats_populated() {
+        let sys = MonitorSystem::new(counter_program(2, 1));
+        let stats = sys.code_stats();
+        assert!(stats.exprs >= 1, "{stats:?}");
+        assert!(stats.ops >= 2, "{stats:?}");
+        assert_eq!(stats.programs, 1, "{stats:?}");
+        assert!(stats.slots >= 1, "{stats:?}");
     }
 
     #[test]

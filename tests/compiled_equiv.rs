@@ -1,0 +1,499 @@
+//! Differential harness: compiled step execution must be observationally
+//! invisible.
+//!
+//! `--compile auto|on` replaces the tree-walking statement/expression
+//! interpreter in the substrate simulators with slot-resolved
+//! environments and a flat Code IR — but verdicts, failure details,
+//! deadlock counts, artifacts, and the exploration-level counters of
+//! `--stats-json` must be byte-identical to `--compile off` across every
+//! substrate (monitor, CSP, ADA), worker count, reduction strategy, and
+//! incremental-check mode, on holding, failing, and deadlocking
+//! instances alike. Only `code.*` and `explore.compile_ns` (emitted by
+//! the CLI when compilation is on) may differ: they describe the
+//! compiled programs themselves.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gem::core::Computation;
+use gem::lang::monitor::readers_writers_monitor;
+use gem::lang::{Explorer, System};
+use gem::obs::StatsProbe;
+use gem::problems::readers_writers::{
+    rw_correspondence, rw_program, rw_spec, writers_priority_monitor, RwVariant,
+};
+use gem::problems::{bounded, one_slot, philosophers};
+use gem::spec::Specification;
+use gem::verify::{verify_system, Correspondence, IncrCheck, VerifyOptions, VerifyOutcome};
+
+/// One probed sweep with the given knobs.
+#[allow(clippy::too_many_arguments)] // differential-matrix row, not an API
+fn sweep<S>(
+    sys: &S,
+    spec: &Specification,
+    corr: &Correspondence,
+    extract: impl Fn(&S::State) -> Computation,
+    jobs: usize,
+    dedup: bool,
+    por: bool,
+    incr: IncrCheck,
+) -> (VerifyOutcome, gem::obs::Report)
+where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let probe = Arc::new(StatsProbe::new());
+    let outcome = verify_system(
+        sys,
+        spec,
+        corr,
+        extract,
+        &VerifyOptions {
+            probe: probe.clone(),
+            explorer: Explorer {
+                jobs,
+                split_depth: 3,
+                reduce: por,
+                dedup_computations: dedup,
+                ..Explorer::default()
+            },
+            incr_check: incr,
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("projection");
+    (outcome, probe.report())
+}
+
+/// The counters that must be invariant under compiled execution:
+/// everything the explorer reports, plus the deadlock tally. (The
+/// library sweeps here never emit `code.*`/`explore.compile_ns` — those
+/// are CLI-level telemetry — so no exclusion is needed.)
+fn curated(report: &gem::obs::Report) -> BTreeMap<String, u64> {
+    report
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("explore.") || *k == "verify.deadlocks")
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// True when CI widens this suite's matrix (`GEM_TEST_COMPILE=1`): the
+/// strategy grid gains the combined dedup+por mode and the worker sweep
+/// gains jobs=2. Mirrors `GEM_TEST_INCR` / `GEM_TEST_JOBS` / etc.
+fn compile_env() -> bool {
+    std::env::var("GEM_TEST_COMPILE").is_ok_and(|v| v.trim() == "1")
+}
+
+/// Asserts the compiled system agrees with the interpreted one on
+/// outcome and curated counters across reduction strategies,
+/// incremental-check modes, and worker counts.
+#[allow(clippy::too_many_arguments)] // differential-matrix row, not an API
+fn assert_equiv<S>(
+    on: &S,
+    off: &S,
+    spec: &Specification,
+    corr_on: &Correspondence,
+    corr_off: &Correspondence,
+    extract: impl Fn(&S, &S::State) -> Computation + Copy,
+    what: &str,
+    jobs_list: &[usize],
+) where
+    S: System + Sync,
+    S::State: Send,
+    S::Action: Send,
+{
+    let mut rows = vec![
+        (false, false, IncrCheck::Auto),
+        (true, false, IncrCheck::Auto),
+        (false, true, IncrCheck::Auto),
+        (false, false, IncrCheck::On),
+        (false, false, IncrCheck::Off),
+    ];
+    let mut jobs_sweep = jobs_list.to_vec();
+    if compile_env() {
+        rows.push((true, true, IncrCheck::Auto));
+        if jobs_list.len() > 1 && !jobs_sweep.contains(&2) {
+            jobs_sweep.push(2);
+        }
+    }
+    for (dedup, por, incr) in rows {
+        for &jobs in &jobs_sweep {
+            let (out_off, rep_off) = sweep(
+                off,
+                spec,
+                corr_off,
+                |s| extract(off, s),
+                jobs,
+                dedup,
+                por,
+                incr,
+            );
+            let (out_on, rep_on) = sweep(
+                on,
+                spec,
+                corr_on,
+                |s| extract(on, s),
+                jobs,
+                dedup,
+                por,
+                incr,
+            );
+            assert_eq!(
+                out_off, out_on,
+                "{what}: outcome diverges at jobs={jobs} dedup={dedup} por={por} {incr:?}"
+            );
+            assert_eq!(
+                curated(&rep_off),
+                curated(&rep_on),
+                "{what}: counters diverge at jobs={jobs} dedup={dedup} por={por} {incr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn monitor_holding_instance_agrees() {
+    let on = rw_program(readers_writers_monitor(), 1, 1, false);
+    let off = rw_program(readers_writers_monitor(), 1, 1, false).with_compile(false);
+    let spec = rw_spec(2, false, RwVariant::MutexOnly);
+    let corr_on = rw_correspondence(&on, &spec, false);
+    let corr_off = rw_correspondence(&off, &spec, false);
+    assert_equiv(
+        &on,
+        &off,
+        &spec,
+        &corr_on,
+        &corr_off,
+        |sys, s| sys.computation(s).expect("acyclic"),
+        "rw 1r1w mutex",
+        &[1, 4],
+    );
+}
+
+#[test]
+fn monitor_failing_instance_agrees() {
+    // Readers-priority monitor checked against the writers-priority spec:
+    // the sweep FAILS, and the failure list (run indices, violated
+    // restriction names, rendered details) must be identical.
+    let on = rw_program(readers_writers_monitor(), 1, 2, false);
+    let off = rw_program(readers_writers_monitor(), 1, 2, false).with_compile(false);
+    let spec = rw_spec(3, false, RwVariant::WritersPriority);
+    let corr_on = rw_correspondence(&on, &spec, false);
+    let corr_off = rw_correspondence(&off, &spec, false);
+    let extract =
+        |sys: &gem::lang::monitor::MonitorSystem, s: &_| sys.computation(s).expect("acyclic");
+    assert_equiv(
+        &on,
+        &off,
+        &spec,
+        &corr_on,
+        &corr_off,
+        extract,
+        "rw 1r2w writers",
+        &[1, 4],
+    );
+    let (outcome, _) = sweep(
+        &on,
+        &spec,
+        &corr_on,
+        |s| extract(&on, s),
+        1,
+        false,
+        false,
+        IncrCheck::Auto,
+    );
+    assert!(!outcome.ok(), "{outcome}");
+    assert!(!outcome.failures.is_empty());
+}
+
+#[test]
+fn monitor_wait_signal_heavy_instance_agrees() {
+    // The writers-priority monitor against the readers-priority spec:
+    // exercises Hoare signal chains, urgent-queue handoff, and condition
+    // queues through the compiled entry programs.
+    let on = rw_program(writers_priority_monitor(), 2, 1, false);
+    let off = rw_program(writers_priority_monitor(), 2, 1, false).with_compile(false);
+    let spec = rw_spec(3, false, RwVariant::ReadersPriority);
+    let corr_on = rw_correspondence(&on, &spec, false);
+    let corr_off = rw_correspondence(&off, &spec, false);
+    assert_equiv(
+        &on,
+        &off,
+        &spec,
+        &corr_on,
+        &corr_off,
+        |sys, s| sys.computation(s).expect("acyclic"),
+        "rw 2r1w readers-on-writers",
+        &[1, 4],
+    );
+}
+
+#[test]
+fn csp_substrate_agrees() {
+    let items: Vec<i64> = vec![1, 2];
+    let spec = bounded::bounded_spec(items.len(), 1);
+    let on = bounded::csp_solution(&items, 1);
+    let off = bounded::csp_solution(&items, 1).with_compile(false);
+    let corr_on = bounded::csp_correspondence(&on, &spec, 1);
+    let corr_off = bounded::csp_correspondence(&off, &spec, 1);
+    assert_equiv(
+        &on,
+        &off,
+        &spec,
+        &corr_on,
+        &corr_off,
+        |sys, s| sys.computation(s).expect("acyclic"),
+        "bounded csp",
+        &[1, 4],
+    );
+}
+
+#[test]
+fn ada_substrate_agrees() {
+    let items: Vec<i64> = vec![10, 20];
+    let spec = one_slot::one_slot_spec();
+    let on = one_slot::ada_solution(&items);
+    let off = one_slot::ada_solution(&items).with_compile(false);
+    let corr_on = one_slot::ada_correspondence(&on, &spec);
+    let corr_off = one_slot::ada_correspondence(&off, &spec);
+    assert_equiv(
+        &on,
+        &off,
+        &spec,
+        &corr_on,
+        &corr_off,
+        |sys, s| sys.computation(s).expect("acyclic"),
+        "one-slot ada",
+        &[1, 4],
+    );
+}
+
+#[test]
+fn deadlocking_instance_agrees() {
+    // Naive-order philosophers deadlock; truncated runs and the deadlock
+    // tally must match between execution modes.
+    let on = philosophers::philosophers_program(2, 1, philosophers::ForkOrder::Naive);
+    let off = philosophers::philosophers_program(2, 1, philosophers::ForkOrder::Naive)
+        .with_compile(false);
+    let spec = philosophers::philosophers_spec(2);
+    let corr_on = philosophers::philosophers_correspondence(&on, &spec, 2);
+    let corr_off = philosophers::philosophers_correspondence(&off, &spec, 2);
+    let extract = |sys: &gem::lang::ada::AdaSystem, s: &_| sys.computation(s).expect("acyclic");
+    assert_equiv(
+        &on,
+        &off,
+        &spec,
+        &corr_on,
+        &corr_off,
+        extract,
+        "philosophers naive",
+        &[1, 4],
+    );
+    let (outcome, _) = sweep(
+        &on,
+        &spec,
+        &corr_on,
+        |s| extract(&on, s),
+        1,
+        false,
+        false,
+        IncrCheck::Auto,
+    );
+    assert!(outcome.deadlocks > 0, "{outcome}");
+}
+
+#[test]
+fn cli_artifacts_and_stats_agree_across_modes() {
+    // Full CLI path on the failing instance with artifacts: stdout, every
+    // counterexample artifact file, and the stats report (minus timers,
+    // `code.*`, and `explore.compile_ns`) must match `--compile off`.
+    let dir = std::env::temp_dir().join(format!("gem-compile-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run_mode = |mode: &str| -> (String, String, BTreeMap<String, String>) {
+        let art = dir.join(format!("artifacts-{mode}"));
+        let stats = dir.join(format!("stats-{mode}.json"));
+        let args: Vec<String> = [
+            "verify",
+            "rw",
+            "readers=1",
+            "writers=2",
+            "variant=writers",
+            "--compile",
+            mode,
+            "--artifacts",
+            art.to_str().expect("utf-8"),
+            "--stats-json",
+            stats.to_str().expect("utf-8"),
+            "--heartbeat",
+            "0",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        // Artifact paths differ per mode; normalise them out of stdout.
+        let stdout = gem_cli::run(&args)
+            .expect("cli run")
+            .replace(art.to_str().expect("utf-8"), "<artifacts>");
+        let report =
+            gem::obs::Report::from_json(&std::fs::read_to_string(&stats).expect("stats written"))
+                .expect("valid report");
+        // `code.*` describes the compiled programs and only exists when
+        // compilation is on; everything else must match `off` exactly.
+        // (`explore.compile_ns` is a `_ns` histogram, not a counter, so
+        // it never enters this map.)
+        let kept: BTreeMap<String, u64> = report
+            .counters
+            .iter()
+            .filter(|(k, _)| !k.starts_with("code."))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let mut files = BTreeMap::new();
+        for entry in std::fs::read_dir(&art).expect("artifact dir") {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            files.insert(
+                name,
+                std::fs::read_to_string(entry.path()).expect("artifact file"),
+            );
+        }
+        (stdout, format!("{kept:?}"), files)
+    };
+    let (off_out, off_counters, off_files) = run_mode("off");
+    for mode in ["auto", "on"] {
+        let (out, counters, files) = run_mode(mode);
+        assert_eq!(off_out, out, "stdout diverges in mode {mode}");
+        assert_eq!(off_counters, counters, "counters diverge in mode {mode}");
+        assert_eq!(
+            off_files.keys().collect::<Vec<_>>(),
+            files.keys().collect::<Vec<_>>(),
+            "artifact file set diverges in mode {mode}"
+        );
+        for (name, body) in &off_files {
+            assert_eq!(
+                body, &files[name],
+                "artifact {name} diverges in mode {mode}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_substrates_agree_across_modes() {
+    // Verdict lines on CSP and ADA instances must not depend on the
+    // compile mode either.
+    for problem in [
+        vec!["verify", "bounded", "items=2", "cap=1", "substrate=csp"],
+        vec!["verify", "one-slot", "items=2", "substrate=ada"],
+    ] {
+        let run_mode = |mode: &str| {
+            let mut args: Vec<String> = problem.iter().map(|s| (*s).to_owned()).collect();
+            args.extend([
+                "--compile".to_owned(),
+                mode.to_owned(),
+                "--heartbeat".to_owned(),
+                "0".to_owned(),
+            ]);
+            gem_cli::run(&args).expect("cli run")
+        };
+        let off = run_mode("off");
+        assert_eq!(off, run_mode("auto"), "{problem:?}");
+        assert_eq!(off, run_mode("on"), "{problem:?}");
+    }
+}
+
+mod expr_codegen {
+    //! Property: for random expressions (well-typed or not), compiling
+    //! into the postfix Code IR and evaluating over slots produces
+    //! exactly `Expr::eval`'s result — value *and* error alike.
+
+    use gem::core::Value;
+    use gem::lang::code::{ExprPool, SlotLayout};
+    use gem::lang::{Expr, VarStore};
+    use proptest::prelude::*;
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-4i64..5).prop_map(Expr::int),
+            any::<bool>().prop_map(Expr::bool),
+            prop_oneof![Just("s1"), Just("s2")].prop_map(Expr::str),
+            // `u` stays unbound, exercising UndefinedVariable parity.
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("u")].prop_map(Expr::var),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone(), 0usize..13).prop_map(|(l, r, op)| match op {
+                    0 => l.add(r),
+                    1 => l.sub(r),
+                    2 => l.mul(r),
+                    3 => l.div(r),
+                    4 => l.rem(r),
+                    5 => l.eq(r),
+                    6 => l.ne(r),
+                    7 => l.lt(r),
+                    8 => l.le(r),
+                    9 => l.gt(r),
+                    10 => l.ge(r),
+                    11 => l.and(r),
+                    _ => l.or(r),
+                }),
+                inner.clone().prop_map(|e| e.not()),
+                inner.prop_map(|e| e.neg()),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn compiled_eval_matches_interpreter(e in arb_expr()) {
+            let mut store = VarStore::new();
+            store.set("a", Value::Int(3));
+            store.set("b", Value::Bool(true));
+            store.set("c", Value::Str("s1".into()));
+            let mut locals = SlotLayout::new();
+            for n in ["a", "b", "c", "u"] {
+                locals.intern(n);
+            }
+            let lslots = vec![
+                Some(Value::Int(3)),
+                Some(Value::Bool(true)),
+                Some(Value::Str("s1".into())),
+                None,
+            ];
+            let globals = SlotLayout::new();
+            let mut pool = ExprPool::new();
+            let id = pool.compile(&e, &locals, &globals);
+            prop_assert_eq!(pool.eval(id, &[], &lslots), e.eval(&store));
+        }
+
+        #[test]
+        fn globals_show_through_unbound_locals(e in arb_expr()) {
+            // Locals shadow globals, but an unbound local slot falls
+            // through: compile against a layout where `a` is a local yet
+            // only the global scope binds it.
+            let mut store = VarStore::new();
+            store.set("a", Value::Int(7));
+            store.set("b", Value::Bool(false));
+            store.set("c", Value::Str("s2".into()));
+            let mut locals = SlotLayout::new();
+            locals.intern("a");
+            let mut globals = SlotLayout::new();
+            for n in ["a", "b", "c"] {
+                globals.intern(n);
+            }
+            let gslots = vec![
+                Value::Int(7),
+                Value::Bool(false),
+                Value::Str("s2".into()),
+            ];
+            let lslots = vec![None]; // `a` declared locally, never bound
+            let mut pool = ExprPool::new();
+            let id = pool.compile(&e, &locals, &globals);
+            prop_assert_eq!(pool.eval(id, &gslots, &lslots), e.eval(&store));
+        }
+    }
+}
